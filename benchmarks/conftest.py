@@ -1,0 +1,45 @@
+"""Shared infrastructure for the per-figure benchmark harnesses.
+
+Every harness regenerates one table or figure of the paper from the
+functional simulator and prints it in the paper's layout (live, past
+pytest's capture), then asserts the paper's qualitative shape.  A single
+session-wide render cache keeps each configuration to one render.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cache import RenderCache
+
+#: Resolution scale used by every benchmark harness.  Matches the scale
+#: the EXPERIMENTS.md numbers were recorded at.
+BENCH_SCALE = 0.125
+
+
+@pytest.fixture(scope="session")
+def cache() -> RenderCache:
+    """One render cache shared by all benchmark harnesses."""
+    return RenderCache(resolution_scale=BENCH_SCALE, seed=0)
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print lines live, bypassing pytest's output capture."""
+
+    def _emit(*lines: str) -> None:
+        with capsys.disabled():
+            print()
+            for line in lines:
+                print(line)
+
+    return _emit
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark timing.
+
+    The harnesses time full experiment regenerations; repeating them for
+    statistical rounds would multiply minutes of runtime for no insight.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1)

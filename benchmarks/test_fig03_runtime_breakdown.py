@@ -1,0 +1,42 @@
+"""Fig. 3: GPU runtime breakdown across tile sizes (AABB and Ellipse).
+
+Paper shape: preprocessing and sorting shrink as tiles grow; the
+rasterization stage grows; the total is generally minimised at 16x16
+(occasionally 32x32).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig03 import run_fig3
+from repro.scenes.datasets import PROFILING_SCENES
+
+
+def test_fig3_runtime_breakdown(benchmark, cache, emit):
+    rows = run_once(benchmark, lambda: run_fig3(cache))
+
+    lines = ["Fig. 3: GPU-model runtime breakdown (ms)",
+             f"{'scene':<12}{'method':<9}{'tile':>5}{'pre':>8}{'sort':>8}{'raster':>9}{'total':>9}"]
+    for r in rows:
+        lines.append(
+            f"{r.scene:<12}{r.method:<9}{r.tile_size:>5}"
+            f"{r.preprocessing_ms:>8.3f}{r.sorting_ms:>8.3f}"
+            f"{r.rasterization_ms:>9.3f}{r.total_ms:>9.3f}"
+        )
+    emit(*lines)
+
+    for scene in PROFILING_SCENES:
+        for method in ("aabb", "ellipse"):
+            sub = [r for r in rows if r.scene == scene and r.method == method]
+            sub.sort(key=lambda r: r.tile_size)
+            pre = [r.preprocessing_ms for r in sub]
+            sort = [r.sorting_ms for r in sub]
+            raster = [r.rasterization_ms for r in sub]
+            totals = {r.tile_size: r.total_ms for r in sub}
+            # Monotone stage trends.
+            assert all(a >= b for a, b in zip(pre, pre[1:]))
+            assert all(a >= b for a, b in zip(sort, sort[1:]))
+            assert all(a <= b for a, b in zip(raster, raster[1:]))
+            # 16x16 or 32x32 is the fastest configuration (paper: "a tile
+            # size of 16x16 provides the fastest rendering speed, though
+            # in some cases 32x32 can also be faster").
+            best = min(totals, key=totals.get)
+            assert best in (16, 32)

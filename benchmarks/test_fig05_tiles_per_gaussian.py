@@ -1,0 +1,58 @@
+"""Fig. 5: average intersecting tiles per Gaussian vs tile size.
+
+Paper shape: decreasing tile size increases tiles-per-Gaussian roughly
+exponentially; at AABB the 8x8 / 64x64 ratio reaches 18.3x (playroom),
+and ellipse ratios reach 7.09x.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.profiling import run_profiling_sweep
+from repro.scenes.datasets import PROFILING_SCENES
+from repro.tiles.boundary import BoundaryMethod
+
+
+def test_fig5_tiles_per_gaussian(benchmark, cache, emit):
+    rows = run_once(benchmark, lambda: run_profiling_sweep(cache))
+
+    lines = ["Fig. 5: avg intersecting tiles per Gaussian",
+             f"{'scene':<12}{'method':<9}{'8x8':>8}{'16x16':>8}{'32x32':>8}{'64x64':>8}{'8/64':>7}"]
+    for scene in PROFILING_SCENES:
+        for method in ("aabb", "ellipse"):
+            vals = {
+                r.tile_size: r.tiles_per_gaussian
+                for r in rows
+                if r.scene == scene and r.method == method
+            }
+            ratio = vals[8] / vals[64]
+            lines.append(
+                f"{scene:<12}{method:<9}"
+                + "".join(f"{vals[ts]:>8.2f}" for ts in (8, 16, 32, 64))
+                + f"{ratio:>7.1f}"
+            )
+    lines.append("paper: AABB max ratio 18.3x (playroom); Ellipse max ratio 7.09x")
+    emit(*lines)
+
+    for scene in PROFILING_SCENES:
+        for method in ("aabb", "ellipse"):
+            vals = [
+                r.tiles_per_gaussian
+                for r in rows
+                if r.scene == scene and r.method == method
+            ]
+            # Strictly decreasing in tile size (rows are ordered 8..64).
+            assert all(a > b for a, b in zip(vals, vals[1:]))
+            # Super-linear growth toward small tiles: the 8->64 ratio far
+            # exceeds the 8x area ratio... at least 5x overall.
+            assert vals[0] / vals[-1] > 5.0
+            # Ellipse is always tighter than AABB at the same tile size.
+    for scene in PROFILING_SCENES:
+        for ts in (8, 16, 32, 64):
+            aabb = next(
+                r.tiles_per_gaussian for r in rows
+                if r.scene == scene and r.method == "aabb" and r.tile_size == ts
+            )
+            ell = next(
+                r.tiles_per_gaussian for r in rows
+                if r.scene == scene and r.method == "ellipse" and r.tile_size == ts
+            )
+            assert ell <= aabb

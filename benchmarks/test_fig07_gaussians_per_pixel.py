@@ -1,0 +1,42 @@
+"""Fig. 7: average Gaussians that must be processed per pixel.
+
+Paper shape: grows with tile size for every scene and boundary; the
+64x64 / 8x8 ratio reaches 10.6x (truck, ellipse) and 4.79x (AABB).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.profiling import run_profiling_sweep
+from repro.scenes.datasets import PROFILING_SCENES
+
+
+def test_fig7_gaussians_per_pixel(benchmark, cache, emit):
+    rows = run_once(benchmark, lambda: run_profiling_sweep(cache))
+
+    lines = ["Fig. 7: avg Gaussians processed per pixel",
+             f"{'scene':<12}{'method':<9}{'8x8':>8}{'16x16':>8}{'32x32':>8}{'64x64':>8}{'64/8':>7}"]
+    for scene in PROFILING_SCENES:
+        for method in ("aabb", "ellipse"):
+            vals = {
+                r.tile_size: r.gaussians_per_pixel
+                for r in rows
+                if r.scene == scene and r.method == method
+            }
+            lines.append(
+                f"{scene:<12}{method:<9}"
+                + "".join(f"{vals[ts]:>8.1f}" for ts in (8, 16, 32, 64))
+                + f"{vals[64] / vals[8]:>7.1f}"
+            )
+    lines.append("paper: max ratio 10.6x (truck, ellipse); 4.79x (AABB)")
+    emit(*lines)
+
+    for scene in PROFILING_SCENES:
+        for method in ("aabb", "ellipse"):
+            vals = [
+                r.gaussians_per_pixel
+                for r in rows
+                if r.scene == scene and r.method == method
+            ]
+            # Increasing with tile size.
+            assert all(a < b for a, b in zip(vals, vals[1:]))
+            # Meaningful growth: at least 2x from 8 to 64.
+            assert vals[-1] / vals[0] > 2.0

@@ -1,0 +1,37 @@
+"""Fig. 11: GS-TG speedup across tile+group combinations.
+
+Paper shape: 16+64 is the best design point in most cases (16+32 can tie
+within noise); tile-8 combinations underperform because of much wider
+bitmasks and heavier per-tile work.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig11 import FIG11_COMBOS, run_fig11
+from repro.scenes.datasets import PROFILING_SCENES
+
+
+def test_fig11_group_size_sweep(benchmark, cache, emit):
+    rows = run_once(benchmark, lambda: run_fig11(cache))
+
+    lines = ["Fig. 11: GS-TG speedup vs 16x16 baseline (ellipse)",
+             f"{'scene':<12}" + "".join(f"{t}+{g:>3}".rjust(9) for t, g in FIG11_COMBOS)]
+    for scene in PROFILING_SCENES:
+        vals = [r.speedup for r in rows if r.scene == scene]
+        lines.append(f"{scene:<12}" + "".join(f"{v:>9.3f}" for v in vals))
+    lines.append("paper: 16+64 fastest in most cases")
+    emit(*lines)
+
+    wins_16_64 = 0
+    for scene in PROFILING_SCENES:
+        by_label = {r.label: r.speedup for r in rows if r.scene == scene}
+        best = max(by_label, key=by_label.get)
+        # Tile-16 combos always beat tile-8 combos.
+        assert min(by_label["16+32"], by_label["16+64"]) > max(
+            by_label["8+16"], by_label["8+32"], by_label["8+64"]
+        )
+        if best == "16+64":
+            wins_16_64 += 1
+        else:
+            # When 16+64 is not the winner it must be a near-tie.
+            assert by_label["16+64"] > 0.97 * by_label[best]
+    assert wins_16_64 >= len(PROFILING_SCENES) // 2

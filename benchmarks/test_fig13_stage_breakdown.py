@@ -1,0 +1,39 @@
+"""Fig. 13: stage-wise runtime breakdown, Train scene.
+
+Paper shape: GS-TG's sorting time matches the 64x64 baseline (it sorts
+at group granularity) while its rasterization matches the 16x16 baseline
+(it rasterises at tile granularity); on a GPU its preprocessing exceeds
+the baseline's because bitmask generation cannot overlap group sorting.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig13 import run_fig13
+
+
+def test_fig13_stage_breakdown(benchmark, cache, emit):
+    rows = run_once(benchmark, lambda: run_fig13(cache))
+    by_config = {r.config: r for r in rows}
+
+    lines = ["Fig. 13: Train stage breakdown, GPU model (ms)",
+             f"{'config':<8}{'pre':>8}{'sort':>8}{'raster':>9}{'total':>9}"]
+    for r in rows:
+        lines.append(
+            f"{r.config:<8}{r.preprocessing_ms:>8.3f}{r.sorting_ms:>8.3f}"
+            f"{r.rasterization_ms:>9.3f}{r.total_ms:>9.3f}"
+        )
+    emit(*lines)
+
+    ours = by_config["ours"]
+    # Sorting performance comparable to the 64x64 baseline.
+    assert ours.sorting_ms == pytest.approx(by_config["64x64"].sorting_ms, rel=0.3)
+    # Rasterization equivalent to the 16x16 baseline.
+    assert ours.rasterization_ms == pytest.approx(
+        by_config["16x16"].rasterization_ms, rel=0.05
+    )
+    # GPU-sequential bitmask generation makes preprocessing slower than
+    # the 16x16 baseline.
+    assert ours.preprocessing_ms > by_config["16x16"].preprocessing_ms
+    # The total still beats the 16x16 baseline.
+    assert ours.total_ms < by_config["16x16"].total_ms

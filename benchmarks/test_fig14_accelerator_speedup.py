@@ -1,0 +1,59 @@
+"""Fig. 14: accelerator speedup over the baseline and GSCore.
+
+Paper shape: GS-TG beats the baseline on every scene with a geometric
+mean of 1.33x and a maximum of 1.58x on the high-resolution residence
+scene, and outperforms GSCore by up to 1.54x.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.hardware_eval import geomean, run_hardware_eval
+from repro.scenes.datasets import HARDWARE_SCENES
+
+
+def test_fig14_accelerator_speedup(benchmark, cache, emit):
+    rows = run_once(benchmark, lambda: run_hardware_eval(cache))
+
+    lines = ["Fig. 14: normalized accelerator speedup",
+             f"{'scene':<12}{'baseline':>9}{'gscore':>9}{'gstg':>9}"]
+    for r in rows:
+        lines.append(
+            f"{r.scene:<12}{1.0:>9.2f}{r.gscore_speedup:>9.2f}{r.gstg_speedup:>9.2f}"
+        )
+    gm = geomean([r.gstg_speedup for r in rows])
+    mx = max(rows, key=lambda r: r.gstg_speedup)
+    vs_gscore = max(r.gscore_ms / r.gstg_ms for r in rows)
+    lines.append(
+        f"geomean gstg speedup: {gm:.2f} (paper 1.33) | "
+        f"max: {mx.gstg_speedup:.2f} on {mx.scene} (paper 1.58, residence) | "
+        f"max vs GSCore: {vs_gscore:.2f} (paper 1.54)"
+    )
+    emit(*lines)
+
+    # GS-TG never loses to the baseline.
+    for r in rows:
+        assert r.gstg_speedup >= 0.99
+        # GS-TG never loses to GSCore either.
+        assert r.gstg_ms <= r.gscore_ms * 1.001
+    # Geomean in the paper's ballpark.
+    assert 1.1 < gm < 1.6
+    # The maximum gain comes from the highest-resolution scene.
+    assert mx.scene == "residence"
+    assert 1.3 < mx.gstg_speedup < 2.0
+
+
+def test_fig14_scaling_with_resolution(benchmark, cache, emit):
+    """Ablation: the speedup grows with scene resolution because pair
+    traffic grows faster than pixel work."""
+    rows = run_once(
+        benchmark,
+        lambda: run_hardware_eval(cache, scenes=("playroom", "residence")),
+    )
+    by_scene = {r.scene: r for r in rows}
+    emit(
+        "Fig. 14 ablation: resolution scaling",
+        f"playroom  ({cache.scene('playroom').camera.width}px wide): "
+        f"{by_scene['playroom'].gstg_speedup:.2f}x",
+        f"residence ({cache.scene('residence').camera.width}px wide): "
+        f"{by_scene['residence'].gstg_speedup:.2f}x",
+    )
+    assert by_scene["residence"].gstg_speedup > by_scene["playroom"].gstg_speedup

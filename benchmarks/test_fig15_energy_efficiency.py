@@ -1,0 +1,38 @@
+"""Fig. 15: normalized energy efficiency.
+
+Paper shape: GS-TG improves energy efficiency over the baseline on every
+scene — geometric mean 2.12x, maximum 2.97x on residence — and the
+efficiency gain exceeds the speedup because DRAM traffic shrinks faster
+than runtime.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.hardware_eval import geomean, run_hardware_eval
+
+
+def test_fig15_energy_efficiency(benchmark, cache, emit):
+    rows = run_once(benchmark, lambda: run_hardware_eval(cache))
+
+    lines = ["Fig. 15: normalized energy efficiency",
+             f"{'scene':<12}{'baseline':>9}{'gscore':>9}{'gstg':>9}{'gstg uJ':>10}"]
+    for r in rows:
+        lines.append(
+            f"{r.scene:<12}{1.0:>9.2f}{r.gscore_efficiency:>9.2f}"
+            f"{r.gstg_efficiency:>9.2f}{r.gstg_uj:>10.2f}"
+        )
+    gm = geomean([r.gstg_efficiency for r in rows])
+    mx = max(rows, key=lambda r: r.gstg_efficiency)
+    lines.append(
+        f"geomean gstg efficiency: {gm:.2f} (paper 2.12) | "
+        f"max: {mx.gstg_efficiency:.2f} on {mx.scene} (paper 2.97, residence)"
+    )
+    emit(*lines)
+
+    for r in rows:
+        # GS-TG is more energy-efficient than the baseline everywhere.
+        assert r.gstg_efficiency > 1.0
+        # Efficiency gain exceeds the speedup (the DRAM-energy effect).
+        assert r.gstg_efficiency > r.gstg_speedup
+    assert 1.4 < gm < 2.6
+    # The maximum gain comes from the highest-resolution scene.
+    assert mx.scene == "residence"

@@ -1,0 +1,38 @@
+"""Multi-view robustness of the Fig. 14 result.
+
+The paper evaluates over each scene's held-out test views; this harness
+orbits the playroom scene, applies the every-8th test split and checks
+that GS-TG stays lossless and at least baseline-fast on *every* view —
+the speedup is a workload property, not a camera-pose accident.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.multiview import run_multiview
+
+
+def test_multiview_robustness(benchmark, emit):
+    rows = run_once(
+        benchmark,
+        lambda: run_multiview("playroom", num_views=24, resolution_scale=0.1),
+    )
+
+    lines = ["Multi-view robustness (playroom, every-8th test split)",
+             f"{'view':>5}{'baseline ms':>12}{'gstg ms':>9}{'speedup':>9}{'lossless':>10}"]
+    for r in rows:
+        lines.append(
+            f"{r.view_index:>5}{r.baseline_ms:>12.4f}{r.gstg_ms:>9.4f}"
+            f"{r.speedup:>9.2f}{str(r.lossless):>10}"
+        )
+    speedups = [r.speedup for r in rows]
+    lines.append(
+        f"mean speedup {np.mean(speedups):.2f}, min {min(speedups):.2f}, "
+        f"max {max(speedups):.2f}"
+    )
+    emit(*lines)
+
+    assert len(rows) == 3  # 24 views, every 8th
+    for r in rows:
+        assert r.lossless
+        assert r.speedup >= 0.99

@@ -1,0 +1,58 @@
+"""Table I: percentage of Gaussians shared with adjacent tiles.
+
+Paper values (AABB):
+    scene       8x8   16x16  32x32  64x64
+    train       94.4  89.0   79.7   66.0
+    truck       89.0  79.2   64.7   47.7
+    drjohnson   91.4  83.9   71.3   54.0
+    playroom    91.3  83.8   71.7   54.7
+    average     91.5  84.0   71.9   55.6
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.profiling import run_profiling_sweep
+from repro.scenes.datasets import PROFILING_SCENES
+from repro.tiles.boundary import BoundaryMethod
+
+PAPER_AVERAGE = {8: 91.5, 16: 84.0, 32: 71.9, 64: 55.6}
+
+
+def test_table1_shared_gaussians(benchmark, cache, emit):
+    rows = run_once(
+        benchmark,
+        lambda: run_profiling_sweep(cache, methods=(BoundaryMethod.AABB,)),
+    )
+
+    by_scene = {}
+    for r in rows:
+        by_scene.setdefault(r.scene, {})[r.tile_size] = r.shared_percent
+
+    lines = ["Table I: % Gaussians shared with adjacent tiles (AABB)",
+             f"{'scene':<12}{'8x8':>8}{'16x16':>8}{'32x32':>8}{'64x64':>8}"]
+    for scene in PROFILING_SCENES:
+        vals = by_scene[scene]
+        lines.append(
+            f"{scene:<12}" + "".join(f"{vals[ts]:>8.1f}" for ts in (8, 16, 32, 64))
+        )
+    averages = {
+        ts: float(np.mean([by_scene[s][ts] for s in PROFILING_SCENES]))
+        for ts in (8, 16, 32, 64)
+    }
+    lines.append(
+        f"{'average':<12}" + "".join(f"{averages[ts]:>8.1f}" for ts in (8, 16, 32, 64))
+    )
+    lines.append(
+        f"{'paper avg':<12}"
+        + "".join(f"{PAPER_AVERAGE[ts]:>8.1f}" for ts in (8, 16, 32, 64))
+    )
+    emit(*lines)
+
+    # Shape assertions: monotone decrease with tile size, and the average
+    # within a few points of the paper at every tile size.
+    for scene in PROFILING_SCENES:
+        vals = [by_scene[scene][ts] for ts in (8, 16, 32, 64)]
+        assert vals[0] > vals[1] > vals[2] > vals[3]
+    for ts, paper in PAPER_AVERAGE.items():
+        assert abs(averages[ts] - paper) < 8.0

@@ -1,0 +1,47 @@
+"""Table III: hardware configuration of the GS-TG accelerator.
+
+Verifies the synthesis-result constants and times a full cycle-level
+simulation of one frame on the configured datapath.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.hardware.config import GSTG_CONFIG
+from repro.hardware.simulator import simulate_gstg
+from repro.tiles.boundary import BoundaryMethod
+
+
+def test_table3_hardware_config(benchmark, cache, emit):
+    scene = cache.scene("train")
+    render = cache.gstg_render(
+        "train", 16, 64, BoundaryMethod.ELLIPSE, BoundaryMethod.ELLIPSE
+    )
+    report = run_once(
+        benchmark,
+        lambda: simulate_gstg(
+            render.stats, scene.camera.width, scene.camera.height, GSTG_CONFIG
+        ),
+    )
+
+    lines = ["Table III: hardware configuration",
+             f"{'module':<8}{'instances':>10}{'area mm^2':>11}{'power W':>9}"]
+    for m in GSTG_CONFIG.modules:
+        lines.append(f"{m.name:<8}{m.instances:>10}{m.area_mm2:>11.3f}{m.power_w:>9.3f}")
+    lines.append(
+        f"{'total':<8}{'':>10}{GSTG_CONFIG.total_area_mm2:>11.3f}"
+        f"{GSTG_CONFIG.total_power_w:>9.3f}"
+    )
+    lines.append(f"frequency: {GSTG_CONFIG.frequency_hz/1e9:.0f} GHz | "
+                 f"DRAM: {GSTG_CONFIG.dram_bandwidth_bytes_per_s/1e9:.1f} GB/s")
+    lines.append(
+        f"sample frame (train, 16+64): {report.cycles:,.0f} cycles = "
+        f"{report.time_ms:.3f} ms, bottleneck: {report.bottleneck}"
+    )
+    emit(*lines)
+
+    assert GSTG_CONFIG.total_area_mm2 == pytest.approx(3.984)
+    assert GSTG_CONFIG.total_power_w == pytest.approx(1.063)
+    assert GSTG_CONFIG.frequency_hz == 1e9
+    assert GSTG_CONFIG.dram_bandwidth_bytes_per_s == pytest.approx(51.2e9)
+    assert report.cycles > 0

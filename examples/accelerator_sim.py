@@ -1,0 +1,79 @@
+"""Cycle-level accelerator simulation — the paper's Figs. 14 and 15.
+
+Simulates one frame of a scene on three systems:
+
+* the conventional per-tile pipeline (Ellipse boundary) running on the
+  GS-TG datapath — the paper's baseline,
+* a GSCore-class accelerator (OBB + subtile skipping, per-tile sorting),
+* the GS-TG accelerator (16+64 tile grouping, BGM overlapped with GSM),
+
+and prints frame time, stage bottleneck, DRAM traffic and energy.
+
+Run:  python examples/accelerator_sim.py [scene]
+"""
+
+import sys
+
+from repro.experiments.cache import RenderCache
+from repro.hardware import (
+    GSCORE_CONFIG,
+    GSTG_CONFIG,
+    energy_report,
+    simulate_baseline,
+    simulate_gscore,
+    simulate_gstg,
+)
+from repro.tiles.boundary import BoundaryMethod
+
+
+def main(scene_name: str = "train") -> None:
+    cache = RenderCache(resolution_scale=0.1, seed=0)
+    scene = cache.scene(scene_name)
+    w, h = scene.camera.width, scene.camera.height
+    print(f"scene: {scene_name}, {w}x{h} px, {len(scene.cloud)} Gaussians\n")
+
+    base = cache.baseline_render(scene_name, 16, BoundaryMethod.ELLIPSE)
+    base_hw = simulate_baseline(base.stats, w, h, GSTG_CONFIG)
+    base_energy = energy_report(base_hw, GSTG_CONFIG, ("PM", "GSM", "RM", "Buffer"))
+
+    obb = cache.baseline_render(scene_name, 16, BoundaryMethod.OBB)
+    gscore_hw = simulate_gscore(obb.stats, w, h, GSCORE_CONFIG)
+    gscore_energy = energy_report(gscore_hw, GSCORE_CONFIG)
+
+    ours = cache.gstg_render(
+        scene_name, 16, 64, BoundaryMethod.ELLIPSE, BoundaryMethod.ELLIPSE
+    )
+    ours_hw = simulate_gstg(ours.stats, w, h, GSTG_CONFIG)
+    ours_energy = energy_report(ours_hw, GSTG_CONFIG)
+
+    systems = [
+        ("baseline", base_hw, base_energy),
+        ("gscore", gscore_hw, gscore_energy),
+        ("gs-tg", ours_hw, ours_energy),
+    ]
+    print(
+        f"{'system':<10}{'cycles':>12}{'ms':>9}{'fps':>9}{'bottleneck':>12}"
+        f"{'DRAM MB':>9}{'energy uJ':>11}"
+    )
+    for name, hw, energy in systems:
+        print(
+            f"{name:<10}{hw.cycles:>12,.0f}{hw.time_ms:>9.3f}{hw.fps:>9.0f}"
+            f"{hw.bottleneck:>12}{hw.traffic.total_bytes / 1e6:>9.2f}"
+            f"{energy.total_energy_j * 1e6:>11.2f}"
+        )
+
+    print(
+        f"\nGS-TG speedup vs baseline: {base_hw.cycles / ours_hw.cycles:.2f}x"
+        f" | vs GSCore: {gscore_hw.cycles / ours_hw.cycles:.2f}x"
+    )
+    print(
+        f"GS-TG energy efficiency vs baseline: "
+        f"{ours_energy.efficiency_vs(base_energy):.2f}x"
+    )
+    print("\nGS-TG stage cycles (BGM overlaps GSM in hardware):")
+    for stage, cycles in ours_hw.stage_cycles.items():
+        print(f"  {stage:<6}{cycles:>12,.0f}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "train")

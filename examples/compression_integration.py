@@ -1,0 +1,71 @@
+"""Composing GS-TG with model-compression techniques.
+
+The paper: "GS-TG is a completely lossless technique ... and it can be
+seamlessly integrated with previous 3D-GS rendering optimization
+methods."  This example verifies the claim end to end: the scene is
+pruned (LightGaussian-style importance budget) and quantized (8-bit SH +
+opacity), and at every compression level GS-TG remains bit-identical to
+the baseline on the *same* compressed model while both pipelines' work
+shrinks.  PSNR against the uncompressed render quantifies what the
+compression itself costs.
+
+Run:  python examples/compression_integration.py
+"""
+
+import numpy as np
+
+from repro import BaselineRenderer, BoundaryMethod, GSTGRenderer, load_scene
+from repro.compress import prune_to_budget, quantize_cloud
+from repro.metrics import psnr, ssim
+
+
+def main() -> None:
+    scene = load_scene("truck", resolution_scale=0.08, seed=0)
+    camera = scene.camera
+    print(
+        f"scene: {scene.spec.name}, {camera.width}x{camera.height} px, "
+        f"{len(scene.cloud)} Gaussians\n"
+    )
+
+    baseline = BaselineRenderer(16, BoundaryMethod.ELLIPSE)
+    gstg = GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE)
+    reference = baseline.render(scene.cloud, camera).image
+    peak = max(float(reference.max()), 1.0)
+
+    print(
+        f"{'configuration':<28}{'gaussians':>10}{'lossless':>9}"
+        f"{'sortkeys':>9}{'alpha ops':>11}{'PSNR dB':>9}{'SSIM':>7}"
+    )
+    configs = [
+        ("uncompressed", scene.cloud),
+        ("pruned 75%", prune_to_budget(scene.cloud, 0.75)),
+        ("pruned 50%", prune_to_budget(scene.cloud, 0.50)),
+        ("pruned 25%", prune_to_budget(scene.cloud, 0.25)),
+        ("quantized sh8/op8", quantize_cloud(scene.cloud)),
+        (
+            "pruned 50% + quantized",
+            quantize_cloud(prune_to_budget(scene.cloud, 0.50)),
+        ),
+    ]
+    for label, cloud in configs:
+        base = baseline.render(cloud, camera)
+        ours = gstg.render(cloud, camera)
+        lossless = np.array_equal(base.image, ours.image)
+        assert lossless, f"{label}: GS-TG must stay lossless"
+        quality_psnr = psnr(reference, ours.image, peak=peak)
+        quality_ssim = ssim(reference, ours.image, peak=peak)
+        psnr_text = "inf" if quality_psnr == float("inf") else f"{quality_psnr:.1f}"
+        print(
+            f"{label:<28}{len(cloud):>10}{str(lossless):>9}"
+            f"{ours.stats.sort.num_keys:>9}{ours.stats.raster.num_alpha_computations:>11}"
+            f"{psnr_text:>9}{quality_ssim:>7.3f}"
+        )
+
+    print(
+        "\nGS-TG is bit-identical to the baseline at every compression "
+        "level: the techniques compose, as the paper claims."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Tile-size trade-off study — the paper's Section III motivation.
+
+Profiles one scene across tile sizes with the AABB and Ellipse
+boundaries, reporting the three statistics that motivate tile grouping:
+
+* tiles per Gaussian (redundant sorting grows as tiles shrink, Fig. 5),
+* % of Gaussians shared with adjacent tiles (Table I),
+* Gaussians processed per pixel (wasted rasterization grows as tiles
+  grow, Fig. 7),
+
+plus the GPU-model stage times (Fig. 3) showing the trade-off's effect
+on frame time.
+
+Run:  python examples/tile_size_study.py [scene]
+"""
+
+import sys
+
+from repro.analysis.gpu_model import baseline_frame_times
+from repro.analysis.stats import tile_statistics
+from repro.experiments.cache import RenderCache
+from repro.tiles.boundary import BoundaryMethod
+
+
+def main(scene_name: str = "truck") -> None:
+    cache = RenderCache(resolution_scale=0.1, seed=0)
+    scene = cache.scene(scene_name)
+    print(
+        f"scene: {scene_name}, {scene.camera.width}x{scene.camera.height} px, "
+        f"{len(scene.cloud)} Gaussians\n"
+    )
+
+    for method in (BoundaryMethod.AABB, BoundaryMethod.ELLIPSE):
+        print(f"boundary: {method.value}")
+        print(
+            f"  {'tile':>5} {'tiles/G':>9} {'shared%':>9} {'G/pixel':>9}"
+            f" {'pre ms':>8} {'sort ms':>8} {'rast ms':>8} {'total':>8}"
+        )
+        for tile_size in (8, 16, 32, 64):
+            stats = tile_statistics(cache.assignment(scene_name, tile_size, method))
+            render = cache.baseline_render(scene_name, tile_size, method)
+            times = baseline_frame_times(render.stats)
+            print(
+                f"  {tile_size:>5} {stats.tiles_per_gaussian:>9.2f}"
+                f" {100 * stats.shared_fraction:>9.1f}"
+                f" {stats.gaussians_per_pixel:>9.1f}"
+                f" {times.preprocessing:>8.3f} {times.sorting:>8.3f}"
+                f" {times.rasterization:>8.3f} {times.total:>8.3f}"
+            )
+        print()
+
+    print(
+        "Trade-off: small tiles multiply sorting work (tiles/G, shared%);\n"
+        "large tiles multiply rasterization work (G/pixel).  GS-TG sorts\n"
+        "at 64x64 group granularity and rasterises at 16x16 tiles."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "truck")

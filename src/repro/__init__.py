@@ -1,0 +1,32 @@
+"""GS-TG reproduction: tile-grouping 3D Gaussian Splatting acceleration.
+
+A from-scratch Python implementation of the system described in
+"GS-TG: 3D Gaussian Splatting Accelerator with Tile Grouping for Reducing
+Redundant Sorting while Preserving Rasterization Efficiency" (DAC 2025):
+
+* ``repro.gaussians`` -- the 3D-GS scene/camera/projection substrate,
+* ``repro.tiles``     -- tiling and the AABB / OBB / Ellipse boundary tests,
+* ``repro.raster``    -- per-tile sorting, alpha math, blending, the
+  conventional baseline renderer,
+* ``repro.core``      -- the GS-TG pipeline (grouping, bitmasks, group-wise
+  sorting, tile-wise rasterization),
+* ``repro.scenes``    -- Table II dataset registry and synthetic scenes,
+* ``repro.analysis``  -- profiling statistics and the GPU timing model,
+* ``repro.hardware``  -- the cycle-level accelerator simulator, the GSCore
+  comparator model, DRAM and energy models.
+"""
+
+from repro.core import GSTGRenderer
+from repro.raster import BaselineRenderer
+from repro.scenes import load_scene
+from repro.tiles import BoundaryMethod
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BaselineRenderer",
+    "BoundaryMethod",
+    "GSTGRenderer",
+    "__version__",
+    "load_scene",
+]

@@ -1,0 +1,32 @@
+"""Analysis: profiling statistics and the GPU timing model.
+
+Reproduces the paper's motivation profiling (Section III: Figs. 3, 5, 7
+and Table I) and the GPU-side algorithm evaluation (Section VI-B:
+Figs. 11, 12, 13) from the functional simulator's operation counters.
+"""
+
+from repro.analysis.gpu_model import (
+    GPUCostModel,
+    StageTimes,
+    gstg_frame_times,
+    baseline_frame_times,
+)
+from repro.analysis.stats import (
+    TileStatistics,
+    gaussians_per_pixel,
+    shared_fraction,
+    tile_statistics,
+    tiles_per_gaussian,
+)
+
+__all__ = [
+    "GPUCostModel",
+    "StageTimes",
+    "TileStatistics",
+    "baseline_frame_times",
+    "gaussians_per_pixel",
+    "gstg_frame_times",
+    "shared_fraction",
+    "tile_statistics",
+    "tiles_per_gaussian",
+]

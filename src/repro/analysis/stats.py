@@ -1,0 +1,104 @@
+"""Tile-size profiling statistics (Section III of the paper).
+
+Three quantities drive the paper's motivation:
+
+* **tiles per Gaussian** (Fig. 5) — redundant preprocessing/sorting grows
+  as tiles shrink;
+* **fraction of Gaussians shared with adjacent tiles** (Table I) — the
+  share of sorting work that is redundant;
+* **Gaussians per pixel** (Fig. 7) — unnecessary rasterization work grows
+  as tiles grow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tiles.identify import TileAssignment
+
+
+def tiles_per_gaussian(assignment: TileAssignment) -> float:
+    """Average number of intersecting tiles per intersecting Gaussian.
+
+    Matches Fig. 5: the mean is over Gaussians that intersect at least one
+    tile (Gaussians culled into nothing do not sort anywhere).
+    """
+    counts = assignment.tiles_per_gaussian()
+    active = counts[counts > 0]
+    if active.size == 0:
+        return 0.0
+    return float(active.mean())
+
+
+def shared_fraction(assignment: TileAssignment) -> float:
+    """Fraction of Gaussians shared with adjacent tiles (Table I).
+
+    A Gaussian that intersects two or more tiles necessarily shares them
+    with its neighbours (tile footprints are contiguous), so its sorting
+    work is duplicated.  Expressed over Gaussians intersecting >= 1 tile.
+    """
+    counts = assignment.tiles_per_gaussian()
+    active = counts[counts > 0]
+    if active.size == 0:
+        return 0.0
+    return float(np.count_nonzero(active >= 2) / active.size)
+
+
+def gaussians_per_pixel(assignment: TileAssignment) -> float:
+    """Average Gaussians that must be *processed* per pixel (Fig. 7).
+
+    Every pixel of a tile must examine the tile's full sorted list (up to
+    early exit; Fig. 7 measures the list length, i.e. the alpha-computation
+    exposure), so the average is the pixel-weighted mean tile list length.
+    """
+    grid = assignment.grid
+    per_tile = assignment.gaussians_per_tile()
+    total_pixels = grid.width * grid.height
+    if total_pixels == 0:
+        return 0.0
+    weighted = 0.0
+    for tile_id in range(grid.num_tiles):
+        weighted += per_tile[tile_id] * grid.num_pixels_in_tile(tile_id)
+    return float(weighted / total_pixels)
+
+
+@dataclass(frozen=True)
+class TileStatistics:
+    """Bundle of the three Section III statistics for one configuration.
+
+    Attributes
+    ----------
+    tile_size:
+        Tile edge in pixels.
+    method:
+        Boundary method name.
+    tiles_per_gaussian:
+        Fig. 5 metric.
+    shared_fraction:
+        Table I metric (0..1).
+    gaussians_per_pixel:
+        Fig. 7 metric.
+    num_pairs:
+        Total (Gaussian, tile) pairs — the sorting workload.
+    """
+
+    tile_size: int
+    method: str
+    tiles_per_gaussian: float
+    shared_fraction: float
+    gaussians_per_pixel: float
+    num_pairs: int
+
+
+def tile_statistics(assignment: TileAssignment) -> TileStatistics:
+    """Compute all Section III statistics for one tile assignment."""
+    return TileStatistics(
+        tile_size=assignment.grid.tile_size,
+        method=assignment.method.value,
+        tiles_per_gaussian=tiles_per_gaussian(assignment),
+        shared_fraction=shared_fraction(assignment),
+        gaussians_per_pixel=gaussians_per_pixel(assignment),
+        num_pairs=assignment.num_pairs,
+    )

@@ -1,0 +1,182 @@
+"""Command-line interface: render, profile and simulate from the shell.
+
+Subcommands::
+
+    python -m repro.cli render   --scene train --out frame.ppm
+    python -m repro.cli profile  --scene truck --method ellipse
+    python -m repro.cli simulate --scene residence
+    python -m repro.cli report   --out EXPERIMENTS.md
+
+All commands are deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.stats import tile_statistics
+from repro.core.pipeline import GSTGRenderer
+from repro.experiments.cache import RenderCache
+from repro.hardware import (
+    GSCORE_CONFIG,
+    GSTG_CONFIG,
+    energy_report,
+    simulate_baseline,
+    simulate_gscore,
+    simulate_gstg,
+)
+from repro.io.ppm import write_ppm
+from repro.raster.renderer import BaselineRenderer
+from repro.scenes.datasets import SCENES
+from repro.scenes.synthetic import load_scene
+from repro.tiles.boundary import BoundaryMethod
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scene", default="playroom", choices=sorted(SCENES),
+        help="Table II scene name",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.1,
+        help="resolution scale applied to the paper's resolution",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="scene RNG seed")
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    scene = load_scene(args.scene, resolution_scale=args.scale, seed=args.seed)
+    method = BoundaryMethod(args.method)
+    if args.pipeline == "gstg":
+        renderer = GSTGRenderer(args.tile_size, args.group_size, method)
+        result = renderer.render(scene.cloud, scene.camera)
+    else:
+        result = BaselineRenderer(args.tile_size, method).render(
+            scene.cloud, scene.camera
+        )
+    peak = max(result.image.max(), 1e-9)
+    write_ppm(args.out, np.clip(result.image / peak, 0.0, 1.0))
+    print(
+        f"rendered {args.scene} ({scene.camera.width}x{scene.camera.height}) "
+        f"with {args.pipeline}/{method.value} -> {args.out}"
+    )
+    print(
+        f"pairs={result.stats.preprocess.num_pairs} "
+        f"sort_keys={result.stats.sort.num_keys} "
+        f"alpha_ops={result.stats.raster.num_alpha_computations}"
+    )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    cache = RenderCache(resolution_scale=args.scale, seed=args.seed)
+    method = BoundaryMethod(args.method)
+    print(f"{'tile':>5}{'tiles/G':>10}{'shared%':>9}{'G/pixel':>9}{'pairs':>9}")
+    for tile_size in (8, 16, 32, 64):
+        stats = tile_statistics(cache.assignment(args.scene, tile_size, method))
+        print(
+            f"{tile_size:>5}{stats.tiles_per_gaussian:>10.2f}"
+            f"{100 * stats.shared_fraction:>9.1f}"
+            f"{stats.gaussians_per_pixel:>9.1f}{stats.num_pairs:>9}"
+        )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    cache = RenderCache(resolution_scale=args.scale, seed=args.seed)
+    scene = cache.scene(args.scene)
+    w, h = scene.camera.width, scene.camera.height
+
+    base = cache.baseline_render(args.scene, args.tile_size, BoundaryMethod.ELLIPSE)
+    base_hw = simulate_baseline(base.stats, w, h)
+    base_energy = energy_report(base_hw, GSTG_CONFIG, ("PM", "GSM", "RM", "Buffer"))
+
+    obb = cache.baseline_render(args.scene, args.tile_size, BoundaryMethod.OBB)
+    gscore_hw = simulate_gscore(obb.stats, w, h)
+    gscore_energy = energy_report(gscore_hw, GSCORE_CONFIG)
+
+    ours = cache.gstg_render(
+        args.scene, args.tile_size, args.group_size,
+        BoundaryMethod.ELLIPSE, BoundaryMethod.ELLIPSE,
+    )
+    ours_hw = simulate_gstg(ours.stats, w, h)
+    ours_energy = energy_report(ours_hw, GSTG_CONFIG)
+
+    print(f"{'system':<10}{'cycles':>12}{'ms':>9}{'energy uJ':>11}{'bottleneck':>12}")
+    for name, hw, energy in (
+        ("baseline", base_hw, base_energy),
+        ("gscore", gscore_hw, gscore_energy),
+        ("gs-tg", ours_hw, ours_energy),
+    ):
+        print(
+            f"{name:<10}{hw.cycles:>12,.0f}{hw.time_ms:>9.3f}"
+            f"{energy.total_energy_j * 1e6:>11.2f}{hw.bottleneck:>12}"
+        )
+    print(
+        f"gs-tg speedup {base_hw.cycles / ours_hw.cycles:.2f}x, "
+        f"energy efficiency {ours_energy.efficiency_vs(base_energy):.2f}x"
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report
+
+    report = generate_report(resolution_scale=args.scale, seed=args.seed)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(report)
+    print(f"wrote {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="GS-TG reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    render = sub.add_parser("render", help="render one frame to a PPM file")
+    _add_common(render)
+    render.add_argument("--pipeline", choices=("baseline", "gstg"), default="gstg")
+    render.add_argument(
+        "--method", choices=[m.value for m in BoundaryMethod], default="ellipse"
+    )
+    render.add_argument("--tile-size", type=int, default=16)
+    render.add_argument("--group-size", type=int, default=64)
+    render.add_argument("--out", default="frame.ppm")
+    render.set_defaults(func=_cmd_render)
+
+    profile = sub.add_parser("profile", help="Section III tile-size statistics")
+    _add_common(profile)
+    profile.add_argument(
+        "--method", choices=[m.value for m in BoundaryMethod], default="aabb"
+    )
+    profile.set_defaults(func=_cmd_profile)
+
+    simulate = sub.add_parser("simulate", help="cycle-level accelerator comparison")
+    _add_common(simulate)
+    simulate.add_argument("--tile-size", type=int, default=16)
+    simulate.add_argument("--group-size", type=int, default=64)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    report.add_argument("--scale", type=float, default=0.125)
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--out", default="EXPERIMENTS.md")
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

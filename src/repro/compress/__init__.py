@@ -1,0 +1,20 @@
+"""Model-compression techniques from the paper's related work.
+
+The introduction positions GS-TG as orthogonal to compression approaches
+(pruning [6], quantization [6], vector grouping [4]): "it can be
+seamlessly integrated with previous 3D-GS optimization techniques".
+This subpackage implements the two simplest such techniques so that the
+claim is testable: GS-TG stays bit-lossless relative to the baseline on
+any compressed cloud, and compression composes multiplicatively with
+tile grouping's savings.
+"""
+
+from repro.compress.pruning import importance_scores, prune_by_opacity, prune_to_budget
+from repro.compress.quantization import quantize_cloud
+
+__all__ = [
+    "importance_scores",
+    "prune_by_opacity",
+    "prune_to_budget",
+    "quantize_cloud",
+]

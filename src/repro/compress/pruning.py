@@ -1,0 +1,59 @@
+"""Gaussian pruning (LightGaussian-style importance pruning).
+
+Two flavours:
+
+* :func:`prune_by_opacity` — drop Gaussians below an opacity threshold
+  (the cheap heuristic used by most pipelines);
+* :func:`prune_to_budget` — keep the top-k Gaussians ranked by an
+  importance score combining opacity and projected volume, mirroring
+  LightGaussian's global significance ranking.
+
+Pruning trained models normally requires fine-tuning to recover quality;
+here it is used to demonstrate *composition* with GS-TG, which is
+quality-neutral by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gaussians.cloud import GaussianCloud
+
+
+def importance_scores(cloud: GaussianCloud) -> np.ndarray:
+    """LightGaussian-style global significance per Gaussian.
+
+    ``opacity * volume^(1/3)`` — opaque, large Gaussians contribute most
+    to renders across views.  (The exponent tempers the volume term the
+    way LightGaussian's normalised volume clip does.)
+    """
+    volumes = np.prod(cloud.scales, axis=1)
+    return cloud.opacities * np.cbrt(volumes)
+
+
+def prune_by_opacity(cloud: GaussianCloud, threshold: float) -> GaussianCloud:
+    """Remove Gaussians with opacity strictly below ``threshold``."""
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError("threshold must lie in [0, 1]")
+    keep = cloud.opacities >= threshold
+    return cloud.subset(np.flatnonzero(keep))
+
+
+def prune_to_budget(cloud: GaussianCloud, keep_fraction: float) -> GaussianCloud:
+    """Keep the most important ``keep_fraction`` of the cloud.
+
+    Parameters
+    ----------
+    cloud:
+        The scene.
+    keep_fraction:
+        Fraction in (0, 1] of Gaussians to retain, ranked by
+        :func:`importance_scores`.
+    """
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ValueError("keep_fraction must lie in (0, 1]")
+    k = max(int(round(keep_fraction * len(cloud))), 1)
+    scores = importance_scores(cloud)
+    # Highest scores win; stable order for determinism.
+    keep = np.sort(np.argsort(-scores, kind="stable")[:k])
+    return cloud.subset(keep)

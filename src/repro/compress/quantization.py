@@ -1,0 +1,71 @@
+"""Scalar parameter quantization (beyond the FP16 of Section VI-A).
+
+Uniform min-max scalar quantization of the appearance parameters to a
+configurable bit width — the simplest of the quantization schemes the
+paper's related work applies.  Geometry (positions/scales/rotations) is
+kept at full precision by default since geometric quantization changes
+tile assignments, while appearance quantization leaves the tile pipeline
+untouched (only colours change).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gaussians.cloud import GaussianCloud
+
+
+def _quantize_array(values: np.ndarray, bits: int) -> np.ndarray:
+    """Uniform min-max quantization of an array to ``bits`` levels."""
+    levels = (1 << bits) - 1
+    lo = values.min()
+    hi = values.max()
+    if hi == lo:
+        return np.full_like(values, lo)
+    step = (hi - lo) / levels
+    codes = np.rint((values - lo) / step)
+    return lo + codes * step
+
+
+def quantize_cloud(
+    cloud: GaussianCloud,
+    sh_bits: int = 8,
+    opacity_bits: int = 8,
+    geometry_bits: "int | None" = None,
+) -> GaussianCloud:
+    """Quantize a cloud's parameters to reduced bit widths.
+
+    Parameters
+    ----------
+    cloud:
+        The scene.
+    sh_bits:
+        Bits for the SH colour coefficients.
+    opacity_bits:
+        Bits for opacities (clamped back into [0, 1]).
+    geometry_bits:
+        Optional bits for positions and scales; ``None`` keeps geometry
+        exact (the quality-safe configuration).
+    """
+    for name, bits in (("sh_bits", sh_bits), ("opacity_bits", opacity_bits)):
+        if not 1 <= bits <= 16:
+            raise ValueError(f"{name} must be in [1, 16]")
+    if geometry_bits is not None and not 4 <= geometry_bits <= 24:
+        raise ValueError("geometry_bits must be in [4, 24]")
+
+    positions = cloud.positions
+    scales = cloud.scales
+    if geometry_bits is not None:
+        positions = _quantize_array(cloud.positions, geometry_bits)
+        # Scales must remain strictly positive after quantization.
+        scales = np.maximum(
+            _quantize_array(cloud.scales, geometry_bits), 1e-9
+        )
+    opacities = np.clip(_quantize_array(cloud.opacities, opacity_bits), 0.0, 1.0)
+    return GaussianCloud(
+        positions=positions,
+        scales=scales,
+        rotations=cloud.rotations.copy(),
+        opacities=opacities,
+        sh_coeffs=_quantize_array(cloud.sh_coeffs, sh_bits),
+    )

@@ -1,0 +1,35 @@
+"""GS-TG core: the paper's tile-grouping rendering pipeline.
+
+The pipeline (Fig. 9) sorts once per *group* of tiles — as if a large tile
+size were used — and rasterises per small tile by filtering the group's
+sorted Gaussian list through per-Gaussian bitmasks:
+
+1. **Group identification** — tiles are grouped into perfectly aligned
+   squares (Fig. 8b) and Gaussians are assigned to groups with any of the
+   Fig. 2 boundary methods.
+2. **Bitmask generation** — each (Gaussian, group) pair gets a
+   ``(group/tile)^2``-bit mask (16 bits for the paper's 16+64 design)
+   marking which small tiles the Gaussian influences.
+3. **Group-wise sorting** — one depth sort per group, shared by all its
+   tiles.
+4. **Tile-wise rasterization** — each tile filters the group's sorted list
+   with ``Tile_Bitmask & Tile_Location`` and blends at the small tile size.
+"""
+
+from repro.core.bitmask import BitmaskTable, generate_bitmasks, popcount
+from repro.core.grouping import GroupGeometry, is_lossless_combination
+from repro.core.group_sort import GroupSortResult, sort_groups
+from repro.core.hierarchical import HierarchicalGSTGRenderer
+from repro.core.pipeline import GSTGRenderer
+
+__all__ = [
+    "BitmaskTable",
+    "GSTGRenderer",
+    "GroupGeometry",
+    "GroupSortResult",
+    "HierarchicalGSTGRenderer",
+    "generate_bitmasks",
+    "is_lossless_combination",
+    "popcount",
+    "sort_groups",
+]

@@ -1,0 +1,134 @@
+"""Per-Gaussian tile bitmasks (the BGM's output in hardware).
+
+For every (Gaussian, group) intersection pair, a ``tiles_per_group``-bit
+word marks which small tiles inside the group the Gaussian influences:
+bit ``i`` (LSB = slot 0) corresponds to the row-major ``i``-th tile of the
+group.  During rasterization a tile with one-hot ``Tile_Location`` selects
+Gaussians with ``Tile_Bitmask & Tile_Location != 0`` — exactly the bitwise
+AND / OR-reduce valid-flag logic of the RM block (Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.grouping import GroupGeometry
+from repro.gaussians.projection import ProjectedGaussians
+from repro.raster.stats import RenderStats
+from repro.tiles.boundary import BoundaryMethod, bounding_rect, gaussian_rect_hits
+from repro.tiles.identify import TileAssignment
+
+
+@dataclass
+class BitmaskTable:
+    """Bitmasks for every (Gaussian, group) pair of a group assignment.
+
+    Attributes
+    ----------
+    geometry:
+        The tile/group geometry the masks refer to.
+    method:
+        Boundary method used for the per-tile tests.
+    gaussian_ids, group_ids:
+        ``(k,)`` pair arrays, aligned with ``masks`` (same order as the
+        group assignment they were generated from).
+    masks:
+        ``(k,)`` unsigned integer bitmask per pair.
+    num_tile_tests:
+        Total per-tile boundary tests executed.
+    """
+
+    geometry: GroupGeometry
+    method: BoundaryMethod
+    gaussian_ids: np.ndarray
+    group_ids: np.ndarray
+    masks: np.ndarray
+    num_tile_tests: int
+
+    def __len__(self) -> int:
+        return self.masks.shape[0]
+
+    def nonempty_fraction(self) -> float:
+        """Fraction of pairs whose mask has at least one bit set."""
+        if len(self) == 0:
+            return 0.0
+        return float(np.count_nonzero(self.masks) / len(self))
+
+
+def popcount(masks: np.ndarray) -> np.ndarray:
+    """Number of set bits per mask word (vectorised)."""
+    masks = np.asarray(masks, dtype=np.uint64)
+    counts = np.zeros(masks.shape, dtype=np.int64)
+    work = masks.copy()
+    while np.any(work):
+        counts += (work & np.uint64(1)).astype(np.int64)
+        work >>= np.uint64(1)
+    return counts
+
+
+def generate_bitmasks(
+    proj: ProjectedGaussians,
+    geometry: GroupGeometry,
+    group_assignment: TileAssignment,
+    method: BoundaryMethod,
+    stats: "RenderStats | None" = None,
+) -> BitmaskTable:
+    """Generate the tile bitmask for every (Gaussian, group) pair.
+
+    For each pair emitted by group identification, the Gaussian is tested
+    (with ``method``) against every in-image tile of the group; hits set
+    the tile's slot bit.  Pairs whose mask comes out zero are kept in the
+    table — the rasterization filter naturally drops them, mirroring the
+    hardware (the BGM does not re-run group identification).
+    """
+    if group_assignment.grid.tile_size != geometry.group_size:
+        raise ValueError("group assignment grid does not match the geometry")
+
+    k = group_assignment.num_pairs
+    masks = np.zeros(k, dtype=np.uint64)
+    num_tests = 0
+
+    # Cache per-group tile rectangles and slots: groups repeat across pairs.
+    rect_cache: "dict[int, tuple[np.ndarray, np.ndarray]]" = {}
+    tg = geometry.tile_grid
+    for pair_idx in range(k):
+        gauss = int(group_assignment.gaussian_ids[pair_idx])
+        group = int(group_assignment.tile_ids[pair_idx])
+        cached = rect_cache.get(group)
+        if cached is None:
+            tiles = geometry.tiles_of_group(group)
+            cached = (tg.tile_rects(tiles), geometry.slots_of_group(group))
+            rect_cache[group] = cached
+        rects, slots = cached
+        hits = gaussian_rect_hits(proj, gauss, rects, method)
+        # GPU cost accounting: a software bitmask kernel walks the group's
+        # tile *rows* (it assembles one row of mask bits per iteration)
+        # and skips rows outside the Gaussian's bounding rectangle — rows
+        # beyond the rect cannot contain hits because the rect contains
+        # the boundary shape, so the functional result is unaffected.
+        # Every tile of a surviving row is tested.  The *hardware* BGM
+        # instead tests all tiles of the group with its fixed 4-unit
+        # pipeline; its cycle model uses num_bitmasks x bitmask_bits.
+        _, by0, _, by1 = bounding_rect(proj, gauss, method)
+        in_row_range = (rects[:, 1] <= by1) & (rects[:, 3] >= by0)
+        num_tests += int(np.count_nonzero(in_row_range))
+        if np.any(hits):
+            bits = np.sum(np.left_shift(np.uint64(1), slots[hits].astype(np.uint64)))
+            masks[pair_idx] = bits
+
+    if stats is not None:
+        stats.bitmask_tests += num_tests
+        stats.bitmask_test_cost = method.relative_test_cost
+        stats.num_bitmasks += k
+        stats.bitmask_bits = geometry.tiles_per_group
+
+    return BitmaskTable(
+        geometry=geometry,
+        method=BoundaryMethod(method),
+        gaussian_ids=group_assignment.gaussian_ids.copy(),
+        group_ids=group_assignment.tile_ids.copy(),
+        masks=masks,
+        num_tile_tests=num_tests,
+    )

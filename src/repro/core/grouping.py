@@ -1,0 +1,151 @@
+"""Tile-group geometry: perfectly aligned small tiles inside large groups.
+
+The paper's key structural requirement (Fig. 8) is that small tiles fit
+*perfectly* within each group: the group size must be an integer multiple
+of the tile size and groups must start on tile boundaries.  That alignment
+guarantees computational independence — every Gaussian affecting a small
+tile also affects its enclosing group — which is what makes group-level
+sorting lossless for tile-level rasterization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tiles.boundary import BoundaryMethod
+from repro.tiles.grid import TileGrid
+
+
+@dataclass(frozen=True)
+class GroupGeometry:
+    """Joint geometry of a tile grid and its aligned group grid.
+
+    Attributes
+    ----------
+    width, height:
+        Image resolution.
+    tile_size:
+        Small (rasterization) tile edge in pixels.
+    group_size:
+        Group (sorting) edge in pixels; must be a positive multiple of
+        ``tile_size``.
+    """
+
+    width: int
+    height: int
+    tile_size: int
+    group_size: int
+
+    def __post_init__(self) -> None:
+        if self.tile_size <= 0 or self.group_size <= 0:
+            raise ValueError("tile_size and group_size must be positive")
+        if self.group_size % self.tile_size != 0:
+            raise ValueError(
+                "group_size must be an integer multiple of tile_size "
+                f"(got {self.group_size} / {self.tile_size}); misaligned "
+                "tiles break the losslessness guarantee (Fig. 8a)"
+            )
+
+    @property
+    def tiles_per_side(self) -> int:
+        """Small tiles along one edge of a group."""
+        return self.group_size // self.tile_size
+
+    @property
+    def tiles_per_group(self) -> int:
+        """Small tiles in a full group — the bitmask width in bits."""
+        return self.tiles_per_side ** 2
+
+    @property
+    def tile_grid(self) -> TileGrid:
+        """The small-tile grid used for rasterization."""
+        return TileGrid(self.width, self.height, self.tile_size)
+
+    @property
+    def group_grid(self) -> TileGrid:
+        """The group grid used for identification and sorting."""
+        return TileGrid(self.width, self.height, self.group_size)
+
+    def local_tile_slot(self, tile_id: int, group_id: int) -> int:
+        """Row-major slot (bit position) of a tile inside a group."""
+        tg = self.tile_grid
+        gg = self.group_grid
+        tx, ty = tg.tile_coords(tile_id)
+        gx, gy = gg.tile_coords(group_id)
+        lx = tx - gx * self.tiles_per_side
+        ly = ty - gy * self.tiles_per_side
+        if not (0 <= lx < self.tiles_per_side and 0 <= ly < self.tiles_per_side):
+            raise ValueError(f"tile {tile_id} is not inside group {group_id}")
+        return ly * self.tiles_per_side + lx
+
+    def group_of_tile(self, tile_id: int) -> int:
+        """Group id containing a tile (alignment makes this unique)."""
+        tg = self.tile_grid
+        gg = self.group_grid
+        tx, ty = tg.tile_coords(tile_id)
+        return gg.tile_id(tx // self.tiles_per_side, ty // self.tiles_per_side)
+
+    def tiles_of_group(self, group_id: int) -> np.ndarray:
+        """In-image tile ids of a group, ordered by local slot (row-major).
+
+        Edge groups clipped by the image report fewer than
+        ``tiles_per_group`` tiles; their missing slots are simply absent.
+        """
+        gg = self.group_grid
+        tg = self.tile_grid
+        gx, gy = gg.tile_coords(group_id)
+        tiles = []
+        for ly in range(self.tiles_per_side):
+            ty = gy * self.tiles_per_side + ly
+            if ty >= tg.tiles_y:
+                continue
+            for lx in range(self.tiles_per_side):
+                tx = gx * self.tiles_per_side + lx
+                if tx >= tg.tiles_x:
+                    continue
+                tiles.append(tg.tile_id(tx, ty))
+        return np.asarray(tiles, dtype=np.int64)
+
+    def slots_of_group(self, group_id: int) -> np.ndarray:
+        """Local slots matching :meth:`tiles_of_group` (same order)."""
+        gg = self.group_grid
+        tg = self.tile_grid
+        gx, gy = gg.tile_coords(group_id)
+        slots = []
+        for ly in range(self.tiles_per_side):
+            if gy * self.tiles_per_side + ly >= tg.tiles_y:
+                continue
+            for lx in range(self.tiles_per_side):
+                if gx * self.tiles_per_side + lx >= tg.tiles_x:
+                    continue
+                slots.append(ly * self.tiles_per_side + lx)
+        return np.asarray(slots, dtype=np.int64)
+
+
+#: Shape-containment partial order between boundary methods: method A
+#: contains method B when A's boundary shape is a superset of B's for any
+#: Gaussian.  The 3-sigma ellipse is contained in both its oriented box and
+#: its circumscribed axis-aligned square; AABB and OBB do not contain each
+#: other (a rotated box's corners can exceed the square and vice versa).
+_CONTAINS = {
+    (BoundaryMethod.AABB, BoundaryMethod.AABB),
+    (BoundaryMethod.OBB, BoundaryMethod.OBB),
+    (BoundaryMethod.ELLIPSE, BoundaryMethod.ELLIPSE),
+    (BoundaryMethod.AABB, BoundaryMethod.ELLIPSE),
+    (BoundaryMethod.OBB, BoundaryMethod.ELLIPSE),
+}
+
+
+def is_lossless_combination(
+    group_method: BoundaryMethod, bitmask_method: BoundaryMethod
+) -> bool:
+    """Is GS-TG bit-identical to the baseline using ``bitmask_method``?
+
+    True when the group-identification shape contains the bitmask shape:
+    then every Gaussian the baseline would assign to a tile is guaranteed
+    to reach that tile's group, so filtering the group-sorted list by the
+    bitmask reproduces the baseline's per-tile list exactly.
+    """
+    return (BoundaryMethod(group_method), BoundaryMethod(bitmask_method)) in _CONTAINS

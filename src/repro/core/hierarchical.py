@@ -1,0 +1,212 @@
+"""Hierarchical (two-level) tile grouping — a future-work extension.
+
+GS-TG sorts once per group and filters per tile.  The same argument
+nests: sort once per *supergroup*, filter to groups with a group-level
+bitmask, then filter to tiles with the tile-level bitmask.  The paper's
+conclusion invites exactly this kind of "further hardware-software
+co-design" exploration; this module implements it so the trade-off can
+be measured rather than speculated:
+
+* sorting shrinks further (supergroup keys <= group keys), but
+* bitmask generation grows (two mask levels), and
+* the rasterization filter reads two mask words per Gaussian.
+
+Losslessness is preserved by the same containment argument as the
+single-level pipeline (perfect alignment at both levels), enforced by
+tests.  The ablation benchmark quantifies when — if ever — the second
+level pays for itself, empirically justifying the paper's single-level
+16+64 design point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bitmask import generate_bitmasks
+from repro.core.group_sort import sort_groups
+from repro.core.grouping import GroupGeometry
+from repro.gaussians.camera import Camera
+from repro.gaussians.cloud import GaussianCloud
+from repro.gaussians.projection import project
+from repro.raster.blend import blend_tile
+from repro.raster.renderer import RenderResult
+from repro.raster.stats import RenderStats
+from repro.tiles.boundary import BoundaryMethod
+from repro.tiles.identify import TileAssignment, identify_tiles
+
+
+class HierarchicalGSTGRenderer:
+    """Two-level tile-grouping renderer: tile < group < supergroup.
+
+    Parameters
+    ----------
+    tile_size:
+        Rasterization tile edge (pixels).
+    group_size:
+        Middle level; integer multiple of ``tile_size``.
+    super_size:
+        Sorting level; integer multiple of ``group_size``.
+    method:
+        Boundary method used at every level (identical levels keep the
+        losslessness proof immediate).
+    """
+
+    def __init__(
+        self,
+        tile_size: int = 16,
+        group_size: int = 64,
+        super_size: int = 128,
+        method: BoundaryMethod = BoundaryMethod.ELLIPSE,
+    ) -> None:
+        if group_size % tile_size != 0:
+            raise ValueError("group_size must be a multiple of tile_size")
+        if super_size % group_size != 0:
+            raise ValueError("super_size must be a multiple of group_size")
+        self.tile_size = tile_size
+        self.group_size = group_size
+        self.super_size = super_size
+        self.method = BoundaryMethod(method)
+
+    def render(self, cloud: GaussianCloud, camera: Camera) -> RenderResult:
+        """Render one frame through the two-level pipeline."""
+        # Level geometries: groups inside supergroups, tiles inside groups.
+        super_geometry = GroupGeometry(
+            width=camera.width,
+            height=camera.height,
+            tile_size=self.group_size,
+            group_size=self.super_size,
+        )
+        tile_geometry = GroupGeometry(
+            width=camera.width,
+            height=camera.height,
+            tile_size=self.tile_size,
+            group_size=self.group_size,
+        )
+        proj = project(cloud, camera)
+
+        # Step 1: supergroup identification.
+        super_assignment = identify_tiles(
+            proj, super_geometry.group_grid, self.method
+        )
+
+        stats = RenderStats()
+        stats.preprocess.num_input_gaussians = len(cloud)
+        stats.preprocess.num_visible_gaussians = len(proj)
+        stats.preprocess.num_candidate_tiles = super_assignment.num_candidate_tiles
+        stats.preprocess.num_boundary_tests = super_assignment.num_boundary_tests
+        stats.preprocess.boundary_test_cost = self.method.relative_test_cost
+        stats.preprocess.num_pairs = super_assignment.num_pairs
+
+        # Step 2a: group-level bitmasks within each supergroup.
+        group_table = generate_bitmasks(
+            proj, super_geometry, super_assignment, self.method, stats
+        )
+
+        # Step 2b: expand set bits into (Gaussian, group) pairs, then
+        # generate tile-level bitmasks for those pairs.
+        pair_gaussians, pair_groups = self._expand_group_pairs(
+            group_table, super_geometry
+        )
+        group_assignment = TileAssignment(
+            grid=tile_geometry.group_grid,
+            method=self.method,
+            gaussian_ids=pair_gaussians,
+            tile_ids=pair_groups,
+            num_gaussians=len(proj),
+        )
+        tile_table = generate_bitmasks(
+            proj, tile_geometry, group_assignment, self.method, stats
+        )
+
+        # Step 3: one sort per *supergroup*, with the group-level masks
+        # carried alongside (the tile-level masks are joined per group
+        # during rasterization).
+        super_sort = sort_groups(
+            proj,
+            group_table.gaussian_ids,
+            group_table.group_ids,
+            group_table.masks,
+            stats.sort,
+        )
+
+        # Index tile-level masks by (gaussian, group) for the join.
+        tile_mask_index: "dict[tuple[int, int], np.uint64]" = {
+            (int(g), int(grp)): mask
+            for g, grp, mask in zip(
+                tile_table.gaussian_ids, tile_table.group_ids, tile_table.masks
+            )
+        }
+
+        image = np.zeros((camera.height, camera.width, 3), dtype=np.float64)
+        tile_grid = tile_geometry.tile_grid
+        for pos, super_id in enumerate(super_sort.group_ids):
+            sorted_gauss = super_sort.sorted_gaussians[pos]
+            sorted_group_masks = super_sort.sorted_masks[pos]
+            groups = super_geometry.tiles_of_group(int(super_id))
+            group_slots = super_geometry.slots_of_group(int(super_id))
+            for group_id, group_slot in zip(groups, group_slots):
+                location = np.uint64(1) << np.uint64(group_slot)
+                stats.num_filter_checks += sorted_group_masks.shape[0]
+                valid = (sorted_group_masks & location) != 0
+                group_gaussians = sorted_gauss[valid]
+                if group_gaussians.size == 0:
+                    continue
+                tile_masks = np.array(
+                    [
+                        tile_mask_index.get((int(g), int(group_id)), np.uint64(0))
+                        for g in group_gaussians
+                    ],
+                    dtype=np.uint64,
+                )
+                tiles = tile_geometry.tiles_of_group(int(group_id))
+                slots = tile_geometry.slots_of_group(int(group_id))
+                for tile_id, slot in zip(tiles, slots):
+                    tile_location = np.uint64(1) << np.uint64(slot)
+                    stats.num_filter_checks += tile_masks.shape[0]
+                    tile_valid = (tile_masks & tile_location) != 0
+                    tile_gaussians = group_gaussians[tile_valid]
+                    if tile_gaussians.size == 0:
+                        continue
+                    px, py = tile_grid.tile_pixels(int(tile_id))
+                    before = stats.raster.num_alpha_computations
+                    result = blend_tile(
+                        proj, tile_gaussians, px, py, stats.raster
+                    )
+                    stats.per_tile_alpha[int(tile_id)] = (
+                        stats.raster.num_alpha_computations - before
+                    )
+                    x0, y0, x1, y1 = (
+                        int(v) for v in tile_grid.tile_rect(int(tile_id))
+                    )
+                    image[y0:y1, x0:x1] = result.color
+
+        return RenderResult(
+            image=image,
+            stats=stats,
+            projected=proj,
+            assignment=super_assignment,
+        )
+
+    @staticmethod
+    def _expand_group_pairs(
+        group_table, super_geometry: GroupGeometry
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Turn set bits of the group-level masks into (Gaussian, group)
+        pairs, ordered by pair then slot (deterministic)."""
+        gaussians = []
+        groups = []
+        for g, super_id, mask in zip(
+            group_table.gaussian_ids, group_table.group_ids, group_table.masks
+        ):
+            if mask == 0:
+                continue
+            group_ids = super_geometry.tiles_of_group(int(super_id))
+            slots = super_geometry.slots_of_group(int(super_id))
+            for group_id, slot in zip(group_ids, slots):
+                if mask & (np.uint64(1) << np.uint64(slot)):
+                    gaussians.append(int(g))
+                    groups.append(int(group_id))
+        return (
+            np.asarray(gaussians, dtype=np.int64),
+            np.asarray(groups, dtype=np.int64),
+        )

@@ -1,0 +1,105 @@
+"""In-process cache of scenes and rendered frames.
+
+Experiment sweeps revisit the same (scene, renderer) configurations —
+e.g. the baseline at 16x16/ellipse appears in Figs. 3, 12, 13 and 14 —
+so a process-wide memo keeps each functional render to exactly one
+execution.  Everything cached is deterministic (seeded scenes, pure
+renderers), so caching cannot change results.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import GSTGRenderer
+from repro.gaussians.projection import ProjectedGaussians, project
+from repro.raster.renderer import BaselineRenderer, RenderResult
+from repro.scenes.synthetic import Scene, load_scene
+from repro.tiles.boundary import BoundaryMethod
+from repro.tiles.grid import TileGrid
+from repro.tiles.identify import TileAssignment, identify_tiles
+
+
+class RenderCache:
+    """Memoises scenes, projections, tile assignments and renders.
+
+    Parameters
+    ----------
+    resolution_scale:
+        Factor applied to Table II resolutions for every scene.
+    seed:
+        Scene synthesis seed.
+    """
+
+    def __init__(self, resolution_scale: float = 0.125, seed: int = 0) -> None:
+        self.resolution_scale = resolution_scale
+        self.seed = seed
+        self._scenes: "dict[str, Scene]" = {}
+        self._projections: "dict[str, ProjectedGaussians]" = {}
+        self._assignments: "dict[tuple, TileAssignment]" = {}
+        self._baseline: "dict[tuple, RenderResult]" = {}
+        self._gstg: "dict[tuple, RenderResult]" = {}
+
+    def scene(self, name: str) -> Scene:
+        """The synthetic scene for a Table II entry."""
+        if name not in self._scenes:
+            self._scenes[name] = load_scene(
+                name, resolution_scale=self.resolution_scale, seed=self.seed
+            )
+        return self._scenes[name]
+
+    def projection(self, name: str) -> ProjectedGaussians:
+        """Culled + projected Gaussians for the scene's camera."""
+        if name not in self._projections:
+            scene = self.scene(name)
+            self._projections[name] = project(scene.cloud, scene.camera)
+        return self._projections[name]
+
+    def assignment(
+        self, name: str, tile_size: int, method: BoundaryMethod
+    ) -> TileAssignment:
+        """Tile identification only (enough for the Section III stats)."""
+        key = (name, tile_size, BoundaryMethod(method))
+        if key not in self._assignments:
+            scene = self.scene(name)
+            grid = TileGrid(scene.camera.width, scene.camera.height, tile_size)
+            self._assignments[key] = identify_tiles(
+                self.projection(name), grid, method
+            )
+        return self._assignments[key]
+
+    def baseline_render(
+        self, name: str, tile_size: int, method: BoundaryMethod
+    ) -> RenderResult:
+        """Full conventional-pipeline render."""
+        key = (name, tile_size, BoundaryMethod(method))
+        if key not in self._baseline:
+            scene = self.scene(name)
+            renderer = BaselineRenderer(tile_size=tile_size, method=method)
+            self._baseline[key] = renderer.render(scene.cloud, scene.camera)
+        return self._baseline[key]
+
+    def gstg_render(
+        self,
+        name: str,
+        tile_size: int,
+        group_size: int,
+        group_method: BoundaryMethod,
+        bitmask_method: BoundaryMethod,
+    ) -> RenderResult:
+        """Full GS-TG render."""
+        key = (
+            name,
+            tile_size,
+            group_size,
+            BoundaryMethod(group_method),
+            BoundaryMethod(bitmask_method),
+        )
+        if key not in self._gstg:
+            scene = self.scene(name)
+            renderer = GSTGRenderer(
+                tile_size=tile_size,
+                group_size=group_size,
+                group_method=group_method,
+                bitmask_method=bitmask_method,
+            )
+            self._gstg[key] = renderer.render(scene.cloud, scene.camera)
+        return self._gstg[key]

@@ -1,0 +1,75 @@
+"""Fig. 3: GPU runtime breakdown across tile sizes.
+
+Renders every (scene, boundary, tile size) configuration through the
+baseline pipeline and converts the measured operation counts into stage
+milliseconds with the GPU timing model.  The reproduced shape: larger
+tiles shrink preprocessing and sorting, smaller tiles shrink
+rasterization, and the total is typically minimised at 16x16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.gpu_model import GPUCostModel, baseline_frame_times
+from repro.experiments.cache import RenderCache
+from repro.experiments.profiling import PROFILING_TILE_SIZES
+from repro.scenes.datasets import PROFILING_SCENES
+from repro.tiles.boundary import BoundaryMethod
+
+
+@dataclass(frozen=True)
+class Fig3Row:
+    """One bar of Fig. 3.
+
+    Attributes
+    ----------
+    scene, method, tile_size:
+        Configuration.
+    preprocessing_ms, sorting_ms, rasterization_ms:
+        Stage times from the GPU model.
+    total_ms:
+        Frame total.
+    """
+
+    scene: str
+    method: str
+    tile_size: int
+    preprocessing_ms: float
+    sorting_ms: float
+    rasterization_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        return self.preprocessing_ms + self.sorting_ms + self.rasterization_ms
+
+
+def run_fig3(
+    cache: "RenderCache | None" = None,
+    scenes: "tuple[str, ...]" = PROFILING_SCENES,
+    methods: "tuple[BoundaryMethod, ...]" = (
+        BoundaryMethod.AABB,
+        BoundaryMethod.ELLIPSE,
+    ),
+    tile_sizes: "tuple[int, ...]" = PROFILING_TILE_SIZES,
+    model: "GPUCostModel | None" = None,
+) -> "list[Fig3Row]":
+    """Compute the Fig. 3 runtime breakdown rows."""
+    cache = cache or RenderCache()
+    rows = []
+    for scene in scenes:
+        for method in methods:
+            for tile_size in tile_sizes:
+                result = cache.baseline_render(scene, tile_size, method)
+                times = baseline_frame_times(result.stats, model)
+                rows.append(
+                    Fig3Row(
+                        scene=scene,
+                        method=method.value,
+                        tile_size=tile_size,
+                        preprocessing_ms=times.preprocessing,
+                        sorting_ms=times.sorting,
+                        rasterization_ms=times.rasterization,
+                    )
+                )
+    return rows

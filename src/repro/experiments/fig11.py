@@ -1,0 +1,87 @@
+"""Fig. 11: GPU speedup of GS-TG across tile+group size combinations.
+
+Sweeps the paper's five combinations (8+16, 8+32, 8+64, 16+32, 16+64) on
+the four profiling scenes with the Ellipse boundary (the configuration
+the paper adopts), normalising every GS-TG total frame time to the same
+reference: the conventional baseline at the default 16x16 tile size.
+The paper's finding: 16+64 is the best design point in most cases (small
+tiles pay for much wider bitmasks; small groups barely cut sorting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.gpu_model import (
+    GPUCostModel,
+    baseline_frame_times,
+    gstg_frame_times,
+)
+from repro.experiments.cache import RenderCache
+from repro.scenes.datasets import PROFILING_SCENES
+from repro.tiles.boundary import BoundaryMethod
+
+#: The paper's (tile, group) combinations, labelled "tile+group".
+FIG11_COMBOS = ((8, 16), (8, 32), (8, 64), (16, 32), (16, 64))
+
+
+@dataclass(frozen=True)
+class Fig11Row:
+    """One bar of Fig. 11.
+
+    Attributes
+    ----------
+    scene:
+        Scene name.
+    tile_size, group_size:
+        The combination ("8+16" means tile 8x8, group 16x16).
+    baseline_ms:
+        Reference frame time: the conventional baseline at 16x16.
+    gstg_ms:
+        GS-TG frame time.
+    speedup:
+        ``baseline_ms / gstg_ms``.
+    """
+
+    scene: str
+    tile_size: int
+    group_size: int
+    baseline_ms: float
+    gstg_ms: float
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_ms / self.gstg_ms
+
+    @property
+    def label(self) -> str:
+        """Paper-style x-axis label, e.g. "16+64"."""
+        return f"{self.tile_size}+{self.group_size}"
+
+
+def run_fig11(
+    cache: "RenderCache | None" = None,
+    scenes: "tuple[str, ...]" = PROFILING_SCENES,
+    combos: "tuple[tuple[int, int], ...]" = FIG11_COMBOS,
+    method: BoundaryMethod = BoundaryMethod.ELLIPSE,
+    model: "GPUCostModel | None" = None,
+) -> "list[Fig11Row]":
+    """Compute the Fig. 11 group-size sweep rows."""
+    cache = cache or RenderCache()
+    rows = []
+    for scene in scenes:
+        base = cache.baseline_render(scene, 16, method)
+        base_ms = baseline_frame_times(base.stats, model).total
+        for tile_size, group_size in combos:
+            ours = cache.gstg_render(scene, tile_size, group_size, method, method)
+            ours_ms = gstg_frame_times(ours.stats, model).total
+            rows.append(
+                Fig11Row(
+                    scene=scene,
+                    tile_size=tile_size,
+                    group_size=group_size,
+                    baseline_ms=base_ms,
+                    gstg_ms=ours_ms,
+                )
+            )
+    return rows

@@ -1,0 +1,101 @@
+"""Fig. 12: GPU speedup of GS-TG for boundary-method combinations.
+
+For each scene, the baseline runs the conventional pipeline at 16x16 with
+AABB / OBB / Ellipse tile identification; GS-TG (16+64) runs every
+(group method, bitmask method) combination.  All speedups are normalised
+to the AABB baseline, matching the paper's normalisation.
+
+The paper's three findings, which the reproduction must preserve:
+(1) Ellipse+Ellipse beats every baseline, (2) at matched boundaries GS-TG
+beats its baseline, and (3) tile grouping composes with any boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.gpu_model import (
+    GPUCostModel,
+    baseline_frame_times,
+    gstg_frame_times,
+)
+from repro.experiments.cache import RenderCache
+from repro.scenes.datasets import PROFILING_SCENES
+from repro.tiles.boundary import BoundaryMethod
+
+#: The paper's adopted design point for this figure.
+FIG12_TILE, FIG12_GROUP = 16, 64
+
+
+@dataclass(frozen=True)
+class Fig12Row:
+    """One bar of Fig. 12.
+
+    Attributes
+    ----------
+    scene:
+        Scene name.
+    kind:
+        "baseline" or "gstg".
+    group_method:
+        Group-identification boundary; for baselines, the tile boundary.
+    bitmask_method:
+        Bitmask-generation boundary (None for baselines).
+    frame_ms:
+        GPU-model frame time.
+    speedup_vs_aabb:
+        Frame-time ratio against the scene's AABB baseline.
+    """
+
+    scene: str
+    kind: str
+    group_method: str
+    bitmask_method: "str | None"
+    frame_ms: float
+    speedup_vs_aabb: float
+
+
+def run_fig12(
+    cache: "RenderCache | None" = None,
+    scenes: "tuple[str, ...]" = PROFILING_SCENES,
+    model: "GPUCostModel | None" = None,
+) -> "list[Fig12Row]":
+    """Compute every bar of Fig. 12."""
+    cache = cache or RenderCache()
+    methods = (BoundaryMethod.AABB, BoundaryMethod.OBB, BoundaryMethod.ELLIPSE)
+    rows = []
+    for scene in scenes:
+        base_ms = {}
+        for method in methods:
+            result = cache.baseline_render(scene, FIG12_TILE, method)
+            base_ms[method] = baseline_frame_times(result.stats, model).total
+        reference = base_ms[BoundaryMethod.AABB]
+
+        for method in methods:
+            rows.append(
+                Fig12Row(
+                    scene=scene,
+                    kind="baseline",
+                    group_method=method.value,
+                    bitmask_method=None,
+                    frame_ms=base_ms[method],
+                    speedup_vs_aabb=reference / base_ms[method],
+                )
+            )
+        for group_method in methods:
+            for bitmask_method in methods:
+                result = cache.gstg_render(
+                    scene, FIG12_TILE, FIG12_GROUP, group_method, bitmask_method
+                )
+                ms = gstg_frame_times(result.stats, model).total
+                rows.append(
+                    Fig12Row(
+                        scene=scene,
+                        kind="gstg",
+                        group_method=group_method.value,
+                        bitmask_method=bitmask_method.value,
+                        frame_ms=ms,
+                        speedup_vs_aabb=reference / ms,
+                    )
+                )
+    return rows

@@ -1,0 +1,80 @@
+"""Fig. 13: stage-wise runtime breakdown for the Train scene.
+
+Compares the Ellipse baseline at 16x16 / 32x32 / 64x64 against GS-TG
+(16+64, Ellipse+Ellipse) on the GPU model.  The reproduced shape:
+GS-TG's sorting time tracks the 64x64 baseline (group-level sorting)
+while its rasterization tracks the 16x16 baseline (tile-level raster);
+its preprocessing exceeds the baseline's on a GPU because bitmask
+generation cannot overlap group sorting there (Section VI-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.gpu_model import (
+    GPUCostModel,
+    baseline_frame_times,
+    gstg_frame_times,
+)
+from repro.experiments.cache import RenderCache
+from repro.tiles.boundary import BoundaryMethod
+
+FIG13_SCENE = "train"
+FIG13_BASELINE_TILES = (16, 32, 64)
+
+
+@dataclass(frozen=True)
+class Fig13Row:
+    """One bar group of Fig. 13.
+
+    Attributes
+    ----------
+    config:
+        "16x16", "32x32", "64x64" or "ours".
+    preprocessing_ms, sorting_ms, rasterization_ms:
+        Stage times from the GPU model.
+    """
+
+    config: str
+    preprocessing_ms: float
+    sorting_ms: float
+    rasterization_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        return self.preprocessing_ms + self.sorting_ms + self.rasterization_ms
+
+
+def run_fig13(
+    cache: "RenderCache | None" = None,
+    scene: str = FIG13_SCENE,
+    model: "GPUCostModel | None" = None,
+) -> "list[Fig13Row]":
+    """Compute the Fig. 13 stage breakdown rows."""
+    cache = cache or RenderCache()
+    rows = []
+    for tile_size in FIG13_BASELINE_TILES:
+        result = cache.baseline_render(scene, tile_size, BoundaryMethod.ELLIPSE)
+        times = baseline_frame_times(result.stats, model)
+        rows.append(
+            Fig13Row(
+                config=f"{tile_size}x{tile_size}",
+                preprocessing_ms=times.preprocessing,
+                sorting_ms=times.sorting,
+                rasterization_ms=times.rasterization,
+            )
+        )
+    ours = cache.gstg_render(
+        scene, 16, 64, BoundaryMethod.ELLIPSE, BoundaryMethod.ELLIPSE
+    )
+    times = gstg_frame_times(ours.stats, model)
+    rows.append(
+        Fig13Row(
+            config="ours",
+            preprocessing_ms=times.preprocessing,
+            sorting_ms=times.sorting,
+            rasterization_ms=times.rasterization,
+        )
+    )
+    return rows

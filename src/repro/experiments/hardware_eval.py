@@ -1,0 +1,131 @@
+"""Figs. 14 and 15: accelerator speedup and energy efficiency.
+
+For each of the six Table II scenes, three systems are simulated at the
+cycle level:
+
+* **baseline** — the conventional per-tile pipeline (Ellipse boundary,
+  16x16 tiles) running on the GS-TG datapath, the paper's Fig. 14 anchor;
+* **GSCore**  — the OBB + subtile-skipping comparator;
+* **GS-TG**   — the tile-grouping pipeline (16+64, Ellipse+Ellipse).
+
+Speedups and energy efficiencies are normalised to the baseline, exactly
+as in the paper's figures.  The paper's headline shapes: GS-TG beats the
+baseline everywhere (geomean 1.33x, max 1.58x on the high-resolution
+residence scene), beats GSCore by up to 1.54x, and its energy-efficiency
+gain (geomean 2.12x, max 2.97x) exceeds its speedup because DRAM traffic
+shrinks faster than runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.cache import RenderCache
+from repro.hardware.config import GSCORE_CONFIG, GSTG_CONFIG
+from repro.hardware.energy import energy_report
+from repro.hardware.gscore import simulate_gscore
+from repro.hardware.simulator import simulate_baseline, simulate_gstg
+from repro.scenes.datasets import HARDWARE_SCENES
+from repro.tiles.boundary import BoundaryMethod
+
+#: Modules active when the conventional pipeline runs on the GS-TG
+#: datapath: the BGM sits idle and is excluded from its energy.
+BASELINE_ACTIVE_MODULES = ("PM", "GSM", "RM", "Buffer")
+
+
+@dataclass(frozen=True)
+class HardwareRow:
+    """Per-scene results for Figs. 14 and 15.
+
+    Attributes
+    ----------
+    scene:
+        Scene name.
+    baseline_ms, gscore_ms, gstg_ms:
+        Simulated frame times.
+    baseline_uj, gscore_uj, gstg_uj:
+        Simulated frame energies (microjoules).
+    gstg_speedup, gscore_speedup:
+        Frame-time ratios vs the baseline (Fig. 14 bars).
+    gstg_efficiency, gscore_efficiency:
+        Energy ratios vs the baseline (Fig. 15 bars).
+    """
+
+    scene: str
+    baseline_ms: float
+    gscore_ms: float
+    gstg_ms: float
+    baseline_uj: float
+    gscore_uj: float
+    gstg_uj: float
+
+    @property
+    def gstg_speedup(self) -> float:
+        return self.baseline_ms / self.gstg_ms
+
+    @property
+    def gscore_speedup(self) -> float:
+        return self.baseline_ms / self.gscore_ms
+
+    @property
+    def gstg_efficiency(self) -> float:
+        return self.baseline_uj / self.gstg_uj
+
+    @property
+    def gscore_efficiency(self) -> float:
+        return self.baseline_uj / self.gscore_uj
+
+
+def run_hardware_eval(
+    cache: "RenderCache | None" = None,
+    scenes: "tuple[str, ...]" = HARDWARE_SCENES,
+    tile_size: int = 16,
+    group_size: int = 64,
+) -> "list[HardwareRow]":
+    """Simulate all three systems on every scene."""
+    cache = cache or RenderCache()
+    rows = []
+    for scene_name in scenes:
+        scene = cache.scene(scene_name)
+        width, height = scene.camera.width, scene.camera.height
+
+        base = cache.baseline_render(scene_name, tile_size, BoundaryMethod.ELLIPSE)
+        base_hw = simulate_baseline(base.stats, width, height, GSTG_CONFIG)
+        base_energy = energy_report(base_hw, GSTG_CONFIG, BASELINE_ACTIVE_MODULES)
+
+        obb = cache.baseline_render(scene_name, tile_size, BoundaryMethod.OBB)
+        gscore_hw = simulate_gscore(obb.stats, width, height, GSCORE_CONFIG)
+        gscore_energy = energy_report(gscore_hw, GSCORE_CONFIG)
+
+        ours = cache.gstg_render(
+            scene_name,
+            tile_size,
+            group_size,
+            BoundaryMethod.ELLIPSE,
+            BoundaryMethod.ELLIPSE,
+        )
+        ours_hw = simulate_gstg(ours.stats, width, height, GSTG_CONFIG)
+        ours_energy = energy_report(ours_hw, GSTG_CONFIG)
+
+        rows.append(
+            HardwareRow(
+                scene=scene_name,
+                baseline_ms=base_hw.time_ms,
+                gscore_ms=gscore_hw.time_ms,
+                gstg_ms=ours_hw.time_ms,
+                baseline_uj=base_energy.total_energy_j * 1e6,
+                gscore_uj=gscore_energy.total_energy_j * 1e6,
+                gstg_uj=ours_energy.total_energy_j * 1e6,
+            )
+        )
+    return rows
+
+
+def geomean(values: "list[float]") -> float:
+    """Geometric mean, as used by the paper's summary numbers."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0 or np.any(arr <= 0):
+        raise ValueError("geomean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))

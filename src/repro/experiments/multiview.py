@@ -1,0 +1,82 @@
+"""Multi-view evaluation: Fig. 14 robustness across test views.
+
+The paper simulates pre-trained models over the held-out test views of
+each scene.  This driver renders an orbit trajectory's test split
+(every-Nth convention from Table II), runs the cycle-level accelerator
+on every view, and reports the per-view speedup distribution — checking
+that GS-TG's advantage is a property of the workload, not of one lucky
+camera pose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import GSTGRenderer
+from repro.hardware.config import GSTG_CONFIG
+from repro.hardware.simulator import simulate_baseline, simulate_gstg
+from repro.raster.renderer import BaselineRenderer
+from repro.scenes.synthetic import load_scene
+from repro.scenes.trajectory import make_view_set
+from repro.tiles.boundary import BoundaryMethod
+
+
+@dataclass(frozen=True)
+class ViewRow:
+    """Accelerator results for one test view.
+
+    Attributes
+    ----------
+    scene:
+        Scene name.
+    view_index:
+        Index within the orbit trajectory.
+    baseline_ms, gstg_ms:
+        Simulated frame times.
+    lossless:
+        Whether the two pipelines' images were bit-identical.
+    """
+
+    scene: str
+    view_index: int
+    baseline_ms: float
+    gstg_ms: float
+    lossless: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_ms / self.gstg_ms
+
+
+def run_multiview(
+    scene_name: str,
+    num_views: int = 24,
+    resolution_scale: float = 0.1,
+    seed: int = 0,
+    tile_size: int = 16,
+    group_size: int = 64,
+) -> "list[ViewRow]":
+    """Evaluate both pipelines on a trajectory's test views."""
+    scene = load_scene(scene_name, resolution_scale=resolution_scale, seed=seed)
+    views = make_view_set(scene, num_views)
+    baseline = BaselineRenderer(tile_size, BoundaryMethod.ELLIPSE)
+    gstg = GSTGRenderer(tile_size, group_size, BoundaryMethod.ELLIPSE)
+
+    rows = []
+    for index in views.test_indices:
+        camera = views.cameras[index]
+        base = baseline.render(scene.cloud, camera)
+        ours = gstg.render(scene.cloud, camera)
+        w, h = camera.width, camera.height
+        rows.append(
+            ViewRow(
+                scene=scene_name,
+                view_index=index,
+                baseline_ms=simulate_baseline(base.stats, w, h, GSTG_CONFIG).time_ms,
+                gstg_ms=simulate_gstg(ours.stats, w, h, GSTG_CONFIG).time_ms,
+                lossless=bool(np.array_equal(base.image, ours.image)),
+            )
+        )
+    return rows

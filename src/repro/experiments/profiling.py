@@ -1,0 +1,82 @@
+"""Section III profiling sweep: Figs. 5, 7 and Table I in one pass.
+
+For each (scene, boundary method, tile size) the sweep runs tile
+identification and extracts the three statistics of
+``repro.analysis.stats``.  Figs. 5/7 plot the tiles-per-Gaussian and
+Gaussians-per-pixel columns; Table I is the shared-fraction column as a
+percentage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.stats import tile_statistics
+from repro.experiments.cache import RenderCache
+from repro.scenes.datasets import PROFILING_SCENES
+from repro.tiles.boundary import BoundaryMethod
+
+#: Tile sizes profiled throughout Section III.
+PROFILING_TILE_SIZES = (8, 16, 32, 64)
+
+
+@dataclass(frozen=True)
+class ProfilingRow:
+    """One (scene, method, tile size) cell of the Section III sweep.
+
+    Attributes
+    ----------
+    scene:
+        Scene name.
+    method:
+        Boundary method name.
+    tile_size:
+        Tile edge in pixels.
+    tiles_per_gaussian:
+        Fig. 5 metric.
+    shared_percent:
+        Table I metric, in percent.
+    gaussians_per_pixel:
+        Fig. 7 metric.
+    num_pairs:
+        Total (Gaussian, tile) pairs at this configuration.
+    """
+
+    scene: str
+    method: str
+    tile_size: int
+    tiles_per_gaussian: float
+    shared_percent: float
+    gaussians_per_pixel: float
+    num_pairs: int
+
+
+def run_profiling_sweep(
+    cache: "RenderCache | None" = None,
+    scenes: "tuple[str, ...]" = PROFILING_SCENES,
+    methods: "tuple[BoundaryMethod, ...]" = (
+        BoundaryMethod.AABB,
+        BoundaryMethod.ELLIPSE,
+    ),
+    tile_sizes: "tuple[int, ...]" = PROFILING_TILE_SIZES,
+) -> "list[ProfilingRow]":
+    """Run the full Section III profiling sweep."""
+    cache = cache or RenderCache()
+    rows = []
+    for scene in scenes:
+        for method in methods:
+            for tile_size in tile_sizes:
+                assignment = cache.assignment(scene, tile_size, method)
+                stats = tile_statistics(assignment)
+                rows.append(
+                    ProfilingRow(
+                        scene=scene,
+                        method=method.value,
+                        tile_size=tile_size,
+                        tiles_per_gaussian=stats.tiles_per_gaussian,
+                        shared_percent=100.0 * stats.shared_fraction,
+                        gaussians_per_pixel=stats.gaussians_per_pixel,
+                        num_pairs=stats.num_pairs,
+                    )
+                )
+    return rows

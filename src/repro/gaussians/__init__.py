@@ -1,0 +1,40 @@
+"""Gaussian substrate: scene parameters, camera model, and projection.
+
+This subpackage implements everything the 3D-GS preprocessing stage needs
+(Fig. 1 of the paper, left block): the learnable Gaussian parameters
+(``GaussianCloud``), the pinhole :class:`Camera`, EWA projection of 3D
+Gaussians to screen-space 2D Gaussians (depth, 2D mean, 2D covariance,
+conic), spherical-harmonics colour evaluation, frustum/opacity culling and
+the FP32 -> FP16 parameter conversion used by the paper's methodology.
+"""
+
+from repro.gaussians.camera import Camera, look_at
+from repro.gaussians.cloud import GaussianCloud
+from repro.gaussians.culling import CullingResult, cull
+from repro.gaussians.projection import ProjectedGaussians, project
+from repro.gaussians.quantize import to_half
+from repro.gaussians.rotation import (
+    normalize_quaternions,
+    quaternion_to_rotation_matrix,
+    random_unit_quaternions,
+)
+from repro.gaussians.sh import MAX_SH_DEGREE, evaluate_sh, num_sh_coeffs
+from repro.gaussians.covariance import build_3d_covariances
+
+__all__ = [
+    "Camera",
+    "CullingResult",
+    "GaussianCloud",
+    "MAX_SH_DEGREE",
+    "ProjectedGaussians",
+    "build_3d_covariances",
+    "cull",
+    "evaluate_sh",
+    "look_at",
+    "normalize_quaternions",
+    "num_sh_coeffs",
+    "project",
+    "quaternion_to_rotation_matrix",
+    "random_unit_quaternions",
+    "to_half",
+]

@@ -1,0 +1,151 @@
+"""Pinhole camera model used by the rendering pipeline.
+
+The camera stores a world-to-camera rigid transform plus pinhole
+intrinsics.  Convention: camera looks down +Z in camera space (points in
+front of the camera have positive camera-space z), x to the right, y down,
+matching the reference 3D-GS rasteriser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Camera:
+    """A pinhole camera with rigid world-to-camera extrinsics.
+
+    Attributes
+    ----------
+    width, height:
+        Output image resolution in pixels.
+    fx, fy:
+        Focal lengths in pixels.
+    rotation:
+        ``(3, 3)`` world-to-camera rotation.
+    translation:
+        ``(3,)`` world-to-camera translation (``x_cam = R x_world + t``).
+    near, far:
+        Clipping depths used by frustum culling.
+    """
+
+    width: int
+    height: int
+    fx: float
+    fy: float
+    rotation: np.ndarray = field(default_factory=lambda: np.eye(3))
+    translation: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    near: float = 0.2
+    far: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("image dimensions must be positive")
+        if self.fx <= 0 or self.fy <= 0:
+            raise ValueError("focal lengths must be positive")
+        if not (0.0 < self.near < self.far):
+            raise ValueError("require 0 < near < far")
+        rot = np.asarray(self.rotation, dtype=np.float64)
+        trans = np.asarray(self.translation, dtype=np.float64)
+        if rot.shape != (3, 3):
+            raise ValueError(f"rotation must be (3, 3), got {rot.shape}")
+        if trans.shape != (3,):
+            raise ValueError(f"translation must be (3,), got {trans.shape}")
+        if not np.allclose(rot @ rot.T, np.eye(3), atol=1e-6):
+            raise ValueError("rotation matrix must be orthonormal")
+        object.__setattr__(self, "rotation", rot)
+        object.__setattr__(self, "translation", trans)
+
+    @property
+    def cx(self) -> float:
+        """Principal point x (image centre)."""
+        return self.width / 2.0
+
+    @property
+    def cy(self) -> float:
+        """Principal point y (image centre)."""
+        return self.height / 2.0
+
+    @property
+    def position(self) -> np.ndarray:
+        """Camera centre in world coordinates (``-R^T t``)."""
+        return -self.rotation.T @ self.translation
+
+    @property
+    def tan_half_fov_x(self) -> float:
+        """Tangent of the half horizontal field of view."""
+        return self.width / (2.0 * self.fx)
+
+    @property
+    def tan_half_fov_y(self) -> float:
+        """Tangent of the half vertical field of view."""
+        return self.height / (2.0 * self.fy)
+
+    def world_to_camera(self, points: np.ndarray) -> np.ndarray:
+        """Transform ``(n, 3)`` world points to camera space."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != 3:
+            raise ValueError(f"expected (n, 3) points, got {points.shape}")
+        return points @ self.rotation.T + self.translation
+
+    def project_points(self, points_cam: np.ndarray) -> np.ndarray:
+        """Project camera-space points to pixel coordinates.
+
+        Depths are clamped away from zero so callers can project points a
+        frustum cull has already rejected without dividing by zero.
+        """
+        z = np.maximum(points_cam[:, 2], 1e-9)
+        u = points_cam[:, 0] / z * self.fx + self.cx
+        v = points_cam[:, 1] / z * self.fy + self.cy
+        return np.stack([u, v], axis=1)
+
+
+def look_at(
+    eye: np.ndarray,
+    target: np.ndarray,
+    up: np.ndarray = (0.0, 1.0, 0.0),
+    *,
+    width: int,
+    height: int,
+    fov_y_degrees: float = 60.0,
+    near: float = 0.2,
+    far: float = 1000.0,
+) -> Camera:
+    """Build a :class:`Camera` at ``eye`` looking toward ``target``.
+
+    ``fov_y_degrees`` sets the vertical field of view; fx is chosen for
+    square pixels.
+    """
+    eye = np.asarray(eye, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    up = np.asarray(up, dtype=np.float64)
+
+    forward = target - eye
+    norm = np.linalg.norm(forward)
+    if norm < 1e-12:
+        raise ValueError("eye and target coincide")
+    forward = forward / norm
+
+    right = np.cross(forward, up)
+    right_norm = np.linalg.norm(right)
+    if right_norm < 1e-12:
+        raise ValueError("up vector is parallel to the viewing direction")
+    right = right / right_norm
+    down = np.cross(forward, right)
+
+    rotation = np.stack([right, down, forward], axis=0)
+    translation = -rotation @ eye
+
+    fy = height / (2.0 * np.tan(np.radians(fov_y_degrees) / 2.0))
+    return Camera(
+        width=width,
+        height=height,
+        fx=fy,
+        fy=fy,
+        rotation=rotation,
+        translation=translation,
+        near=near,
+        far=far,
+    )

@@ -1,0 +1,41 @@
+"""3D covariance assembly for anisotropic Gaussians.
+
+3D-GS stores each Gaussian's covariance factored as scale + rotation:
+``Sigma = R S S^T R^T`` where ``S = diag(scale)``.  This guarantees the
+covariance stays positive semi-definite during training; we reuse the same
+parameterisation for synthetic scenes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gaussians.rotation import quaternion_to_rotation_matrix
+
+
+def build_3d_covariances(scales: np.ndarray, quaternions: np.ndarray) -> np.ndarray:
+    """Assemble per-Gaussian 3D covariance matrices.
+
+    Parameters
+    ----------
+    scales:
+        Array of shape ``(n, 3)`` of per-axis standard deviations (must be
+        positive).
+    quaternions:
+        Array of shape ``(n, 4)`` in ``(w, x, y, z)`` order.
+
+    Returns
+    -------
+    Array of shape ``(n, 3, 3)``: ``R diag(s)^2 R^T`` per Gaussian.
+    """
+    scales = np.asarray(scales, dtype=np.float64)
+    if scales.ndim != 2 or scales.shape[1] != 3:
+        raise ValueError(f"expected (n, 3) scales, got {scales.shape}")
+    if np.any(scales <= 0.0):
+        raise ValueError("scales must be strictly positive")
+    rot = quaternion_to_rotation_matrix(quaternions)
+    if rot.shape[0] != scales.shape[0]:
+        raise ValueError("scales and quaternions must have the same length")
+    # R S gives columns scaled by s; (RS)(RS)^T = R S^2 R^T.
+    rs = rot * scales[:, None, :]
+    return rs @ np.transpose(rs, (0, 2, 1))

@@ -1,0 +1,197 @@
+"""EWA projection of 3D Gaussians to screen-space 2D Gaussians.
+
+Implements the ``Compute Features`` step of the preprocessing stage
+(Fig. 1): for every visible Gaussian it produces depth (``D``), projected
+2D centre (``2D_XY``), 2D covariance (``2D_Cov``) with the reference
+implementation's 0.3-pixel low-pass blur, the conic (inverse covariance)
+used by alpha computation (Eq. 1), the 3-sigma extent used by tile
+identification, and the view-dependent colour (``G_RGB``) from SH.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gaussians.camera import Camera
+from repro.gaussians.cloud import GaussianCloud
+from repro.gaussians.culling import CullingResult, cull
+from repro.gaussians.sh import evaluate_sh
+
+#: Screen-space low-pass filter added to every 2D covariance diagonal, in
+#: squared pixels.  Matches the reference 3D-GS rasteriser.
+COV2D_BLUR = 0.3
+
+#: The 3-sigma rule the paper uses to bound a Gaussian's influence.
+SIGMA_EXTENT = 3.0
+
+
+@dataclass
+class ProjectedGaussians:
+    """Screen-space features of the visible Gaussians, in input order.
+
+    Attributes
+    ----------
+    indices:
+        ``(m,)`` indices into the source cloud for each projected Gaussian.
+    depths:
+        ``(m,)`` camera-space depth ``D``.
+    means2d:
+        ``(m, 2)`` pixel-space centres ``2D_XY``.
+    cov2d:
+        ``(m, 2, 2)`` pixel-space covariances ``2D_Cov`` (blur included).
+    conics:
+        ``(m, 3)`` upper-triangular packed inverse covariances
+        ``(a, b, c)`` with inverse ``[[a, b], [b, c]]``.
+    colors:
+        ``(m, 3)`` RGB from SH evaluation, ``G_RGB``.
+    opacities:
+        ``(m,)`` opacity sigma, copied from the cloud.
+    eigvals:
+        ``(m, 2)`` eigenvalues of ``2D_Cov`` in descending order.
+    eigvecs:
+        ``(m, 2, 2)`` matching unit eigenvectors (columns).
+    radii:
+        ``(m,)`` conservative circular extent: ``3 * sqrt(max eigenvalue)``.
+    culling:
+        The :class:`CullingResult` that selected these Gaussians.
+    """
+
+    indices: np.ndarray
+    depths: np.ndarray
+    means2d: np.ndarray
+    cov2d: np.ndarray
+    conics: np.ndarray
+    colors: np.ndarray
+    opacities: np.ndarray
+    eigvals: np.ndarray
+    eigvecs: np.ndarray
+    radii: np.ndarray
+    culling: CullingResult
+
+    def __len__(self) -> int:
+        return self.indices.shape[0]
+
+
+def _eigendecompose_2x2(cov: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+    """Analytic eigen-decomposition of a batch of symmetric 2x2 matrices.
+
+    Returns eigenvalues in descending order and the matching unit
+    eigenvectors as matrix columns.
+    """
+    a = cov[:, 0, 0]
+    b = cov[:, 0, 1]
+    c = cov[:, 1, 1]
+    mean = 0.5 * (a + c)
+    # Radius of the eigenvalue pair around the mean; clamp the radicand for
+    # numerical safety on near-isotropic covariances.
+    radicand = np.maximum(0.25 * (a - c) ** 2 + b * b, 0.0)
+    radius = np.sqrt(radicand)
+    lam1 = mean + radius
+    lam2 = np.maximum(mean - radius, 1e-12)
+
+    # Eigenvector for lam1: (b, lam1 - a) when there is shear.  For
+    # (near-)diagonal matrices that vector degenerates, and the major
+    # axis is x when a >= c, y otherwise.  Truly isotropic matrices fall
+    # back to the x-axis (any direction is an eigenvector).
+    sheared = np.abs(b) > 1e-12
+    axis_x = a >= c
+    vx = np.where(sheared, b, np.where(axis_x, 1.0, 0.0))
+    vy = np.where(sheared, lam1 - a, np.where(axis_x, 0.0, 1.0))
+    norm = np.sqrt(vx * vx + vy * vy)
+    degenerate = norm < 1e-12
+    vx = np.where(degenerate, 1.0, vx / np.maximum(norm, 1e-30))
+    vy = np.where(degenerate, 0.0, vy / np.maximum(norm, 1e-30))
+
+    eigvals = np.stack([lam1, lam2], axis=1)
+    eigvecs = np.empty(cov.shape, dtype=np.float64)
+    eigvecs[:, 0, 0] = vx
+    eigvecs[:, 1, 0] = vy
+    # Second eigenvector is the first rotated by 90 degrees.
+    eigvecs[:, 0, 1] = -vy
+    eigvecs[:, 1, 1] = vx
+    return eigvals, eigvecs
+
+
+def project(
+    cloud: GaussianCloud,
+    camera: Camera,
+    culling: "CullingResult | None" = None,
+) -> ProjectedGaussians:
+    """Project the visible subset of ``cloud`` into screen space.
+
+    Parameters
+    ----------
+    cloud:
+        The scene.
+    camera:
+        The viewpoint.
+    culling:
+        Optional precomputed culling result (computed internally when
+        omitted).
+    """
+    if culling is None:
+        culling = cull(cloud, camera)
+    if culling.visible.shape[0] != len(cloud):
+        raise ValueError("culling mask does not match the cloud")
+
+    idx = np.flatnonzero(culling.visible)
+    points_cam = camera.world_to_camera(cloud.positions[idx])
+    depths = points_cam[:, 2]
+    means2d = camera.project_points(points_cam)
+
+    # EWA: Sigma_2D = J W Sigma_3D W^T J^T, with J the Jacobian of the
+    # perspective projection at the Gaussian centre and W the camera
+    # rotation.  The reference implementation clamps x/z, y/z to the guard
+    # band before differentiating to bound the Jacobian for off-axis
+    # Gaussians; we reproduce that.
+    lim_x = 1.3 * camera.tan_half_fov_x
+    lim_y = 1.3 * camera.tan_half_fov_y
+    z = depths
+    tx = np.clip(points_cam[:, 0] / z, -lim_x, lim_x) * z
+    ty = np.clip(points_cam[:, 1] / z, -lim_y, lim_y) * z
+
+    m = idx.shape[0]
+    jac = np.zeros((m, 2, 3), dtype=np.float64)
+    jac[:, 0, 0] = camera.fx / z
+    jac[:, 0, 2] = -camera.fx * tx / (z * z)
+    jac[:, 1, 1] = camera.fy / z
+    jac[:, 1, 2] = -camera.fy * ty / (z * z)
+
+    cov3d = cloud.subset(idx).covariances_3d()
+    jw = jac @ camera.rotation[None, :, :]
+    cov2d = jw @ cov3d @ np.transpose(jw, (0, 2, 1))
+    cov2d[:, 0, 0] += COV2D_BLUR
+    cov2d[:, 1, 1] += COV2D_BLUR
+    # Symmetrise to kill accumulation error before inversion.
+    off_diag = 0.5 * (cov2d[:, 0, 1] + cov2d[:, 1, 0])
+    cov2d[:, 0, 1] = off_diag
+    cov2d[:, 1, 0] = off_diag
+
+    det = cov2d[:, 0, 0] * cov2d[:, 1, 1] - off_diag * off_diag
+    det = np.maximum(det, 1e-12)
+    conics = np.stack(
+        [cov2d[:, 1, 1] / det, -off_diag / det, cov2d[:, 0, 0] / det],
+        axis=1,
+    )
+
+    eigvals, eigvecs = _eigendecompose_2x2(cov2d)
+    radii = SIGMA_EXTENT * np.sqrt(eigvals[:, 0])
+
+    directions = cloud.positions[idx] - camera.position[None, :]
+    colors = evaluate_sh(cloud.sh_coeffs[idx], directions)
+
+    return ProjectedGaussians(
+        indices=idx,
+        depths=depths,
+        means2d=means2d,
+        cov2d=cov2d,
+        conics=conics,
+        colors=colors,
+        opacities=cloud.opacities[idx].copy(),
+        eigvals=eigvals,
+        eigvecs=eigvecs,
+        radii=radii,
+        culling=culling,
+    )

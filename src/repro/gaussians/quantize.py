@@ -1,0 +1,37 @@
+"""FP32 -> FP16 parameter conversion.
+
+The paper's methodology (Section VI-A): "to improve the throughput and area
+efficiency of GS-TG, the models trained in 32-bit floating point are
+converted to 16-bit floating point".  We reproduce that as a round-trip
+through IEEE half precision on every learnable parameter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gaussians.cloud import GaussianCloud
+
+
+def _half_round_trip(values: np.ndarray) -> np.ndarray:
+    """Round values through float16 and return them as float64."""
+    return np.asarray(values, dtype=np.float16).astype(np.float64)
+
+
+def to_half(cloud: GaussianCloud) -> GaussianCloud:
+    """Return a copy of ``cloud`` with all parameters rounded to FP16.
+
+    Opacities are re-clamped to [0, 1] and scales kept strictly positive so
+    the quantised cloud still satisfies the container's invariants.
+    """
+    scales = _half_round_trip(cloud.scales)
+    tiny = np.float64(np.finfo(np.float16).tiny)
+    scales = np.maximum(scales, tiny)
+    opacities = np.clip(_half_round_trip(cloud.opacities), 0.0, 1.0)
+    return GaussianCloud(
+        positions=_half_round_trip(cloud.positions),
+        scales=scales,
+        rotations=_half_round_trip(cloud.rotations),
+        opacities=opacities,
+        sh_coeffs=_half_round_trip(cloud.sh_coeffs),
+    )

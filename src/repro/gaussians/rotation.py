@@ -1,0 +1,75 @@
+"""Quaternion utilities for Gaussian orientations.
+
+3D-GS parameterises each Gaussian's orientation with a unit quaternion
+``(w, x, y, z)``.  These helpers convert batches of quaternions to rotation
+matrices and generate random orientations for synthetic scenes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def normalize_quaternions(quaternions: np.ndarray) -> np.ndarray:
+    """Return unit-norm copies of a batch of quaternions.
+
+    Parameters
+    ----------
+    quaternions:
+        Array of shape ``(n, 4)`` in ``(w, x, y, z)`` order.  Zero-norm
+        quaternions are replaced by the identity rotation.
+    """
+    quaternions = np.asarray(quaternions, dtype=np.float64)
+    if quaternions.ndim != 2 or quaternions.shape[1] != 4:
+        raise ValueError(f"expected (n, 4) quaternions, got {quaternions.shape}")
+    norms = np.linalg.norm(quaternions, axis=1, keepdims=True)
+    out = np.where(norms > 0.0, quaternions / np.maximum(norms, 1e-30), 0.0)
+    degenerate = (norms.squeeze(1) == 0.0)
+    if np.any(degenerate):
+        out[degenerate] = np.array([1.0, 0.0, 0.0, 0.0])
+    return out
+
+
+def quaternion_to_rotation_matrix(quaternions: np.ndarray) -> np.ndarray:
+    """Convert a batch of quaternions to rotation matrices.
+
+    Parameters
+    ----------
+    quaternions:
+        Array of shape ``(n, 4)`` in ``(w, x, y, z)`` order.  They are
+        normalised internally, so any non-zero scaling is accepted.
+
+    Returns
+    -------
+    Array of shape ``(n, 3, 3)`` of proper rotation matrices.
+    """
+    q = normalize_quaternions(quaternions)
+    w, x, y, z = q[:, 0], q[:, 1], q[:, 2], q[:, 3]
+
+    n = q.shape[0]
+    rot = np.empty((n, 3, 3), dtype=np.float64)
+    rot[:, 0, 0] = 1.0 - 2.0 * (y * y + z * z)
+    rot[:, 0, 1] = 2.0 * (x * y - w * z)
+    rot[:, 0, 2] = 2.0 * (x * z + w * y)
+    rot[:, 1, 0] = 2.0 * (x * y + w * z)
+    rot[:, 1, 1] = 1.0 - 2.0 * (x * x + z * z)
+    rot[:, 1, 2] = 2.0 * (y * z - w * x)
+    rot[:, 2, 0] = 2.0 * (x * z - w * y)
+    rot[:, 2, 1] = 2.0 * (y * z + w * x)
+    rot[:, 2, 2] = 1.0 - 2.0 * (x * x + y * y)
+    return rot
+
+
+def random_unit_quaternions(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Draw ``n`` uniformly distributed unit quaternions (Shoemake's method)."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    u1 = rng.random(n)
+    u2 = rng.random(n) * 2.0 * np.pi
+    u3 = rng.random(n) * 2.0 * np.pi
+    a = np.sqrt(1.0 - u1)
+    b = np.sqrt(u1)
+    return np.stack(
+        [b * np.cos(u3), a * np.sin(u2), a * np.cos(u2), b * np.sin(u3)],
+        axis=1,
+    )

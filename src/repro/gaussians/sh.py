@@ -1,0 +1,108 @@
+"""Real spherical harmonics colour evaluation (degrees 0-3).
+
+3D-GS stores view-dependent colour as SH coefficients per channel.  The
+preprocessing stage (Fig. 1) evaluates them once per Gaussian for the
+current viewing direction, producing ``G_RGB``.  Basis constants follow the
+reference 3D-GS implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+MAX_SH_DEGREE = 3
+
+_C0 = 0.28209479177387814
+_C1 = 0.4886025119029199
+_C2 = (
+    1.0925484305920792,
+    -1.0925484305920792,
+    0.31539156525252005,
+    -1.0925484305920792,
+    0.5462742152960396,
+)
+_C3 = (
+    -0.5900435899266435,
+    2.890611442640554,
+    -0.4570457994644658,
+    0.3731763325901154,
+    -0.4570457994644658,
+    1.445305721320277,
+    -0.5900435899266435,
+)
+
+
+def num_sh_coeffs(degree: int) -> int:
+    """Number of SH basis functions for a maximum degree (``(d+1)^2``)."""
+    if not 0 <= degree <= MAX_SH_DEGREE:
+        raise ValueError(f"SH degree must be in [0, {MAX_SH_DEGREE}], got {degree}")
+    return (degree + 1) ** 2
+
+
+def evaluate_sh(coeffs: np.ndarray, directions: np.ndarray) -> np.ndarray:
+    """Evaluate SH colour for each Gaussian along its viewing direction.
+
+    Parameters
+    ----------
+    coeffs:
+        Array of shape ``(n, k, 3)`` where ``k`` is a perfect square
+        ``(d+1)^2`` for some degree ``d`` in [0, 3].
+    directions:
+        Array of shape ``(n, 3)``: unit (or unnormalised) directions from
+        the camera centre to each Gaussian; normalised internally.
+
+    Returns
+    -------
+    Array of shape ``(n, 3)`` of RGB colours clamped to be non-negative
+    (matching the ``max(rgb + 0.5, 0)`` convention of the reference code).
+    """
+    coeffs = np.asarray(coeffs, dtype=np.float64)
+    directions = np.asarray(directions, dtype=np.float64)
+    if coeffs.ndim != 3 or coeffs.shape[2] != 3:
+        raise ValueError(f"expected (n, k, 3) coefficients, got {coeffs.shape}")
+    if directions.shape != (coeffs.shape[0], 3):
+        raise ValueError(
+            f"directions shape {directions.shape} does not match {coeffs.shape[0]} Gaussians"
+        )
+    k = coeffs.shape[1]
+    degree = int(np.sqrt(k)) - 1
+    if (degree + 1) ** 2 != k or degree > MAX_SH_DEGREE:
+        raise ValueError(f"coefficient count {k} is not (d+1)^2 for d <= {MAX_SH_DEGREE}")
+
+    norms = np.linalg.norm(directions, axis=1, keepdims=True)
+    d = directions / np.maximum(norms, 1e-12)
+    x, y, z = d[:, 0:1], d[:, 1:2], d[:, 2:3]
+
+    result = _C0 * coeffs[:, 0]
+    if degree >= 1:
+        result = (
+            result
+            - _C1 * y * coeffs[:, 1]
+            + _C1 * z * coeffs[:, 2]
+            - _C1 * x * coeffs[:, 3]
+        )
+    if degree >= 2:
+        xx, yy, zz = x * x, y * y, z * z
+        xy, yz, xz = x * y, y * z, x * z
+        result = (
+            result
+            + _C2[0] * xy * coeffs[:, 4]
+            + _C2[1] * yz * coeffs[:, 5]
+            + _C2[2] * (2.0 * zz - xx - yy) * coeffs[:, 6]
+            + _C2[3] * xz * coeffs[:, 7]
+            + _C2[4] * (xx - yy) * coeffs[:, 8]
+        )
+    if degree >= 3:
+        xx, yy, zz = x * x, y * y, z * z
+        xy, yz, xz = x * y, y * z, x * z
+        result = (
+            result
+            + _C3[0] * y * (3.0 * xx - yy) * coeffs[:, 9]
+            + _C3[1] * xy * z * coeffs[:, 10]
+            + _C3[2] * y * (4.0 * zz - xx - yy) * coeffs[:, 11]
+            + _C3[3] * z * (2.0 * zz - 3.0 * xx - 3.0 * yy) * coeffs[:, 12]
+            + _C3[4] * x * (4.0 * zz - xx - yy) * coeffs[:, 13]
+            + _C3[5] * z * (xx - yy) * coeffs[:, 14]
+            + _C3[6] * x * (xx - 3.0 * yy) * coeffs[:, 15]
+        )
+    return np.maximum(result + 0.5, 0.0)

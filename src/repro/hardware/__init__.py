@@ -1,0 +1,49 @@
+"""Hardware substrate: the GS-TG accelerator cycle-level simulator.
+
+Models the architecture of Fig. 10 — four parallel instances of the
+preprocessing module (PM) and the GS-TG core (BGM + GSM + RM) — with the
+Table III area/power figures, a 51.2 GB/s DRAM model, an energy model,
+the conventional-pipeline baseline running on the same datapath, and a
+GSCore-class comparator accelerator.
+"""
+
+from repro.hardware.config import (
+    DRAM_BANDWIDTH_BYTES_PER_S,
+    GSCORE_CONFIG,
+    GSTG_CONFIG,
+    HardwareConfig,
+    ModuleSpec,
+)
+from repro.hardware.dram import DRAMModel, TrafficBreakdown
+from repro.hardware.energy import EnergyReport, energy_report
+from repro.hardware.gscore import GSCORE_SUBTILE_EFFICIENCY, simulate_gscore
+from repro.hardware.pipeline_sim import (
+    PipelineReport,
+    simulate_baseline_pipelined,
+    simulate_gstg_pipelined,
+)
+from repro.hardware.simulator import (
+    AcceleratorReport,
+    simulate_baseline,
+    simulate_gstg,
+)
+
+__all__ = [
+    "AcceleratorReport",
+    "DRAMModel",
+    "DRAM_BANDWIDTH_BYTES_PER_S",
+    "EnergyReport",
+    "GSCORE_CONFIG",
+    "GSCORE_SUBTILE_EFFICIENCY",
+    "GSTG_CONFIG",
+    "HardwareConfig",
+    "ModuleSpec",
+    "PipelineReport",
+    "TrafficBreakdown",
+    "energy_report",
+    "simulate_baseline",
+    "simulate_baseline_pipelined",
+    "simulate_gscore",
+    "simulate_gstg",
+    "simulate_gstg_pipelined",
+]

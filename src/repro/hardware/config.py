@@ -1,0 +1,148 @@
+"""Hardware configuration constants — Table III of the paper.
+
+The GS-TG accelerator synthesised at 28 nm runs at 1 GHz with four
+parallel instances of each module; areas and powers below are the paper's
+synthesis results verbatim.  The GSCore comparator configuration reuses
+the public description of GSCore (ASPLOS'24): an OBB-based intersection
+unit, per-tile hierarchical sorting, and subtile-skipping rasterisation
+at a comparable compute budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: DRAM bandwidth used by the paper's evaluation (Section VI-A).
+DRAM_BANDWIDTH_BYTES_PER_S = 51.2e9
+
+#: DRAM access energy per byte.  The paper calculates DRAM energy "based
+#: on [16]" (Energon); we use the DDR4-class 20 pJ/byte figure that class
+#: of work assumes.
+DRAM_ENERGY_PER_BYTE_J = 20e-12
+
+
+@dataclass(frozen=True)
+class ModuleSpec:
+    """One row of Table III.
+
+    Attributes
+    ----------
+    name:
+        Module name (PM, BGM, GSM, RM, Buffer).
+    instances:
+        Parallel instances in the accelerator.
+    area_mm2:
+        Total synthesised area for all instances.
+    power_w:
+        Total power for all instances.
+    """
+
+    name: str
+    instances: int
+    area_mm2: float
+    power_w: float
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    """A complete accelerator configuration.
+
+    Attributes
+    ----------
+    name:
+        Configuration label.
+    frequency_hz:
+        Operating frequency (Table III: 1 GHz).
+    modules:
+        Module inventory (Table III rows).
+    num_cores:
+        Parallel PM + core instances work is divided across.
+    sort_comparators:
+        Comparators in each GSM quick-sorting unit (16 in Fig. 10).
+    bitmask_tile_checkers:
+        Parallel tile check units per BGM (4 in Fig. 10).
+    raster_units:
+        Parallel rasterization units per RM (16 in Fig. 10).
+    filter_width:
+        Gaussians filtered per cycle by the RM's bitmask AND stage (8).
+    feature_cycles_per_gaussian:
+        PM pipeline throughput for feature computation + culling.
+    range_cycles_per_gaussian:
+        PM cycles to compute one Gaussian's candidate tile/group range.
+    test_cycles:
+        Tile-check-unit cycles per boundary test, per method name.  The
+        dedicated datapaths are fully pipelined (initiation interval 1),
+        so every method sustains one test per unit per cycle — a costlier
+        boundary buys area/latency, not throughput.  The dict is kept so
+        experiments can model unpipelined designs.
+    dram_bandwidth_bytes_per_s:
+        Sustained DRAM bandwidth.
+    dram_energy_per_byte_j:
+        DRAM access energy.
+    """
+
+    name: str
+    frequency_hz: float
+    modules: "tuple[ModuleSpec, ...]"
+    num_cores: int = 4
+    sort_comparators: int = 16
+    bitmask_tile_checkers: int = 4
+    raster_units: int = 16
+    filter_width: int = 8
+    feature_cycles_per_gaussian: float = 2.0
+    range_cycles_per_gaussian: float = 1.0
+    test_cycles: "dict[str, float]" = field(
+        default_factory=lambda: {"aabb": 1.0, "obb": 1.0, "ellipse": 1.0}
+    )
+    dram_bandwidth_bytes_per_s: float = DRAM_BANDWIDTH_BYTES_PER_S
+    dram_energy_per_byte_j: float = DRAM_ENERGY_PER_BYTE_J
+
+    @property
+    def total_area_mm2(self) -> float:
+        """Sum of module areas (Table III total: 3.984 mm^2)."""
+        return sum(m.area_mm2 for m in self.modules)
+
+    @property
+    def total_power_w(self) -> float:
+        """Sum of module powers (Table III total: 1.063 W)."""
+        return sum(m.power_w for m in self.modules)
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """DRAM bytes transferable per core cycle."""
+        return self.dram_bandwidth_bytes_per_s / self.frequency_hz
+
+    def module(self, name: str) -> ModuleSpec:
+        """Look up a module row by name."""
+        for m in self.modules:
+            if m.name == name:
+                return m
+        raise KeyError(f"no module named {name!r} in {self.name}")
+
+
+#: Table III, verbatim.
+GSTG_CONFIG = HardwareConfig(
+    name="GS-TG",
+    frequency_hz=1e9,
+    modules=(
+        ModuleSpec("PM", 4, 0.648, 0.429),
+        ModuleSpec("BGM", 4, 0.051, 0.055),
+        ModuleSpec("GSM", 4, 0.012, 0.001),
+        ModuleSpec("RM", 4, 1.891, 0.338),
+        ModuleSpec("Buffer", 8, 1.382, 0.240),
+    ),
+)
+
+#: GSCore-class comparator: same process/frequency class, no BGM (it has
+#: no bitmask pipeline), a comparable sorting block and rasteriser.  Areas
+#: and powers follow the GSCore paper's scale relative to Table III.
+GSCORE_CONFIG = HardwareConfig(
+    name="GSCore",
+    frequency_hz=1e9,
+    modules=(
+        ModuleSpec("PM", 4, 0.648, 0.429),
+        ModuleSpec("GSM", 4, 0.012, 0.001),
+        ModuleSpec("RM", 4, 1.891, 0.338),
+        ModuleSpec("Buffer", 8, 1.382, 0.240),
+    ),
+)

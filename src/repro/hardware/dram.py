@@ -1,0 +1,177 @@
+"""DRAM traffic and bandwidth model.
+
+The decisive memory-system difference between the pipelines is *feature
+re-fetch granularity*: the conventional pipeline streams each Gaussian's
+rasterization features once per intersected **tile**, while GS-TG streams
+them once per intersected **group** into the core's shared memory, where
+all 16 tiles of the group reuse them (Fig. 9/10, "Shared Memory").  Pair
+keys and sorted indices scale the same way (per tile vs per group).
+
+Two physical effects make per-pair traffic expensive and are modelled
+explicitly:
+
+* **burst granularity** — per-pair feature fetches are random accesses
+  (the sorted order scatters over the feature table), so each fetch pays
+  a full DRAM burst (``FEATURE_BURST_BYTES``) even though the packed
+  FP16 feature record is smaller;
+* **multi-pass sorting** — large per-tile sorts are radix sorts over the
+  (key, index) records; every pass reads and writes the full record
+  stream (``RADIX_SORT_PASSES``).
+
+All record sizes assume the paper's FP16 conversion (Section VI-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.config import HardwareConfig
+from repro.raster.stats import RenderStats
+
+#: Raw Gaussian parameters loaded once per visible Gaussian: 3D position
+#: (3 x 2B), scale (3 x 2B), rotation (4 x 2B), opacity (2B) and degree-1
+#: SH coefficients (4 x 3 x 2B).
+RAW_GAUSSIAN_BYTES = 6 + 6 + 8 + 2 + 24
+
+#: Packed projected features consumed by rasterization: 2D_XY (2 x 2B),
+#: packed conic (3 x 2B), G_RGB (3 x 2B), opacity (2B) and depth (2B).
+PROJECTED_FEATURE_BYTES = 4 + 6 + 6 + 2 + 2
+
+#: DRAM burst actually transferred per random-access feature fetch.
+FEATURE_BURST_BYTES = 64
+
+#: One sort record: FP16 depth key + 32-bit Gaussian index.
+SORT_KEY_BYTES = 2 + 4
+
+#: Radix-sort passes over the pair records (each pass reads + writes).
+RADIX_SORT_PASSES = 2
+
+#: One sorted-index record written by sorting and read by rasterization.
+SORTED_INDEX_BYTES = 4
+
+#: One tile bitmask word (16 bits for the paper's 16+64 design point).
+BITMASK_BYTES = 2
+
+#: Output pixel: RGBA8.
+PIXEL_BYTES = 4
+
+
+@dataclass(frozen=True)
+class TrafficBreakdown:
+    """DRAM bytes moved for one frame, by purpose.
+
+    Attributes
+    ----------
+    raw_model_bytes:
+        Scene parameters streamed in once per visible Gaussian.
+    pair_key_bytes:
+        Sort-record traffic: emission write plus read+write per radix
+        pass over every (Gaussian, tile-or-group) pair.
+    sorted_index_bytes:
+        Sorted index lists written by sorting and read by rasterization.
+    bitmask_bytes:
+        GS-TG only: bitmask words written by the BGM and read by the RM.
+    feature_fetch_bytes:
+        Projected features streamed for rasterization — one burst per
+        pair (per tile-pair in the baseline, per group-pair in GS-TG).
+    image_bytes:
+        Final image writeback.
+    """
+
+    raw_model_bytes: float
+    pair_key_bytes: float
+    sorted_index_bytes: float
+    bitmask_bytes: float
+    feature_fetch_bytes: float
+    image_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        """All DRAM traffic for the frame."""
+        return (
+            self.raw_model_bytes
+            + self.pair_key_bytes
+            + self.sorted_index_bytes
+            + self.bitmask_bytes
+            + self.feature_fetch_bytes
+            + self.image_bytes
+        )
+
+
+@dataclass(frozen=True)
+class DRAMModel:
+    """Bandwidth/energy conversion for a traffic breakdown.
+
+    Attributes
+    ----------
+    config:
+        The accelerator configuration (bandwidth, energy/byte, frequency).
+    """
+
+    config: HardwareConfig
+
+    def transfer_cycles(self, traffic: TrafficBreakdown) -> float:
+        """Core cycles needed to stream the traffic at full bandwidth."""
+        return traffic.total_bytes / self.config.bytes_per_cycle
+
+    def energy_j(self, traffic: TrafficBreakdown) -> float:
+        """DRAM access energy for the traffic."""
+        return traffic.total_bytes * self.config.dram_energy_per_byte_j
+
+
+def _pair_traffic(num_pairs: int) -> "tuple[float, float]":
+    """(key bytes, sorted-index bytes) for ``num_pairs`` sort records."""
+    key_bytes = num_pairs * SORT_KEY_BYTES * (1 + 2 * RADIX_SORT_PASSES)
+    index_bytes = 2.0 * num_pairs * SORTED_INDEX_BYTES
+    return float(key_bytes), float(index_bytes)
+
+
+def _common_traffic(stats: RenderStats, width: int, height: int) -> "tuple[float, float]":
+    """(raw model bytes, image bytes) shared by all pipelines."""
+    raw = stats.preprocess.num_visible_gaussians * RAW_GAUSSIAN_BYTES
+    image = width * height * PIXEL_BYTES
+    return float(raw), float(image)
+
+
+def baseline_traffic(
+    stats: RenderStats,
+    width: int,
+    height: int,
+    feature_burst_bytes: int = FEATURE_BURST_BYTES,
+) -> TrafficBreakdown:
+    """Traffic of the conventional per-tile pipeline.
+
+    ``stats.preprocess.num_pairs`` counts (Gaussian, tile) pairs: each
+    costs sort-record traffic and a per-tile feature burst.
+    """
+    raw, image = _common_traffic(stats, width, height)
+    pairs = stats.preprocess.num_pairs
+    key_bytes, index_bytes = _pair_traffic(pairs)
+    return TrafficBreakdown(
+        raw_model_bytes=raw,
+        pair_key_bytes=key_bytes,
+        sorted_index_bytes=index_bytes,
+        bitmask_bytes=0.0,
+        feature_fetch_bytes=float(pairs) * feature_burst_bytes,
+        image_bytes=image,
+    )
+
+
+def gstg_traffic(stats: RenderStats, width: int, height: int) -> TrafficBreakdown:
+    """Traffic of the GS-TG pipeline.
+
+    Pairs exist at group granularity; features enter shared memory once
+    per (Gaussian, group) and are reused by all the group's tiles.  Each
+    pair additionally moves its bitmask word (write by BGM + read by RM).
+    """
+    raw, image = _common_traffic(stats, width, height)
+    pairs = stats.preprocess.num_pairs
+    key_bytes, index_bytes = _pair_traffic(pairs)
+    return TrafficBreakdown(
+        raw_model_bytes=raw,
+        pair_key_bytes=key_bytes,
+        sorted_index_bytes=index_bytes,
+        bitmask_bytes=2.0 * stats.num_bitmasks * BITMASK_BYTES,
+        feature_fetch_bytes=float(pairs) * FEATURE_BURST_BYTES,
+        image_bytes=image,
+    )

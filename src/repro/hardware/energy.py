@@ -1,0 +1,89 @@
+"""Energy accounting for the accelerator simulations (Fig. 15).
+
+Per the paper's methodology, compute power comes from the PrimeTime-style
+per-module figures of Table III and DRAM energy from the per-byte model:
+``E = sum(module power) x frame time + bytes x energy/byte``.  Modules a
+configuration lacks (e.g. no BGM in the baseline/GSCore datapaths) simply
+do not appear in its module list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.config import HardwareConfig
+from repro.hardware.simulator import AcceleratorReport
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Frame energy, broken down by source.
+
+    Attributes
+    ----------
+    name:
+        Configuration label.
+    module_energy_j:
+        Per-module compute energy (power x frame time).
+    dram_energy_j:
+        DRAM access energy (bytes x energy/byte).
+    """
+
+    name: str
+    module_energy_j: "dict[str, float]"
+    dram_energy_j: float
+
+    @property
+    def compute_energy_j(self) -> float:
+        """Total on-chip energy."""
+        return sum(self.module_energy_j.values())
+
+    @property
+    def total_energy_j(self) -> float:
+        """Compute + DRAM energy per frame."""
+        return self.compute_energy_j + self.dram_energy_j
+
+    def efficiency_vs(self, other: "EnergyReport") -> float:
+        """Energy-efficiency ratio: how many times less energy than ``other``.
+
+        Matches Fig. 15's normalisation: ``other`` is the reference
+        (baseline), values > 1 mean this report is more efficient.
+        """
+        if self.total_energy_j <= 0.0:
+            raise ValueError("cannot compare a zero-energy report")
+        return other.total_energy_j / self.total_energy_j
+
+
+def energy_report(
+    report: AcceleratorReport,
+    config: HardwareConfig,
+    active_modules: "tuple[str, ...] | None" = None,
+) -> EnergyReport:
+    """Compute the energy of a simulated frame.
+
+    Parameters
+    ----------
+    report:
+        The cycle simulation result.
+    config:
+        The hardware configuration that produced it.
+    active_modules:
+        Restrict compute energy to these modules (e.g. exclude "BGM" when
+        simulating the conventional pipeline on the GS-TG datapath).
+        Defaults to every module in the configuration.
+    """
+    time_s = report.time_s
+    names = (
+        tuple(m.name for m in config.modules)
+        if active_modules is None
+        else active_modules
+    )
+    module_energy = {
+        name: config.module(name).power_w * time_s for name in names
+    }
+    dram_j = report.traffic.total_bytes * config.dram_energy_per_byte_j
+    return EnergyReport(
+        name=report.name,
+        module_energy_j=module_energy,
+        dram_energy_j=dram_j,
+    )

@@ -1,0 +1,76 @@
+"""Cycle models of the accelerator's compute modules (Fig. 10).
+
+Each function converts functional operation counts into cycles for one
+module, honouring the parallelism the paper describes: four parallel
+PM/core instances, four tile check units per BGM, sixteen comparators per
+GSM sorting unit, an eight-wide bitmask filter and sixteen rasterization
+units per RM.  Work is assumed evenly divided across the four cores
+(groups and tiles are independent, so load balancing is near-perfect).
+"""
+
+from __future__ import annotations
+
+from repro.hardware.config import HardwareConfig
+from repro.raster.stats import RenderStats
+
+
+def pm_cycles(stats: RenderStats, config: HardwareConfig) -> float:
+    """Preprocessing module: features + culling + tile/group ranges/tests."""
+    pre = stats.preprocess
+    test_cost = config.test_cycles.get(_method_key(pre.boundary_test_cost), 1.0)
+    per_core = (
+        pre.num_input_gaussians * config.feature_cycles_per_gaussian
+        + pre.num_visible_gaussians * config.range_cycles_per_gaussian
+        + pre.num_boundary_tests * test_cost
+    )
+    return per_core / config.num_cores
+
+
+def _method_key(relative_cost: float) -> str:
+    """Map a boundary method's GPU relative cost back to its name.
+
+    The counters carry the method's relative cost (1 / 3 / 6); the
+    hardware charges its own per-method cycle counts.
+    """
+    return {1.0: "aabb", 3.0: "obb", 6.0: "ellipse"}.get(relative_cost, "aabb")
+
+
+def bgm_cycles(stats: RenderStats, config: HardwareConfig) -> float:
+    """Bitmask generation module: 4 tile check units per core.
+
+    Each (Gaussian, group) pair requires ``bitmask_bits`` tile tests; the
+    four units run in parallel, each taking ``test_cycles`` per test.
+    """
+    if stats.num_bitmasks == 0:
+        return 0.0
+    test_cost = config.test_cycles.get(_method_key(stats.bitmask_test_cost), 1.0)
+    # The hardware BGM always walks all tiles of the group through its
+    # fixed tile-check pipeline (unlike the GPU path, which can clip to
+    # the Gaussian's bounding rectangle first).
+    total_tests = stats.num_bitmasks * stats.bitmask_bits
+    per_core = total_tests * test_cost / config.bitmask_tile_checkers
+    return per_core / config.num_cores
+
+
+def gsm_cycles(stats: RenderStats, config: HardwareConfig) -> float:
+    """Group-wise (or tile-wise) sorting module: 16-comparator quick sort."""
+    per_core = stats.sort.num_comparisons / config.sort_comparators
+    return per_core / config.num_cores
+
+
+def rm_filter_cycles(stats: RenderStats, config: HardwareConfig) -> float:
+    """RM bitmask filter: AND/OR valid flags, 8 Gaussians per cycle."""
+    per_core = stats.num_filter_checks / config.filter_width
+    return per_core / config.num_cores
+
+
+def rm_raster_cycles(stats: RenderStats, config: HardwareConfig) -> float:
+    """RM rasterization: 16 RUs, one alpha+blend per RU per cycle."""
+    per_core = stats.raster.num_alpha_computations / config.raster_units
+    return per_core / config.num_cores
+
+
+def rm_cycles(stats: RenderStats, config: HardwareConfig) -> float:
+    """Whole-RM cycles: the filter feeds the RUs through a FIFO, so the
+    slower of the two paths bounds the module's throughput."""
+    return max(rm_filter_cycles(stats, config), rm_raster_cycles(stats, config))

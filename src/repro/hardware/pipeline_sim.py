@@ -1,0 +1,258 @@
+"""Pipelined per-group cycle simulation of the GS-TG accelerator.
+
+The throughput model in :mod:`repro.hardware.simulator` bounds a frame by
+its slowest stage total — exact only for perfectly balanced, infinitely
+buffered pipelines.  This module simulates the pipeline *per work unit*
+(per group for GS-TG, per tile for the baseline) with double-buffered
+hand-off between stages:
+
+    ``start[g][s] = max(finish[g][s-1], finish[g-1][s])``
+
+which captures pipeline fill, drain and inter-group imbalance.  It also
+exposes the ablation the paper argues for in Section V-A: with
+``overlap_bitmask=False`` the BGM and GSM run sequentially per group
+(the GPU's SIMT limitation); with ``True`` they run concurrently (the
+dedicated hardware).
+
+Work units are dispatched to the four cores from a shared work queue
+(longest-first greedy, as a hardware work queue balances); the fetch
+stage serialises globally because all cores share one DRAM channel.
+Only per-pair traffic flows through the modelled channel — the
+frame-constant raw-model load and image writeback are excluded (they
+are identical across pipelines).
+
+Granularity caveat: GS-TG's work units are whole groups, so the model
+needs enough groups (roughly > 5 per core) to amortise pipeline fill;
+at heavily scaled-down resolutions with a handful of groups the fill
+dominates and under-reports GS-TG.  Full-resolution Table II scenes
+have hundreds of groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.grouping import GroupGeometry
+from repro.hardware.config import GSTG_CONFIG, HardwareConfig
+from repro.hardware.dram import (
+    BITMASK_BYTES,
+    FEATURE_BURST_BYTES,
+    SORT_KEY_BYTES,
+    SORTED_INDEX_BYTES,
+    RADIX_SORT_PASSES,
+)
+from repro.hardware.modules import _method_key
+from repro.raster.renderer import RenderResult
+from repro.raster.sorting import sort_comparison_count
+
+
+@dataclass(frozen=True)
+class PipelineReport:
+    """Outcome of a pipelined simulation.
+
+    Attributes
+    ----------
+    name:
+        Configuration label.
+    cycles:
+        Frame cycles (slowest core's drain time).
+    stage_busy_cycles:
+        Total busy cycles per stage across all cores.
+    num_units:
+        Work units simulated (groups or tiles).
+    frequency_hz:
+        Clock for time conversion.
+    """
+
+    name: str
+    cycles: float
+    stage_busy_cycles: "dict[str, float]"
+    num_units: int
+    frequency_hz: float
+
+    @property
+    def time_ms(self) -> float:
+        """Frame time in milliseconds."""
+        return self.cycles / self.frequency_hz * 1e3
+
+    #: Cores the work was distributed across.
+    num_cores: int = 4
+
+    def utilization(self, stage: str) -> float:
+        """Busy fraction of a stage across the frame (0..1)."""
+        if self.cycles == 0:
+            return 0.0
+        per_core = self.stage_busy_cycles[stage] / max(self.num_cores, 1)
+        return min(per_core / self.cycles, 1.0)
+
+
+def _schedule(units: "list[list[float]]", num_cores: int) -> float:
+    """Drain time of the [fetch, sort, rm] pipeline across shared DRAM.
+
+    The fetch stage models the single DRAM channel: fetches serialise
+    globally across cores.  The sort and rm stages are per-core
+    resources; double-buffered SRAM lets a core fetch unit k+1 while
+    computing unit k.  Units are dispatched longest-first to the
+    least-loaded core (work-queue behaviour), with the dispatch key
+    independent of stage overlap so ablations compare like for like.
+    """
+    if not units:
+        return 0.0
+    order = sorted(range(len(units)), key=lambda i: -(units[i][1] + units[i][2]))
+    loads = [0.0] * num_cores
+    assignment = [0] * len(units)
+    for i in order:
+        target = loads.index(min(loads))
+        assignment[i] = target
+        loads[target] += units[i][1] + units[i][2]
+
+    dram_free = 0.0
+    core_fetch_free = [0.0] * num_cores
+    core_sort_free = [0.0] * num_cores
+    core_rm_free = [0.0] * num_cores
+    finish = 0.0
+    # Dispatch in descending-work order (the queue hands out big groups
+    # first so stragglers are small).
+    for i in order:
+        fetch, sort_stage, rm = units[i]
+        core = assignment[i]
+        fetch_start = max(dram_free, core_fetch_free[core])
+        fetch_end = fetch_start + fetch
+        dram_free = fetch_end
+        # Double buffering: the next fetch for this core may start once
+        # this unit's data has been consumed by the sort stage.
+        sort_start = max(fetch_end, core_sort_free[core])
+        sort_end = sort_start + sort_stage
+        core_fetch_free[core] = sort_end
+        core_sort_free[core] = sort_end
+        rm_start = max(sort_end, core_rm_free[core])
+        rm_end = rm_start + rm
+        core_rm_free[core] = rm_end
+        finish = max(finish, rm_end)
+    return finish
+
+
+def simulate_gstg_pipelined(
+    result: RenderResult,
+    geometry: GroupGeometry,
+    config: HardwareConfig = GSTG_CONFIG,
+    overlap_bitmask: bool = True,
+    ru_per_tile: bool = False,
+) -> PipelineReport:
+    """Pipelined per-group simulation of the GS-TG accelerator.
+
+    Parameters
+    ----------
+    result:
+        A :class:`repro.core.GSTGRenderer` render (its assignment is the
+        group assignment and its stats carry per-tile alpha counts).
+    geometry:
+        The tile/group geometry used by the render.
+    config:
+        Hardware configuration.
+    overlap_bitmask:
+        True: BGM runs concurrently with the GSM (the accelerator);
+        False: sequentially (the GPU's SIMT constraint) — the Section
+        V-A ablation.
+    ru_per_tile:
+        RU organisation ablation.  False (default): the 16 RUs drain the
+        group's pixel work as a pool (work-stealing across tiles).
+        True: each RU is statically bound to one tile of the group, so
+        the group's rasterization time is its *slowest tile* — exposing
+        the load imbalance a static assignment suffers.
+    """
+    stats = result.stats
+    test_cost = config.test_cycles.get(_method_key(stats.bitmask_test_cost), 1.0)
+    pairs_per_group = np.bincount(
+        result.assignment.tile_ids, minlength=geometry.group_grid.num_tiles
+    )
+
+    units: "list[list[float]]" = []
+    busy = {"fetch": 0.0, "sort": 0.0, "rm": 0.0}
+    active_groups = np.flatnonzero(pairs_per_group)
+    for group_id in active_groups:
+        n = int(pairs_per_group[group_id])
+        bytes_in = n * (
+            FEATURE_BURST_BYTES
+            + SORT_KEY_BYTES * (1 + 2 * RADIX_SORT_PASSES)
+            + 2 * SORTED_INDEX_BYTES
+            + 2 * BITMASK_BYTES
+        )
+        fetch = bytes_in / config.bytes_per_cycle
+        bgm = n * geometry.tiles_per_group * test_cost / config.bitmask_tile_checkers
+        gsm = sort_comparison_count(n) / config.sort_comparators
+        sort_stage = max(bgm, gsm) if overlap_bitmask else bgm + gsm
+
+        tiles = geometry.tiles_of_group(int(group_id))
+        tile_alphas = [stats.per_tile_alpha.get(int(t), 0) for t in tiles]
+        filt = n * len(tiles) / config.filter_width
+        if ru_per_tile:
+            # One RU per tile: the slowest tile gates the group.
+            raster = float(max(tile_alphas, default=0))
+        else:
+            raster = sum(tile_alphas) / config.raster_units
+        rm = max(raster, filt)
+
+        stages = [fetch, sort_stage, rm]
+        busy["fetch"] += fetch
+        busy["sort"] += sort_stage
+        busy["rm"] += rm
+        units.append(stages)
+
+    cycles = _schedule(units, config.num_cores)
+    report = PipelineReport(
+        name=f"{config.name}-pipelined",
+        cycles=cycles,
+        stage_busy_cycles=busy,
+        num_units=len(units),
+        frequency_hz=config.frequency_hz,
+        num_cores=config.num_cores,
+    )
+    return report
+
+
+def simulate_baseline_pipelined(
+    result: RenderResult,
+    config: HardwareConfig = GSTG_CONFIG,
+) -> PipelineReport:
+    """Pipelined per-tile simulation of the conventional pipeline.
+
+    ``result`` must come from :class:`repro.raster.BaselineRenderer`.
+    Each tile flows through fetch -> tile sort -> rasterise.
+    """
+    stats = result.stats
+    pairs_per_tile = result.assignment.gaussians_per_tile()
+
+    busy = {"fetch": 0.0, "sort": 0.0, "rm": 0.0}
+    units: "list[list[float]]" = []
+    active_tiles = np.flatnonzero(pairs_per_tile)
+    for tile_id in active_tiles:
+        n = int(pairs_per_tile[tile_id])
+        bytes_in = n * (
+            FEATURE_BURST_BYTES
+            + SORT_KEY_BYTES * (1 + 2 * RADIX_SORT_PASSES)
+            + 2 * SORTED_INDEX_BYTES
+        )
+        fetch = bytes_in / config.bytes_per_cycle
+        sort_stage = sort_comparison_count(n) / config.sort_comparators
+        alpha = stats.per_tile_alpha.get(int(tile_id), 0)
+        rm = alpha / config.raster_units
+
+        stages = [fetch, sort_stage, rm]
+        busy["fetch"] += fetch
+        busy["sort"] += sort_stage
+        busy["rm"] += rm
+        units.append(stages)
+
+    cycles = _schedule(units, config.num_cores)
+    report = PipelineReport(
+        name=f"baseline-on-{config.name}-pipelined",
+        cycles=cycles,
+        stage_busy_cycles=busy,
+        num_units=int(active_tiles.size),
+        frequency_hz=config.frequency_hz,
+        num_cores=config.num_cores,
+    )
+    return report

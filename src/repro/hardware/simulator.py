@@ -1,0 +1,145 @@
+"""Cycle-level simulation of the GS-TG accelerator and its baseline.
+
+The accelerator is a streaming pipeline: PM -> (BGM || GSM) -> RM, with
+DRAM transfers overlapped by double-buffered SRAM (Table III's 4x2x42KB
+buffers).  With groups (or tiles) processed back-to-back, steady-state
+throughput is bounded by the slowest pipeline stage — so frame cycles are
+``max(stage totals, DRAM stream time)``.  This mirrors the paper's own
+methodology ("speed improvements are evaluated using a cycle-level
+simulator") at the same abstraction level.
+
+The *baseline* accelerator runs the conventional per-tile pipeline on the
+identical datapath (the paper's Fig. 14 baseline): no BGM, tile-wise
+sorting in the GSM, per-tile feature traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.config import GSTG_CONFIG, HardwareConfig
+from repro.hardware.dram import (
+    DRAMModel,
+    TrafficBreakdown,
+    baseline_traffic,
+    gstg_traffic,
+)
+from repro.hardware.modules import (
+    bgm_cycles,
+    gsm_cycles,
+    pm_cycles,
+    rm_cycles,
+)
+from repro.raster.stats import RenderStats
+
+
+@dataclass(frozen=True)
+class AcceleratorReport:
+    """Outcome of simulating one frame on an accelerator.
+
+    Attributes
+    ----------
+    name:
+        Configuration label.
+    stage_cycles:
+        Cycles per pipeline stage (keys: "pm", "sort", "rm", "dram";
+        GS-TG adds "bgm" and "gsm" with "sort" = their overlap).
+    cycles:
+        Frame cycles: max over stages (steady-state pipeline bound).
+    frequency_hz:
+        Clock for time conversion.
+    traffic:
+        DRAM traffic breakdown.
+    """
+
+    name: str
+    stage_cycles: "dict[str, float]"
+    cycles: float
+    frequency_hz: float
+    traffic: TrafficBreakdown
+
+    @property
+    def time_s(self) -> float:
+        """Frame time in seconds."""
+        return self.cycles / self.frequency_hz
+
+    @property
+    def time_ms(self) -> float:
+        """Frame time in milliseconds."""
+        return self.time_s * 1e3
+
+    @property
+    def fps(self) -> float:
+        """Frames per second at this frame time."""
+        return 1.0 / self.time_s
+
+    @property
+    def bottleneck(self) -> str:
+        """Name of the stage bounding throughput."""
+        return max(self.stage_cycles, key=self.stage_cycles.get)
+
+
+def simulate_gstg(
+    stats: RenderStats,
+    width: int,
+    height: int,
+    config: HardwareConfig = GSTG_CONFIG,
+) -> AcceleratorReport:
+    """Simulate one GS-TG frame from its functional counters.
+
+    BGM and GSM run concurrently on each group (the architecture's key
+    ability the paper contrasts with SIMT GPUs), so the sorting stage
+    contributes ``max(bgm, gsm)``.
+    """
+    traffic = gstg_traffic(stats, width, height)
+    dram = DRAMModel(config)
+
+    bgm = bgm_cycles(stats, config)
+    gsm = gsm_cycles(stats, config)
+    stages = {
+        "pm": pm_cycles(stats, config),
+        "bgm": bgm,
+        "gsm": gsm,
+        "sort": max(bgm, gsm),
+        "rm": rm_cycles(stats, config),
+        "dram": dram.transfer_cycles(traffic),
+    }
+    cycles = max(stages["pm"], stages["sort"], stages["rm"], stages["dram"])
+    return AcceleratorReport(
+        name=config.name,
+        stage_cycles=stages,
+        cycles=cycles,
+        frequency_hz=config.frequency_hz,
+        traffic=traffic,
+    )
+
+
+def simulate_baseline(
+    stats: RenderStats,
+    width: int,
+    height: int,
+    config: HardwareConfig = GSTG_CONFIG,
+) -> AcceleratorReport:
+    """Simulate the conventional per-tile pipeline on the same datapath.
+
+    ``stats`` must come from :class:`repro.raster.BaselineRenderer`: pair
+    counts are per tile, sorting counters cover every tile's sort, and
+    there is no bitmask work.
+    """
+    traffic = baseline_traffic(stats, width, height)
+    dram = DRAMModel(config)
+
+    stages = {
+        "pm": pm_cycles(stats, config),
+        "sort": gsm_cycles(stats, config),
+        "rm": rm_cycles(stats, config),
+        "dram": dram.transfer_cycles(traffic),
+    }
+    cycles = max(stages.values())
+    return AcceleratorReport(
+        name=f"baseline-on-{config.name}",
+        stage_cycles=stages,
+        cycles=cycles,
+        frequency_hz=config.frequency_hz,
+        traffic=traffic,
+    )

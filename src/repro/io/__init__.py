@@ -1,0 +1,5 @@
+"""Dependency-free image I/O for saving rendered frames."""
+
+from repro.io.ppm import read_ppm, write_ppm
+
+__all__ = ["read_ppm", "write_ppm"]

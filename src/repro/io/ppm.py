@@ -1,0 +1,60 @@
+"""Binary PPM (P6) reading and writing.
+
+PPM is the simplest portable RGB format; it lets the examples save
+rendered frames without any imaging dependency.  Float images in
+[0, 1] are encoded to 8-bit with round-half-away behaviour matching
+``np.rint``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def write_ppm(path: str, image: np.ndarray) -> None:
+    """Write an RGB image to a binary PPM (P6) file.
+
+    Parameters
+    ----------
+    path:
+        Output file path.
+    image:
+        ``(h, w, 3)`` array; floats are clipped to [0, 1] and scaled to
+        8 bits, integer arrays must already be uint8-ranged.
+    """
+    image = np.asarray(image)
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError(f"expected (h, w, 3) image, got {image.shape}")
+    if np.issubdtype(image.dtype, np.floating):
+        data = np.rint(np.clip(image, 0.0, 1.0) * 255.0).astype(np.uint8)
+    else:
+        if image.min() < 0 or image.max() > 255:
+            raise ValueError("integer image values must lie in [0, 255]")
+        data = image.astype(np.uint8)
+    height, width = data.shape[:2]
+    with open(path, "wb") as handle:
+        handle.write(f"P6\n{width} {height}\n255\n".encode("ascii"))
+        handle.write(data.tobytes())
+
+
+def read_ppm(path: str) -> np.ndarray:
+    """Read a binary PPM (P6) file into a ``(h, w, 3)`` uint8 array."""
+    with open(path, "rb") as handle:
+        magic = handle.readline().strip()
+        if magic != b"P6":
+            raise ValueError(f"not a binary PPM file: magic {magic!r}")
+        # Header tokens may be separated by arbitrary whitespace/comments.
+        tokens: "list[int]" = []
+        while len(tokens) < 3:
+            line = handle.readline()
+            if not line:
+                raise ValueError("truncated PPM header")
+            text = line.split(b"#", 1)[0]
+            tokens.extend(int(tok) for tok in text.split())
+        width, height, maxval = tokens[:3]
+        if maxval != 255:
+            raise ValueError(f"only 8-bit PPM supported, got maxval {maxval}")
+        payload = handle.read(width * height * 3)
+        if len(payload) != width * height * 3:
+            raise ValueError("truncated PPM payload")
+    return np.frombuffer(payload, dtype=np.uint8).reshape(height, width, 3)

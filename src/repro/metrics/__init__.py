@@ -1,0 +1,10 @@
+"""Image-quality metrics used to audit losslessness and quantisation.
+
+The paper's method is lossless, so GS-TG-vs-baseline comparisons must
+report *infinite* PSNR / unit SSIM; the FP16 conversion of Section VI-A
+is the only lossy step, and these metrics quantify it.
+"""
+
+from repro.metrics.image import mse, psnr, ssim
+
+__all__ = ["mse", "psnr", "ssim"]

@@ -1,0 +1,112 @@
+"""MSE / PSNR / SSIM implemented from scratch on numpy arrays.
+
+Conventions match the novel-view-synthesis literature: images are float
+arrays in [0, peak] with a channel axis last; SSIM uses the standard
+Gaussian-window constants (K1=0.01, K2=0.03, 11x11 window, sigma=1.5)
+averaged over channels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_SSIM_K1 = 0.01
+_SSIM_K2 = 0.03
+_SSIM_WINDOW = 11
+_SSIM_SIGMA = 1.5
+
+
+def _check_pair(a: np.ndarray, b: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"image shapes differ: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        raise ValueError("images must be non-empty")
+    return a, b
+
+
+def mse(a: np.ndarray, b: np.ndarray) -> float:
+    """Mean squared error between two images of identical shape."""
+    a, b = _check_pair(a, b)
+    return float(np.mean((a - b) ** 2))
+
+
+def psnr(a: np.ndarray, b: np.ndarray, peak: float = 1.0) -> float:
+    """Peak signal-to-noise ratio in dB (``inf`` for identical images).
+
+    Parameters
+    ----------
+    a, b:
+        Images of identical shape.
+    peak:
+        The maximum representable value (1.0 for unit-range floats).
+    """
+    if peak <= 0:
+        raise ValueError("peak must be positive")
+    err = mse(a, b)
+    if err == 0.0:
+        return float("inf")
+    return float(10.0 * np.log10(peak * peak / err))
+
+
+def _gaussian_kernel(size: int, sigma: float) -> np.ndarray:
+    """1D normalised Gaussian window."""
+    offsets = np.arange(size) - (size - 1) / 2.0
+    kernel = np.exp(-0.5 * (offsets / sigma) ** 2)
+    return kernel / kernel.sum()
+
+
+def _filter2d_valid(image: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+    """Separable 'valid'-mode Gaussian filtering of a 2D array."""
+    # Rows then columns; np.convolve in valid mode per axis.
+    k = kernel.size
+    h, w = image.shape
+    if h < k or w < k:
+        raise ValueError(f"image {image.shape} smaller than SSIM window {k}")
+    rows = np.apply_along_axis(
+        lambda m: np.convolve(m, kernel, mode="valid"), 1, image
+    )
+    return np.apply_along_axis(
+        lambda m: np.convolve(m, kernel, mode="valid"), 0, rows
+    )
+
+
+def _ssim_single_channel(a: np.ndarray, b: np.ndarray, peak: float) -> float:
+    kernel = _gaussian_kernel(_SSIM_WINDOW, _SSIM_SIGMA)
+    c1 = (_SSIM_K1 * peak) ** 2
+    c2 = (_SSIM_K2 * peak) ** 2
+
+    mu_a = _filter2d_valid(a, kernel)
+    mu_b = _filter2d_valid(b, kernel)
+    mu_aa = mu_a * mu_a
+    mu_bb = mu_b * mu_b
+    mu_ab = mu_a * mu_b
+
+    sigma_aa = _filter2d_valid(a * a, kernel) - mu_aa
+    sigma_bb = _filter2d_valid(b * b, kernel) - mu_bb
+    sigma_ab = _filter2d_valid(a * b, kernel) - mu_ab
+
+    numerator = (2.0 * mu_ab + c1) * (2.0 * sigma_ab + c2)
+    denominator = (mu_aa + mu_bb + c1) * (sigma_aa + sigma_bb + c2)
+    return float(np.mean(numerator / denominator))
+
+
+def ssim(a: np.ndarray, b: np.ndarray, peak: float = 1.0) -> float:
+    """Structural similarity index, averaged over channels.
+
+    Accepts ``(h, w)`` or ``(h, w, c)`` images; both spatial dimensions
+    must be at least the 11-pixel SSIM window.
+    """
+    if peak <= 0:
+        raise ValueError("peak must be positive")
+    a, b = _check_pair(a, b)
+    if a.ndim == 2:
+        return _ssim_single_channel(a, b, peak)
+    if a.ndim != 3:
+        raise ValueError(f"expected (h, w) or (h, w, c) images, got {a.shape}")
+    channels = [
+        _ssim_single_channel(a[:, :, c], b[:, :, c], peak)
+        for c in range(a.shape[2])
+    ]
+    return float(np.mean(channels))

@@ -1,0 +1,31 @@
+"""Rasterization substrate: tile-wise sorting, alpha math and blending.
+
+Implements the ``Tile-wise Sorting`` and ``Tile-wise Rasterization`` stages
+of Fig. 1: per-tile front-to-back depth ordering, the alpha computation of
+Eq. (1) with its 1/255 significance cut, and the alpha blending of Eq. (2)
+with the 1e-4 transmittance early exit — plus the operation counters every
+performance model in this repository consumes.
+"""
+
+from repro.raster.alpha import ALPHA_CUTOFF, MAX_ALPHA, compute_alpha
+from repro.raster.blend import EARLY_EXIT_TRANSMITTANCE, TileBlendResult, blend_tile
+from repro.raster.renderer import BaselineRenderer, RenderResult
+from repro.raster.sorting import depth_sort, sort_comparison_count
+from repro.raster.stats import RasterCounters, RenderStats, SortCounters, StageCounters
+
+__all__ = [
+    "ALPHA_CUTOFF",
+    "BaselineRenderer",
+    "EARLY_EXIT_TRANSMITTANCE",
+    "MAX_ALPHA",
+    "RasterCounters",
+    "RenderResult",
+    "RenderStats",
+    "SortCounters",
+    "StageCounters",
+    "TileBlendResult",
+    "blend_tile",
+    "compute_alpha",
+    "depth_sort",
+    "sort_comparison_count",
+]

@@ -1,0 +1,53 @@
+"""Alpha computation — Eq. (1) of the paper.
+
+``alpha_i = sigma_i * exp(-1/2 (P - mu_i)^T Sigma_i^{-1} (P - mu_i))``
+
+with the reference implementation's numerical conventions: alphas are
+clamped to 0.99, and values below 1/255 are treated as "no influence" and
+excluded from blending.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Alpha below which a Gaussian is considered not to influence a pixel.
+ALPHA_CUTOFF = 1.0 / 255.0
+
+#: Upper clamp applied to alpha (reference implementation convention).
+MAX_ALPHA = 0.99
+
+
+def compute_alpha(
+    px: np.ndarray,
+    py: np.ndarray,
+    mean2d: np.ndarray,
+    conic: np.ndarray,
+    opacity: float,
+) -> np.ndarray:
+    """Evaluate Eq. (1) for one Gaussian at a batch of pixel centres.
+
+    Parameters
+    ----------
+    px, py:
+        Pixel-centre coordinates (any matching shape).
+    mean2d:
+        ``(2,)`` projected Gaussian centre ``2D_XY``.
+    conic:
+        ``(3,)`` packed inverse covariance ``(a, b, c)`` such that
+        ``Sigma^{-1} = [[a, b], [b, c]]``.
+    opacity:
+        The Gaussian's sigma.
+
+    Returns
+    -------
+    Alpha values, clamped to ``[0, MAX_ALPHA]``.  Positive-power samples
+    (which can only arise from numerical noise at the centre) evaluate to
+    the full opacity, as in the reference code's ``power > 0`` guard.
+    """
+    dx = px - mean2d[0]
+    dy = py - mean2d[1]
+    a, b, c = conic
+    power = -0.5 * (a * dx * dx + 2.0 * b * dx * dy + c * dy * dy)
+    power = np.minimum(power, 0.0)
+    return np.minimum(opacity * np.exp(power), MAX_ALPHA)

@@ -1,0 +1,118 @@
+"""Front-to-back alpha blending — Eq. (2) of the paper.
+
+Each pixel accumulates ``sum_i G_RGB_i * alpha_i * prod_{k<i} (1 - alpha_k)``
+over the depth-sorted Gaussians of its tile, terminating when its
+transmittance ``prod (1 - alpha_k)`` drops below 1e-4 (the early exit of
+the reference implementation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gaussians.projection import ProjectedGaussians
+from repro.raster.alpha import ALPHA_CUTOFF, compute_alpha
+from repro.raster.stats import RasterCounters
+
+#: Transmittance below which a pixel stops processing Gaussians.
+EARLY_EXIT_TRANSMITTANCE = 1e-4
+
+
+@dataclass
+class TileBlendResult:
+    """Blending output for one tile.
+
+    Attributes
+    ----------
+    color:
+        ``(h, w, 3)`` accumulated RGB for the tile's pixels.
+    transmittance:
+        ``(h, w)`` final transmittance per pixel.
+    gaussians_processed:
+        Number of sorted Gaussians examined before the whole tile
+        terminated (equals the list length unless every pixel early-exited).
+    """
+
+    color: np.ndarray
+    transmittance: np.ndarray
+    gaussians_processed: int
+
+
+def blend_tile(
+    proj: ProjectedGaussians,
+    sorted_ids: np.ndarray,
+    px: np.ndarray,
+    py: np.ndarray,
+    counters: "RasterCounters | None" = None,
+) -> TileBlendResult:
+    """Rasterise one tile given its depth-sorted Gaussian list.
+
+    Parameters
+    ----------
+    proj:
+        Projected Gaussians (provides means, conics, colours, opacities).
+    sorted_ids:
+        Depth-sorted indices into ``proj`` for this tile.
+    px, py:
+        Pixel-centre coordinate grids of shape ``(h, w)``.
+    counters:
+        Optional counter sink; alpha evaluations are charged only for
+        pixels still alive, matching a per-pixel GPU thread that stops
+        reading the list once its transmittance is exhausted.
+    """
+    if px.shape != py.shape:
+        raise ValueError("px and py must have the same shape")
+    shape = px.shape
+    flat_x = px.ravel()
+    flat_y = py.ravel()
+    num_pixels = flat_x.shape[0]
+
+    color = np.zeros((num_pixels, 3), dtype=np.float64)
+    transmittance = np.ones(num_pixels, dtype=np.float64)
+    alive = np.ones(num_pixels, dtype=bool)
+    processed = 0
+
+    for gid in sorted_ids:
+        active = int(np.count_nonzero(alive))
+        if active == 0:
+            break
+        processed += 1
+        if counters is not None:
+            counters.num_alpha_computations += active
+
+        alphas = compute_alpha(
+            flat_x[alive],
+            flat_y[alive],
+            proj.means2d[gid],
+            proj.conics[gid],
+            float(proj.opacities[gid]),
+        )
+        significant = alphas >= ALPHA_CUTOFF
+        if counters is not None:
+            counters.num_blend_operations += int(np.count_nonzero(significant))
+        if not np.any(significant):
+            continue
+
+        alive_idx = np.flatnonzero(alive)
+        hit_idx = alive_idx[significant]
+        a = alphas[significant]
+        weight = transmittance[hit_idx] * a
+        color[hit_idx] += weight[:, None] * proj.colors[gid][None, :]
+        transmittance[hit_idx] *= 1.0 - a
+
+        done = transmittance[hit_idx] < EARLY_EXIT_TRANSMITTANCE
+        if np.any(done):
+            alive[hit_idx[done]] = False
+
+    if counters is not None:
+        counters.num_pixels += num_pixels
+        counters.num_tile_passes += len(sorted_ids)
+        counters.num_early_exit_pixels += int(np.count_nonzero(~alive))
+
+    return TileBlendResult(
+        color=color.reshape(*shape, 3),
+        transmittance=transmittance.reshape(shape),
+        gaussians_processed=processed,
+    )

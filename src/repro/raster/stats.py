@@ -1,0 +1,134 @@
+"""Operation counters threaded through the rendering pipelines.
+
+Every stage reports the abstract operations it performed; the GPU timing
+model (``repro.analysis.gpu_model``) and the accelerator cycle simulator
+(``repro.hardware``) both consume these *measured* counts, so performance
+results always derive from real functional behaviour rather than analytic
+estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StageCounters:
+    """Preprocessing-stage counters.
+
+    Attributes
+    ----------
+    num_input_gaussians:
+        Scene size before culling.
+    num_visible_gaussians:
+        Gaussians surviving culling.
+    num_candidate_tiles:
+        Candidate tiles enumerated during tile (or group) identification.
+    num_boundary_tests:
+        Refinement tests executed (OBB / ellipse; zero for AABB).
+    boundary_test_cost:
+        Relative per-test cost of the boundary method used.
+    num_pairs:
+        (Gaussian, tile-or-group) intersection pairs emitted.
+    """
+
+    num_input_gaussians: int = 0
+    num_visible_gaussians: int = 0
+    num_candidate_tiles: int = 0
+    num_boundary_tests: int = 0
+    boundary_test_cost: float = 1.0
+    num_pairs: int = 0
+
+
+@dataclass
+class SortCounters:
+    """Sorting-stage counters.
+
+    Attributes
+    ----------
+    num_sorts:
+        Number of independent sorts (one per tile, or per group in GS-TG).
+    num_keys:
+        Total keys across all sorts.
+    num_comparisons:
+        Modelled comparison count: sum of ``n log2 n`` over sorts.
+    max_sort_length:
+        Largest single sort.
+    """
+
+    num_sorts: int = 0
+    num_keys: int = 0
+    num_comparisons: float = 0.0
+    max_sort_length: int = 0
+
+    def record(self, n: int, comparisons: float) -> None:
+        """Accumulate one sort of length ``n``."""
+        self.num_sorts += 1
+        self.num_keys += n
+        self.num_comparisons += comparisons
+        self.max_sort_length = max(self.max_sort_length, n)
+
+
+@dataclass
+class RasterCounters:
+    """Rasterization-stage counters.
+
+    Attributes
+    ----------
+    num_alpha_computations:
+        Eq. (1) evaluations: one per (pixel, Gaussian) actually examined
+        before that pixel's early exit.
+    num_blend_operations:
+        Eq. (2) accumulations: alpha passed the 1/255 cut.
+    num_pixels:
+        Pixels rasterised.
+    num_tile_passes:
+        (tile, Gaussian) pairs entering rasterization.
+    num_early_exit_pixels:
+        Pixels terminated by the transmittance early exit.
+    """
+
+    num_alpha_computations: int = 0
+    num_blend_operations: int = 0
+    num_pixels: int = 0
+    num_tile_passes: int = 0
+    num_early_exit_pixels: int = 0
+
+
+@dataclass
+class RenderStats:
+    """All counters for one rendered frame, plus GS-TG-specific extras.
+
+    Attributes
+    ----------
+    preprocess:
+        Tile/group identification counters.
+    sort:
+        Depth-sorting counters.
+    raster:
+        Rasterization counters.
+    bitmask_tests:
+        GS-TG only: per-tile boundary tests run during bitmask generation.
+    bitmask_test_cost:
+        GS-TG only: relative cost of the bitmask boundary method.
+    num_bitmasks:
+        GS-TG only: bitmask words produced (one per Gaussian-group pair).
+    bitmask_bits:
+        GS-TG only: width of each bitmask word (16 for the paper's 16+64).
+    num_filter_checks:
+        GS-TG only: ``Tile_Bitmask & Tile_Location`` valid-flag checks
+        performed by the rasterization filter (RM in hardware).
+    per_tile_alpha:
+        Alpha computations per tile id — the per-tile workload profile
+        the pipelined hardware simulator consumes.
+    """
+
+    preprocess: StageCounters = field(default_factory=StageCounters)
+    sort: SortCounters = field(default_factory=SortCounters)
+    raster: RasterCounters = field(default_factory=RasterCounters)
+    bitmask_tests: int = 0
+    bitmask_test_cost: float = 1.0
+    num_bitmasks: int = 0
+    bitmask_bits: int = 0
+    num_filter_checks: int = 0
+    per_tile_alpha: "dict[int, int]" = field(default_factory=dict)

@@ -1,0 +1,363 @@
+"""Procedural Gaussian scenes standing in for the pre-trained models.
+
+Layouts mimic what a trained 3D-GS model of each scene class looks like:
+
+* **outdoor** scenes get a ground sheet of flattened Gaussians, a ring of
+  object clusters around the look-at point and a sparse distant shell;
+* **indoor** scenes get wall/floor sheets of a room box plus furniture
+  blobs inside it.
+
+Gaussian *sizes* are calibrated in screen space: each Gaussian draws a
+target 3-sigma screen radius (pixels) from the scene's log-normal footprint
+distribution and converts it to a world-space scale through its own depth.
+This reproduces the paper's footprint statistics (Fig. 5, Table I, Fig. 7)
+independent of the resolution scale the simulation runs at, because those
+statistics only depend on footprint-vs-tile-size ratios in pixels.
+
+All draws come from one seeded ``numpy`` Generator, so every scene is a
+pure function of ``(name, num_gaussians, resolution_scale, seed)``.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gaussians.camera import Camera, look_at
+from repro.gaussians.cloud import GaussianCloud
+from repro.gaussians.projection import SIGMA_EXTENT
+from repro.gaussians.rotation import random_unit_quaternions
+from repro.gaussians.sh import num_sh_coeffs
+from repro.scenes.datasets import SceneSpec, get_scene_spec
+
+#: Default factor applied to Table II resolutions so the pure-Python
+#: functional simulation stays laptop-scale.  All reproduced metrics are
+#: per-Gaussian / per-pixel ratios, so the factor does not change shapes.
+DEFAULT_RESOLUTION_SCALE = 0.125
+
+#: Relative per-axis anisotropy jitter (log-normal sigma) applied on top
+#: of each Gaussian's sampled footprint radius.
+AXIS_JITTER_SIGMA = 0.35
+
+#: Flattening factor of sheet Gaussians along their surface normal.
+SHEET_FLATTEN = 0.15
+
+
+@dataclass
+class Scene:
+    """A ready-to-render synthetic scene.
+
+    Attributes
+    ----------
+    spec:
+        The Table II entry this scene substitutes.
+    cloud:
+        The procedural Gaussian cloud.
+    camera:
+        A view of the scene at the (scaled) Table II resolution.
+    resolution_scale:
+        Factor applied to the paper's resolution.
+    seed:
+        RNG seed used for synthesis.
+    """
+
+    spec: SceneSpec
+    cloud: GaussianCloud
+    camera: Camera
+    resolution_scale: float
+    seed: int
+
+
+@dataclass
+class _Layout:
+    """Intermediate scene geometry before scales are calibrated.
+
+    ``axis_weights`` are relative per-axis size multipliers with maximum
+    1.0 (sheets carry a flattened normal axis); the loader converts each
+    Gaussian's sampled screen radius into world scales through its depth.
+    """
+
+    positions: np.ndarray
+    rotations: np.ndarray
+    opacities: np.ndarray
+    sh_coeffs: np.ndarray
+    axis_weights: np.ndarray
+
+    @staticmethod
+    def concatenate(parts: "list[_Layout]") -> "_Layout":
+        return _Layout(
+            positions=np.concatenate([p.positions for p in parts]),
+            rotations=np.concatenate([p.rotations for p in parts]),
+            opacities=np.concatenate([p.opacities for p in parts]),
+            sh_coeffs=np.concatenate([p.sh_coeffs for p in parts]),
+            axis_weights=np.concatenate([p.axis_weights for p in parts]),
+        )
+
+
+def _random_sh(rng: np.random.Generator, n: int, degree: int = 1) -> np.ndarray:
+    """Random SH coefficients: strong DC term, weak higher orders."""
+    k = num_sh_coeffs(degree)
+    coeffs = np.zeros((n, k, 3))
+    coeffs[:, 0, :] = rng.uniform(-0.5, 2.0, size=(n, 3))
+    if k > 1:
+        coeffs[:, 1:, :] = rng.normal(0.0, 0.15, size=(n, k - 1, 3))
+    return coeffs
+
+
+def _isotropic_weights(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Per-axis multipliers around 1 with log-normal jitter, max-normalised."""
+    weights = np.exp(rng.normal(0.0, AXIS_JITTER_SIGMA, size=(n, 3)))
+    return weights / weights.max(axis=1, keepdims=True)
+
+
+def _cluster_blob(
+    rng: np.random.Generator,
+    n: int,
+    center: np.ndarray,
+    radius: float,
+    spec: SceneSpec,
+) -> _Layout:
+    """An isotropic-ish blob of Gaussians around ``center``."""
+    return _Layout(
+        positions=center + rng.normal(0.0, radius / 2.0, size=(n, 3)),
+        rotations=random_unit_quaternions(n, rng),
+        opacities=rng.beta(spec.opacity_a, spec.opacity_b, size=n),
+        sh_coeffs=_random_sh(rng, n),
+        axis_weights=_isotropic_weights(rng, n),
+    )
+
+
+def _sheet(
+    rng: np.random.Generator,
+    n: int,
+    center: np.ndarray,
+    extent_u: float,
+    extent_v: float,
+    normal_axis: int,
+    thickness: float,
+    spec: SceneSpec,
+) -> _Layout:
+    """A planar sheet of flattened Gaussians (ground, wall, ceiling)."""
+    axes = [a for a in range(3) if a != normal_axis]
+    positions = np.tile(center, (n, 1)).astype(np.float64)
+    positions[:, axes[0]] += rng.uniform(-extent_u, extent_u, size=n)
+    positions[:, axes[1]] += rng.uniform(-extent_v, extent_v, size=n)
+    positions[:, normal_axis] += rng.normal(0.0, thickness, size=n)
+
+    weights = _isotropic_weights(rng, n)
+    # Trained models represent surfaces with pancake-shaped Gaussians:
+    # flatten the normal axis.
+    weights[:, normal_axis] *= SHEET_FLATTEN
+    # Near-identity rotations keep the pancakes aligned with the plane.
+    quats = rng.normal(0.0, 0.1, size=(n, 4))
+    quats[:, 0] += 1.0
+    return _Layout(
+        positions=positions,
+        rotations=quats,
+        # Surface sheets are slightly more opaque than free-space blobs.
+        opacities=rng.beta(spec.opacity_a + 0.5, spec.opacity_b, size=n),
+        sh_coeffs=_random_sh(rng, n),
+        axis_weights=weights,
+    )
+
+
+def _outdoor_layout(rng: np.random.Generator, spec: SceneSpec, n: int) -> _Layout:
+    """Ground sheet + object-cluster ring + distant shell."""
+    e = spec.world_extent
+    n_ground = max(n // 4, 1)
+    n_shell = max(n // 8, 1)
+    n_objects = max(n - n_ground - n_shell, 1)
+
+    parts = [
+        _sheet(rng, n_ground, np.array([0.0, 0.0, 0.0]), e, e, 1, 0.01 * e, spec)
+    ]
+    per_cluster = np.full(spec.num_clusters, n_objects // spec.num_clusters)
+    per_cluster[: n_objects % spec.num_clusters] += 1
+    for c, count in enumerate(per_cluster):
+        if count == 0:
+            continue
+        angle = 2.0 * np.pi * c / spec.num_clusters + rng.uniform(0, 0.4)
+        dist = rng.uniform(0.15, 0.8) * e
+        center = np.array(
+            [dist * np.cos(angle), rng.uniform(0.05, 0.35) * e, dist * np.sin(angle)]
+        )
+        parts.append(_cluster_blob(rng, int(count), center, 0.12 * e, spec))
+
+    # Distant shell: sky / far background.
+    directions = rng.normal(size=(n_shell, 3))
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    directions[:, 1] = np.abs(directions[:, 1])
+    parts.append(
+        _Layout(
+            positions=directions * rng.uniform(1.5, 2.5, size=(n_shell, 1)) * e,
+            rotations=random_unit_quaternions(n_shell, rng),
+            opacities=rng.beta(1.5, 2.0, size=n_shell),
+            sh_coeffs=_random_sh(rng, n_shell),
+            axis_weights=_isotropic_weights(rng, n_shell),
+        )
+    )
+    return _Layout.concatenate(parts)
+
+
+def _indoor_layout(rng: np.random.Generator, spec: SceneSpec, n: int) -> _Layout:
+    """Room box (floor, ceiling, four walls) + furniture blobs."""
+    e = spec.world_extent
+    n_surfaces = max(n // 2, 6)
+    n_objects = max(n - n_surfaces, 1)
+    per_surface = np.full(6, n_surfaces // 6)
+    per_surface[: n_surfaces % 6] += 1
+
+    half = 0.9 * e
+    height = 0.6 * e
+    surfaces = [
+        (np.array([0.0, -height, 0.0]), half, half, 1),  # floor
+        (np.array([0.0, height, 0.0]), half, half, 1),  # ceiling
+        (np.array([-half, 0.0, 0.0]), height, half, 0),  # left wall
+        (np.array([half, 0.0, 0.0]), height, half, 0),  # right wall
+        (np.array([0.0, 0.0, -half]), half, height, 2),  # back wall
+        (np.array([0.0, 0.0, half]), half, height, 2),  # front wall
+    ]
+    parts = [
+        _sheet(rng, int(count), center, eu, ev, axis, 0.01 * e, spec)
+        for count, (center, eu, ev, axis) in zip(per_surface, surfaces)
+        if count > 0
+    ]
+
+    per_cluster = np.full(spec.num_clusters, n_objects // spec.num_clusters)
+    per_cluster[: n_objects % spec.num_clusters] += 1
+    for count in per_cluster:
+        if count == 0:
+            continue
+        center = np.array(
+            [
+                rng.uniform(-0.6, 0.6) * e,
+                rng.uniform(-0.8, 0.0) * height,
+                rng.uniform(-0.6, 0.6) * e,
+            ]
+        )
+        parts.append(_cluster_blob(rng, int(count), center, 0.1 * e, spec))
+    return _Layout.concatenate(parts)
+
+
+def _calibrate_scales(
+    layout: _Layout,
+    camera: Camera,
+    spec: SceneSpec,
+    resolution_scale: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Convert target screen radii to world scales through depth.
+
+    Each Gaussian samples a 3-sigma screen radius (pixels) from the
+    scene's log-normal footprint distribution; the world scale that
+    produces it at the Gaussian's depth is ``r_px * z / (3 * f)``.  The
+    footprint parameters are expressed at the *rendered* resolution, so
+    profiling statistics are invariant to ``resolution_scale``.
+    Off-frustum Gaussians get a harmless nominal depth.
+    """
+    depths = camera.world_to_camera(layout.positions)[:, 2]
+    safe_depths = np.where(depths > camera.near, depths, spec.world_extent)
+    focal = 0.5 * (camera.fx + camera.fy)
+
+    n = layout.positions.shape[0]
+    radii_px = np.exp(
+        rng.normal(spec.footprint_log_mean_px, spec.footprint_log_std_px, size=n)
+    )
+    radii_px = np.minimum(radii_px, spec.footprint_cap_px)
+    base_scale = radii_px * safe_depths / (SIGMA_EXTENT * focal)
+    scales = layout.axis_weights * base_scale[:, None]
+    return np.maximum(scales, 1e-9)
+
+
+def synthesize_cloud(
+    spec: SceneSpec,
+    num_gaussians: int,
+    rng: np.random.Generator,
+    camera: Camera,
+    resolution_scale: float = 1.0,
+) -> GaussianCloud:
+    """Generate the procedural cloud for a scene spec.
+
+    The camera is required because Gaussian scales are calibrated to the
+    target screen-space footprint distribution (see module docstring).
+    """
+    if num_gaussians <= 0:
+        raise ValueError("num_gaussians must be positive")
+    if spec.scene_type == "indoor":
+        layout = _indoor_layout(rng, spec, num_gaussians)
+    else:
+        layout = _outdoor_layout(rng, spec, num_gaussians)
+    scales = _calibrate_scales(layout, camera, spec, resolution_scale, rng)
+    return GaussianCloud(
+        positions=layout.positions,
+        scales=scales,
+        rotations=layout.rotations,
+        opacities=layout.opacities,
+        sh_coeffs=layout.sh_coeffs,
+    )
+
+
+def _scene_camera(spec: SceneSpec, scale: float) -> Camera:
+    """A deterministic view of the scene at the scaled resolution."""
+    width = max(int(round(spec.width * scale)), 64)
+    height = max(int(round(spec.height * scale)), 64)
+    e = spec.world_extent
+    if spec.scene_type == "indoor":
+        eye = np.array([0.35 * e, -0.1 * e, 0.55 * e])
+        target = np.array([0.0, -0.15 * e, 0.0])
+    else:
+        eye = np.array([0.0, 0.25 * e, 1.1 * e])
+        target = np.array([0.0, 0.1 * e, 0.0])
+    return look_at(
+        eye,
+        target,
+        width=width,
+        height=height,
+        fov_y_degrees=55.0,
+        near=0.02 * e,
+        far=10.0 * e,
+    )
+
+
+def load_scene(
+    name: str,
+    resolution_scale: float = DEFAULT_RESOLUTION_SCALE,
+    num_gaussians: "int | None" = None,
+    seed: int = 0,
+) -> Scene:
+    """Build the synthetic stand-in for a Table II scene.
+
+    Parameters
+    ----------
+    name:
+        Scene key from Table II ("train", "truck", "drjohnson",
+        "playroom", "rubble", "residence").
+    resolution_scale:
+        Factor applied to the paper's resolution (1.0 = full Table II
+        resolution).  The Gaussian budget scales with the pixel count so
+        per-pixel statistics stay stable across scales.
+    num_gaussians:
+        Explicit Gaussian count override.
+    seed:
+        RNG seed; scenes are pure functions of their arguments.
+    """
+    if resolution_scale <= 0:
+        raise ValueError("resolution_scale must be positive")
+    spec = get_scene_spec(name)
+    if num_gaussians is None:
+        num_gaussians = max(int(round(spec.num_gaussians * resolution_scale)), 200)
+    # zlib.crc32 is stable across processes (unlike str hash); it keeps
+    # different scenes decorrelated under the same seed.
+    name_key = zlib.crc32(spec.name.encode("utf-8"))
+    rng = np.random.default_rng(np.random.SeedSequence([seed, name_key]))
+    camera = _scene_camera(spec, resolution_scale)
+    cloud = synthesize_cloud(spec, num_gaussians, rng, camera, resolution_scale)
+    return Scene(
+        spec=spec,
+        cloud=cloud,
+        camera=camera,
+        resolution_scale=resolution_scale,
+        seed=seed,
+    )

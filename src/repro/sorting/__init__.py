@@ -1,0 +1,30 @@
+"""Sorting-hardware substrate.
+
+The GSM of Fig. 10 is a "quick sorting unit ... equipped with 16
+comparators"; GSCore uses hierarchical bitonic sorting; GPU 3D-GS uses
+multi-pass radix sort.  This subpackage provides executable models of
+all three so performance analyses can use *measured* comparison counts
+instead of the ``n log2 n`` closed form, and an ablation can quantify
+how much the closed form deviates.
+"""
+
+from repro.sorting.bitonic import bitonic_comparator_count, bitonic_depth
+from repro.sorting.quicksort import QuickSortResult, counting_quicksort
+from repro.sorting.radix import radix_passes, radix_record_traffic
+from repro.sorting.units import (
+    BitonicSorterModel,
+    QuickSortUnitModel,
+    SorterModel,
+)
+
+__all__ = [
+    "BitonicSorterModel",
+    "QuickSortResult",
+    "QuickSortUnitModel",
+    "SorterModel",
+    "bitonic_comparator_count",
+    "bitonic_depth",
+    "counting_quicksort",
+    "radix_passes",
+    "radix_record_traffic",
+]

@@ -1,0 +1,37 @@
+"""Bitonic sorting network size/depth model (GSCore's hierarchical sorter).
+
+A bitonic network for ``m = 2^k`` inputs has ``k(k+1)/2`` comparator
+stages and ``m/2`` comparators per stage.  Inputs that are not a power
+of two are padded up, exactly as fixed network hardware does.
+"""
+
+from __future__ import annotations
+
+
+def _padded_log2(n: int) -> "tuple[int, int]":
+    """(m, k) with m = 2^k the smallest power of two >= n."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    m, k = 1, 0
+    while m < n:
+        m <<= 1
+        k += 1
+    return m, k
+
+
+def bitonic_depth(n: int) -> int:
+    """Comparator stages a bitonic network needs for ``n`` inputs."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if n == 1:
+        return 0
+    _, k = _padded_log2(n)
+    return k * (k + 1) // 2
+
+
+def bitonic_comparator_count(n: int) -> int:
+    """Total compare-exchange operations for ``n`` inputs (padded)."""
+    if n <= 1:
+        return 0
+    m, _ = _padded_log2(n)
+    return (m // 2) * bitonic_depth(n)

@@ -1,0 +1,29 @@
+"""Radix-sort pass and traffic model (the GPU 3D-GS sorter).
+
+The reference implementation sorts 64-bit (tile | depth) keys with a
+device-wide LSD radix sort; each pass reads and writes every record.
+These helpers size the passes and the record traffic — the quantities
+the DRAM model charges.
+"""
+
+from __future__ import annotations
+
+
+def radix_passes(key_bits: int, digit_bits: int = 8) -> int:
+    """Number of LSD radix passes for ``key_bits``-bit keys."""
+    if key_bits <= 0 or digit_bits <= 0:
+        raise ValueError("key_bits and digit_bits must be positive")
+    return -(-key_bits // digit_bits)
+
+
+def radix_record_traffic(
+    num_records: int, record_bytes: int, key_bits: int, digit_bits: int = 8
+) -> int:
+    """Total bytes moved sorting ``num_records`` records.
+
+    Every pass reads and writes each record once.
+    """
+    if num_records < 0 or record_bytes <= 0:
+        raise ValueError("invalid record count or size")
+    passes = radix_passes(key_bits, digit_bits)
+    return 2 * passes * num_records * record_bytes

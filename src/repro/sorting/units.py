@@ -1,0 +1,70 @@
+"""Cycle models of hardware sorting units.
+
+Two concrete sorters:
+
+* :class:`QuickSortUnitModel` — the GSM's quick sorting unit: each
+  partition sweep streams its span through ``comparators`` parallel
+  comparators, so a span of length ``L`` costs ``ceil(L / comparators)``
+  cycles and the whole sort costs the sum over sweeps.  We approximate
+  sweep spans from the measured pass count and comparisons of an
+  instrumented quicksort run (or from the closed form when counts are
+  modelled).
+* :class:`BitonicSorterModel` — GSCore-class: a fixed network of
+  ``comparators`` compare-exchange units evaluates the bitonic schedule;
+  cycles = total compare-exchanges / comparators, floored by the network
+  depth (stages are sequential).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sorting.bitonic import bitonic_comparator_count, bitonic_depth
+from repro.sorting.quicksort import counting_quicksort
+
+
+@dataclass(frozen=True)
+class SorterModel:
+    """Base: a sorter with ``comparators`` parallel compare units."""
+
+    comparators: int = 16
+
+    def __post_init__(self) -> None:
+        if self.comparators < 1:
+            raise ValueError("comparators must be >= 1")
+
+    def cycles_for_comparisons(self, comparisons: float) -> float:
+        """Cycles for a given comparison count at full utilisation."""
+        return comparisons / self.comparators
+
+
+@dataclass(frozen=True)
+class QuickSortUnitModel(SorterModel):
+    """The GSM's 16-comparator quick sorting unit."""
+
+    def cycles_for_keys(self, keys) -> "tuple[float, int]":
+        """Measured (cycles, comparisons) for an actual key array.
+
+        Runs the instrumented quicksort and converts its comparison
+        count to cycles at the unit's parallelism.
+        """
+        result = counting_quicksort(keys)
+        cycles = self.cycles_for_comparisons(result.comparisons)
+        # A sort cannot be faster than its sequential partition passes.
+        return max(cycles, float(result.partition_passes)), result.comparisons
+
+
+@dataclass(frozen=True)
+class BitonicSorterModel(SorterModel):
+    """A GSCore-class bitonic sorting engine."""
+
+    def cycles_for_length(self, n: int) -> float:
+        """Cycles to sort ``n`` keys through the padded network."""
+        if n <= 1:
+            return 0.0
+        work = bitonic_comparator_count(n) / self.comparators
+        return max(work, float(bitonic_depth(n)))
+
+    def comparator_count(self, n: int) -> int:
+        """Compare-exchange operations for ``n`` keys (padding included)."""
+        return bitonic_comparator_count(n)

@@ -1,0 +1,122 @@
+"""Regular tiling of the output image.
+
+A :class:`TileGrid` partitions a ``width x height`` image into square
+tiles of ``tile_size`` pixels.  Edge tiles are clipped to the image, but
+tile *indexing* is uniform: tile ``(tx, ty)`` covers pixel rows
+``[ty * s, min((ty+1) * s, height))`` and similarly for columns.  The same
+class models the paper's tile *groups* (just a grid with a larger cell).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TileGrid:
+    """A uniform tiling of the image plane.
+
+    Attributes
+    ----------
+    width, height:
+        Image resolution in pixels.
+    tile_size:
+        Edge length of a square tile in pixels.
+    """
+
+    width: int
+    height: int
+    tile_size: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("image dimensions must be positive")
+        if self.tile_size <= 0:
+            raise ValueError("tile_size must be positive")
+
+    @property
+    def tiles_x(self) -> int:
+        """Number of tile columns."""
+        return -(-self.width // self.tile_size)
+
+    @property
+    def tiles_y(self) -> int:
+        """Number of tile rows."""
+        return -(-self.height // self.tile_size)
+
+    @property
+    def num_tiles(self) -> int:
+        """Total tile count."""
+        return self.tiles_x * self.tiles_y
+
+    def tile_id(self, tx: "int | np.ndarray", ty: "int | np.ndarray") -> "int | np.ndarray":
+        """Row-major tile index for column ``tx``, row ``ty``."""
+        return ty * self.tiles_x + tx
+
+    def tile_coords(self, tile_id: "int | np.ndarray") -> "tuple":
+        """Inverse of :meth:`tile_id`: returns ``(tx, ty)``."""
+        return tile_id % self.tiles_x, tile_id // self.tiles_x
+
+    def tile_rect(self, tile_id: int) -> "tuple[float, float, float, float]":
+        """Pixel rectangle ``(x0, y0, x1, y1)`` of a tile, clipped to the image."""
+        tx, ty = self.tile_coords(tile_id)
+        x0 = tx * self.tile_size
+        y0 = ty * self.tile_size
+        return (
+            float(x0),
+            float(y0),
+            float(min(x0 + self.tile_size, self.width)),
+            float(min(y0 + self.tile_size, self.height)),
+        )
+
+    def tile_rects(self, tile_ids: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`tile_rect`: ``(k, 4)`` rectangles."""
+        tile_ids = np.asarray(tile_ids)
+        tx, ty = self.tile_coords(tile_ids)
+        x0 = (tx * self.tile_size).astype(np.float64)
+        y0 = (ty * self.tile_size).astype(np.float64)
+        x1 = np.minimum(x0 + self.tile_size, float(self.width))
+        y1 = np.minimum(y0 + self.tile_size, float(self.height))
+        return np.stack([x0, y0, x1, y1], axis=1)
+
+    def tile_pixels(self, tile_id: int) -> "tuple[np.ndarray, np.ndarray]":
+        """Pixel-centre coordinate grids ``(xs, ys)`` covering a tile.
+
+        Pixel centres are at integer + 0.5 positions, matching the
+        rasteriser's sampling convention.
+        """
+        x0, y0, x1, y1 = self.tile_rect(tile_id)
+        xs = np.arange(x0, x1) + 0.5
+        ys = np.arange(y0, y1) + 0.5
+        return np.meshgrid(xs, ys)
+
+    def tile_range_for_rect(
+        self, x0: float, y0: float, x1: float, y1: float
+    ) -> "tuple[int, int, int, int]":
+        """Inclusive-exclusive tile index ranges overlapped by a pixel rect.
+
+        Returns ``(tx0, ty0, tx1, ty1)`` such that tiles with
+        ``tx0 <= tx < tx1`` and ``ty0 <= ty < ty1`` overlap the rectangle.
+        Empty (``tx0 >= tx1``) when the rect misses the image.
+        """
+        tx0 = max(int(np.floor(x0 / self.tile_size)), 0)
+        ty0 = max(int(np.floor(y0 / self.tile_size)), 0)
+        tx1 = min(int(np.ceil(x1 / self.tile_size)), self.tiles_x)
+        ty1 = min(int(np.ceil(y1 / self.tile_size)), self.tiles_y)
+        return tx0, ty0, max(tx1, tx0), max(ty1, ty0)
+
+    def tiles_in_range(self, tx0: int, ty0: int, tx1: int, ty1: int) -> np.ndarray:
+        """Row-major tile ids of the rectangle of tiles ``[tx0,tx1) x [ty0,ty1)``."""
+        if tx0 >= tx1 or ty0 >= ty1:
+            return np.empty(0, dtype=np.int64)
+        txs = np.arange(tx0, tx1)
+        tys = np.arange(ty0, ty1)
+        gx, gy = np.meshgrid(txs, tys)
+        return (gy * self.tiles_x + gx).ravel()
+
+    def num_pixels_in_tile(self, tile_id: int) -> int:
+        """Number of real image pixels inside a (possibly clipped) tile."""
+        x0, y0, x1, y1 = self.tile_rect(tile_id)
+        return int((x1 - x0) * (y1 - y0))

@@ -1,0 +1,141 @@
+"""Tile identification: which tiles does each Gaussian influence?
+
+Produces a :class:`TileAssignment` — the flattened (Gaussian, tile) pair
+list the sorting and rasterization stages consume — together with the
+operation counters the GPU timing model uses (candidate tiles enumerated,
+boundary tests run, pairs emitted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gaussians.projection import ProjectedGaussians
+from repro.tiles.boundary import BoundaryMethod, bounding_rect, gaussian_rect_hits
+from repro.tiles.grid import TileGrid
+
+
+@dataclass
+class TileAssignment:
+    """Flattened Gaussian-tile intersection pairs, grouped by Gaussian.
+
+    Attributes
+    ----------
+    grid:
+        The tiling the assignment refers to.
+    method:
+        Boundary method used.
+    gaussian_ids:
+        ``(k,)`` indices into the projected-Gaussian arrays.
+    tile_ids:
+        ``(k,)`` matching tile indices; pairs are sorted by Gaussian id
+        (construction order) with each Gaussian's tiles in row-major order.
+    num_gaussians:
+        Number of projected Gaussians the assignment covers (including
+        Gaussians that hit zero tiles).
+    num_candidate_tiles:
+        Total candidate tiles enumerated from bounding rectangles.
+    num_boundary_tests:
+        Per-rectangle refinement tests actually executed (0 for AABB,
+        whose bounding rectangle *is* the boundary).
+    """
+
+    grid: TileGrid
+    method: BoundaryMethod
+    gaussian_ids: np.ndarray
+    tile_ids: np.ndarray
+    num_gaussians: int
+    num_candidate_tiles: int = 0
+    num_boundary_tests: int = 0
+    _per_tile: "list | None" = field(default=None, repr=False)
+
+    @property
+    def num_pairs(self) -> int:
+        """Total number of (Gaussian, tile) intersection pairs."""
+        return int(self.gaussian_ids.shape[0])
+
+    def tiles_per_gaussian(self) -> np.ndarray:
+        """``(num_gaussians,)`` count of tiles each Gaussian intersects."""
+        return np.bincount(self.gaussian_ids, minlength=self.num_gaussians)
+
+    def gaussians_per_tile(self) -> np.ndarray:
+        """``(num_tiles,)`` count of Gaussians per tile."""
+        return np.bincount(self.tile_ids, minlength=self.grid.num_tiles)
+
+    def per_tile_gaussians(self) -> "list[np.ndarray]":
+        """Per-tile lists of Gaussian indices, in emission (Gaussian) order.
+
+        Cached: the rasteriser and the sorters both consume it.
+        """
+        if self._per_tile is None:
+            order = np.argsort(self.tile_ids, kind="stable")
+            sorted_tiles = self.tile_ids[order]
+            sorted_gauss = self.gaussian_ids[order]
+            boundaries = np.searchsorted(
+                sorted_tiles, np.arange(self.grid.num_tiles + 1)
+            )
+            self._per_tile = [
+                sorted_gauss[boundaries[t] : boundaries[t + 1]]
+                for t in range(self.grid.num_tiles)
+            ]
+        return self._per_tile
+
+
+def identify_tiles(
+    proj: ProjectedGaussians,
+    grid: TileGrid,
+    method: BoundaryMethod = BoundaryMethod.AABB,
+) -> TileAssignment:
+    """Compute the Gaussian-tile intersection pairs for one view.
+
+    For each projected Gaussian the candidate tiles are enumerated from the
+    boundary shape's axis-aligned extent; OBB and ELLIPSE then refine each
+    candidate with their exact test.  AABB marks every candidate (that is
+    its defining sloppiness — Fig. 2a).
+    """
+    gaussian_chunks: "list[np.ndarray]" = []
+    tile_chunks: "list[np.ndarray]" = []
+    num_candidates = 0
+    num_tests = 0
+
+    # Every method is refined against the *clipped* tile rectangles so the
+    # per-tile sets here agree exactly with the bitmask generator's tests
+    # (which see the same clipped rects).  For AABB the refinement only
+    # trims degenerate overlaps at the image border, and it is not charged
+    # as a boundary test — AABB's cost remains a pure range computation.
+    counted = method is not BoundaryMethod.AABB
+    for i in range(len(proj)):
+        x0, y0, x1, y1 = bounding_rect(proj, i, method)
+        tx0, ty0, tx1, ty1 = grid.tile_range_for_rect(x0, y0, x1, y1)
+        candidates = grid.tiles_in_range(tx0, ty0, tx1, ty1)
+        if candidates.size == 0:
+            continue
+        num_candidates += candidates.size
+        rects = grid.tile_rects(candidates)
+        hits = gaussian_rect_hits(proj, i, rects, method)
+        if counted:
+            num_tests += candidates.size
+        candidates = candidates[hits]
+        if candidates.size == 0:
+            continue
+        gaussian_chunks.append(np.full(candidates.size, i, dtype=np.int64))
+        tile_chunks.append(candidates)
+
+    if gaussian_chunks:
+        gaussian_ids = np.concatenate(gaussian_chunks)
+        tile_ids = np.concatenate(tile_chunks)
+    else:
+        gaussian_ids = np.empty(0, dtype=np.int64)
+        tile_ids = np.empty(0, dtype=np.int64)
+
+    return TileAssignment(
+        grid=grid,
+        method=method,
+        gaussian_ids=gaussian_ids,
+        tile_ids=tile_ids,
+        num_gaussians=len(proj),
+        num_candidate_tiles=num_candidates,
+        num_boundary_tests=num_tests,
+    )

@@ -1,0 +1,114 @@
+"""Unit tests for the GPU timing model."""
+
+import pytest
+
+from repro.analysis.gpu_model import (
+    GPUCostModel,
+    baseline_frame_times,
+    gstg_frame_times,
+)
+from repro.raster.stats import RenderStats
+
+
+def _stats(
+    *,
+    inputs=100,
+    visible=80,
+    tests=50,
+    test_cost=1.0,
+    pairs=200,
+    sorts=4,
+    keys=200,
+    comparisons=1000.0,
+    alphas=5000,
+    blends=2000,
+    bitmask_tests=0,
+    bitmask_cost=1.0,
+    bitmasks=0,
+    filters=0,
+):
+    s = RenderStats()
+    s.preprocess.num_input_gaussians = inputs
+    s.preprocess.num_visible_gaussians = visible
+    s.preprocess.num_boundary_tests = tests
+    s.preprocess.boundary_test_cost = test_cost
+    s.preprocess.num_pairs = pairs
+    s.sort.num_sorts = sorts
+    s.sort.num_keys = keys
+    s.sort.num_comparisons = comparisons
+    s.raster.num_alpha_computations = alphas
+    s.raster.num_blend_operations = blends
+    s.bitmask_tests = bitmask_tests
+    s.bitmask_test_cost = bitmask_cost
+    s.num_bitmasks = bitmasks
+    s.num_filter_checks = filters
+    return s
+
+
+class TestBaselineTimes:
+    def test_manual_accounting(self):
+        m = GPUCostModel(
+            feature_ns=10, cull_ns=1, range_ns=2, boundary_test_ns=3,
+            pair_emit_ns=4, sort_compare_ns=1, sort_key_ns=2, alpha_ns=1,
+            blend_ns=0.5, filter_ns=0.1, sort_launch_ns=100,
+        )
+        s = _stats()
+        t = baseline_frame_times(s, m)
+        expected_pre = (100 * 1 + 80 * (10 + 2) + 50 * 3 * 1.0 + 200 * 4) / 1e6
+        expected_sort = (1000 * 1 + 200 * 2 + 4 * 100) / 1e6
+        expected_raster = (5000 * 1 + 2000 * 0.5) / 1e6
+        assert t.preprocessing == pytest.approx(expected_pre)
+        assert t.sorting == pytest.approx(expected_sort)
+        assert t.rasterization == pytest.approx(expected_raster)
+        assert t.total == pytest.approx(expected_pre + expected_sort + expected_raster)
+
+    def test_method_cost_multiplies_tests(self):
+        cheap = baseline_frame_times(_stats(test_cost=1.0))
+        costly = baseline_frame_times(_stats(test_cost=6.0))
+        assert costly.preprocessing > cheap.preprocessing
+        assert costly.sorting == cheap.sorting
+
+    def test_more_alphas_cost_more(self):
+        a = baseline_frame_times(_stats(alphas=1000))
+        b = baseline_frame_times(_stats(alphas=100000))
+        assert b.rasterization > a.rasterization
+
+
+class TestGstgTimes:
+    def test_bitmask_charged_to_preprocessing_on_gpu(self):
+        without = gstg_frame_times(_stats())
+        with_masks = gstg_frame_times(_stats(bitmask_tests=10000, bitmask_cost=6.0))
+        assert with_masks.preprocessing > without.preprocessing
+        assert with_masks.sorting == without.sorting
+
+    def test_bitmask_hidden_when_overlapped(self):
+        s = _stats(bitmask_tests=100, bitmask_cost=1.0, comparisons=1e6)
+        gpu = gstg_frame_times(s, overlap_bitmask=False)
+        accel = gstg_frame_times(s, overlap_bitmask=True)
+        # Sorting dominates the bitmask work, so overlapping hides it all.
+        assert accel.preprocessing < gpu.preprocessing
+        assert accel.sorting == gpu.sorting
+
+    def test_overlap_takes_max(self):
+        # Huge bitmask load, tiny sorting: the sort stage becomes the
+        # bitmask time under overlap.
+        m = GPUCostModel()
+        s = _stats(bitmask_tests=10_000_000, bitmask_cost=1.0, comparisons=0.0,
+                   keys=0, sorts=0)
+        t = gstg_frame_times(s, m, overlap_bitmask=True)
+        assert t.sorting == pytest.approx(10_000_000 * m.boundary_test_ns / 1e6)
+
+    def test_filter_checks_charged_to_raster(self):
+        a = gstg_frame_times(_stats(filters=0))
+        b = gstg_frame_times(_stats(filters=1_000_000))
+        assert b.rasterization > a.rasterization
+        assert b.preprocessing == a.preprocessing
+
+    def test_defaults_are_positive(self):
+        m = GPUCostModel()
+        for field in (
+            m.feature_ns, m.cull_ns, m.range_ns, m.boundary_test_ns,
+            m.pair_emit_ns, m.sort_compare_ns, m.sort_key_ns, m.alpha_ns,
+            m.blend_ns, m.filter_ns, m.sort_launch_ns,
+        ):
+            assert field > 0

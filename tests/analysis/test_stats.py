@@ -1,0 +1,93 @@
+"""Unit tests for the Section III profiling statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    gaussians_per_pixel,
+    shared_fraction,
+    tile_statistics,
+    tiles_per_gaussian,
+)
+from repro.tiles.boundary import BoundaryMethod
+from repro.tiles.grid import TileGrid
+from repro.tiles.identify import TileAssignment, identify_tiles
+
+
+def _manual_assignment(grid, pairs, num_gaussians):
+    gauss = np.array([p[0] for p in pairs], dtype=np.int64)
+    tiles = np.array([p[1] for p in pairs], dtype=np.int64)
+    return TileAssignment(
+        grid=grid,
+        method=BoundaryMethod.AABB,
+        gaussian_ids=gauss,
+        tile_ids=tiles,
+        num_gaussians=num_gaussians,
+    )
+
+
+class TestManualCases:
+    def test_tiles_per_gaussian_mean_over_active(self):
+        grid = TileGrid(32, 32, 16)  # 4 tiles
+        # gaussian 0 -> 3 tiles, gaussian 1 -> 1 tile, gaussian 2 -> none.
+        a = _manual_assignment(grid, [(0, 0), (0, 1), (0, 2), (1, 3)], 3)
+        assert tiles_per_gaussian(a) == pytest.approx(2.0)
+
+    def test_shared_fraction_counts_multi_tile(self):
+        grid = TileGrid(32, 32, 16)
+        a = _manual_assignment(grid, [(0, 0), (0, 1), (1, 3)], 2)
+        assert shared_fraction(a) == pytest.approx(0.5)
+
+    def test_gaussians_per_pixel_weighted(self):
+        grid = TileGrid(32, 32, 16)  # 4 equal tiles of 256 px
+        a = _manual_assignment(grid, [(0, 0), (1, 0), (2, 1)], 3)
+        # tile 0 has 2 gaussians, tile 1 has 1, tiles 2,3 have 0.
+        expected = (2 * 256 + 1 * 256) / (32 * 32)
+        assert gaussians_per_pixel(a) == pytest.approx(expected)
+
+    def test_empty_assignment(self):
+        grid = TileGrid(32, 32, 16)
+        a = _manual_assignment(grid, [], 0)
+        assert tiles_per_gaussian(a) == 0.0
+        assert shared_fraction(a) == 0.0
+        assert gaussians_per_pixel(a) == 0.0
+
+    def test_clipped_tiles_weighted_less(self):
+        grid = TileGrid(20, 16, 16)  # tile 0: 256 px, tile 1: 4x16=64 px
+        a = _manual_assignment(grid, [(0, 1)], 1)
+        assert gaussians_per_pixel(a) == pytest.approx(64 / (20 * 16))
+
+
+class TestPaperTrends:
+    """The Section III monotonicities on a real projected cloud."""
+
+    @pytest.fixture
+    def assignments(self, projected, camera):
+        return {
+            ts: identify_tiles(
+                projected,
+                TileGrid(camera.width, camera.height, ts),
+                BoundaryMethod.AABB,
+            )
+            for ts in (8, 16, 32)
+        }
+
+    def test_tiles_per_gaussian_decreases_with_tile_size(self, assignments):
+        values = [tiles_per_gaussian(assignments[ts]) for ts in (8, 16, 32)]
+        assert values[0] >= values[1] >= values[2]
+
+    def test_shared_fraction_decreases_with_tile_size(self, assignments):
+        values = [shared_fraction(assignments[ts]) for ts in (8, 16, 32)]
+        assert values[0] >= values[1] >= values[2]
+
+    def test_gaussians_per_pixel_increases_with_tile_size(self, assignments):
+        values = [gaussians_per_pixel(assignments[ts]) for ts in (8, 16, 32)]
+        assert values[0] <= values[1] <= values[2]
+
+    def test_bundle_matches_parts(self, assignments):
+        stats = tile_statistics(assignments[16])
+        assert stats.tile_size == 16
+        assert stats.method == "aabb"
+        assert stats.tiles_per_gaussian == tiles_per_gaussian(assignments[16])
+        assert stats.shared_fraction == shared_fraction(assignments[16])
+        assert stats.num_pairs == assignments[16].num_pairs

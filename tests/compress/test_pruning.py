@@ -1,0 +1,93 @@
+"""Unit tests for Gaussian pruning."""
+
+import numpy as np
+import pytest
+
+from repro.compress.pruning import importance_scores, prune_by_opacity, prune_to_budget
+from tests.conftest import make_cloud
+
+
+class TestOpacityPruning:
+    def test_threshold_respected(self, rng):
+        cloud = make_cloud(100, rng, opacity_range=(0.0, 1.0))
+        pruned = prune_by_opacity(cloud, 0.5)
+        assert np.all(pruned.opacities >= 0.5)
+
+    def test_zero_threshold_keeps_all(self, rng):
+        cloud = make_cloud(50, rng)
+        assert len(prune_by_opacity(cloud, 0.0)) == 50
+
+    def test_invalid_threshold_rejected(self, rng):
+        cloud = make_cloud(5, rng)
+        with pytest.raises(ValueError):
+            prune_by_opacity(cloud, 1.5)
+
+    def test_count_matches_mask(self, rng):
+        cloud = make_cloud(200, rng, opacity_range=(0.0, 1.0))
+        pruned = prune_by_opacity(cloud, 0.3)
+        assert len(pruned) == int(np.count_nonzero(cloud.opacities >= 0.3))
+
+
+class TestBudgetPruning:
+    def test_budget_size(self, rng):
+        cloud = make_cloud(100, rng)
+        assert len(prune_to_budget(cloud, 0.25)) == 25
+
+    def test_keeps_most_important(self, rng):
+        cloud = make_cloud(100, rng, opacity_range=(0.01, 1.0))
+        pruned = prune_to_budget(cloud, 0.2)
+        kept_min = importance_scores(pruned).min()
+        full_scores = np.sort(importance_scores(cloud))[::-1]
+        assert kept_min >= full_scores[19] - 1e-12
+
+    def test_full_budget_identity(self, rng):
+        cloud = make_cloud(40, rng)
+        pruned = prune_to_budget(cloud, 1.0)
+        assert np.array_equal(pruned.positions, cloud.positions)
+
+    def test_invalid_fraction_rejected(self, rng):
+        cloud = make_cloud(5, rng)
+        with pytest.raises(ValueError):
+            prune_to_budget(cloud, 0.0)
+
+    def test_scores_positive_and_monotone_in_opacity(self, rng):
+        cloud = make_cloud(50, rng, opacity_range=(0.1, 1.0))
+        scores = importance_scores(cloud)
+        assert np.all(scores > 0)
+        boosted = type(cloud)(
+            positions=cloud.positions,
+            scales=cloud.scales,
+            rotations=cloud.rotations,
+            opacities=np.clip(cloud.opacities * 1.1, 0, 1),
+            sh_coeffs=cloud.sh_coeffs,
+        )
+        assert np.all(importance_scores(boosted) >= scores - 1e-12)
+
+
+class TestCompositionWithGSTG:
+    def test_gstg_lossless_on_pruned_cloud(self, rng, camera):
+        """The paper's integration claim: GS-TG composes with pruning and
+        stays lossless relative to the baseline on the pruned model."""
+        from repro.core.pipeline import GSTGRenderer
+        from repro.raster.renderer import BaselineRenderer
+        from repro.tiles.boundary import BoundaryMethod
+
+        cloud = prune_to_budget(make_cloud(80, rng), 0.5)
+        base = BaselineRenderer(16, BoundaryMethod.ELLIPSE).render(cloud, camera)
+        ours = GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE).render(cloud, camera)
+        assert np.array_equal(base.image, ours.image)
+
+    def test_pruning_reduces_both_pipelines_work(self, rng, camera):
+        from repro.core.pipeline import GSTGRenderer
+        from repro.tiles.boundary import BoundaryMethod
+
+        cloud = make_cloud(80, rng)
+        pruned = prune_to_budget(cloud, 0.4)
+        renderer = GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE)
+        full = renderer.render(cloud, camera)
+        small = renderer.render(pruned, camera)
+        assert small.stats.sort.num_keys < full.stats.sort.num_keys
+        assert (
+            small.stats.raster.num_alpha_computations
+            < full.stats.raster.num_alpha_computations
+        )

@@ -1,0 +1,97 @@
+"""Unit tests for scalar quantization."""
+
+import numpy as np
+import pytest
+
+from repro.compress.quantization import _quantize_array, quantize_cloud
+from tests.conftest import make_cloud
+
+
+class TestQuantizeArray:
+    def test_levels_bounded(self, rng):
+        values = rng.random(1000)
+        out = _quantize_array(values, 4)
+        assert len(np.unique(out)) <= 16
+
+    def test_range_preserved(self, rng):
+        values = rng.random(100)
+        out = _quantize_array(values, 8)
+        assert out.min() >= values.min() - 1e-12
+        assert out.max() <= values.max() + 1e-12
+
+    def test_error_bounded_by_half_step(self, rng):
+        values = rng.random(500)
+        bits = 6
+        out = _quantize_array(values, bits)
+        step = (values.max() - values.min()) / ((1 << bits) - 1)
+        assert np.max(np.abs(out - values)) <= step / 2 + 1e-12
+
+    def test_constant_array(self):
+        values = np.full(10, 3.5)
+        assert np.allclose(_quantize_array(values, 8), 3.5)
+
+    def test_more_bits_less_error(self, rng):
+        values = rng.random(500)
+        err4 = np.abs(_quantize_array(values, 4) - values).mean()
+        err8 = np.abs(_quantize_array(values, 8) - values).mean()
+        assert err8 < err4
+
+
+class TestQuantizeCloud:
+    def test_geometry_exact_by_default(self, rng):
+        cloud = make_cloud(50, rng)
+        q = quantize_cloud(cloud)
+        assert np.array_equal(q.positions, cloud.positions)
+        assert np.array_equal(q.scales, cloud.scales)
+
+    def test_appearance_quantized(self, rng):
+        cloud = make_cloud(50, rng)
+        q = quantize_cloud(cloud, sh_bits=4)
+        assert not np.array_equal(q.sh_coeffs, cloud.sh_coeffs)
+        assert len(np.unique(q.sh_coeffs)) <= 16
+
+    def test_opacities_stay_valid(self, rng):
+        cloud = make_cloud(50, rng, opacity_range=(0.0, 1.0))
+        q = quantize_cloud(cloud, opacity_bits=3)
+        assert np.all(q.opacities >= 0.0)
+        assert np.all(q.opacities <= 1.0)
+
+    def test_geometry_quantization_optional(self, rng):
+        cloud = make_cloud(50, rng)
+        q = quantize_cloud(cloud, geometry_bits=10)
+        assert not np.array_equal(q.positions, cloud.positions)
+        assert np.all(q.scales > 0.0)
+
+    def test_invalid_bits_rejected(self, rng):
+        cloud = make_cloud(5, rng)
+        with pytest.raises(ValueError):
+            quantize_cloud(cloud, sh_bits=0)
+        with pytest.raises(ValueError):
+            quantize_cloud(cloud, geometry_bits=2)
+
+    def test_gstg_lossless_on_quantized_cloud(self, rng, camera):
+        """Integration claim, quantization flavour."""
+        from repro.core.pipeline import GSTGRenderer
+        from repro.raster.renderer import BaselineRenderer
+        from repro.tiles.boundary import BoundaryMethod
+
+        cloud = quantize_cloud(make_cloud(60, rng), sh_bits=5, opacity_bits=5)
+        base = BaselineRenderer(16, BoundaryMethod.OBB).render(cloud, camera)
+        ours = GSTGRenderer(16, 64, BoundaryMethod.OBB).render(cloud, camera)
+        assert np.array_equal(base.image, ours.image)
+
+    def test_quality_degrades_gracefully(self, rng, camera):
+        """PSNR drops monotonically with fewer SH bits."""
+        from repro.metrics import psnr
+        from repro.raster.renderer import BaselineRenderer
+
+        cloud = make_cloud(60, rng)
+        renderer = BaselineRenderer(16)
+        reference = renderer.render(cloud, camera).image
+        peak = max(reference.max(), 1.0)
+        values = []
+        for bits in (8, 4, 2):
+            q = quantize_cloud(cloud, sh_bits=bits)
+            image = renderer.render(q, camera).image
+            values.append(psnr(reference, image, peak=peak))
+        assert values[0] >= values[1] >= values[2]

@@ -1,0 +1,81 @@
+"""Shared fixtures: small deterministic clouds, cameras and projections.
+
+Unit tests use hand-sized synthetic inputs (tens of Gaussians, ~64x48
+images) so the whole suite stays fast; integration tests build slightly
+larger scenes through the public scene loader.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gaussians.camera import Camera, look_at
+from repro.gaussians.cloud import GaussianCloud
+from repro.gaussians.projection import project
+from repro.gaussians.rotation import random_unit_quaternions
+
+
+def make_cloud(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    depth_range: "tuple[float, float]" = (3.0, 12.0),
+    spread: float = 3.0,
+    scale_range: "tuple[float, float]" = (0.05, 0.4),
+    opacity_range: "tuple[float, float]" = (0.2, 0.95),
+    sh_degree: int = 1,
+) -> GaussianCloud:
+    """A random cloud in front of the default camera (which looks down +z)."""
+    positions = np.stack(
+        [
+            rng.uniform(-spread, spread, n),
+            rng.uniform(-spread, spread, n),
+            rng.uniform(*depth_range, n),
+        ],
+        axis=1,
+    )
+    k = (sh_degree + 1) ** 2
+    return GaussianCloud(
+        positions=positions,
+        scales=rng.uniform(*scale_range, size=(n, 3)),
+        rotations=random_unit_quaternions(n, rng),
+        opacities=rng.uniform(*opacity_range, n),
+        sh_coeffs=rng.normal(0.0, 0.4, size=(n, k, 3)),
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for every test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def camera() -> Camera:
+    """A small identity-pose camera: 64x48, looking down +z."""
+    return Camera(width=64, height=48, fx=60.0, fy=60.0, near=0.1, far=100.0)
+
+
+@pytest.fixture
+def small_cloud(rng: np.random.Generator) -> GaussianCloud:
+    """~60 random Gaussians in front of ``camera``."""
+    return make_cloud(60, rng)
+
+
+@pytest.fixture
+def projected(small_cloud, camera):
+    """Projection of ``small_cloud`` through ``camera``."""
+    return project(small_cloud, camera)
+
+
+@pytest.fixture
+def lookat_camera() -> Camera:
+    """An off-axis camera built with the look_at helper."""
+    return look_at(
+        eye=[4.0, 3.0, -6.0],
+        target=[0.0, 0.0, 6.0],
+        width=80,
+        height=60,
+        fov_y_degrees=50.0,
+    )

@@ -1,0 +1,99 @@
+"""Unit tests for tile-group geometry (Fig. 8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.grouping import GroupGeometry, is_lossless_combination
+from repro.tiles.boundary import BoundaryMethod
+
+
+@pytest.fixture
+def geometry():
+    return GroupGeometry(width=160, height=96, tile_size=16, group_size=64)
+
+
+class TestAlignmentInvariant:
+    def test_misaligned_sizes_rejected(self):
+        """Fig. 8a: group size not a multiple of tile size is forbidden."""
+        with pytest.raises(ValueError):
+            GroupGeometry(width=160, height=96, tile_size=16, group_size=40)
+
+    def test_nonpositive_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            GroupGeometry(width=160, height=96, tile_size=0, group_size=64)
+
+    def test_paper_design_point_is_16_bits(self, geometry):
+        assert geometry.tiles_per_side == 4
+        assert geometry.tiles_per_group == 16
+
+    def test_group_equals_tile_degenerates(self):
+        geo = GroupGeometry(width=64, height=64, tile_size=16, group_size=16)
+        assert geo.tiles_per_group == 1
+
+
+class TestTileGroupMapping:
+    def test_every_tile_has_unique_group(self, geometry):
+        tg = geometry.tile_grid
+        for tile_id in range(tg.num_tiles):
+            group = geometry.group_of_tile(tile_id)
+            assert 0 <= group < geometry.group_grid.num_tiles
+
+    def test_tiles_of_group_roundtrip(self, geometry):
+        for group_id in range(geometry.group_grid.num_tiles):
+            for tile_id in geometry.tiles_of_group(group_id):
+                assert geometry.group_of_tile(int(tile_id)) == group_id
+
+    def test_groups_partition_tiles(self, geometry):
+        seen = []
+        for group_id in range(geometry.group_grid.num_tiles):
+            seen.extend(geometry.tiles_of_group(group_id).tolist())
+        assert sorted(seen) == list(range(geometry.tile_grid.num_tiles))
+
+    def test_full_group_has_16_tiles(self, geometry):
+        assert geometry.tiles_of_group(0).size == 16
+
+    def test_clipped_group_has_fewer_tiles(self):
+        # 80x80 image, 64px groups: the right/bottom groups are clipped.
+        geo = GroupGeometry(width=80, height=80, tile_size=16, group_size=64)
+        right_group = geo.group_grid.tile_id(1, 0)
+        assert geo.tiles_of_group(right_group).size == 4  # 1 x 4 tiles
+
+    def test_slots_match_tiles(self, geometry):
+        for group_id in range(geometry.group_grid.num_tiles):
+            tiles = geometry.tiles_of_group(group_id)
+            slots = geometry.slots_of_group(group_id)
+            assert tiles.shape == slots.shape
+            for tile_id, slot in zip(tiles, slots):
+                assert geometry.local_tile_slot(int(tile_id), group_id) == slot
+
+    def test_slots_row_major(self, geometry):
+        slots = geometry.slots_of_group(0)
+        assert slots.tolist() == list(range(16))
+
+    def test_slot_for_foreign_tile_rejected(self, geometry):
+        foreign_tile = geometry.tiles_of_group(1)[0]
+        with pytest.raises(ValueError):
+            geometry.local_tile_slot(int(foreign_tile), 0)
+
+    def test_slots_bounded_by_bitmask_width(self, geometry):
+        for group_id in range(geometry.group_grid.num_tiles):
+            slots = geometry.slots_of_group(group_id)
+            assert np.all(slots < geometry.tiles_per_group)
+
+
+class TestLosslessCombination:
+    @pytest.mark.parametrize("method", list(BoundaryMethod))
+    def test_same_method_lossless(self, method):
+        assert is_lossless_combination(method, method)
+
+    def test_boxes_contain_ellipse(self):
+        assert is_lossless_combination(BoundaryMethod.AABB, BoundaryMethod.ELLIPSE)
+        assert is_lossless_combination(BoundaryMethod.OBB, BoundaryMethod.ELLIPSE)
+
+    def test_boxes_do_not_contain_each_other(self):
+        assert not is_lossless_combination(BoundaryMethod.AABB, BoundaryMethod.OBB)
+        assert not is_lossless_combination(BoundaryMethod.OBB, BoundaryMethod.AABB)
+
+    def test_ellipse_does_not_contain_boxes(self):
+        assert not is_lossless_combination(BoundaryMethod.ELLIPSE, BoundaryMethod.AABB)
+        assert not is_lossless_combination(BoundaryMethod.ELLIPSE, BoundaryMethod.OBB)

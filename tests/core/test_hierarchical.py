@@ -1,0 +1,86 @@
+"""Tests for the two-level hierarchical grouping extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchical import HierarchicalGSTGRenderer
+from repro.core.pipeline import GSTGRenderer
+from repro.gaussians.camera import Camera
+from repro.raster.renderer import BaselineRenderer
+from repro.tiles.boundary import BoundaryMethod
+from tests.conftest import make_cloud
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(17)
+    camera = Camera(width=160, height=128, fx=140.0, fy=140.0)
+    cloud = make_cloud(120, rng, spread=4.0)
+    return camera, cloud
+
+
+class TestLosslessness:
+    @pytest.mark.parametrize("method", list(BoundaryMethod))
+    def test_bit_identical_to_baseline(self, setup, method):
+        camera, cloud = setup
+        base = BaselineRenderer(16, method).render(cloud, camera)
+        ours = HierarchicalGSTGRenderer(16, 64, 128, method).render(cloud, camera)
+        assert np.array_equal(base.image, ours.image)
+
+    def test_bit_identical_to_single_level(self, setup):
+        camera, cloud = setup
+        single = GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE).render(cloud, camera)
+        double = HierarchicalGSTGRenderer(16, 64, 128, BoundaryMethod.ELLIPSE).render(
+            cloud, camera
+        )
+        assert np.array_equal(single.image, double.image)
+        assert (
+            single.stats.raster.num_alpha_computations
+            == double.stats.raster.num_alpha_computations
+        )
+
+    def test_ragged_image(self, setup):
+        _, cloud = setup
+        camera = Camera(width=150, height=90, fx=140.0, fy=140.0)
+        base = BaselineRenderer(16, BoundaryMethod.ELLIPSE).render(cloud, camera)
+        ours = HierarchicalGSTGRenderer(16, 64, 128, BoundaryMethod.ELLIPSE).render(
+            cloud, camera
+        )
+        assert np.array_equal(base.image, ours.image)
+
+
+class TestSortingReduction:
+    def test_fewer_sort_keys_than_single_level(self, setup):
+        camera, cloud = setup
+        single = GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE).render(cloud, camera)
+        double = HierarchicalGSTGRenderer(16, 64, 128, BoundaryMethod.ELLIPSE).render(
+            cloud, camera
+        )
+        assert double.stats.sort.num_keys <= single.stats.sort.num_keys
+
+    def test_more_filter_checks_than_single_level(self, setup):
+        """The cost side of the trade-off: two filter levels."""
+        camera, cloud = setup
+        single = GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE).render(cloud, camera)
+        double = HierarchicalGSTGRenderer(16, 64, 128, BoundaryMethod.ELLIPSE).render(
+            cloud, camera
+        )
+        assert double.stats.num_filter_checks >= single.stats.num_filter_checks * 0.5
+
+    def test_degenerate_levels_match_single(self, setup):
+        """super == group collapses to single-level GS-TG semantics."""
+        camera, cloud = setup
+        single = GSTGRenderer(16, 64, BoundaryMethod.OBB).render(cloud, camera)
+        collapsed = HierarchicalGSTGRenderer(16, 64, 64, BoundaryMethod.OBB).render(
+            cloud, camera
+        )
+        assert np.array_equal(single.image, collapsed.image)
+        assert collapsed.stats.sort.num_keys == single.stats.sort.num_keys
+
+
+class TestValidation:
+    def test_misaligned_levels_rejected(self):
+        with pytest.raises(ValueError):
+            HierarchicalGSTGRenderer(16, 64, 100)
+        with pytest.raises(ValueError):
+            HierarchicalGSTGRenderer(16, 40, 80)

@@ -1,0 +1,107 @@
+"""Integration tests for the GS-TG renderer, centred on losslessness."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import GSTGRenderer
+from repro.raster.renderer import BaselineRenderer
+from repro.tiles.boundary import BoundaryMethod
+from tests.conftest import make_cloud
+
+
+class TestLosslessness:
+    """The paper's headline property: GS-TG is bit-identical to the
+    conventional pipeline at the same tile size and boundary method."""
+
+    @pytest.mark.parametrize("method", list(BoundaryMethod))
+    def test_bit_identical_same_method(self, small_cloud, camera, method):
+        base = BaselineRenderer(16, method).render(small_cloud, camera)
+        ours = GSTGRenderer(16, 64, method, method).render(small_cloud, camera)
+        assert np.array_equal(base.image, ours.image)
+
+    @pytest.mark.parametrize("group_method", [BoundaryMethod.AABB, BoundaryMethod.OBB])
+    def test_bit_identical_containing_group_method(
+        self, small_cloud, camera, group_method
+    ):
+        """Looser group identification + ellipse bitmasks is still
+        bit-identical to the ellipse baseline (containment)."""
+        base = BaselineRenderer(16, BoundaryMethod.ELLIPSE).render(small_cloud, camera)
+        ours = GSTGRenderer(16, 64, group_method, BoundaryMethod.ELLIPSE).render(
+            small_cloud, camera
+        )
+        assert np.array_equal(base.image, ours.image)
+
+    @pytest.mark.parametrize("tile,group", [(8, 16), (8, 32), (8, 64), (16, 32), (16, 64), (32, 64)])
+    def test_bit_identical_across_group_combos(self, small_cloud, camera, tile, group):
+        base = BaselineRenderer(tile, BoundaryMethod.ELLIPSE).render(small_cloud, camera)
+        ours = GSTGRenderer(tile, group, BoundaryMethod.ELLIPSE).render(small_cloud, camera)
+        assert np.array_equal(base.image, ours.image)
+
+    def test_identical_raster_operation_counts(self, small_cloud, camera):
+        """Not just the image: the per-pixel work must match exactly,
+        because the filtered per-tile sequences coincide."""
+        base = BaselineRenderer(16, BoundaryMethod.ELLIPSE).render(small_cloud, camera)
+        ours = GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE).render(small_cloud, camera)
+        assert (
+            base.stats.raster.num_alpha_computations
+            == ours.stats.raster.num_alpha_computations
+        )
+        assert (
+            base.stats.raster.num_blend_operations
+            == ours.stats.raster.num_blend_operations
+        )
+
+    def test_ragged_image_still_lossless(self, rng):
+        """Image dimensions that are not multiples of the group size
+        exercise clipped groups and partial bitmask rows."""
+        from repro.gaussians.camera import Camera
+
+        camera = Camera(width=70, height=53, fx=60.0, fy=60.0)
+        cloud = make_cloud(50, rng)
+        base = BaselineRenderer(16, BoundaryMethod.ELLIPSE).render(cloud, camera)
+        ours = GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE).render(cloud, camera)
+        assert np.array_equal(base.image, ours.image)
+
+
+class TestSortingReduction:
+    def test_fewer_sort_keys_than_baseline(self, small_cloud, camera):
+        """The point of the paper: group-level sorting sorts far fewer
+        keys than tile-level sorting."""
+        base = BaselineRenderer(16, BoundaryMethod.ELLIPSE).render(small_cloud, camera)
+        ours = GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE).render(small_cloud, camera)
+        assert ours.stats.sort.num_keys < base.stats.sort.num_keys
+
+    def test_sort_keys_match_group_assignment(self, small_cloud, camera):
+        ours = GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE).render(small_cloud, camera)
+        assert ours.stats.sort.num_keys == ours.stats.preprocess.num_pairs
+
+    def test_bitmask_bits_16_at_paper_design_point(self, small_cloud, camera):
+        ours = GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE).render(small_cloud, camera)
+        assert ours.stats.bitmask_bits == 16
+
+    def test_filter_checks_counted(self, small_cloud, camera):
+        ours = GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE).render(small_cloud, camera)
+        assert ours.stats.num_filter_checks > 0
+
+
+class TestConfigValidation:
+    def test_group_not_multiple_of_tile_rejected(self):
+        with pytest.raises(ValueError):
+            GSTGRenderer(tile_size=16, group_size=40)
+
+    def test_default_bitmask_method_follows_group(self):
+        r = GSTGRenderer(16, 64, BoundaryMethod.OBB)
+        assert r.bitmask_method is BoundaryMethod.OBB
+
+    def test_method_coercion_from_string(self):
+        r = GSTGRenderer(16, 64, "ellipse", "aabb")
+        assert r.group_method is BoundaryMethod.ELLIPSE
+        assert r.bitmask_method is BoundaryMethod.AABB
+
+
+class TestDeterminism:
+    def test_render_is_pure(self, small_cloud, camera):
+        a = GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE).render(small_cloud, camera)
+        b = GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE).render(small_cloud, camera)
+        assert np.array_equal(a.image, b.image)
+        assert a.stats.raster.num_alpha_computations == b.stats.raster.num_alpha_computations

@@ -1,0 +1,54 @@
+"""Unit tests for 3D covariance assembly."""
+
+import numpy as np
+import pytest
+
+from repro.gaussians.covariance import build_3d_covariances
+
+
+class TestBuild3DCovariances:
+    def test_identity_rotation_gives_diagonal(self):
+        scales = np.array([[1.0, 2.0, 3.0]])
+        quats = np.array([[1.0, 0.0, 0.0, 0.0]])
+        cov = build_3d_covariances(scales, quats)
+        assert np.allclose(cov[0], np.diag([1.0, 4.0, 9.0]))
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(2)
+        cov = build_3d_covariances(
+            rng.uniform(0.1, 2.0, (30, 3)), rng.normal(size=(30, 4))
+        )
+        assert np.allclose(cov, np.transpose(cov, (0, 2, 1)))
+
+    def test_positive_definite(self):
+        rng = np.random.default_rng(3)
+        cov = build_3d_covariances(
+            rng.uniform(0.1, 2.0, (30, 3)), rng.normal(size=(30, 4))
+        )
+        eigvals = np.linalg.eigvalsh(cov)
+        assert np.all(eigvals > 0.0)
+
+    def test_eigenvalues_are_squared_scales(self):
+        rng = np.random.default_rng(4)
+        scales = np.array([[0.5, 1.5, 2.5]])
+        cov = build_3d_covariances(scales, rng.normal(size=(1, 4)))
+        eigvals = np.sort(np.linalg.eigvalsh(cov[0]))
+        assert np.allclose(eigvals, np.sort(scales[0] ** 2), rtol=1e-10)
+
+    def test_rotation_invariance_of_trace(self):
+        rng = np.random.default_rng(5)
+        scales = np.tile([[1.0, 2.0, 3.0]], (20, 1))
+        cov = build_3d_covariances(scales, rng.normal(size=(20, 4)))
+        assert np.allclose(np.trace(cov, axis1=1, axis2=2), 14.0)
+
+    def test_rejects_nonpositive_scales(self):
+        with pytest.raises(ValueError):
+            build_3d_covariances(np.array([[1.0, 0.0, 1.0]]), np.array([[1, 0, 0, 0]]))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            build_3d_covariances(np.ones((2, 3)), np.ones((3, 4)))
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            build_3d_covariances(np.ones((2, 2)), np.ones((2, 4)))

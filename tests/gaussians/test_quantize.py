@@ -1,0 +1,48 @@
+"""Unit tests for FP16 parameter quantisation."""
+
+import numpy as np
+
+from repro.gaussians.quantize import to_half
+from tests.conftest import make_cloud
+
+
+class TestToHalf:
+    def test_roundtrip_is_fp16_exact(self, rng):
+        cloud = make_cloud(20, rng)
+        half = to_half(cloud)
+        # Every value must be exactly representable in fp16.
+        for arr in (half.positions, half.scales, half.sh_coeffs):
+            assert np.array_equal(arr, arr.astype(np.float16).astype(np.float64))
+
+    def test_error_bounded_by_half_precision(self, rng):
+        cloud = make_cloud(20, rng)
+        half = to_half(cloud)
+        # fp16 has ~2^-11 relative precision.
+        rel = np.abs(half.positions - cloud.positions) / np.maximum(
+            np.abs(cloud.positions), 1e-6
+        )
+        assert np.max(rel) < 2.0 ** -10
+
+    def test_opacities_stay_in_range(self, rng):
+        cloud = make_cloud(20, rng)
+        half = to_half(cloud)
+        assert np.all(half.opacities >= 0.0)
+        assert np.all(half.opacities <= 1.0)
+
+    def test_scales_stay_positive(self, rng):
+        cloud = make_cloud(20, rng, scale_range=(1e-7, 1e-6))
+        half = to_half(cloud)
+        assert np.all(half.scales > 0.0)
+
+    def test_idempotent(self, rng):
+        cloud = make_cloud(20, rng)
+        once = to_half(cloud)
+        twice = to_half(once)
+        assert np.array_equal(once.positions, twice.positions)
+        assert np.array_equal(once.scales, twice.scales)
+
+    def test_original_untouched(self, rng):
+        cloud = make_cloud(20, rng)
+        before = cloud.positions.copy()
+        to_half(cloud)
+        assert np.array_equal(cloud.positions, before)

@@ -1,0 +1,83 @@
+"""Unit tests for quaternion utilities."""
+
+import numpy as np
+import pytest
+
+from repro.gaussians.rotation import (
+    normalize_quaternions,
+    quaternion_to_rotation_matrix,
+    random_unit_quaternions,
+)
+
+
+class TestNormalizeQuaternions:
+    def test_unit_quaternions_unchanged(self):
+        q = np.array([[1.0, 0.0, 0.0, 0.0], [0.0, 1.0, 0.0, 0.0]])
+        assert np.allclose(normalize_quaternions(q), q)
+
+    def test_scaling_removed(self):
+        q = np.array([[2.0, 0.0, 0.0, 0.0]])
+        assert np.allclose(normalize_quaternions(q), [[1.0, 0.0, 0.0, 0.0]])
+
+    def test_zero_quaternion_becomes_identity(self):
+        q = np.zeros((1, 4))
+        assert np.allclose(normalize_quaternions(q), [[1.0, 0.0, 0.0, 0.0]])
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            normalize_quaternions(np.zeros((3, 3)))
+
+    def test_norms_are_one(self):
+        rng = np.random.default_rng(0)
+        q = rng.normal(size=(100, 4))
+        out = normalize_quaternions(q)
+        assert np.allclose(np.linalg.norm(out, axis=1), 1.0)
+
+
+class TestQuaternionToRotation:
+    def test_identity(self):
+        rot = quaternion_to_rotation_matrix(np.array([[1.0, 0.0, 0.0, 0.0]]))
+        assert np.allclose(rot[0], np.eye(3))
+
+    def test_90_degrees_about_z(self):
+        half = np.sqrt(0.5)
+        rot = quaternion_to_rotation_matrix(np.array([[half, 0.0, 0.0, half]]))
+        # Rotating x-axis by 90 deg about z gives y-axis.
+        assert np.allclose(rot[0] @ [1.0, 0.0, 0.0], [0.0, 1.0, 0.0], atol=1e-12)
+
+    def test_orthonormality(self):
+        rng = np.random.default_rng(7)
+        rot = quaternion_to_rotation_matrix(rng.normal(size=(50, 4)))
+        eye = np.einsum("nij,nkj->nik", rot, rot)
+        assert np.allclose(eye, np.eye(3)[None], atol=1e-10)
+
+    def test_determinant_is_plus_one(self):
+        rng = np.random.default_rng(8)
+        rot = quaternion_to_rotation_matrix(rng.normal(size=(50, 4)))
+        assert np.allclose(np.linalg.det(rot), 1.0, atol=1e-10)
+
+    def test_q_and_minus_q_same_rotation(self):
+        rng = np.random.default_rng(9)
+        q = rng.normal(size=(10, 4))
+        assert np.allclose(
+            quaternion_to_rotation_matrix(q), quaternion_to_rotation_matrix(-q)
+        )
+
+
+class TestRandomUnitQuaternions:
+    def test_unit_norm(self):
+        rng = np.random.default_rng(3)
+        q = random_unit_quaternions(500, rng)
+        assert np.allclose(np.linalg.norm(q, axis=1), 1.0)
+
+    def test_deterministic_given_seed(self):
+        a = random_unit_quaternions(10, np.random.default_rng(5))
+        b = random_unit_quaternions(10, np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+    def test_zero_count(self):
+        assert random_unit_quaternions(0, np.random.default_rng(0)).shape == (0, 4)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            random_unit_quaternions(-1, np.random.default_rng(0))

@@ -1,0 +1,82 @@
+"""Unit tests for spherical-harmonics colour evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.gaussians.sh import MAX_SH_DEGREE, evaluate_sh, num_sh_coeffs
+
+_C0 = 0.28209479177387814
+
+
+class TestNumShCoeffs:
+    @pytest.mark.parametrize("degree,expected", [(0, 1), (1, 4), (2, 9), (3, 16)])
+    def test_counts(self, degree, expected):
+        assert num_sh_coeffs(degree) == expected
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            num_sh_coeffs(MAX_SH_DEGREE + 1)
+        with pytest.raises(ValueError):
+            num_sh_coeffs(-1)
+
+
+class TestEvaluateSh:
+    def test_degree0_is_direction_independent(self):
+        coeffs = np.zeros((2, 1, 3))
+        coeffs[:, 0] = [[1.0, 2.0, 3.0], [0.5, 0.5, 0.5]]
+        d1 = np.array([[0.0, 0.0, 1.0], [1.0, 0.0, 0.0]])
+        d2 = np.array([[0.0, 1.0, 0.0], [0.0, 0.0, -1.0]])
+        assert np.allclose(evaluate_sh(coeffs, d1), evaluate_sh(coeffs, d2))
+
+    def test_degree0_value(self):
+        coeffs = np.zeros((1, 1, 3))
+        coeffs[0, 0] = [1.0, 1.0, 1.0]
+        out = evaluate_sh(coeffs, np.array([[0.0, 0.0, 1.0]]))
+        assert np.allclose(out, _C0 * 1.0 + 0.5)
+
+    def test_clamped_non_negative(self):
+        coeffs = np.zeros((1, 1, 3))
+        coeffs[0, 0] = [-100.0, -100.0, -100.0]
+        out = evaluate_sh(coeffs, np.array([[0.0, 0.0, 1.0]]))
+        assert np.all(out == 0.0)
+
+    def test_degree1_varies_with_direction(self):
+        coeffs = np.zeros((1, 4, 3))
+        coeffs[0, 2] = [1.0, 1.0, 1.0]  # z-linear band
+        plus = evaluate_sh(coeffs, np.array([[0.0, 0.0, 1.0]]))
+        minus = evaluate_sh(coeffs, np.array([[0.0, 0.0, -1.0]]))
+        assert not np.allclose(plus, minus)
+
+    def test_direction_normalisation_irrelevant(self):
+        rng = np.random.default_rng(0)
+        coeffs = rng.normal(size=(5, 9, 3))
+        d = rng.normal(size=(5, 3))
+        assert np.allclose(evaluate_sh(coeffs, d), evaluate_sh(coeffs, 10.0 * d))
+
+    @pytest.mark.parametrize("k", [1, 4, 9, 16])
+    def test_all_degrees_evaluate(self, k):
+        rng = np.random.default_rng(k)
+        coeffs = rng.normal(size=(7, k, 3))
+        d = rng.normal(size=(7, 3))
+        out = evaluate_sh(coeffs, d)
+        assert out.shape == (7, 3)
+        assert np.all(np.isfinite(out))
+        assert np.all(out >= 0.0)
+
+    def test_rejects_non_square_count(self):
+        with pytest.raises(ValueError):
+            evaluate_sh(np.zeros((1, 5, 3)), np.array([[0.0, 0.0, 1.0]]))
+
+    def test_rejects_mismatched_directions(self):
+        with pytest.raises(ValueError):
+            evaluate_sh(np.zeros((2, 4, 3)), np.zeros((3, 3)))
+
+    def test_degree3_band_antisymmetry(self):
+        # The l=3, m=0-ish band z(2z^2-3x^2-3y^2) flips sign with z.
+        # Small coefficient keeps both directions clear of the >= 0 clamp.
+        coeffs = np.zeros((1, 16, 3))
+        coeffs[0, 12] = [0.3, 0.3, 0.3]
+        up = evaluate_sh(coeffs, np.array([[0.0, 0.0, 1.0]]))
+        down = evaluate_sh(coeffs, np.array([[0.0, 0.0, -1.0]]))
+        # Symmetric around the +0.5 offset before clamping.
+        assert np.allclose((up - 0.5) + (down - 0.5), 0.0, atol=1e-12)

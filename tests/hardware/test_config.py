@@ -1,0 +1,62 @@
+"""Unit tests for the hardware configuration (Table III)."""
+
+import pytest
+
+from repro.hardware.config import GSCORE_CONFIG, GSTG_CONFIG, HardwareConfig, ModuleSpec
+
+
+class TestTable3:
+    def test_total_area_matches_paper(self):
+        assert GSTG_CONFIG.total_area_mm2 == pytest.approx(3.984, abs=1e-9)
+
+    def test_total_power_matches_paper(self):
+        assert GSTG_CONFIG.total_power_w == pytest.approx(1.063, abs=1e-9)
+
+    def test_frequency_1ghz(self):
+        assert GSTG_CONFIG.frequency_hz == 1e9
+
+    @pytest.mark.parametrize(
+        "name,area,power",
+        [
+            ("PM", 0.648, 0.429),
+            ("BGM", 0.051, 0.055),
+            ("GSM", 0.012, 0.001),
+            ("RM", 1.891, 0.338),
+            ("Buffer", 1.382, 0.240),
+        ],
+    )
+    def test_module_rows(self, name, area, power):
+        module = GSTG_CONFIG.module(name)
+        assert module.area_mm2 == pytest.approx(area)
+        assert module.power_w == pytest.approx(power)
+
+    def test_four_instances_of_compute_modules(self):
+        for name in ("PM", "BGM", "GSM", "RM"):
+            assert GSTG_CONFIG.module(name).instances == 4
+
+    def test_fig10_parallelism(self):
+        assert GSTG_CONFIG.sort_comparators == 16
+        assert GSTG_CONFIG.bitmask_tile_checkers == 4
+        assert GSTG_CONFIG.raster_units == 16
+        assert GSTG_CONFIG.filter_width == 8
+
+    def test_dram_bandwidth_matches_paper(self):
+        assert GSTG_CONFIG.dram_bandwidth_bytes_per_s == pytest.approx(51.2e9)
+        assert GSTG_CONFIG.bytes_per_cycle == pytest.approx(51.2)
+
+    def test_unknown_module_rejected(self):
+        with pytest.raises(KeyError):
+            GSTG_CONFIG.module("TPU")
+
+    def test_gscore_has_no_bgm(self):
+        with pytest.raises(KeyError):
+            GSCORE_CONFIG.module("BGM")
+
+    def test_custom_config(self):
+        config = HardwareConfig(
+            name="tiny",
+            frequency_hz=5e8,
+            modules=(ModuleSpec("PM", 1, 0.1, 0.05),),
+        )
+        assert config.total_area_mm2 == pytest.approx(0.1)
+        assert config.bytes_per_cycle == pytest.approx(51.2e9 / 5e8)

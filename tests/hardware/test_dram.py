@@ -1,0 +1,73 @@
+"""Unit tests for the DRAM traffic model."""
+
+import pytest
+
+from repro.hardware.config import GSTG_CONFIG
+from repro.hardware.dram import (
+    BITMASK_BYTES,
+    DRAMModel,
+    FEATURE_BURST_BYTES,
+    PIXEL_BYTES,
+    RADIX_SORT_PASSES,
+    RAW_GAUSSIAN_BYTES,
+    SORT_KEY_BYTES,
+    SORTED_INDEX_BYTES,
+    TrafficBreakdown,
+    baseline_traffic,
+    gstg_traffic,
+)
+from repro.raster.stats import RenderStats
+
+
+def _stats(visible=100, pairs=1000, bitmasks=0):
+    s = RenderStats()
+    s.preprocess.num_visible_gaussians = visible
+    s.preprocess.num_pairs = pairs
+    s.num_bitmasks = bitmasks
+    return s
+
+
+class TestTrafficBreakdown:
+    def test_total_is_sum(self):
+        t = TrafficBreakdown(1, 2, 3, 4, 5, 6)
+        assert t.total_bytes == 21
+
+    def test_baseline_accounting(self):
+        t = baseline_traffic(_stats(), width=100, height=50)
+        assert t.raw_model_bytes == 100 * RAW_GAUSSIAN_BYTES
+        assert t.pair_key_bytes == 1000 * SORT_KEY_BYTES * (1 + 2 * RADIX_SORT_PASSES)
+        assert t.sorted_index_bytes == 2 * 1000 * SORTED_INDEX_BYTES
+        assert t.bitmask_bytes == 0
+        assert t.feature_fetch_bytes == 1000 * FEATURE_BURST_BYTES
+        assert t.image_bytes == 100 * 50 * PIXEL_BYTES
+
+    def test_gstg_adds_bitmask_traffic(self):
+        t = gstg_traffic(_stats(bitmasks=1000), width=100, height=50)
+        assert t.bitmask_bytes == 2 * 1000 * BITMASK_BYTES
+
+    def test_traffic_scales_with_pairs(self):
+        small = baseline_traffic(_stats(pairs=100), 100, 50)
+        large = baseline_traffic(_stats(pairs=10000), 100, 50)
+        assert large.total_bytes > small.total_bytes
+
+    def test_fewer_pairs_means_less_traffic(self):
+        """The GS-TG memory win: group pairs << tile pairs."""
+        tile_level = baseline_traffic(_stats(pairs=10000), 100, 50)
+        group_level = gstg_traffic(_stats(pairs=2000, bitmasks=2000), 100, 50)
+        assert group_level.total_bytes < tile_level.total_bytes
+
+    def test_custom_burst(self):
+        t = baseline_traffic(_stats(), 100, 50, feature_burst_bytes=32)
+        assert t.feature_fetch_bytes == 1000 * 32
+
+
+class TestDRAMModel:
+    def test_transfer_cycles(self):
+        model = DRAMModel(GSTG_CONFIG)
+        t = TrafficBreakdown(512, 0, 0, 0, 0, 0)
+        assert model.transfer_cycles(t) == pytest.approx(512 / 51.2)
+
+    def test_energy(self):
+        model = DRAMModel(GSTG_CONFIG)
+        t = TrafficBreakdown(1e6, 0, 0, 0, 0, 0)
+        assert model.energy_j(t) == pytest.approx(1e6 * 20e-12)

@@ -1,0 +1,56 @@
+"""Unit tests for the energy model."""
+
+import pytest
+
+from repro.hardware.config import GSTG_CONFIG
+from repro.hardware.dram import TrafficBreakdown
+from repro.hardware.energy import EnergyReport, energy_report
+from repro.hardware.simulator import AcceleratorReport
+
+
+def _report(cycles=1e6, total_bytes=1e6):
+    return AcceleratorReport(
+        name="test",
+        stage_cycles={"rm": cycles},
+        cycles=cycles,
+        frequency_hz=1e9,
+        traffic=TrafficBreakdown(total_bytes, 0, 0, 0, 0, 0),
+    )
+
+
+class TestEnergyReport:
+    def test_module_energy_is_power_times_time(self):
+        report = energy_report(_report(cycles=1e6), GSTG_CONFIG)
+        # 1e6 cycles at 1 GHz = 1 ms.
+        assert report.module_energy_j["PM"] == pytest.approx(0.429 * 1e-3)
+        assert report.module_energy_j["RM"] == pytest.approx(0.338 * 1e-3)
+
+    def test_total_includes_dram(self):
+        report = energy_report(_report(total_bytes=1e6), GSTG_CONFIG)
+        assert report.dram_energy_j == pytest.approx(1e6 * 20e-12)
+        assert report.total_energy_j == pytest.approx(
+            report.compute_energy_j + report.dram_energy_j
+        )
+
+    def test_active_module_restriction(self):
+        all_mods = energy_report(_report(), GSTG_CONFIG)
+        no_bgm = energy_report(_report(), GSTG_CONFIG, ("PM", "GSM", "RM", "Buffer"))
+        assert "BGM" not in no_bgm.module_energy_j
+        assert no_bgm.compute_energy_j < all_mods.compute_energy_j
+        assert no_bgm.compute_energy_j == pytest.approx(
+            all_mods.compute_energy_j - all_mods.module_energy_j["BGM"]
+        )
+
+    def test_efficiency_ratio(self):
+        frugal = energy_report(_report(cycles=1e5, total_bytes=1e5), GSTG_CONFIG)
+        hungry = energy_report(_report(cycles=1e6, total_bytes=1e6), GSTG_CONFIG)
+        assert frugal.efficiency_vs(hungry) == pytest.approx(
+            hungry.total_energy_j / frugal.total_energy_j
+        )
+        assert frugal.efficiency_vs(hungry) > 1.0
+
+    def test_zero_energy_comparison_rejected(self):
+        zero = EnergyReport(name="z", module_energy_j={}, dram_energy_j=0.0)
+        other = energy_report(_report(), GSTG_CONFIG)
+        with pytest.raises(ValueError):
+            zero.efficiency_vs(other)

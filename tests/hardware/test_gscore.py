@@ -1,0 +1,59 @@
+"""Unit tests for the GSCore comparator model."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.gscore import (
+    GSCORE_FEATURE_BURST_BYTES,
+    GSCORE_SUBTILE_EFFICIENCY,
+    simulate_gscore,
+)
+from repro.raster.renderer import BaselineRenderer
+from repro.tiles.boundary import BoundaryMethod
+from tests.conftest import make_cloud
+
+
+@pytest.fixture(scope="module")
+def obb_render():
+    rng = np.random.default_rng(11)
+    cloud = make_cloud(120, rng)
+    from repro.gaussians.camera import Camera
+
+    camera = Camera(width=128, height=96, fx=120.0, fy=120.0)
+    return camera, BaselineRenderer(16, BoundaryMethod.OBB).render(cloud, camera)
+
+
+class TestGSCoreModel:
+    def test_report_shape(self, obb_render):
+        camera, result = obb_render
+        report = simulate_gscore(result.stats, camera.width, camera.height)
+        assert report.name == "GSCore"
+        assert report.cycles > 0
+
+    def test_subtile_skipping_reduces_raster(self, obb_render):
+        camera, result = obb_render
+        full = simulate_gscore(
+            result.stats, camera.width, camera.height, subtile_efficiency=1.0
+        )
+        skipped = simulate_gscore(result.stats, camera.width, camera.height)
+        assert skipped.stage_cycles["rm"] == pytest.approx(
+            full.stage_cycles["rm"] * GSCORE_SUBTILE_EFFICIENCY
+        )
+
+    def test_invalid_efficiency_rejected(self, obb_render):
+        camera, result = obb_render
+        with pytest.raises(ValueError):
+            simulate_gscore(result.stats, camera.width, camera.height,
+                            subtile_efficiency=0.0)
+        with pytest.raises(ValueError):
+            simulate_gscore(result.stats, camera.width, camera.height,
+                            subtile_efficiency=1.5)
+
+    def test_feature_packing_reduces_traffic(self, obb_render):
+        camera, result = obb_render
+        from repro.hardware.dram import baseline_traffic
+
+        packed = simulate_gscore(result.stats, camera.width, camera.height)
+        unpacked = baseline_traffic(result.stats, camera.width, camera.height)
+        assert packed.traffic.feature_fetch_bytes < unpacked.feature_fetch_bytes
+        assert GSCORE_FEATURE_BURST_BYTES < 64

@@ -1,0 +1,83 @@
+"""Unit tests for the module cycle models."""
+
+import pytest
+
+from repro.hardware.config import GSTG_CONFIG
+from repro.hardware.modules import (
+    bgm_cycles,
+    gsm_cycles,
+    pm_cycles,
+    rm_cycles,
+    rm_filter_cycles,
+    rm_raster_cycles,
+)
+from repro.raster.stats import RenderStats
+
+
+def _stats(**kw):
+    s = RenderStats()
+    s.preprocess.num_input_gaussians = kw.get("inputs", 0)
+    s.preprocess.num_visible_gaussians = kw.get("visible", 0)
+    s.preprocess.num_boundary_tests = kw.get("tests", 0)
+    s.preprocess.boundary_test_cost = kw.get("test_cost", 1.0)
+    s.sort.num_comparisons = kw.get("comparisons", 0.0)
+    s.raster.num_alpha_computations = kw.get("alphas", 0)
+    s.num_filter_checks = kw.get("filters", 0)
+    s.num_bitmasks = kw.get("bitmasks", 0)
+    s.bitmask_bits = kw.get("bits", 16)
+    s.bitmask_test_cost = kw.get("bitmask_cost", 1.0)
+    return s
+
+
+class TestPM:
+    def test_feature_throughput(self):
+        s = _stats(inputs=800)
+        # 800 gaussians * 2 cycles / 4 cores.
+        assert pm_cycles(s, GSTG_CONFIG) == pytest.approx(400.0)
+
+    def test_boundary_tests_pipelined_at_ii1(self):
+        """The hardware tile-check datapaths are fully pipelined: every
+        boundary method sustains one test per cycle."""
+        aabb = pm_cycles(_stats(tests=400, test_cost=1.0), GSTG_CONFIG)
+        ellipse = pm_cycles(_stats(tests=400, test_cost=6.0), GSTG_CONFIG)
+        assert ellipse == pytest.approx(aabb)
+
+
+class TestBGM:
+    def test_zero_without_bitmasks(self):
+        assert bgm_cycles(_stats(), GSTG_CONFIG) == 0.0
+
+    def test_full_group_walk(self):
+        s = _stats(bitmasks=100, bits=16, bitmask_cost=1.0)
+        # 100 pairs * 16 tests / 4 checkers / 4 cores = 100 cycles.
+        assert bgm_cycles(s, GSTG_CONFIG) == pytest.approx(100.0)
+
+    def test_hw_method_cost_pipelined(self):
+        cheap = bgm_cycles(_stats(bitmasks=100, bitmask_cost=1.0), GSTG_CONFIG)
+        costly = bgm_cycles(_stats(bitmasks=100, bitmask_cost=6.0), GSTG_CONFIG)
+        assert costly == pytest.approx(cheap)
+
+
+class TestGSM:
+    def test_comparator_parallelism(self):
+        s = _stats(comparisons=6400.0)
+        # 6400 / 16 comparators / 4 cores = 100.
+        assert gsm_cycles(s, GSTG_CONFIG) == pytest.approx(100.0)
+
+
+class TestRM:
+    def test_filter_width(self):
+        s = _stats(filters=3200)
+        # 3200 / 8 wide / 4 cores = 100.
+        assert rm_filter_cycles(s, GSTG_CONFIG) == pytest.approx(100.0)
+
+    def test_raster_units(self):
+        s = _stats(alphas=6400)
+        # 6400 / 16 RUs / 4 cores = 100.
+        assert rm_raster_cycles(s, GSTG_CONFIG) == pytest.approx(100.0)
+
+    def test_rm_is_max_of_paths(self):
+        s = _stats(alphas=6400, filters=320000)
+        assert rm_cycles(s, GSTG_CONFIG) == rm_filter_cycles(s, GSTG_CONFIG)
+        s2 = _stats(alphas=640000, filters=320)
+        assert rm_cycles(s2, GSTG_CONFIG) == rm_raster_cycles(s2, GSTG_CONFIG)

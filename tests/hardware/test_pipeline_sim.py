@@ -1,0 +1,101 @@
+"""Tests for the pipelined per-group/per-tile accelerator simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.grouping import GroupGeometry
+from repro.core.pipeline import GSTGRenderer
+from repro.gaussians.camera import Camera
+from repro.hardware.config import GSTG_CONFIG
+from repro.hardware.pipeline_sim import (
+    _schedule,
+    simulate_baseline_pipelined,
+    simulate_gstg_pipelined,
+)
+from repro.raster.renderer import BaselineRenderer
+from repro.tiles.boundary import BoundaryMethod
+from tests.conftest import make_cloud
+
+
+@pytest.fixture(scope="module")
+def rendered():
+    rng = np.random.default_rng(5)
+    camera = Camera(width=256, height=192, fx=220.0, fy=220.0)
+    cloud = make_cloud(300, rng, spread=4.0)
+    base = BaselineRenderer(16, BoundaryMethod.ELLIPSE).render(cloud, camera)
+    ours = GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE).render(cloud, camera)
+    geometry = GroupGeometry(camera.width, camera.height, 16, 64)
+    return camera, geometry, base, ours
+
+
+class TestScheduler:
+    def test_empty(self):
+        assert _schedule([], 4) == 0.0
+
+    def test_single_unit_is_sum(self):
+        assert _schedule([[10.0, 20.0, 30.0]], 4) == pytest.approx(60.0)
+
+    def test_identical_units_pipeline(self):
+        # 8 identical units on 4 cores: 2 per core; rm dominates, so the
+        # drain is roughly fill + 2 x rm per core.
+        units = [[1.0, 2.0, 100.0]] * 8
+        total = _schedule(units, 4)
+        assert 200.0 < total < 220.0
+
+    def test_dram_serialisation_binds(self):
+        # Fetch-heavy units: the shared channel serialises all fetches.
+        units = [[100.0, 1.0, 1.0]] * 8
+        total = _schedule(units, 4)
+        assert total >= 800.0
+
+    def test_more_cores_never_slower(self):
+        units = [[1.0, 5.0, 20.0]] * 12
+        assert _schedule(units, 8) <= _schedule(units, 4) + 1e-9
+
+    def test_monotone_in_stage_time(self):
+        fast = [[1.0, 2.0, 10.0]] * 6
+        slow = [[1.0, 2.0, 15.0]] * 6
+        assert _schedule(slow, 4) > _schedule(fast, 4)
+
+
+class TestSimulations:
+    def test_reports_shape(self, rendered):
+        camera, geometry, base, ours = rendered
+        b = simulate_baseline_pipelined(base)
+        g = simulate_gstg_pipelined(ours, geometry)
+        assert b.cycles > 0 and g.cycles > 0
+        assert set(b.stage_busy_cycles) == {"fetch", "sort", "rm"}
+        assert b.num_units > g.num_units  # tiles >> groups
+
+    def test_utilization_bounded(self, rendered):
+        camera, geometry, base, ours = rendered
+        g = simulate_gstg_pipelined(ours, geometry)
+        for stage in ("fetch", "sort", "rm"):
+            assert 0.0 <= g.utilization(stage) <= 1.0
+
+    def test_overlap_never_slower(self, rendered):
+        """BGM || GSM overlap (the architecture's point) cannot lose to
+        sequential execution."""
+        camera, geometry, _, ours = rendered
+        overlapped = simulate_gstg_pipelined(ours, geometry, overlap_bitmask=True)
+        sequential = simulate_gstg_pipelined(ours, geometry, overlap_bitmask=False)
+        assert overlapped.cycles <= sequential.cycles * 1.0001
+
+    def test_pipelined_at_least_busy_bound(self, rendered):
+        """Drain time can never undercut any stage's per-resource busy
+        total (fetch is one shared resource; sort/rm are per-core)."""
+        camera, geometry, base, ours = rendered
+        g = simulate_gstg_pipelined(ours, geometry)
+        assert g.cycles >= g.stage_busy_cycles["fetch"] - 1e-6
+        assert g.cycles >= g.stage_busy_cycles["rm"] / GSTG_CONFIG.num_cores - 1e-6
+
+    def test_time_ms_conversion(self, rendered):
+        camera, geometry, base, _ = rendered
+        b = simulate_baseline_pipelined(base)
+        assert b.time_ms == pytest.approx(b.cycles / 1e9 * 1e3)
+
+    def test_gstg_moves_less_fetch_traffic(self, rendered):
+        camera, geometry, base, ours = rendered
+        b = simulate_baseline_pipelined(base)
+        g = simulate_gstg_pipelined(ours, geometry)
+        assert g.stage_busy_cycles["fetch"] < b.stage_busy_cycles["fetch"]

@@ -1,0 +1,62 @@
+"""Unit tests for PPM image I/O."""
+
+import numpy as np
+import pytest
+
+from repro.io import read_ppm, write_ppm
+
+
+class TestRoundTrip:
+    def test_uint8_roundtrip(self, tmp_path, rng):
+        image = (rng.random((20, 30, 3)) * 255).astype(np.uint8)
+        path = str(tmp_path / "img.ppm")
+        write_ppm(path, image)
+        assert np.array_equal(read_ppm(path), image)
+
+    def test_float_encoding(self, tmp_path):
+        image = np.zeros((2, 2, 3))
+        image[0, 0] = [1.0, 0.5, 0.0]
+        path = str(tmp_path / "img.ppm")
+        write_ppm(path, image)
+        out = read_ppm(path)
+        assert out[0, 0].tolist() == [255, 128, 0]
+
+    def test_float_clipping(self, tmp_path):
+        image = np.full((2, 2, 3), 3.5)
+        path = str(tmp_path / "img.ppm")
+        write_ppm(path, image)
+        assert np.all(read_ppm(path) == 255)
+
+    def test_dimensions_preserved(self, tmp_path, rng):
+        image = rng.random((7, 13, 3))
+        path = str(tmp_path / "img.ppm")
+        write_ppm(path, image)
+        assert read_ppm(path).shape == (7, 13, 3)
+
+
+class TestValidation:
+    def test_bad_shape_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_ppm(str(tmp_path / "x.ppm"), np.zeros((4, 4)))
+
+    def test_out_of_range_int_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_ppm(str(tmp_path / "x.ppm"), np.full((2, 2, 3), 300, dtype=np.int32))
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.ppm"
+        path.write_bytes(b"P3\n1 1\n255\n0 0 0\n")
+        with pytest.raises(ValueError):
+            read_ppm(str(path))
+
+    def test_truncated_payload_rejected(self, tmp_path):
+        path = tmp_path / "trunc.ppm"
+        path.write_bytes(b"P6\n4 4\n255\n\x00\x00")
+        with pytest.raises(ValueError):
+            read_ppm(str(path))
+
+    def test_header_comments_skipped(self, tmp_path):
+        path = tmp_path / "comment.ppm"
+        path.write_bytes(b"P6\n# a comment\n1 1\n255\n\x10\x20\x30")
+        out = read_ppm(str(path))
+        assert out[0, 0].tolist() == [16, 32, 48]

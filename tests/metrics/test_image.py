@@ -1,0 +1,93 @@
+"""Unit tests for MSE / PSNR / SSIM."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import mse, psnr, ssim
+
+
+@pytest.fixture
+def image(rng):
+    return rng.random((32, 40, 3))
+
+
+class TestMSE:
+    def test_identical_images_zero(self, image):
+        assert mse(image, image) == 0.0
+
+    def test_known_value(self):
+        a = np.zeros((4, 4))
+        b = np.full((4, 4), 0.5)
+        assert mse(a, b) == pytest.approx(0.25)
+
+    def test_symmetry(self, image, rng):
+        other = rng.random(image.shape)
+        assert mse(image, other) == pytest.approx(mse(other, image))
+
+    def test_shape_mismatch_rejected(self, image):
+        with pytest.raises(ValueError):
+            mse(image, image[:-1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros((0, 3)), np.zeros((0, 3)))
+
+
+class TestPSNR:
+    def test_identical_is_infinite(self, image):
+        assert psnr(image, image) == float("inf")
+
+    def test_known_value(self):
+        a = np.zeros((4, 4))
+        b = np.full((4, 4), 0.1)
+        # mse = 0.01, psnr = 10 log10(1/0.01) = 20 dB.
+        assert psnr(a, b) == pytest.approx(20.0)
+
+    def test_peak_scaling(self):
+        a = np.zeros((4, 4))
+        b = np.full((4, 4), 25.5)
+        assert psnr(a, b, peak=255.0) == pytest.approx(20.0)
+
+    def test_monotone_in_noise(self, image, rng):
+        small = image + rng.normal(0, 0.01, image.shape)
+        large = image + rng.normal(0, 0.1, image.shape)
+        assert psnr(image, small) > psnr(image, large)
+
+    def test_invalid_peak_rejected(self, image):
+        with pytest.raises(ValueError):
+            psnr(image, image, peak=0.0)
+
+
+class TestSSIM:
+    def test_identical_is_one(self, image):
+        assert ssim(image, image) == pytest.approx(1.0)
+
+    def test_bounded(self, image, rng):
+        noisy = np.clip(image + rng.normal(0, 0.2, image.shape), 0, 1)
+        value = ssim(image, noisy)
+        assert -1.0 <= value < 1.0
+
+    def test_monotone_in_noise(self, image, rng):
+        small = np.clip(image + rng.normal(0, 0.02, image.shape), 0, 1)
+        large = np.clip(image + rng.normal(0, 0.3, image.shape), 0, 1)
+        assert ssim(image, small) > ssim(image, large)
+
+    def test_grayscale_supported(self, rng):
+        a = rng.random((24, 24))
+        assert ssim(a, a) == pytest.approx(1.0)
+
+    def test_constant_images(self):
+        a = np.full((16, 16), 0.5)
+        assert ssim(a, a) == pytest.approx(1.0)
+
+    def test_too_small_image_rejected(self):
+        a = np.zeros((8, 8))
+        with pytest.raises(ValueError):
+            ssim(a, a)
+
+    def test_structural_sensitivity(self, rng):
+        """SSIM penalises structural change more than uniform offset."""
+        base = np.tile(np.linspace(0, 1, 32), (32, 1))
+        offset = np.clip(base + 0.05, 0, 1)
+        shuffled = rng.permutation(base.ravel()).reshape(base.shape)
+        assert ssim(base, offset) > ssim(base, shuffled)

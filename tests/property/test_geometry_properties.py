@@ -1,0 +1,108 @@
+"""Property-based tests (hypothesis) on the geometric substrates."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gaussians.covariance import build_3d_covariances
+from repro.gaussians.projection import _eigendecompose_2x2
+from repro.gaussians.rotation import quaternion_to_rotation_matrix
+from repro.tiles.grid import TileGrid
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def quaternions(draw):
+    q = [draw(st.floats(-10, 10)) for _ in range(4)]
+    # Reject near-zero quaternions (normalised to identity anyway).
+    if sum(abs(v) for v in q) < 1e-3:
+        q[0] = 1.0
+    return np.array([q])
+
+
+class TestRotationProperties:
+    @given(quaternions())
+    @settings(max_examples=100)
+    def test_rotation_orthonormal(self, q):
+        rot = quaternion_to_rotation_matrix(q)[0]
+        assert np.allclose(rot @ rot.T, np.eye(3), atol=1e-9)
+        assert np.linalg.det(rot) > 0.0
+
+    @given(
+        quaternions(),
+        st.lists(st.floats(0.01, 10.0), min_size=3, max_size=3),
+    )
+    @settings(max_examples=100)
+    def test_covariance_psd_with_expected_eigvals(self, q, scales):
+        cov = build_3d_covariances(np.array([scales]), q)[0]
+        eig = np.sort(np.linalg.eigvalsh(cov))
+        assert np.all(eig > 0)
+        assert np.allclose(eig, np.sort(np.square(scales)), rtol=1e-6)
+
+
+@st.composite
+def spd_2x2(draw):
+    """A random symmetric positive-definite 2x2 matrix."""
+    a = draw(st.floats(0.05, 50.0))
+    c = draw(st.floats(0.05, 50.0))
+    # |b| < sqrt(ac) guarantees positive determinant.
+    frac = draw(st.floats(-0.99, 0.99))
+    b = frac * np.sqrt(a * c)
+    return np.array([[[a, b], [b, c]]])
+
+
+class TestEigendecompositionProperties:
+    @given(spd_2x2())
+    @settings(max_examples=200)
+    def test_reconstruction(self, cov):
+        eigvals, eigvecs = _eigendecompose_2x2(cov)
+        recon = eigvecs[0] @ np.diag(eigvals[0]) @ eigvecs[0].T
+        # Absolute error scales with the matrix magnitude.
+        tol = 1e-8 * float(np.max(np.abs(cov))) + 1e-12
+        assert np.allclose(recon, cov[0], rtol=0.0, atol=tol)
+
+    @given(spd_2x2())
+    @settings(max_examples=200)
+    def test_ordering_and_orthonormality(self, cov):
+        eigvals, eigvecs = _eigendecompose_2x2(cov)
+        assert eigvals[0, 0] >= eigvals[0, 1] > 0
+        assert np.allclose(eigvecs[0].T @ eigvecs[0], np.eye(2), atol=1e-9)
+
+
+class TestTileGridProperties:
+    @given(
+        st.integers(1, 200),
+        st.integers(1, 200),
+        st.integers(2, 64),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_tiles_cover_image_exactly(self, width, height, tile_size):
+        grid = TileGrid(width, height, tile_size)
+        area = sum(grid.num_pixels_in_tile(t) for t in range(grid.num_tiles))
+        assert area == width * height
+
+    @given(
+        st.integers(1, 200),
+        st.integers(1, 200),
+        st.integers(2, 64),
+        st.floats(-300, 300),
+        st.floats(-300, 300),
+        st.floats(0.01, 300),
+        st.floats(0.01, 300),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_tile_range_covers_overlapping_tiles(
+        self, width, height, tile_size, x0, y0, dx, dy
+    ):
+        """Every tile whose rect overlaps the query rect lies inside the
+        returned range."""
+        grid = TileGrid(width, height, tile_size)
+        x1, y1 = x0 + dx, y0 + dy
+        tx0, ty0, tx1, ty1 = grid.tile_range_for_rect(x0, y0, x1, y1)
+        in_range = set(grid.tiles_in_range(tx0, ty0, tx1, ty1).tolist())
+        for tile_id in range(grid.num_tiles):
+            rx0, ry0, rx1, ry1 = grid.tile_rect(tile_id)
+            overlaps = rx0 < x1 and rx1 > x0 and ry0 < y1 and ry1 > y0
+            if overlaps:
+                assert tile_id in in_range

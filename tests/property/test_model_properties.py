@@ -1,0 +1,124 @@
+"""Property-based tests on the performance models and compression."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compress.quantization import _quantize_array
+from repro.hardware.pipeline_sim import _schedule
+from repro.metrics import mse, psnr
+from repro.sorting.bitonic import bitonic_comparator_count, bitonic_depth
+from repro.sorting.quicksort import counting_quicksort
+
+
+@st.composite
+def unit_lists(draw):
+    n = draw(st.integers(1, 20))
+    return [
+        [
+            draw(st.floats(0.0, 1000.0)),
+            draw(st.floats(0.0, 1000.0)),
+            draw(st.floats(0.0, 1000.0)),
+        ]
+        for _ in range(n)
+    ]
+
+
+class TestSchedulerProperties:
+    @given(unit_lists(), st.integers(1, 8))
+    @settings(max_examples=100)
+    def test_bounded_by_sum_and_stage_busy(self, units, cores):
+        total = _schedule(units, cores)
+        # Upper bound: fully serial execution of everything.
+        serial = sum(sum(u) for u in units)
+        assert total <= serial + 1e-6
+        # Lower bounds: the shared DRAM channel and the widest per-core
+        # stage cannot be beaten.
+        fetch_total = sum(u[0] for u in units)
+        rm_total = sum(u[2] for u in units)
+        assert total >= fetch_total - 1e-6
+        assert total >= rm_total / cores - 1e-6
+        # And never less than the single largest unit's critical path.
+        assert total >= max(sum(u) for u in units) - 1e-6
+
+    @given(unit_lists())
+    @settings(max_examples=100)
+    def test_more_cores_never_slower(self, units):
+        assert _schedule(units, 8) <= _schedule(units, 2) + 1e-6
+
+
+class TestSortingProperties:
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=0, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_quicksort_always_sorted_permutation(self, values):
+        keys = np.asarray(values, dtype=np.float64)
+        result = counting_quicksort(keys)
+        assert sorted(result.order.tolist()) == list(range(len(values)))
+        out = keys[result.order]
+        assert np.all(out[:-1] <= out[1:]) if len(values) > 1 else True
+
+    @given(st.integers(1, 4096))
+    @settings(max_examples=200)
+    def test_bitonic_work_at_least_depth(self, n):
+        if n == 1:
+            assert bitonic_comparator_count(n) == 0
+        else:
+            assert bitonic_comparator_count(n) >= bitonic_depth(n)
+
+
+class TestMetricProperties:
+    @given(
+        st.integers(2, 20),
+        st.integers(2, 20),
+        st.integers(0, 2**31 - 1),
+        st.floats(0.0, 0.5),
+    )
+    @settings(max_examples=80)
+    def test_psnr_mse_consistency(self, h, w, seed, noise):
+        rng = np.random.default_rng(seed)
+        a = rng.random((h, w, 3))
+        b = np.clip(a + rng.normal(0, noise, a.shape), 0, 1)
+        err = mse(a, b)
+        if err == 0:
+            assert psnr(a, b) == float("inf")
+        else:
+            assert psnr(a, b) == 10 * np.log10(1.0 / err)
+
+    @given(st.integers(2, 20), st.integers(0, 2**31 - 1))
+    @settings(max_examples=50)
+    def test_mse_triangle_like_bound(self, size, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.random((size, size))
+        b = rng.random((size, size))
+        c = rng.random((size, size))
+        # sqrt(mse) is the scaled L2 norm and satisfies the triangle
+        # inequality.
+        assert np.sqrt(mse(a, c)) <= np.sqrt(mse(a, b)) + np.sqrt(mse(b, c)) + 1e-12
+
+
+class TestQuantizationProperties:
+    @given(
+        st.lists(st.floats(-100, 100), min_size=2, max_size=200),
+        st.integers(1, 12),
+    )
+    @settings(max_examples=100)
+    def test_quantization_error_bound(self, values, bits):
+        arr = np.asarray(values, dtype=np.float64)
+        out = _quantize_array(arr, bits)
+        span = arr.max() - arr.min()
+        if span == 0:
+            assert np.allclose(out, arr)
+        else:
+            step = span / ((1 << bits) - 1)
+            assert np.max(np.abs(out - arr)) <= step / 2 + 1e-9 * span
+
+    @given(
+        st.lists(st.floats(-100, 100), min_size=2, max_size=100),
+        st.integers(1, 12),
+    )
+    @settings(max_examples=100)
+    def test_quantization_idempotent(self, values, bits):
+        arr = np.asarray(values, dtype=np.float64)
+        once = _quantize_array(arr, bits)
+        twice = _quantize_array(once, bits)
+        assert np.allclose(once, twice, atol=1e-9)

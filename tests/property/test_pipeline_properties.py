@@ -1,0 +1,132 @@
+"""Property-based tests on the rendering pipelines.
+
+The expensive end-to-end losslessness property runs on small random
+clouds with a reduced example budget; the cheaper algebraic properties
+get the full budget.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitmask import popcount
+from repro.core.pipeline import GSTGRenderer
+from repro.gaussians.camera import Camera
+from repro.gaussians.cloud import GaussianCloud
+from repro.raster.alpha import MAX_ALPHA, compute_alpha
+from repro.raster.renderer import BaselineRenderer
+from repro.raster.sorting import depth_sort
+from repro.tiles.boundary import BoundaryMethod
+
+CAMERA = Camera(width=72, height=56, fx=70.0, fy=70.0)
+
+
+@st.composite
+def clouds(draw, max_n=24):
+    n = draw(st.integers(1, max_n))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    return GaussianCloud(
+        positions=np.stack(
+            [
+                rng.uniform(-4, 4, n),
+                rng.uniform(-4, 4, n),
+                rng.uniform(1.0, 15.0, n),
+            ],
+            axis=1,
+        ),
+        scales=rng.uniform(0.02, 0.8, (n, 3)),
+        rotations=rng.normal(size=(n, 4)) + np.array([2.0, 0, 0, 0]),
+        opacities=rng.uniform(0.01, 0.99, n),
+        sh_coeffs=rng.normal(0, 0.5, (n, 4, 3)),
+    )
+
+
+class TestLosslessnessProperty:
+    @given(clouds(), st.sampled_from(list(BoundaryMethod)))
+    @settings(max_examples=20, deadline=None)
+    def test_gstg_bit_identical_to_baseline(self, cloud, method):
+        """For any cloud and any boundary method, GS-TG at 16+64 equals
+        the 16x16 baseline bit for bit."""
+        base = BaselineRenderer(16, method).render(cloud, CAMERA)
+        ours = GSTGRenderer(16, 64, method, method).render(cloud, CAMERA)
+        assert np.array_equal(base.image, ours.image)
+
+    @given(clouds())
+    @settings(max_examples=15, deadline=None)
+    def test_group_sorting_never_more_keys(self, cloud):
+        """Group-level sorting can never sort more keys than tile-level
+        sorting (each group pair collapses >= 1 tile pairs)."""
+        base = BaselineRenderer(16, BoundaryMethod.ELLIPSE).render(cloud, CAMERA)
+        ours = GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE).render(cloud, CAMERA)
+        assert ours.stats.sort.num_keys <= base.stats.sort.num_keys
+
+    @given(clouds())
+    @settings(max_examples=15, deadline=None)
+    def test_bitmask_popcount_equals_tile_pairs(self, cloud):
+        """The total set bits across all bitmasks equals the number of
+        baseline (Gaussian, tile) pairs: the bitmasks ARE the tile
+        assignment, re-encoded."""
+        from repro.core.bitmask import generate_bitmasks
+        from repro.core.grouping import GroupGeometry
+        from repro.gaussians.projection import project
+        from repro.tiles.identify import identify_tiles
+
+        proj = project(cloud, CAMERA)
+        geometry = GroupGeometry(CAMERA.width, CAMERA.height, 16, 64)
+        group_assignment = identify_tiles(
+            proj, geometry.group_grid, BoundaryMethod.ELLIPSE
+        )
+        table = generate_bitmasks(
+            proj, geometry, group_assignment, BoundaryMethod.ELLIPSE
+        )
+        tile_assignment = identify_tiles(
+            proj, geometry.tile_grid, BoundaryMethod.ELLIPSE
+        )
+        assert int(popcount(table.masks).sum()) == tile_assignment.num_pairs
+
+
+class TestSortingProperties:
+    @given(st.lists(st.floats(0.1, 100.0), min_size=0, max_size=50), st.randoms())
+    @settings(max_examples=100)
+    def test_filter_commutes_with_sort(self, depth_list, rnd):
+        depths = np.asarray(depth_list)
+        ids = np.arange(len(depth_list))
+        keep = np.array([rnd.random() < 0.5 for _ in depth_list], dtype=bool)
+        sorted_all = depth_sort(depths, ids)
+        filtered_after = sorted_all[keep[sorted_all]] if len(depth_list) else sorted_all
+        sorted_subset = depth_sort(depths[keep], ids[keep])
+        assert np.array_equal(filtered_after, sorted_subset)
+
+    @given(st.lists(st.floats(0.1, 100.0), min_size=1, max_size=50))
+    @settings(max_examples=100)
+    def test_sort_is_permutation(self, depth_list):
+        depths = np.asarray(depth_list)
+        ids = np.arange(len(depth_list))
+        out = depth_sort(depths, ids)
+        assert sorted(out.tolist()) == ids.tolist()
+        assert np.all(np.diff(depths[out]) >= 0)
+
+
+class TestAlphaProperties:
+    @given(
+        st.floats(-50, 50),
+        st.floats(-50, 50),
+        st.floats(0.05, 20.0),
+        st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=200)
+    def test_alpha_bounded(self, px, py, sigma, opacity):
+        conic = np.array([1.0 / sigma**2, 0.0, 1.0 / sigma**2])
+        a = compute_alpha(
+            np.array([px]), np.array([py]), np.array([0.0, 0.0]), conic, opacity
+        )
+        assert 0.0 <= a[0] <= min(opacity, MAX_ALPHA) + 1e-12
+
+    @given(st.floats(0.05, 20.0), st.floats(0.05, 0.99))
+    @settings(max_examples=100)
+    def test_alpha_radially_decreasing(self, sigma, opacity):
+        conic = np.array([1.0 / sigma**2, 0.0, 1.0 / sigma**2])
+        radii = np.linspace(0, 5 * sigma, 30)
+        a = compute_alpha(radii, np.zeros_like(radii), np.array([0.0, 0.0]), conic, opacity)
+        assert np.all(np.diff(a) <= 1e-15)

@@ -1,0 +1,87 @@
+"""Unit tests for alpha computation (Eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.raster.alpha import ALPHA_CUTOFF, MAX_ALPHA, compute_alpha
+
+
+class TestComputeAlpha:
+    def test_peak_at_centre(self):
+        a = compute_alpha(
+            np.array([10.0]), np.array([5.0]),
+            mean2d=np.array([10.0, 5.0]),
+            conic=np.array([1.0, 0.0, 1.0]),
+            opacity=0.8,
+        )
+        assert a[0] == pytest.approx(0.8)
+
+    def test_gaussian_falloff(self):
+        # With unit conic, alpha at distance d is opacity * exp(-d^2/2).
+        d = 2.0
+        a = compute_alpha(
+            np.array([d]), np.array([0.0]),
+            mean2d=np.array([0.0, 0.0]),
+            conic=np.array([1.0, 0.0, 1.0]),
+            opacity=1.0,
+        )
+        assert a[0] == pytest.approx(np.exp(-2.0), rel=1e-12)
+
+    def test_monotone_decay(self):
+        xs = np.linspace(0.0, 5.0, 50)
+        a = compute_alpha(
+            xs, np.zeros_like(xs),
+            mean2d=np.array([0.0, 0.0]),
+            conic=np.array([1.0, 0.0, 1.0]),
+            opacity=0.9,
+        )
+        assert np.all(np.diff(a) <= 0.0)
+
+    def test_clamped_at_max_alpha(self):
+        a = compute_alpha(
+            np.array([0.0]), np.array([0.0]),
+            mean2d=np.array([0.0, 0.0]),
+            conic=np.array([1.0, 0.0, 1.0]),
+            opacity=1.0,
+        )
+        assert a[0] == MAX_ALPHA
+
+    def test_anisotropic_conic(self):
+        # conic (4, 0, 1): x-direction decays twice as fast (sigma_x = 1/2).
+        ax = compute_alpha(
+            np.array([1.0]), np.array([0.0]),
+            np.array([0.0, 0.0]), np.array([4.0, 0.0, 1.0]), 1.0,
+        )
+        ay = compute_alpha(
+            np.array([0.0]), np.array([1.0]),
+            np.array([0.0, 0.0]), np.array([4.0, 0.0, 1.0]), 1.0,
+        )
+        assert ax[0] < ay[0]
+
+    def test_correlated_conic_tilts_level_sets(self):
+        conic = np.array([1.0, -0.9, 1.0])
+        diag = compute_alpha(
+            np.array([1.0]), np.array([1.0]), np.array([0.0, 0.0]), conic, 1.0
+        )
+        anti = compute_alpha(
+            np.array([1.0]), np.array([-1.0]), np.array([0.0, 0.0]), conic, 1.0
+        )
+        assert diag[0] > anti[0]
+
+    def test_grid_shape_preserved(self):
+        px, py = np.meshgrid(np.arange(4.0), np.arange(3.0))
+        a = compute_alpha(px, py, np.array([0.0, 0.0]), np.array([1.0, 0.0, 1.0]), 0.5)
+        assert a.shape == (3, 4)
+
+    def test_cutoff_constant_matches_paper(self):
+        assert ALPHA_CUTOFF == pytest.approx(1.0 / 255.0)
+
+    def test_three_sigma_rule_interacts_with_cutoff(self):
+        # At 3 sigma, exp(-4.5) ~ 0.011 > 1/255: a fully opaque Gaussian
+        # still influences pixels at its boundary, which is why boundary
+        # methods must not cut inside 3 sigma.
+        a = compute_alpha(
+            np.array([3.0]), np.array([0.0]),
+            np.array([0.0, 0.0]), np.array([1.0, 0.0, 1.0]), 1.0,
+        )
+        assert a[0] > ALPHA_CUTOFF

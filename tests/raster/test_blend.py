@@ -1,0 +1,120 @@
+"""Unit tests for alpha blending (Eq. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.gaussians.cloud import GaussianCloud
+from repro.gaussians.projection import project
+from repro.raster.alpha import ALPHA_CUTOFF
+from repro.raster.blend import EARLY_EXIT_TRANSMITTANCE, blend_tile
+from repro.raster.stats import RasterCounters
+
+
+def _project_stack(camera, depths, opacity=0.9, scale=0.5):
+    """Several isotropic Gaussians stacked on the optical axis."""
+    n = len(depths)
+    cloud = GaussianCloud(
+        positions=np.array([[0.0, 0.0, d] for d in depths]),
+        scales=np.full((n, 3), scale),
+        rotations=np.tile([[1.0, 0.0, 0.0, 0.0]], (n, 1)),
+        opacities=np.full(n, opacity),
+        sh_coeffs=np.zeros((n, 1, 3)),
+    )
+    return project(cloud, camera)
+
+
+def _centre_pixel(camera):
+    px = np.array([[camera.cx]])
+    py = np.array([[camera.cy]])
+    return px, py
+
+
+class TestBlendMath:
+    def test_single_gaussian_colour(self, camera):
+        proj = _project_stack(camera, [5.0], opacity=0.5)
+        px, py = _centre_pixel(camera)
+        result = blend_tile(proj, np.array([0]), px, py)
+        # colour = alpha * G_RGB; at the centre alpha == opacity.
+        assert np.allclose(result.color[0, 0], 0.5 * proj.colors[0])
+        assert result.transmittance[0, 0] == pytest.approx(0.5)
+
+    def test_two_gaussians_front_to_back(self, camera):
+        proj = _project_stack(camera, [4.0, 8.0], opacity=0.5)
+        px, py = _centre_pixel(camera)
+        result = blend_tile(proj, np.array([0, 1]), px, py)
+        expected = 0.5 * proj.colors[0] + 0.5 * 0.5 * proj.colors[1]
+        assert np.allclose(result.color[0, 0], expected)
+        assert result.transmittance[0, 0] == pytest.approx(0.25)
+
+    def test_order_matters(self, camera):
+        proj = _project_stack(camera, [4.0, 8.0], opacity=0.7)
+        # Give them distinguishable colours.
+        proj.colors[0] = [1.0, 0.0, 0.0]
+        proj.colors[1] = [0.0, 1.0, 0.0]
+        px, py = _centre_pixel(camera)
+        fwd = blend_tile(proj, np.array([0, 1]), px, py)
+        rev = blend_tile(proj, np.array([1, 0]), px, py)
+        assert not np.allclose(fwd.color, rev.color)
+
+    def test_insignificant_alpha_skipped(self, camera):
+        # A pixel far outside the Gaussian's footprint: alpha falls below
+        # the 1/255 cut, so an alpha computation happens but no blend.
+        proj = _project_stack(camera, [5.0], opacity=0.9, scale=0.05)
+        px = np.array([[camera.cx + 20.0 * proj.radii[0]]])
+        py = np.array([[camera.cy]])
+        counters = RasterCounters()
+        result = blend_tile(proj, np.array([0]), px, py, counters)
+        assert np.allclose(result.color, 0.0)
+        assert counters.num_alpha_computations == 1
+        assert counters.num_blend_operations == 0
+
+    def test_early_exit_stops_processing(self, camera):
+        # 200 nearly opaque Gaussians: the pixel must terminate long
+        # before the list ends.
+        proj = _project_stack(camera, np.linspace(3, 30, 200), opacity=0.99)
+        px, py = _centre_pixel(camera)
+        counters = RasterCounters()
+        result = blend_tile(proj, np.arange(200), px, py, counters)
+        assert result.gaussians_processed < 200
+        assert result.transmittance[0, 0] < EARLY_EXIT_TRANSMITTANCE
+        assert counters.num_early_exit_pixels == 1
+
+    def test_transmittance_monotone_in_count(self, camera):
+        proj = _project_stack(camera, [4.0, 6.0, 8.0], opacity=0.4)
+        px, py = _centre_pixel(camera)
+        t_values = []
+        for k in range(1, 4):
+            result = blend_tile(proj, np.arange(k), px, py)
+            t_values.append(result.transmittance[0, 0])
+        assert t_values[0] > t_values[1] > t_values[2]
+
+    def test_empty_list(self, camera):
+        proj = _project_stack(camera, [5.0])
+        px, py = _centre_pixel(camera)
+        result = blend_tile(proj, np.array([], dtype=int), px, py)
+        assert np.allclose(result.color, 0.0)
+        assert np.allclose(result.transmittance, 1.0)
+
+    def test_mismatched_pixel_grids_rejected(self, camera):
+        proj = _project_stack(camera, [5.0])
+        with pytest.raises(ValueError):
+            blend_tile(proj, np.array([0]), np.zeros((2, 2)), np.zeros((3, 2)))
+
+
+class TestBlendCounters:
+    def test_alpha_count_all_alive(self, camera):
+        proj = _project_stack(camera, [4.0, 6.0], opacity=0.3)
+        px, py = np.meshgrid(np.arange(4) + 0.5, np.arange(4) + 0.5)
+        counters = RasterCounters()
+        blend_tile(proj, np.array([0, 1]), px, py, counters)
+        # Low opacity: no early exits, so every pixel sees both Gaussians.
+        assert counters.num_alpha_computations == 2 * 16
+        assert counters.num_pixels == 16
+        assert counters.num_tile_passes == 2
+
+    def test_blend_ops_bounded_by_alpha_ops(self, camera):
+        proj = _project_stack(camera, np.linspace(3, 10, 20), opacity=0.6)
+        px, py = np.meshgrid(np.arange(8) + 0.5, np.arange(8) + 0.5)
+        counters = RasterCounters()
+        blend_tile(proj, np.arange(20), px, py, counters)
+        assert counters.num_blend_operations <= counters.num_alpha_computations

@@ -1,0 +1,103 @@
+"""Unit tests for the baseline tile renderer."""
+
+import numpy as np
+import pytest
+
+from repro.raster.renderer import BaselineRenderer
+from repro.tiles.boundary import BoundaryMethod
+from tests.conftest import make_cloud
+
+
+class TestBaselineRenderer:
+    def test_image_shape_and_finiteness(self, small_cloud, camera):
+        result = BaselineRenderer(16, BoundaryMethod.AABB).render(small_cloud, camera)
+        assert result.image.shape == (camera.height, camera.width, 3)
+        assert np.all(np.isfinite(result.image))
+        assert np.all(result.image >= 0.0)
+
+    def test_nonempty_scene_renders_nonzero(self, small_cloud, camera):
+        result = BaselineRenderer(16).render(small_cloud, camera)
+        assert result.image.max() > 0.0
+
+    def test_tile_size_changes_image_only_marginally(self, small_cloud, camera):
+        """Tile size only affects which sub-cutoff 3-sigma-truncated tails
+        a pixel sees (a Gaussian's alpha can still slightly exceed 1/255
+        just outside its 3-sigma boundary), so images across tile sizes
+        agree to a small tolerance — the same truncation behaviour as the
+        reference 3D-GS rasteriser."""
+        images = [
+            BaselineRenderer(ts, BoundaryMethod.ELLIPSE)
+            .render(small_cloud, camera)
+            .image
+            for ts in (8, 16, 64)
+        ]
+        assert np.allclose(images[0], images[1], atol=0.03)
+        assert np.allclose(images[1], images[2], atol=0.03)
+
+    def test_deterministic(self, small_cloud, camera):
+        a = BaselineRenderer(16).render(small_cloud, camera).image
+        b = BaselineRenderer(16).render(small_cloud, camera).image
+        assert np.array_equal(a, b)
+
+    def test_stats_populated(self, small_cloud, camera):
+        result = BaselineRenderer(16, BoundaryMethod.ELLIPSE).render(small_cloud, camera)
+        stats = result.stats
+        assert stats.preprocess.num_input_gaussians == len(small_cloud)
+        assert stats.preprocess.num_visible_gaussians == len(result.projected)
+        assert stats.preprocess.num_pairs == result.assignment.num_pairs
+        assert stats.sort.num_keys == stats.preprocess.num_pairs
+        assert stats.raster.num_alpha_computations > 0
+
+    def test_sort_counters_per_nonempty_tile(self, small_cloud, camera):
+        result = BaselineRenderer(16).render(small_cloud, camera)
+        nonempty = int(np.count_nonzero(result.assignment.gaussians_per_tile()))
+        assert result.stats.sort.num_sorts == nonempty
+
+    def test_smaller_tiles_fewer_alpha_computations(self, small_cloud, camera):
+        """The Fig. 6/7 effect: larger tiles process more Gaussians per
+        pixel, hence more alpha computations."""
+        small = BaselineRenderer(8, BoundaryMethod.ELLIPSE).render(small_cloud, camera)
+        large = BaselineRenderer(48, BoundaryMethod.ELLIPSE).render(small_cloud, camera)
+        assert (
+            small.stats.raster.num_alpha_computations
+            <= large.stats.raster.num_alpha_computations
+        )
+
+    def test_smaller_tiles_more_pairs(self, small_cloud, camera):
+        """The Fig. 5 effect: more tiles per Gaussian at small tile sizes."""
+        small = BaselineRenderer(8).render(small_cloud, camera)
+        large = BaselineRenderer(48).render(small_cloud, camera)
+        assert small.stats.preprocess.num_pairs >= large.stats.preprocess.num_pairs
+
+    def test_empty_cloud_far_away(self, rng, camera):
+        cloud = make_cloud(10, rng, depth_range=(-50.0, -10.0))
+        result = BaselineRenderer(16).render(cloud, camera)
+        assert np.allclose(result.image, 0.0)
+        assert result.stats.preprocess.num_visible_gaussians == 0
+
+    def test_rejects_bad_tile_size(self):
+        with pytest.raises(ValueError):
+            BaselineRenderer(0)
+
+    def test_method_tightness_reduces_work(self, small_cloud, camera):
+        aabb = BaselineRenderer(16, BoundaryMethod.AABB).render(small_cloud, camera)
+        ell = BaselineRenderer(16, BoundaryMethod.ELLIPSE).render(small_cloud, camera)
+        assert ell.stats.preprocess.num_pairs <= aabb.stats.preprocess.num_pairs
+        assert (
+            ell.stats.raster.num_alpha_computations
+            <= aabb.stats.raster.num_alpha_computations
+        )
+
+    def test_boundary_method_does_not_change_image(self, small_cloud, camera):
+        """Culling by any 3-sigma boundary is visually lossless by design:
+        all three methods keep every (tile, Gaussian) pair whose alpha can
+        exceed the cutoff inside the tile... but AABB/OBB keep more.  The
+        rendered image only depends on which pairs are kept, and extra
+        pairs contribute only sub-cutoff alphas at <= 3 sigma... so images
+        agree exactly for ellipse vs boxes only when extra pairs never
+        pass the alpha cut.  We assert near-equality with a tight bound.
+        """
+        aabb = BaselineRenderer(16, BoundaryMethod.AABB).render(small_cloud, camera)
+        ell = BaselineRenderer(16, BoundaryMethod.ELLIPSE).render(small_cloud, camera)
+        diff = np.abs(aabb.image - ell.image).max()
+        assert diff < 0.05

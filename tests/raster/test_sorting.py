@@ -1,0 +1,60 @@
+"""Unit tests for depth sorting."""
+
+import numpy as np
+import pytest
+
+from repro.raster.sorting import depth_sort, sort_comparison_count
+
+
+class TestDepthSort:
+    def test_orders_by_depth(self):
+        depths = np.array([3.0, 1.0, 2.0])
+        ids = np.array([10, 11, 12])
+        assert depth_sort(depths, ids).tolist() == [11, 12, 10]
+
+    def test_ties_broken_by_id(self):
+        depths = np.array([1.0, 1.0, 1.0])
+        ids = np.array([5, 2, 9])
+        assert depth_sort(depths, ids).tolist() == [2, 5, 9]
+
+    def test_empty(self):
+        out = depth_sort(np.array([]), np.array([], dtype=int))
+        assert out.size == 0
+
+    def test_filter_preserves_order(self):
+        """The GS-TG invariant: filtering a sorted sequence equals sorting
+        the filtered subsequence."""
+        rng = np.random.default_rng(0)
+        depths = rng.random(100)
+        ids = np.arange(100)
+        sorted_all = depth_sort(depths, ids)
+        keep = rng.random(100) < 0.4
+        filtered = sorted_all[keep[sorted_all]]
+        direct = depth_sort(depths[keep], ids[keep])
+        assert np.array_equal(filtered, direct)
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            depth_sort(np.zeros(3), np.zeros(4, dtype=int))
+
+
+class TestComparisonCount:
+    def test_zero_and_one(self):
+        assert sort_comparison_count(0) == 0.0
+        assert sort_comparison_count(1) == 0.0
+
+    def test_nlogn(self):
+        assert sort_comparison_count(8) == pytest.approx(24.0)
+
+    def test_monotone(self):
+        values = [sort_comparison_count(n) for n in range(1, 200)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            sort_comparison_count(-1)
+
+    def test_superlinear(self):
+        # Sorting two halves separately must be cheaper than sorting the
+        # whole -- the economic basis of sharing sorts across tiles.
+        assert 2 * sort_comparison_count(500) < sort_comparison_count(1000)

@@ -1,0 +1,51 @@
+"""Unit tests for the operation counters."""
+
+from repro.raster.stats import (
+    RasterCounters,
+    RenderStats,
+    SortCounters,
+    StageCounters,
+)
+
+
+class TestSortCounters:
+    def test_record_accumulates(self):
+        c = SortCounters()
+        c.record(4, 8.0)
+        c.record(10, 33.2)
+        assert c.num_sorts == 2
+        assert c.num_keys == 14
+        assert c.num_comparisons == 41.2
+        assert c.max_sort_length == 10
+
+    def test_max_tracks_largest(self):
+        c = SortCounters()
+        for n in (5, 50, 3):
+            c.record(n, 0.0)
+        assert c.max_sort_length == 50
+
+
+class TestDefaults:
+    def test_stage_counters_zero(self):
+        c = StageCounters()
+        assert c.num_pairs == 0
+        assert c.boundary_test_cost == 1.0
+
+    def test_raster_counters_zero(self):
+        c = RasterCounters()
+        assert c.num_alpha_computations == 0
+        assert c.num_early_exit_pixels == 0
+
+    def test_render_stats_composition(self):
+        s = RenderStats()
+        assert s.preprocess.num_input_gaussians == 0
+        assert s.sort.num_sorts == 0
+        assert s.raster.num_pixels == 0
+        assert s.num_filter_checks == 0
+        assert s.bitmask_bits == 0
+
+    def test_render_stats_instances_independent(self):
+        a = RenderStats()
+        b = RenderStats()
+        a.sort.record(3, 1.0)
+        assert b.sort.num_sorts == 0

@@ -1,0 +1,79 @@
+"""Unit tests for the Table II dataset registry."""
+
+import pytest
+
+from repro.scenes.datasets import (
+    DATASETS,
+    HARDWARE_SCENES,
+    PROFILING_SCENES,
+    SCENES,
+    get_scene_spec,
+)
+
+
+class TestTable2Registry:
+    def test_all_six_scenes_present(self):
+        assert set(SCENES) == {
+            "train", "truck", "drjohnson", "playroom", "rubble", "residence"
+        }
+
+    @pytest.mark.parametrize(
+        "name,width,height",
+        [
+            ("train", 1959, 1090),
+            ("truck", 1957, 1091),
+            ("drjohnson", 1332, 876),
+            ("playroom", 1264, 832),
+            ("rubble", 4608, 3456),
+            ("residence", 5472, 3648),
+        ],
+    )
+    def test_resolutions_match_paper(self, name, width, height):
+        spec = get_scene_spec(name)
+        assert (spec.width, spec.height) == (width, height)
+
+    @pytest.mark.parametrize(
+        "name,scene_type",
+        [
+            ("train", "outdoor"),
+            ("truck", "outdoor"),
+            ("drjohnson", "indoor"),
+            ("playroom", "indoor"),
+            ("rubble", "outdoor"),
+            ("residence", "outdoor"),
+        ],
+    )
+    def test_types_match_paper(self, name, scene_type):
+        assert get_scene_spec(name).scene_type == scene_type
+
+    @pytest.mark.parametrize(
+        "name,split",
+        [("train", 8), ("drjohnson", 8), ("rubble", 64), ("residence", 128)],
+    )
+    def test_test_splits_match_paper(self, name, split):
+        assert get_scene_spec(name).test_split_every == split
+
+    def test_dataset_grouping(self):
+        assert DATASETS["Tanks&Temples"] == ["train", "truck"]
+        assert DATASETS["Deep Blending"] == ["drjohnson", "playroom"]
+        assert DATASETS["Mill-19"] == ["rubble"]
+        assert DATASETS["UrbanScene3D"] == ["residence"]
+
+    def test_scene_tuples(self):
+        assert PROFILING_SCENES == ("train", "truck", "drjohnson", "playroom")
+        assert len(HARDWARE_SCENES) == 6
+
+    def test_lookup_case_insensitive(self):
+        assert get_scene_spec("Train").name == "train"
+
+    def test_unknown_scene_rejected(self):
+        with pytest.raises(KeyError):
+            get_scene_spec("bonsai")
+
+    def test_synthesis_parameters_sane(self):
+        for spec in SCENES.values():
+            assert spec.num_gaussians > 0
+            assert spec.world_extent > 0
+            assert spec.footprint_log_std_px > 0
+            assert spec.footprint_cap_px > 8
+            assert spec.opacity_a > 0 and spec.opacity_b > 0

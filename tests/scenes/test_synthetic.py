@@ -1,0 +1,82 @@
+"""Unit tests for synthetic scene generation."""
+
+import numpy as np
+import pytest
+
+from repro.gaussians.projection import project
+from repro.scenes.synthetic import load_scene
+from repro.scenes.datasets import SCENES
+
+
+class TestLoadScene:
+    def test_deterministic(self):
+        a = load_scene("playroom", resolution_scale=0.1, seed=3)
+        b = load_scene("playroom", resolution_scale=0.1, seed=3)
+        assert np.array_equal(a.cloud.positions, b.cloud.positions)
+        assert np.array_equal(a.cloud.scales, b.cloud.scales)
+        assert np.array_equal(a.cloud.opacities, b.cloud.opacities)
+
+    def test_seed_changes_scene(self):
+        a = load_scene("playroom", resolution_scale=0.1, seed=3)
+        b = load_scene("playroom", resolution_scale=0.1, seed=4)
+        assert not np.array_equal(a.cloud.positions, b.cloud.positions)
+
+    def test_scenes_decorrelated(self):
+        a = load_scene("drjohnson", resolution_scale=0.1, num_gaussians=500)
+        b = load_scene("playroom", resolution_scale=0.1, num_gaussians=500)
+        assert not np.array_equal(a.cloud.positions, b.cloud.positions)
+
+    def test_resolution_scaling(self):
+        scene = load_scene("train", resolution_scale=0.1)
+        spec = SCENES["train"]
+        assert scene.camera.width == round(spec.width * 0.1)
+        assert scene.camera.height == round(spec.height * 0.1)
+
+    def test_explicit_gaussian_count(self):
+        scene = load_scene("truck", resolution_scale=0.1, num_gaussians=777)
+        assert len(scene.cloud) == 777
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            load_scene("train", resolution_scale=0.0)
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            load_scene("train", num_gaussians=-5)
+
+    @pytest.mark.parametrize("name", sorted(SCENES))
+    def test_every_scene_mostly_visible(self, name):
+        """The synthetic camera must actually see the scene: a healthy
+        fraction of Gaussians survives culling."""
+        scene = load_scene(name, resolution_scale=0.08, num_gaussians=600)
+        proj = project(scene.cloud, scene.camera)
+        assert len(proj) > 0.3 * len(scene.cloud)
+
+    def test_footprints_match_target_distribution(self):
+        """Calibration property: the median projected 3-sigma radius is
+        within a factor ~2 of the spec's log-normal median."""
+        scene = load_scene("truck", resolution_scale=0.125, num_gaussians=3000)
+        proj = project(scene.cloud, scene.camera)
+        spec = SCENES["truck"]
+        median = float(np.median(proj.radii))
+        target = float(np.exp(spec.footprint_log_mean_px))
+        assert target / 2.0 < median < target * 2.0
+
+    def test_footprint_cap_respected_approximately(self):
+        """Radii are capped at synthesis; projection adds only the blur
+        and anisotropy jitter, so the largest projected radius stays in
+        the same ballpark as the cap."""
+        scene = load_scene("truck", resolution_scale=0.125, num_gaussians=3000)
+        proj = project(scene.cloud, scene.camera)
+        spec = SCENES["truck"]
+        assert np.quantile(proj.radii, 0.99) < 2.0 * spec.footprint_cap_px
+
+    def test_opacities_valid(self):
+        scene = load_scene("rubble", resolution_scale=0.08, num_gaussians=500)
+        assert np.all(scene.cloud.opacities >= 0.0)
+        assert np.all(scene.cloud.opacities <= 1.0)
+
+    def test_indoor_camera_inside_room(self):
+        scene = load_scene("drjohnson", resolution_scale=0.1, num_gaussians=500)
+        e = scene.spec.world_extent
+        assert np.all(np.abs(scene.camera.position) < e)

@@ -1,0 +1,88 @@
+"""Unit tests for the bitonic network and radix models."""
+
+import pytest
+
+from repro.sorting.bitonic import bitonic_comparator_count, bitonic_depth
+from repro.sorting.radix import radix_passes, radix_record_traffic
+from repro.sorting.units import BitonicSorterModel, QuickSortUnitModel, SorterModel
+
+
+class TestBitonic:
+    @pytest.mark.parametrize("n,depth", [(1, 0), (2, 1), (4, 3), (8, 6), (16, 10)])
+    def test_depth_formula(self, n, depth):
+        assert bitonic_depth(n) == depth
+
+    @pytest.mark.parametrize("n,count", [(2, 1), (4, 6), (8, 24), (16, 80)])
+    def test_comparator_count_formula(self, n, count):
+        assert bitonic_comparator_count(n) == count
+
+    def test_non_power_of_two_padded(self):
+        assert bitonic_depth(5) == bitonic_depth(8)
+        assert bitonic_comparator_count(5) == bitonic_comparator_count(8)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            bitonic_depth(0)
+
+    def test_superlinear_growth(self):
+        """Bitonic work grows as n log^2 n: doubling input more than
+        doubles comparator count — the economics behind sharing sorts."""
+        assert bitonic_comparator_count(512) > 2 * bitonic_comparator_count(256)
+
+
+class TestRadix:
+    def test_pass_count(self):
+        assert radix_passes(64, 8) == 8
+        assert radix_passes(32, 8) == 4
+        assert radix_passes(17, 8) == 3
+
+    def test_traffic(self):
+        # 4 passes x (read + write) x 1000 records x 6 bytes.
+        assert radix_record_traffic(1000, 6, 32, 8) == 2 * 4 * 1000 * 6
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            radix_passes(0)
+        with pytest.raises(ValueError):
+            radix_record_traffic(-1, 6, 32)
+
+
+class TestUnits:
+    def test_base_model_parallelism(self):
+        model = SorterModel(comparators=16)
+        assert model.cycles_for_comparisons(1600) == pytest.approx(100.0)
+
+    def test_invalid_comparators_rejected(self):
+        with pytest.raises(ValueError):
+            SorterModel(comparators=0)
+
+    def test_quicksort_unit_measures_real_keys(self, rng):
+        model = QuickSortUnitModel(comparators=16)
+        cycles, comparisons = model.cycles_for_keys(rng.random(512))
+        assert comparisons > 0
+        assert cycles >= comparisons / 16
+
+    def test_quicksort_unit_floor_is_pass_count(self, rng):
+        """With enormous parallelism, sequential partition passes bound
+        the sort."""
+        model = QuickSortUnitModel(comparators=10_000)
+        cycles, _ = model.cycles_for_keys(rng.random(512))
+        assert cycles >= 1.0
+
+    def test_bitonic_model_depth_floor(self):
+        model = BitonicSorterModel(comparators=10_000)
+        assert model.cycles_for_length(16) == float(bitonic_depth(16))
+
+    def test_bitonic_model_throughput_bound(self):
+        model = BitonicSorterModel(comparators=4)
+        assert model.cycles_for_length(16) == pytest.approx(80 / 4)
+
+    def test_bitonic_wasteful_vs_quicksort_at_scale(self, rng):
+        """At equal comparator budget the network does asymptotically
+        more work — one reason redundant per-tile sorting is costly on
+        GSCore-class hardware."""
+        n = 1024
+        quick = QuickSortUnitModel(comparators=16)
+        bitonic = BitonicSorterModel(comparators=16)
+        q_cycles, _ = quick.cycles_for_keys(rng.random(n))
+        assert bitonic.cycles_for_length(n) > q_cycles

@@ -1,0 +1,78 @@
+"""Unit tests for the instrumented quicksort."""
+
+import numpy as np
+import pytest
+
+from repro.raster.sorting import sort_comparison_count
+from repro.sorting.quicksort import counting_quicksort
+
+
+class TestCorrectness:
+    def test_sorts_random_keys(self, rng):
+        keys = rng.random(500)
+        result = counting_quicksort(keys)
+        assert np.all(np.diff(keys[result.order]) >= 0)
+
+    def test_order_is_permutation(self, rng):
+        keys = rng.random(200)
+        result = counting_quicksort(keys)
+        assert sorted(result.order.tolist()) == list(range(200))
+
+    def test_stable_tie_break_by_index(self):
+        keys = np.array([2.0, 1.0, 1.0, 1.0, 0.5])
+        result = counting_quicksort(keys)
+        assert result.order.tolist() == [4, 1, 2, 3, 0]
+
+    def test_matches_lexsort_convention(self, rng):
+        """Must agree exactly with the pipeline's (depth, id) order."""
+        keys = rng.choice([1.0, 2.0, 3.0], size=100)  # many ties
+        result = counting_quicksort(keys)
+        expected = np.lexsort((np.arange(100), keys))
+        assert np.array_equal(result.order, expected)
+
+    def test_empty_and_single(self):
+        assert counting_quicksort(np.array([])).order.size == 0
+        assert counting_quicksort(np.array([5.0])).order.tolist() == [0]
+        assert counting_quicksort(np.array([5.0])).comparisons == 0
+
+    def test_already_sorted(self):
+        keys = np.arange(100, dtype=float)
+        result = counting_quicksort(keys)
+        assert np.array_equal(result.order, np.arange(100))
+
+    def test_reverse_sorted(self):
+        keys = np.arange(100, dtype=float)[::-1].copy()
+        result = counting_quicksort(keys)
+        assert np.array_equal(keys[result.order], np.arange(100, dtype=float))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            counting_quicksort(np.zeros((3, 3)))
+
+
+class TestInstrumentation:
+    def test_comparisons_near_nlogn(self, rng):
+        """Median-of-3 quicksort stays within a small factor of the
+        n log2 n closed form on random inputs — validating the model the
+        GPU/GSM analyses use."""
+        keys = rng.random(2000)
+        result = counting_quicksort(keys)
+        model = sort_comparison_count(2000)
+        assert 0.5 * model < result.comparisons < 2.5 * model
+
+    def test_logarithmic_depth(self, rng):
+        keys = rng.random(4096)
+        result = counting_quicksort(keys)
+        assert result.max_depth <= 4 * int(np.log2(4096))
+
+    def test_counts_grow_with_n(self, rng):
+        small = counting_quicksort(rng.random(100)).comparisons
+        large = counting_quicksort(rng.random(1000)).comparisons
+        assert large > small
+
+    def test_deterministic(self, rng):
+        keys = rng.random(300)
+        a = counting_quicksort(keys)
+        b = counting_quicksort(keys)
+        assert a.comparisons == b.comparisons
+        assert np.array_equal(a.order, b.order)

@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io import read_ppm
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_render_defaults(self):
+        args = build_parser().parse_args(["render"])
+        assert args.pipeline == "gstg"
+        assert args.tile_size == 16
+        assert args.group_size == 64
+
+    def test_unknown_scene_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["render", "--scene", "bonsai"])
+
+
+class TestCommands:
+    def test_render_writes_ppm(self, tmp_path, capsys):
+        out = str(tmp_path / "frame.ppm")
+        code = main(
+            ["render", "--scene", "playroom", "--scale", "0.05", "--out", out]
+        )
+        assert code == 0
+        image = read_ppm(out)
+        assert image.shape[2] == 3
+        assert image.max() > 0
+        assert "rendered playroom" in capsys.readouterr().out
+
+    def test_render_baseline_pipeline(self, tmp_path, capsys):
+        out = str(tmp_path / "frame.ppm")
+        code = main(
+            [
+                "render", "--scene", "playroom", "--scale", "0.05",
+                "--pipeline", "baseline", "--method", "aabb", "--out", out,
+            ]
+        )
+        assert code == 0
+        assert read_ppm(out).shape[2] == 3
+
+    def test_profile_prints_table(self, capsys):
+        code = main(["profile", "--scene", "playroom", "--scale", "0.05"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tiles/G" in out
+        # All four tile sizes in the sweep.
+        for ts in ("8", "16", "32", "64"):
+            assert ts in out
+
+    def test_simulate_prints_speedup(self, capsys):
+        code = main(["simulate", "--scene", "playroom", "--scale", "0.05"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gs-tg speedup" in out
+        assert "baseline" in out and "gscore" in out
+
+    def test_render_deterministic_across_runs(self, tmp_path):
+        a = str(tmp_path / "a.ppm")
+        b = str(tmp_path / "b.ppm")
+        main(["render", "--scene", "truck", "--scale", "0.05", "--out", a])
+        main(["render", "--scene", "truck", "--scale", "0.05", "--out", b])
+        assert np.array_equal(read_ppm(a), read_ppm(b))

@@ -1,0 +1,128 @@
+"""Edge-case and failure-injection tests across the whole stack.
+
+Degenerate inputs that production renderers must survive: empty views,
+single Gaussians, image-filling footprints, single-tile images, extreme
+opacities, cameras staring at nothing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import GSTGRenderer
+from repro.gaussians.camera import Camera
+from repro.gaussians.cloud import GaussianCloud
+from repro.gaussians.projection import project
+from repro.raster.renderer import BaselineRenderer
+from repro.tiles.boundary import BoundaryMethod
+from repro.tiles.grid import TileGrid
+from repro.tiles.identify import identify_tiles
+from tests.conftest import make_cloud
+
+
+def _single(position, scale, opacity=0.9):
+    return GaussianCloud(
+        positions=np.array([position], dtype=float),
+        scales=np.full((1, 3), scale),
+        rotations=np.array([[1.0, 0.0, 0.0, 0.0]]),
+        opacities=np.array([opacity]),
+        sh_coeffs=np.zeros((1, 1, 3)),
+    )
+
+
+class TestDegenerateViews:
+    def test_everything_behind_camera(self, camera):
+        cloud = _single([0.0, 0.0, -10.0], 0.1)
+        for renderer in (
+            BaselineRenderer(16, BoundaryMethod.ELLIPSE),
+            GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE),
+        ):
+            result = renderer.render(cloud, camera)
+            assert np.allclose(result.image, 0.0)
+            assert result.stats.raster.num_alpha_computations == 0
+
+    def test_single_gaussian_renders_both_pipelines(self, camera):
+        cloud = _single([0.0, 0.0, 5.0], 0.2)
+        base = BaselineRenderer(16, BoundaryMethod.ELLIPSE).render(cloud, camera)
+        ours = GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE).render(cloud, camera)
+        assert np.array_equal(base.image, ours.image)
+        assert base.image.max() > 0
+
+    def test_gaussian_covering_whole_image(self, camera):
+        """A footprint larger than the image must hit every tile and
+        still render identically."""
+        cloud = _single([0.0, 0.0, 2.0], 3.0)
+        proj = project(cloud, camera)
+        grid = TileGrid(camera.width, camera.height, 16)
+        assignment = identify_tiles(proj, grid, BoundaryMethod.ELLIPSE)
+        assert assignment.num_pairs == grid.num_tiles
+        base = BaselineRenderer(16, BoundaryMethod.ELLIPSE).render(cloud, camera)
+        ours = GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE).render(cloud, camera)
+        assert np.array_equal(base.image, ours.image)
+
+    def test_image_smaller_than_one_group(self, rng):
+        camera = Camera(width=40, height=30, fx=40.0, fy=40.0)
+        cloud = make_cloud(30, rng, spread=1.5, depth_range=(2.0, 8.0))
+        base = BaselineRenderer(16, BoundaryMethod.ELLIPSE).render(cloud, camera)
+        ours = GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE).render(cloud, camera)
+        assert np.array_equal(base.image, ours.image)
+
+    def test_one_pixel_tiles(self, rng):
+        camera = Camera(width=24, height=18, fx=30.0, fy=30.0)
+        cloud = make_cloud(15, rng, spread=1.0, depth_range=(2.0, 6.0))
+        base = BaselineRenderer(1, BoundaryMethod.AABB).render(cloud, camera)
+        ours = GSTGRenderer(1, 4, BoundaryMethod.AABB).render(cloud, camera)
+        assert np.array_equal(base.image, ours.image)
+
+    def test_tile_equals_group(self, rng, camera):
+        """group == tile degenerates to the baseline exactly (1-bit
+        bitmasks, one tile per group)."""
+        cloud = make_cloud(40, rng)
+        base = BaselineRenderer(16, BoundaryMethod.OBB).render(cloud, camera)
+        ours = GSTGRenderer(16, 16, BoundaryMethod.OBB).render(cloud, camera)
+        assert np.array_equal(base.image, ours.image)
+        assert ours.stats.bitmask_bits == 1
+
+
+class TestExtremeParameters:
+    def test_fully_opaque_stack_terminates_early(self, camera):
+        positions = [[0.0, 0.0, z] for z in np.linspace(2, 20, 50)]
+        cloud = GaussianCloud(
+            positions=np.array(positions),
+            scales=np.full((50, 3), 1.0),
+            rotations=np.tile([[1.0, 0, 0, 0]], (50, 1)),
+            opacities=np.full(50, 1.0),
+            sh_coeffs=np.zeros((50, 1, 3)),
+        )
+        result = BaselineRenderer(16, BoundaryMethod.ELLIPSE).render(cloud, camera)
+        # Early exit must fire: far Gaussians never reach alpha blending
+        # at the image centre.
+        assert result.stats.raster.num_early_exit_pixels > 0
+
+    def test_minimum_opacity_survives(self, camera):
+        cloud = _single([0.0, 0.0, 5.0], 0.3, opacity=1.0 / 255.0)
+        result = BaselineRenderer(16, BoundaryMethod.ELLIPSE).render(cloud, camera)
+        assert result.stats.preprocess.num_visible_gaussians == 1
+
+    def test_tiny_gaussian_hits_one_tile(self, camera):
+        # Project to a tile centre: the footprint floor (the 0.3 px blur)
+        # keeps the radius under 2 px, so it must stay inside one tile.
+        x_cam = (40.0 - camera.cx) / camera.fx * 5.0
+        y_cam = (28.0 - camera.cy) / camera.fy * 5.0
+        cloud = _single([x_cam, y_cam, 5.0], 1e-4)
+        proj = project(cloud, camera)
+        grid = TileGrid(camera.width, camera.height, 16)
+        assignment = identify_tiles(proj, grid, BoundaryMethod.ELLIPSE)
+        assert assignment.num_pairs == 1
+
+    def test_far_depth_extremes(self, camera):
+        near_far = GaussianCloud(
+            positions=np.array([[0.0, 0.0, camera.near * 1.01],
+                                [0.0, 0.0, camera.far * 0.99]]),
+            scales=np.full((2, 3), 0.05),
+            rotations=np.tile([[1.0, 0, 0, 0]], (2, 1)),
+            opacities=np.array([0.5, 0.5]),
+            sh_coeffs=np.zeros((2, 1, 3)),
+        )
+        result = BaselineRenderer(16, BoundaryMethod.AABB).render(near_far, camera)
+        assert result.stats.preprocess.num_visible_gaussians == 2
+        assert np.all(np.isfinite(result.image))

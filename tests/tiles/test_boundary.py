@@ -1,0 +1,195 @@
+"""Unit tests for the AABB / OBB / Ellipse boundary tests."""
+
+import numpy as np
+import pytest
+
+from repro.gaussians.cloud import GaussianCloud
+from repro.gaussians.projection import project
+from repro.tiles.boundary import (
+    BoundaryMethod,
+    bounding_rect,
+    gaussian_rect_hits,
+    obb_half_extents,
+)
+
+
+def _project_one(camera, *, scale=(0.3, 0.3, 0.3), quat=(1, 0, 0, 0), depth=5.0):
+    cloud = GaussianCloud(
+        positions=np.array([[0.0, 0.0, depth]]),
+        scales=np.array([scale], dtype=float),
+        rotations=np.array([quat], dtype=float),
+        opacities=np.array([0.9]),
+        sh_coeffs=np.zeros((1, 1, 3)),
+    )
+    return project(cloud, camera)
+
+
+def _rect_around(cx, cy, half):
+    return np.array([[cx - half, cy - half, cx + half, cy + half]])
+
+
+class TestMethodProperties:
+    def test_relative_costs_ordered(self):
+        assert (
+            BoundaryMethod.AABB.relative_test_cost
+            < BoundaryMethod.OBB.relative_test_cost
+            < BoundaryMethod.ELLIPSE.relative_test_cost
+        )
+
+    def test_from_string(self):
+        assert BoundaryMethod("aabb") is BoundaryMethod.AABB
+
+    def test_unknown_method_rejected(self, projected):
+        with pytest.raises(ValueError):
+            gaussian_rect_hits(projected, 0, np.zeros((1, 4)), "hexagon")
+
+    def test_bad_rect_shape_rejected(self, projected):
+        with pytest.raises(ValueError):
+            gaussian_rect_hits(projected, 0, np.zeros((4,)), BoundaryMethod.AABB)
+
+
+class TestContainmentHierarchy:
+    """The ellipse is contained in both boxes: any rect the ellipse hits,
+    the OBB and the AABB must hit too."""
+
+    def test_ellipse_subset_of_boxes(self, projected, camera, rng):
+        rects = np.stack(
+            [
+                rng.uniform(0, camera.width, 200),
+                rng.uniform(0, camera.height, 200),
+                np.zeros(200),
+                np.zeros(200),
+            ],
+            axis=1,
+        )
+        rects[:, 2] = rects[:, 0] + 8
+        rects[:, 3] = rects[:, 1] + 8
+        for i in range(min(len(projected), 20)):
+            ell = gaussian_rect_hits(projected, i, rects, BoundaryMethod.ELLIPSE)
+            obb = gaussian_rect_hits(projected, i, rects, BoundaryMethod.OBB)
+            aabb = gaussian_rect_hits(projected, i, rects, BoundaryMethod.AABB)
+            assert np.all(obb[ell]), "OBB must contain the ellipse"
+            assert np.all(aabb[ell]), "AABB must contain the ellipse"
+
+
+class TestAxisAlignedCase:
+    """For an axis-aligned isotropic Gaussian all three methods agree on
+    axis-aligned rectangles away from corners."""
+
+    def test_rect_at_centre_hits_all(self, camera):
+        proj = _project_one(camera)
+        rect = _rect_around(camera.cx, camera.cy, 2.0)
+        for method in BoundaryMethod:
+            assert gaussian_rect_hits(proj, 0, rect, method)[0]
+
+    def test_distant_rect_misses_all(self, camera):
+        proj = _project_one(camera)
+        r = proj.radii[0]
+        rect = _rect_around(camera.cx + 3 * r, camera.cy, 1.0)
+        for method in BoundaryMethod:
+            assert not gaussian_rect_hits(proj, 0, rect, method)[0]
+
+    def test_corner_rect_separates_ellipse_from_aabb(self, camera):
+        # A small rect at the bounding square's corner touches the square
+        # but not the inscribed circle/ellipse.
+        proj = _project_one(camera)
+        r = proj.radii[0]
+        d = r * 0.95  # inside the square corner, outside the circle
+        rect = _rect_around(camera.cx + d, camera.cy + d, 0.01)
+        assert gaussian_rect_hits(proj, 0, rect, BoundaryMethod.AABB)[0]
+        assert not gaussian_rect_hits(proj, 0, rect, BoundaryMethod.ELLIPSE)[0]
+
+
+class TestEllipseExactness:
+    def test_point_rect_on_boundary(self, camera):
+        proj = _project_one(camera)
+        r = proj.radii[0]
+        # Degenerate rects just inside/outside the 3-sigma circle on the x axis.
+        inside = _rect_around(camera.cx + 0.99 * r, camera.cy, 1e-6)
+        outside = _rect_around(camera.cx + 1.01 * r, camera.cy, 1e-6)
+        assert gaussian_rect_hits(proj, 0, inside, BoundaryMethod.ELLIPSE)[0]
+        assert not gaussian_rect_hits(proj, 0, outside, BoundaryMethod.ELLIPSE)[0]
+
+    def test_rect_containing_ellipse_hits(self, camera):
+        proj = _project_one(camera)
+        rect = np.array([[0.0, 0.0, camera.width, camera.height]])
+        assert gaussian_rect_hits(proj, 0, rect, BoundaryMethod.ELLIPSE)[0]
+
+    def test_rect_edge_grazing_circle(self, camera):
+        proj = _project_one(camera)
+        r = proj.radii[0]
+        # Tall thin rect whose left edge passes at x = cx + 0.9 r: the
+        # closest point to the centre lies on that edge.
+        rect = np.array(
+            [[camera.cx + 0.9 * r, camera.cy - 50.0, camera.cx + 0.9 * r + 100.0,
+              camera.cy + 50.0]]
+        )
+        assert gaussian_rect_hits(proj, 0, rect, BoundaryMethod.ELLIPSE)[0]
+
+    def test_anisotropic_orientation_matters(self, camera):
+        # A very elongated Gaussian rotated 45 degrees: rects along the
+        # long diagonal hit, rects along the short diagonal miss.
+        c, s = np.cos(np.pi / 8), np.sin(np.pi / 8)  # 45 deg rotation quaternion
+        proj = _project_one(
+            camera, scale=(0.6, 0.02, 0.02), quat=(c, 0.0, 0.0, s)
+        )
+        long_r = proj.radii[0]
+        u = proj.eigvecs[0, :, 0]  # long axis direction in screen space
+        along = _rect_around(
+            camera.cx + 0.8 * long_r * u[0], camera.cy + 0.8 * long_r * u[1], 0.5
+        )
+        across = _rect_around(
+            camera.cx - 0.8 * long_r * u[1], camera.cy + 0.8 * long_r * u[0], 0.5
+        )
+        assert gaussian_rect_hits(proj, 0, along, BoundaryMethod.ELLIPSE)[0]
+        assert not gaussian_rect_hits(proj, 0, across, BoundaryMethod.ELLIPSE)[0]
+
+
+class TestOBB:
+    def test_half_extents_sorted(self, projected):
+        half = obb_half_extents(projected)
+        assert np.all(half[:, 0] >= half[:, 1])
+
+    def test_obb_tighter_than_aabb_for_rotated(self, camera):
+        c, s = np.cos(np.pi / 8), np.sin(np.pi / 8)
+        proj = _project_one(camera, scale=(0.6, 0.02, 0.02), quat=(c, 0.0, 0.0, s))
+        long_r = proj.radii[0]
+        u = proj.eigvecs[0, :, 0]
+        # Perpendicular to the long axis at a distance beyond the short
+        # half extent but inside the AABB of the rotated shape.
+        perp = np.array([-u[1], u[0]])
+        short = obb_half_extents(proj)[0, 1]
+        d = short + 0.2 * long_r
+        rect = _rect_around(camera.cx + d * perp[0], camera.cy + d * perp[1], 0.5)
+        assert gaussian_rect_hits(proj, 0, rect, BoundaryMethod.AABB)[0]
+        assert not gaussian_rect_hits(proj, 0, rect, BoundaryMethod.OBB)[0]
+
+
+class TestBoundingRect:
+    def test_aabb_bounding_rect_square(self, projected):
+        x0, y0, x1, y1 = bounding_rect(projected, 0, BoundaryMethod.AABB)
+        r = projected.radii[0]
+        assert (x1 - x0) == pytest.approx(2 * r)
+        assert (y1 - y0) == pytest.approx(2 * r)
+
+    def test_ellipse_bounding_rect_contains_ellipse_boundary(self, projected):
+        i = 0
+        x0, y0, x1, y1 = bounding_rect(projected, i, BoundaryMethod.ELLIPSE)
+        # Sample points on the 3-sigma ellipse and check containment.
+        theta = np.linspace(0, 2 * np.pi, 64)
+        axes = 3.0 * np.sqrt(projected.eigvals[i])
+        pts = (
+            projected.means2d[i][None, :]
+            + np.outer(np.cos(theta) * axes[0], projected.eigvecs[i, :, 0])
+            + np.outer(np.sin(theta) * axes[1], projected.eigvecs[i, :, 1])
+        )
+        eps = 1e-9
+        assert np.all(pts[:, 0] >= x0 - eps) and np.all(pts[:, 0] <= x1 + eps)
+        assert np.all(pts[:, 1] >= y0 - eps) and np.all(pts[:, 1] <= y1 + eps)
+
+    def test_obb_rect_contains_ellipse_rect(self, projected):
+        for i in range(min(len(projected), 10)):
+            ex0, ey0, ex1, ey1 = bounding_rect(projected, i, BoundaryMethod.ELLIPSE)
+            ox0, oy0, ox1, oy1 = bounding_rect(projected, i, BoundaryMethod.OBB)
+            assert ox0 <= ex0 + 1e-9 and oy0 <= ey0 + 1e-9
+            assert ox1 >= ex1 - 1e-9 and oy1 >= ey1 - 1e-9

@@ -1,0 +1,119 @@
+"""Unit tests for the tile grid."""
+
+import numpy as np
+import pytest
+
+from repro.tiles.grid import TileGrid
+
+
+class TestGridShape:
+    def test_exact_division(self):
+        grid = TileGrid(64, 48, 16)
+        assert grid.tiles_x == 4
+        assert grid.tiles_y == 3
+        assert grid.num_tiles == 12
+
+    def test_ragged_division_rounds_up(self):
+        grid = TileGrid(65, 49, 16)
+        assert grid.tiles_x == 5
+        assert grid.tiles_y == 4
+
+    def test_tile_larger_than_image(self):
+        grid = TileGrid(10, 10, 64)
+        assert grid.num_tiles == 1
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            TileGrid(0, 10, 8)
+        with pytest.raises(ValueError):
+            TileGrid(10, 10, 0)
+
+
+class TestIndexing:
+    def test_tile_id_roundtrip(self):
+        grid = TileGrid(64, 48, 16)
+        for tid in range(grid.num_tiles):
+            tx, ty = grid.tile_coords(tid)
+            assert grid.tile_id(tx, ty) == tid
+
+    def test_row_major_order(self):
+        grid = TileGrid(64, 48, 16)
+        assert grid.tile_id(1, 0) == 1
+        assert grid.tile_id(0, 1) == grid.tiles_x
+
+    def test_tile_rect_interior(self):
+        grid = TileGrid(64, 48, 16)
+        assert grid.tile_rect(grid.tile_id(1, 1)) == (16.0, 16.0, 32.0, 32.0)
+
+    def test_tile_rect_clipped_at_edge(self):
+        grid = TileGrid(65, 49, 16)
+        rect = grid.tile_rect(grid.tile_id(4, 3))
+        assert rect == (64.0, 48.0, 65.0, 49.0)
+
+    def test_tile_rects_vectorised_matches_scalar(self):
+        grid = TileGrid(70, 50, 16)
+        ids = np.arange(grid.num_tiles)
+        rects = grid.tile_rects(ids)
+        for tid in ids:
+            assert tuple(rects[tid]) == grid.tile_rect(int(tid))
+
+    def test_rects_tile_the_image_exactly(self):
+        grid = TileGrid(70, 50, 16)
+        rects = grid.tile_rects(np.arange(grid.num_tiles))
+        area = np.sum((rects[:, 2] - rects[:, 0]) * (rects[:, 3] - rects[:, 1]))
+        assert area == 70 * 50
+
+
+class TestPixels:
+    def test_tile_pixels_centres(self):
+        grid = TileGrid(32, 32, 16)
+        px, py = grid.tile_pixels(0)
+        assert px.shape == (16, 16)
+        assert px[0, 0] == 0.5
+        assert py[0, 0] == 0.5
+        assert px[0, 15] == 15.5
+
+    def test_clipped_tile_pixels(self):
+        grid = TileGrid(20, 20, 16)
+        px, py = grid.tile_pixels(grid.tile_id(1, 1))
+        assert px.shape == (4, 4)
+        assert px[0, 0] == 16.5
+
+    def test_num_pixels_in_tile(self):
+        grid = TileGrid(20, 20, 16)
+        assert grid.num_pixels_in_tile(0) == 256
+        assert grid.num_pixels_in_tile(grid.tile_id(1, 1)) == 16
+
+    def test_total_pixels(self):
+        grid = TileGrid(37, 23, 8)
+        total = sum(grid.num_pixels_in_tile(t) for t in range(grid.num_tiles))
+        assert total == 37 * 23
+
+
+class TestRanges:
+    def test_range_for_interior_rect(self):
+        grid = TileGrid(64, 64, 16)
+        assert grid.tile_range_for_rect(17.0, 17.0, 30.0, 30.0) == (1, 1, 2, 2)
+
+    def test_range_spanning_tiles(self):
+        grid = TileGrid(64, 64, 16)
+        tx0, ty0, tx1, ty1 = grid.tile_range_for_rect(10.0, 10.0, 40.0, 20.0)
+        assert (tx0, ty0, tx1, ty1) == (0, 0, 3, 2)
+
+    def test_range_clamped_to_image(self):
+        grid = TileGrid(64, 64, 16)
+        assert grid.tile_range_for_rect(-100.0, -100.0, 1000.0, 1000.0) == (0, 0, 4, 4)
+
+    def test_range_fully_outside_is_empty(self):
+        grid = TileGrid(64, 64, 16)
+        tx0, ty0, tx1, ty1 = grid.tile_range_for_rect(100.0, 0.0, 120.0, 10.0)
+        assert tx0 >= tx1
+
+    def test_tiles_in_range(self):
+        grid = TileGrid(64, 64, 16)
+        tiles = grid.tiles_in_range(1, 1, 3, 3)
+        assert set(tiles.tolist()) == {5, 6, 9, 10}
+
+    def test_tiles_in_empty_range(self):
+        grid = TileGrid(64, 64, 16)
+        assert grid.tiles_in_range(2, 2, 2, 4).size == 0

@@ -1,0 +1,99 @@
+"""Unit tests for tile identification."""
+
+import numpy as np
+import pytest
+
+from repro.tiles.boundary import BoundaryMethod, gaussian_rect_hits
+from repro.tiles.grid import TileGrid
+from repro.tiles.identify import identify_tiles
+
+
+@pytest.fixture
+def grid(camera):
+    return TileGrid(camera.width, camera.height, 16)
+
+
+class TestAssignmentStructure:
+    def test_pairs_aligned(self, projected, grid):
+        assignment = identify_tiles(projected, grid, BoundaryMethod.AABB)
+        assert assignment.gaussian_ids.shape == assignment.tile_ids.shape
+        assert assignment.num_pairs == assignment.gaussian_ids.shape[0]
+
+    def test_tile_ids_in_range(self, projected, grid):
+        assignment = identify_tiles(projected, grid, BoundaryMethod.ELLIPSE)
+        assert np.all(assignment.tile_ids >= 0)
+        assert np.all(assignment.tile_ids < grid.num_tiles)
+
+    def test_counts_consistent(self, projected, grid):
+        assignment = identify_tiles(projected, grid, BoundaryMethod.OBB)
+        assert assignment.tiles_per_gaussian().sum() == assignment.num_pairs
+        assert assignment.gaussians_per_tile().sum() == assignment.num_pairs
+
+    def test_no_duplicate_pairs(self, projected, grid):
+        assignment = identify_tiles(projected, grid, BoundaryMethod.AABB)
+        pairs = set(zip(assignment.gaussian_ids.tolist(), assignment.tile_ids.tolist()))
+        assert len(pairs) == assignment.num_pairs
+
+    def test_per_tile_lists_partition_pairs(self, projected, grid):
+        assignment = identify_tiles(projected, grid, BoundaryMethod.ELLIPSE)
+        per_tile = assignment.per_tile_gaussians()
+        assert len(per_tile) == grid.num_tiles
+        assert sum(len(t) for t in per_tile) == assignment.num_pairs
+
+    def test_per_tile_lists_cached(self, projected, grid):
+        assignment = identify_tiles(projected, grid, BoundaryMethod.AABB)
+        assert assignment.per_tile_gaussians() is assignment.per_tile_gaussians()
+
+
+class TestAgainstDirectTest:
+    """Assignments must agree with the boundary test applied per tile."""
+
+    @pytest.mark.parametrize(
+        "method", [BoundaryMethod.AABB, BoundaryMethod.OBB, BoundaryMethod.ELLIPSE]
+    )
+    def test_assignment_matches_bruteforce(self, projected, grid, method):
+        assignment = identify_tiles(projected, grid, method)
+        all_rects = grid.tile_rects(np.arange(grid.num_tiles))
+        for i in range(len(projected)):
+            expected = set(np.flatnonzero(
+                gaussian_rect_hits(projected, i, all_rects, method)
+            ).tolist())
+            actual = set(assignment.tile_ids[assignment.gaussian_ids == i].tolist())
+            assert actual == expected, f"gaussian {i} method {method}"
+
+
+class TestMethodTightness:
+    def test_ellipse_pairs_subset_of_boxes(self, projected, grid):
+        ell = identify_tiles(projected, grid, BoundaryMethod.ELLIPSE)
+        obb = identify_tiles(projected, grid, BoundaryMethod.OBB)
+        aabb = identify_tiles(projected, grid, BoundaryMethod.AABB)
+        ell_pairs = set(zip(ell.gaussian_ids.tolist(), ell.tile_ids.tolist()))
+        obb_pairs = set(zip(obb.gaussian_ids.tolist(), obb.tile_ids.tolist()))
+        aabb_pairs = set(zip(aabb.gaussian_ids.tolist(), aabb.tile_ids.tolist()))
+        assert ell_pairs <= obb_pairs
+        assert ell_pairs <= aabb_pairs
+
+    def test_counters(self, projected, grid):
+        aabb = identify_tiles(projected, grid, BoundaryMethod.AABB)
+        ell = identify_tiles(projected, grid, BoundaryMethod.ELLIPSE)
+        # AABB does not charge refinement tests; ellipse charges one per
+        # candidate tile.
+        assert aabb.num_boundary_tests == 0
+        assert ell.num_boundary_tests == ell.num_candidate_tiles
+        assert ell.num_pairs <= ell.num_candidate_tiles
+
+
+class TestCoarserGridsNestPairs:
+    def test_tile_hit_implies_group_hit(self, projected, camera):
+        """Perfect alignment (Fig. 8b): a Gaussian intersecting a tile must
+        intersect the enclosing larger cell under the same method."""
+        fine = TileGrid(camera.width, camera.height, 8)
+        coarse = TileGrid(camera.width, camera.height, 32)
+        for method in BoundaryMethod:
+            fa = identify_tiles(projected, fine, method)
+            ca = identify_tiles(projected, coarse, method)
+            coarse_pairs = set(zip(ca.gaussian_ids.tolist(), ca.tile_ids.tolist()))
+            for g, t in zip(fa.gaussian_ids, fa.tile_ids):
+                tx, ty = fine.tile_coords(int(t))
+                group = coarse.tile_id(tx // 4, ty // 4)
+                assert (int(g), int(group)) in coarse_pairs
