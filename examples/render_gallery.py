@@ -2,6 +2,8 @@
 
 Renders every synthetic scene through GS-TG (verifying losslessness
 against the baseline on each), tone-maps and writes ``gallery/*.ppm``.
+Both pipelines run through the batch :class:`repro.engine.RenderEngine`
+with a shared projection cache, so each scene is projected once.
 
 Run:  python examples/render_gallery.py [output-dir]
 """
@@ -11,7 +13,14 @@ import sys
 
 import numpy as np
 
-from repro import BaselineRenderer, BoundaryMethod, GSTGRenderer, load_scene
+from repro import (
+    BaselineRenderer,
+    BoundaryMethod,
+    GSTGRenderer,
+    RenderEngine,
+    load_scene,
+)
+from repro.experiments.cache import ProjectionCache
 from repro.io import write_ppm
 from repro.scenes.datasets import HARDWARE_SCENES
 
@@ -23,8 +32,13 @@ def tonemap(image: np.ndarray) -> np.ndarray:
 
 def main(out_dir: str = "gallery") -> None:
     os.makedirs(out_dir, exist_ok=True)
-    baseline = BaselineRenderer(16, BoundaryMethod.ELLIPSE)
-    gstg = GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE)
+    projections = ProjectionCache()
+    baseline = RenderEngine(
+        BaselineRenderer(16, BoundaryMethod.ELLIPSE), cache=projections
+    )
+    gstg = RenderEngine(
+        GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE), cache=projections
+    )
 
     for name in HARDWARE_SCENES:
         scene = load_scene(name, resolution_scale=0.08, seed=0)

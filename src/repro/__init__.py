@@ -10,6 +10,9 @@ Redundant Sorting while Preserving Rasterization Efficiency" (DAC 2025):
   conventional baseline renderer,
 * ``repro.core``      -- the GS-TG pipeline (grouping, bitmasks, group-wise
   sorting, tile-wise rasterization),
+* ``repro.engine``    -- the vectorized batch render engine (segmented
+  sorting, fused tile blending, multi-camera trajectories with worker
+  pools and shared projection caching),
 * ``repro.scenes``    -- Table II dataset registry and synthetic scenes,
 * ``repro.analysis``  -- profiling statistics and the GPU timing model,
 * ``repro.hardware``  -- the cycle-level accelerator simulator, the GSCore
@@ -17,16 +20,19 @@ Redundant Sorting while Preserving Rasterization Efficiency" (DAC 2025):
 """
 
 from repro.core import GSTGRenderer
+from repro.engine import RenderEngine, TrajectoryResult
 from repro.raster import BaselineRenderer
 from repro.scenes import load_scene
 from repro.tiles import BoundaryMethod
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BaselineRenderer",
     "BoundaryMethod",
     "GSTGRenderer",
+    "RenderEngine",
+    "TrajectoryResult",
     "__version__",
     "load_scene",
 ]

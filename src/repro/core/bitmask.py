@@ -17,7 +17,13 @@ import numpy as np
 from repro.core.grouping import GroupGeometry
 from repro.gaussians.projection import ProjectedGaussians
 from repro.raster.stats import RenderStats
-from repro.tiles.boundary import BoundaryMethod, bounding_rect, gaussian_rect_hits
+from repro.tiles.boundary import (
+    BoundaryMethod,
+    bounding_rect,
+    bounding_rects,
+    gaussian_rect_hits,
+    pair_rect_hits,
+)
 from repro.tiles.identify import TileAssignment
 
 
@@ -127,6 +133,103 @@ def generate_bitmasks(
     return BitmaskTable(
         geometry=geometry,
         method=BoundaryMethod(method),
+        gaussian_ids=group_assignment.gaussian_ids.copy(),
+        group_ids=group_assignment.tile_ids.copy(),
+        masks=masks,
+        num_tile_tests=num_tests,
+    )
+
+
+def generate_bitmasks_fast(
+    proj: ProjectedGaussians,
+    geometry: GroupGeometry,
+    group_assignment: TileAssignment,
+    method: BoundaryMethod,
+    stats: "RenderStats | None" = None,
+) -> BitmaskTable:
+    """Vectorised equivalent of :func:`generate_bitmasks`.
+
+    The reference loops over every (Gaussian, group) pair and tests the
+    Gaussian against the group's tiles one pair at a time.  Here the
+    group's tile rectangles are padded into a dense ``(groups, slots)``
+    layout and a single batched boundary test covers every
+    (pair, tile-slot) combination at once.  Masks, pair order and all
+    counters are identical to the reference — enforced by equivalence
+    tests — which keeps GS-TG's losslessness property intact through the
+    fast path.
+    """
+    if group_assignment.grid.tile_size != geometry.group_size:
+        raise ValueError("group assignment grid does not match the geometry")
+
+    k = group_assignment.num_pairs
+    method = BoundaryMethod(method)
+    if k == 0:
+        if stats is not None:
+            stats.bitmask_test_cost = method.relative_test_cost
+            stats.bitmask_bits = geometry.tiles_per_group
+        return BitmaskTable(
+            geometry=geometry,
+            method=method,
+            gaussian_ids=group_assignment.gaussian_ids.copy(),
+            group_ids=group_assignment.tile_ids.copy(),
+            masks=np.zeros(0, dtype=np.uint64),
+            num_tile_tests=0,
+        )
+
+    tg = geometry.tile_grid
+    slots_max = geometry.tiles_per_group
+    unique_groups, inverse = np.unique(
+        group_assignment.tile_ids, return_inverse=True
+    )
+
+    # Dense per-group tile layout: rects/slots padded to tiles_per_group
+    # with a validity mask (edge groups clipped by the image have fewer
+    # tiles).
+    g = unique_groups.shape[0]
+    padded_rects = np.zeros((g, slots_max, 4), dtype=np.float64)
+    padded_slots = np.zeros((g, slots_max), dtype=np.int64)
+    valid = np.zeros((g, slots_max), dtype=bool)
+    for gi, group in enumerate(unique_groups):
+        tiles = geometry.tiles_of_group(int(group))
+        n = tiles.shape[0]
+        padded_rects[gi, :n] = tg.tile_rects(tiles)
+        padded_slots[gi, :n] = geometry.slots_of_group(int(group))
+        valid[gi, :n] = True
+
+    pair_rects = padded_rects[inverse]          # (k, slots_max, 4)
+    pair_valid = valid[inverse]                 # (k, slots_max)
+    pair_slots = padded_slots[inverse]          # (k, slots_max)
+    flat_gauss = np.repeat(group_assignment.gaussian_ids, slots_max)
+    hits = pair_rect_hits(
+        proj, flat_gauss, pair_rects.reshape(-1, 4), method
+    ).reshape(k, slots_max)
+    hits &= pair_valid
+
+    bits = np.left_shift(
+        np.uint64(1), pair_slots.astype(np.uint64)
+    ) * hits.astype(np.uint64)
+    masks = bits.sum(axis=1, dtype=np.uint64)
+
+    # Row-range test accounting, identical to the reference: a pair is
+    # charged one test per group tile whose (clipped) rect row range
+    # overlaps the Gaussian's bounding rectangle.
+    brects = bounding_rects(proj, method)[group_assignment.gaussian_ids]
+    in_row_range = (
+        (pair_rects[:, :, 1] <= brects[:, 3][:, None])
+        & (pair_rects[:, :, 3] >= brects[:, 1][:, None])
+        & pair_valid
+    )
+    num_tests = int(np.count_nonzero(in_row_range))
+
+    if stats is not None:
+        stats.bitmask_tests += num_tests
+        stats.bitmask_test_cost = method.relative_test_cost
+        stats.num_bitmasks += k
+        stats.bitmask_bits = geometry.tiles_per_group
+
+    return BitmaskTable(
+        geometry=geometry,
+        method=method,
         gaussian_ids=group_assignment.gaussian_ids.copy(),
         group_ids=group_assignment.tile_ids.copy(),
         masks=masks,

@@ -75,13 +75,9 @@ class GSTGRenderer:
             proj, geometry.group_grid, self.group_method
         )
 
-        stats = RenderStats()
-        stats.preprocess.num_input_gaussians = len(cloud)
-        stats.preprocess.num_visible_gaussians = len(proj)
-        stats.preprocess.num_candidate_tiles = group_assignment.num_candidate_tiles
-        stats.preprocess.num_boundary_tests = group_assignment.num_boundary_tests
-        stats.preprocess.boundary_test_cost = self.group_method.relative_test_cost
-        stats.preprocess.num_pairs = group_assignment.num_pairs
+        stats = RenderStats.for_assignment(
+            len(cloud), group_assignment, self.group_method.relative_test_cost
+        )
 
         # Step 2: bitmask generation (BGM).
         table = generate_bitmasks(

@@ -1,0 +1,30 @@
+"""Batch render engine: vectorized tiles, multi-camera parallelism.
+
+The engine layer sits on top of the functional renderers:
+
+* :class:`Renderer` — the structural protocol both built-in renderers
+  (and any future pipeline) satisfy.
+* :class:`RenderEngine` — vectorized single-frame rendering (grouped
+  NumPy passes over all tiles instead of a Python per-tile loop) plus a
+  ``render_trajectory`` batch API with worker pools, shared projection
+  caching and merged statistics.  Outputs are bit-identical to the
+  sequential renderers — the paper's losslessness guarantee extends
+  through the batch path.
+"""
+
+from repro.engine.batch import (
+    blend_tiles_batched,
+    segmented_depth_sort,
+    sort_groups_batched,
+)
+from repro.engine.engine import RenderEngine, TrajectoryResult
+from repro.engine.protocol import Renderer
+
+__all__ = [
+    "RenderEngine",
+    "Renderer",
+    "TrajectoryResult",
+    "blend_tiles_batched",
+    "segmented_depth_sort",
+    "sort_groups_batched",
+]

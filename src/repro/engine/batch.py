@@ -1,0 +1,255 @@
+"""Vectorized batch kernels: segmented sorting and fused tile blending.
+
+The seed renderers loop over tiles in Python — one ``depth_sort`` and one
+``blend_tile`` call per tile.  These kernels restructure that work into
+grouped NumPy operations over *all* non-empty tiles of a frame:
+
+* **Segmented depth sort** — a single ``np.lexsort`` over the flattened
+  (Gaussian, tile) pair buffer orders every tile's list at once
+  (tile-major, then depth, then Gaussian id for the deterministic
+  tie-break).  Each tile's segment of the result equals what the per-tile
+  ``depth_sort`` would have produced, because the per-tile sort uses the
+  same (depth, id) key.
+* **Batched blending** — tiles advance through their sorted lists in
+  lock-step: at step ``j`` the ``j``-th Gaussian of every still-active
+  tile is evaluated in one fused alpha/blend pass over all of those
+  tiles' live pixels.  Per-pixel arithmetic is elementwise and performed
+  in the same order as the sequential path, so images are **bit-identical**
+  to :func:`repro.raster.blend.blend_tile` — the early-exit, cutoff and
+  counter semantics are all reproduced exactly.
+
+Python-level work drops from O(sum of list lengths) iterations to
+O(longest list) iterations per frame.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.group_sort import GroupSortResult
+from repro.gaussians.projection import ProjectedGaussians
+from repro.raster.alpha import ALPHA_CUTOFF, MAX_ALPHA
+from repro.raster.blend import EARLY_EXIT_TRANSMITTANCE
+from repro.raster.sorting import sort_comparison_count
+from repro.raster.stats import RenderStats, SortCounters
+from repro.tiles.grid import TileGrid
+from repro.tiles.identify import TileAssignment
+
+
+def segmented_depth_sort(
+    proj: ProjectedGaussians,
+    assignment: TileAssignment,
+    counters: "SortCounters | None" = None,
+) -> "tuple[np.ndarray, list[np.ndarray]]":
+    """Depth-sort every tile's Gaussian list with one global lexsort.
+
+    Returns ``(nonempty_tile_ids, tile_lists)`` where ``tile_lists[i]``
+    is the front-to-back Gaussian list of ``nonempty_tile_ids[i]``
+    (ascending tile id), each identical to
+    ``depth_sort(proj.depths[g], g)`` on that tile's pair segment.
+    Counters record one sort per non-empty tile in tile order, exactly
+    like the sequential renderer.
+    """
+    gauss = assignment.gaussian_ids
+    tiles = assignment.tile_ids
+    order = np.lexsort((gauss, proj.depths[gauss], tiles))
+    sorted_tiles = tiles[order]
+    sorted_gauss = gauss[order]
+
+    boundaries = np.searchsorted(
+        sorted_tiles, np.arange(assignment.grid.num_tiles + 1)
+    )
+    lengths = np.diff(boundaries)
+    nonempty = np.flatnonzero(lengths)
+
+    tile_lists = [
+        sorted_gauss[boundaries[t] : boundaries[t + 1]] for t in nonempty
+    ]
+    if counters is not None:
+        for n in lengths[nonempty]:
+            n = int(n)
+            counters.record(n, sort_comparison_count(n))
+    return nonempty, tile_lists
+
+
+def sort_groups_batched(
+    proj: ProjectedGaussians,
+    pair_gaussians: np.ndarray,
+    pair_groups: np.ndarray,
+    pair_masks: np.ndarray,
+    counters: "SortCounters | None" = None,
+) -> GroupSortResult:
+    """Vectorized :func:`repro.core.group_sort.sort_groups`.
+
+    One lexsort keyed (group, depth, Gaussian id) replaces the per-group
+    sorting loop; output and counters match the reference exactly (the
+    reference sorts each group's segment with the same (depth, id) key
+    and records groups in ascending id order).
+    """
+    pair_gaussians = np.asarray(pair_gaussians)
+    pair_groups = np.asarray(pair_groups)
+    pair_masks = np.asarray(pair_masks)
+    if not (pair_gaussians.shape == pair_groups.shape == pair_masks.shape):
+        raise ValueError("pair arrays must be aligned")
+
+    order = np.lexsort(
+        (pair_gaussians, proj.depths[pair_gaussians], pair_groups)
+    )
+    groups_sorted = pair_groups[order]
+    gauss_sorted = pair_gaussians[order]
+    masks_sorted = pair_masks[order]
+
+    unique_groups, starts = np.unique(groups_sorted, return_index=True)
+    ends = np.append(starts[1:], groups_sorted.shape[0])
+
+    sorted_gaussians = [gauss_sorted[s:e] for s, e in zip(starts, ends)]
+    sorted_masks = [masks_sorted[s:e] for s, e in zip(starts, ends)]
+    if counters is not None:
+        for s, e in zip(starts, ends):
+            n = int(e - s)
+            counters.record(n, sort_comparison_count(n))
+
+    return GroupSortResult(
+        group_ids=unique_groups,
+        sorted_gaussians=sorted_gaussians,
+        sorted_masks=sorted_masks,
+    )
+
+
+def blend_tiles_batched(
+    proj: ProjectedGaussians,
+    grid: TileGrid,
+    tile_ids: np.ndarray,
+    tile_lists: "list[np.ndarray]",
+    image: np.ndarray,
+    stats: "RenderStats | None" = None,
+) -> None:
+    """Blend many tiles at once, bit-identical to per-tile ``blend_tile``.
+
+    Parameters
+    ----------
+    proj:
+        Projected Gaussians.
+    grid:
+        The rasterization tile grid; ``image`` must match its resolution.
+    tile_ids:
+        Tile ids to rasterise, in the order the sequential pipeline would
+        have processed them (this fixes ``per_tile_alpha`` insertion
+        order).  Every listed tile must have a non-empty list.
+    tile_lists:
+        Depth-sorted Gaussian index array per tile, aligned with
+        ``tile_ids``.
+    image:
+        ``(height, width, 3)`` output, written in place.
+    stats:
+        Optional counter sink; raster counters and ``per_tile_alpha``
+        match the sequential path exactly.
+    """
+    num_tiles = len(tile_lists)
+    if num_tiles == 0:
+        return
+    lengths = np.fromiter(
+        (arr.shape[0] for arr in tile_lists), dtype=np.int64, count=num_tiles
+    )
+    if np.any(lengths == 0):
+        raise ValueError("tile_lists must be non-empty (drop empty tiles)")
+    starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    flat_lists = np.concatenate(tile_lists)
+
+    # Flattened pixel blocks of every tile, with a tile-slot index per
+    # pixel and the rect for scattering results back into the image.
+    xs: "list[np.ndarray]" = []
+    ys: "list[np.ndarray]" = []
+    rects: "list[tuple[int, int, int, int]]" = []
+    sizes = np.empty(num_tiles, dtype=np.int64)
+    for t, tile_id in enumerate(tile_ids):
+        px, py = grid.tile_pixels(int(tile_id))
+        xs.append(px.ravel())
+        ys.append(py.ravel())
+        sizes[t] = px.size
+        x0, y0, x1, y1 = (int(v) for v in grid.tile_rect(int(tile_id)))
+        rects.append((x0, y0, x1, y1))
+    flat_x = np.concatenate(xs)
+    flat_y = np.concatenate(ys)
+    pixel_tile = np.repeat(np.arange(num_tiles, dtype=np.int64), sizes)
+    num_pixels = flat_x.shape[0]
+
+    color = np.zeros((num_pixels, 3), dtype=np.float64)
+    transmittance = np.ones(num_pixels, dtype=np.float64)
+    alive = np.ones(num_pixels, dtype=bool)
+    alive_count = sizes.copy()
+    alpha_per_tile = np.zeros(num_tiles, dtype=np.int64)
+
+    means2d = proj.means2d
+    conics = proj.conics
+    opacities = proj.opacities
+    colors = proj.colors
+
+    # Candidate pixels: alive and in a tile that still has Gaussians.
+    # Both conditions are monotone (pixels only die, tiles only finish),
+    # so the set shrinks to exactly the pixels touched last step — this
+    # keeps each iteration O(live pixels) instead of O(all pixels), which
+    # matters when one long tile list outlives the rest of the frame.
+    candidates = np.arange(num_pixels, dtype=np.int64)
+
+    for j in range(int(lengths.max())):
+        # A tile is active while it still has Gaussians *and* live
+        # pixels — the latter is the sequential loop's early break.
+        tile_active = (lengths > j) & (alive_count > 0)
+        active_slots = np.flatnonzero(tile_active)
+        if active_slots.size == 0:
+            break
+        alpha_per_tile[active_slots] += alive_count[active_slots]
+
+        gid_of_tile = np.zeros(num_tiles, dtype=np.int64)
+        gid_of_tile[active_slots] = flat_lists[starts[active_slots] + j]
+        pix = candidates[
+            alive[candidates] & tile_active[pixel_tile[candidates]]
+        ]
+        candidates = pix
+        pg = gid_of_tile[pixel_tile[pix]]
+
+        # Eq. (1), elementwise-identical to compute_alpha on each tile's
+        # live pixels.
+        dx = flat_x[pix] - means2d[pg, 0]
+        dy = flat_y[pix] - means2d[pg, 1]
+        a_ = conics[pg, 0]
+        b_ = conics[pg, 1]
+        c_ = conics[pg, 2]
+        power = -0.5 * (a_ * dx * dx + 2.0 * b_ * dx * dy + c_ * dy * dy)
+        power = np.minimum(power, 0.0)
+        alphas = np.minimum(opacities[pg] * np.exp(power), MAX_ALPHA)
+
+        significant = alphas >= ALPHA_CUTOFF
+        if stats is not None:
+            stats.raster.num_blend_operations += int(
+                np.count_nonzero(significant)
+            )
+        hit = pix[significant]
+        a = alphas[significant]
+        weight = transmittance[hit] * a
+        color[hit] += weight[:, None] * colors[pg[significant]]
+        transmittance[hit] *= 1.0 - a
+
+        done = transmittance[hit] < EARLY_EXIT_TRANSMITTANCE
+        dying = hit[done]
+        if dying.size:
+            alive[dying] = False
+            alive_count -= np.bincount(
+                pixel_tile[dying], minlength=num_tiles
+            )
+
+    if stats is not None:
+        stats.raster.num_alpha_computations += int(alpha_per_tile.sum())
+        stats.raster.num_pixels += num_pixels
+        stats.raster.num_tile_passes += int(lengths.sum())
+        stats.raster.num_early_exit_pixels += int(np.count_nonzero(~alive))
+        for t, tile_id in enumerate(tile_ids):
+            stats.per_tile_alpha[int(tile_id)] = int(alpha_per_tile[t])
+
+    offset = 0
+    for t, (x0, y0, x1, y1) in enumerate(rects):
+        h = y1 - y0
+        w = x1 - x0
+        image[y0:y1, x0:x1] = color[offset : offset + h * w].reshape(h, w, 3)
+        offset += h * w

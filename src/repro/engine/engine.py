@@ -1,0 +1,312 @@
+"""The batch render engine: vectorized frames, parallel trajectories.
+
+:class:`RenderEngine` wraps any :class:`repro.engine.protocol.Renderer`
+and provides
+
+* ``render`` — a vectorized single-frame path for the two built-in
+  renderers (fast tile identification, one segmented lexsort instead of
+  per-tile sorts, fused batched alpha/blend), falling back to the
+  renderer's own ``render`` for unknown implementations.  Output (image
+  *and* stats) is bit-identical to the sequential path.
+* ``render_trajectory`` — a multi-camera batch API with a
+  ``concurrent.futures`` worker pool, shared projection caching keyed on
+  ``(cloud, camera)`` via :class:`repro.experiments.cache.ProjectionCache`,
+  and aggregated :class:`repro.raster.stats.RenderStats` merging.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bitmask import generate_bitmasks_fast
+from repro.core.grouping import GroupGeometry
+from repro.core.pipeline import GSTGRenderer
+from repro.engine.batch import (
+    blend_tiles_batched,
+    segmented_depth_sort,
+    sort_groups_batched,
+)
+from repro.engine.protocol import Renderer
+from repro.experiments.cache import ProjectionCache
+from repro.gaussians.camera import Camera
+from repro.gaussians.cloud import GaussianCloud
+from repro.gaussians.projection import ProjectedGaussians
+from repro.raster.renderer import BaselineRenderer, RenderResult
+from repro.raster.stats import RenderStats
+from repro.tiles.fast import identify_tiles_fast
+from repro.tiles.grid import TileGrid
+
+
+@dataclass
+class TrajectoryResult:
+    """A batch of rendered views plus their aggregated statistics.
+
+    Attributes
+    ----------
+    results:
+        Per-camera :class:`RenderResult`, in camera order.
+    stats:
+        All per-frame counters merged (:meth:`RenderStats.merged`).
+    """
+
+    results: "list[RenderResult]"
+    stats: RenderStats
+
+    @property
+    def images(self) -> "list[np.ndarray]":
+        """The rendered frames, in camera order."""
+        return [r.image for r in self.results]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+def _render_baseline_batched(
+    renderer: BaselineRenderer,
+    cloud: GaussianCloud,
+    camera: Camera,
+    proj: ProjectedGaussians,
+) -> RenderResult:
+    """Vectorized ``BaselineRenderer.render`` (bit-identical output)."""
+    grid = TileGrid(camera.width, camera.height, renderer.tile_size)
+    assignment = identify_tiles_fast(proj, grid, renderer.method)
+
+    stats = RenderStats.for_assignment(
+        len(cloud), assignment, renderer.method.relative_test_cost
+    )
+
+    image = np.zeros((camera.height, camera.width, 3), dtype=np.float64)
+    tile_ids, tile_lists = segmented_depth_sort(proj, assignment, stats.sort)
+    blend_tiles_batched(proj, grid, tile_ids, tile_lists, image, stats)
+
+    return RenderResult(
+        image=image, stats=stats, projected=proj, assignment=assignment
+    )
+
+
+def _render_gstg_batched(
+    renderer: GSTGRenderer,
+    cloud: GaussianCloud,
+    camera: Camera,
+    proj: ProjectedGaussians,
+) -> RenderResult:
+    """Vectorized ``GSTGRenderer.render`` (bit-identical output)."""
+    geometry = GroupGeometry(
+        width=camera.width,
+        height=camera.height,
+        tile_size=renderer.tile_size,
+        group_size=renderer.group_size,
+    )
+    group_assignment = identify_tiles_fast(
+        proj, geometry.group_grid, renderer.group_method
+    )
+
+    stats = RenderStats.for_assignment(
+        len(cloud), group_assignment, renderer.group_method.relative_test_cost
+    )
+
+    table = generate_bitmasks_fast(
+        proj, geometry, group_assignment, renderer.bitmask_method, stats
+    )
+    group_sort = sort_groups_batched(
+        proj, table.gaussian_ids, table.group_ids, table.masks, stats.sort
+    )
+
+    # Filter each group's shared sorted list through the tile bitmasks,
+    # all tiles of a group at once, then blend every tile in one batch.
+    tile_order: "list[int]" = []
+    tile_lists: "list[np.ndarray]" = []
+    one = np.uint64(1)
+    for pos, group_id in enumerate(group_sort.group_ids):
+        sorted_gauss = group_sort.sorted_gaussians[pos]
+        sorted_masks = group_sort.sorted_masks[pos]
+        tiles = geometry.tiles_of_group(int(group_id))
+        slots = geometry.slots_of_group(int(group_id))
+        valid = (
+            (sorted_masks[:, None] >> slots.astype(np.uint64)[None, :]) & one
+        ) != 0
+        stats.num_filter_checks += sorted_masks.shape[0] * tiles.shape[0]
+        for ti in range(tiles.shape[0]):
+            tile_gaussians = sorted_gauss[valid[:, ti]]
+            if tile_gaussians.size == 0:
+                continue
+            tile_order.append(int(tiles[ti]))
+            tile_lists.append(tile_gaussians)
+
+    image = np.zeros((camera.height, camera.width, 3), dtype=np.float64)
+    blend_tiles_batched(
+        proj, geometry.tile_grid, np.asarray(tile_order, dtype=np.int64),
+        tile_lists, image, stats,
+    )
+
+    return RenderResult(
+        image=image,
+        stats=stats,
+        projected=proj,
+        assignment=group_assignment,
+    )
+
+
+#: Worker-process state set once by the pool initializer: the scene and
+#: a worker-local engine are shipped per *worker*, not per camera.
+_WORKER_STATE: "tuple[RenderEngine, GaussianCloud] | None" = None
+
+
+def _worker_init(renderer: Renderer, vectorized: bool, cloud: GaussianCloud) -> None:
+    """Pool initializer: build the worker's engine and pin the cloud.
+
+    Trajectory cameras are all distinct, so a worker's projection cache
+    can never hit — a single-slot cache stops it from retaining every
+    frame's per-Gaussian arrays for the pool's lifetime.
+    """
+    global _WORKER_STATE
+    engine = RenderEngine(
+        renderer, cache=ProjectionCache(max_entries=1), vectorized=vectorized
+    )
+    _WORKER_STATE = (engine, cloud)
+
+
+def _render_task(camera: Camera) -> RenderResult:
+    """Worker-side single-frame render (module-level for picklability).
+
+    Only the image and the stats travel back to the parent: the
+    projection and assignment arrays are O(cloud)/O(pairs) per frame and
+    no trajectory consumer reads them, so shipping them through the
+    result pipe would tax exactly the parallelism the pool exists for.
+    """
+    assert _WORKER_STATE is not None, "worker pool not initialised"
+    engine, cloud = _WORKER_STATE
+    result = engine.render(cloud, camera)
+    return RenderResult(
+        image=result.image, stats=result.stats, projected=None, assignment=None
+    )
+
+
+class RenderEngine:
+    """Batched, cache-aware front end over a single-camera renderer.
+
+    Parameters
+    ----------
+    renderer:
+        Any object satisfying the :class:`Renderer` protocol.  The two
+        built-in renderers get the vectorized fast path; others fall back
+        to their own ``render``.
+    cache:
+        Optional shared :class:`ProjectionCache`.  Pass the same cache to
+        several engines (e.g. a baseline and a GS-TG engine comparing the
+        same views) to project each ``(cloud, camera)`` pair exactly once.
+    vectorized:
+        When False, always delegate to ``renderer.render`` (useful for
+        A/B-testing the fast path; output is identical either way).
+    """
+
+    def __init__(
+        self,
+        renderer: Renderer,
+        *,
+        cache: "ProjectionCache | None" = None,
+        vectorized: bool = True,
+    ) -> None:
+        self.renderer = renderer
+        self._owns_cache = cache is None
+        self.cache = ProjectionCache() if cache is None else cache
+        self.vectorized = vectorized
+
+    def render(self, cloud: GaussianCloud, camera: Camera) -> RenderResult:
+        """Render one frame; bit-identical to ``renderer.render``."""
+        if not self.vectorized:
+            return self.renderer.render(cloud, camera)
+        # Exact-type checks: a subclass may override render(), and the
+        # documented contract is that unknown renderers (subclasses
+        # included) run their own render rather than the base fast path.
+        if type(self.renderer) is BaselineRenderer:
+            proj = self.cache.projection(cloud, camera)
+            return _render_baseline_batched(self.renderer, cloud, camera, proj)
+        if type(self.renderer) is GSTGRenderer:
+            proj = self.cache.projection(cloud, camera)
+            return _render_gstg_batched(self.renderer, cloud, camera, proj)
+        return self.renderer.render(cloud, camera)
+
+    def render_trajectory(
+        self,
+        cloud: GaussianCloud,
+        cameras: "list[Camera] | tuple[Camera, ...]",
+        *,
+        workers: int = 1,
+        executor: str = "process",
+    ) -> TrajectoryResult:
+        """Render a multi-camera batch, optionally across a worker pool.
+
+        Parameters
+        ----------
+        cloud:
+            The scene, shared by every view.
+        cameras:
+            Views to render, in order.
+        workers:
+            Pool size; ``<= 1`` renders serially in-process.  Serial and
+            thread rendering go through a caller-supplied ``cache`` when
+            one was given; an engine-owned default cache is replaced by a
+            single-slot one for the trajectory (distinct orbit cameras
+            never re-hit, so retaining every projection would only cost
+            memory).
+        executor:
+            ``"process"`` (default) or ``"thread"``.  Frames are pure
+            functions of ``(cloud, camera)``, so images and stats are
+            identical for any executor and worker count.  Frames
+            rendered in worker *processes* come back with
+            ``projected``/``assignment`` set to ``None`` — those arrays
+            are per-frame O(cloud) and no trajectory consumer reads
+            them, so they are not shipped across the process boundary.
+        """
+        cameras = list(cameras)
+        # Trajectory cameras are typically all distinct, so caching their
+        # projections never pays off — when this engine owns its (default)
+        # cache, render through a single-slot stand-in so a long
+        # trajectory does not retain every frame's per-Gaussian arrays.
+        # A caller-supplied cache is respected: it exists to share
+        # projections across engines.
+        if self._owns_cache:
+            runner = RenderEngine(
+                self.renderer,
+                cache=ProjectionCache(max_entries=1),
+                vectorized=self.vectorized,
+            )
+        else:
+            runner = self
+        if workers <= 1 or len(cameras) <= 1:
+            results = [runner.render(cloud, camera) for camera in cameras]
+        elif executor == "thread":
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                results = list(
+                    pool.map(lambda cam: runner.render(cloud, cam), cameras)
+                )
+        elif executor == "process":
+            # Fork keeps the already-built cloud in the children without
+            # re-importing, but only use it where it is the platform
+            # default (Linux) — on macOS the default is spawn because
+            # forking is unsafe there.
+            context = (
+                multiprocessing.get_context("fork")
+                if multiprocessing.get_start_method() == "fork"
+                else None
+            )
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=context,
+                initializer=_worker_init,
+                initargs=(self.renderer, self.vectorized, cloud),
+            ) as pool:
+                results = list(pool.map(_render_task, cameras))
+        else:
+            raise ValueError(
+                f"executor must be 'process' or 'thread', got {executor!r}"
+            )
+        return TrajectoryResult(
+            results=results,
+            stats=RenderStats.merged([r.stats for r in results]),
+        )

@@ -1,0 +1,28 @@
+"""The unified renderer protocol the engine drives.
+
+Both :class:`repro.raster.BaselineRenderer` and
+:class:`repro.core.GSTGRenderer` (and any future pipeline) satisfy this
+structural interface: a ``tile_size`` attribute plus a
+``render(cloud, camera) -> RenderResult`` method.  The engine accepts any
+``Renderer``; renderers it has a vectorized fast path for are batched,
+everything else falls back to the object's own ``render``.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.gaussians.camera import Camera
+from repro.gaussians.cloud import GaussianCloud
+from repro.raster.renderer import RenderResult
+
+
+@runtime_checkable
+class Renderer(Protocol):
+    """Structural interface of a single-camera renderer."""
+
+    tile_size: int
+
+    def render(self, cloud: GaussianCloud, camera: Camera) -> RenderResult:
+        """Render one frame, returning the image plus operation counters."""
+        ...

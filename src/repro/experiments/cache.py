@@ -1,21 +1,136 @@
-"""In-process cache of scenes and rendered frames.
+"""In-process caches of scenes, projections and rendered frames.
 
 Experiment sweeps revisit the same (scene, renderer) configurations —
 e.g. the baseline at 16x16/ellipse appears in Figs. 3, 12, 13 and 14 —
 so a process-wide memo keeps each functional render to exactly one
 execution.  Everything cached is deterministic (seeded scenes, pure
 renderers), so caching cannot change results.
+
+Two caches live here:
+
+* :class:`RenderCache` — keyed on Table II scene *names*; used by the
+  figure/benchmark harnesses.
+* :class:`ProjectionCache` — keyed on ``(cloud, camera)`` object pairs;
+  used by :class:`repro.engine.RenderEngine` so e.g. a baseline-vs-GS-TG
+  losslessness comparison projects each view exactly once.
 """
 
 from __future__ import annotations
 
+import threading
+import weakref
+
+import numpy as np
+
 from repro.core.pipeline import GSTGRenderer
+from repro.gaussians.camera import Camera
+from repro.gaussians.cloud import GaussianCloud
 from repro.gaussians.projection import ProjectedGaussians, project
 from repro.raster.renderer import BaselineRenderer, RenderResult
 from repro.scenes.synthetic import Scene, load_scene
 from repro.tiles.boundary import BoundaryMethod
 from repro.tiles.grid import TileGrid
 from repro.tiles.identify import TileAssignment, identify_tiles
+
+
+def camera_key(camera: Camera) -> "tuple":
+    """A hashable identity for a camera's full configuration.
+
+    Two cameras with equal intrinsics, extrinsics and clip range produce
+    the same key (and therefore identical projections of any cloud).
+    """
+    return (
+        camera.width,
+        camera.height,
+        camera.fx,
+        camera.fy,
+        camera.near,
+        camera.far,
+        np.asarray(camera.rotation, dtype=np.float64).tobytes(),
+        np.asarray(camera.translation, dtype=np.float64).tobytes(),
+    )
+
+
+class ProjectionCache:
+    """Memoises ``project(cloud, camera)`` keyed on the object pair.
+
+    Clouds are tracked by identity through weak references — mutating a
+    cloud in place after rendering it is not supported (the functional
+    pipeline never does), and a garbage-collected cloud's entries are
+    dropped automatically, so the cache cannot resurrect stale ids.
+
+    Parameters
+    ----------
+    max_entries:
+        Bound on cached projections across all clouds; the oldest entry
+        is evicted first (each projection holds full per-Gaussian
+        screen-space arrays, so an unbounded cache would grow linearly
+        with trajectory length).  ``None`` disables eviction.
+    """
+
+    def __init__(self, max_entries: "int | None" = 256) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive or None")
+        self.max_entries = max_entries
+        # (id(cloud), camera key) -> projection, in insertion order.
+        self._projections: "dict[tuple, ProjectedGaussians]" = {}
+        # id(cloud) -> weakref guarding against id reuse after gc.
+        self._cloud_refs: "dict[int, weakref.ref]" = {}
+        # Guards the dicts (render_trajectory's thread executor shares
+        # one cache across workers); projection itself runs unlocked, so
+        # two threads missing on the same key may both compute — the
+        # first insert wins and both results are identical.  Reentrant
+        # because a gc-triggered weakref callback can run _drop_cloud on
+        # a thread already inside the lock.
+        self._lock = threading.RLock()
+
+    def _drop_cloud(self, cloud_id: int) -> None:
+        with self._lock:
+            self._cloud_refs.pop(cloud_id, None)
+            for key in [k for k in self._projections if k[0] == cloud_id]:
+                del self._projections[key]
+
+    def _validate_cloud(self, cloud: GaussianCloud) -> int:
+        cloud_id = id(cloud)
+        ref = self._cloud_refs.get(cloud_id)
+        if ref is not None and ref() is cloud:
+            return cloud_id
+        if ref is not None:
+            # The id was recycled after a garbage collection.
+            self._drop_cloud(cloud_id)
+        refs = self._cloud_refs
+
+        def _on_gc(dead: weakref.ref, *, _cloud_id: int = cloud_id) -> None:
+            if refs.get(_cloud_id) is dead:
+                self._drop_cloud(_cloud_id)
+
+        self._cloud_refs[cloud_id] = weakref.ref(cloud, _on_gc)
+        return cloud_id
+
+    def projection(self, cloud: GaussianCloud, camera: Camera) -> ProjectedGaussians:
+        """The (cached) screen-space projection of ``cloud`` through ``camera``."""
+        with self._lock:
+            key = (self._validate_cloud(cloud), camera_key(camera))
+            cached = self._projections.get(key)
+        if cached is not None:
+            return cached
+        proj = project(cloud, camera)
+        with self._lock:
+            cached = self._projections.get(key)
+            if cached is not None:
+                return cached
+            if (
+                self.max_entries is not None
+                and len(self._projections) >= self.max_entries
+            ):
+                oldest = next(iter(self._projections))
+                del self._projections[oldest]
+            self._projections[key] = proj
+        return proj
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._projections)
 
 
 class RenderCache:

@@ -15,6 +15,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.pipeline import GSTGRenderer
+from repro.engine import RenderEngine
+from repro.experiments.cache import ProjectionCache
 from repro.hardware.config import GSTG_CONFIG
 from repro.hardware.simulator import simulate_baseline, simulate_gstg
 from repro.raster.renderer import BaselineRenderer
@@ -57,18 +59,54 @@ def run_multiview(
     seed: int = 0,
     tile_size: int = 16,
     group_size: int = 64,
+    workers: int = 1,
 ) -> "list[ViewRow]":
-    """Evaluate both pipelines on a trajectory's test views."""
+    """Evaluate both pipelines on a trajectory's test views.
+
+    Both pipelines run through the batch :class:`RenderEngine` with a
+    shared projection cache.  The default serial path renders view by
+    view — each test view is projected exactly once (the baseline and
+    GS-TG engines reuse it) and only one view's results are live at a
+    time.  ``workers > 1`` instead fans each pipeline's pass over the
+    views out to worker processes (faster in wall-clock; workers
+    re-project per process and all views' results are held at once).
+    Results are identical for any worker count.
+    """
     scene = load_scene(scene_name, resolution_scale=resolution_scale, seed=seed)
     views = make_view_set(scene, num_views)
-    baseline = BaselineRenderer(tile_size, BoundaryMethod.ELLIPSE)
-    gstg = GSTGRenderer(tile_size, group_size, BoundaryMethod.ELLIPSE)
+    # A couple of entries suffice: the two engines share each view's
+    # projection within an iteration; older views are never revisited.
+    projections = ProjectionCache(max_entries=4)
+    baseline = RenderEngine(
+        BaselineRenderer(tile_size, BoundaryMethod.ELLIPSE), cache=projections
+    )
+    gstg = RenderEngine(
+        GSTGRenderer(tile_size, group_size, BoundaryMethod.ELLIPSE),
+        cache=projections,
+    )
+
+    test_cameras = list(views.test_cameras)
+    if workers > 1:
+        pairs = zip(
+            baseline.render_trajectory(
+                scene.cloud, test_cameras, workers=workers
+            ).results,
+            gstg.render_trajectory(
+                scene.cloud, test_cameras, workers=workers
+            ).results,
+        )
+    else:
+        pairs = (
+            (
+                baseline.render(scene.cloud, camera),
+                gstg.render(scene.cloud, camera),
+            )
+            for camera in test_cameras
+        )
 
     rows = []
-    for index in views.test_indices:
+    for index, (base, ours) in zip(views.test_indices, pairs):
         camera = views.cameras[index]
-        base = baseline.render(scene.cloud, camera)
-        ours = gstg.render(scene.cloud, camera)
         w, h = camera.width, camera.height
         rows.append(
             ViewRow(

@@ -91,14 +91,19 @@ def _eigendecompose_2x2(cov: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
     lam1 = mean + radius
     lam2 = np.maximum(mean - radius, 1e-12)
 
-    # Eigenvector for lam1: (b, lam1 - a) when there is shear.  For
-    # (near-)diagonal matrices that vector degenerates, and the major
-    # axis is x when a >= c, y otherwise.  Truly isotropic matrices fall
-    # back to the x-axis (any direction is an eigenvector).
+    # Eigenvector for lam1 from (A - lam1 I) v = 0.  Its two row
+    # equations give v ∝ (b, lam1 - a) and v ∝ (lam1 - c, b); use the
+    # one whose pivot is computed as a sum of non-negative terms
+    # (lam1 - c = (a - c)/2 + radius when a >= c, and symmetrically for
+    # c > a) — the other pivot cancels catastrophically for strongly
+    # anisotropic near-diagonal matrices (e.g. a >> c with |b| ~ 1e-8,
+    # where lam1 - a rounds to noise).  For (near-)diagonal matrices the
+    # major axis is x when a >= c, y otherwise; truly isotropic matrices
+    # fall back to the x-axis (any direction is an eigenvector).
     sheared = np.abs(b) > 1e-12
     axis_x = a >= c
-    vx = np.where(sheared, b, np.where(axis_x, 1.0, 0.0))
-    vy = np.where(sheared, lam1 - a, np.where(axis_x, 0.0, 1.0))
+    vx = np.where(sheared, np.where(axis_x, lam1 - c, b), np.where(axis_x, 1.0, 0.0))
+    vy = np.where(sheared, np.where(axis_x, b, lam1 - a), np.where(axis_x, 0.0, 1.0))
     norm = np.sqrt(vx * vx + vy * vy)
     degenerate = norm < 1e-12
     vx = np.where(degenerate, 1.0, vx / np.maximum(norm, 1e-30))

@@ -72,13 +72,9 @@ class BaselineRenderer:
         proj = project(cloud, camera)
         assignment = identify_tiles(proj, grid, self.method)
 
-        stats = RenderStats()
-        stats.preprocess.num_input_gaussians = len(cloud)
-        stats.preprocess.num_visible_gaussians = len(proj)
-        stats.preprocess.num_candidate_tiles = assignment.num_candidate_tiles
-        stats.preprocess.num_boundary_tests = assignment.num_boundary_tests
-        stats.preprocess.boundary_test_cost = self.method.relative_test_cost
-        stats.preprocess.num_pairs = assignment.num_pairs
+        stats = RenderStats.for_assignment(
+            len(cloud), assignment, self.method.relative_test_cost
+        )
 
         image = np.zeros((camera.height, camera.width, 3), dtype=np.float64)
         per_tile = assignment.per_tile_gaussians()

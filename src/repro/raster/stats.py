@@ -39,6 +39,22 @@ class StageCounters:
     boundary_test_cost: float = 1.0
     num_pairs: int = 0
 
+    def merge_from(self, other: "StageCounters") -> None:
+        """Accumulate another frame's preprocessing counters.
+
+        Counts add; the per-test cost is a property of the boundary
+        method, so merged frames keep the maximum (frames rendered with
+        one configuration all share the same value).
+        """
+        self.num_input_gaussians += other.num_input_gaussians
+        self.num_visible_gaussians += other.num_visible_gaussians
+        self.num_candidate_tiles += other.num_candidate_tiles
+        self.num_boundary_tests += other.num_boundary_tests
+        self.boundary_test_cost = max(
+            self.boundary_test_cost, other.boundary_test_cost
+        )
+        self.num_pairs += other.num_pairs
+
 
 @dataclass
 class SortCounters:
@@ -68,6 +84,13 @@ class SortCounters:
         self.num_comparisons += comparisons
         self.max_sort_length = max(self.max_sort_length, n)
 
+    def merge_from(self, other: "SortCounters") -> None:
+        """Accumulate another frame's sorting counters."""
+        self.num_sorts += other.num_sorts
+        self.num_keys += other.num_keys
+        self.num_comparisons += other.num_comparisons
+        self.max_sort_length = max(self.max_sort_length, other.max_sort_length)
+
 
 @dataclass
 class RasterCounters:
@@ -93,6 +116,14 @@ class RasterCounters:
     num_pixels: int = 0
     num_tile_passes: int = 0
     num_early_exit_pixels: int = 0
+
+    def merge_from(self, other: "RasterCounters") -> None:
+        """Accumulate another frame's rasterization counters."""
+        self.num_alpha_computations += other.num_alpha_computations
+        self.num_blend_operations += other.num_blend_operations
+        self.num_pixels += other.num_pixels
+        self.num_tile_passes += other.num_tile_passes
+        self.num_early_exit_pixels += other.num_early_exit_pixels
 
 
 @dataclass
@@ -132,3 +163,56 @@ class RenderStats:
     bitmask_bits: int = 0
     num_filter_checks: int = 0
     per_tile_alpha: "dict[int, int]" = field(default_factory=dict)
+
+    def merge_from(self, other: "RenderStats") -> None:
+        """Accumulate another frame's counters into this one.
+
+        Counts add across frames; per-method constants (test costs,
+        bitmask width) keep the maximum.  ``per_tile_alpha`` sums per tile
+        id, yielding the aggregate per-tile workload over the merged
+        frames.
+        """
+        self.preprocess.merge_from(other.preprocess)
+        self.sort.merge_from(other.sort)
+        self.raster.merge_from(other.raster)
+        self.bitmask_tests += other.bitmask_tests
+        self.bitmask_test_cost = max(self.bitmask_test_cost, other.bitmask_test_cost)
+        self.num_bitmasks += other.num_bitmasks
+        self.bitmask_bits = max(self.bitmask_bits, other.bitmask_bits)
+        self.num_filter_checks += other.num_filter_checks
+        for tile_id, alpha in other.per_tile_alpha.items():
+            self.per_tile_alpha[tile_id] = (
+                self.per_tile_alpha.get(tile_id, 0) + alpha
+            )
+
+    @classmethod
+    def merged(cls, stats: "list[RenderStats] | tuple[RenderStats, ...]") -> "RenderStats":
+        """Aggregate counters over many frames (e.g. a trajectory)."""
+        total = cls()
+        for s in stats:
+            total.merge_from(s)
+        return total
+
+    @classmethod
+    def for_assignment(
+        cls,
+        num_input_gaussians: int,
+        assignment,
+        boundary_test_cost: float,
+    ) -> "RenderStats":
+        """Fresh stats with the preprocess stage filled from an assignment.
+
+        ``assignment`` is a :class:`repro.tiles.identify.TileAssignment`
+        (duck-typed here to keep this module dependency-free).  Both the
+        sequential renderers and the batch engine build their stats
+        through this helper, so the preprocess fields cannot drift
+        between the two paths.
+        """
+        stats = cls()
+        stats.preprocess.num_input_gaussians = num_input_gaussians
+        stats.preprocess.num_visible_gaussians = assignment.num_gaussians
+        stats.preprocess.num_candidate_tiles = assignment.num_candidate_tiles
+        stats.preprocess.num_boundary_tests = assignment.num_boundary_tests
+        stats.preprocess.boundary_test_cost = boundary_test_cost
+        stats.preprocess.num_pairs = assignment.num_pairs
+        return stats

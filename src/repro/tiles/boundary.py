@@ -70,10 +70,38 @@ def bounding_rect(proj: ProjectedGaussians, i: int, method: BoundaryMethod) -> "
     return mx - hx, my - hy, mx + hx, my + hy
 
 
-def _rects_overlap_aabb(
-    mx: float, my: float, r: float, rects: np.ndarray
+def bounding_rects(proj: ProjectedGaussians, method: BoundaryMethod) -> np.ndarray:
+    """Vectorised :func:`bounding_rect`: ``(m, 4)`` rects for all Gaussians.
+
+    Produces bit-identical values to calling :func:`bounding_rect` per
+    Gaussian — every arithmetic step mirrors the scalar path elementwise.
+    """
+    mx = proj.means2d[:, 0]
+    my = proj.means2d[:, 1]
+    if method is BoundaryMethod.AABB:
+        r = proj.radii
+        return np.stack([mx - r, my - r, mx + r, my + r], axis=1)
+    if method is BoundaryMethod.OBB:
+        half = obb_half_extents(proj)
+        a = half[:, 0]
+        b = half[:, 1]
+        u = proj.eigvecs[:, :, 0]
+        v = proj.eigvecs[:, :, 1]
+        hx = a * np.abs(u[:, 0]) + b * np.abs(v[:, 0])
+        hy = a * np.abs(u[:, 1]) + b * np.abs(v[:, 1])
+        return np.stack([mx - hx, my - hy, mx + hx, my + hy], axis=1)
+    hx = SIGMA_EXTENT * np.sqrt(proj.cov2d[:, 0, 0])
+    hy = SIGMA_EXTENT * np.sqrt(proj.cov2d[:, 1, 1])
+    return np.stack([mx - hx, my - hy, mx + hx, my + hy], axis=1)
+
+
+def _pair_overlap_aabb(
+    proj: ProjectedGaussians, pair_ids: np.ndarray, rects: np.ndarray
 ) -> np.ndarray:
-    """Axis-aligned square (half-width r) vs rectangles."""
+    """Axis-aligned square (half-width ``radii``) vs rectangles, per pair."""
+    mx = proj.means2d[pair_ids, 0]
+    my = proj.means2d[pair_ids, 1]
+    r = proj.radii[pair_ids]
     return (
         (rects[:, 0] <= mx + r)
         & (rects[:, 2] >= mx - r)
@@ -82,21 +110,21 @@ def _rects_overlap_aabb(
     )
 
 
-def _rects_overlap_obb(
-    mx: float,
-    my: float,
-    half_extents: np.ndarray,
-    axes: np.ndarray,
-    rects: np.ndarray,
+def _pair_overlap_obb(
+    proj: ProjectedGaussians, pair_ids: np.ndarray, rects: np.ndarray
 ) -> np.ndarray:
-    """Separating-axis test: oriented box vs axis-aligned rectangles.
-
-    ``half_extents``: (2,) box half sizes along its two axes.
-    ``axes``: (2, 2) unit axes as matrix columns.
-    """
-    a, b = half_extents
-    u = axes[:, 0]
-    v = axes[:, 1]
+    """Separating-axis test: oriented 3-sigma boxes vs rectangles, per pair."""
+    mx = proj.means2d[pair_ids, 0]
+    my = proj.means2d[pair_ids, 1]
+    half = obb_half_extents(proj)[pair_ids]
+    a = half[:, 0]
+    b = half[:, 1]
+    u = proj.eigvecs[pair_ids][:, :, 0]
+    v = proj.eigvecs[pair_ids][:, :, 1]
+    u0 = np.abs(u[:, 0])
+    u1 = np.abs(u[:, 1])
+    v0 = np.abs(v[:, 0])
+    v1 = np.abs(v[:, 1])
 
     cx = 0.5 * (rects[:, 0] + rects[:, 2])
     cy = 0.5 * (rects[:, 1] + rects[:, 3])
@@ -105,38 +133,28 @@ def _rects_overlap_obb(
     dx = cx - mx
     dy = cy - my
 
-    # Axis 1: world x.  OBB projects to half-width a|u_x| + b|v_x|.
-    sep_x = np.abs(dx) > (a * abs(u[0]) + b * abs(v[0]) + hw)
-    # Axis 2: world y.
-    sep_y = np.abs(dy) > (a * abs(u[1]) + b * abs(v[1]) + hh)
-    # Axis 3: box axis u.  Rect projects to half-width hw|u_x| + hh|u_y|.
-    du = dx * u[0] + dy * u[1]
-    sep_u = np.abs(du) > (a + hw * abs(u[0]) + hh * abs(u[1]))
-    # Axis 4: box axis v.
-    dv = dx * v[0] + dy * v[1]
-    sep_v = np.abs(dv) > (b + hw * abs(v[0]) + hh * abs(v[1]))
+    sep_x = np.abs(dx) > (a * u0 + b * v0 + hw)
+    sep_y = np.abs(dy) > (a * u1 + b * v1 + hh)
+    du = dx * u[:, 0] + dy * u[:, 1]
+    sep_u = np.abs(du) > (a + hw * u0 + hh * u1)
+    dv = dx * v[:, 0] + dy * v[:, 1]
+    sep_v = np.abs(dv) > (b + hw * v0 + hh * v1)
 
     return ~(sep_x | sep_y | sep_u | sep_v)
 
 
-def _rects_overlap_ellipse(
-    mx: float,
-    my: float,
-    eigvals: np.ndarray,
-    eigvecs: np.ndarray,
-    rects: np.ndarray,
+def _pair_overlap_ellipse(
+    proj: ProjectedGaussians, pair_ids: np.ndarray, rects: np.ndarray
 ) -> np.ndarray:
     """Exact 3-sigma-ellipse vs rectangle intersection.
 
-    The rectangle is mapped by the whitening transform that sends the
-    ellipse to the unit circle; it becomes a parallelogram (here: another
-    rectangle rotated by the eigenbasis), and intersection reduces to
-    ``distance(origin, transformed rect) <= 1``.
+    Each rectangle is mapped by the whitening transform that sends its
+    Gaussian's ellipse to the unit circle; it becomes a parallelogram,
+    and intersection reduces to ``distance(origin, transformed rect) <= 1``.
     """
-    inv_axes = 1.0 / (SIGMA_EXTENT * np.sqrt(np.maximum(eigvals, 1e-18)))
-    # Whitening: w = diag(1/(3 sqrt(lambda))) @ U^T @ (p - mu).
-    ut = eigvecs.T
-
+    inv_axes = 1.0 / (
+        SIGMA_EXTENT * np.sqrt(np.maximum(proj.eigvals[pair_ids], 1e-18))
+    )
     corners = np.stack(
         [
             rects[:, [0, 1]],
@@ -146,23 +164,65 @@ def _rects_overlap_ellipse(
         ],
         axis=1,
     )  # (k, 4, 2)
-    rel = corners - np.array([mx, my])
-    white = rel @ ut.T * inv_axes[None, None, :]  # (k, 4, 2)
+    rel = corners - proj.means2d[pair_ids][:, None, :]
+    # Whitening: w = diag(1/(3 sqrt(lambda))) @ U^T @ (p - mu), as a
+    # stacked matmul over the per-pair eigenbases.
+    white = np.matmul(rel, proj.eigvecs[pair_ids]) * inv_axes[:, None, :]
 
-    # Inside test: origin within the convex quad -> cross products of the
-    # edges with the origin direction share a sign.
     nxt = np.roll(white, -1, axis=1)
     edge = nxt - white
     cross = edge[:, :, 0] * (-white[:, :, 1]) - edge[:, :, 1] * (-white[:, :, 0])
     inside = np.all(cross >= 0.0, axis=1) | np.all(cross <= 0.0, axis=1)
 
-    # Distance from the origin to each edge segment.
     seg_len2 = np.maximum(np.sum(edge * edge, axis=2), 1e-30)
     t = np.clip(-np.sum(white * edge, axis=2) / seg_len2, 0.0, 1.0)
     closest = white + t[:, :, None] * edge
     dist2 = np.min(np.sum(closest * closest, axis=2), axis=1)
 
     return inside | (dist2 <= 1.0)
+
+
+def pair_rect_hits(
+    proj: ProjectedGaussians,
+    pair_ids: np.ndarray,
+    rects: np.ndarray,
+    method: BoundaryMethod,
+) -> np.ndarray:
+    """Vectorised :func:`gaussian_rect_hits` over (Gaussian, rect) pairs.
+
+    Parameters
+    ----------
+    proj:
+        Projected Gaussians.
+    pair_ids:
+        ``(k,)`` Gaussian index per pair (repeats allowed).
+    rects:
+        ``(k, 4)`` rectangle per pair, aligned with ``pair_ids``.
+    method:
+        Which boundary shape to test.
+
+    Returns
+    -------
+    ``(k,)`` boolean hit mask, bit-identical to evaluating the scalar
+    :func:`gaussian_rect_hits` pair by pair (the batched formulas perform
+    the same elementwise operations in the same order; the ellipse path's
+    matmul is a stacked version of the scalar one).
+    """
+    pair_ids = np.asarray(pair_ids, dtype=np.int64)
+    rects = np.asarray(rects, dtype=np.float64)
+    if rects.ndim != 2 or rects.shape[1] != 4:
+        raise ValueError(f"rects must be (k, 4), got {rects.shape}")
+    if pair_ids.shape[0] != rects.shape[0]:
+        raise ValueError("pair_ids and rects must be aligned")
+    if pair_ids.shape[0] == 0:
+        return np.zeros(0, dtype=bool)
+    if method is BoundaryMethod.AABB:
+        return _pair_overlap_aabb(proj, pair_ids, rects)
+    if method is BoundaryMethod.OBB:
+        return _pair_overlap_obb(proj, pair_ids, rects)
+    if method is BoundaryMethod.ELLIPSE:
+        return _pair_overlap_ellipse(proj, pair_ids, rects)
+    raise ValueError(f"unknown boundary method: {method!r}")
 
 
 def gaussian_rect_hits(
@@ -191,14 +251,5 @@ def gaussian_rect_hits(
     rects = np.asarray(rects, dtype=np.float64)
     if rects.ndim != 2 or rects.shape[1] != 4:
         raise ValueError(f"rects must be (k, 4), got {rects.shape}")
-    mx, my = proj.means2d[i]
-    if method is BoundaryMethod.AABB:
-        return _rects_overlap_aabb(mx, my, float(proj.radii[i]), rects)
-    if method is BoundaryMethod.OBB:
-        half = obb_half_extents(proj)[i]
-        return _rects_overlap_obb(mx, my, half, proj.eigvecs[i], rects)
-    if method is BoundaryMethod.ELLIPSE:
-        return _rects_overlap_ellipse(
-            mx, my, proj.eigvals[i], proj.eigvecs[i], rects
-        )
-    raise ValueError(f"unknown boundary method: {method!r}")
+    pair_ids = np.full(rects.shape[0], i, dtype=np.int64)
+    return pair_rect_hits(proj, pair_ids, rects, method)

@@ -1,0 +1,140 @@
+"""Unit tests for the vectorized batch kernels."""
+
+import numpy as np
+import pytest
+
+from repro.core.group_sort import sort_groups
+from repro.engine.batch import (
+    blend_tiles_batched,
+    segmented_depth_sort,
+    sort_groups_batched,
+)
+from repro.raster.blend import blend_tile
+from repro.raster.sorting import depth_sort
+from repro.raster.stats import RenderStats, SortCounters
+from repro.tiles.boundary import BoundaryMethod
+from repro.tiles.grid import TileGrid
+from repro.tiles.identify import identify_tiles
+
+
+@pytest.fixture
+def assignment(projected, camera):
+    grid = TileGrid(camera.width, camera.height, 16)
+    return identify_tiles(projected, grid, BoundaryMethod.ELLIPSE)
+
+
+class TestSegmentedDepthSort:
+    def test_matches_per_tile_sort(self, projected, assignment):
+        per_tile = assignment.per_tile_gaussians()
+        counters = SortCounters()
+        tile_ids, tile_lists = segmented_depth_sort(
+            projected, assignment, counters
+        )
+
+        expected_nonempty = [
+            t for t in range(assignment.grid.num_tiles) if len(per_tile[t])
+        ]
+        assert list(tile_ids) == expected_nonempty
+        for tile_id, batch_list in zip(tile_ids, tile_lists):
+            gaussians = per_tile[tile_id]
+            reference = depth_sort(projected.depths[gaussians], gaussians)
+            assert np.array_equal(batch_list, reference)
+
+    def test_counters_match_sequential(self, projected, assignment):
+        from repro.raster.sorting import sort_comparison_count
+
+        reference = SortCounters()
+        for gaussians in assignment.per_tile_gaussians():
+            if len(gaussians):
+                reference.record(
+                    len(gaussians), sort_comparison_count(len(gaussians))
+                )
+        counters = SortCounters()
+        segmented_depth_sort(projected, assignment, counters)
+        assert counters == reference
+
+    def test_empty_assignment(self, rng, camera):
+        from tests.conftest import make_cloud
+        from repro.gaussians.projection import project
+
+        proj = project(make_cloud(10, rng, depth_range=(-20.0, -5.0)), camera)
+        grid = TileGrid(camera.width, camera.height, 16)
+        assignment = identify_tiles(proj, grid, BoundaryMethod.AABB)
+        tile_ids, tile_lists = segmented_depth_sort(proj, assignment)
+        assert tile_ids.size == 0
+        assert tile_lists == []
+
+
+class TestSortGroupsBatched:
+    def test_matches_reference(self, projected, camera):
+        grid = TileGrid(camera.width, camera.height, 64)
+        assignment = identify_tiles(projected, grid, BoundaryMethod.ELLIPSE)
+        masks = np.arange(assignment.num_pairs, dtype=np.uint64)
+
+        ref_counters, fast_counters = SortCounters(), SortCounters()
+        ref = sort_groups(
+            projected, assignment.gaussian_ids, assignment.tile_ids, masks,
+            ref_counters,
+        )
+        fast = sort_groups_batched(
+            projected, assignment.gaussian_ids, assignment.tile_ids, masks,
+            fast_counters,
+        )
+        assert np.array_equal(ref.group_ids, fast.group_ids)
+        for a, b in zip(ref.sorted_gaussians, fast.sorted_gaussians):
+            assert np.array_equal(a, b)
+        for a, b in zip(ref.sorted_masks, fast.sorted_masks):
+            assert np.array_equal(a, b)
+        assert ref_counters == fast_counters
+
+    def test_misaligned_arrays_rejected(self, projected):
+        with pytest.raises(ValueError):
+            sort_groups_batched(
+                projected, np.zeros(3, np.int64), np.zeros(2, np.int64),
+                np.zeros(3, np.uint64),
+            )
+
+
+class TestBlendTilesBatched:
+    def test_matches_blend_tile(self, projected, assignment, camera):
+        grid = assignment.grid
+        tile_ids, tile_lists = segmented_depth_sort(projected, assignment)
+
+        batched_image = np.zeros((camera.height, camera.width, 3))
+        batched_stats = RenderStats()
+        blend_tiles_batched(
+            projected, grid, tile_ids, tile_lists, batched_image, batched_stats
+        )
+
+        sequential_image = np.zeros((camera.height, camera.width, 3))
+        sequential_stats = RenderStats()
+        for tile_id, sorted_ids in zip(tile_ids, tile_lists):
+            px, py = grid.tile_pixels(int(tile_id))
+            before = sequential_stats.raster.num_alpha_computations
+            result = blend_tile(
+                projected, sorted_ids, px, py, sequential_stats.raster
+            )
+            sequential_stats.per_tile_alpha[int(tile_id)] = (
+                sequential_stats.raster.num_alpha_computations - before
+            )
+            x0, y0, x1, y1 = (int(v) for v in grid.tile_rect(int(tile_id)))
+            sequential_image[y0:y1, x0:x1] = result.color
+
+        assert np.array_equal(batched_image, sequential_image)
+        assert batched_stats.raster == sequential_stats.raster
+        assert batched_stats.per_tile_alpha == sequential_stats.per_tile_alpha
+
+    def test_empty_tile_list_rejected(self, projected, camera):
+        grid = TileGrid(camera.width, camera.height, 16)
+        image = np.zeros((camera.height, camera.width, 3))
+        with pytest.raises(ValueError):
+            blend_tiles_batched(
+                projected, grid, np.array([0]),
+                [np.empty(0, dtype=np.int64)], image,
+            )
+
+    def test_no_tiles_is_noop(self, projected, camera):
+        grid = TileGrid(camera.width, camera.height, 16)
+        image = np.zeros((camera.height, camera.width, 3))
+        blend_tiles_batched(projected, grid, np.empty(0, np.int64), [], image)
+        assert not image.any()
