@@ -1,0 +1,203 @@
+"""Performance trajectory report: time the sweep-critical paths.
+
+Measures the three hot paths this repo's performance work targets —
+the batch-engine trajectory, the vectorized hierarchical render and the
+array-based pipeline-simulation sweep — each against its retained seed
+(pure-Python) implementation, and records the results in
+``BENCH_core.json``:
+
+    {"meta": {...workload...},
+     "entries": [{"name": ..., "wall_s": ..., "speedup_vs_seed": ...}]}
+
+``wall_s`` is the fast path's wall time; ``speedup_vs_seed`` divides the
+seed path's time by it.  The JSON lives in the repository so future PRs
+can diff the perf trajectory; CI re-runs this script on a tiny scene as
+a smoke check (absolute numbers are machine-dependent — the committed
+file documents one reference machine).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_report.py \
+        [--scene playroom] [--scale 0.125] [--views 6] [--workers 2] \
+        [--sim-rounds 30] [--sim-scale 0.25] [--out BENCH_core.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+from repro.core.grouping import GroupGeometry
+from repro.core.hierarchical import HierarchicalGSTGRenderer
+from repro.core.pipeline import GSTGRenderer
+from repro.engine import RenderEngine
+from repro.hardware.pipeline_sim import (
+    simulate_baseline_pipelined,
+    simulate_gstg_pipelined,
+)
+from repro.raster.renderer import BaselineRenderer
+from repro.scenes.synthetic import load_scene
+from repro.scenes.trajectory import orbit_cameras
+from repro.tiles.boundary import BoundaryMethod
+
+#: Timing rounds per measurement; the minimum wall time is reported
+#: (the least-interrupted run is the true cost).
+ROUNDS = 2
+
+
+def best_of(func, rounds: int = ROUNDS) -> float:
+    """Minimum wall seconds of ``func`` over ``rounds`` runs."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_engine_trajectory(scene, cameras, workers: int) -> "tuple[float, float]":
+    """(seed_s, fast_s): sequential per-tile renders vs the batch engine."""
+    renderer = GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE)
+    engine = RenderEngine(renderer)
+    # Warm both paths (first-call allocations, forked-worker imports).
+    renderer.render(scene.cloud, cameras[0])
+    engine.render_trajectory(scene.cloud, cameras[:2], workers=workers)
+    seed_s = best_of(
+        lambda: [renderer.render(scene.cloud, camera) for camera in cameras]
+    )
+    fast_s = best_of(
+        lambda: engine.render_trajectory(scene.cloud, cameras, workers=workers)
+    )
+    return seed_s, fast_s
+
+
+def measure_hierarchical_render(scene) -> "tuple[float, float]":
+    """(seed_s, fast_s): reference two-level render vs the engine path."""
+    renderer = HierarchicalGSTGRenderer(16, 64, 128, BoundaryMethod.ELLIPSE)
+    engine = RenderEngine(renderer)
+    engine.render(scene.cloud, scene.camera)  # warm
+    seed_s = best_of(lambda: renderer.render(scene.cloud, scene.camera))
+    fast_s = best_of(lambda: engine.render(scene.cloud, scene.camera))
+    return seed_s, fast_s
+
+
+def measure_pipeline_sim_sweep(scene, rounds: int) -> "tuple[float, float]":
+    """(seed_s, fast_s): the fig13–fig15/ablation-style simulation sweep
+    with per-unit Python loops vs the array-based builders."""
+    camera = scene.camera
+    geometry = GroupGeometry(camera.width, camera.height, 16, 64)
+    base = RenderEngine(BaselineRenderer(16, BoundaryMethod.ELLIPSE)).render(
+        scene.cloud, camera
+    )
+    ours = RenderEngine(GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE)).render(
+        scene.cloud, camera
+    )
+
+    def sweep(vectorized: bool) -> None:
+        for _ in range(rounds):
+            simulate_baseline_pipelined(base, vectorized=vectorized)
+            for overlap in (True, False):
+                for ru_per_tile in (True, False):
+                    simulate_gstg_pipelined(
+                        ours,
+                        geometry,
+                        overlap_bitmask=overlap,
+                        ru_per_tile=ru_per_tile,
+                        vectorized=vectorized,
+                    )
+
+    sweep(True)  # warm
+    seed_s = best_of(lambda: sweep(False))
+    fast_s = best_of(lambda: sweep(True))
+    return seed_s, fast_s
+
+
+def build_report(
+    scene_name: str,
+    scale: float,
+    views: int,
+    workers: int,
+    sim_rounds: int,
+    sim_scale: "float | None" = None,
+) -> dict:
+    """Run every measurement and shape the BENCH_core.json payload.
+
+    The simulation sweep gets its own resolution scale (default:
+    ``scale * 2``, matching the CLI): per-unit costs only show once the
+    frame has enough work units, while the render measurements are
+    already expensive at the base scale.
+    """
+    scene = load_scene(scene_name, resolution_scale=scale, seed=0)
+    cameras = orbit_cameras(scene, views)
+    if sim_scale is None:
+        sim_scale = scale * 2
+    sim_scene = (
+        scene
+        if sim_scale == scale
+        else load_scene(scene_name, resolution_scale=sim_scale, seed=0)
+    )
+
+    entries = []
+    for name, (seed_s, fast_s) in (
+        ("engine_trajectory", measure_engine_trajectory(scene, cameras, workers)),
+        ("hierarchical_render", measure_hierarchical_render(scene)),
+        ("pipeline_sim_sweep", measure_pipeline_sim_sweep(sim_scene, sim_rounds)),
+    ):
+        entries.append(
+            {
+                "name": name,
+                "wall_s": round(fast_s, 4),
+                "speedup_vs_seed": round(seed_s / fast_s, 2),
+            }
+        )
+    return {
+        "meta": {
+            "scene": scene_name,
+            "resolution_scale": scale,
+            "sim_resolution_scale": sim_scale,
+            "width": scene.camera.width,
+            "height": scene.camera.height,
+            "views": views,
+            "workers": workers,
+            "sim_rounds": sim_rounds,
+        },
+        "entries": entries,
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scene", default="playroom")
+    parser.add_argument("--scale", type=float, default=0.125)
+    parser.add_argument("--views", type=int, default=6)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--sim-rounds", type=int, default=30)
+    parser.add_argument(
+        "--sim-scale", type=float, default=None,
+        help="resolution scale for the simulation sweep (default: --scale * 2"
+        " — simulation costs need enough work units per frame to show)",
+    )
+    parser.add_argument("--out", default="BENCH_core.json")
+    args = parser.parse_args(argv)
+
+    report = build_report(
+        args.scene, args.scale, args.views, args.workers, args.sim_rounds,
+        sim_scale=args.sim_scale,
+    )
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    print(f"{'benchmark':<22}{'wall_s':>9}{'speedup_vs_seed':>17}")
+    for entry in report["entries"]:
+        print(
+            f"{entry['name']:<22}{entry['wall_s']:>9.3f}"
+            f"{entry['speedup_vs_seed']:>16.2f}x"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

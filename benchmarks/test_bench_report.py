@@ -1,0 +1,67 @@
+"""Acceptance floors for the PR's perf targets.
+
+``benchmarks/test_engine_throughput.py``-style assertions over the
+:mod:`benchmarks.bench_report` measurements: the vectorized hierarchical
+render and the array-based pipeline-simulation sweep must each be at
+least 2x faster than their retained seed implementations.  A loaded
+shared CI runner can soften the floors via the environment without
+weakening the local tier-1 gate.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from benchmarks.bench_report import (
+    measure_hierarchical_render,
+    measure_pipeline_sim_sweep,
+)
+from repro.scenes.synthetic import load_scene
+
+#: Required speedups over the seed implementations (acceptance: 2.0).
+HIERARCHICAL_MIN_SPEEDUP = float(os.environ.get("HIERARCHICAL_MIN_SPEEDUP", "2.0"))
+PIPELINE_SIM_MIN_SPEEDUP = float(os.environ.get("PIPELINE_SIM_MIN_SPEEDUP", "2.0"))
+
+#: Resolution scales of the measurement workloads (the simulation sweep
+#: needs enough work units per frame for per-unit costs to show).
+RENDER_SCALE = 0.125
+SIM_SCALE = 0.25
+SIM_ROUNDS = 50
+
+
+@pytest.fixture(scope="module")
+def render_scene():
+    return load_scene("playroom", resolution_scale=RENDER_SCALE, seed=0)
+
+
+def test_hierarchical_render_speedup(emit, render_scene):
+    seed_s, fast_s = measure_hierarchical_render(render_scene)
+    speedup = seed_s / fast_s
+    emit(
+        "hierarchical render — "
+        f"{render_scene.camera.width}x{render_scene.camera.height}",
+        f"  reference: {seed_s:.3f}s   engine: {fast_s:.3f}s   "
+        f"speedup: {speedup:.2f}x",
+    )
+    assert speedup >= HIERARCHICAL_MIN_SPEEDUP, (
+        f"hierarchical fast path speedup {speedup:.2f}x below the "
+        f"{HIERARCHICAL_MIN_SPEEDUP}x floor"
+    )
+
+
+def test_pipeline_sim_sweep_speedup(emit):
+    scene = load_scene("playroom", resolution_scale=SIM_SCALE, seed=0)
+    seed_s, fast_s = measure_pipeline_sim_sweep(scene, SIM_ROUNDS)
+    speedup = seed_s / fast_s
+    emit(
+        f"pipeline-sim sweep — {scene.camera.width}x{scene.camera.height}, "
+        f"{SIM_ROUNDS} rounds x 5 configurations",
+        f"  per-unit loops: {seed_s:.3f}s   array path: {fast_s:.3f}s   "
+        f"speedup: {speedup:.2f}x",
+    )
+    assert speedup >= PIPELINE_SIM_MIN_SPEEDUP, (
+        f"pipeline-sim sweep speedup {speedup:.2f}x below the "
+        f"{PIPELINE_SIM_MIN_SPEEDUP}x floor"
+    )

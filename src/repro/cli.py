@@ -10,7 +10,10 @@ Subcommands::
 
 All commands are deterministic given ``--seed``; ``render`` and
 ``trajectory`` go through the vectorized :class:`repro.engine.RenderEngine`
-(bit-identical to the sequential renderers).
+(bit-identical to the sequential renderers — including the two-level
+``--pipeline hierarchical``).  ``trajectory --shared-cache`` backs the
+projection cache with shared memory so worker processes reuse each
+other's projections.
 """
 
 from __future__ import annotations
@@ -23,9 +26,11 @@ import time
 import numpy as np
 
 from repro.analysis.stats import tile_statistics
+from repro.core.hierarchical import HierarchicalGSTGRenderer
 from repro.core.pipeline import GSTGRenderer
 from repro.engine import RenderEngine
 from repro.experiments.cache import RenderCache
+from repro.experiments.shm_cache import SharedProjectionCache
 from repro.hardware import (
     GSCORE_CONFIG,
     GSTG_CONFIG,
@@ -55,12 +60,20 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 def _add_renderer_options(parser: argparse.ArgumentParser) -> None:
     """Renderer-selection options shared by ``render`` and ``trajectory``."""
-    parser.add_argument("--pipeline", choices=("baseline", "gstg"), default="gstg")
+    parser.add_argument(
+        "--pipeline",
+        choices=("baseline", "gstg", "hierarchical"),
+        default="gstg",
+    )
     parser.add_argument(
         "--method", choices=[m.value for m in BoundaryMethod], default="ellipse"
     )
     parser.add_argument("--tile-size", type=int, default=16)
     parser.add_argument("--group-size", type=int, default=64)
+    parser.add_argument(
+        "--super-size", type=int, default=128,
+        help="supergroup edge for --pipeline hierarchical",
+    )
     parser.add_argument(
         "--no-engine", action="store_true",
         help="use the sequential per-tile path instead of the batch engine",
@@ -71,6 +84,10 @@ def _make_renderer(args: argparse.Namespace):
     method = BoundaryMethod(args.method)
     if args.pipeline == "gstg":
         return GSTGRenderer(args.tile_size, args.group_size, method)
+    if args.pipeline == "hierarchical":
+        return HierarchicalGSTGRenderer(
+            args.tile_size, args.group_size, args.super_size, method
+        )
     return BaselineRenderer(args.tile_size, method)
 
 
@@ -96,15 +113,40 @@ def _cmd_render(args: argparse.Namespace) -> int:
 def _cmd_trajectory(args: argparse.Namespace) -> int:
     from repro.scenes.trajectory import orbit_cameras
 
+    if args.shared_cache and args.no_engine:
+        raise SystemExit(
+            "--shared-cache requires the batch engine (the sequential "
+            "path projects internally and never consults a cache); "
+            "drop --no-engine"
+        )
     scene = load_scene(args.scene, resolution_scale=args.scale, seed=args.seed)
-    engine = RenderEngine(_make_renderer(args), vectorized=not args.no_engine)
+    # Bounded: a trajectory of distinct views never re-hits old entries,
+    # so retaining more than a small window would only grow /dev/shm.
+    cache = (
+        SharedProjectionCache(max_entries=max(2 * args.workers, 8))
+        if args.shared_cache
+        else None
+    )
+    engine = RenderEngine(
+        _make_renderer(args), cache=cache, vectorized=not args.no_engine
+    )
     cameras = orbit_cameras(scene, args.views)
 
     start = time.perf_counter()
-    trajectory = engine.render_trajectory(
-        scene.cloud, cameras, workers=args.workers, executor=args.executor
-    )
-    elapsed = time.perf_counter() - start
+    try:
+        trajectory = engine.render_trajectory(
+            scene.cloud, cameras, workers=args.workers, executor=args.executor
+        )
+        elapsed = time.perf_counter() - start
+    finally:
+        if cache is not None:
+            stats = cache.stats()
+            cache.close()
+    if cache is not None:
+        print(
+            f"shared projection cache: {stats['hits']} hits, "
+            f"{stats['misses']} misses"
+        )
 
     if args.out_dir:
         os.makedirs(args.out_dir, exist_ok=True)
@@ -214,6 +256,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trajectory.add_argument(
         "--executor", choices=("process", "thread"), default="process"
+    )
+    trajectory.add_argument(
+        "--shared-cache", action="store_true",
+        help="back the projection cache with shared memory, shared across "
+        "worker processes; pays off when the same views are projected "
+        "more than once (orbit views are all distinct, so a single pass "
+        "reports misses only — see repro.experiments.multiview for a "
+        "workload where the sharing wins)",
     )
     trajectory.add_argument(
         "--out-dir", default="", help="write view_NNN.ppm frames here"

@@ -91,6 +91,11 @@ def generate_bitmasks(
     """
     if group_assignment.grid.tile_size != geometry.group_size:
         raise ValueError("group assignment grid does not match the geometry")
+    if geometry.tiles_per_group > 64:
+        raise ValueError(
+            "bitmasks are uint64 words; geometry has "
+            f"{geometry.tiles_per_group} tile slots per group (> 64)"
+        )
 
     k = group_assignment.num_pairs
     masks = np.zeros(k, dtype=np.uint64)
@@ -160,6 +165,11 @@ def generate_bitmasks_fast(
     """
     if group_assignment.grid.tile_size != geometry.group_size:
         raise ValueError("group assignment grid does not match the geometry")
+    if geometry.tiles_per_group > 64:
+        raise ValueError(
+            "bitmasks are uint64 words; geometry has "
+            f"{geometry.tiles_per_group} tile slots per group (> 64)"
+        )
 
     k = group_assignment.num_pairs
     method = BoundaryMethod(method)

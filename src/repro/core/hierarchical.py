@@ -20,6 +20,8 @@ level pays for itself, empirically justifying the paper's single-level
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.core.bitmask import generate_bitmasks
@@ -62,6 +64,19 @@ class HierarchicalGSTGRenderer:
             raise ValueError("group_size must be a multiple of tile_size")
         if super_size % group_size != 0:
             raise ValueError("super_size must be a multiple of group_size")
+        # Both mask levels live in uint64 words; a wider level would
+        # silently truncate (shifts >= 64 wrap to 0) and break the
+        # losslessness guarantee, so reject it up front.
+        if (group_size // tile_size) ** 2 > 64:
+            raise ValueError(
+                "group_size/tile_size ratio exceeds the 64-bit tile mask "
+                f"({(group_size // tile_size) ** 2} slots > 64)"
+            )
+        if (super_size // group_size) ** 2 > 64:
+            raise ValueError(
+                "super_size/group_size ratio exceeds the 64-bit group mask "
+                f"({(super_size // group_size) ** 2} slots > 64)"
+            )
         self.tile_size = tile_size
         self.group_size = group_size
         self.super_size = super_size
@@ -210,3 +225,96 @@ class HierarchicalGSTGRenderer:
             np.asarray(gaussians, dtype=np.int64),
             np.asarray(groups, dtype=np.int64),
         )
+
+
+def mask_bits_set(masks: np.ndarray, slot_matrix: np.ndarray) -> np.ndarray:
+    """Broadcast bitmask probe: is bit ``slot_matrix[i, j]`` of
+    ``masks[i]`` set?
+
+    The single bit-matrix convention shared by the pair expansion and
+    both of the engine fast path's filter levels (LSB = slot 0, as the
+    bitmask generator emits).
+    """
+    return (
+        (masks[:, None] >> slot_matrix.astype(np.uint64)) & np.uint64(1)
+    ) != 0
+
+
+@lru_cache(maxsize=64)
+def _full_level_layout(
+    geometry: GroupGeometry,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """Dense layout of *every* group of a geometry, computed once.
+
+    The layout is a pure function of the (hashable, frozen) geometry, so
+    trajectory renders reuse it frame after frame instead of re-walking
+    the per-group Python loops.
+    """
+    width = geometry.tiles_per_group
+    count = geometry.group_grid.num_tiles
+    padded_tiles = np.zeros((count, width), dtype=np.int64)
+    padded_slots = np.zeros((count, width), dtype=np.int64)
+    valid = np.zeros((count, width), dtype=bool)
+    for group_id in range(count):
+        tiles = geometry.tiles_of_group(group_id)
+        n = tiles.shape[0]
+        padded_tiles[group_id, :n] = tiles
+        padded_slots[group_id, :n] = geometry.slots_of_group(group_id)
+        valid[group_id, :n] = True
+    for array in (padded_tiles, padded_slots, valid):
+        array.flags.writeable = False
+    return padded_tiles, padded_slots, valid
+
+
+def padded_level_layout(
+    geometry: GroupGeometry, unique_ids: np.ndarray
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """Dense ``(len(unique_ids), tiles_per_group)`` layout of a level.
+
+    For each listed group (identified on ``geometry.group_grid``) the
+    in-image member tiles and their local slots are padded to the full
+    ``tiles_per_group`` width with a validity mask (edge groups clipped
+    by the image have fewer members).  Row order follows ``unique_ids``;
+    column order is the row-major slot order of
+    :meth:`GroupGeometry.tiles_of_group`.  Rows are fresh (fancy-indexed)
+    copies of a per-geometry cached full layout.
+    """
+    padded_tiles, padded_slots, valid = _full_level_layout(geometry)
+    ids = np.asarray(unique_ids, dtype=np.int64)
+    return padded_tiles[ids], padded_slots[ids], valid[ids]
+
+
+def expand_group_pairs_fast(
+    group_table, super_geometry: GroupGeometry
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Vectorised :meth:`HierarchicalGSTGRenderer._expand_group_pairs`.
+
+    The reference walks every (Gaussian, supergroup) pair and probes its
+    mask bit by bit.  Here all masks are expanded at once: the member
+    groups of each supergroup are padded into a dense
+    ``(supergroups, slots)`` layout, one broadcast shift-and-mask tests
+    every (pair, slot) bit, and a C-order compress of the hit matrix
+    reproduces the reference emission order exactly (pair-major, slot
+    minor) — asserted by equivalence tests.
+    """
+    masks = np.asarray(group_table.masks, dtype=np.uint64)
+    k = masks.shape[0]
+    if k == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+
+    unique_supers, inverse = np.unique(group_table.group_ids, return_inverse=True)
+    padded_groups, padded_slots, valid = padded_level_layout(
+        super_geometry, unique_supers
+    )
+
+    hits = mask_bits_set(masks, padded_slots[inverse])
+    hits &= valid[inverse]
+
+    # np.nonzero walks the hit matrix in C order — pair-major, slot
+    # minor — which is exactly the reference emission order, with only
+    # O(hits) index arrays materialised.
+    pair_idx, slot_idx = np.nonzero(hits)
+    gaussians = np.asarray(group_table.gaussian_ids, dtype=np.int64)[pair_idx]
+    groups = padded_groups[inverse[pair_idx], slot_idx]
+    return gaussians, groups

@@ -59,6 +59,13 @@ class GSTGRenderer:
         # Validate divisibility early (image-independent part).
         if group_size % tile_size != 0:
             raise ValueError("group_size must be a multiple of tile_size")
+        # Bitmasks are uint64 words; a wider group would silently
+        # truncate (shifts >= 64 wrap to 0) and break losslessness.
+        if (group_size // tile_size) ** 2 > 64:
+            raise ValueError(
+                "group_size/tile_size ratio exceeds the 64-bit tile mask "
+                f"({(group_size // tile_size) ** 2} slots > 64)"
+            )
 
     def render(self, cloud: GaussianCloud, camera: Camera) -> RenderResult:
         """Render one frame through the four GS-TG steps of Fig. 9."""

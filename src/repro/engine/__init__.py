@@ -5,11 +5,14 @@ The engine layer sits on top of the functional renderers:
 * :class:`Renderer` — the structural protocol both built-in renderers
   (and any future pipeline) satisfy.
 * :class:`RenderEngine` — vectorized single-frame rendering (grouped
-  NumPy passes over all tiles instead of a Python per-tile loop) plus a
-  ``render_trajectory`` batch API with worker pools, shared projection
-  caching and merged statistics.  Outputs are bit-identical to the
-  sequential renderers — the paper's losslessness guarantee extends
-  through the batch path.
+  NumPy passes over all tiles instead of a Python per-tile loop; the
+  baseline, GS-TG and two-level hierarchical renderers all have fast
+  paths) plus a ``render_trajectory`` batch API with worker pools,
+  shared projection caching (in-process or cross-process via
+  :class:`repro.experiments.shm_cache.SharedProjectionCache`) and
+  merged statistics.  Outputs are bit-identical to the sequential
+  renderers — the paper's losslessness guarantee extends through the
+  batch path.
 """
 
 from repro.engine.batch import (

@@ -3,11 +3,12 @@
 :class:`RenderEngine` wraps any :class:`repro.engine.protocol.Renderer`
 and provides
 
-* ``render`` — a vectorized single-frame path for the two built-in
+* ``render`` — a vectorized single-frame path for the built-in
   renderers (fast tile identification, one segmented lexsort instead of
-  per-tile sorts, fused batched alpha/blend), falling back to the
-  renderer's own ``render`` for unknown implementations.  Output (image
-  *and* stats) is bit-identical to the sequential path.
+  per-tile sorts, fused batched alpha/blend; the two-level hierarchical
+  renderer's path lives in :mod:`repro.engine.hierarchical`), falling
+  back to the renderer's own ``render`` for unknown implementations.
+  Output (image *and* stats) is bit-identical to the sequential path.
 * ``render_trajectory`` — a multi-camera batch API with a
   ``concurrent.futures`` worker pool, shared projection caching keyed on
   ``(cloud, camera)`` via :class:`repro.experiments.cache.ProjectionCache`,
@@ -24,14 +25,17 @@ import numpy as np
 
 from repro.core.bitmask import generate_bitmasks_fast
 from repro.core.grouping import GroupGeometry
+from repro.core.hierarchical import HierarchicalGSTGRenderer, mask_bits_set
 from repro.core.pipeline import GSTGRenderer
 from repro.engine.batch import (
     blend_tiles_batched,
     segmented_depth_sort,
     sort_groups_batched,
 )
+from repro.engine.hierarchical import render_hierarchical_batched
 from repro.engine.protocol import Renderer
 from repro.experiments.cache import ProjectionCache
+from repro.experiments.shm_cache import SharedProjectionCache
 from repro.gaussians.camera import Camera
 from repro.gaussians.cloud import GaussianCloud
 from repro.gaussians.projection import ProjectedGaussians
@@ -120,15 +124,12 @@ def _render_gstg_batched(
     # all tiles of a group at once, then blend every tile in one batch.
     tile_order: "list[int]" = []
     tile_lists: "list[np.ndarray]" = []
-    one = np.uint64(1)
     for pos, group_id in enumerate(group_sort.group_ids):
         sorted_gauss = group_sort.sorted_gaussians[pos]
         sorted_masks = group_sort.sorted_masks[pos]
         tiles = geometry.tiles_of_group(int(group_id))
         slots = geometry.slots_of_group(int(group_id))
-        valid = (
-            (sorted_masks[:, None] >> slots.astype(np.uint64)[None, :]) & one
-        ) != 0
+        valid = mask_bits_set(sorted_masks, slots[None, :])
         stats.num_filter_checks += sorted_masks.shape[0] * tiles.shape[0]
         for ti in range(tiles.shape[0]):
             tile_gaussians = sorted_gauss[valid[:, ti]]
@@ -156,17 +157,29 @@ def _render_gstg_batched(
 _WORKER_STATE: "tuple[RenderEngine, GaussianCloud] | None" = None
 
 
-def _worker_init(renderer: Renderer, vectorized: bool, cloud: GaussianCloud) -> None:
+def _worker_init(
+    renderer: Renderer,
+    vectorized: bool,
+    cloud: GaussianCloud,
+    shared_cache: "SharedProjectionCache | None" = None,
+) -> None:
     """Pool initializer: build the worker's engine and pin the cloud.
 
-    Trajectory cameras are all distinct, so a worker's projection cache
-    can never hit — a single-slot cache stops it from retaining every
-    frame's per-Gaussian arrays for the pool's lifetime.
+    Trajectory cameras are all distinct, so a worker's *private*
+    projection cache can never hit — a single-slot cache stops it from
+    retaining every frame's per-Gaussian arrays for the pool's lifetime.
+    A :class:`SharedProjectionCache`, by contrast, is backed by shared
+    memory the whole pool (and the parent) sees, so workers reuse any
+    projection another process already computed instead of re-projecting
+    the cloud per process.
     """
     global _WORKER_STATE
-    engine = RenderEngine(
-        renderer, cache=ProjectionCache(max_entries=1), vectorized=vectorized
+    cache = (
+        shared_cache
+        if shared_cache is not None
+        else ProjectionCache(max_entries=1)
     )
+    engine = RenderEngine(renderer, cache=cache, vectorized=vectorized)
     _WORKER_STATE = (engine, cloud)
 
 
@@ -229,6 +242,9 @@ class RenderEngine:
         if type(self.renderer) is GSTGRenderer:
             proj = self.cache.projection(cloud, camera)
             return _render_gstg_batched(self.renderer, cloud, camera, proj)
+        if type(self.renderer) is HierarchicalGSTGRenderer:
+            proj = self.cache.projection(cloud, camera)
+            return render_hierarchical_batched(self.renderer, cloud, camera, proj)
         return self.renderer.render(cloud, camera)
 
     def render_trajectory(
@@ -262,6 +278,11 @@ class RenderEngine:
             ``projected``/``assignment`` set to ``None`` — those arrays
             are per-frame O(cloud) and no trajectory consumer reads
             them, so they are not shipped across the process boundary.
+            When this engine's cache is a
+            :class:`repro.experiments.shm_cache.SharedProjectionCache`,
+            the worker processes consult it too: any projection one
+            process computes (this pool, an earlier pool, or the
+            parent) is reused everywhere instead of re-projected.
         """
         cameras = list(cameras)
         # Trajectory cameras are typically all distinct, so caching their
@@ -295,11 +316,19 @@ class RenderEngine:
                 if multiprocessing.get_start_method() == "fork"
                 else None
             )
+            # A shared-memory cache crosses the process boundary (its
+            # index and array payloads live in shared segments), so the
+            # workers consult it instead of re-projecting per process.
+            shared_cache = (
+                self.cache
+                if isinstance(self.cache, SharedProjectionCache)
+                else None
+            )
             with ProcessPoolExecutor(
                 max_workers=workers,
                 mp_context=context,
                 initializer=_worker_init,
-                initargs=(self.renderer, self.vectorized, cloud),
+                initargs=(self.renderer, self.vectorized, cloud, shared_cache),
             ) as pool:
                 results = list(pool.map(_render_task, cameras))
         else:

@@ -7,13 +7,14 @@ rows shaped like the paper's table/figure.  The benchmark harnesses under
 ``benchmarks/`` print them; ``EXPERIMENTS.md`` records paper-vs-measured.
 """
 
-from repro.experiments.cache import RenderCache
+from repro.experiments.cache import ProjectionCache, RenderCache
 from repro.experiments.fig03 import Fig3Row, run_fig3
 from repro.experiments.fig11 import Fig11Row, run_fig11
 from repro.experiments.fig12 import Fig12Row, run_fig12
 from repro.experiments.fig13 import Fig13Row, run_fig13
 from repro.experiments.hardware_eval import HardwareRow, run_hardware_eval
 from repro.experiments.profiling import ProfilingRow, run_profiling_sweep
+from repro.experiments.shm_cache import SharedProjectionCache
 
 __all__ = [
     "Fig3Row",
@@ -22,7 +23,9 @@ __all__ = [
     "Fig13Row",
     "HardwareRow",
     "ProfilingRow",
+    "ProjectionCache",
     "RenderCache",
+    "SharedProjectionCache",
     "run_fig3",
     "run_fig11",
     "run_fig12",

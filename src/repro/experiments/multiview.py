@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.pipeline import GSTGRenderer
 from repro.engine import RenderEngine
 from repro.experiments.cache import ProjectionCache
+from repro.experiments.shm_cache import SharedProjectionCache
 from repro.hardware.config import GSTG_CONFIG
 from repro.hardware.simulator import simulate_baseline, simulate_gstg
 from repro.raster.renderer import BaselineRenderer
@@ -68,15 +69,29 @@ def run_multiview(
     view — each test view is projected exactly once (the baseline and
     GS-TG engines reuse it) and only one view's results are live at a
     time.  ``workers > 1`` instead fans each pipeline's pass over the
-    views out to worker processes (faster in wall-clock; workers
-    re-project per process and all views' results are held at once).
-    Results are identical for any worker count.
+    views out to worker processes, with a shared-memory projection
+    cache spanning the pools: whichever worker projects a view first
+    publishes it, so the GS-TG pass never re-projects what the baseline
+    pass already computed.  Results are identical for any worker count.
     """
     scene = load_scene(scene_name, resolution_scale=resolution_scale, seed=seed)
     views = make_view_set(scene, num_views)
-    # A couple of entries suffice: the two engines share each view's
-    # projection within an iteration; older views are never revisited.
-    projections = ProjectionCache(max_entries=4)
+    shared: "SharedProjectionCache | None" = None
+    if workers > 1:
+        # Sharing across the two pipeline passes requires holding every
+        # test view's projection until the GS-TG pass has consumed it,
+        # so the shared segments occupy O(test views x cloud) bytes of
+        # /dev/shm for the duration — the price of projecting each view
+        # once instead of twice.  The explicit bound caps any growth
+        # beyond the view set.
+        projections: "ProjectionCache | SharedProjectionCache" = (
+            SharedProjectionCache(max_entries=len(views.test_indices))
+        )
+        shared = projections
+    else:
+        # A couple of entries suffice: the two engines share each view's
+        # projection within an iteration; older views are never revisited.
+        projections = ProjectionCache(max_entries=4)
     baseline = RenderEngine(
         BaselineRenderer(tile_size, BoundaryMethod.ELLIPSE), cache=projections
     )
@@ -85,36 +100,42 @@ def run_multiview(
         cache=projections,
     )
 
-    test_cameras = list(views.test_cameras)
-    if workers > 1:
-        pairs = zip(
-            baseline.render_trajectory(
-                scene.cloud, test_cameras, workers=workers
-            ).results,
-            gstg.render_trajectory(
-                scene.cloud, test_cameras, workers=workers
-            ).results,
-        )
-    else:
-        pairs = (
-            (
-                baseline.render(scene.cloud, camera),
-                gstg.render(scene.cloud, camera),
+    try:
+        test_cameras = list(views.test_cameras)
+        if workers > 1:
+            pairs = zip(
+                baseline.render_trajectory(
+                    scene.cloud, test_cameras, workers=workers
+                ).results,
+                gstg.render_trajectory(
+                    scene.cloud, test_cameras, workers=workers
+                ).results,
             )
-            for camera in test_cameras
-        )
+        else:
+            pairs = (
+                (
+                    baseline.render(scene.cloud, camera),
+                    gstg.render(scene.cloud, camera),
+                )
+                for camera in test_cameras
+            )
 
-    rows = []
-    for index, (base, ours) in zip(views.test_indices, pairs):
-        camera = views.cameras[index]
-        w, h = camera.width, camera.height
-        rows.append(
-            ViewRow(
-                scene=scene_name,
-                view_index=index,
-                baseline_ms=simulate_baseline(base.stats, w, h, GSTG_CONFIG).time_ms,
-                gstg_ms=simulate_gstg(ours.stats, w, h, GSTG_CONFIG).time_ms,
-                lossless=bool(np.array_equal(base.image, ours.image)),
+        rows = []
+        for index, (base, ours) in zip(views.test_indices, pairs):
+            camera = views.cameras[index]
+            w, h = camera.width, camera.height
+            rows.append(
+                ViewRow(
+                    scene=scene_name,
+                    view_index=index,
+                    baseline_ms=simulate_baseline(
+                        base.stats, w, h, GSTG_CONFIG
+                    ).time_ms,
+                    gstg_ms=simulate_gstg(ours.stats, w, h, GSTG_CONFIG).time_ms,
+                    lossless=bool(np.array_equal(base.image, ours.image)),
+                )
             )
-        )
-    return rows
+        return rows
+    finally:
+        if shared is not None:
+            shared.close()

@@ -1,0 +1,311 @@
+"""Cross-process projection sharing via POSIX shared memory.
+
+:class:`repro.experiments.cache.ProjectionCache` memoises projections
+per *process*: every worker of a ``render_trajectory(workers=N)`` pool
+re-projects any ``(cloud, camera)`` pair it has not seen itself, even
+when a sibling worker (or the parent) already computed it.  Experiment
+sweeps hit this constantly — the losslessness comparisons render the
+same views once per pipeline, and the fig11/fig12 sweeps revisit the
+same cameras once per configuration.
+
+:class:`SharedProjectionCache` keeps the same API (``projection(cloud,
+camera)`` plus ``len``) but stores every projected array in a
+:mod:`multiprocessing.shared_memory` segment and the index in a manager
+process, so any process of the pool family sees every other process's
+projections.  A hit attaches the segment and reconstructs the
+:class:`ProjectedGaussians` as zero-copy views over shared pages —
+bit-identical to the original (raw bytes), never re-projected.
+
+Keys are content fingerprints (cloud array bytes + full camera
+configuration), so equal clouds share entries across processes where
+object identity is meaningless.  The reconstructed arrays are marked
+read-only: they are shared pages, and the functional pipeline never
+writes a projection after construction.
+
+The process that constructed the cache owns the manager and the
+segments; call :meth:`close` (or use the cache as a context manager)
+when done so the shared segments are unlinked deterministically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from multiprocessing import Manager, resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.experiments.cache import camera_key
+from repro.gaussians.camera import Camera
+from repro.gaussians.cloud import GaussianCloud
+from repro.gaussians.culling import CullingResult
+from repro.gaussians.projection import ProjectedGaussians, project
+
+#: Array fields of ProjectedGaussians serialised into the shared segment
+#: (the culling mask travels alongside under a reserved name).
+_PROJ_FIELDS = (
+    "indices",
+    "depths",
+    "means2d",
+    "cov2d",
+    "conics",
+    "colors",
+    "opacities",
+    "eigvals",
+    "eigvecs",
+    "radii",
+)
+_VISIBLE_FIELD = "culling.visible"
+
+#: Attribute used to memoise a cloud's content fingerprint on the cloud
+#: object itself (inherited by forked workers for free).
+_FINGERPRINT_ATTR = "_shm_cache_fingerprint"
+
+#: Segment handles whose mappings are still viewed by live projection
+#: arrays when the cache closes.  Holding them here keeps the mmap valid
+#: for those views; the interpreter reclaims everything at exit (the
+#: segments themselves are already unlinked).
+_PINNED_SEGMENTS: "list[shared_memory.SharedMemory]" = []
+
+
+def _release(segment: shared_memory.SharedMemory) -> None:
+    """Close a segment handle, pinning it if projections still view it."""
+    try:
+        segment.close()
+    except BufferError:
+        _PINNED_SEGMENTS.append(segment)
+
+
+def cloud_fingerprint(cloud: GaussianCloud) -> str:
+    """Content hash of a cloud's parameter arrays (memoised per object).
+
+    Two clouds with equal parameters fingerprint identically in any
+    process — unlike ``id(cloud)``, which only survives fork.
+    """
+    cached = getattr(cloud, _FINGERPRINT_ATTR, None)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    for name in ("positions", "scales", "rotations", "opacities", "sh_coeffs"):
+        array = np.ascontiguousarray(getattr(cloud, name))
+        digest.update(name.encode())
+        digest.update(str(array.shape).encode())
+        digest.update(array.tobytes())
+    fingerprint = digest.hexdigest()
+    setattr(cloud, _FINGERPRINT_ATTR, fingerprint)
+    return fingerprint
+
+
+class SharedProjectionCache:
+    """A :class:`ProjectionCache`-compatible cache backed by shared memory.
+
+    Parameters
+    ----------
+    max_entries:
+        Bound on cached projections; the oldest entry (and its shared
+        segment) is evicted first.  ``None`` (default) disables eviction
+        — call :meth:`close` to release everything.
+
+    Notes
+    -----
+    Instances are picklable: workers receive proxies to the same index,
+    so a ``RenderEngine`` holding one shares projections across its
+    ``render_trajectory`` process pool automatically.  Statistics
+    (:meth:`stats`) are cache-wide, aggregated over every process.
+    """
+
+    def __init__(self, max_entries: "int | None" = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive or None")
+        self.max_entries = max_entries
+        # Start the shared-memory resource tracker *now*, in the owning
+        # process: pool workers forked later inherit it, so segments a
+        # worker creates outlive that worker (a worker-local tracker
+        # would unlink them the moment its worker exits).
+        resource_tracker.ensure_running()
+        self._manager = Manager()
+        self._index = self._manager.dict()
+        self._order = self._manager.list()
+        self._counters = self._manager.dict({"hits": 0, "misses": 0})
+        self._lock = self._manager.Lock()
+        self._owner = True
+        self._attached: "dict[str, shared_memory.SharedMemory]" = {}
+        self._closed = False
+
+    # -- pickling: workers get proxies, never the manager itself --------
+    def __getstate__(self):
+        return {
+            "max_entries": self.max_entries,
+            "_index": self._index,
+            "_order": self._order,
+            "_counters": self._counters,
+            "_lock": self._lock,
+        }
+
+    def __setstate__(self, state) -> None:
+        self.max_entries = state["max_entries"]
+        self._index = state["_index"]
+        self._order = state["_order"]
+        self._counters = state["_counters"]
+        self._lock = state["_lock"]
+        self._manager = None
+        self._owner = False
+        self._attached = {}
+        self._closed = False
+
+    # -- storage --------------------------------------------------------
+    @staticmethod
+    def _store(proj: ProjectedGaussians) -> "tuple[str, tuple, tuple]":
+        """Copy a projection's arrays into one new shared segment."""
+        layout = []
+        arrays = []
+        offset = 0
+        fields = [(name, getattr(proj, name)) for name in _PROJ_FIELDS]
+        fields.append((_VISIBLE_FIELD, proj.culling.visible))
+        for name, array in fields:
+            array = np.ascontiguousarray(array)
+            layout.append((name, array.dtype.str, array.shape, offset))
+            arrays.append(array)
+            offset += array.nbytes
+        segment = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        position = 0
+        for array in arrays:
+            segment.buf[position : position + array.nbytes] = array.tobytes()
+            position += array.nbytes
+        segment.close()
+        culling = proj.culling
+        counts = (
+            culling.num_input,
+            culling.num_depth_culled,
+            culling.num_frustum_culled,
+            culling.num_opacity_culled,
+        )
+        return segment.name, tuple(layout), counts
+
+    def _attach(self, name: str) -> shared_memory.SharedMemory:
+        segment = self._attached.get(name)
+        if segment is None:
+            segment = shared_memory.SharedMemory(name=name)
+            self._attached[name] = segment
+        return segment
+
+    def _load(self, entry: "tuple[str, tuple, tuple]") -> ProjectedGaussians:
+        """Rebuild a projection as read-only views over the shared pages."""
+        name, layout, counts = entry
+        segment = self._attach(name)
+        arrays = {}
+        for field, dtype_str, shape, offset in layout:
+            dtype = np.dtype(dtype_str)
+            count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            array = np.frombuffer(
+                segment.buf, dtype=dtype, count=count, offset=offset
+            ).reshape(shape)
+            array.flags.writeable = False
+            arrays[field] = array
+        culling = CullingResult(
+            visible=arrays.pop(_VISIBLE_FIELD),
+            num_input=counts[0],
+            num_depth_culled=counts[1],
+            num_frustum_culled=counts[2],
+            num_opacity_culled=counts[3],
+        )
+        return ProjectedGaussians(culling=culling, **arrays)
+
+    def _unlink(self, name: str) -> None:
+        segment = self._attached.pop(name, None)
+        if segment is None:
+            try:
+                segment = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:
+                return
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+        _release(segment)
+
+    # -- the ProjectionCache API ----------------------------------------
+    def projection(self, cloud: GaussianCloud, camera: Camera) -> ProjectedGaussians:
+        """The (shared, cached) projection of ``cloud`` through ``camera``."""
+        key = (cloud_fingerprint(cloud), camera_key(camera))
+        entry = self._index.get(key)
+        if entry is not None:
+            try:
+                loaded = self._load(entry)
+            except FileNotFoundError:
+                # The segment vanished under us (e.g. unlinked by a
+                # foreign process's resource tracker); recompute and
+                # replace the stale entry below.
+                loaded = None
+            if loaded is not None:
+                with self._lock:
+                    self._counters["hits"] = self._counters["hits"] + 1
+                return loaded
+
+        proj = project(cloud, camera)
+        entry = self._store(proj)
+        with self._lock:
+            existing = self._index.get(key)
+            if existing is not None and existing[0] != entry[0]:
+                try:
+                    # Another process raced us to the same projection;
+                    # keep its segment (both payloads are identical
+                    # bytes) unless it is a vanished stale entry.
+                    loaded = self._load(existing)
+                    self._counters["hits"] = self._counters["hits"] + 1
+                    self._unlink(entry[0])
+                    return loaded
+                except FileNotFoundError:
+                    pass
+            self._counters["misses"] = self._counters["misses"] + 1
+            replacing = existing is not None
+            if (
+                not replacing
+                and self.max_entries is not None
+                and len(self._order) >= self.max_entries
+            ):
+                oldest = self._order.pop(0)
+                stale = self._index.pop(oldest, None)
+                if stale is not None:
+                    self._unlink(stale[0])
+            self._index[key] = entry
+            if not replacing:
+                self._order.append(key)
+        return proj
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def stats(self) -> "dict[str, int]":
+        """Cache-wide hit/miss counts aggregated across every process."""
+        return {"hits": self._counters["hits"], "misses": self._counters["misses"]}
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Unlink every shared segment and shut the manager down.
+
+        Only the owning (creating) process tears the manager down;
+        worker-side copies just drop their attachments.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._owner:
+            try:
+                for entry in list(self._index.values()):
+                    self._unlink(entry[0])
+                self._index.clear()
+                while len(self._order):
+                    self._order.pop()
+            except (BrokenPipeError, EOFError, ConnectionError):
+                pass
+        for segment in self._attached.values():
+            _release(segment)
+        self._attached.clear()
+        if self._owner and self._manager is not None:
+            self._manager.shutdown()
+
+    def __enter__(self) -> "SharedProjectionCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -21,6 +21,16 @@ Only per-pair traffic flows through the modelled channel — the
 frame-constant raw-model load and image writeback are excluded (they
 are identical across pipelines).
 
+Per-unit stage costs are computed **array-at-a-time** (``np.bincount``
+over the tile->group map for the per-group pixel workloads, a
+unique-value gather for the sort-comparison model, broadcast arithmetic
+for fetch/BGM/GSM) — only the inherently sequential dispatch recurrence
+of :func:`_schedule` remains a Python loop, running over precomputed
+flat arrays.  ``vectorized=False`` retains the original per-unit Python
+loops; both paths produce cycle-identical reports (asserted by
+equivalence tests), and the array path makes the fig13–fig15/ablation
+sweeps several times faster.
+
 Granularity caveat: GS-TG's work units are whole groups, so the model
 needs enough groups (roughly > 5 per core) to amortise pipeline fill;
 at heavily scaled-down resolutions with a handful of groups the fill
@@ -46,6 +56,7 @@ from repro.hardware.dram import (
 from repro.hardware.modules import _method_key
 from repro.raster.renderer import RenderResult
 from repro.raster.sorting import sort_comparison_count
+from repro.raster.stats import RenderStats
 
 
 @dataclass(frozen=True)
@@ -64,6 +75,8 @@ class PipelineReport:
         Work units simulated (groups or tiles).
     frequency_hz:
         Clock for time conversion.
+    num_cores:
+        Cores the work was distributed across.
     """
 
     name: str
@@ -71,14 +84,12 @@ class PipelineReport:
     stage_busy_cycles: "dict[str, float]"
     num_units: int
     frequency_hz: float
+    num_cores: int = 4
 
     @property
     def time_ms(self) -> float:
         """Frame time in milliseconds."""
         return self.cycles / self.frequency_hz * 1e3
-
-    #: Cores the work was distributed across.
-    num_cores: int = 4
 
     def utilization(self, stage: str) -> float:
         """Busy fraction of a stage across the frame (0..1)."""
@@ -88,17 +99,10 @@ class PipelineReport:
         return min(per_core / self.cycles, 1.0)
 
 
-def _schedule(units: "list[list[float]]", num_cores: int) -> float:
-    """Drain time of the [fetch, sort, rm] pipeline across shared DRAM.
-
-    The fetch stage models the single DRAM channel: fetches serialise
-    globally across cores.  The sort and rm stages are per-core
-    resources; double-buffered SRAM lets a core fetch unit k+1 while
-    computing unit k.  Units are dispatched longest-first to the
-    least-loaded core (work-queue behaviour), with the dispatch key
-    independent of stage overlap so ablations compare like for like.
-    """
-    if not units:
+def _schedule_reference(units: "list[list[float]]", num_cores: int) -> float:
+    """Original per-unit formulation of :func:`_schedule` (kept as the
+    equivalence oracle; produces bit-identical drain times)."""
+    if not len(units):
         return 0.0
     order = sorted(range(len(units)), key=lambda i: -(units[i][1] + units[i][2]))
     loads = [0.0] * num_cores
@@ -113,16 +117,12 @@ def _schedule(units: "list[list[float]]", num_cores: int) -> float:
     core_sort_free = [0.0] * num_cores
     core_rm_free = [0.0] * num_cores
     finish = 0.0
-    # Dispatch in descending-work order (the queue hands out big groups
-    # first so stragglers are small).
     for i in order:
         fetch, sort_stage, rm = units[i]
         core = assignment[i]
         fetch_start = max(dram_free, core_fetch_free[core])
         fetch_end = fetch_start + fetch
         dram_free = fetch_end
-        # Double buffering: the next fetch for this core may start once
-        # this unit's data has been consumed by the sort stage.
         sort_start = max(fetch_end, core_sort_free[core])
         sort_end = sort_start + sort_stage
         core_fetch_free[core] = sort_end
@@ -134,35 +134,200 @@ def _schedule(units: "list[list[float]]", num_cores: int) -> float:
     return finish
 
 
-def simulate_gstg_pipelined(
+def _schedule(units, num_cores: int) -> float:
+    """Drain time of the [fetch, sort, rm] pipeline across shared DRAM.
+
+    The fetch stage models the single DRAM channel: fetches serialise
+    globally across cores.  The sort and rm stages are per-core
+    resources; double-buffered SRAM lets a core fetch unit k+1 while
+    computing unit k.  Units are dispatched longest-first to the
+    least-loaded core (work-queue behaviour), with the dispatch key
+    independent of stage overlap so ablations compare like for like.
+
+    ``units`` is any ``(k, 3)`` array-like of ``[fetch, sort, rm]``
+    stage times.  The dispatch order and per-core loads are precomputed
+    with array operations; only the irreducible hand-off recurrence
+    (every unit's start depends on the previous unit's finish on the
+    same resources) runs as a tight loop over the precomputed flat
+    arrays.  Bit-identical to :func:`_schedule_reference`.
+    """
+    arr = np.asarray(units, dtype=np.float64)
+    if arr.shape[0] == 0:
+        return 0.0
+    work = arr[:, 1] + arr[:, 2]
+    order = np.argsort(-work, kind="stable")
+    fetches = arr[order, 0].tolist()
+    sorts = arr[order, 1].tolist()
+    rms = arr[order, 2].tolist()
+    work_desc = work[order].tolist()
+
+    # Greedy least-loaded dispatch (first core wins ties, as the
+    # reference's list.index(min) does).
+    loads = [0.0] * num_cores
+    cores = []
+    append = cores.append
+    for unit_work in work_desc:
+        target = loads.index(min(loads))
+        append(target)
+        loads[target] += unit_work
+
+    dram_free = 0.0
+    core_fetch_free = [0.0] * num_cores
+    core_sort_free = [0.0] * num_cores
+    core_rm_free = [0.0] * num_cores
+    finish = 0.0
+    # max() spelled as conditionals: this recurrence is the one loop the
+    # array rewrite cannot remove, so every call in it counts.
+    for fetch, sort_stage, rm, core in zip(fetches, sorts, rms, cores):
+        blocked = core_fetch_free[core]
+        fetch_end = (dram_free if dram_free >= blocked else blocked) + fetch
+        dram_free = fetch_end
+        # Double buffering: the next fetch for this core may start once
+        # this unit's data has been consumed by the sort stage.
+        blocked = core_sort_free[core]
+        sort_end = (fetch_end if fetch_end >= blocked else blocked) + sort_stage
+        core_fetch_free[core] = sort_end
+        core_sort_free[core] = sort_end
+        blocked = core_rm_free[core]
+        rm_end = (sort_end if sort_end >= blocked else blocked) + rm
+        core_rm_free[core] = rm_end
+        if rm_end > finish:
+            finish = rm_end
+    return finish
+
+
+#: Memo for the sort-comparison model: sweeps re-simulate the same pair
+#: counts config after config, and the model is a pure function of n.
+_SORT_COMPARISON_MEMO: "dict[int, float]" = {}
+
+
+def _sort_comparisons_vector(counts: np.ndarray) -> np.ndarray:
+    """``sort_comparison_count`` over an int array, via a memoised
+    unique-value gather so every element matches the scalar model to the
+    ulp."""
+    unique, inverse = np.unique(counts, return_inverse=True)
+    memo = _SORT_COMPARISON_MEMO
+    values = []
+    for n in unique.tolist():
+        cached = memo.get(n)
+        if cached is None:
+            cached = memo[n] = sort_comparison_count(n)
+        values.append(cached)
+    return np.array(values, dtype=np.float64)[inverse]
+
+
+def _dense_per_tile_alpha(stats: RenderStats, num_tiles: int) -> np.ndarray:
+    """The ``per_tile_alpha`` dict as a dense per-tile int array."""
+    alpha = np.zeros(num_tiles, dtype=np.int64)
+    if stats.per_tile_alpha:
+        ids = np.fromiter(
+            stats.per_tile_alpha.keys(),
+            dtype=np.int64,
+            count=len(stats.per_tile_alpha),
+        )
+        values = np.fromiter(
+            stats.per_tile_alpha.values(),
+            dtype=np.int64,
+            count=len(stats.per_tile_alpha),
+        )
+        alpha[ids] = values
+    return alpha
+
+
+def _sequential_sums(
+    fetch: np.ndarray, sort_stage: np.ndarray, rm: np.ndarray
+) -> "dict[str, float]":
+    """Stage busy totals, accumulated in unit order exactly like the
+    reference's per-unit ``+=`` (left-to-right float addition)."""
+    return {
+        "fetch": float(sum(fetch.tolist())),
+        "sort": float(sum(sort_stage.tolist())),
+        "rm": float(sum(rm.tolist())),
+    }
+
+
+#: Bytes fetched per (Gaussian, group) pair by the GS-TG pipeline.
+_GSTG_PAIR_BYTES = (
+    FEATURE_BURST_BYTES
+    + SORT_KEY_BYTES * (1 + 2 * RADIX_SORT_PASSES)
+    + 2 * SORTED_INDEX_BYTES
+    + 2 * BITMASK_BYTES
+)
+
+#: Bytes fetched per (Gaussian, tile) pair by the baseline pipeline.
+_BASELINE_PAIR_BYTES = (
+    FEATURE_BURST_BYTES
+    + SORT_KEY_BYTES * (1 + 2 * RADIX_SORT_PASSES)
+    + 2 * SORTED_INDEX_BYTES
+)
+
+_EMPTY_BUSY = {"fetch": 0.0, "sort": 0.0, "rm": 0.0}
+
+
+def _gstg_units_fast(
     result: RenderResult,
     geometry: GroupGeometry,
-    config: HardwareConfig = GSTG_CONFIG,
-    overlap_bitmask: bool = True,
-    ru_per_tile: bool = False,
-) -> PipelineReport:
-    """Pipelined per-group simulation of the GS-TG accelerator.
+    config: HardwareConfig,
+    overlap_bitmask: bool,
+    ru_per_tile: bool,
+) -> "tuple[np.ndarray, dict[str, float]]":
+    """Array-at-a-time stage costs for every active group."""
+    stats = result.stats
+    test_cost = config.test_cycles.get(_method_key(stats.bitmask_test_cost), 1.0)
+    group_grid = geometry.group_grid
+    pairs_per_group = np.bincount(
+        result.assignment.tile_ids, minlength=group_grid.num_tiles
+    )
+    active = np.flatnonzero(pairs_per_group)
+    if active.size == 0:
+        return np.empty((0, 3), dtype=np.float64), dict(_EMPTY_BUSY)
 
-    Parameters
-    ----------
-    result:
-        A :class:`repro.core.GSTGRenderer` render (its assignment is the
-        group assignment and its stats carry per-tile alpha counts).
-    geometry:
-        The tile/group geometry used by the render.
-    config:
-        Hardware configuration.
-    overlap_bitmask:
-        True: BGM runs concurrently with the GSM (the accelerator);
-        False: sequentially (the GPU's SIMT constraint) — the Section
-        V-A ablation.
-    ru_per_tile:
-        RU organisation ablation.  False (default): the 16 RUs drain the
-        group's pixel work as a pool (work-stealing across tiles).
-        True: each RU is statically bound to one tile of the group, so
-        the group's rasterization time is its *slowest tile* — exposing
-        the load imbalance a static assignment suffers.
-    """
+    n = pairs_per_group[active].astype(np.int64)
+    fetch = (n * _GSTG_PAIR_BYTES) / config.bytes_per_cycle
+    bgm = n * geometry.tiles_per_group * test_cost / config.bitmask_tile_checkers
+    gsm = _sort_comparisons_vector(n) / config.sort_comparators
+    sort_stage = np.maximum(bgm, gsm) if overlap_bitmask else bgm + gsm
+
+    # Per-group pixel workloads: scatter the per-tile alpha profile onto
+    # the tile->group map, then one bincount (sum) or segmented max.
+    tile_grid = geometry.tile_grid
+    alpha = _dense_per_tile_alpha(stats, tile_grid.num_tiles)
+    tile_ids = np.arange(tile_grid.num_tiles, dtype=np.int64)
+    side = geometry.tiles_per_side
+    group_of_tile = (
+        (tile_ids // tile_grid.tiles_x) // side
+    ) * group_grid.tiles_x + (tile_ids % tile_grid.tiles_x) // side
+    tiles_per_group_count = np.bincount(
+        group_of_tile, minlength=group_grid.num_tiles
+    )
+    filt = (n * tiles_per_group_count[active]) / config.filter_width
+    if ru_per_tile:
+        # One RU per tile: the slowest tile gates the group.
+        tile_order = np.argsort(group_of_tile, kind="stable")
+        boundaries = np.searchsorted(
+            group_of_tile[tile_order], np.arange(group_grid.num_tiles)
+        )
+        alpha_max = np.maximum.reduceat(alpha[tile_order], boundaries)
+        raster = alpha_max[active].astype(np.float64)
+    else:
+        alpha_sum = np.bincount(
+            group_of_tile, weights=alpha, minlength=group_grid.num_tiles
+        )
+        raster = alpha_sum[active] / config.raster_units
+    rm = np.maximum(raster, filt)
+
+    units = np.stack([fetch, sort_stage, rm], axis=1)
+    return units, _sequential_sums(fetch, sort_stage, rm)
+
+
+def _gstg_units_reference(
+    result: RenderResult,
+    geometry: GroupGeometry,
+    config: HardwareConfig,
+    overlap_bitmask: bool,
+    ru_per_tile: bool,
+) -> "tuple[list[list[float]], dict[str, float]]":
+    """Original per-group Python loop (the equivalence oracle)."""
     stats = result.stats
     test_cost = config.test_cycles.get(_method_key(stats.bitmask_test_cost), 1.0)
     pairs_per_group = np.bincount(
@@ -170,7 +335,7 @@ def simulate_gstg_pipelined(
     )
 
     units: "list[list[float]]" = []
-    busy = {"fetch": 0.0, "sort": 0.0, "rm": 0.0}
+    busy = dict(_EMPTY_BUSY)
     active_groups = np.flatnonzero(pairs_per_group)
     for group_id in active_groups:
         n = int(pairs_per_group[group_id])
@@ -200,9 +365,48 @@ def simulate_gstg_pipelined(
         busy["sort"] += sort_stage
         busy["rm"] += rm
         units.append(stages)
+    return units, busy
 
+
+def simulate_gstg_pipelined(
+    result: RenderResult,
+    geometry: GroupGeometry,
+    config: HardwareConfig = GSTG_CONFIG,
+    overlap_bitmask: bool = True,
+    ru_per_tile: bool = False,
+    vectorized: bool = True,
+) -> PipelineReport:
+    """Pipelined per-group simulation of the GS-TG accelerator.
+
+    Parameters
+    ----------
+    result:
+        A :class:`repro.core.GSTGRenderer` render (its assignment is the
+        group assignment and its stats carry per-tile alpha counts).
+    geometry:
+        The tile/group geometry used by the render.
+    config:
+        Hardware configuration.
+    overlap_bitmask:
+        True: BGM runs concurrently with the GSM (the accelerator);
+        False: sequentially (the GPU's SIMT constraint) — the Section
+        V-A ablation.
+    ru_per_tile:
+        RU organisation ablation.  False (default): the 16 RUs drain the
+        group's pixel work as a pool (work-stealing across tiles).
+        True: each RU is statically bound to one tile of the group, so
+        the group's rasterization time is its *slowest tile* — exposing
+        the load imbalance a static assignment suffers.
+    vectorized:
+        True (default): array-at-a-time stage-cost computation; False:
+        the original per-group Python loop.  Reports are cycle-identical
+        either way (equivalence-tested); the loop is retained as the
+        oracle and for speedup measurements.
+    """
+    build = _gstg_units_fast if vectorized else _gstg_units_reference
+    units, busy = build(result, geometry, config, overlap_bitmask, ru_per_tile)
     cycles = _schedule(units, config.num_cores)
-    report = PipelineReport(
+    return PipelineReport(
         name=f"{config.name}-pipelined",
         cycles=cycles,
         stage_busy_cycles=busy,
@@ -210,22 +414,36 @@ def simulate_gstg_pipelined(
         frequency_hz=config.frequency_hz,
         num_cores=config.num_cores,
     )
-    return report
 
 
-def simulate_baseline_pipelined(
-    result: RenderResult,
-    config: HardwareConfig = GSTG_CONFIG,
-) -> PipelineReport:
-    """Pipelined per-tile simulation of the conventional pipeline.
+def _baseline_units_fast(
+    result: RenderResult, config: HardwareConfig
+) -> "tuple[np.ndarray, dict[str, float]]":
+    """Array-at-a-time stage costs for every active tile."""
+    stats = result.stats
+    pairs_per_tile = result.assignment.gaussians_per_tile()
+    active = np.flatnonzero(pairs_per_tile)
+    if active.size == 0:
+        return np.empty((0, 3), dtype=np.float64), dict(_EMPTY_BUSY)
 
-    ``result`` must come from :class:`repro.raster.BaselineRenderer`.
-    Each tile flows through fetch -> tile sort -> rasterise.
-    """
+    n = pairs_per_tile[active].astype(np.int64)
+    fetch = (n * _BASELINE_PAIR_BYTES) / config.bytes_per_cycle
+    sort_stage = _sort_comparisons_vector(n) / config.sort_comparators
+    alpha = _dense_per_tile_alpha(stats, result.assignment.grid.num_tiles)
+    rm = alpha[active] / config.raster_units
+
+    units = np.stack([fetch, sort_stage, rm], axis=1)
+    return units, _sequential_sums(fetch, sort_stage, rm)
+
+
+def _baseline_units_reference(
+    result: RenderResult, config: HardwareConfig
+) -> "tuple[list[list[float]], dict[str, float]]":
+    """Original per-tile Python loop (the equivalence oracle)."""
     stats = result.stats
     pairs_per_tile = result.assignment.gaussians_per_tile()
 
-    busy = {"fetch": 0.0, "sort": 0.0, "rm": 0.0}
+    busy = dict(_EMPTY_BUSY)
     units: "list[list[float]]" = []
     active_tiles = np.flatnonzero(pairs_per_tile)
     for tile_id in active_tiles:
@@ -245,14 +463,29 @@ def simulate_baseline_pipelined(
         busy["sort"] += sort_stage
         busy["rm"] += rm
         units.append(stages)
+    return units, busy
 
+
+def simulate_baseline_pipelined(
+    result: RenderResult,
+    config: HardwareConfig = GSTG_CONFIG,
+    vectorized: bool = True,
+) -> PipelineReport:
+    """Pipelined per-tile simulation of the conventional pipeline.
+
+    ``result`` must come from :class:`repro.raster.BaselineRenderer`.
+    Each tile flows through fetch -> tile sort -> rasterise.
+    ``vectorized`` selects the array path (default) or the original
+    per-tile loop; reports are cycle-identical either way.
+    """
+    build = _baseline_units_fast if vectorized else _baseline_units_reference
+    units, busy = build(result, config)
     cycles = _schedule(units, config.num_cores)
-    report = PipelineReport(
+    return PipelineReport(
         name=f"baseline-on-{config.name}-pipelined",
         cycles=cycles,
         stage_busy_cycles=busy,
-        num_units=int(active_tiles.size),
+        num_units=len(units),
         frequency_hz=config.frequency_hz,
         num_cores=config.num_cores,
     )
-    return report

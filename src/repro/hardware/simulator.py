@@ -11,6 +11,11 @@ simulator") at the same abstraction level.
 The *baseline* accelerator runs the conventional per-tile pipeline on the
 identical datapath (the paper's Fig. 14 baseline): no BGM, tile-wise
 sorting in the GSM, per-tile feature traffic.
+
+Stage totals here are closed-form functions of the frame's aggregate
+counters (no per-unit work at all); the per-unit model — whose stage
+costs are computed array-at-a-time — is
+:mod:`repro.hardware.pipeline_sim`.
 """
 
 from __future__ import annotations

@@ -84,3 +84,13 @@ class TestValidation:
             HierarchicalGSTGRenderer(16, 64, 100)
         with pytest.raises(ValueError):
             HierarchicalGSTGRenderer(16, 40, 80)
+
+    def test_levels_wider_than_mask_word_rejected(self):
+        """A level with > 64 slots cannot fit its uint64 mask — shifts
+        past bit 63 would silently truncate and break losslessness."""
+        with pytest.raises(ValueError):
+            HierarchicalGSTGRenderer(8, 16, 256)   # group mask: 256 slots
+        with pytest.raises(ValueError):
+            HierarchicalGSTGRenderer(8, 128, 128)  # tile mask: 256 slots
+        # 64 slots exactly is the widest legal level.
+        HierarchicalGSTGRenderer(8, 64, 512)

@@ -89,6 +89,12 @@ class TestConfigValidation:
         with pytest.raises(ValueError):
             GSTGRenderer(tile_size=16, group_size=40)
 
+    def test_group_wider_than_mask_word_rejected(self):
+        """> 64 tiles per group cannot fit the uint64 bitmask."""
+        with pytest.raises(ValueError):
+            GSTGRenderer(tile_size=8, group_size=128)  # 256 slots
+        GSTGRenderer(tile_size=8, group_size=64)       # 64 slots: legal
+
     def test_default_bitmask_method_follows_group(self):
         r = GSTGRenderer(16, 64, BoundaryMethod.OBB)
         assert r.bitmask_method is BoundaryMethod.OBB

@@ -24,3 +24,14 @@ class TestMultiview:
         for r in rows:
             assert r.speedup == r.baseline_ms / r.gstg_ms
             assert r.speedup > 0
+
+    def test_workers_identical_rows(self):
+        """The worker-pool path (shared-memory projection cache spanning
+        both pipelines' pools) reproduces the serial rows exactly."""
+        serial = run_multiview(
+            "playroom", num_views=16, resolution_scale=0.05, seed=1
+        )
+        pooled = run_multiview(
+            "playroom", num_views=16, resolution_scale=0.05, seed=1, workers=2
+        )
+        assert serial == pooled

@@ -1,0 +1,132 @@
+"""Tests for the shared-memory projection cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import GSTGRenderer
+from repro.engine import RenderEngine
+from repro.experiments.shm_cache import SharedProjectionCache, cloud_fingerprint
+from repro.gaussians.camera import Camera
+from repro.gaussians.projection import ProjectedGaussians, project
+from repro.tiles.boundary import BoundaryMethod
+from tests.conftest import make_cloud
+
+_ARRAY_FIELDS = (
+    "indices",
+    "depths",
+    "means2d",
+    "cov2d",
+    "conics",
+    "colors",
+    "opacities",
+    "eigvals",
+    "eigvecs",
+    "radii",
+)
+
+
+@pytest.fixture
+def scene():
+    rng = np.random.default_rng(9)
+    camera = Camera(width=96, height=64, fx=90.0, fy=90.0)
+    return make_cloud(40, rng), camera
+
+
+class TestRoundTrip:
+    def test_projection_bit_identical(self, scene):
+        cloud, camera = scene
+        reference = project(cloud, camera)
+        with SharedProjectionCache() as cache:
+            stored = cache.projection(cloud, camera)       # miss: the original
+            loaded = cache.projection(cloud, camera)       # hit: from shm
+            assert isinstance(loaded, ProjectedGaussians)
+            for reconstructed in (stored, loaded):
+                for field in _ARRAY_FIELDS:
+                    assert np.array_equal(
+                        getattr(reconstructed, field), getattr(reference, field)
+                    ), field
+                assert np.array_equal(
+                    reconstructed.culling.visible, reference.culling.visible
+                )
+                assert (
+                    reconstructed.culling.num_input == reference.culling.num_input
+                )
+
+    def test_loaded_arrays_are_read_only(self, scene):
+        cloud, camera = scene
+        with SharedProjectionCache() as cache:
+            cache.projection(cloud, camera)
+            loaded = cache.projection(cloud, camera)
+            with pytest.raises(ValueError):
+                loaded.depths[0] = 0.0
+
+    def test_hit_and_miss_accounting(self, scene):
+        cloud, camera = scene
+        other = Camera(width=96, height=64, fx=80.0, fy=90.0)
+        with SharedProjectionCache() as cache:
+            cache.projection(cloud, camera)
+            cache.projection(cloud, camera)
+            cache.projection(cloud, other)
+            assert cache.stats() == {"hits": 1, "misses": 2}
+            assert len(cache) == 2
+
+    def test_equal_clouds_share_entries(self, scene):
+        """Keys are content fingerprints, not object identities."""
+        cloud, camera = scene
+        rng = np.random.default_rng(9)
+        twin = make_cloud(40, rng)
+        assert cloud_fingerprint(cloud) == cloud_fingerprint(twin)
+        with SharedProjectionCache() as cache:
+            first = cache.projection(cloud, camera)
+            second = cache.projection(twin, camera)
+            assert cache.stats() == {"hits": 1, "misses": 1}
+            assert np.array_equal(first.depths, second.depths)
+
+    def test_eviction_bounds_entries(self, scene):
+        cloud, camera = scene
+        with SharedProjectionCache(max_entries=2) as cache:
+            for focal in (60.0, 70.0, 80.0):
+                cache.projection(
+                    cloud, Camera(width=96, height=64, fx=focal, fy=focal)
+                )
+            assert len(cache) == 2
+
+    def test_close_unlinks_segments(self, scene):
+        from multiprocessing import shared_memory
+
+        cloud, camera = scene
+        cache = SharedProjectionCache()
+        cache.projection(cloud, camera)
+        names = [entry[0] for entry in cache._index.values()]
+        cache.close()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        cache.close()  # idempotent
+
+
+class TestCrossProcess:
+    def test_workers_reuse_projections(self, scene):
+        """A second trajectory over the same views re-projects nothing:
+        the worker processes hit the shared segments instead."""
+        cloud, camera = scene
+        cameras = [
+            Camera(width=96, height=64, fx=85.0 + i, fy=85.0 + i)
+            for i in range(3)
+        ]
+        renderer = GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE)
+        with SharedProjectionCache() as cache:
+            engine = RenderEngine(renderer, cache=cache)
+            first = engine.render_trajectory(cloud, cameras, workers=2)
+            misses_after_first = cache.stats()["misses"]
+            assert misses_after_first == len(cameras)
+            second = engine.render_trajectory(cloud, cameras, workers=2)
+            stats = cache.stats()
+            assert stats["misses"] == misses_after_first
+            assert stats["hits"] >= len(cameras)
+        plain = RenderEngine(GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE))
+        reference = plain.render_trajectory(cloud, cameras)
+        for result, ref in zip(second.results, reference.results):
+            assert np.array_equal(result.image, ref.image)
+        for result, ref in zip(first.results, reference.results):
+            assert np.array_equal(result.image, ref.image)

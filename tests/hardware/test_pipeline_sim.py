@@ -8,7 +8,9 @@ from repro.core.pipeline import GSTGRenderer
 from repro.gaussians.camera import Camera
 from repro.hardware.config import GSTG_CONFIG
 from repro.hardware.pipeline_sim import (
+    PipelineReport,
     _schedule,
+    _schedule_reference,
     simulate_baseline_pipelined,
     simulate_gstg_pipelined,
 )
@@ -99,3 +101,69 @@ class TestSimulations:
         b = simulate_baseline_pipelined(base)
         g = simulate_gstg_pipelined(ours, geometry)
         assert g.stage_busy_cycles["fetch"] < b.stage_busy_cycles["fetch"]
+
+
+class TestVectorizedEquivalence:
+    """The array-based unit builders must be cycle-identical (to the
+    ulp, not a tolerance) to the retained per-unit Python loops."""
+
+    @pytest.mark.parametrize("overlap", [True, False])
+    @pytest.mark.parametrize("ru_per_tile", [True, False])
+    def test_gstg_identical(self, rendered, overlap, ru_per_tile):
+        camera, geometry, base, ours = rendered
+        fast = simulate_gstg_pipelined(
+            ours, geometry, overlap_bitmask=overlap, ru_per_tile=ru_per_tile
+        )
+        reference = simulate_gstg_pipelined(
+            ours,
+            geometry,
+            overlap_bitmask=overlap,
+            ru_per_tile=ru_per_tile,
+            vectorized=False,
+        )
+        assert fast.cycles == reference.cycles
+        assert fast.stage_busy_cycles == reference.stage_busy_cycles
+        assert fast.num_units == reference.num_units
+
+    def test_baseline_identical(self, rendered):
+        camera, geometry, base, ours = rendered
+        fast = simulate_baseline_pipelined(base)
+        reference = simulate_baseline_pipelined(base, vectorized=False)
+        assert fast.cycles == reference.cycles
+        assert fast.stage_busy_cycles == reference.stage_busy_cycles
+        assert fast.num_units == reference.num_units
+
+    def test_schedule_matches_reference(self):
+        rng = np.random.default_rng(11)
+        for trial in range(100):
+            k = int(rng.integers(0, 32))
+            units = [
+                [float(v) for v in rng.uniform(0.0, 50.0, 3)] for _ in range(k)
+            ]
+            if k > 2:
+                # Force dispatch-key ties to exercise stable ordering.
+                units[-1][1:] = units[0][1:]
+            cores = int(rng.integers(1, 8))
+            assert _schedule(units, cores) == _schedule_reference(units, cores)
+
+    def test_schedule_accepts_arrays(self):
+        units = [[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]]
+        assert _schedule(np.asarray(units), 2) == _schedule_reference(units, 2)
+
+
+class TestReportConstruction:
+    def test_positional_construction(self):
+        """num_cores stays the last field: positional construction from
+        before the field moved next to the others must keep working."""
+        report = PipelineReport(
+            "label", 100.0, {"fetch": 1.0, "sort": 2.0, "rm": 3.0}, 7, 1e9, 8
+        )
+        assert report.name == "label"
+        assert report.cycles == 100.0
+        assert report.num_units == 7
+        assert report.frequency_hz == 1e9
+        assert report.num_cores == 8
+
+    def test_num_cores_defaults_to_four(self):
+        report = PipelineReport("label", 1.0, {"rm": 1.0}, 1, 1e9)
+        assert report.num_cores == 4
