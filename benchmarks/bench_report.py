@@ -1,9 +1,10 @@
 """Performance trajectory report: time the sweep-critical paths.
 
-Measures the three hot paths this repo's performance work targets —
-the batch-engine trajectory, the vectorized hierarchical render and the
-array-based pipeline-simulation sweep — each against its retained seed
-(pure-Python) implementation, and records the results in
+Measures the four hot paths this repo's performance work targets —
+the batch-engine trajectory, the vectorized hierarchical render, the
+array-based pipeline-simulation sweep, and the async serving layer
+under concurrent overlapping load — each against its retained seed
+(naive / pure-Python) implementation, and records the results in
 ``BENCH_core.json``:
 
     {"meta": {...workload...},
@@ -19,12 +20,14 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_report.py \
         [--scene playroom] [--scale 0.125] [--views 6] [--workers 2] \
-        [--sim-rounds 30] [--sim-scale 0.25] [--out BENCH_core.json]
+        [--clients 4] [--sim-rounds 30] [--sim-scale 0.25] \
+        [--out BENCH_core.json]
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import time
 
@@ -39,6 +42,12 @@ from repro.hardware.pipeline_sim import (
 from repro.raster.renderer import BaselineRenderer
 from repro.scenes.synthetic import load_scene
 from repro.scenes.trajectory import orbit_cameras
+from repro.serve import (
+    RenderService,
+    SharedRenderCache,
+    naive_render_seconds,
+    run_clients,
+)
 from repro.tiles.boundary import BoundaryMethod
 
 #: Timing rounds per measurement; the minimum wall time is reported
@@ -113,6 +122,39 @@ def measure_pipeline_sim_sweep(scene, rounds: int) -> "tuple[float, float]":
     return seed_s, fast_s
 
 
+def measure_serve_throughput(
+    scene, cameras, clients: int
+) -> "tuple[float, float]":
+    """(seed_s, fast_s): naive per-request rendering vs the async render
+    service (micro-batching + in-flight dedup + shared render cache) for
+    ``clients`` concurrent clients streaming the same trajectory.
+
+    Each timed service run starts from a *fresh* render cache — the
+    measured speedup is the steady-state serving win (coalescing and
+    exactly-once rendering), not a warm-cache replay.
+    """
+    renderer = GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE)
+    trajectories = [list(cameras) for _ in range(clients)]
+
+    def run_service() -> None:
+        async def drive() -> None:
+            with SharedRenderCache() as cache:
+                async with RenderService(
+                    renderer, cache=cache, max_batch_size=8, max_wait=0.002
+                ) as service:
+                    report = await run_clients(service, scene.cloud, trajectories)
+                    assert report.service["engine_renders"] < report.frames
+
+        asyncio.run(drive())
+
+    run_service()  # warm (first-call allocations, executor spin-up)
+    seed_s = best_of(
+        lambda: naive_render_seconds(renderer, scene.cloud, trajectories)
+    )
+    fast_s = best_of(run_service)
+    return seed_s, fast_s
+
+
 def build_report(
     scene_name: str,
     scale: float,
@@ -120,6 +162,7 @@ def build_report(
     workers: int,
     sim_rounds: int,
     sim_scale: "float | None" = None,
+    clients: int = 4,
 ) -> dict:
     """Run every measurement and shape the BENCH_core.json payload.
 
@@ -143,6 +186,7 @@ def build_report(
         ("engine_trajectory", measure_engine_trajectory(scene, cameras, workers)),
         ("hierarchical_render", measure_hierarchical_render(scene)),
         ("pipeline_sim_sweep", measure_pipeline_sim_sweep(sim_scene, sim_rounds)),
+        ("serve_throughput", measure_serve_throughput(scene, cameras, clients)),
     ):
         entries.append(
             {
@@ -161,6 +205,7 @@ def build_report(
             "views": views,
             "workers": workers,
             "sim_rounds": sim_rounds,
+            "serve_clients": clients,
         },
         "entries": entries,
     }
@@ -172,6 +217,10 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--scale", type=float, default=0.125)
     parser.add_argument("--views", type=int, default=6)
     parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--clients", type=int, default=4,
+        help="concurrent clients for the serve_throughput measurement",
+    )
     parser.add_argument("--sim-rounds", type=int, default=30)
     parser.add_argument(
         "--sim-scale", type=float, default=None,
@@ -183,7 +232,7 @@ def main(argv: "list[str] | None" = None) -> int:
 
     report = build_report(
         args.scene, args.scale, args.views, args.workers, args.sim_rounds,
-        sim_scale=args.sim_scale,
+        sim_scale=args.sim_scale, clients=args.clients,
     )
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)

@@ -2,10 +2,10 @@
 
 ``benchmarks/test_engine_throughput.py``-style assertions over the
 :mod:`benchmarks.bench_report` measurements: the vectorized hierarchical
-render and the array-based pipeline-simulation sweep must each be at
-least 2x faster than their retained seed implementations.  A loaded
-shared CI runner can soften the floors via the environment without
-weakening the local tier-1 gate.
+render, the array-based pipeline-simulation sweep and the async serving
+layer must each be at least 2x faster than their retained seed / naive
+implementations.  A loaded shared CI runner can soften the floors via
+the environment without weakening the local tier-1 gate.
 """
 
 from __future__ import annotations
@@ -17,12 +17,19 @@ import pytest
 from benchmarks.bench_report import (
     measure_hierarchical_render,
     measure_pipeline_sim_sweep,
+    measure_serve_throughput,
 )
 from repro.scenes.synthetic import load_scene
+from repro.scenes.trajectory import orbit_cameras
 
 #: Required speedups over the seed implementations (acceptance: 2.0).
 HIERARCHICAL_MIN_SPEEDUP = float(os.environ.get("HIERARCHICAL_MIN_SPEEDUP", "2.0"))
 PIPELINE_SIM_MIN_SPEEDUP = float(os.environ.get("PIPELINE_SIM_MIN_SPEEDUP", "2.0"))
+SERVE_MIN_SPEEDUP = float(os.environ.get("SERVE_MIN_SPEEDUP", "2.0"))
+
+#: Concurrent clients / orbit views for the serving measurement.
+SERVE_CLIENTS = 4
+SERVE_VIEWS = 6
 
 #: Resolution scales of the measurement workloads (the simulation sweep
 #: needs enough work units per frame for per-unit costs to show).
@@ -64,4 +71,25 @@ def test_pipeline_sim_sweep_speedup(emit):
     assert speedup >= PIPELINE_SIM_MIN_SPEEDUP, (
         f"pipeline-sim sweep speedup {speedup:.2f}x below the "
         f"{PIPELINE_SIM_MIN_SPEEDUP}x floor"
+    )
+
+
+def test_serve_throughput_speedup(emit, render_scene):
+    """The acceptance floor for the serving layer: >= 2x over naive
+    per-request rendering for overlapping concurrent trajectories."""
+    cameras = orbit_cameras(render_scene, SERVE_VIEWS)
+    seed_s, fast_s = measure_serve_throughput(
+        render_scene, cameras, SERVE_CLIENTS
+    )
+    speedup = seed_s / fast_s
+    emit(
+        f"serve throughput — {SERVE_CLIENTS} clients x {SERVE_VIEWS} "
+        f"overlapping views, "
+        f"{render_scene.camera.width}x{render_scene.camera.height}",
+        f"  naive per-request: {seed_s:.3f}s   service: {fast_s:.3f}s   "
+        f"speedup: {speedup:.2f}x",
+    )
+    assert speedup >= SERVE_MIN_SPEEDUP, (
+        f"serve throughput speedup {speedup:.2f}x below the "
+        f"{SERVE_MIN_SPEEDUP}x floor"
     )

@@ -4,6 +4,7 @@ Subcommands::
 
     python -m repro.cli render     --scene train --out frame.ppm
     python -m repro.cli trajectory --scene train --views 8 --workers 4
+    python -m repro.cli serve      --scene train --views 8 --clients 4
     python -m repro.cli profile    --scene truck --method ellipse
     python -m repro.cli simulate   --scene residence
     python -m repro.cli report     --out EXPERIMENTS.md
@@ -13,7 +14,11 @@ All commands are deterministic given ``--seed``; ``render`` and
 (bit-identical to the sequential renderers — including the two-level
 ``--pipeline hierarchical``).  ``trajectory --shared-cache`` backs the
 projection cache with shared memory so worker processes reuse each
-other's projections.
+other's projections.  ``serve`` starts the asyncio streaming render
+service (:mod:`repro.serve`) and drives it with concurrent
+trajectory-streaming clients — the built-in load generator — reporting
+throughput and the micro-batching/caching counters; ``--verify`` checks
+every streamed frame bit-for-bit against direct engine renders.
 """
 
 from __future__ import annotations
@@ -171,6 +176,97 @@ def _cmd_trajectory(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.scenes.trajectory import orbit_cameras
+    from repro.serve import (
+        RenderService,
+        SharedRenderCache,
+        naive_render_seconds,
+        run_clients,
+    )
+
+    scene = load_scene(args.scene, resolution_scale=args.scale, seed=args.seed)
+    orbit = list(orbit_cameras(scene, args.views))
+    # Every client streams the same orbit — the overlapping-load shape
+    # the serving layer exists for (viewers watching the same scene).
+    trajectories = [list(orbit) for _ in range(args.clients)]
+    renderer = _make_renderer(args)
+    cache = None if args.no_render_cache else SharedRenderCache()
+
+    async def drive() -> "tuple":
+        async with RenderService(
+            renderer,
+            cache=cache,
+            max_batch_size=args.batch_size,
+            max_wait=args.max_wait_ms / 1e3,
+            max_pending=args.max_pending,
+            vectorized=not args.no_engine,
+        ) as service:
+            return await run_clients(
+                service, scene.cloud, trajectories, keep_images=args.verify
+            )
+
+    try:
+        report = asyncio.run(drive())
+    finally:
+        if cache is not None:
+            cache.close()
+
+    stats = report.service
+    print(
+        f"served {report.frames} frames of {args.scene} "
+        f"({scene.camera.width}x{scene.camera.height}, {args.pipeline}) to "
+        f"{args.clients} clients in {report.wall_s:.2f}s "
+        f"({report.frames_per_s:.2f} frames/s)"
+    )
+    print(
+        f"engine renders: {stats['engine_renders']} "
+        f"(of {stats['requests']} requests; "
+        f"{stats['cache_hits']} cache hits, {stats['coalesced']} coalesced)"
+    )
+    print(
+        f"batches: {stats['batches']} (mean {stats['mean_batch']}, "
+        f"max {stats['max_batch']}), cancelled: {stats['cancelled']}"
+    )
+
+    if args.naive:
+        naive_s = naive_render_seconds(
+            renderer, scene.cloud, trajectories, vectorized=not args.no_engine
+        )
+        print(
+            f"naive per-request rendering: {naive_s:.2f}s -> service speedup "
+            f"{naive_s / max(report.wall_s, 1e-9):.2f}x"
+        )
+
+    if args.verify:
+        engine = RenderEngine(renderer, vectorized=not args.no_engine)
+        for camera_index, camera in enumerate(orbit):
+            direct = engine.render(scene.cloud, camera)
+            for client_images in report.images:
+                if not np.array_equal(client_images[camera_index], direct.image):
+                    print(
+                        f"FAIL: streamed frame {camera_index} differs from "
+                        "the direct engine render"
+                    )
+                    return 1
+        print(
+            f"verified: all {report.frames} streamed frames bit-identical "
+            "to direct engine renders"
+        )
+        # The strictly-fewer-renders property only holds when the load
+        # overlaps; a single client's distinct views have nothing to
+        # coalesce.
+        if args.clients > 1 and stats["engine_renders"] >= report.frames:
+            print(
+                "FAIL: expected strictly fewer engine renders than served "
+                "frames under overlapping load"
+            )
+            return 1
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     cache = RenderCache(resolution_scale=args.scale, seed=args.seed)
     method = BoundaryMethod(args.method)
@@ -269,6 +365,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--out-dir", default="", help="write view_NNN.ppm frames here"
     )
     trajectory.set_defaults(func=_cmd_trajectory)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the async streaming render service under generated load",
+    )
+    _add_common(serve)
+    _add_renderer_options(serve)
+    serve.add_argument("--views", type=int, default=8, help="orbit views")
+    serve.add_argument(
+        "--clients", type=int, default=4,
+        help="concurrent clients, each streaming the full orbit",
+    )
+    serve.add_argument(
+        "--batch-size", type=int, default=8,
+        help="micro-batch flush size (requests per engine batch)",
+    )
+    serve.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="micro-batch flush deadline in milliseconds",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=64,
+        help="admission bound (bounded-queue backpressure)",
+    )
+    serve.add_argument(
+        "--no-render-cache", action="store_true",
+        help="disable the shared render cache (micro-batching only)",
+    )
+    serve.add_argument(
+        "--naive", action="store_true",
+        help="also time naive per-request rendering and print the speedup",
+    )
+    serve.add_argument(
+        "--verify", action="store_true",
+        help="check every streamed frame bit-for-bit against a direct "
+        "engine render (exit 1 on any mismatch; with --clients > 1, also "
+        "exit 1 unless the engine rendered strictly fewer frames than it "
+        "served)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     profile = sub.add_parser("profile", help="Section III tile-size statistics")
     _add_common(profile)

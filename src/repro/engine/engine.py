@@ -154,7 +154,7 @@ def _render_gstg_batched(
 
 #: Worker-process state set once by the pool initializer: the scene and
 #: a worker-local engine are shipped per *worker*, not per camera.
-_WORKER_STATE: "tuple[RenderEngine, GaussianCloud] | None" = None
+_WORKER_STATE: "tuple[RenderEngine, GaussianCloud, object | None] | None" = None
 
 
 def _worker_init(
@@ -162,6 +162,7 @@ def _worker_init(
     vectorized: bool,
     cloud: GaussianCloud,
     shared_cache: "SharedProjectionCache | None" = None,
+    render_store=None,
 ) -> None:
     """Pool initializer: build the worker's engine and pin the cloud.
 
@@ -180,7 +181,7 @@ def _worker_init(
         else ProjectionCache(max_entries=1)
     )
     engine = RenderEngine(renderer, cache=cache, vectorized=vectorized)
-    _WORKER_STATE = (engine, cloud)
+    _WORKER_STATE = (engine, cloud, render_store)
 
 
 def _render_task(camera: Camera) -> RenderResult:
@@ -190,10 +191,12 @@ def _render_task(camera: Camera) -> RenderResult:
     projection and assignment arrays are O(cloud)/O(pairs) per frame and
     no trajectory consumer reads them, so shipping them through the
     result pipe would tax exactly the parallelism the pool exists for.
+    A shared render store short-circuits the whole frame: a view any
+    process already rendered is served from its shared segment.
     """
     assert _WORKER_STATE is not None, "worker pool not initialised"
-    engine, cloud = _WORKER_STATE
-    result = engine.render(cloud, camera)
+    engine, cloud, render_store = _WORKER_STATE
+    result = engine._render_stored(cloud, camera, render_store)
     return RenderResult(
         image=result.image, stats=result.stats, projected=None, assignment=None
     )
@@ -247,6 +250,25 @@ class RenderEngine:
             return render_hierarchical_batched(self.renderer, cloud, camera, proj)
         return self.renderer.render(cloud, camera)
 
+    def _render_stored(
+        self, cloud: GaussianCloud, camera: Camera, store
+    ) -> RenderResult:
+        """Render through an optional shared render store.
+
+        ``store`` is a :class:`repro.serve.render_cache.SharedRenderCache`
+        (duck-typed — this module must not import the serving layer): a
+        hit serves the shared frame, a miss renders and publishes.  With
+        ``store=None`` this is exactly :meth:`render`.
+        """
+        if store is None:
+            return self.render(cloud, camera)
+        hit = store.get(cloud, camera, self.renderer)
+        if hit is not None:
+            return hit
+        result = self.render(cloud, camera)
+        store.put(cloud, camera, self.renderer, result)
+        return result
+
     def render_trajectory(
         self,
         cloud: GaussianCloud,
@@ -254,6 +276,7 @@ class RenderEngine:
         *,
         workers: int = 1,
         executor: str = "process",
+        render_store=None,
     ) -> TrajectoryResult:
         """Render a multi-camera batch, optionally across a worker pool.
 
@@ -283,6 +306,15 @@ class RenderEngine:
             the worker processes consult it too: any projection one
             process computes (this pool, an earlier pool, or the
             parent) is reused everywhere instead of re-projected.
+        render_store:
+            Optional :class:`repro.serve.render_cache.SharedRenderCache`:
+            a view any process already rendered and published is served
+            from shared memory instead of re-rendered, and every frame
+            this trajectory renders is published back.  Store-served
+            frames are bit-identical (image and stats) but carry
+            ``projected``/``assignment`` as ``None`` — the worker-pool
+            contract.  Works with every executor; process workers
+            receive the (picklable) store through the pool initializer.
         """
         cameras = list(cameras)
         # Trajectory cameras are typically all distinct, so caching their
@@ -300,11 +332,19 @@ class RenderEngine:
         else:
             runner = self
         if workers <= 1 or len(cameras) <= 1:
-            results = [runner.render(cloud, camera) for camera in cameras]
+            results = [
+                runner._render_stored(cloud, camera, render_store)
+                for camera in cameras
+            ]
         elif executor == "thread":
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 results = list(
-                    pool.map(lambda cam: runner.render(cloud, cam), cameras)
+                    pool.map(
+                        lambda cam: runner._render_stored(
+                            cloud, cam, render_store
+                        ),
+                        cameras,
+                    )
                 )
         elif executor == "process":
             # Fork keeps the already-built cloud in the children without
@@ -328,7 +368,13 @@ class RenderEngine:
                 max_workers=workers,
                 mp_context=context,
                 initializer=_worker_init,
-                initargs=(self.renderer, self.vectorized, cloud, shared_cache),
+                initargs=(
+                    self.renderer,
+                    self.vectorized,
+                    cloud,
+                    shared_cache,
+                    render_store,
+                ),
             ) as pool:
                 results = list(pool.map(_render_task, cameras))
         else:

@@ -142,16 +142,40 @@ class RenderCache:
         Factor applied to Table II resolutions for every scene.
     seed:
         Scene synthesis seed.
+    render_store:
+        Optional :class:`repro.serve.render_cache.SharedRenderCache`
+        (duck-typed to avoid an import cycle).  Full renders missing
+        from this process's memo are looked up in — and published to —
+        the shared store, so *separate* ``RenderCache`` instances and
+        *separate processes* (the fig03/fig11/fig12/fig13 sweep
+        harnesses, the render service, ``run_multiview``) each compute a
+        given (scene, renderer configuration) render exactly once
+        between them.  Store-served results carry
+        ``projected``/``assignment`` as ``None`` (the worker-pool
+        contract); the figure harnesses consume only images and stats,
+        which round-trip bit-exactly.
     """
 
-    def __init__(self, resolution_scale: float = 0.125, seed: int = 0) -> None:
+    def __init__(
+        self,
+        resolution_scale: float = 0.125,
+        seed: int = 0,
+        render_store=None,
+    ) -> None:
         self.resolution_scale = resolution_scale
         self.seed = seed
+        self.render_store = render_store
         self._scenes: "dict[str, Scene]" = {}
         self._projections: "dict[str, ProjectedGaussians]" = {}
         self._assignments: "dict[tuple, TileAssignment]" = {}
         self._baseline: "dict[tuple, RenderResult]" = {}
         self._gstg: "dict[tuple, RenderResult]" = {}
+        # One projection per scene across *every* configuration: full
+        # renders run through the batch engine with this cache, so the
+        # fig3/fig11/fig12/fig13 sweeps stop re-projecting the scene for
+        # each tile/group/boundary combo (the engine output is
+        # bit-identical to the sequential renderers, stats included).
+        self._proj_cache = ProjectionCache()
 
     def scene(self, name: str) -> Scene:
         """The synthetic scene for a Table II entry."""
@@ -162,10 +186,16 @@ class RenderCache:
         return self._scenes[name]
 
     def projection(self, name: str) -> ProjectedGaussians:
-        """Culled + projected Gaussians for the scene's camera."""
+        """Culled + projected Gaussians for the scene's camera.
+
+        Served by the same per-scene projection cache the full renders
+        go through, so tile statistics and renders share one projection.
+        """
         if name not in self._projections:
             scene = self.scene(name)
-            self._projections[name] = project(scene.cloud, scene.camera)
+            self._projections[name] = self._proj_cache.projection(
+                scene.cloud, scene.camera
+            )
         return self._projections[name]
 
     def assignment(
@@ -181,6 +211,21 @@ class RenderCache:
             )
         return self._assignments[key]
 
+    def _stored_render(self, renderer, scene: Scene) -> RenderResult:
+        """One full render: engine path, shared projection, shared store.
+
+        The render goes through the batch engine (bit-identical to
+        ``renderer.render``, image *and* stats) with the per-scene
+        projection cache, and — when a ``render_store`` is plugged in —
+        is first looked up in, then published to, the cross-process
+        store.
+        """
+        # Local import: the engine module imports this one (cycle).
+        from repro.engine import RenderEngine
+
+        engine = RenderEngine(renderer, cache=self._proj_cache)
+        return engine._render_stored(scene.cloud, scene.camera, self.render_store)
+
     def baseline_render(
         self, name: str, tile_size: int, method: BoundaryMethod
     ) -> RenderResult:
@@ -189,7 +234,7 @@ class RenderCache:
         if key not in self._baseline:
             scene = self.scene(name)
             renderer = BaselineRenderer(tile_size=tile_size, method=method)
-            self._baseline[key] = renderer.render(scene.cloud, scene.camera)
+            self._baseline[key] = self._stored_render(renderer, scene)
         return self._baseline[key]
 
     def gstg_render(
@@ -216,5 +261,5 @@ class RenderCache:
                 group_method=group_method,
                 bitmask_method=bitmask_method,
             )
-            self._gstg[key] = renderer.render(scene.cloud, scene.camera)
+            self._gstg[key] = self._stored_render(renderer, scene)
         return self._gstg[key]

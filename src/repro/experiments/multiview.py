@@ -61,6 +61,7 @@ def run_multiview(
     tile_size: int = 16,
     group_size: int = 64,
     workers: int = 1,
+    render_store=None,
 ) -> "list[ViewRow]":
     """Evaluate both pipelines on a trajectory's test views.
 
@@ -73,6 +74,15 @@ def run_multiview(
     cache spanning the pools: whichever worker projects a view first
     publishes it, so the GS-TG pass never re-projects what the baseline
     pass already computed.  Results are identical for any worker count.
+
+    ``render_store`` optionally plugs a
+    :class:`repro.serve.render_cache.SharedRenderCache` under both
+    pipelines: every (view, pipeline) frame rendered here is published,
+    and any frame already published — by an earlier ``run_multiview``
+    call, a sweep harness or the render service, in any process — is
+    served from shared memory instead of re-rendered.  Rows are
+    identical with or without a store (images and stats round-trip
+    bit-exactly).
     """
     scene = load_scene(scene_name, resolution_scale=resolution_scale, seed=seed)
     views = make_view_set(scene, num_views)
@@ -105,17 +115,19 @@ def run_multiview(
         if workers > 1:
             pairs = zip(
                 baseline.render_trajectory(
-                    scene.cloud, test_cameras, workers=workers
+                    scene.cloud, test_cameras, workers=workers,
+                    render_store=render_store,
                 ).results,
                 gstg.render_trajectory(
-                    scene.cloud, test_cameras, workers=workers
+                    scene.cloud, test_cameras, workers=workers,
+                    render_store=render_store,
                 ).results,
             )
         else:
             pairs = (
                 (
-                    baseline.render(scene.cloud, camera),
-                    gstg.render(scene.cloud, camera),
+                    baseline._render_stored(scene.cloud, camera, render_store),
+                    gstg._render_stored(scene.cloud, camera, render_store),
                 )
                 for camera in test_cameras
             )

@@ -24,12 +24,18 @@ writes a projection after construction.
 
 The process that constructed the cache owns the manager and the
 segments; call :meth:`close` (or use the cache as a context manager)
-when done so the shared segments are unlinked deterministically.
+when done so the shared segments are unlinked deterministically.  As a
+safety net the owner also registers a :func:`weakref.finalize`
+finalizer (which doubles as an atexit hook), so the segments are
+unlinked even when ``close()`` is never reached — an exception
+unwinding past the cache, a worker crashing mid-render and the driver
+bailing out, or the object simply being dropped.
 """
 
 from __future__ import annotations
 
 import hashlib
+import weakref
 from multiprocessing import Manager, resource_tracker, shared_memory
 
 import numpy as np
@@ -73,6 +79,49 @@ def _release(segment: shared_memory.SharedMemory) -> None:
         segment.close()
     except BufferError:
         _PINNED_SEGMENTS.append(segment)
+
+
+def _teardown_owner(manager, index, order, attached) -> None:
+    """Owner-side teardown: unlink every segment, stop the manager.
+
+    Module-level (and deliberately ``self``-free) so it can be handed to
+    :func:`weakref.finalize` as the owner's gc/interpreter-exit fallback
+    without keeping the cache object alive.  Runs at most once per cache
+    — ``close()`` triggers the same finalizer.  Every manager round trip
+    is guarded: at interpreter exit the manager process may already be
+    gone, in which case its own resource tracker reclaims the segments.
+    """
+    try:
+        entries = list(index.values())
+    except Exception:
+        entries = []
+    for entry in entries:
+        name = entry[0]
+        segment = attached.pop(name, None)
+        if segment is None:
+            try:
+                segment = shared_memory.SharedMemory(name=name)
+            except (FileNotFoundError, OSError):
+                continue
+        try:
+            segment.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+        _release(segment)
+    try:
+        index.clear()
+        while len(order):
+            order.pop()
+    except Exception:
+        pass
+    for segment in attached.values():
+        _release(segment)
+    attached.clear()
+    if manager is not None:
+        try:
+            manager.shutdown()
+        except Exception:
+            pass
 
 
 def cloud_fingerprint(cloud: GaussianCloud) -> str:
@@ -130,6 +179,18 @@ class SharedProjectionCache:
         self._owner = True
         self._attached: "dict[str, shared_memory.SharedMemory]" = {}
         self._closed = False
+        # Fallback teardown: fires when the owner is garbage collected
+        # or the interpreter exits without close() ever running (e.g. a
+        # worker crash mid-render unwound past the cache).  close()
+        # invokes the same finalizer, so teardown happens exactly once.
+        self._finalizer = weakref.finalize(
+            self,
+            _teardown_owner,
+            self._manager,
+            self._index,
+            self._order,
+            self._attached,
+        )
 
     # -- pickling: workers get proxies, never the manager itself --------
     def __getstate__(self):
@@ -151,6 +212,7 @@ class SharedProjectionCache:
         self._owner = False
         self._attached = {}
         self._closed = False
+        self._finalizer = None
 
     # -- storage --------------------------------------------------------
     @staticmethod
@@ -284,25 +346,21 @@ class SharedProjectionCache:
         """Unlink every shared segment and shut the manager down.
 
         Only the owning (creating) process tears the manager down;
-        worker-side copies just drop their attachments.
+        worker-side copies just drop their attachments.  The owner's
+        teardown runs through its :func:`weakref.finalize` fallback, so
+        a cache that was already finalized (gc, interpreter exit) closes
+        as a no-op and vice versa.
         """
         if self._closed:
             return
         self._closed = True
         if self._owner:
-            try:
-                for entry in list(self._index.values()):
-                    self._unlink(entry[0])
-                self._index.clear()
-                while len(self._order):
-                    self._order.pop()
-            except (BrokenPipeError, EOFError, ConnectionError):
-                pass
-        for segment in self._attached.values():
-            _release(segment)
-        self._attached.clear()
-        if self._owner and self._manager is not None:
-            self._manager.shutdown()
+            if self._finalizer is not None:
+                self._finalizer()
+        else:
+            for segment in self._attached.values():
+                _release(segment)
+            self._attached.clear()
 
     def __enter__(self) -> "SharedProjectionCache":
         return self

@@ -21,6 +21,7 @@ from repro.hardware.pipeline_sim import (
     PipelineReport,
     simulate_baseline_pipelined,
     simulate_gstg_pipelined,
+    simulate_hierarchical_pipelined,
 )
 from repro.hardware.simulator import (
     AcceleratorReport,
@@ -46,4 +47,5 @@ __all__ = [
     "simulate_gscore",
     "simulate_gstg",
     "simulate_gstg_pipelined",
+    "simulate_hierarchical_pipelined",
 ]

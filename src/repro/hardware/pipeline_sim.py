@@ -3,8 +3,9 @@
 The throughput model in :mod:`repro.hardware.simulator` bounds a frame by
 its slowest stage total — exact only for perfectly balanced, infinitely
 buffered pipelines.  This module simulates the pipeline *per work unit*
-(per group for GS-TG, per tile for the baseline) with double-buffered
-hand-off between stages:
+(per group for GS-TG, per tile for the baseline, per supergroup for the
+two-level hierarchical renderer) with double-buffered hand-off between
+stages:
 
     ``start[g][s] = max(finish[g][s-1], finish[g-1][s])``
 
@@ -44,7 +45,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.bitmask import generate_bitmasks, generate_bitmasks_fast
 from repro.core.grouping import GroupGeometry
+from repro.core.hierarchical import expand_group_pairs_fast
 from repro.hardware.config import GSTG_CONFIG, HardwareConfig
 from repro.hardware.dram import (
     BITMASK_BYTES,
@@ -464,6 +467,253 @@ def _baseline_units_reference(
         busy["rm"] += rm
         units.append(stages)
     return units, busy
+
+
+#: Bytes fetched per (Gaussian, supergroup) pair by the two-level
+#: pipeline: features + sort traffic (one sort per supergroup) + the
+#: group-level mask word (BGM write, filter read).
+_HIER_SUPER_PAIR_BYTES = (
+    FEATURE_BURST_BYTES
+    + SORT_KEY_BYTES * (1 + 2 * RADIX_SORT_PASSES)
+    + 2 * SORTED_INDEX_BYTES
+    + 2 * BITMASK_BYTES
+)
+
+#: Additional bytes per expanded (Gaussian, group) pair: the tile-level
+#: mask word (BGM write, filter read).
+_HIER_GROUP_PAIR_BYTES = 2 * BITMASK_BYTES
+
+
+def _child_to_parent_map(child_grid, parent_grid, side: int) -> np.ndarray:
+    """Parent id of every child tile of a nested, aligned grid pair."""
+    child_ids = np.arange(child_grid.num_tiles, dtype=np.int64)
+    return (
+        (child_ids // child_grid.tiles_x) // side
+    ) * parent_grid.tiles_x + (child_ids % child_grid.tiles_x) // side
+
+
+def _validate_hier_inputs(
+    result: RenderResult,
+    tile_geometry: GroupGeometry,
+    super_geometry: GroupGeometry,
+) -> None:
+    if result.projected is None:
+        raise ValueError(
+            "hierarchical simulation re-derives the second identification "
+            "level from the projection; results served from a render store "
+            "or a worker pool carry projected=None — render directly"
+        )
+    if (
+        tile_geometry.group_size != super_geometry.tile_size
+        or tile_geometry.width != super_geometry.width
+        or tile_geometry.height != super_geometry.height
+    ):
+        raise ValueError(
+            "tile_geometry's groups must be super_geometry's tiles "
+            "(same group_size/tile_size and image dimensions)"
+        )
+
+
+def _hier_units_fast(
+    result: RenderResult,
+    tile_geometry: GroupGeometry,
+    super_geometry: GroupGeometry,
+    config: HardwareConfig,
+    overlap_bitmask: bool,
+    ru_per_tile: bool,
+) -> "tuple[np.ndarray, dict[str, float]]":
+    """Array-at-a-time stage costs for every active supergroup."""
+    stats = result.stats
+    test_cost = config.test_cycles.get(_method_key(stats.bitmask_test_cost), 1.0)
+    sgrid = super_geometry.group_grid
+    pairs_per_super = np.bincount(
+        result.assignment.tile_ids, minlength=sgrid.num_tiles
+    )
+    active = np.flatnonzero(pairs_per_super)
+    if active.size == 0:
+        return np.empty((0, 3), dtype=np.float64), dict(_EMPTY_BUSY)
+
+    # Second level re-derived from the projection with the fast-path
+    # builders (pair-identical to the renderer's own expansion).
+    group_table = generate_bitmasks_fast(
+        result.projected,
+        super_geometry,
+        result.assignment,
+        result.assignment.method,
+        RenderStats(),
+    )
+    _, pair_groups = expand_group_pairs_fast(group_table, super_geometry)
+
+    ggrid = super_geometry.tile_grid
+    super_of_group = _child_to_parent_map(
+        ggrid, sgrid, super_geometry.tiles_per_side
+    )
+    group_pairs_per_super = np.bincount(
+        super_of_group[pair_groups], minlength=sgrid.num_tiles
+    )
+
+    n = pairs_per_super[active].astype(np.int64)
+    m = group_pairs_per_super[active].astype(np.int64)
+    groups_per_super = super_geometry.tiles_per_group
+    tiles_per_group = tile_geometry.tiles_per_group
+
+    fetch = (
+        n * _HIER_SUPER_PAIR_BYTES + m * _HIER_GROUP_PAIR_BYTES
+    ) / config.bytes_per_cycle
+    bgm = (
+        (n * groups_per_super + m * tiles_per_group)
+        * test_cost
+        / config.bitmask_tile_checkers
+    )
+    gsm = _sort_comparisons_vector(n) / config.sort_comparators
+    sort_stage = np.maximum(bgm, gsm) if overlap_bitmask else bgm + gsm
+
+    tgrid = tile_geometry.tile_grid
+    alpha = _dense_per_tile_alpha(stats, tgrid.num_tiles)
+    group_of_tile = _child_to_parent_map(
+        tgrid, ggrid, tile_geometry.tiles_per_side
+    )
+    super_of_tile = super_of_group[group_of_tile]
+    filt = (n * groups_per_super + m * tiles_per_group) / config.filter_width
+    if ru_per_tile:
+        # One RU per tile: the slowest tile gates the supergroup.
+        order = np.argsort(super_of_tile, kind="stable")
+        boundaries = np.searchsorted(
+            super_of_tile[order], np.arange(sgrid.num_tiles)
+        )
+        alpha_max = np.maximum.reduceat(alpha[order], boundaries)
+        raster = alpha_max[active].astype(np.float64)
+    else:
+        alpha_sum = np.bincount(
+            super_of_tile, weights=alpha, minlength=sgrid.num_tiles
+        )
+        raster = alpha_sum[active] / config.raster_units
+    rm = np.maximum(raster, filt)
+
+    units = np.stack([fetch, sort_stage, rm], axis=1)
+    return units, _sequential_sums(fetch, sort_stage, rm)
+
+
+def _hier_units_reference(
+    result: RenderResult,
+    tile_geometry: GroupGeometry,
+    super_geometry: GroupGeometry,
+    config: HardwareConfig,
+    overlap_bitmask: bool,
+    ru_per_tile: bool,
+) -> "tuple[list[list[float]], dict[str, float]]":
+    """Per-supergroup Python loop over the reference-path second level
+    (the equivalence oracle)."""
+    from repro.core.hierarchical import HierarchicalGSTGRenderer
+
+    stats = result.stats
+    test_cost = config.test_cycles.get(_method_key(stats.bitmask_test_cost), 1.0)
+    sgrid = super_geometry.group_grid
+    pairs_per_super = np.bincount(
+        result.assignment.tile_ids, minlength=sgrid.num_tiles
+    )
+
+    group_table = generate_bitmasks(
+        result.projected,
+        super_geometry,
+        result.assignment,
+        result.assignment.method,
+        None,
+    )
+    _, pair_groups = HierarchicalGSTGRenderer._expand_group_pairs(
+        group_table, super_geometry
+    )
+
+    groups_per_super = super_geometry.tiles_per_group
+    tiles_per_group = tile_geometry.tiles_per_group
+    units: "list[list[float]]" = []
+    busy = dict(_EMPTY_BUSY)
+    for super_id in np.flatnonzero(pairs_per_super):
+        n = int(pairs_per_super[super_id])
+        groups = super_geometry.tiles_of_group(int(super_id))
+        m = int(np.count_nonzero(np.isin(pair_groups, groups)))
+
+        fetch = (
+            n * _HIER_SUPER_PAIR_BYTES + m * _HIER_GROUP_PAIR_BYTES
+        ) / config.bytes_per_cycle
+        bgm = (
+            (n * groups_per_super + m * tiles_per_group)
+            * test_cost
+            / config.bitmask_tile_checkers
+        )
+        gsm = sort_comparison_count(n) / config.sort_comparators
+        sort_stage = max(bgm, gsm) if overlap_bitmask else bgm + gsm
+
+        tile_alphas = [
+            stats.per_tile_alpha.get(int(tile), 0)
+            for group in groups
+            for tile in tile_geometry.tiles_of_group(int(group))
+        ]
+        filt = (n * groups_per_super + m * tiles_per_group) / config.filter_width
+        if ru_per_tile:
+            raster = float(max(tile_alphas, default=0))
+        else:
+            raster = sum(tile_alphas) / config.raster_units
+        rm = max(raster, filt)
+
+        stages = [fetch, sort_stage, rm]
+        busy["fetch"] += fetch
+        busy["sort"] += sort_stage
+        busy["rm"] += rm
+        units.append(stages)
+    return units, busy
+
+
+def simulate_hierarchical_pipelined(
+    result: RenderResult,
+    tile_geometry: GroupGeometry,
+    super_geometry: GroupGeometry,
+    config: HardwareConfig = GSTG_CONFIG,
+    overlap_bitmask: bool = True,
+    ru_per_tile: bool = False,
+    vectorized: bool = True,
+) -> PipelineReport:
+    """Pipelined per-supergroup simulation of the two-level pipeline.
+
+    The work unit is the *supergroup* — the sorting granule of
+    :class:`repro.core.hierarchical.HierarchicalGSTGRenderer`, just as
+    the group is GS-TG's.  Each unit fetches its (Gaussian, supergroup)
+    pairs plus both mask levels, generates group- and tile-level
+    bitmasks in the BGM (overlapping the supergroup sort per
+    ``overlap_bitmask``), and drains its pixel work through the RM
+    behind the two-level filter.
+
+    Parameters
+    ----------
+    result:
+        A :class:`HierarchicalGSTGRenderer` render.  Its ``assignment``
+        is the supergroup assignment; its ``projected`` must be present
+        (the second identification level is re-derived from it, exactly
+        as the renderer computed it).
+    tile_geometry:
+        The tile-in-group geometry used by the render
+        (``tile_size``/``group_size``).
+    super_geometry:
+        The group-in-supergroup geometry (``group_size``/``super_size``).
+    config, overlap_bitmask, ru_per_tile, vectorized:
+        As in :func:`simulate_gstg_pipelined`; both unit builders are
+        cycle-identical (equivalence-tested).
+    """
+    _validate_hier_inputs(result, tile_geometry, super_geometry)
+    build = _hier_units_fast if vectorized else _hier_units_reference
+    units, busy = build(
+        result, tile_geometry, super_geometry, config, overlap_bitmask,
+        ru_per_tile,
+    )
+    cycles = _schedule(units, config.num_cores)
+    return PipelineReport(
+        name=f"{config.name}-hierarchical-pipelined",
+        cycles=cycles,
+        stage_busy_cycles=busy,
+        num_units=len(units),
+        frequency_hz=config.frequency_hz,
+        num_cores=config.num_cores,
+    )
 
 
 def simulate_baseline_pipelined(

@@ -1,0 +1,55 @@
+"""``repro.serve`` — the async streaming render service layer.
+
+PR 1/2 built the compute substrate (vectorized :class:`RenderEngine`,
+worker pools, shared-memory projection sharing); this package turns it
+into a *service*: many concurrent clients, few engine renders.
+
+::
+
+    clients ──> RenderService ──┬─ SharedRenderCache  (hit: zero work,
+      │            │            │   shared across processes & sweeps)
+      │            │            └─ in-flight dedup    (join the pending
+      │            ▼                                    render)
+      │        MicroBatcher  — coalesce a scene's misses, flush at
+      │            │           max_batch_size or after max_wait
+      │            ▼
+      └──────  RenderEngine.render_trajectory  (one batch per flush,
+               on a worker thread; bit-identical frames)
+
+* :class:`RenderService` — asyncio front end: ``render_frame`` for one
+  view, ``stream_trajectory`` to stream a trajectory's frames in order
+  as they complete, with bounded-queue backpressure and cancellation.
+* :class:`MicroBatcher` — the micro-batching scheduler.
+* :class:`SharedRenderCache` — finished frames + stats in shared
+  memory, keyed on ``(cloud, camera, renderer)`` content fingerprints;
+  also pluggable into ``RenderEngine.render_trajectory`` /
+  ``run_multiview`` / the figure sweeps as ``render_store``.
+* :func:`run_clients` / :func:`naive_render_seconds` — the load
+  generator and its no-serving-layer baseline.
+
+Everything served is bit-identical to a direct ``RenderEngine.render``
+of the same view (enforced by tests): the serving layer changes when
+and where frames are rendered, never their bytes.
+"""
+
+from repro.serve.client import LoadReport, naive_render_seconds, run_clients
+from repro.serve.render_cache import (
+    SharedRenderCache,
+    render_key,
+    renderer_key,
+)
+from repro.serve.scheduler import BatchStats, MicroBatcher
+from repro.serve.service import RenderService, ServiceStats
+
+__all__ = [
+    "BatchStats",
+    "LoadReport",
+    "MicroBatcher",
+    "RenderService",
+    "ServiceStats",
+    "SharedRenderCache",
+    "naive_render_seconds",
+    "render_key",
+    "renderer_key",
+    "run_clients",
+]

@@ -1,0 +1,115 @@
+"""Load generation against a :class:`repro.serve.RenderService`.
+
+A "client" here is a consumer coroutine streaming one trajectory from
+the service — the shape of a viewer session.  :func:`run_clients` fans
+``N`` such clients out concurrently (optionally with overlapping
+trajectories, the serving sweet spot) and reports wall time, throughput
+and the service's batching/caching counters; :func:`naive_render_seconds`
+times the same request load rendered one request at a time with no
+sharing, the baseline the ``serve_throughput`` benchmark divides by.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine import RenderEngine
+from repro.gaussians.camera import Camera
+from repro.gaussians.cloud import GaussianCloud
+from repro.raster.renderer import RenderResult
+from repro.serve.service import RenderService
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load-generation run.
+
+    Attributes
+    ----------
+    num_clients:
+        Concurrent streaming clients.
+    frames:
+        Frames streamed across all clients.
+    wall_s:
+        Wall time of the whole run.
+    service:
+        ``RenderService.stats_dict()`` snapshot after the run.
+    images:
+        Per-client streamed frames (``images[client][index]``), kept
+        only when requested — verification needs them, benchmarks don't.
+    """
+
+    num_clients: int
+    frames: int
+    wall_s: float
+    service: "dict[str, float]"
+    images: "list[list[np.ndarray]] | None" = field(default=None, repr=False)
+
+    @property
+    def frames_per_s(self) -> float:
+        """Aggregate streamed-frame throughput."""
+        return self.frames / self.wall_s if self.wall_s > 0 else 0.0
+
+
+async def _stream_client(
+    service: RenderService,
+    cloud: GaussianCloud,
+    cameras: "list[Camera]",
+    keep_images: bool,
+) -> "list[np.ndarray]":
+    images: "list[np.ndarray]" = []
+    async for index, result in service.stream_trajectory(cloud, cameras):
+        assert isinstance(result, RenderResult)
+        if keep_images:
+            images.append(result.image)
+    return images
+
+
+async def run_clients(
+    service: RenderService,
+    cloud: GaussianCloud,
+    trajectories: "list[list[Camera]]",
+    *,
+    keep_images: bool = False,
+) -> LoadReport:
+    """Stream every trajectory concurrently; one client per trajectory."""
+    start = time.perf_counter()
+    images = await asyncio.gather(
+        *(
+            _stream_client(service, cloud, cameras, keep_images)
+            for cameras in trajectories
+        )
+    )
+    wall_s = time.perf_counter() - start
+    return LoadReport(
+        num_clients=len(trajectories),
+        frames=sum(len(cameras) for cameras in trajectories),
+        wall_s=wall_s,
+        service=service.stats_dict(),
+        images=list(images) if keep_images else None,
+    )
+
+
+def naive_render_seconds(
+    renderer,
+    cloud: GaussianCloud,
+    trajectories: "list[list[Camera]]",
+    *,
+    vectorized: bool = True,
+) -> float:
+    """Wall seconds to serve the same load one request at a time.
+
+    Every client request goes through its own ``RenderEngine.render``
+    call — no batching, no coalescing, no shared render cache — which is
+    exactly what each request costs without a serving layer in front.
+    """
+    engine = RenderEngine(renderer, vectorized=vectorized)
+    start = time.perf_counter()
+    for cameras in trajectories:
+        for camera in cameras:
+            engine.render(cloud, camera)
+    return time.perf_counter() - start

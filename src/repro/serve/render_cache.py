@@ -1,0 +1,291 @@
+"""Cross-process sharing of *finished renders* via POSIX shared memory.
+
+:class:`repro.experiments.shm_cache.SharedProjectionCache` shares
+projections — the per-view geometry work — across processes.  This
+module extends the same shared-memory pattern one level up, to complete
+:class:`repro.raster.renderer.RenderResult` frames: the rendered image
+and its full :class:`repro.raster.stats.RenderStats` are stored in a
+:mod:`multiprocessing.shared_memory` segment with the index held by a
+manager process, keyed on content fingerprints
+``(cloud, camera, renderer configuration)``.
+
+Any process of the pool family — the asyncio render service, the
+``render_trajectory`` worker pools, the figure-sweep harnesses — can
+therefore consume a frame another process already rendered, and each
+``(scene, view, renderer)`` configuration is rendered **exactly once**
+across all of them.  A hit reconstructs the image as a zero-copy
+read-only view over the shared pages (raw bytes, bit-identical to the
+original render) and the stats via a pickle round trip (exact for every
+counter, including floats).
+
+Served results carry ``projected=None`` / ``assignment=None`` — the
+same contract as frames returned from ``render_trajectory`` worker
+processes: those arrays are per-frame O(cloud) and no batch consumer
+reads them.  Consumers that need the projection or assignment should
+render directly instead of going through the cache.
+
+The creating process owns the manager and the segments; call
+:meth:`SharedRenderCache.close` (or use the cache as a context manager)
+to unlink everything deterministically.  Like the projection cache, a
+:func:`weakref.finalize` fallback unlinks the segments even when
+``close()`` is never reached.
+"""
+
+from __future__ import annotations
+
+import pickle
+import weakref
+from multiprocessing import Manager, resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.experiments.cache import camera_key
+from repro.experiments.shm_cache import (
+    _release,
+    _teardown_owner,
+    cloud_fingerprint,
+)
+from repro.gaussians.camera import Camera
+from repro.gaussians.cloud import GaussianCloud
+from repro.raster.renderer import RenderResult
+from repro.raster.stats import RenderStats
+from repro.tiles.boundary import BoundaryMethod
+
+
+def renderer_key(renderer) -> "tuple":
+    """A hashable content identity for a renderer's full configuration.
+
+    Two renderer instances of the same class with equal configuration
+    produce the same key in any process — the renderer-side analogue of
+    :func:`repro.experiments.cache.camera_key`.  Works for any renderer
+    whose configuration lives in its instance attributes (all built-in
+    renderers); enum values are normalised and non-primitive attributes
+    fall back to ``repr``.
+    """
+    cls = type(renderer)
+    parts: "list" = [f"{cls.__module__}.{cls.__qualname__}"]
+    for name, value in sorted(vars(renderer).items()):
+        if isinstance(value, BoundaryMethod):
+            value = value.value
+        elif not (
+            value is None or isinstance(value, (bool, int, float, str, bytes))
+        ):
+            value = repr(value)
+        parts.append((name, value))
+    return tuple(parts)
+
+
+def render_key(cloud: GaussianCloud, camera: Camera, renderer) -> "tuple":
+    """The full cache key: cloud + camera + renderer content identities."""
+    return (cloud_fingerprint(cloud), camera_key(camera), renderer_key(renderer))
+
+
+class SharedRenderCache:
+    """A shared-memory cache of finished frames and their statistics.
+
+    Parameters
+    ----------
+    max_entries:
+        Bound on cached renders; the oldest entry (and its shared
+        segment) is evicted first.  ``None`` (default) disables eviction
+        — call :meth:`close` to release everything.
+
+    Notes
+    -----
+    Instances are picklable: worker processes receive proxies to the
+    same index, so a render one worker publishes is a hit everywhere.
+    :meth:`stats` aggregates hit/miss/store counts across every process.
+    """
+
+    def __init__(self, max_entries: "int | None" = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive or None")
+        self.max_entries = max_entries
+        # As with SharedProjectionCache: start the resource tracker in
+        # the owning process so forked workers inherit it and segments
+        # they create outlive them.
+        resource_tracker.ensure_running()
+        self._manager = Manager()
+        self._index = self._manager.dict()
+        self._order = self._manager.list()
+        self._counters = self._manager.dict({"hits": 0, "misses": 0, "stores": 0})
+        self._lock = self._manager.Lock()
+        self._owner = True
+        self._attached: "dict[str, shared_memory.SharedMemory]" = {}
+        self._closed = False
+        self._finalizer = weakref.finalize(
+            self,
+            _teardown_owner,
+            self._manager,
+            self._index,
+            self._order,
+            self._attached,
+        )
+
+    # -- pickling: workers get proxies, never the manager itself --------
+    def __getstate__(self):
+        return {
+            "max_entries": self.max_entries,
+            "_index": self._index,
+            "_order": self._order,
+            "_counters": self._counters,
+            "_lock": self._lock,
+        }
+
+    def __setstate__(self, state) -> None:
+        self.max_entries = state["max_entries"]
+        self._index = state["_index"]
+        self._order = state["_order"]
+        self._counters = state["_counters"]
+        self._lock = state["_lock"]
+        self._manager = None
+        self._owner = False
+        self._attached = {}
+        self._closed = False
+        self._finalizer = None
+
+    # -- storage --------------------------------------------------------
+    @staticmethod
+    def _store(result: RenderResult) -> "tuple[str, str, tuple, int]":
+        """Copy a result's image + pickled stats into one new segment."""
+        image = np.ascontiguousarray(result.image)
+        stats_blob = pickle.dumps(result.stats, protocol=pickle.HIGHEST_PROTOCOL)
+        segment = shared_memory.SharedMemory(
+            create=True, size=max(image.nbytes + len(stats_blob), 1)
+        )
+        segment.buf[: image.nbytes] = image.tobytes()
+        segment.buf[image.nbytes : image.nbytes + len(stats_blob)] = stats_blob
+        segment.close()
+        return segment.name, image.dtype.str, image.shape, image.nbytes
+
+    def _attach(self, name: str) -> shared_memory.SharedMemory:
+        segment = self._attached.get(name)
+        if segment is None:
+            segment = shared_memory.SharedMemory(name=name)
+            self._attached[name] = segment
+        return segment
+
+    def _load(self, entry: "tuple[str, str, tuple, int]") -> RenderResult:
+        """Rebuild a result: zero-copy image view + stats pickle round trip."""
+        name, dtype_str, shape, stats_offset = entry
+        segment = self._attach(name)
+        dtype = np.dtype(dtype_str)
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        image = np.frombuffer(
+            segment.buf, dtype=dtype, count=count, offset=0
+        ).reshape(shape)
+        image.flags.writeable = False
+        stats: RenderStats = pickle.loads(bytes(segment.buf[stats_offset:]))
+        return RenderResult(
+            image=image, stats=stats, projected=None, assignment=None
+        )
+
+    def _unlink(self, name: str) -> None:
+        segment = self._attached.pop(name, None)
+        if segment is None:
+            try:
+                segment = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:
+                return
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+        _release(segment)
+
+    # -- the cache API --------------------------------------------------
+    def get(
+        self, cloud: GaussianCloud, camera: Camera, renderer
+    ) -> "RenderResult | None":
+        """The shared render for this configuration, or None on a miss."""
+        key = render_key(cloud, camera, renderer)
+        entry = self._index.get(key)
+        if entry is not None:
+            try:
+                loaded = self._load(entry)
+            except FileNotFoundError:
+                loaded = None
+            if loaded is not None:
+                with self._lock:
+                    self._counters["hits"] = self._counters["hits"] + 1
+                return loaded
+        with self._lock:
+            self._counters["misses"] = self._counters["misses"] + 1
+        return None
+
+    def put(
+        self,
+        cloud: GaussianCloud,
+        camera: Camera,
+        renderer,
+        result: RenderResult,
+    ) -> None:
+        """Publish a finished render for every process to reuse."""
+        key = render_key(cloud, camera, renderer)
+        entry = self._store(result)
+        with self._lock:
+            existing = self._index.get(key)
+            if existing is not None and existing[0] != entry[0]:
+                # Another process raced us to the same render; both
+                # payloads are identical bytes (deterministic renderer),
+                # so keep theirs and drop our segment.
+                self._unlink(entry[0])
+                return
+            self._counters["stores"] = self._counters["stores"] + 1
+            if (
+                existing is None
+                and self.max_entries is not None
+                and len(self._order) >= self.max_entries
+            ):
+                oldest = self._order.pop(0)
+                stale = self._index.pop(oldest, None)
+                if stale is not None:
+                    self._unlink(stale[0])
+            self._index[key] = entry
+            if existing is None:
+                self._order.append(key)
+
+    def render(self, engine, cloud: GaussianCloud, camera: Camera) -> RenderResult:
+        """Serve from the cache, or render through ``engine`` and publish.
+
+        ``engine`` is a :class:`repro.engine.RenderEngine` (duck-typed:
+        anything with ``renderer`` and ``render(cloud, camera)``).  The
+        returned frame is bit-identical to ``engine.render`` either way.
+        """
+        cached = self.get(cloud, camera, engine.renderer)
+        if cached is not None:
+            return cached
+        result = engine.render(cloud, camera)
+        self.put(cloud, camera, engine.renderer, result)
+        return result
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def stats(self) -> "dict[str, int]":
+        """Cache-wide hit/miss/store counts across every process."""
+        return {
+            "hits": self._counters["hits"],
+            "misses": self._counters["misses"],
+            "stores": self._counters["stores"],
+        }
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Unlink every segment and shut the manager down (owner only)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._owner:
+            if self._finalizer is not None:
+                self._finalizer()
+        else:
+            for segment in self._attached.values():
+                _release(segment)
+            self._attached.clear()
+
+    def __enter__(self) -> "SharedRenderCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

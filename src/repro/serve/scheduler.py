@@ -1,0 +1,156 @@
+"""Micro-batching: coalesce concurrent async requests into batch calls.
+
+The service's throughput lever is the same one the scheduling literature
+pulls: don't run each request through the engine alone — *coalesce*
+concurrent requests onto shared batch executions.  :class:`MicroBatcher`
+implements the classic micro-batching loop over asyncio:
+
+* every :meth:`MicroBatcher.submit` appends the request to the pending
+  lane of its coalescing key (here: one lane per scene/renderer pair),
+* a lane flushes when it reaches ``max_batch_size`` **or** when
+  ``max_wait`` seconds have passed since its first pending request —
+  the latency/throughput knob,
+* the flush hands the whole lane to ``run_batch`` on a worker thread
+  (the event loop never blocks on rendering) and distributes the
+  results to the per-request futures.
+
+Requests cancelled while still pending are dropped at flush time, so a
+cancelled client costs no engine work unless its batch already started.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BatchStats:
+    """Aggregate counters over every flushed batch.
+
+    Attributes
+    ----------
+    requests:
+        Submissions accepted.
+    batches:
+        Batch executions dispatched.
+    batched_items:
+        Items across all dispatched batches (``requests`` minus drops).
+    max_batch:
+        Largest single batch.
+    cancelled:
+        Requests dropped because they were cancelled while pending.
+    """
+
+    requests: int = 0
+    batches: int = 0
+    batched_items: int = 0
+    max_batch: int = 0
+    cancelled: int = 0
+
+    @property
+    def mean_batch(self) -> float:
+        """Average dispatched batch size."""
+        return self.batched_items / self.batches if self.batches else 0.0
+
+
+@dataclass
+class _Lane:
+    """One coalescing key's pending requests and its flush timer."""
+
+    items: "list[tuple[object, asyncio.Future]]" = field(default_factory=list)
+    timer: "asyncio.TimerHandle | None" = None
+
+
+class MicroBatcher:
+    """Coalesce concurrent ``submit`` calls into bounded batch executions.
+
+    Parameters
+    ----------
+    run_batch:
+        ``run_batch(key, items) -> list[result]`` executed on a worker
+        thread; must return one result per item, in order.
+    max_batch_size:
+        Flush a lane as soon as it holds this many requests.
+    max_wait:
+        Seconds a lane's first request may wait before the lane flushes
+        regardless of size (the tail-latency bound).
+    """
+
+    def __init__(
+        self,
+        run_batch,
+        *,
+        max_batch_size: int = 8,
+        max_wait: float = 0.002,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be positive")
+        if max_wait < 0:
+            raise ValueError("max_wait must be non-negative")
+        self._run_batch = run_batch
+        self.max_batch_size = max_batch_size
+        self.max_wait = max_wait
+        self._lanes: "dict[object, _Lane]" = {}
+        self._tasks: "set[asyncio.Task]" = set()
+        self.stats = BatchStats()
+
+    async def submit(self, key, item):
+        """Queue one request on ``key``'s lane; resolves with its result."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        lane = self._lanes.get(key)
+        if lane is None:
+            lane = self._lanes[key] = _Lane()
+        lane.items.append((item, future))
+        self.stats.requests += 1
+        if len(lane.items) >= self.max_batch_size:
+            self._flush(key)
+        elif lane.timer is None:
+            lane.timer = loop.call_later(self.max_wait, self._flush, key)
+        return await future
+
+    def _flush(self, key) -> None:
+        lane = self._lanes.pop(key, None)
+        if lane is None:
+            return
+        if lane.timer is not None:
+            lane.timer.cancel()
+        live = [(item, fut) for item, fut in lane.items if not fut.cancelled()]
+        self.stats.cancelled += len(lane.items) - len(live)
+        if not live:
+            return
+        self.stats.batches += 1
+        self.stats.batched_items += len(live)
+        self.stats.max_batch = max(self.stats.max_batch, len(live))
+        task = asyncio.get_running_loop().create_task(self._execute(key, live))
+        # The loop only holds weak references to tasks; pin it until done.
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _execute(self, key, live) -> None:
+        loop = asyncio.get_running_loop()
+        items = [item for item, _ in live]
+        try:
+            results = await loop.run_in_executor(
+                None, self._run_batch, key, items
+            )
+        except Exception as exc:  # propagate to every waiter
+            for _, future in live:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for (_, future), result in zip(live, results):
+            if not future.done():
+                future.set_result(result)
+
+    def flush_all(self) -> None:
+        """Flush every pending lane immediately (shutdown/drain path)."""
+        for key in list(self._lanes):
+            self._flush(key)
+
+    async def drain(self) -> None:
+        """Flush everything and wait for in-flight batches to finish."""
+        self.flush_all()
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)

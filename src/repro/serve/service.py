@@ -1,0 +1,307 @@
+"""The asyncio render service: streaming frames, shared everything.
+
+:class:`RenderService` is the serving front end over
+:class:`repro.engine.RenderEngine`:
+
+* **Requests** — :meth:`RenderService.render_frame` resolves one
+  ``(cloud, camera)`` view; :meth:`RenderService.stream_trajectory` is
+  an async generator streaming a whole trajectory's frames back in
+  order as they complete.
+* **Micro-batching** — concurrent requests on the same
+  ``(scene, renderer configuration)`` coalesce onto single engine batch
+  renders via :class:`repro.serve.scheduler.MicroBatcher`
+  (``max_batch_size`` / ``max_wait`` knobs).
+* **Deduplication** — identical in-flight views share one render
+  (waiters join the pending future), and a
+  :class:`repro.serve.render_cache.SharedRenderCache` serves views any
+  process already rendered, so under overlapping load the service
+  performs strictly fewer engine renders than it serves frames.
+* **Backpressure** — admission is bounded by ``max_pending``; a full
+  service queues callers instead of growing without bound, and
+  trajectory streams keep at most ``prefetch`` frames in flight.
+* **Cancellation** — cancelling a waiting request (or closing a stream
+  early) drops its pending work; an in-flight render is cancelled once
+  its *last* waiter disappears.
+
+Every served frame is bit-identical to a direct
+``RenderEngine.render`` of the same view — batching, caching and
+sharing change *when and where* a frame is rendered, never its bytes
+(the paper's losslessness guarantee extends through the serving layer).
+Served frames may be shared between waiters and processes, so treat
+images and stats as read-only.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass
+
+from repro.engine import RenderEngine
+from repro.experiments.shm_cache import cloud_fingerprint
+from repro.gaussians.camera import Camera
+from repro.gaussians.cloud import GaussianCloud
+from repro.raster.renderer import RenderResult
+from repro.serve.render_cache import SharedRenderCache, render_key
+from repro.serve.scheduler import MicroBatcher
+
+
+@dataclass
+class ServiceStats:
+    """Service-level counters (scheduler counters live in ``batch``).
+
+    Attributes
+    ----------
+    requests:
+        Frames requested (stream frames included).
+    streams:
+        Trajectory streams opened.
+    cache_hits:
+        Requests served from the shared render cache.
+    coalesced:
+        Requests that joined an identical in-flight render.
+    engine_renders:
+        Frames actually rendered by the engine on behalf of this
+        service — the number the batching/caching machinery minimises.
+    """
+
+    requests: int = 0
+    streams: int = 0
+    cache_hits: int = 0
+    coalesced: int = 0
+    engine_renders: int = 0
+
+
+class _Inflight:
+    """One pending render shared by every waiter that requested it."""
+
+    __slots__ = ("task", "waiters")
+
+    def __init__(self, task: asyncio.Task) -> None:
+        self.task = task
+        self.waiters = 0
+
+
+class RenderService:
+    """Async streaming render service over one renderer configuration.
+
+    Parameters
+    ----------
+    renderer:
+        Any :class:`repro.engine.protocol.Renderer`; requests are
+        coalesced per ``(scene, this renderer's configuration)``.
+    cache:
+        Optional :class:`SharedRenderCache`.  The service publishes
+        every render it performs and serves hits without touching the
+        engine; pass the same cache to several services / worker pools /
+        sweeps to render each view exactly once across all of them.  The
+        caller owns the cache's lifecycle.
+    max_batch_size, max_wait:
+        Micro-batching knobs (see :class:`MicroBatcher`): flush a
+        scene's pending requests at this size, or after this many
+        seconds, whichever comes first.
+    max_pending:
+        Admission bound — at most this many requests past the cache at
+        once; further callers wait (bounded-queue backpressure).
+    vectorized:
+        Forwarded to the underlying :class:`RenderEngine`.
+    """
+
+    def __init__(
+        self,
+        renderer,
+        *,
+        cache: "SharedRenderCache | None" = None,
+        max_batch_size: int = 8,
+        max_wait: float = 0.002,
+        max_pending: int = 32,
+        vectorized: bool = True,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be positive")
+        self.renderer = renderer
+        self.engine = RenderEngine(renderer, vectorized=vectorized)
+        self.cache = cache
+        self.max_pending = max_pending
+        self.stats = ServiceStats()
+        self._batcher = MicroBatcher(
+            self._render_batch, max_batch_size=max_batch_size, max_wait=max_wait
+        )
+        self._inflight: "dict[tuple, _Inflight]" = {}
+        self._sem: "asyncio.Semaphore | None" = None
+        self._sem_loop: "asyncio.AbstractEventLoop | None" = None
+        # Batches for different scenes may execute on different worker
+        # threads; counter updates need a real lock, not the GIL.
+        self._stats_lock = threading.Lock()
+
+    @property
+    def batch_stats(self):
+        """The scheduler's :class:`repro.serve.scheduler.BatchStats`."""
+        return self._batcher.stats
+
+    def stats_dict(self) -> "dict[str, float]":
+        """Service + scheduler counters flattened for reporting."""
+        batch = self._batcher.stats
+        return {
+            "requests": self.stats.requests,
+            "streams": self.stats.streams,
+            "cache_hits": self.stats.cache_hits,
+            "coalesced": self.stats.coalesced,
+            "engine_renders": self.stats.engine_renders,
+            "batches": batch.batches,
+            "mean_batch": round(batch.mean_batch, 2),
+            "max_batch": batch.max_batch,
+            "cancelled": batch.cancelled,
+        }
+
+    # -- internals ------------------------------------------------------
+    def _render_batch(self, key, items) -> "list[RenderResult]":
+        """Worker-thread batch execution: one engine batch per flush.
+
+        ``items`` all share the lane's scene; the whole lane renders
+        through a single ``render_trajectory`` call and each finished
+        frame is published to the shared cache before the results fan
+        back out to the waiters.
+        """
+        cloud = items[0][0]
+        cameras = [camera for _, camera in items]
+        trajectory = self.engine.render_trajectory(cloud, cameras)
+        with self._stats_lock:
+            self.stats.engine_renders += len(cameras)
+        if self.cache is not None:
+            for camera, result in zip(cameras, trajectory.results):
+                self.cache.put(cloud, camera, self.renderer, result)
+        return trajectory.results
+
+    def _admission(self) -> asyncio.Semaphore:
+        # Bound to the running loop lazily so one service instance can
+        # serve several consecutive asyncio.run() lifetimes (tests, CLI).
+        loop = asyncio.get_running_loop()
+        if self._sem is None or self._sem_loop is not loop:
+            self._sem = asyncio.Semaphore(self.max_pending)
+            self._sem_loop = loop
+        return self._sem
+
+    async def _render_uncached(
+        self, cloud: GaussianCloud, camera: Camera
+    ) -> RenderResult:
+        lane = cloud_fingerprint(cloud)
+        return await self._batcher.submit(lane, (cloud, camera))
+
+    # -- the request API ------------------------------------------------
+    async def render_frame(
+        self, cloud: GaussianCloud, camera: Camera
+    ) -> RenderResult:
+        """Resolve one view, bit-identical to ``RenderEngine.render``."""
+        self.stats.requests += 1
+        async with self._admission():
+            loop = asyncio.get_running_loop()
+            key = render_key(cloud, camera, self.renderer)
+            # In-flight dedup is checked before the cache: joining a
+            # pending render is correct regardless of cache state (the
+            # batch publishes before the future resolves), and it keeps
+            # the hot coalescing path free of cross-process cache IPC.
+            entry = self._inflight.get(key)
+            if entry is None and self.cache is not None:
+                hit = await loop.run_in_executor(
+                    None, self.cache.get, cloud, camera, self.renderer
+                )
+                if hit is not None:
+                    self.stats.cache_hits += 1
+                    return hit
+                # Another request may have started this view's render
+                # while we were on the executor hop.
+                entry = self._inflight.get(key)
+            if entry is None:
+                task = asyncio.ensure_future(
+                    self._render_uncached(cloud, camera)
+                )
+                entry = self._inflight[key] = _Inflight(task)
+                task.add_done_callback(
+                    lambda _t, _key=key: self._inflight.pop(_key, None)
+                )
+            else:
+                self.stats.coalesced += 1
+
+            entry.waiters += 1
+            try:
+                # Shield: one waiter's cancellation must not kill the
+                # render other waiters (or a stream) are still expecting.
+                return await asyncio.shield(entry.task)
+            except asyncio.CancelledError:
+                if entry.waiters == 1 and not entry.task.done():
+                    # Last waiter gone: drop the entry from the index
+                    # *synchronously* (not via the done callback) so a
+                    # request arriving before the task settles starts a
+                    # fresh render instead of joining a dying one and
+                    # inheriting its spurious CancelledError.
+                    if self._inflight.get(key) is entry:
+                        self._inflight.pop(key)
+                    entry.task.cancel()
+                raise
+            finally:
+                entry.waiters -= 1
+
+    async def stream_trajectory(
+        self,
+        cloud: GaussianCloud,
+        cameras: "list[Camera] | tuple[Camera, ...]",
+        *,
+        prefetch: "int | None" = None,
+    ):
+        """Stream a trajectory's frames in order, as they complete.
+
+        An async generator yielding ``(index, RenderResult)``.  At most
+        ``prefetch`` frames are in flight at once (default: twice the
+        batch size) — the consumer's pace is the stream's pace, which is
+        what bounds the service's queue under slow clients.  Closing the
+        generator early cancels every outstanding frame request.
+        """
+        cameras = list(cameras)
+        if prefetch is None:
+            prefetch = max(2 * self._batcher.max_batch_size, 1)
+        if prefetch < 1:
+            raise ValueError("prefetch must be positive")
+        self.stats.streams += 1
+
+        tasks: "dict[int, asyncio.Task]" = {}
+        next_submit = 0
+        try:
+            for index in range(len(cameras)):
+                while next_submit < len(cameras) and next_submit - index < prefetch:
+                    tasks[next_submit] = asyncio.ensure_future(
+                        self.render_frame(cloud, cameras[next_submit])
+                    )
+                    next_submit += 1
+                yield index, await tasks.pop(index)
+        finally:
+            for task in tasks.values():
+                task.cancel()
+            if tasks:
+                await asyncio.gather(*tasks.values(), return_exceptions=True)
+
+    async def render_trajectory(
+        self,
+        cloud: GaussianCloud,
+        cameras: "list[Camera] | tuple[Camera, ...]",
+        *,
+        prefetch: "int | None" = None,
+    ) -> "list[RenderResult]":
+        """Collect a whole streamed trajectory (convenience wrapper)."""
+        results: "list[RenderResult]" = []
+        async for _, result in self.stream_trajectory(
+            cloud, cameras, prefetch=prefetch
+        ):
+            results.append(result)
+        return results
+
+    # -- lifecycle ------------------------------------------------------
+    async def close(self) -> None:
+        """Flush pending batches and wait for in-flight work to settle."""
+        await self._batcher.drain()
+
+    async def __aenter__(self) -> "RenderService":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

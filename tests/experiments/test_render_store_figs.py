@@ -1,0 +1,94 @@
+"""The figure sweeps over a shared render store: rows unchanged.
+
+Satellite checks for the ``render_store`` wiring: the fig3/fig11/fig12/
+fig13 harnesses and ``run_multiview`` produce **identical rows** when
+their renders go through a :class:`SharedRenderCache`, and overlapping
+configurations across *separate* ``RenderCache`` instances (the
+situation of separately-launched sweep processes) are rendered once and
+served from the store afterwards.
+"""
+
+import pytest
+
+from repro.experiments.cache import RenderCache
+from repro.experiments.fig03 import run_fig3
+from repro.experiments.fig11 import run_fig11
+from repro.experiments.fig12 import run_fig12
+from repro.experiments.fig13 import run_fig13
+from repro.experiments.multiview import run_multiview
+from repro.serve.render_cache import SharedRenderCache
+
+#: Tiny sweep configuration: one scene, scaled-down resolution.
+SCALE = 0.05
+SCENES = ("train",)
+
+
+@pytest.fixture(scope="module")
+def store():
+    with SharedRenderCache() as cache:
+        yield cache
+
+
+def fresh_cache(store=None):
+    return RenderCache(resolution_scale=SCALE, seed=0, render_store=store)
+
+
+class TestRowsUnchanged:
+    def test_fig11_fig12_share_store_rows_unchanged(self, store):
+        reference11 = run_fig11(fresh_cache(), scenes=SCENES)
+        reference12 = run_fig12(fresh_cache(), scenes=SCENES)
+
+        # Fresh RenderCache per harness (as separate sweep processes
+        # would have), one shared store between them.
+        rows11 = run_fig11(fresh_cache(store), scenes=SCENES)
+        stores_after_11 = store.stats()["stores"]
+        rows12 = run_fig12(fresh_cache(store), scenes=SCENES)
+        stats = store.stats()
+
+        assert rows11 == reference11
+        assert rows12 == reference12
+
+        # fig11 rendered 1 baseline + 5 GS-TG configs per scene ...
+        assert stores_after_11 == 6 * len(SCENES)
+        # ... and fig12 reused fig11's overlap (baseline 16/ellipse and
+        # GS-TG 16+64 ellipse+ellipse) instead of re-rendering it.
+        assert stats["hits"] >= 2 * len(SCENES)
+        requested_configs = 6 * len(SCENES) + 12 * len(SCENES)
+        assert stats["stores"] < requested_configs
+
+    def test_fig3_fig13_rows_unchanged(self, store):
+        reference3 = run_fig3(fresh_cache(), scenes=SCENES, tile_sizes=(16, 32))
+        rows3 = run_fig3(fresh_cache(store), scenes=SCENES, tile_sizes=(16, 32))
+        assert rows3 == reference3
+
+        reference13 = run_fig13(fresh_cache(), scene=SCENES[0])
+        rows13 = run_fig13(fresh_cache(store), scene=SCENES[0])
+        assert rows13 == reference13
+
+        # A re-run with yet another fresh RenderCache is all hits.
+        before = store.stats()["stores"]
+        again = run_fig13(fresh_cache(store), scene=SCENES[0])
+        assert again == reference13
+        assert store.stats()["stores"] == before
+
+    def test_base_render_projected_once_per_scene(self):
+        """The ROADMAP item behind this wiring: one projection per scene
+        across every tile/group/boundary combo of a sweep."""
+        cache = fresh_cache()
+        run_fig11(cache, scenes=SCENES)
+        run_fig12(cache, scenes=SCENES)
+        assert len(cache._proj_cache) == len(SCENES)
+
+
+class TestMultiview:
+    def test_multiview_rows_unchanged_and_reused(self):
+        kwargs = dict(num_views=6, resolution_scale=SCALE, seed=0)
+        reference = run_multiview("train", **kwargs)
+        with SharedRenderCache() as store:
+            rows = run_multiview("train", render_store=store, **kwargs)
+            assert rows == reference
+            stores_after_first = store.stats()["stores"]
+            assert stores_after_first > 0
+            again = run_multiview("train", render_store=store, **kwargs)
+            assert again == reference
+            assert store.stats()["stores"] == stores_after_first

@@ -105,6 +105,85 @@ class TestRoundTrip:
         cache.close()  # idempotent
 
 
+class TestTeardownFallback:
+    """Segments must be unlinked even when close() is never reached."""
+
+    def test_gc_unlinks_segments(self, scene):
+        import gc
+
+        cloud, camera = scene
+        cache = SharedProjectionCache()
+        cache.projection(cloud, camera)
+        names = [entry[0] for entry in cache._index.values()]
+        assert names
+        del cache
+        gc.collect()
+        from multiprocessing import shared_memory
+
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_abnormal_exit_unlinks_segments(self, tmp_path):
+        """A process that dies on an uncaught exception mid-render (no
+        close(), no context manager) must still unlink its segments via
+        the finalize/atexit fallback."""
+        import subprocess
+        import sys
+
+        script = tmp_path / "crash.py"
+        script.write_text(
+            "import numpy as np\n"
+            "from repro.experiments.shm_cache import SharedProjectionCache\n"
+            "from repro.gaussians.camera import Camera\n"
+            "from tests.conftest import make_cloud\n"
+            "cloud = make_cloud(10, np.random.default_rng(0))\n"
+            "camera = Camera(width=48, height=32, fx=40.0, fy=40.0)\n"
+            "cache = SharedProjectionCache()\n"
+            "cache.projection(cloud, camera)\n"
+            "print([e[0] for e in cache._index.values()], flush=True)\n"
+            "raise RuntimeError('worker crashed mid-render')\n"
+        )
+        import os
+
+        env = dict(os.environ)
+        repo_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        env["PYTHONPATH"] = os.pathsep.join(
+            p
+            for p in (
+                os.path.join(repo_root, "src"),
+                repo_root,
+                env.get("PYTHONPATH", ""),
+            )
+            if p
+        )
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+        )
+        assert proc.returncode != 0  # it really did crash
+        names = eval(proc.stdout.strip().splitlines()[-1])
+        assert names
+        from multiprocessing import shared_memory
+
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_close_after_finalize_is_noop(self, scene):
+        cloud, camera = scene
+        cache = SharedProjectionCache()
+        cache.projection(cloud, camera)
+        cache._finalizer()  # simulate the gc/exit path firing first
+        cache.close()  # must not raise
+        cache.close()
+
+
 class TestCrossProcess:
     def test_workers_reuse_projections(self, scene):
         """A second trajectory over the same views re-projects nothing:

@@ -4,17 +4,22 @@ import numpy as np
 import pytest
 
 from repro.core.grouping import GroupGeometry
+from repro.core.hierarchical import HierarchicalGSTGRenderer
 from repro.core.pipeline import GSTGRenderer
 from repro.gaussians.camera import Camera
 from repro.hardware.config import GSTG_CONFIG
 from repro.hardware.pipeline_sim import (
+    _HIER_GROUP_PAIR_BYTES,
+    _HIER_SUPER_PAIR_BYTES,
     PipelineReport,
     _schedule,
     _schedule_reference,
     simulate_baseline_pipelined,
     simulate_gstg_pipelined,
+    simulate_hierarchical_pipelined,
 )
-from repro.raster.renderer import BaselineRenderer
+from repro.raster.renderer import BaselineRenderer, RenderResult
+from repro.raster.sorting import sort_comparison_count
 from repro.tiles.boundary import BoundaryMethod
 from tests.conftest import make_cloud
 
@@ -149,6 +154,138 @@ class TestVectorizedEquivalence:
     def test_schedule_accepts_arrays(self):
         units = [[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]]
         assert _schedule(np.asarray(units), 2) == _schedule_reference(units, 2)
+
+
+@pytest.fixture(scope="module")
+def hier_rendered():
+    rng = np.random.default_rng(7)
+    camera = Camera(width=256, height=192, fx=220.0, fy=220.0)
+    cloud = make_cloud(300, rng, spread=4.0)
+    renderer = HierarchicalGSTGRenderer(16, 32, 64, BoundaryMethod.ELLIPSE)
+    result = renderer.render(cloud, camera)
+    tile_geometry = GroupGeometry(camera.width, camera.height, 16, 32)
+    super_geometry = GroupGeometry(camera.width, camera.height, 32, 64)
+    return tile_geometry, super_geometry, result
+
+
+class TestHierarchicalSimulation:
+    def test_report_shape(self, hier_rendered):
+        tile_geometry, super_geometry, result = hier_rendered
+        report = simulate_hierarchical_pipelined(
+            result, tile_geometry, super_geometry
+        )
+        assert report.cycles > 0
+        assert set(report.stage_busy_cycles) == {"fetch", "sort", "rm"}
+        assert report.name.endswith("hierarchical-pipelined")
+        # One unit per active supergroup, never more than the grid has.
+        assert 0 < report.num_units <= super_geometry.group_grid.num_tiles
+        for stage in ("fetch", "sort", "rm"):
+            assert 0.0 <= report.utilization(stage) <= 1.0
+
+    def test_overlap_never_slower(self, hier_rendered):
+        tile_geometry, super_geometry, result = hier_rendered
+        overlapped = simulate_hierarchical_pipelined(
+            result, tile_geometry, super_geometry, overlap_bitmask=True
+        )
+        sequential = simulate_hierarchical_pipelined(
+            result, tile_geometry, super_geometry, overlap_bitmask=False
+        )
+        assert overlapped.cycles <= sequential.cycles * 1.0001
+
+    @pytest.mark.parametrize("overlap", [True, False])
+    @pytest.mark.parametrize("ru_per_tile", [True, False])
+    def test_vectorized_identical_to_reference(
+        self, hier_rendered, overlap, ru_per_tile
+    ):
+        tile_geometry, super_geometry, result = hier_rendered
+        fast = simulate_hierarchical_pipelined(
+            result, tile_geometry, super_geometry,
+            overlap_bitmask=overlap, ru_per_tile=ru_per_tile,
+        )
+        reference = simulate_hierarchical_pipelined(
+            result, tile_geometry, super_geometry,
+            overlap_bitmask=overlap, ru_per_tile=ru_per_tile,
+            vectorized=False,
+        )
+        assert fast.cycles == reference.cycles
+        assert fast.stage_busy_cycles == reference.stage_busy_cycles
+        assert fast.num_units == reference.num_units
+
+    def test_hand_computed_single_supergroup(self):
+        """Cycle identity on a hand-checkable case: a 64x64 frame has
+        exactly one 64x64 supergroup, so the drain time is the plain sum
+        fetch + sort + rm of stage costs computed by hand from the
+        frame's measured counts."""
+        rng = np.random.default_rng(13)
+        camera = Camera(width=64, height=64, fx=60.0, fy=60.0)
+        cloud = make_cloud(40, rng, spread=2.0)
+        renderer = HierarchicalGSTGRenderer(16, 32, 64, BoundaryMethod.ELLIPSE)
+        result = renderer.render(cloud, camera)
+        tile_geometry = GroupGeometry(64, 64, 16, 32)
+        super_geometry = GroupGeometry(64, 64, 32, 64)
+        config = GSTG_CONFIG
+
+        report = simulate_hierarchical_pipelined(
+            result, tile_geometry, super_geometry, config
+        )
+        assert report.num_units == 1
+
+        # Hand-derived counts: n supergroup pairs straight from the
+        # assignment; m expanded (Gaussian, group) pairs = set bits of
+        # the group-level masks, which the renderer already counted as
+        # second-level bitmask emissions (num_bitmasks - n).
+        n = result.assignment.num_pairs
+        m = result.stats.num_bitmasks - n
+        assert m > 0
+        alpha_total = sum(result.stats.per_tile_alpha.values())
+        alpha_max = max(result.stats.per_tile_alpha.values())
+
+        fetch = (
+            n * _HIER_SUPER_PAIR_BYTES + m * _HIER_GROUP_PAIR_BYTES
+        ) / config.bytes_per_cycle
+        # Both levels have 4 slots (32/16 and 64/32 are 2x2).
+        test_cost = config.test_cycles["ellipse"]
+        bgm = (n * 4 + m * 4) * test_cost / config.bitmask_tile_checkers
+        gsm = sort_comparison_count(n) / config.sort_comparators
+        filt = (n * 4 + m * 4) / config.filter_width
+        rm = max(alpha_total / config.raster_units, filt)
+
+        assert report.cycles == pytest.approx(
+            fetch + max(bgm, gsm) + rm, rel=0, abs=0
+        )
+        assert report.stage_busy_cycles == {
+            "fetch": fetch, "sort": max(bgm, gsm), "rm": rm,
+        }
+
+        sequential = simulate_hierarchical_pipelined(
+            result, tile_geometry, super_geometry, config,
+            overlap_bitmask=False,
+        )
+        assert sequential.cycles == fetch + (bgm + gsm) + rm
+
+        static_ru = simulate_hierarchical_pipelined(
+            result, tile_geometry, super_geometry, config, ru_per_tile=True
+        )
+        assert static_ru.stage_busy_cycles["rm"] == max(float(alpha_max), filt)
+
+    def test_rejects_projectionless_result(self, hier_rendered):
+        tile_geometry, super_geometry, result = hier_rendered
+        stripped = RenderResult(
+            image=result.image, stats=result.stats,
+            projected=None, assignment=result.assignment,
+        )
+        with pytest.raises(ValueError, match="projected"):
+            simulate_hierarchical_pipelined(
+                stripped, tile_geometry, super_geometry
+            )
+
+    def test_rejects_mismatched_geometries(self, hier_rendered):
+        tile_geometry, super_geometry, result = hier_rendered
+        wrong = GroupGeometry(
+            tile_geometry.width, tile_geometry.height, 16, 64
+        )
+        with pytest.raises(ValueError, match="super_geometry"):
+            simulate_hierarchical_pipelined(result, wrong, super_geometry)
 
 
 class TestReportConstruction:

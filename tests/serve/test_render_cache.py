@@ -1,0 +1,179 @@
+"""Tests for the shared-memory render cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import GSTGRenderer
+from repro.engine import RenderEngine
+from repro.gaussians.camera import Camera
+from repro.raster.renderer import BaselineRenderer
+from repro.serve.render_cache import SharedRenderCache, renderer_key
+from repro.tiles.boundary import BoundaryMethod
+from tests.conftest import make_cloud
+
+
+@pytest.fixture
+def scene():
+    rng = np.random.default_rng(17)
+    camera = Camera(width=96, height=64, fx=90.0, fy=90.0)
+    return make_cloud(40, rng), camera
+
+
+@pytest.fixture
+def renderer():
+    return GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE)
+
+
+class TestRendererKey:
+    def test_equal_configs_share_keys(self):
+        a = GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE)
+        b = GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE)
+        assert renderer_key(a) == renderer_key(b)
+
+    def test_different_configs_differ(self):
+        base = GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE)
+        for other in (
+            GSTGRenderer(16, 32, BoundaryMethod.ELLIPSE),
+            GSTGRenderer(16, 64, BoundaryMethod.AABB),
+            GSTGRenderer(8, 64, BoundaryMethod.ELLIPSE),
+            GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE, BoundaryMethod.AABB),
+            BaselineRenderer(16, BoundaryMethod.ELLIPSE),
+        ):
+            assert renderer_key(base) != renderer_key(other)
+
+    def test_key_is_hashable(self, renderer):
+        hash(renderer_key(renderer))
+
+
+class TestRoundTrip:
+    def test_frame_and_stats_bit_identical(self, scene, renderer):
+        cloud, camera = scene
+        reference = renderer.render(cloud, camera)
+        with SharedRenderCache() as cache:
+            assert cache.get(cloud, camera, renderer) is None
+            cache.put(cloud, camera, renderer, reference)
+            loaded = cache.get(cloud, camera, renderer)
+            assert loaded is not None
+            assert np.array_equal(loaded.image, reference.image)
+            assert loaded.image.dtype == reference.image.dtype
+            assert loaded.stats == reference.stats
+            assert loaded.projected is None and loaded.assignment is None
+
+    def test_loaded_image_read_only(self, scene, renderer):
+        cloud, camera = scene
+        with SharedRenderCache() as cache:
+            cache.put(cloud, camera, renderer, renderer.render(cloud, camera))
+            loaded = cache.get(cloud, camera, renderer)
+            with pytest.raises(ValueError):
+                loaded.image[0, 0, 0] = 1.0
+
+    def test_render_helper_hits_second_time(self, scene, renderer):
+        cloud, camera = scene
+        engine = RenderEngine(renderer)
+        with SharedRenderCache() as cache:
+            first = cache.render(engine, cloud, camera)
+            second = cache.render(engine, cloud, camera)
+            assert np.array_equal(first.image, second.image)
+            stats = cache.stats()
+            assert stats["hits"] == 1
+            assert stats["misses"] == 1
+            assert stats["stores"] == 1
+
+    def test_distinct_renderers_distinct_entries(self, scene):
+        cloud, camera = scene
+        a = GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE)
+        b = BaselineRenderer(16, BoundaryMethod.ELLIPSE)
+        with SharedRenderCache() as cache:
+            cache.put(cloud, camera, a, a.render(cloud, camera))
+            assert cache.get(cloud, camera, b) is None
+            cache.put(cloud, camera, b, b.render(cloud, camera))
+            assert len(cache) == 2
+            hit = cache.get(cloud, camera, a)
+            ref = a.render(cloud, camera)
+            assert np.array_equal(hit.image, ref.image)
+
+    def test_eviction_bounds_entries(self, scene, renderer):
+        cloud, _ = scene
+        with SharedRenderCache(max_entries=2) as cache:
+            for focal in (60.0, 70.0, 80.0):
+                camera = Camera(width=96, height=64, fx=focal, fy=focal)
+                cache.put(cloud, camera, renderer, renderer.render(cloud, camera))
+            assert len(cache) == 2
+
+
+class TestLifecycle:
+    def test_close_unlinks_segments(self, scene, renderer):
+        from multiprocessing import shared_memory
+
+        cloud, camera = scene
+        cache = SharedRenderCache()
+        cache.put(cloud, camera, renderer, renderer.render(cloud, camera))
+        names = [entry[0] for entry in cache._index.values()]
+        assert names
+        cache.close()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        cache.close()  # idempotent
+
+    def test_gc_fallback_unlinks_segments(self, scene, renderer):
+        import gc
+        from multiprocessing import shared_memory
+
+        cloud, camera = scene
+        cache = SharedRenderCache()
+        cache.put(cloud, camera, renderer, renderer.render(cloud, camera))
+        names = [entry[0] for entry in cache._index.values()]
+        del cache
+        gc.collect()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+
+class TestEngineIntegration:
+    def test_render_trajectory_store_serial(self, scene, renderer):
+        cloud, _ = scene
+        cameras = [
+            Camera(width=96, height=64, fx=85.0 + i, fy=85.0 + i)
+            for i in range(3)
+        ]
+        reference = RenderEngine(renderer).render_trajectory(cloud, cameras)
+        with SharedRenderCache() as store:
+            engine = RenderEngine(renderer)
+            first = engine.render_trajectory(cloud, cameras, render_store=store)
+            assert store.stats()["stores"] == len(cameras)
+            second = engine.render_trajectory(cloud, cameras, render_store=store)
+            assert store.stats()["stores"] == len(cameras)  # nothing re-rendered
+            assert store.stats()["hits"] >= len(cameras)
+        for result, ref in zip(first.results, reference.results):
+            assert np.array_equal(result.image, ref.image)
+            assert result.stats == ref.stats
+        for result, ref in zip(second.results, reference.results):
+            assert np.array_equal(result.image, ref.image)
+            assert result.stats == ref.stats
+        assert second.stats == reference.stats
+
+    def test_render_trajectory_store_process_workers(self, scene, renderer):
+        """The store pickles into pool workers; a second pool re-renders
+        nothing and still returns bit-identical frames."""
+        cloud, _ = scene
+        cameras = [
+            Camera(width=96, height=64, fx=85.0 + i, fy=85.0 + i)
+            for i in range(4)
+        ]
+        reference = RenderEngine(renderer).render_trajectory(cloud, cameras)
+        with SharedRenderCache() as store:
+            engine = RenderEngine(renderer)
+            engine.render_trajectory(
+                cloud, cameras, workers=2, render_store=store
+            )
+            stores_after_first = store.stats()["stores"]
+            assert stores_after_first == len(cameras)
+            second = engine.render_trajectory(
+                cloud, cameras, workers=2, render_store=store
+            )
+            assert store.stats()["stores"] == stores_after_first
+        for result, ref in zip(second.results, reference.results):
+            assert np.array_equal(result.image, ref.image)
+            assert result.stats == ref.stats

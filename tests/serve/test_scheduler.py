@@ -1,0 +1,153 @@
+"""Tests for the micro-batching scheduler.
+
+Plain ``asyncio.run`` drivers (no async test plugin required), so the
+tier-1 suite runs these everywhere the repo's base dependencies do.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.serve.scheduler import MicroBatcher
+
+
+def make_recorder():
+    batches = []
+    lock = threading.Lock()
+
+    def run_batch(key, items):
+        with lock:
+            batches.append((key, list(items)))
+        return [(key, item) for item in items]
+
+    return batches, run_batch
+
+
+class TestBatching:
+    def test_full_batch_flushes_at_size(self):
+        batches, run_batch = make_recorder()
+
+        async def main():
+            batcher = MicroBatcher(run_batch, max_batch_size=4, max_wait=60.0)
+            results = await asyncio.gather(
+                *(batcher.submit("lane", i) for i in range(8))
+            )
+            await batcher.drain()
+            return results
+
+        results = asyncio.run(main())
+        assert results == [("lane", i) for i in range(8)]
+        # max_wait is effectively infinite: only size-triggered flushes.
+        assert [len(items) for _, items in batches] == [4, 4]
+
+    def test_timer_flushes_partial_batch(self):
+        batches, run_batch = make_recorder()
+
+        async def main():
+            batcher = MicroBatcher(run_batch, max_batch_size=100, max_wait=0.01)
+            return await asyncio.gather(
+                *(batcher.submit("lane", i) for i in range(3))
+            )
+
+        results = asyncio.run(main())
+        assert results == [("lane", i) for i in range(3)]
+        assert [len(items) for _, items in batches] == [3]
+
+    def test_lanes_do_not_mix(self):
+        batches, run_batch = make_recorder()
+
+        async def main():
+            batcher = MicroBatcher(run_batch, max_batch_size=2, max_wait=0.01)
+            return await asyncio.gather(
+                batcher.submit("a", 1),
+                batcher.submit("b", 2),
+                batcher.submit("a", 3),
+                batcher.submit("b", 4),
+            )
+
+        results = asyncio.run(main())
+        assert results == [("a", 1), ("b", 2), ("a", 3), ("b", 4)]
+        for key, items in batches:
+            assert all(isinstance(i, int) for i in items)
+        assert sorted(key for key, _ in batches) == ["a", "b"]
+
+    def test_stats_accounting(self):
+        _, run_batch = make_recorder()
+
+        async def main():
+            batcher = MicroBatcher(run_batch, max_batch_size=2, max_wait=0.01)
+            await asyncio.gather(*(batcher.submit("lane", i) for i in range(5)))
+            await batcher.drain()
+            return batcher.stats
+
+        stats = asyncio.run(main())
+        assert stats.requests == 5
+        assert stats.batched_items == 5
+        assert stats.batches == 3  # 2 + 2 + timer-flushed 1
+        assert stats.max_batch == 2
+        assert stats.mean_batch == pytest.approx(5 / 3)
+
+
+class TestCancellation:
+    def test_cancelled_requests_drop_before_flush(self):
+        batches, run_batch = make_recorder()
+
+        async def main():
+            batcher = MicroBatcher(run_batch, max_batch_size=100, max_wait=0.05)
+            keep = asyncio.ensure_future(batcher.submit("lane", "keep"))
+            drop = asyncio.ensure_future(batcher.submit("lane", "drop"))
+            await asyncio.sleep(0)  # both pending, not yet flushed
+            drop.cancel()
+            result = await keep
+            with pytest.raises(asyncio.CancelledError):
+                await drop
+            await batcher.drain()
+            return result, batcher.stats
+
+        result, stats = asyncio.run(main())
+        assert result == ("lane", "keep")
+        assert stats.cancelled == 1
+        assert [items for _, items in batches] == [["keep"]]
+
+    def test_all_cancelled_lane_runs_nothing(self):
+        batches, run_batch = make_recorder()
+
+        async def main():
+            batcher = MicroBatcher(run_batch, max_batch_size=100, max_wait=0.02)
+            futures = [
+                asyncio.ensure_future(batcher.submit("lane", i)) for i in range(3)
+            ]
+            await asyncio.sleep(0)
+            for future in futures:
+                future.cancel()
+            await asyncio.sleep(0.05)  # let the timer fire
+            await batcher.drain()
+
+        asyncio.run(main())
+        assert batches == []
+
+
+class TestErrors:
+    def test_batch_exception_propagates_to_all_waiters(self):
+        def run_batch(key, items):
+            raise RuntimeError("engine exploded")
+
+        async def main():
+            batcher = MicroBatcher(run_batch, max_batch_size=2, max_wait=0.01)
+            results = await asyncio.gather(
+                batcher.submit("lane", 1),
+                batcher.submit("lane", 2),
+                return_exceptions=True,
+            )
+            await batcher.drain()
+            return results
+
+        results = asyncio.run(main())
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda k, i: i, max_batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda k, i: i, max_wait=-1.0)

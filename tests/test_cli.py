@@ -68,3 +68,39 @@ class TestCommands:
         main(["render", "--scene", "truck", "--scale", "0.05", "--out", a])
         main(["render", "--scene", "truck", "--scale", "0.05", "--out", b])
         assert np.array_equal(read_ppm(a), read_ppm(b))
+
+
+class TestServe:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.clients == 4
+        assert args.batch_size == 8
+        assert args.max_wait_ms == 2.0
+        assert not args.verify
+
+    def test_serve_verified_smoke(self, capsys):
+        """The CI smoke invocation: 4 clients stream an 8-frame
+        trajectory; frames must be bit-identical to direct renders and
+        the engine must render strictly fewer frames than it serves."""
+        code = main(
+            [
+                "serve", "--scene", "playroom", "--scale", "0.05",
+                "--views", "8", "--clients", "4", "--verify",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verified: all 32 streamed frames bit-identical" in out
+        assert "engine renders:" in out
+
+    def test_serve_without_cache(self, capsys):
+        code = main(
+            [
+                "serve", "--scene", "playroom", "--scale", "0.05",
+                "--views", "4", "--clients", "2", "--no-render-cache",
+                "--verify",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verified" in out
