@@ -1,11 +1,13 @@
 """Performance trajectory report: time the sweep-critical paths.
 
-Measures the four hot paths this repo's performance work targets —
+Measures the five hot paths this repo's performance work targets —
 the batch-engine trajectory, the vectorized hierarchical render, the
-array-based pipeline-simulation sweep, and the async serving layer
-under concurrent overlapping load — each against its retained seed
+array-based pipeline-simulation sweep, the async serving layer under
+concurrent overlapping load, and the network gateway serving the same
+load over real localhost TCP sockets — each against its retained seed
 (naive / pure-Python) implementation, and records the results in
-``BENCH_core.json``:
+``BENCH_core.json`` (every metric is documented in
+``docs/benchmarks.md``)::
 
     {"meta": {...workload...},
      "entries": [{"name": ..., "wall_s": ..., "speedup_vs_seed": ...}]}
@@ -43,6 +45,8 @@ from repro.raster.renderer import BaselineRenderer
 from repro.scenes.synthetic import load_scene
 from repro.scenes.trajectory import orbit_cameras
 from repro.serve import (
+    AsyncGatewayClient,
+    RenderGateway,
     RenderService,
     SharedRenderCache,
     naive_render_seconds,
@@ -155,6 +159,55 @@ def measure_serve_throughput(
     return seed_s, fast_s
 
 
+def measure_gateway_throughput(
+    scene, cameras, clients: int
+) -> "tuple[float, float]":
+    """(seed_s, fast_s): naive per-request rendering vs the *network*
+    gateway — ``clients`` concurrent connections each streaming the same
+    trajectory over a real localhost TCP socket.
+
+    Everything the in-process ``serve_throughput`` measurement pays for
+    plus the full wire cost: protocol framing, scene push, image bytes
+    over loopback, client-side decoding.  Like ``serve_throughput``,
+    each timed run starts from a fresh render cache.
+    """
+    renderer = GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE)
+    trajectories = [list(cameras) for _ in range(clients)]
+
+    def run_gateway() -> None:
+        async def drive() -> None:
+            with SharedRenderCache() as cache:
+                async with RenderService(
+                    renderer, cache=cache, max_batch_size=8, max_wait=0.002
+                ) as service:
+                    gateway = RenderGateway(service)
+                    await gateway.start()
+                    connections = [
+                        await AsyncGatewayClient.connect(
+                            "127.0.0.1", gateway.tcp_port
+                        )
+                        for _ in range(clients)
+                    ]
+                    try:
+                        report = await run_clients(
+                            connections, scene.cloud, trajectories
+                        )
+                        assert report.service["engine_renders"] < report.frames
+                    finally:
+                        for connection in connections:
+                            await connection.close()
+                        await gateway.close()
+
+        asyncio.run(drive())
+
+    run_gateway()  # warm
+    seed_s = best_of(
+        lambda: naive_render_seconds(renderer, scene.cloud, trajectories)
+    )
+    fast_s = best_of(run_gateway)
+    return seed_s, fast_s
+
+
 def build_report(
     scene_name: str,
     scale: float,
@@ -187,6 +240,10 @@ def build_report(
         ("hierarchical_render", measure_hierarchical_render(scene)),
         ("pipeline_sim_sweep", measure_pipeline_sim_sweep(sim_scene, sim_rounds)),
         ("serve_throughput", measure_serve_throughput(scene, cameras, clients)),
+        (
+            "gateway_throughput",
+            measure_gateway_throughput(scene, cameras, clients),
+        ),
     ):
         entries.append(
             {

@@ -15,6 +15,7 @@ import os
 import pytest
 
 from benchmarks.bench_report import (
+    measure_gateway_throughput,
     measure_hierarchical_render,
     measure_pipeline_sim_sweep,
     measure_serve_throughput,
@@ -26,6 +27,7 @@ from repro.scenes.trajectory import orbit_cameras
 HIERARCHICAL_MIN_SPEEDUP = float(os.environ.get("HIERARCHICAL_MIN_SPEEDUP", "2.0"))
 PIPELINE_SIM_MIN_SPEEDUP = float(os.environ.get("PIPELINE_SIM_MIN_SPEEDUP", "2.0"))
 SERVE_MIN_SPEEDUP = float(os.environ.get("SERVE_MIN_SPEEDUP", "2.0"))
+GATEWAY_MIN_SPEEDUP = float(os.environ.get("GATEWAY_MIN_SPEEDUP", "2.0"))
 
 #: Concurrent clients / orbit views for the serving measurement.
 SERVE_CLIENTS = 4
@@ -92,4 +94,25 @@ def test_serve_throughput_speedup(emit, render_scene):
     assert speedup >= SERVE_MIN_SPEEDUP, (
         f"serve throughput speedup {speedup:.2f}x below the "
         f"{SERVE_MIN_SPEEDUP}x floor"
+    )
+
+
+def test_gateway_throughput_speedup(emit, render_scene):
+    """The tentpole acceptance floor: >= 2x over naive per-request
+    rendering with every frame crossing a real localhost TCP socket."""
+    cameras = orbit_cameras(render_scene, SERVE_VIEWS)
+    seed_s, fast_s = measure_gateway_throughput(
+        render_scene, cameras, SERVE_CLIENTS
+    )
+    speedup = seed_s / fast_s
+    emit(
+        f"gateway throughput — {SERVE_CLIENTS} TCP clients x {SERVE_VIEWS} "
+        f"overlapping views, "
+        f"{render_scene.camera.width}x{render_scene.camera.height}",
+        f"  naive per-request: {seed_s:.3f}s   gateway: {fast_s:.3f}s   "
+        f"speedup: {speedup:.2f}x",
+    )
+    assert speedup >= GATEWAY_MIN_SPEEDUP, (
+        f"gateway throughput speedup {speedup:.2f}x below the "
+        f"{GATEWAY_MIN_SPEEDUP}x floor"
     )

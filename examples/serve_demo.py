@@ -18,9 +18,13 @@ import asyncio
 import numpy as np
 
 from repro import GSTGRenderer, load_scene
-from repro.engine import RenderEngine
 from repro.scenes.trajectory import orbit_cameras
-from repro.serve import RenderService, SharedRenderCache, run_clients
+from repro.serve import (
+    RenderService,
+    SharedRenderCache,
+    run_clients,
+    verify_streamed_images,
+)
 from repro.tiles.boundary import BoundaryMethod
 
 NUM_VIEWS = 8
@@ -60,12 +64,12 @@ def main() -> None:
         )
         assert stats["engine_renders"] < report.frames
 
-        # The serving guarantee: streamed == direct, bit for bit.
-        engine = RenderEngine(renderer)
-        for index, camera in enumerate(orbit):
-            direct = engine.render(scene.cloud, camera)
-            for client_images in report.images:
-                assert np.array_equal(client_images[index], direct.image)
+        # The serving guarantee: streamed == direct, bit for bit —
+        # checked by the same helper the CLI's --verify and CI use.
+        failures = verify_streamed_images(
+            renderer, scene.cloud, orbit, report.images
+        )
+        assert not failures, failures
         print(
             f"  verified: all {report.frames} streamed frames bit-identical "
             "to direct renders"

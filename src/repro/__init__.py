@@ -16,7 +16,12 @@ Redundant Sorting while Preserving Rasterization Efficiency" (DAC 2025):
 * ``repro.scenes``    -- Table II dataset registry and synthetic scenes,
 * ``repro.analysis``  -- profiling statistics and the GPU timing model,
 * ``repro.hardware``  -- the cycle-level accelerator simulator, the GSCore
-  comparator model, DRAM and energy models.
+  comparator model, DRAM and energy models,
+* ``repro.serve``     -- the serving stack: async streaming render
+  service, micro-batching with adaptive sizing, cross-process render
+  cache, and the TCP/HTTP network gateway.
+
+``docs/architecture.md`` maps how the layers fit together.
 """
 
 from repro.core import GSTGRenderer

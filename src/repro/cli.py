@@ -18,7 +18,13 @@ other's projections.  ``serve`` starts the asyncio streaming render
 service (:mod:`repro.serve`) and drives it with concurrent
 trajectory-streaming clients — the built-in load generator — reporting
 throughput and the micro-batching/caching counters; ``--verify`` checks
-every streamed frame bit-for-bit against direct engine renders.
+every streamed frame bit-for-bit against direct engine renders.  With
+``--tcp`` the same load runs through the network gateway over a real
+localhost socket (``--http`` adds the curl-able HTTP adapter,
+``--listen`` serves until interrupted instead of generating load,
+``--adaptive`` retunes the batching knobs against ``--target-ms``, and
+``--batch-workers N`` renders each flushed batch across a worker pool).
+See ``docs/serving.md``.
 """
 
 from __future__ import annotations
@@ -176,44 +182,32 @@ def _cmd_trajectory(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    import asyncio
+def _make_service(args: argparse.Namespace, cache):
+    """Build the :class:`RenderService` the ``serve`` subcommand drives."""
+    from repro.serve import AdaptiveBatchPolicy, RenderService
 
-    from repro.scenes.trajectory import orbit_cameras
-    from repro.serve import (
-        RenderService,
-        SharedRenderCache,
-        naive_render_seconds,
-        run_clients,
+    policy = (
+        AdaptiveBatchPolicy(
+            target_p95=args.target_ms / 1e3, window=args.policy_window
+        )
+        if args.adaptive
+        else None
+    )
+    return RenderService(
+        _make_renderer(args),
+        cache=cache,
+        max_batch_size=args.batch_size,
+        max_wait=args.max_wait_ms / 1e3,
+        max_pending=args.max_pending,
+        vectorized=not args.no_engine,
+        batch_workers=args.batch_workers,
+        batch_executor=args.batch_executor,
+        policy=policy,
     )
 
-    scene = load_scene(args.scene, resolution_scale=args.scale, seed=args.seed)
-    orbit = list(orbit_cameras(scene, args.views))
-    # Every client streams the same orbit — the overlapping-load shape
-    # the serving layer exists for (viewers watching the same scene).
-    trajectories = [list(orbit) for _ in range(args.clients)]
-    renderer = _make_renderer(args)
-    cache = None if args.no_render_cache else SharedRenderCache()
 
-    async def drive() -> "tuple":
-        async with RenderService(
-            renderer,
-            cache=cache,
-            max_batch_size=args.batch_size,
-            max_wait=args.max_wait_ms / 1e3,
-            max_pending=args.max_pending,
-            vectorized=not args.no_engine,
-        ) as service:
-            return await run_clients(
-                service, scene.cloud, trajectories, keep_images=args.verify
-            )
-
-    try:
-        report = asyncio.run(drive())
-    finally:
-        if cache is not None:
-            cache.close()
-
+def _print_serve_report(args: argparse.Namespace, scene, report) -> None:
+    """The load-generator summary shared by both serve transports."""
     stats = report.service
     print(
         f"served {report.frames} frames of {args.scene} "
@@ -230,6 +224,124 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"batches: {stats['batches']} (mean {stats['mean_batch']}, "
         f"max {stats['max_batch']}), cancelled: {stats['cancelled']}"
     )
+    if args.adaptive:
+        print(
+            f"adaptive: {stats.get('adaptations', 0)} adaptations -> "
+            f"batch_size {stats['batch_size']}, "
+            f"max_wait {1e3 * stats['max_wait']:.2f}ms"
+        )
+
+
+def _verify_serve_report(args: argparse.Namespace, scene, orbit, report) -> int:
+    """``--verify``: the shared bit-identical check + the sharing check."""
+    from repro.serve import verify_streamed_images
+
+    failures = verify_streamed_images(
+        _make_renderer(args),
+        scene.cloud,
+        orbit,
+        report.images,
+        vectorized=not args.no_engine,
+    )
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        return 1
+    print(
+        f"verified: all {report.frames} streamed frames bit-identical "
+        "to direct engine renders"
+    )
+    # The strictly-fewer-renders property only holds when the load
+    # overlaps; a single client's distinct views have nothing to
+    # coalesce.
+    if args.clients > 1 and report.service["engine_renders"] >= report.frames:
+        print(
+            "FAIL: expected strictly fewer engine renders than served "
+            "frames under overlapping load"
+        )
+        return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.scenes.trajectory import orbit_cameras
+    from repro.serve import (
+        AsyncGatewayClient,
+        RenderGateway,
+        SharedRenderCache,
+        naive_render_seconds,
+        run_clients,
+    )
+
+    use_gateway = args.tcp or args.http or args.listen
+    scene = load_scene(args.scene, resolution_scale=args.scale, seed=args.seed)
+    orbit = list(orbit_cameras(scene, args.views))
+    # Every client streams the same orbit — the overlapping-load shape
+    # the serving layer exists for (viewers watching the same scene).
+    trajectories = [list(orbit) for _ in range(args.clients)]
+    renderer = _make_renderer(args)
+    cache = None if args.no_render_cache else SharedRenderCache()
+
+    async def drive_inprocess():
+        async with _make_service(args, cache) as service:
+            return await run_clients(
+                service, scene.cloud, trajectories, keep_images=args.verify
+            )
+
+    async def drive_gateway():
+        async with _make_service(args, cache) as service:
+            gateway = RenderGateway(service, max_pending=args.max_pending)
+            gateway.register_scene(args.scene, scene.cloud, orbit)
+            await gateway.start(port=args.port)
+            print(f"TCP gateway listening on {gateway.host}:{gateway.tcp_port}")
+            if args.http or args.listen:
+                await gateway.start_http(port=args.http_port)
+                print(
+                    f"HTTP adapter on http://{gateway.host}:{gateway.http_port}"
+                    f" — try: curl 'http://{gateway.host}:{gateway.http_port}"
+                    f"/render?scene={args.scene}&view=0&format=json'"
+                )
+            try:
+                if args.listen:
+                    print("serving until interrupted (Ctrl-C to stop)")
+                    await asyncio.Event().wait()
+                    return None
+                clients = [
+                    await AsyncGatewayClient.connect(
+                        gateway.host, gateway.tcp_port
+                    )
+                    for _ in range(args.clients)
+                ]
+                try:
+                    return await run_clients(
+                        clients,
+                        scene.cloud,
+                        trajectories,
+                        keep_images=args.verify,
+                    )
+                finally:
+                    for client in clients:
+                        await client.close()
+            finally:
+                await gateway.close()
+
+    try:
+        try:
+            report = asyncio.run(
+                drive_gateway() if use_gateway else drive_inprocess()
+            )
+        except KeyboardInterrupt:
+            print("interrupted")
+            return 0
+    finally:
+        if cache is not None:
+            cache.close()
+    if report is None:
+        return 0
+
+    _print_serve_report(args, scene, report)
 
     if args.naive:
         naive_s = naive_render_seconds(
@@ -241,29 +353,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
 
     if args.verify:
-        engine = RenderEngine(renderer, vectorized=not args.no_engine)
-        for camera_index, camera in enumerate(orbit):
-            direct = engine.render(scene.cloud, camera)
-            for client_images in report.images:
-                if not np.array_equal(client_images[camera_index], direct.image):
-                    print(
-                        f"FAIL: streamed frame {camera_index} differs from "
-                        "the direct engine render"
-                    )
-                    return 1
-        print(
-            f"verified: all {report.frames} streamed frames bit-identical "
-            "to direct engine renders"
-        )
-        # The strictly-fewer-renders property only holds when the load
-        # overlaps; a single client's distinct views have nothing to
-        # coalesce.
-        if args.clients > 1 and stats["engine_renders"] >= report.frames:
-            print(
-                "FAIL: expected strictly fewer engine renders than served "
-                "frames under overlapping load"
-            )
-            return 1
+        return _verify_serve_report(args, scene, orbit, report)
     return 0
 
 
@@ -392,6 +482,50 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--no-render-cache", action="store_true",
         help="disable the shared render cache (micro-batching only)",
+    )
+    serve.add_argument(
+        "--tcp", action="store_true",
+        help="serve over a real localhost TCP socket (the network gateway) "
+        "and drive the clients through it instead of in-process",
+    )
+    serve.add_argument(
+        "--http", action="store_true",
+        help="also start the HTTP/1.1 adapter (one-shot renders via curl)",
+    )
+    serve.add_argument(
+        "--listen", action="store_true",
+        help="start the TCP gateway + HTTP adapter and serve until "
+        "interrupted instead of running the built-in load generator",
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP gateway port (0 picks a free one)",
+    )
+    serve.add_argument(
+        "--http-port", type=int, default=0,
+        help="HTTP adapter port (0 picks a free one)",
+    )
+    serve.add_argument(
+        "--adaptive", action="store_true",
+        help="attach an AdaptiveBatchPolicy: retune the batching knobs "
+        "from measured p95 latency against --target-ms",
+    )
+    serve.add_argument(
+        "--target-ms", type=float, default=50.0,
+        help="adaptive policy p95 latency target in milliseconds",
+    )
+    serve.add_argument(
+        "--policy-window", type=int, default=32,
+        help="requests per adaptive-policy window (the slow timescale)",
+    )
+    serve.add_argument(
+        "--batch-workers", type=int, default=1,
+        help="render each flushed micro-batch across this many pool "
+        "workers (persistent per-scene pools)",
+    )
+    serve.add_argument(
+        "--batch-executor", choices=("process", "thread"), default="process",
+        help="worker pool type for --batch-workers > 1",
     )
     serve.add_argument(
         "--naive", action="store_true",

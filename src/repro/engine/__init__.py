@@ -13,6 +13,12 @@ The engine layer sits on top of the functional renderers:
   merged statistics.  Outputs are bit-identical to the sequential
   renderers — the paper's losslessness guarantee extends through the
   batch path.
+* :class:`TrajectoryPool` — a reusable worker pool pinned to one
+  ``(renderer, cloud)`` pair (:meth:`RenderEngine.open_pool`), so
+  callers that render many small batches of the same scene — the
+  serving layer's micro-batch flushes — pay worker startup once.
+
+See ``docs/architecture.md`` for where this layer sits in the system.
 """
 
 from repro.engine.batch import (
@@ -20,12 +26,13 @@ from repro.engine.batch import (
     segmented_depth_sort,
     sort_groups_batched,
 )
-from repro.engine.engine import RenderEngine, TrajectoryResult
+from repro.engine.engine import RenderEngine, TrajectoryPool, TrajectoryResult
 from repro.engine.protocol import Renderer
 
 __all__ = [
     "RenderEngine",
     "Renderer",
+    "TrajectoryPool",
     "TrajectoryResult",
     "blend_tiles_batched",
     "segmented_depth_sort",

@@ -35,7 +35,7 @@ from repro.engine.batch import (
 from repro.engine.hierarchical import render_hierarchical_batched
 from repro.engine.protocol import Renderer
 from repro.experiments.cache import ProjectionCache
-from repro.experiments.shm_cache import SharedProjectionCache
+from repro.experiments.shm_cache import SharedProjectionCache, cloud_fingerprint
 from repro.gaussians.camera import Camera
 from repro.gaussians.cloud import GaussianCloud
 from repro.gaussians.projection import ProjectedGaussians
@@ -202,6 +202,131 @@ def _render_task(camera: Camera) -> RenderResult:
     )
 
 
+class TrajectoryPool:
+    """A reusable worker pool pinned to one ``(renderer, cloud)`` pair.
+
+    ``render_trajectory`` builds and tears down its pool per call, which
+    is the right shape for one big batch but wrong for a *service*
+    flushing many small batches per second: pool startup (process
+    spawn/fork + initializer) would dominate every flush.  A
+    ``TrajectoryPool`` pays that cost once — create it via
+    :meth:`RenderEngine.open_pool`, pass it to any number of
+    ``render_trajectory(pool=...)`` calls (or call :meth:`map` directly),
+    and :meth:`close` it when the scene's traffic ends.
+
+    The pool is pinned to the cloud it was opened with (worker processes
+    hold it in their initializer state); rendering a different cloud
+    through it raises.  Clouds are compared by content fingerprint, so
+    any equal-parameter cloud object is accepted.
+
+    Frames are bit-identical to :meth:`RenderEngine.render` for every
+    executor and worker count — the pool only changes *where* a frame is
+    rendered.
+    """
+
+    def __init__(
+        self,
+        engine: "RenderEngine",
+        cloud: GaussianCloud,
+        workers: int,
+        *,
+        executor: str = "process",
+        render_store=None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        if executor not in ("process", "thread"):
+            raise ValueError(
+                f"executor must be 'process' or 'thread', got {executor!r}"
+            )
+        self.engine = engine
+        self.workers = workers
+        self.executor = executor
+        self.render_store = render_store
+        self.cloud_fingerprint = cloud_fingerprint(cloud)
+        self._closed = False
+        # Serial/thread execution renders through a single-slot-cache
+        # runner exactly as render_trajectory does (distinct trajectory
+        # cameras never re-hit, so retaining projections only costs
+        # memory); a caller-supplied cache is respected.
+        if engine._owns_cache:
+            self._runner = RenderEngine(
+                engine.renderer,
+                cache=ProjectionCache(max_entries=1),
+                vectorized=engine.vectorized,
+            )
+        else:
+            self._runner = engine
+        if workers <= 1:
+            self._pool = None
+        elif executor == "thread":
+            self._pool = ThreadPoolExecutor(max_workers=workers)
+        else:
+            context = (
+                multiprocessing.get_context("fork")
+                if multiprocessing.get_start_method() == "fork"
+                else None
+            )
+            shared_cache = (
+                engine.cache
+                if isinstance(engine.cache, SharedProjectionCache)
+                else None
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=context,
+                initializer=_worker_init,
+                initargs=(
+                    engine.renderer,
+                    engine.vectorized,
+                    cloud,
+                    shared_cache,
+                    render_store,
+                ),
+            )
+
+    def map(
+        self, cloud: GaussianCloud, cameras: "list[Camera] | tuple[Camera, ...]"
+    ) -> "list[RenderResult]":
+        """Render ``cameras`` of the pinned cloud across the pool."""
+        if self._closed:
+            raise RuntimeError("TrajectoryPool is closed")
+        if cloud_fingerprint(cloud) != self.cloud_fingerprint:
+            raise ValueError(
+                "TrajectoryPool is pinned to a different cloud; open a pool "
+                "per scene"
+            )
+        if self._pool is None:
+            return [
+                self._runner._render_stored(cloud, camera, self.render_store)
+                for camera in cameras
+            ]
+        if self.executor == "thread":
+            return list(
+                self._pool.map(
+                    lambda cam: self._runner._render_stored(
+                        cloud, cam, self.render_store
+                    ),
+                    cameras,
+                )
+            )
+        return list(self._pool.map(_render_task, cameras))
+
+    def close(self) -> None:
+        """Shut the underlying executor down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "TrajectoryPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
 class RenderEngine:
     """Batched, cache-aware front end over a single-camera renderer.
 
@@ -269,6 +394,25 @@ class RenderEngine:
         store.put(cloud, camera, self.renderer, result)
         return result
 
+    def open_pool(
+        self,
+        cloud: GaussianCloud,
+        workers: int,
+        *,
+        executor: str = "process",
+        render_store=None,
+    ) -> TrajectoryPool:
+        """Open a reusable :class:`TrajectoryPool` pinned to ``cloud``.
+
+        Pays worker startup once for many ``render_trajectory(pool=...)``
+        calls — the shape the serving layer's micro-batch flushes need.
+        The caller owns the pool's lifecycle (``close()`` or use it as a
+        context manager).
+        """
+        return TrajectoryPool(
+            self, cloud, workers, executor=executor, render_store=render_store
+        )
+
     def render_trajectory(
         self,
         cloud: GaussianCloud,
@@ -277,6 +421,7 @@ class RenderEngine:
         workers: int = 1,
         executor: str = "process",
         render_store=None,
+        pool: "TrajectoryPool | None" = None,
     ) -> TrajectoryResult:
         """Render a multi-camera batch, optionally across a worker pool.
 
@@ -315,8 +460,20 @@ class RenderEngine:
             ``projected``/``assignment`` as ``None`` — the worker-pool
             contract.  Works with every executor; process workers
             receive the (picklable) store through the pool initializer.
+        pool:
+            Optional reusable :class:`TrajectoryPool` from
+            :meth:`open_pool`.  When given it supersedes ``workers`` /
+            ``executor`` / ``render_store`` (they were fixed at pool
+            creation) and the per-call pool startup cost disappears —
+            the micro-batch-flush fast path.
         """
         cameras = list(cameras)
+        if pool is not None:
+            results = pool.map(cloud, cameras)
+            return TrajectoryResult(
+                results=results,
+                stats=RenderStats.merged([r.stats for r in results]),
+            )
         # Trajectory cameras are typically all distinct, so caching their
         # projections never pays off — when this engine owns its (default)
         # cache, render through a single-slot stand-in so a long

@@ -18,21 +18,47 @@ into a *service*: many concurrent clients, few engine renders.
 
 * :class:`RenderService` — asyncio front end: ``render_frame`` for one
   view, ``stream_trajectory`` to stream a trajectory's frames in order
-  as they complete, with bounded-queue backpressure and cancellation.
+  as they complete, with bounded-queue backpressure and cancellation;
+  ``batch_workers > 1`` renders each flushed batch across a persistent
+  per-scene worker pool.
 * :class:`MicroBatcher` — the micro-batching scheduler.
+* :class:`AdaptiveBatchPolicy` — two-timescale adaptation of the
+  batching knobs against a p95 latency target.
+* :class:`RenderGateway` — the network front end: a TCP server speaking
+  the :mod:`repro.serve.protocol` length-prefixed JSON+binary frame
+  protocol (streamed trajectories, error frames, 429 admission
+  rejects) plus an HTTP/1.1 adapter for one-shot ``curl`` renders.
+* :class:`AsyncGatewayClient` / :class:`GatewayClient` — asyncio and
+  blocking protocol clients with the same request surface as the
+  in-process service (both drop into :func:`run_clients`).
 * :class:`SharedRenderCache` — finished frames + stats in shared
   memory, keyed on ``(cloud, camera, renderer)`` content fingerprints;
   also pluggable into ``RenderEngine.render_trajectory`` /
   ``run_multiview`` / the figure sweeps as ``render_store``.
 * :func:`run_clients` / :func:`naive_render_seconds` — the load
   generator and its no-serving-layer baseline.
+* :func:`verify_streamed_images` — the single implementation of the
+  bit-identical check every consumer (CLI, demo, CI, tests) shares.
 
 Everything served is bit-identical to a direct ``RenderEngine.render``
 of the same view (enforced by tests): the serving layer changes when
-and where frames are rendered, never their bytes.
+and where frames are rendered, never their bytes — including frames
+that crossed the gateway's socket.
+
+See ``docs/serving.md`` for the wire protocol and operational guide.
 """
 
-from repro.serve.client import LoadReport, naive_render_seconds, run_clients
+from repro.serve.client import (
+    AsyncGatewayClient,
+    GatewayClient,
+    GatewayError,
+    LoadReport,
+    naive_render_seconds,
+    run_clients,
+)
+from repro.serve.gateway import GatewayStats, RenderGateway
+from repro.serve.policy import AdaptiveBatchPolicy
+from repro.serve.protocol import ErrorCode, MessageType, ProtocolError
 from repro.serve.render_cache import (
     SharedRenderCache,
     render_key,
@@ -40,11 +66,21 @@ from repro.serve.render_cache import (
 )
 from repro.serve.scheduler import BatchStats, MicroBatcher
 from repro.serve.service import RenderService, ServiceStats
+from repro.serve.verify import verify_streamed_images
 
 __all__ = [
+    "AdaptiveBatchPolicy",
+    "AsyncGatewayClient",
     "BatchStats",
+    "ErrorCode",
+    "GatewayClient",
+    "GatewayError",
+    "GatewayStats",
     "LoadReport",
+    "MessageType",
     "MicroBatcher",
+    "ProtocolError",
+    "RenderGateway",
     "RenderService",
     "ServiceStats",
     "SharedRenderCache",
@@ -52,4 +88,5 @@ __all__ = [
     "render_key",
     "renderer_key",
     "run_clients",
+    "verify_streamed_images",
 ]

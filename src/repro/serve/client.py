@@ -1,27 +1,500 @@
-"""Load generation against a :class:`repro.serve.RenderService`.
+"""Clients: the gateway protocol clients and the load generator.
 
-A "client" here is a consumer coroutine streaming one trajectory from
-the service — the shape of a viewer session.  :func:`run_clients` fans
-``N`` such clients out concurrently (optionally with overlapping
-trajectories, the serving sweet spot) and reports wall time, throughput
-and the service's batching/caching counters; :func:`naive_render_seconds`
-times the same request load rendered one request at a time with no
-sharing, the baseline the ``serve_throughput`` benchmark divides by.
+Two kinds of client live here:
+
+* **Gateway clients** — :class:`AsyncGatewayClient` (asyncio) and
+  :class:`GatewayClient` (blocking sockets) speak the
+  :mod:`repro.serve.protocol` wire format against a
+  :class:`repro.serve.gateway.RenderGateway`.  Both expose the same
+  request surface as the in-process :class:`RenderService`
+  (``render_frame`` / ``stream_trajectory`` / ``stats_dict``), so the
+  load generator below drives an in-process service and a remote
+  gateway through one code path.
+* **The load generator** — :func:`run_clients` fans ``N`` streaming
+  clients out concurrently (optionally with overlapping trajectories,
+  the serving sweet spot) and reports wall time, throughput and the
+  service's batching/caching counters; :func:`naive_render_seconds`
+  times the same request load rendered one request at a time with no
+  sharing, the baseline the ``serve_throughput`` /
+  ``gateway_throughput`` benchmarks divide by.
 """
 
 from __future__ import annotations
 
 import asyncio
+import inspect
+import itertools
+import socket
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.engine import RenderEngine
+from repro.experiments.shm_cache import cloud_fingerprint
 from repro.gaussians.camera import Camera
 from repro.gaussians.cloud import GaussianCloud
 from repro.raster.renderer import RenderResult
-from repro.serve.service import RenderService
+from repro.serve import protocol
+from repro.serve.protocol import ErrorCode, Frame, MessageType, ProtocolError
+
+
+class GatewayError(RuntimeError):
+    """An ERROR frame from the gateway, surfaced to the caller.
+
+    ``code`` is the :class:`repro.serve.protocol.ErrorCode` value; a 429
+    (:attr:`ErrorCode.REJECTED`) means admission control turned the
+    request away — back off and retry.
+    """
+
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+class AsyncGatewayClient:
+    """Asyncio protocol client for a :class:`RenderGateway`.
+
+    Mirrors the :class:`RenderService` request surface —
+    ``render_frame``, ``stream_trajectory``, ``stats_dict`` — so it
+    drops into :func:`run_clients` unchanged, but every frame crosses a
+    real TCP socket.  One connection multiplexes any number of
+    concurrent requests: a background reader task routes incoming
+    frames to their requests by ``request_id``.
+
+    Scenes are pushed once per connection: ``render_frame`` /
+    ``stream_trajectory`` fingerprint their cloud and register it with
+    the gateway only if this connection has not done so already (the
+    gateway additionally dedups server-side by content fingerprint).
+
+    Usage::
+
+        client = await AsyncGatewayClient.connect("127.0.0.1", port)
+        async for index, frame in client.stream_trajectory(cloud, cameras):
+            ...
+        await client.close()
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self.hello: "dict" = {}
+        self._reader: "asyncio.StreamReader | None" = None
+        self._writer: "asyncio.StreamWriter | None" = None
+        self._read_task: "asyncio.Task | None" = None
+        self._wlock = asyncio.Lock()
+        self._control_lock = asyncio.Lock()
+        self._control: "asyncio.Queue" = asyncio.Queue()
+        self._queues: "dict[int, asyncio.Queue]" = {}
+        self._ids = itertools.count(1)
+        self._scene_ids: "dict[str, str]" = {}
+        self._conn_exc: "Exception | None" = None
+        self._closed = False
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "AsyncGatewayClient":
+        """Open a connection, consume HELLO, start the frame router."""
+        client = cls(host, port)
+        client._reader, client._writer = await asyncio.open_connection(
+            host, port
+        )
+        hello = await protocol.read_frame(client._reader)
+        if hello is None or hello.type is not MessageType.HELLO:
+            raise GatewayError(
+                int(ErrorCode.BAD_REQUEST), "gateway did not send HELLO"
+            )
+        client.hello = hello.header
+        client._read_task = asyncio.ensure_future(client._read_loop())
+        return client
+
+    async def _read_loop(self) -> None:
+        """Route incoming frames to their requests until EOF/failure."""
+        assert self._reader is not None
+        try:
+            while True:
+                frame = await protocol.read_frame(self._reader)
+                if frame is None:
+                    break
+                request_id = frame.header.get("request_id")
+                queue = self._queues.get(request_id)
+                if queue is not None:
+                    queue.put_nowait(frame)
+                elif request_id is None and frame.type in (
+                    MessageType.SCENE_OK,
+                    MessageType.STATS_OK,
+                    MessageType.ERROR,
+                ):
+                    # Control replies carry no request id (a null-id
+                    # ERROR is connection-scoped).  A frame *with* an id
+                    # but no queue — including a late ERROR for a stream
+                    # we abandoned — must not poison the control queue.
+                    self._control.put_nowait(frame)
+                # Anything else is a stale frame for a request we
+                # abandoned (cancelled stream): drop it.
+        except (ProtocolError, ConnectionError, OSError) as exc:
+            self._conn_exc = exc
+        finally:
+            # Wake every waiter; None means "connection is gone".
+            for queue in self._queues.values():
+                queue.put_nowait(None)
+            self._control.put_nowait(None)
+
+    async def _send(self, payload: bytes) -> None:
+        """Write one frame atomically."""
+        if self._writer is None or self._closed:
+            raise GatewayError(
+                int(ErrorCode.SHUTTING_DOWN), "client is closed"
+            )
+        async with self._wlock:
+            self._writer.write(payload)
+            await self._writer.drain()
+
+    def _lost(self) -> GatewayError:
+        """The error to raise when the connection died under a waiter."""
+        detail = f": {self._conn_exc}" if self._conn_exc else ""
+        return GatewayError(
+            int(ErrorCode.SHUTTING_DOWN), f"gateway connection lost{detail}"
+        )
+
+    @staticmethod
+    def _raise_if_error(frame: "Frame | None") -> Frame:
+        """Translate ERROR frames / lost connections into exceptions."""
+        if frame is None:
+            raise GatewayError(
+                int(ErrorCode.SHUTTING_DOWN), "gateway connection lost"
+            )
+        if frame.type is MessageType.ERROR:
+            raise GatewayError(
+                int(frame.header.get("code", ErrorCode.INTERNAL)),
+                str(frame.header.get("message", "gateway error")),
+            )
+        return frame
+
+    async def _control_roundtrip(
+        self, payload: bytes, expected: MessageType
+    ) -> Frame:
+        """Send one control frame and await its (serialised) answer."""
+        async with self._control_lock:
+            await self._send(payload)
+            frame = self._raise_if_error(await self._control.get())
+            if frame.type is not expected:
+                raise GatewayError(
+                    int(ErrorCode.BAD_REQUEST),
+                    f"expected {expected.name}, got {frame.type.name}",
+                )
+            return frame
+
+    async def ensure_scene(self, cloud: GaussianCloud) -> str:
+        """Register ``cloud`` with the gateway once; return its scene id."""
+        fingerprint = cloud_fingerprint(cloud)
+        scene_id = self._scene_ids.get(fingerprint)
+        if scene_id is not None:
+            return scene_id
+        header, blob = protocol.encode_cloud(cloud)
+        frame = await self._control_roundtrip(
+            protocol.encode_frame(MessageType.SCENE, header, blob),
+            MessageType.SCENE_OK,
+        )
+        scene_id = frame.header["scene_id"]
+        self._scene_ids[fingerprint] = scene_id
+        return scene_id
+
+    async def render_frame(
+        self, cloud: GaussianCloud, camera: Camera
+    ) -> RenderResult:
+        """One-shot remote render, bit-identical to a direct render."""
+        scene_id = await self.ensure_scene(cloud)
+        request_id = next(self._ids)
+        queue: "asyncio.Queue" = asyncio.Queue()
+        self._queues[request_id] = queue
+        try:
+            await self._send(
+                protocol.encode_frame(
+                    MessageType.RENDER,
+                    {
+                        "request_id": request_id,
+                        "scene_id": scene_id,
+                        "camera": protocol.encode_camera(camera),
+                    },
+                )
+            )
+            frame = self._raise_if_error(await queue.get())
+            _, _, result = protocol.decode_result_frame(frame)
+            return result
+        finally:
+            self._queues.pop(request_id, None)
+
+    async def stream_trajectory(
+        self,
+        cloud: GaussianCloud,
+        cameras: "list[Camera] | tuple[Camera, ...]",
+        *,
+        prefetch: "int | None" = None,
+    ):
+        """Stream a trajectory's frames in order over the socket.
+
+        An async generator yielding ``(index, RenderResult)``, the same
+        shape as :meth:`RenderService.stream_trajectory` (``prefetch``
+        is accepted for signature compatibility; the server's stream
+        prefetch and the socket's flow control bound what is in
+        flight).  Closing the generator early sends a best-effort
+        CANCEL so the server drops the remaining frames.
+        """
+        del prefetch  # server-side knob; kept for API compatibility
+        cameras = list(cameras)
+        scene_id = await self.ensure_scene(cloud)
+        request_id = next(self._ids)
+        queue: "asyncio.Queue" = asyncio.Queue()
+        self._queues[request_id] = queue
+        complete = False
+        try:
+            await self._send(
+                protocol.encode_frame(
+                    MessageType.STREAM,
+                    {
+                        "request_id": request_id,
+                        "scene_id": scene_id,
+                        "cameras": [
+                            protocol.encode_camera(camera) for camera in cameras
+                        ],
+                    },
+                )
+            )
+            while True:
+                frame = self._raise_if_error(await queue.get())
+                if frame.type is MessageType.END:
+                    complete = True
+                    return
+                _, index, result = protocol.decode_result_frame(frame)
+                yield index, result
+        finally:
+            self._queues.pop(request_id, None)
+            if not complete and not self._closed:
+                try:
+                    await self._send(
+                        protocol.encode_frame(
+                            MessageType.CANCEL, {"request_id": request_id}
+                        )
+                    )
+                except (GatewayError, ConnectionError, OSError):
+                    pass
+
+    async def stats_dict(self) -> "dict":
+        """The server's counters: the service dict + a ``gateway`` entry.
+
+        Awaitable (it is a wire round trip) — :func:`run_clients`
+        detects that and awaits.
+        """
+        frame = await self._control_roundtrip(
+            protocol.encode_frame(MessageType.STATS), MessageType.STATS_OK
+        )
+        stats = dict(frame.header.get("service", {}))
+        stats["gateway"] = frame.header.get("gateway", {})
+        return stats
+
+    async def close(self) -> None:
+        """Send BYE (best effort) and tear the connection down."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._writer is not None:
+            try:
+                async with self._wlock:
+                    self._writer.write(
+                        protocol.encode_frame(MessageType.BYE)
+                    )
+                    await self._writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        if self._read_task is not None:
+            self._read_task.cancel()
+            await asyncio.gather(self._read_task, return_exceptions=True)
+
+    async def __aenter__(self) -> "AsyncGatewayClient":
+        if self._reader is None:
+            connected = await type(self).connect(self.host, self.port)
+            self.__dict__.update(connected.__dict__)
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+
+class GatewayClient:
+    """Blocking-socket protocol client (no asyncio required).
+
+    The synchronous sibling of :class:`AsyncGatewayClient` for scripts
+    and shells: one request at a time over one connection.
+
+    Usage::
+
+        with GatewayClient("127.0.0.1", port) as client:
+            result = client.render_frame(cloud, camera)
+            for index, frame in client.stream_trajectory(cloud, cameras):
+                ...
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float = 60.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+        self._ids = itertools.count(1)
+        self._scene_ids: "dict[str, str]" = {}
+        self._closed = False
+        hello = protocol.read_frame_from(self._file)
+        if hello is None or hello.type is not MessageType.HELLO:
+            raise GatewayError(
+                int(ErrorCode.BAD_REQUEST), "gateway did not send HELLO"
+            )
+        self.hello = hello.header
+
+    def _recv_for(self, request_id: "int | None") -> Frame:
+        """Next frame addressed to this request (or to no request).
+
+        Frames for *other* request ids are stale output of an abandoned
+        stream (requests are otherwise strictly sequential here) and are
+        skipped transparently.
+        """
+        while True:
+            frame = protocol.read_frame_from(self._file)
+            if frame is None:
+                raise GatewayError(
+                    int(ErrorCode.SHUTTING_DOWN), "gateway connection lost"
+                )
+            rid = frame.header.get("request_id")
+            if rid != request_id:
+                continue  # stale frame for an abandoned request
+            if frame.type is MessageType.ERROR:
+                raise GatewayError(
+                    int(frame.header.get("code", ErrorCode.INTERNAL)),
+                    str(frame.header.get("message", "gateway error")),
+                )
+            return frame
+
+    def _send(self, payload: bytes) -> None:
+        """Write one frame to the socket."""
+        if self._closed:
+            raise GatewayError(int(ErrorCode.SHUTTING_DOWN), "client is closed")
+        self._sock.sendall(payload)
+
+    def ensure_scene(self, cloud: GaussianCloud) -> str:
+        """Register ``cloud`` with the gateway once; return its scene id."""
+        fingerprint = cloud_fingerprint(cloud)
+        scene_id = self._scene_ids.get(fingerprint)
+        if scene_id is not None:
+            return scene_id
+        header, blob = protocol.encode_cloud(cloud)
+        self._send(protocol.encode_frame(MessageType.SCENE, header, blob))
+        frame = self._recv_for(None)
+        if frame.type is not MessageType.SCENE_OK:
+            raise GatewayError(
+                int(ErrorCode.BAD_REQUEST),
+                f"expected SCENE_OK, got {frame.type.name}",
+            )
+        scene_id = frame.header["scene_id"]
+        self._scene_ids[fingerprint] = scene_id
+        return scene_id
+
+    def render_frame(
+        self, cloud: GaussianCloud, camera: Camera
+    ) -> RenderResult:
+        """One-shot remote render, bit-identical to a direct render."""
+        scene_id = self.ensure_scene(cloud)
+        request_id = next(self._ids)
+        self._send(
+            protocol.encode_frame(
+                MessageType.RENDER,
+                {
+                    "request_id": request_id,
+                    "scene_id": scene_id,
+                    "camera": protocol.encode_camera(camera),
+                },
+            )
+        )
+        _, _, result = protocol.decode_result_frame(self._recv_for(request_id))
+        return result
+
+    def stream_trajectory(
+        self,
+        cloud: GaussianCloud,
+        cameras: "list[Camera] | tuple[Camera, ...]",
+    ):
+        """Generator of ``(index, RenderResult)`` streamed in order.
+
+        Abandoning the generator sends a best-effort CANCEL; frames the
+        server already put on the wire are skipped transparently on the
+        next request.
+        """
+        cameras = list(cameras)
+        scene_id = self.ensure_scene(cloud)
+        request_id = next(self._ids)
+        self._send(
+            protocol.encode_frame(
+                MessageType.STREAM,
+                {
+                    "request_id": request_id,
+                    "scene_id": scene_id,
+                    "cameras": [
+                        protocol.encode_camera(camera) for camera in cameras
+                    ],
+                },
+            )
+        )
+        complete = False
+        try:
+            while True:
+                frame = self._recv_for(request_id)
+                if frame.type is MessageType.END:
+                    complete = True
+                    return
+                _, index, result = protocol.decode_result_frame(frame)
+                yield index, result
+        finally:
+            if not complete and not self._closed:
+                try:
+                    self._send(
+                        protocol.encode_frame(
+                            MessageType.CANCEL, {"request_id": request_id}
+                        )
+                    )
+                except (GatewayError, ConnectionError, OSError):
+                    pass
+
+    def stats_dict(self) -> "dict":
+        """The server's counters: the service dict + a ``gateway`` entry."""
+        self._send(protocol.encode_frame(MessageType.STATS))
+        frame = self._recv_for(None)
+        if frame.type is not MessageType.STATS_OK:
+            raise GatewayError(
+                int(ErrorCode.BAD_REQUEST),
+                f"expected STATS_OK, got {frame.type.name}",
+            )
+        stats = dict(frame.header.get("service", {}))
+        stats["gateway"] = frame.header.get("gateway", {})
+        return stats
+
+    def close(self) -> None:
+        """Send BYE (best effort) and close the socket."""
+        if self._closed:
+            return
+        try:
+            self._send(protocol.encode_frame(MessageType.BYE))
+        except (GatewayError, ConnectionError, OSError):
+            pass
+        self._closed = True
+        self._file.close()
+        self._sock.close()
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 @dataclass
@@ -56,11 +529,12 @@ class LoadReport:
 
 
 async def _stream_client(
-    service: RenderService,
+    service,
     cloud: GaussianCloud,
     cameras: "list[Camera]",
     keep_images: bool,
 ) -> "list[np.ndarray]":
+    """One viewer session: stream a trajectory, optionally keep frames."""
     images: "list[np.ndarray]" = []
     async for index, result in service.stream_trajectory(cloud, cameras):
         assert isinstance(result, RenderResult)
@@ -70,26 +544,48 @@ async def _stream_client(
 
 
 async def run_clients(
-    service: RenderService,
+    service,
     cloud: GaussianCloud,
     trajectories: "list[list[Camera]]",
     *,
     keep_images: bool = False,
 ) -> LoadReport:
-    """Stream every trajectory concurrently; one client per trajectory."""
+    """Stream every trajectory concurrently; one client per trajectory.
+
+    ``service`` is anything with the streaming request surface — an
+    in-process :class:`RenderService`, one :class:`AsyncGatewayClient`
+    (all trajectories multiplexed over its single connection), or a
+    *list* with one such object per trajectory (e.g. one gateway
+    connection per client — the realistic network-load shape).  The
+    report's counters come from the first service's ``stats_dict``,
+    awaited when it is a wire round trip.
+    """
+    services = (
+        list(service) if isinstance(service, (list, tuple)) else [service]
+    )
+    if len(services) not in (1, len(trajectories)):
+        raise ValueError(
+            f"need one service or one per trajectory, got {len(services)} "
+            f"for {len(trajectories)} trajectories"
+        )
+    if len(services) == 1:
+        services = services * len(trajectories)
     start = time.perf_counter()
     images = await asyncio.gather(
         *(
-            _stream_client(service, cloud, cameras, keep_images)
-            for cameras in trajectories
+            _stream_client(svc, cloud, cameras, keep_images)
+            for svc, cameras in zip(services, trajectories)
         )
     )
     wall_s = time.perf_counter() - start
+    stats = services[0].stats_dict()
+    if inspect.isawaitable(stats):
+        stats = await stats
     return LoadReport(
         num_clients=len(trajectories),
         frames=sum(len(cameras) for cameras in trajectories),
         wall_s=wall_s,
-        service=service.stats_dict(),
+        service=stats,
         images=list(images) if keep_images else None,
     )
 

@@ -1,0 +1,692 @@
+"""The network render gateway: TCP + HTTP front ends over the service.
+
+PR 3's :class:`repro.serve.service.RenderService` is in-process asyncio;
+this module puts a socket in front of it:
+
+* :class:`RenderGateway` — an ``asyncio.start_server`` TCP server
+  speaking the :mod:`repro.serve.protocol` frame protocol: clients
+  register scenes (or use pre-registered named ones), request one-shot
+  frames or ordered trajectory streams, and receive bit-identical
+  rendered frames back.  Frame payloads cross the wire as raw bytes, so
+  the paper's losslessness guarantee survives the network hop
+  (test-asserted).
+* a thin **HTTP/1.1 adapter** (:meth:`RenderGateway.start_http`) for
+  one-shot ``render_frame`` requests against named scenes, so ``curl``
+  works without a protocol client: ``GET /render?scene=NAME&view=I``
+  returns the frame as a PPM image (or JSON with a SHA-256 of the raw
+  float image for bit-identity checks), plus ``/healthz`` and
+  ``/stats``.
+
+Load behaviour (the JPAC-shaped split — fast admission decisions, slow
+feedback):
+
+* **Admission control** — the gateway counts requests it has admitted
+  but not yet answered; once ``max_pending`` is reached, further
+  requests are *rejected immediately* with a 429 ERROR frame (HTTP: a
+  429 response) instead of queueing.  This is the fast timescale:
+  under overload the queue stays bounded and clients get an explicit
+  back-off signal.  (The service's own ``max_pending`` below it still
+  bounds what admitted work may queue.)
+* **Adaptive batching** — attach an
+  :class:`repro.serve.policy.AdaptiveBatchPolicy` to the *service* and
+  the measured latency of every gateway-admitted request feeds the slow
+  timescale that retunes ``max_batch_size`` / ``max_wait``.
+
+Failure semantics (all test-asserted):
+
+* a client disconnecting mid-stream cancels its outstanding service
+  requests (the last-waiter cancellation machinery drops unshared
+  pending work);
+* a malformed-but-framed message gets a 400 ERROR frame and the
+  connection lives on; only a corrupt frame *boundary* closes it;
+* a render failure answers that request with a 500 ERROR frame and
+  leaves every other request untouched.
+
+See ``docs/serving.md`` for the wire-protocol spec and worked examples.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from urllib.parse import parse_qsl, urlsplit
+
+import numpy as np
+
+from repro.gaussians.camera import Camera
+from repro.gaussians.cloud import GaussianCloud
+from repro.experiments.shm_cache import cloud_fingerprint
+from repro.serve import protocol
+from repro.serve.protocol import ErrorCode, Frame, MessageType, ProtocolError
+from repro.serve.service import RenderService
+
+
+@dataclass
+class GatewayStats:
+    """Gateway-level counters (service counters live in the service).
+
+    Attributes
+    ----------
+    connections:
+        TCP protocol connections accepted.
+    requests:
+        RENDER + STREAM requests admitted.
+    streams:
+        STREAM requests admitted (subset of ``requests``).
+    frames_sent:
+        FRAME messages written to sockets.
+    rejected:
+        Requests refused with a 429 ERROR (admission control).
+    errors:
+        ERROR frames sent for malformed or failed requests (429s not
+        included — rejects are accounted separately).
+    cancelled_requests:
+        Admitted requests abandoned before completion (client
+        disconnect, CANCEL frames, gateway shutdown).
+    scenes_registered:
+        Scenes accepted over the wire (named scenes not included).
+    http_requests:
+        HTTP requests handled (any status).
+    """
+
+    connections: int = 0
+    requests: int = 0
+    streams: int = 0
+    frames_sent: int = 0
+    rejected: int = 0
+    errors: int = 0
+    cancelled_requests: int = 0
+    scenes_registered: int = 0
+    http_requests: int = 0
+
+
+class _Connection:
+    """Per-connection state: writer serialisation + live request tasks."""
+
+    __slots__ = ("writer", "wlock", "tasks")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.wlock = asyncio.Lock()
+        self.tasks: "dict[int, asyncio.Task]" = {}
+
+
+class RenderGateway:
+    """TCP (+ optional HTTP) front end over a :class:`RenderService`.
+
+    Parameters
+    ----------
+    service:
+        The render service this gateway exposes.  The gateway does not
+        own it — callers close the service after the gateway.
+    host:
+        Bind address for both listeners (default loopback).
+    max_pending:
+        Admission bound: requests admitted but unanswered across all
+        connections.  At the bound, new requests are rejected with a
+        429 ERROR frame instead of queueing.
+    max_scenes:
+        Bound on scenes registered over the wire (each pins its cloud
+        in gateway memory); exceeding it rejects the SCENE message.
+    """
+
+    def __init__(
+        self,
+        service: RenderService,
+        *,
+        host: str = "127.0.0.1",
+        max_pending: int = 64,
+        max_scenes: int = 8,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be positive")
+        if max_scenes < 1:
+            raise ValueError("max_scenes must be positive")
+        self.service = service
+        self.host = host
+        self.max_pending = max_pending
+        self.max_scenes = max_scenes
+        self.stats = GatewayStats()
+        self._scenes: "dict[str, GaussianCloud]" = {}
+        self._orbits: "dict[str, list[Camera]]" = {}
+        self._wire_scenes = 0
+        self._pending = 0
+        self._server: "asyncio.base_events.Server | None" = None
+        self._http_server: "asyncio.base_events.Server | None" = None
+        self._conn_tasks: "set[asyncio.Task]" = set()
+        self._closing = False
+
+    # -- scene registry --------------------------------------------------
+    def register_scene(
+        self,
+        name: str,
+        cloud: GaussianCloud,
+        cameras: "list[Camera] | tuple[Camera, ...] | None" = None,
+    ) -> str:
+        """Pre-register a named scene (and optional camera trajectory).
+
+        TCP clients may then reference it by ``name`` (or by its content
+        fingerprint) without pushing the cloud over the wire, and the
+        HTTP adapter's ``/render?scene=name&view=i`` resolves camera
+        ``i`` of ``cameras``.  Returns the cloud's fingerprint.
+        """
+        fingerprint = cloud_fingerprint(cloud)
+        self._scenes[name] = cloud
+        self._scenes[fingerprint] = cloud
+        if cameras is not None:
+            self._orbits[name] = list(cameras)
+        return fingerprint
+
+    def _resolve_scene(self, scene_id) -> GaussianCloud:
+        """Look a scene id (name or fingerprint) up, or raise 404."""
+        cloud = self._scenes.get(scene_id) if isinstance(scene_id, str) else None
+        if cloud is None:
+            raise ProtocolError(
+                f"unknown scene {scene_id!r}", code=ErrorCode.UNKNOWN_SCENE
+            )
+        return cloud
+
+    # -- lifecycle -------------------------------------------------------
+    async def start(self, port: int = 0) -> None:
+        """Start the TCP protocol listener (``port=0`` picks a free one)."""
+        self._server = await asyncio.start_server(
+            self._handle_conn, host=self.host, port=port
+        )
+
+    async def start_http(self, port: int = 0) -> None:
+        """Start the HTTP/1.1 adapter (``port=0`` picks a free one)."""
+        self._http_server = await asyncio.start_server(
+            self._handle_http, host=self.host, port=port
+        )
+
+    @property
+    def tcp_port(self) -> int:
+        """The TCP listener's bound port (after :meth:`start`)."""
+        assert self._server is not None, "gateway not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def http_port(self) -> int:
+        """The HTTP listener's bound port (after :meth:`start_http`)."""
+        assert self._http_server is not None, "HTTP adapter not started"
+        return self._http_server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        """Stop accepting, cancel in-flight connections, release ports.
+
+        Abrupt by design: outstanding requests are cancelled (counted in
+        ``stats.cancelled_requests``).  Clients wanting a clean shutdown
+        finish their streams and send BYE first.  The wrapped service is
+        left running — close it separately.
+        """
+        self._closing = True
+        for server in (self._server, self._http_server):
+            if server is not None:
+                server.close()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        for server in (self._server, self._http_server):
+            if server is not None:
+                await server.wait_closed()
+
+    async def __aenter__(self) -> "RenderGateway":
+        if self._server is None:
+            await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- TCP protocol ----------------------------------------------------
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One protocol connection: dispatch frames until EOF or BYE."""
+        self.stats.connections += 1
+        conn = _Connection(writer)
+        handler = asyncio.current_task()
+        if handler is not None:
+            self._conn_tasks.add(handler)
+        try:
+            await self._send(
+                conn,
+                protocol.encode_frame(
+                    MessageType.HELLO,
+                    {
+                        "version": protocol.PROTOCOL_VERSION,
+                        "max_pending": self.max_pending,
+                        "scenes": sorted(self._orbits),
+                    },
+                ),
+            )
+            while True:
+                try:
+                    frame = await protocol.read_frame(reader)
+                except ProtocolError as exc:
+                    self.stats.errors += 1
+                    await self._send_error(conn, None, exc.code, str(exc))
+                    if exc.fatal:
+                        break
+                    continue
+                if frame is None or frame.type is MessageType.BYE:
+                    break
+                await self._dispatch(conn, frame)
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass  # client went away; the finally block cleans up
+        except asyncio.CancelledError:
+            # Gateway shutdown cancels connection handlers; finish the
+            # cleanup below instead of propagating out of the server's
+            # connection callback (asyncio would log it as unhandled).
+            pass
+        finally:
+            if handler is not None:
+                self._conn_tasks.discard(handler)
+            for task in conn.tasks.values():
+                if not task.done():
+                    task.cancel()
+                    self.stats.cancelled_requests += 1
+            if conn.tasks:
+                await asyncio.gather(
+                    *conn.tasks.values(), return_exceptions=True
+                )
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, conn: _Connection, frame: Frame) -> None:
+        """Route one well-framed message; answer errors inline."""
+        try:
+            if frame.type is MessageType.SCENE:
+                await self._on_scene(conn, frame)
+            elif frame.type in (MessageType.RENDER, MessageType.STREAM):
+                self._on_request(conn, frame)
+            elif frame.type is MessageType.CANCEL:
+                task = conn.tasks.get(frame.header.get("request_id"))
+                if task is not None and not task.done():
+                    task.cancel()
+                    self.stats.cancelled_requests += 1
+            elif frame.type is MessageType.STATS:
+                await self._send(
+                    conn,
+                    protocol.encode_frame(
+                        MessageType.STATS_OK,
+                        {
+                            "service": self.service.stats_dict(),
+                            "gateway": asdict(self.stats),
+                        },
+                    ),
+                )
+            else:
+                raise ProtocolError(
+                    f"unexpected message type {frame.type.name} from a client"
+                )
+        except ProtocolError as exc:
+            if exc.code is not ErrorCode.REJECTED:
+                # 429s are accounted in stats.rejected, not as errors.
+                self.stats.errors += 1
+            await self._send_error(
+                conn, frame.header.get("request_id"), exc.code, str(exc)
+            )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            # Defense in depth: an unexpected decode/dispatch failure is
+            # this request's problem, not the connection's.
+            self.stats.errors += 1
+            await self._send_error(
+                conn,
+                frame.header.get("request_id"),
+                ErrorCode.INTERNAL,
+                f"internal dispatch failure: {exc}",
+            )
+
+    async def _on_scene(self, conn: _Connection, frame: Frame) -> None:
+        """SCENE: decode + register the cloud, answer SCENE_OK."""
+        if self._wire_scenes >= self.max_scenes:
+            raise ProtocolError(
+                f"scene registry full ({self.max_scenes} wire scenes)"
+            )
+        cloud = protocol.decode_cloud(frame.header, frame.blob)
+        scene_id = cloud_fingerprint(cloud)
+        if scene_id not in self._scenes:
+            self._scenes[scene_id] = cloud
+            self._wire_scenes += 1
+            self.stats.scenes_registered += 1
+        await self._send(
+            conn,
+            protocol.encode_frame(MessageType.SCENE_OK, {"scene_id": scene_id}),
+        )
+
+    def _on_request(self, conn: _Connection, frame: Frame) -> None:
+        """RENDER / STREAM: admit (or 429) and spawn the serving task."""
+        header = frame.header
+        request_id = header.get("request_id")
+        if not isinstance(request_id, int):
+            raise ProtocolError("request_id must be an integer")
+        if request_id in conn.tasks:
+            raise ProtocolError(f"request_id {request_id} is already in flight")
+        if self._closing:
+            raise ProtocolError(
+                "gateway is shutting down", code=ErrorCode.SHUTTING_DOWN
+            )
+        if self._pending >= self.max_pending:
+            # The fast-timescale decision: explicit reject, no queueing.
+            self.stats.rejected += 1
+            raise ProtocolError(
+                f"admission bound reached ({self.max_pending} pending)",
+                code=ErrorCode.REJECTED,
+            )
+        cloud = self._resolve_scene(header.get("scene_id"))
+        if frame.type is MessageType.RENDER:
+            camera = protocol.decode_camera(header.get("camera") or {})
+            coroutine = self._serve_render(conn, request_id, cloud, camera)
+        else:
+            specs = header.get("cameras")
+            if not isinstance(specs, list) or not specs:
+                raise ProtocolError("STREAM needs a non-empty camera list")
+            cameras = [protocol.decode_camera(spec) for spec in specs]
+            coroutine = self._serve_stream(conn, request_id, cloud, cameras)
+            self.stats.streams += 1
+        # Admit *synchronously* with the dispatch so the very next frame
+        # on any connection sees the updated pending count.
+        self._pending += 1
+        self.stats.requests += 1
+        task = asyncio.ensure_future(coroutine)
+        conn.tasks[request_id] = task
+        task.add_done_callback(
+            lambda _t, _conn=conn, _rid=request_id: self._request_done(
+                _conn, _rid
+            )
+        )
+
+    def _request_done(self, conn: _Connection, request_id: int) -> None:
+        """Release one admission slot and drop the task bookkeeping."""
+        self._pending -= 1
+        conn.tasks.pop(request_id, None)
+
+    async def _serve_render(
+        self,
+        conn: _Connection,
+        request_id: int,
+        cloud: GaussianCloud,
+        camera: Camera,
+    ) -> None:
+        """Serve one RENDER: a single FRAME answer (or a 500 ERROR)."""
+        try:
+            result = await self.service.render_frame(cloud, camera)
+            await self._send(
+                conn, protocol.encode_result_frame(request_id, 0, result)
+            )
+            self.stats.frames_sent += 1
+        except asyncio.CancelledError:
+            raise
+        except (ConnectionError, OSError):
+            self.stats.cancelled_requests += 1
+        except Exception as exc:
+            self.stats.errors += 1
+            await self._send_error(
+                conn, request_id, ErrorCode.INTERNAL, f"render failed: {exc}"
+            )
+
+    async def _serve_stream(
+        self,
+        conn: _Connection,
+        request_id: int,
+        cloud: GaussianCloud,
+        cameras: "list[Camera]",
+    ) -> None:
+        """Serve one STREAM: ordered FRAMEs, then END.
+
+        Closing the connection cancels this task (and with it the
+        service-side stream, whose pending unshared frames are dropped);
+        a socket-level write failure counts as a client cancellation.
+        ``writer.drain()`` is the flow control: a slow reader stalls the
+        stream, and the service's ``prefetch`` bound caps what can pile
+        up behind it.
+        """
+        sent = 0
+        try:
+            async for index, result in self.service.stream_trajectory(
+                cloud, cameras
+            ):
+                await self._send(
+                    conn, protocol.encode_result_frame(request_id, index, result)
+                )
+                sent += 1
+                self.stats.frames_sent += 1
+            await self._send(
+                conn,
+                protocol.encode_frame(
+                    MessageType.END, {"request_id": request_id, "frames": sent}
+                ),
+            )
+        except asyncio.CancelledError:
+            raise
+        except (ConnectionError, OSError):
+            self.stats.cancelled_requests += 1
+        except Exception as exc:
+            self.stats.errors += 1
+            await self._send_error(
+                conn, request_id, ErrorCode.INTERNAL, f"stream failed: {exc}"
+            )
+
+    async def _send(self, conn: _Connection, payload: bytes) -> None:
+        """Write one frame atomically (streams interleave on one socket)."""
+        async with conn.wlock:
+            conn.writer.write(payload)
+            await conn.writer.drain()
+
+    async def _send_error(
+        self,
+        conn: _Connection,
+        request_id: "int | None",
+        code: ErrorCode,
+        message: str,
+    ) -> None:
+        """Best-effort ERROR frame (the peer may already be gone)."""
+        try:
+            await self._send(
+                conn,
+                protocol.encode_frame(
+                    MessageType.ERROR,
+                    {
+                        "request_id": request_id,
+                        "code": int(code),
+                        "message": message,
+                    },
+                ),
+            )
+        except (ConnectionError, OSError):
+            pass
+
+    # -- HTTP adapter ----------------------------------------------------
+    async def _handle_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One HTTP/1.1 exchange (``Connection: close`` semantics)."""
+        self.stats.http_requests += 1
+        try:
+            try:
+                head = await asyncio.wait_for(
+                    reader.readuntil(b"\r\n\r\n"), timeout=10.0
+                )
+            except (
+                asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError,
+                asyncio.TimeoutError,
+            ):
+                await self._http_reply(
+                    writer, 400, {"error": "malformed HTTP request"}
+                )
+                return
+            request_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+            parts = request_line.split()
+            if len(parts) != 3 or parts[0] != "GET":
+                await self._http_reply(
+                    writer, 405, {"error": "only GET is supported"}
+                )
+                return
+            await self._http_route(writer, parts[1])
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _http_route(self, writer: asyncio.StreamWriter, target: str) -> None:
+        """Dispatch one GET target to /healthz, /stats or /render."""
+        url = urlsplit(target)
+        query = dict(parse_qsl(url.query))
+        if url.path == "/healthz":
+            await self._http_reply(writer, 200, {"status": "ok"})
+        elif url.path == "/stats":
+            await self._http_reply(
+                writer,
+                200,
+                {
+                    "service": self.service.stats_dict(),
+                    "gateway": asdict(self.stats),
+                },
+            )
+        elif url.path == "/render":
+            await self._http_render(writer, query)
+        else:
+            await self._http_reply(
+                writer, 404, {"error": f"no route {url.path}"}
+            )
+
+    async def _http_render(
+        self, writer: asyncio.StreamWriter, query: "dict[str, str]"
+    ) -> None:
+        """``/render?scene=NAME&view=I[&format=ppm|json]``."""
+        name = query.get("scene")
+        cameras = self._orbits.get(name or "")
+        if cameras is None:
+            await self._http_reply(
+                writer,
+                404,
+                {
+                    "error": f"unknown scene {name!r}",
+                    "scenes": sorted(self._orbits),
+                },
+            )
+            return
+        try:
+            view = int(query.get("view", "0"))
+        except ValueError:
+            view = -1
+        if not 0 <= view < len(cameras):
+            await self._http_reply(
+                writer,
+                400,
+                {"error": f"view must be an index in [0, {len(cameras)})"},
+            )
+            return
+        fmt = query.get("format", "ppm")
+        if fmt not in ("ppm", "json"):
+            await self._http_reply(
+                writer, 400, {"error": "format must be 'ppm' or 'json'"}
+            )
+            return
+        if self._pending >= self.max_pending:
+            self.stats.rejected += 1
+            await self._http_reply(
+                writer,
+                429,
+                {"error": f"admission bound reached ({self.max_pending})"},
+            )
+            return
+        self._pending += 1
+        self.stats.requests += 1
+        try:
+            result = await self.service.render_frame(
+                self._scenes[name], cameras[view]
+            )
+        except Exception as exc:
+            self.stats.errors += 1
+            await self._http_reply(writer, 500, {"error": str(exc)})
+            return
+        finally:
+            self._pending -= 1
+        if fmt == "ppm":
+            await self._http_reply(
+                writer,
+                200,
+                _ppm_bytes(result.image),
+                content_type="image/x-portable-pixmap",
+            )
+        else:
+            image = np.ascontiguousarray(result.image)
+            await self._http_reply(
+                writer,
+                200,
+                {
+                    "scene": name,
+                    "view": view,
+                    "width": int(image.shape[1]),
+                    "height": int(image.shape[0]),
+                    "dtype": image.dtype.str,
+                    # Raw float bytes, not the 8-bit PPM: equal to the
+                    # sha256 of a direct RenderEngine.render — the
+                    # bit-identity check from a shell.
+                    "image_sha256": hashlib.sha256(image.tobytes()).hexdigest(),
+                    "num_pairs": int(result.stats.preprocess.num_pairs),
+                    "alpha_ops": int(
+                        result.stats.raster.num_alpha_computations
+                    ),
+                },
+            )
+
+    @staticmethod
+    async def _http_reply(
+        writer: asyncio.StreamWriter,
+        status: int,
+        body,
+        *,
+        content_type: str = "application/json",
+    ) -> None:
+        """Write one full HTTP/1.1 response and flush."""
+        reasons = {
+            200: "OK",
+            400: "Bad Request",
+            404: "Not Found",
+            405: "Method Not Allowed",
+            429: "Too Many Requests",
+            500: "Internal Server Error",
+        }
+        if isinstance(body, (dict, list)):
+            payload = (json.dumps(body, indent=2) + "\n").encode("utf-8")
+        else:
+            payload = body
+        writer.write(
+            (
+                f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("latin-1")
+        )
+        writer.write(payload)
+        await writer.drain()
+
+
+def _ppm_bytes(image: np.ndarray) -> bytes:
+    """Encode a float image as binary PPM bytes (P6).
+
+    Peak-normalised exactly like the CLI's ``render`` output
+    (``repro.io.ppm.write_ppm`` quantisation), so a fetched frame matches
+    a CLI-written one byte for byte.
+    """
+    peak = max(float(image.max()), 1e-9)
+    data = np.rint(np.clip(image / peak, 0.0, 1.0) * 255.0).astype(np.uint8)
+    height, width = data.shape[:2]
+    return b"P6\n%d %d\n255\n" % (width, height) + data.tobytes()

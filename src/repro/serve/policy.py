@@ -1,0 +1,194 @@
+"""Two-timescale adaptive micro-batch sizing under a latency target.
+
+The serving layer has one latency/throughput dial — the
+:class:`repro.serve.scheduler.MicroBatcher`'s ``max_batch_size`` /
+``max_wait`` pair — and the right setting depends on load the operator
+cannot know in advance.  :class:`AdaptiveBatchPolicy` closes the loop
+the way the joint power-and-admission-control literature structures it
+(Chen et al.'s two-timescale JPAC; see ``PAPERS.md``): a **fast
+timescale** where every request is admitted or rejected immediately
+against the current budget (the gateway's ``max_pending`` 429-rejects),
+and a **slow timescale** where measured outcomes feed back into the
+control variables:
+
+* every completed request reports its end-to-end latency via
+  :meth:`observe`;
+* once a window of ``window`` observations is full, :meth:`adapt`
+  compares the window's p95 against ``target_p95`` and moves the batch
+  knobs multiplicatively —
+
+  - p95 **above** the target: the service is over-batching for the load;
+    shrink ``max_batch_size`` and ``max_wait`` (x ``shrink``),
+  - p95 **below** ``low_watermark * target_p95``: there is latency
+    headroom; grow both (x ``grow``) to buy throughput,
+  - otherwise: hold (the hysteresis band keeps the slow loop from
+    oscillating around the target).
+
+The policy is deliberately pure — no clocks, no asyncio — so the slow
+loop is deterministic and unit-testable with synthetic latency models;
+:class:`repro.serve.service.RenderService` owns the wiring (measuring
+request latency and applying the returned knobs to its batcher), and the
+gateway contributes the fast-timescale half (admission rejects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class Adaptation:
+    """One slow-timescale decision, kept for introspection and tests.
+
+    Attributes
+    ----------
+    p50, p95:
+        The window's latency quantiles, in seconds.
+    batch_size, max_wait:
+        The knob values *after* this decision.
+    action:
+        ``"grow"``, ``"shrink"`` or ``"hold"``.
+    """
+
+    p50: float
+    p95: float
+    batch_size: int
+    max_wait: float
+    action: str
+
+
+class AdaptiveBatchPolicy:
+    """Slow-timescale controller for the micro-batching knobs.
+
+    Parameters
+    ----------
+    target_p95:
+        The latency objective, in seconds: the p95 of request latencies
+        the slow loop steers toward (from above — it shrinks batches
+        whenever the measured p95 exceeds this).
+    window:
+        Observations per adaptation (the slow timescale's period).
+    batch_size, max_wait:
+        Initial knob values; services overwrite these with their own
+        configured knobs when the policy is attached.
+    min_batch, max_batch, min_wait, max_wait_cap:
+        Clamps on the controlled knobs.
+    grow, shrink:
+        Multiplicative step factors (``grow > 1``, ``0 < shrink < 1``).
+    low_watermark:
+        Fraction of ``target_p95`` below which the policy grows; the
+        band between ``low_watermark * target_p95`` and ``target_p95``
+        is the hold region (hysteresis).
+    """
+
+    def __init__(
+        self,
+        *,
+        target_p95: float = 0.05,
+        window: int = 32,
+        batch_size: int = 8,
+        max_wait: float = 0.002,
+        min_batch: int = 1,
+        max_batch: int = 64,
+        min_wait: float = 0.0002,
+        max_wait_cap: float = 0.05,
+        grow: float = 1.25,
+        shrink: float = 0.7,
+        low_watermark: float = 0.6,
+    ) -> None:
+        if target_p95 <= 0:
+            raise ValueError("target_p95 must be positive")
+        if window < 1:
+            raise ValueError("window must be positive")
+        if not 1 <= min_batch <= max_batch:
+            raise ValueError("require 1 <= min_batch <= max_batch")
+        if not 0 < min_wait <= max_wait_cap:
+            raise ValueError("require 0 < min_wait <= max_wait_cap")
+        if grow <= 1.0 or not 0.0 < shrink < 1.0:
+            raise ValueError("require grow > 1 and 0 < shrink < 1")
+        if not 0.0 < low_watermark < 1.0:
+            raise ValueError("low_watermark must lie in (0, 1)")
+        self.target_p95 = target_p95
+        self.window = window
+        self.min_batch = min_batch
+        self.max_batch = max_batch
+        self.min_wait = min_wait
+        self.max_wait_cap = max_wait_cap
+        self.grow = grow
+        self.shrink = shrink
+        self.low_watermark = low_watermark
+        self.batch_size = int(np.clip(batch_size, min_batch, max_batch))
+        self.max_wait = float(np.clip(max_wait, min_wait, max_wait_cap))
+        self._latencies: "list[float]" = []
+        self.adaptations: "list[Adaptation]" = []
+
+    def bind(self, batch_size: int, max_wait: float) -> None:
+        """Adopt a service's configured knobs as the starting point."""
+        self.batch_size = int(np.clip(batch_size, self.min_batch, self.max_batch))
+        self.max_wait = float(np.clip(max_wait, self.min_wait, self.max_wait_cap))
+
+    def observe(self, latency_s: float) -> bool:
+        """Record one request latency; True when a window just filled.
+
+        A ``True`` return is the caller's cue to call :meth:`adapt` and
+        apply the knobs it returns.
+        """
+        if latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        self._latencies.append(float(latency_s))
+        return len(self._latencies) >= self.window
+
+    def adapt(self) -> "tuple[int, float]":
+        """Consume the window and return the new ``(batch_size, max_wait)``.
+
+        With an empty window this is a no-op returning the current knobs
+        (so callers may flush on shutdown unconditionally).
+        """
+        if not self._latencies:
+            return self.batch_size, self.max_wait
+        lat = np.asarray(self._latencies, dtype=np.float64)
+        self._latencies.clear()
+        p50, p95 = (float(q) for q in np.quantile(lat, (0.5, 0.95)))
+        if p95 > self.target_p95:
+            action = "shrink"
+            self.batch_size = max(
+                self.min_batch, int(self.batch_size * self.shrink)
+            )
+            self.max_wait = max(self.min_wait, self.max_wait * self.shrink)
+        elif p95 < self.low_watermark * self.target_p95:
+            action = "grow"
+            self.batch_size = min(
+                self.max_batch,
+                max(self.batch_size + 1, int(np.ceil(self.batch_size * self.grow))),
+            )
+            self.max_wait = min(self.max_wait_cap, self.max_wait * self.grow)
+        else:
+            action = "hold"
+        self.adaptations.append(
+            Adaptation(
+                p50=p50,
+                p95=p95,
+                batch_size=self.batch_size,
+                max_wait=self.max_wait,
+                action=action,
+            )
+        )
+        return self.batch_size, self.max_wait
+
+    @property
+    def last(self) -> "Adaptation | None":
+        """The most recent adaptation, if any."""
+        return self.adaptations[-1] if self.adaptations else None
+
+    def stats_dict(self) -> "dict[str, float]":
+        """Current knobs + last window quantiles, for reporting."""
+        last = self.last
+        return {
+            "batch_size": self.batch_size,
+            "max_wait": self.max_wait,
+            "adaptations": len(self.adaptations),
+            "last_p50": last.p50 if last else 0.0,
+            "last_p95": last.p95 if last else 0.0,
+        }

@@ -1,0 +1,462 @@
+"""The render gateway's wire protocol: length-prefixed JSON + binary.
+
+One protocol serves both directions of a gateway connection.  Every
+message is a *frame*::
+
+    u32 payload_len | u8 msg_type | u32 header_len | header | blob
+    (big-endian)      (MessageType) (big-endian)     (JSON)   (raw bytes)
+
+``payload_len`` counts everything after the length prefix
+(``1 + 4 + len(header) + len(blob)``).  The JSON ``header`` carries the
+message's structured fields; the ``blob`` carries bulk binary payloads
+(scene parameter arrays, rendered images) verbatim, so numeric data
+crosses the wire **bit-exactly** — the serving layer's losslessness
+guarantee extends through the socket.  Small float fields (camera
+extrinsics, stat counters) ride in the JSON header: CPython's JSON
+encoder emits the shortest round-tripping ``repr`` of a double, so they
+are exact too.
+
+Message types (:class:`MessageType`) and who sends them:
+
+===========  =========  ====================================================
+type         direction  meaning
+===========  =========  ====================================================
+HELLO        S -> C     greeting after connect: protocol version + limits
+SCENE        C -> S     register a Gaussian cloud (arrays in the blob)
+SCENE_OK     S -> C     scene accepted; header carries its ``scene_id``
+RENDER       C -> S     one-shot frame request for ``(scene_id, camera)``
+STREAM       C -> S     trajectory request: ordered list of cameras
+FRAME        S -> C     one rendered frame (image blob + stats header)
+END          S -> C     a stream finished; header counts its frames
+ERROR        S -> C     request-scoped or connection-scoped failure
+CANCEL       C -> S     abandon a previously submitted request id
+STATS        C -> S     ask for the service/gateway counters
+STATS_OK     S -> C     the counters, as a JSON object
+BYE          C -> S     graceful goodbye; the server closes the connection
+===========  =========  ====================================================
+
+Errors carry HTTP-flavoured codes (:class:`ErrorCode`): ``400`` malformed
+frame or request, ``404`` unknown scene, ``413`` frame too large, ``429``
+admission rejected (the gateway is at ``max_pending`` — back off and
+retry), ``500`` internal render failure, ``503`` shutting down.  A
+malformed-but-framed message (bad JSON, unknown type, missing fields) is
+*recoverable*: the server answers with a ``400`` ERROR frame and keeps
+the connection; only a broken frame boundary (oversized length prefix,
+EOF mid-frame) is fatal, because resynchronisation is impossible.
+
+The full byte-level specification lives in ``docs/serving.md``.
+
+.. warning::
+    The protocol authenticates nothing and is meant for trusted networks
+    (localhost, a private serving pod) — the same trust model as the
+    shared-memory caches it fronts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+
+import numpy as np
+
+from repro.gaussians.camera import Camera
+from repro.gaussians.cloud import GaussianCloud
+from repro.raster.renderer import RenderResult
+from repro.raster.stats import (
+    RasterCounters,
+    RenderStats,
+    SortCounters,
+    StageCounters,
+)
+
+#: Protocol version announced in HELLO; bumped on incompatible changes.
+PROTOCOL_VERSION = 1
+
+#: Hard bound on a single frame's payload (64 MiB covers a 1080p float64
+#: image ~12x over); a larger length prefix is treated as corruption.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_PREFIX = struct.Struct("!I")
+_HEAD = struct.Struct("!BI")
+
+
+class MessageType(IntEnum):
+    """Wire message types (the ``msg_type`` byte of every frame)."""
+
+    HELLO = 1
+    SCENE = 2
+    SCENE_OK = 3
+    RENDER = 4
+    STREAM = 5
+    FRAME = 6
+    END = 7
+    ERROR = 8
+    CANCEL = 9
+    STATS = 10
+    STATS_OK = 11
+    BYE = 12
+
+
+class ErrorCode(IntEnum):
+    """HTTP-flavoured error codes carried by ERROR frames."""
+
+    BAD_REQUEST = 400
+    UNKNOWN_SCENE = 404
+    FRAME_TOO_LARGE = 413
+    REJECTED = 429
+    INTERNAL = 500
+    SHUTTING_DOWN = 503
+
+
+class ProtocolError(Exception):
+    """A malformed frame.
+
+    ``fatal`` distinguishes recoverable damage (the frame was fully read
+    but its contents are nonsense — the stream is still in sync) from
+    unrecoverable damage (the frame *boundary* is corrupt, so nothing
+    after it can be trusted and the connection must close).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        code: ErrorCode = ErrorCode.BAD_REQUEST,
+        fatal: bool = False,
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.fatal = fatal
+
+
+@dataclass
+class Frame:
+    """One decoded wire frame: type byte, JSON header, binary blob."""
+
+    type: MessageType
+    header: dict
+    blob: bytes = b""
+
+
+def encode_frame(
+    msg_type: MessageType, header: "dict | None" = None, blob: bytes = b""
+) -> bytes:
+    """Serialise one frame to wire bytes (prefix + type + header + blob)."""
+    header_bytes = json.dumps(
+        header or {}, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+    payload_len = _HEAD.size + len(header_bytes) + len(blob)
+    if payload_len > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {payload_len} bytes exceeds MAX_FRAME_BYTES",
+            code=ErrorCode.FRAME_TOO_LARGE,
+        )
+    return b"".join(
+        (
+            _PREFIX.pack(payload_len),
+            _HEAD.pack(int(msg_type), len(header_bytes)),
+            header_bytes,
+            blob,
+        )
+    )
+
+
+def _parse_payload(payload: bytes) -> Frame:
+    """Decode a frame's payload (everything after the length prefix)."""
+    if len(payload) < _HEAD.size:
+        raise ProtocolError("frame payload shorter than its fixed header")
+    type_byte, header_len = _HEAD.unpack_from(payload)
+    if _HEAD.size + header_len > len(payload):
+        raise ProtocolError("frame header length exceeds the payload")
+    try:
+        msg_type = MessageType(type_byte)
+    except ValueError as exc:
+        raise ProtocolError(f"unknown message type {type_byte}") from exc
+    header_bytes = payload[_HEAD.size : _HEAD.size + header_len]
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise ProtocolError("frame header must be a JSON object")
+    return Frame(
+        type=msg_type, header=header, blob=payload[_HEAD.size + header_len :]
+    )
+
+
+async def read_frame(
+    reader, *, max_frame: int = MAX_FRAME_BYTES
+) -> "Frame | None":
+    """Read one frame from an :class:`asyncio.StreamReader`.
+
+    Returns ``None`` on a clean EOF at a frame boundary.  Raises
+    :class:`ProtocolError` with ``fatal=True`` when the frame boundary
+    itself is corrupt (oversized length, EOF mid-frame) and with
+    ``fatal=False`` when the frame was read whole but its contents are
+    malformed — the caller may answer with an ERROR frame and continue.
+    """
+    try:
+        prefix = await reader.readexactly(_PREFIX.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF at a frame boundary
+        raise ProtocolError(
+            "EOF inside a frame length prefix", fatal=True
+        ) from exc
+    (payload_len,) = _PREFIX.unpack(prefix)
+    if payload_len > max_frame:
+        raise ProtocolError(
+            f"declared frame length {payload_len} exceeds the {max_frame}-byte "
+            "bound",
+            code=ErrorCode.FRAME_TOO_LARGE,
+            fatal=True,
+        )
+    try:
+        payload = await reader.readexactly(payload_len)
+    except EOFError as exc:  # asyncio.IncompleteReadError subclasses EOFError
+        raise ProtocolError("EOF inside a frame payload", fatal=True) from exc
+    return _parse_payload(payload)
+
+
+def read_frame_from(stream, *, max_frame: int = MAX_FRAME_BYTES) -> "Frame | None":
+    """Blocking :func:`read_frame` over a file-like byte stream.
+
+    ``stream`` is anything with a ``read(n)`` returning up to ``n`` bytes
+    (e.g. ``socket.makefile("rb")``); used by the synchronous
+    :class:`repro.serve.client.GatewayClient`.
+    """
+    prefix = _read_exact(stream, _PREFIX.size, allow_eof=True)
+    if prefix is None:
+        return None
+    (payload_len,) = _PREFIX.unpack(prefix)
+    if payload_len > max_frame:
+        raise ProtocolError(
+            f"declared frame length {payload_len} exceeds the {max_frame}-byte "
+            "bound",
+            code=ErrorCode.FRAME_TOO_LARGE,
+            fatal=True,
+        )
+    payload = _read_exact(stream, payload_len)
+    return _parse_payload(payload)
+
+
+def _read_exact(stream, n: int, *, allow_eof: bool = False) -> "bytes | None":
+    """Read exactly ``n`` bytes, or None on immediate EOF when allowed."""
+    chunks: "list[bytes]" = []
+    remaining = n
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            if allow_eof and remaining == n:
+                return None
+            raise ProtocolError("EOF inside a frame payload", fatal=True)
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# -- payload codecs ------------------------------------------------------
+#: Cloud parameter arrays, in their fixed wire order.
+_CLOUD_FIELDS = ("positions", "scales", "rotations", "opacities", "sh_coeffs")
+
+
+def encode_cloud(cloud: GaussianCloud) -> "tuple[dict, bytes]":
+    """Encode a cloud's parameter arrays as ``(header, blob)``.
+
+    The header lists each array's dtype and shape; the blob is their raw
+    bytes concatenated in :data:`_CLOUD_FIELDS` order, so the decoded
+    cloud fingerprints identically to the original.
+    """
+    arrays = []
+    parts = []
+    for name in _CLOUD_FIELDS:
+        array = np.ascontiguousarray(getattr(cloud, name))
+        arrays.append(
+            {"name": name, "dtype": array.dtype.str, "shape": list(array.shape)}
+        )
+        parts.append(array.tobytes())
+    return {"arrays": arrays}, b"".join(parts)
+
+
+def decode_cloud(header: dict, blob: bytes) -> GaussianCloud:
+    """Rebuild a :class:`GaussianCloud` from :func:`encode_cloud` output."""
+    specs = header.get("arrays")
+    if (
+        not isinstance(specs, list)
+        or not all(isinstance(spec, dict) for spec in specs)
+        or [spec.get("name") for spec in specs] != list(_CLOUD_FIELDS)
+    ):
+        raise ProtocolError("scene header must list the five cloud arrays")
+    fields = {}
+    offset = 0
+    for spec in specs:
+        try:
+            dtype = np.dtype(spec["dtype"])
+            shape = tuple(int(dim) for dim in spec["shape"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"bad scene array spec: {exc}") from exc
+        if any(dim < 0 for dim in shape):
+            raise ProtocolError("scene array shapes must be non-negative")
+        count = int(np.prod(shape, dtype=np.int64))
+        nbytes = dtype.itemsize * count
+        if offset + nbytes > len(blob):
+            raise ProtocolError("scene blob shorter than its array specs")
+        fields[spec["name"]] = (
+            np.frombuffer(blob, dtype=dtype, count=count, offset=offset)
+            .reshape(shape)
+            .copy()  # GaussianCloud normalises in place; keep it writable
+        )
+        offset += nbytes
+    if offset != len(blob):
+        raise ProtocolError("scene blob longer than its array specs")
+    try:
+        cloud = GaussianCloud(**fields)
+    except ValueError as exc:
+        raise ProtocolError(f"invalid cloud parameters: {exc}") from exc
+    # __post_init__ re-normalises quaternions, which is not bit-idempotent
+    # (dividing by a norm of ~1.0 can flip last-ulp bits).  The sender's
+    # rotations were already normalised, so restore their exact bytes —
+    # required for the served-frames-bit-identical guarantee and for
+    # content fingerprints to agree across the wire.  A sender that did
+    # ship unnormalised rotations keeps the normalised version.
+    if np.allclose(cloud.rotations, fields["rotations"], atol=1e-9):
+        cloud.rotations = fields["rotations"]
+    return cloud
+
+
+def encode_camera(camera: Camera) -> dict:
+    """Camera -> JSON-safe dict (floats round-trip exactly via repr)."""
+    return {
+        "width": camera.width,
+        "height": camera.height,
+        "fx": camera.fx,
+        "fy": camera.fy,
+        "near": camera.near,
+        "far": camera.far,
+        "rotation": np.asarray(camera.rotation, dtype=np.float64)
+        .reshape(-1)
+        .tolist(),
+        "translation": np.asarray(camera.translation, dtype=np.float64).tolist(),
+    }
+
+
+def decode_camera(header: dict) -> Camera:
+    """Rebuild a :class:`Camera` from :func:`encode_camera` output."""
+    try:
+        rotation = np.asarray(header["rotation"], dtype=np.float64).reshape(3, 3)
+        translation = np.asarray(header["translation"], dtype=np.float64)
+        return Camera(
+            width=int(header["width"]),
+            height=int(header["height"]),
+            fx=float(header["fx"]),
+            fy=float(header["fy"]),
+            rotation=rotation,
+            translation=translation,
+            near=float(header["near"]),
+            far=float(header["far"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"invalid camera: {exc}") from exc
+
+
+def _plain(value):
+    """Coerce numpy scalars to built-ins so json can serialise them."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    return value
+
+
+def encode_stats(stats: RenderStats) -> dict:
+    """RenderStats -> JSON-safe dict; exact for every counter.
+
+    Ints stay ints; floats round-trip exactly through JSON (shortest
+    ``repr``); ``per_tile_alpha``'s int keys are shipped as ``[tile,
+    count]`` pairs because JSON objects only key on strings.
+    """
+    return {
+        "preprocess": {
+            k: _plain(v) for k, v in vars(stats.preprocess).items()
+        },
+        "sort": {k: _plain(v) for k, v in vars(stats.sort).items()},
+        "raster": {k: _plain(v) for k, v in vars(stats.raster).items()},
+        "bitmask_tests": _plain(stats.bitmask_tests),
+        "bitmask_test_cost": _plain(stats.bitmask_test_cost),
+        "num_bitmasks": _plain(stats.num_bitmasks),
+        "bitmask_bits": _plain(stats.bitmask_bits),
+        "num_filter_checks": _plain(stats.num_filter_checks),
+        "per_tile_alpha": sorted(
+            (int(tile), int(alpha))
+            for tile, alpha in stats.per_tile_alpha.items()
+        ),
+    }
+
+
+def decode_stats(header: dict) -> RenderStats:
+    """Rebuild a :class:`RenderStats` from :func:`encode_stats` output."""
+    try:
+        return RenderStats(
+            preprocess=StageCounters(**header["preprocess"]),
+            sort=SortCounters(**header["sort"]),
+            raster=RasterCounters(**header["raster"]),
+            bitmask_tests=header["bitmask_tests"],
+            bitmask_test_cost=header["bitmask_test_cost"],
+            num_bitmasks=header["num_bitmasks"],
+            bitmask_bits=header["bitmask_bits"],
+            num_filter_checks=header["num_filter_checks"],
+            per_tile_alpha={
+                int(tile): int(alpha)
+                for tile, alpha in header["per_tile_alpha"]
+            },
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"invalid stats payload: {exc}") from exc
+
+
+def encode_result_frame(
+    request_id: int, index: int, result: RenderResult
+) -> bytes:
+    """Encode one rendered frame as a FRAME wire message.
+
+    The image travels as raw bytes (bit-exact); the stats ride in the
+    header.  ``projected``/``assignment`` are not shipped — the same
+    contract as frames returned from ``render_trajectory`` worker
+    processes (per-frame O(cloud) arrays no serving consumer reads).
+    """
+    image = np.ascontiguousarray(result.image)
+    header = {
+        "request_id": request_id,
+        "index": index,
+        "image": {"dtype": image.dtype.str, "shape": list(image.shape)},
+        "stats": encode_stats(result.stats),
+    }
+    return encode_frame(MessageType.FRAME, header, image.tobytes())
+
+
+def decode_result_frame(frame: Frame) -> "tuple[int, int, RenderResult]":
+    """Decode a FRAME message to ``(request_id, index, RenderResult)``.
+
+    The image is a read-only zero-copy view over the received bytes.
+    """
+    try:
+        spec = frame.header["image"]
+        dtype = np.dtype(spec["dtype"])
+        shape = tuple(int(dim) for dim in spec["shape"])
+        request_id = int(frame.header["request_id"])
+        index = int(frame.header["index"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"invalid FRAME header: {exc}") from exc
+    count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+    if count * dtype.itemsize != len(frame.blob):
+        raise ProtocolError("FRAME blob size does not match its image spec")
+    image = np.frombuffer(frame.blob, dtype=dtype, count=count).reshape(shape)
+    stats = decode_stats(frame.header["stats"])
+    return request_id, index, RenderResult(
+        image=image, stats=stats, projected=None, assignment=None
+    )

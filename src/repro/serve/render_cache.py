@@ -159,6 +159,7 @@ class SharedRenderCache:
         return segment.name, image.dtype.str, image.shape, image.nbytes
 
     def _attach(self, name: str) -> shared_memory.SharedMemory:
+        """This process's handle to a segment, opened once and kept."""
         segment = self._attached.get(name)
         if segment is None:
             segment = shared_memory.SharedMemory(name=name)
@@ -181,6 +182,7 @@ class SharedRenderCache:
         )
 
     def _unlink(self, name: str) -> None:
+        """Release and unlink one segment (evicted or superseded)."""
         segment = self._attached.pop(name, None)
         if segment is None:
             try:

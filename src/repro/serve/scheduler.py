@@ -111,6 +111,7 @@ class MicroBatcher:
         return await future
 
     def _flush(self, key) -> None:
+        """Dispatch ``key``'s lane now, dropping cancelled requests."""
         lane = self._lanes.pop(key, None)
         if lane is None:
             return
@@ -129,6 +130,7 @@ class MicroBatcher:
         task.add_done_callback(self._tasks.discard)
 
     async def _execute(self, key, live) -> None:
+        """Run one batch on a worker thread; fan results/errors out."""
         loop = asyncio.get_running_loop()
         items = [item for item, _ in live]
         try:

@@ -18,7 +18,17 @@
   performs strictly fewer engine renders than it serves frames.
 * **Backpressure** — admission is bounded by ``max_pending``; a full
   service queues callers instead of growing without bound, and
-  trajectory streams keep at most ``prefetch`` frames in flight.
+  trajectory streams keep at most ``prefetch`` frames in flight.  (The
+  network gateway layers *rejecting* admission control — 429 error
+  frames — on top; see :mod:`repro.serve.gateway`.)
+* **Batch parallelism** — with ``batch_workers > 1`` every flushed
+  micro-batch renders across a persistent per-scene
+  :class:`repro.engine.TrajectoryPool` (process or thread workers)
+  instead of serially on the flush thread.
+* **Adaptation** — an attached
+  :class:`repro.serve.policy.AdaptiveBatchPolicy` retunes
+  ``max_batch_size``/``max_wait`` from measured request-latency
+  quantiles against a p95 target (the slow timescale).
 * **Cancellation** — cancelling a waiting request (or closing a stream
   early) drops its pending work; an in-flight render is cancelled once
   its *last* waiter disappears.
@@ -102,9 +112,24 @@ class RenderService:
         seconds, whichever comes first.
     max_pending:
         Admission bound — at most this many requests past the cache at
-        once; further callers wait (bounded-queue backpressure).
+        once; further callers wait (bounded-queue backpressure).  The
+        network gateway adds a *rejecting* bound on top (429 frames)
+        for callers that must not queue.
     vectorized:
         Forwarded to the underlying :class:`RenderEngine`.
+    batch_workers, batch_executor:
+        Worker-pool execution for micro-batch flushes: with
+        ``batch_workers > 1`` each flushed batch renders across a
+        persistent :class:`repro.engine.TrajectoryPool` of this many
+        workers (``"process"`` or ``"thread"``), one pool per scene
+        lane, instead of serially on the flush thread.  Pools are
+        created on a lane's first flush and closed by :meth:`close`.
+    policy:
+        Optional :class:`repro.serve.policy.AdaptiveBatchPolicy`.  When
+        given, the service measures every request's end-to-end latency,
+        feeds the policy's observation window, and applies the knobs
+        each :meth:`~AdaptiveBatchPolicy.adapt` step returns to its
+        micro-batcher — the slow timescale of the two-timescale loop.
     """
 
     def __init__(
@@ -116,23 +141,42 @@ class RenderService:
         max_wait: float = 0.002,
         max_pending: int = 32,
         vectorized: bool = True,
+        batch_workers: int = 1,
+        batch_executor: str = "process",
+        policy=None,
     ) -> None:
         if max_pending < 1:
             raise ValueError("max_pending must be positive")
+        if batch_workers < 1:
+            raise ValueError("batch_workers must be positive")
+        if batch_executor not in ("process", "thread"):
+            raise ValueError(
+                f"batch_executor must be 'process' or 'thread', got "
+                f"{batch_executor!r}"
+            )
         self.renderer = renderer
         self.engine = RenderEngine(renderer, vectorized=vectorized)
         self.cache = cache
         self.max_pending = max_pending
+        self.batch_workers = batch_workers
+        self.batch_executor = batch_executor
+        self.policy = policy
         self.stats = ServiceStats()
         self._batcher = MicroBatcher(
             self._render_batch, max_batch_size=max_batch_size, max_wait=max_wait
         )
+        if policy is not None:
+            policy.bind(max_batch_size, max_wait)
         self._inflight: "dict[tuple, _Inflight]" = {}
         self._sem: "asyncio.Semaphore | None" = None
         self._sem_loop: "asyncio.AbstractEventLoop | None" = None
         # Batches for different scenes may execute on different worker
         # threads; counter updates need a real lock, not the GIL.
         self._stats_lock = threading.Lock()
+        # Per-scene-lane TrajectoryPools (batch_workers > 1); lanes flush
+        # on different executor threads, so creation is lock-guarded.
+        self._pools: "dict[object, object]" = {}
+        self._pools_lock = threading.Lock()
 
     @property
     def batch_stats(self):
@@ -140,9 +184,14 @@ class RenderService:
         return self._batcher.stats
 
     def stats_dict(self) -> "dict[str, float]":
-        """Service + scheduler counters flattened for reporting."""
+        """Service + scheduler counters flattened for reporting.
+
+        Includes the *live* batching knobs (``batch_size`` /
+        ``max_wait``), which an attached adaptive policy may have moved
+        from their configured values.
+        """
         batch = self._batcher.stats
-        return {
+        counters = {
             "requests": self.stats.requests,
             "streams": self.stats.streams,
             "cache_hits": self.stats.cache_hits,
@@ -152,20 +201,42 @@ class RenderService:
             "mean_batch": round(batch.mean_batch, 2),
             "max_batch": batch.max_batch,
             "cancelled": batch.cancelled,
+            "batch_size": self._batcher.max_batch_size,
+            "max_wait": self._batcher.max_wait,
         }
+        if self.policy is not None:
+            counters["adaptations"] = len(self.policy.adaptations)
+        return counters
 
     # -- internals ------------------------------------------------------
+    def _lane_pool(self, key, cloud):
+        """The lane's persistent :class:`TrajectoryPool`, created lazily."""
+        pool = self._pools.get(key)
+        if pool is None:
+            with self._pools_lock:
+                pool = self._pools.get(key)
+                if pool is None:
+                    pool = self.engine.open_pool(
+                        cloud, self.batch_workers, executor=self.batch_executor
+                    )
+                    self._pools[key] = pool
+        return pool
+
     def _render_batch(self, key, items) -> "list[RenderResult]":
         """Worker-thread batch execution: one engine batch per flush.
 
         ``items`` all share the lane's scene; the whole lane renders
-        through a single ``render_trajectory`` call and each finished
-        frame is published to the shared cache before the results fan
-        back out to the waiters.
+        through a single ``render_trajectory`` call — across the lane's
+        persistent worker pool when ``batch_workers > 1`` — and each
+        finished frame is published to the shared cache before the
+        results fan back out to the waiters.
         """
         cloud = items[0][0]
         cameras = [camera for _, camera in items]
-        trajectory = self.engine.render_trajectory(cloud, cameras)
+        pool = (
+            self._lane_pool(key, cloud) if self.batch_workers > 1 else None
+        )
+        trajectory = self.engine.render_trajectory(cloud, cameras, pool=pool)
         with self._stats_lock:
             self.stats.engine_renders += len(cameras)
         if self.cache is not None:
@@ -174,8 +245,11 @@ class RenderService:
         return trajectory.results
 
     def _admission(self) -> asyncio.Semaphore:
-        # Bound to the running loop lazily so one service instance can
-        # serve several consecutive asyncio.run() lifetimes (tests, CLI).
+        """The ``max_pending`` semaphore, rebound to the current loop.
+
+        Bound lazily so one service instance can serve several
+        consecutive ``asyncio.run()`` lifetimes (tests, CLI).
+        """
         loop = asyncio.get_running_loop()
         if self._sem is None or self._sem_loop is not loop:
             self._sem = asyncio.Semaphore(self.max_pending)
@@ -185,14 +259,54 @@ class RenderService:
     async def _render_uncached(
         self, cloud: GaussianCloud, camera: Camera
     ) -> RenderResult:
+        """Submit a cache-missed view to its scene's batching lane."""
         lane = cloud_fingerprint(cloud)
         return await self._batcher.submit(lane, (cloud, camera))
+
+    def apply_batch_knobs(self, max_batch_size: int, max_wait: float) -> None:
+        """Retune the micro-batcher live (the adaptive policy's lever).
+
+        Takes effect from the next flush decision — pending lanes keep
+        their already-armed timers.
+        """
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be positive")
+        if max_wait < 0:
+            raise ValueError("max_wait must be non-negative")
+        self._batcher.max_batch_size = int(max_batch_size)
+        self._batcher.max_wait = float(max_wait)
+
+    def _observe_latency(self, elapsed_s: float) -> None:
+        """Feed one request latency to the policy; adapt on window edges.
+
+        Runs on the event loop (single-threaded), so the observe/adapt
+        pair needs no locking.
+        """
+        if self.policy is not None and self.policy.observe(elapsed_s):
+            self.apply_batch_knobs(*self.policy.adapt())
 
     # -- the request API ------------------------------------------------
     async def render_frame(
         self, cloud: GaussianCloud, camera: Camera
     ) -> RenderResult:
-        """Resolve one view, bit-identical to ``RenderEngine.render``."""
+        """Resolve one view, bit-identical to ``RenderEngine.render``.
+
+        With an attached policy the request's end-to-end latency
+        (admission wait included — that is what a client experiences) is
+        recorded as one slow-timescale observation.
+        """
+        if self.policy is None:
+            return await self._render_frame(cloud, camera)
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        result = await self._render_frame(cloud, camera)
+        self._observe_latency(loop.time() - start)
+        return result
+
+    async def _render_frame(
+        self, cloud: GaussianCloud, camera: Camera
+    ) -> RenderResult:
+        """The unmeasured request path (dedup, cache, batcher)."""
         self.stats.requests += 1
         async with self._admission():
             loop = asyncio.get_running_loop()
@@ -297,8 +411,13 @@ class RenderService:
 
     # -- lifecycle ------------------------------------------------------
     async def close(self) -> None:
-        """Flush pending batches and wait for in-flight work to settle."""
+        """Flush pending batches, settle in-flight work, close pools."""
         await self._batcher.drain()
+        with self._pools_lock:
+            pools, self._pools = dict(self._pools), {}
+        for pool in pools.values():
+            # Executor shutdown blocks; keep it off the event loop.
+            await asyncio.get_running_loop().run_in_executor(None, pool.close)
 
     async def __aenter__(self) -> "RenderService":
         return self

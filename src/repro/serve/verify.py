@@ -1,0 +1,50 @@
+"""The serving layer's one frame-verification helper.
+
+Every consumer that checks the serving guarantee — the CLI's
+``serve --verify``, ``examples/serve_demo.py``, the CI smoke jobs and
+the gateway tests — compares streamed frames against direct engine
+renders.  This module is the single implementation of that comparison,
+so the definition of "bit-identical" cannot drift between them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine import RenderEngine
+from repro.gaussians.camera import Camera
+from repro.gaussians.cloud import GaussianCloud
+
+
+def verify_streamed_images(
+    renderer,
+    cloud: GaussianCloud,
+    cameras: "list[Camera] | tuple[Camera, ...]",
+    images_per_client: "list[list[np.ndarray]]",
+    *,
+    vectorized: bool = True,
+) -> "list[str]":
+    """Compare every client's streamed frames against direct renders.
+
+    ``images_per_client[c][i]`` must equal — byte for byte — a direct
+    ``RenderEngine.render`` of ``cameras[i]`` (the
+    :class:`repro.serve.client.LoadReport` ``images`` layout, every
+    client streaming the same trajectory).  Returns a list of
+    human-readable mismatch descriptions; an empty list means verified.
+    Each reference view is rendered once, not once per client.
+    """
+    engine = RenderEngine(renderer, vectorized=vectorized)
+    failures: "list[str]" = []
+    for index, camera in enumerate(cameras):
+        direct = engine.render(cloud, camera)
+        for client, images in enumerate(images_per_client):
+            if index >= len(images):
+                failures.append(
+                    f"client {client}: stream ended before frame {index}"
+                )
+            elif not np.array_equal(images[index], direct.image):
+                failures.append(
+                    f"client {client}: streamed frame {index} differs from "
+                    "the direct engine render"
+                )
+    return failures

@@ -1,0 +1,1 @@
+"""Documentation checks: links resolve, snippets run."""

@@ -1,0 +1,138 @@
+"""The docs stay true: links resolve and code snippets run.
+
+Two properties over ``docs/*.md`` (plus the README's links):
+
+* **Internal links resolve** — every relative markdown link points at a
+  file that exists, and every ``#anchor`` (own-page or cross-page)
+  matches a real heading under GitHub's anchor rules.
+* **Python snippets are runnable** — every fenced ``python`` block in
+  ``docs/`` executes successfully, unless an adjacent
+  ``<!-- docs: no-run ... -->`` comment opts it out (for fragments that
+  need external state, e.g. a running server).  Snippets run in an
+  isolated namespace with the working directory pointed at a temp dir,
+  so they cannot litter the repository.
+
+Keep doc snippets small (tiny scenes, few views): this module runs in
+tier-1 and in the CI docs job.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+DOC_FILES = sorted((REPO / "docs").glob("*.md"))
+LINK_FILES = DOC_FILES + [REPO / "README.md"]
+
+#: ``[text](target)`` — good enough for these hand-written pages.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"^```(\w*)\s*$")
+_NO_RUN = "docs: no-run"
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading -> anchor rule (lowercase, strip, hyphenate)."""
+    heading = heading.strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> "set[str]":
+    """Every heading anchor a markdown file defines."""
+    anchors = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _FENCE.match(line) or line.startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence and line.startswith("#"):
+            anchors.add(github_anchor(line.lstrip("#")))
+    return anchors
+
+
+def iter_links(path: Path) -> "list[str]":
+    """All link targets in a file, fenced code excluded."""
+    links = []
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            links.extend(_LINK.findall(line))
+    return links
+
+
+def iter_snippets(path: Path) -> "list[tuple[int, str, bool]]":
+    """``(first_line, code, should_run)`` for every python fence."""
+    lines = path.read_text(encoding="utf-8").splitlines()
+    snippets = []
+    index = 0
+    while index < len(lines):
+        match = _FENCE.match(lines[index])
+        if match and match.group(1) == "python":
+            # An opt-out comment within the two preceding non-empty lines.
+            preceding = [line for line in lines[:index] if line.strip()][-2:]
+            should_run = not any(_NO_RUN in line for line in preceding)
+            body = []
+            index += 1
+            start = index + 1
+            while index < len(lines) and not lines[index].startswith("```"):
+                body.append(lines[index])
+                index += 1
+            snippets.append((start, "\n".join(body), should_run))
+        index += 1
+    return snippets
+
+
+def test_docs_exist():
+    """The documented pages the README points at are actually there."""
+    names = {path.name for path in DOC_FILES}
+    assert {"architecture.md", "serving.md", "benchmarks.md"} <= names
+
+
+@pytest.mark.parametrize("path", LINK_FILES, ids=lambda p: p.name)
+def test_internal_links_resolve(path):
+    for target in iter_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, anchor = target.partition("#")
+        dest = (path.parent / base).resolve() if base else path
+        assert dest.exists(), f"{path.name}: broken link -> {target}"
+        if anchor and dest.suffix == ".md":
+            assert github_anchor(anchor) in anchors_of(dest), (
+                f"{path.name}: link -> {target} names a missing heading"
+            )
+
+
+def _doc_snippet_params():
+    params = []
+    for path in DOC_FILES:
+        for line, code, should_run in iter_snippets(path):
+            params.append(
+                pytest.param(
+                    code, should_run, id=f"{path.name}:{line}"
+                )
+            )
+    return params
+
+
+@pytest.mark.parametrize("code,should_run", _doc_snippet_params())
+def test_doc_snippets_run(code, should_run, tmp_path, monkeypatch):
+    if not should_run:
+        compile(code, "<docs snippet>", "exec")  # at least parse
+        pytest.skip("snippet opted out via 'docs: no-run'")
+    monkeypatch.chdir(tmp_path)
+    namespace = {"__name__": "__docs__"}
+    exec(compile(code, "<docs snippet>", "exec"), namespace)
+
+
+def test_snippet_collection_finds_the_runnable_examples():
+    """Guard the harness itself: the pages keep runnable snippets, and
+    the no-run opt-out is actually being honoured somewhere."""
+    all_params = _doc_snippet_params()
+    assert len(all_params) >= 4
+    runnable = [p for p in all_params if p.values[1]]
+    skipped = [p for p in all_params if not p.values[1]]
+    assert runnable and skipped

@@ -1,0 +1,209 @@
+"""Tests for the two-timescale adaptive micro-batch policy.
+
+The slow loop is pure (no clocks), so convergence is tested against a
+deterministic synthetic latency model: latency grows with batch size,
+and the policy must steer the batch size into the equilibrium band
+implied by the target — from above *and* from below — then hold it.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import GSTGRenderer
+from repro.gaussians.camera import Camera
+from repro.serve import AdaptiveBatchPolicy, RenderService
+from repro.tiles.boundary import BoundaryMethod
+from tests.conftest import make_cloud
+
+
+class TestMechanics:
+    def test_observe_window_edge(self):
+        policy = AdaptiveBatchPolicy(window=3)
+        assert not policy.observe(0.01)
+        assert not policy.observe(0.01)
+        assert policy.observe(0.01)
+        policy.adapt()
+        assert not policy.observe(0.01)  # window was consumed
+
+    def test_shrink_on_high_p95(self):
+        policy = AdaptiveBatchPolicy(
+            target_p95=0.05, window=4, batch_size=16, max_wait=0.01
+        )
+        for _ in range(4):
+            policy.observe(0.2)
+        batch, wait = policy.adapt()
+        assert batch < 16 and wait < 0.01
+        assert policy.last.action == "shrink"
+        assert policy.last.p95 == pytest.approx(0.2)
+
+    def test_grow_on_low_p95(self):
+        policy = AdaptiveBatchPolicy(
+            target_p95=0.05, window=4, batch_size=4, max_wait=0.002
+        )
+        for _ in range(4):
+            policy.observe(0.001)
+        batch, wait = policy.adapt()
+        assert batch > 4 and wait > 0.002
+        assert policy.last.action == "grow"
+
+    def test_hold_inside_hysteresis_band(self):
+        policy = AdaptiveBatchPolicy(
+            target_p95=0.05, window=4, batch_size=8, low_watermark=0.6
+        )
+        for _ in range(4):
+            policy.observe(0.04)  # between 0.03 and 0.05
+        batch, _ = policy.adapt()
+        assert batch == 8
+        assert policy.last.action == "hold"
+
+    def test_clamps(self):
+        policy = AdaptiveBatchPolicy(
+            target_p95=0.05,
+            window=1,
+            batch_size=1,
+            max_wait=0.0002,
+            min_batch=1,
+            max_batch=4,
+            min_wait=0.0002,
+            max_wait_cap=0.001,
+        )
+        for _ in range(10):  # grow beyond the caps
+            policy.observe(0.0)
+            policy.adapt()
+        assert policy.batch_size == 4
+        assert policy.max_wait == pytest.approx(0.001)
+        for _ in range(10):  # shrink beyond the floors
+            policy.observe(1.0)
+            policy.adapt()
+        assert policy.batch_size == 1
+        assert policy.max_wait == pytest.approx(0.0002)
+
+    def test_adapt_without_observations_is_noop(self):
+        policy = AdaptiveBatchPolicy(batch_size=8, max_wait=0.002)
+        assert policy.adapt() == (8, 0.002)
+        assert policy.adaptations == []
+
+    def test_bind_adopts_service_knobs(self):
+        policy = AdaptiveBatchPolicy(batch_size=8, max_batch=32)
+        policy.bind(12, 0.004)
+        assert policy.batch_size == 12
+        assert policy.max_wait == pytest.approx(0.004)
+        policy.bind(1000, 10.0)  # clamped
+        assert policy.batch_size == 32
+        assert policy.max_wait == policy.max_wait_cap
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveBatchPolicy(target_p95=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveBatchPolicy(window=0)
+        with pytest.raises(ValueError):
+            AdaptiveBatchPolicy(min_batch=8, max_batch=4)
+        with pytest.raises(ValueError):
+            AdaptiveBatchPolicy(grow=0.9)
+        with pytest.raises(ValueError):
+            AdaptiveBatchPolicy(shrink=1.5)
+        with pytest.raises(ValueError):
+            AdaptiveBatchPolicy(low_watermark=1.5)
+        with pytest.raises(ValueError):
+            AdaptiveBatchPolicy().observe(-1.0)
+
+
+def drive_to_equilibrium(policy, *, per_item_s: float, rounds: int) -> "list[int]":
+    """Feed the synthetic model: window latencies = per_item_s * batch.
+
+    Models a service whose batch execution time scales with batch size
+    (frames render serially inside a flush), the regime the slow loop
+    exists for.  Returns the batch-size trace, one entry per adaptation.
+    """
+    trace = []
+    for _ in range(rounds):
+        for i in range(policy.window):
+            # Deterministic spread: the p95 sits near the top of it.
+            jitter = 1.0 + 0.05 * (i % 3)
+            policy.observe(per_item_s * policy.batch_size * jitter)
+        policy.adapt()
+        trace.append(policy.batch_size)
+    return trace
+
+
+class TestConvergence:
+    """The satellite acceptance: batch size converges under a synthetic
+    latency target and stays in the equilibrium band."""
+
+    # latency ~= 0.01 * batch, target p95 = 0.08 -> equilibrium band is
+    # batch sizes whose p95 lies in (0.6 * 0.08, 0.08] ~= sizes 5..7.
+    PER_ITEM_S = 0.01
+    TARGET = 0.08
+    BAND = range(4, 8)
+
+    def make_policy(self, start: int) -> AdaptiveBatchPolicy:
+        return AdaptiveBatchPolicy(
+            target_p95=self.TARGET,
+            window=8,
+            batch_size=start,
+            max_wait=0.002,
+            max_batch=64,
+        )
+
+    def test_converges_from_below(self):
+        policy = self.make_policy(start=1)
+        trace = drive_to_equilibrium(
+            policy, per_item_s=self.PER_ITEM_S, rounds=20
+        )
+        assert trace[-1] in self.BAND
+        # ... and holds: the last adaptations stay in the band.
+        assert all(size in self.BAND for size in trace[-5:])
+
+    def test_converges_from_above(self):
+        policy = self.make_policy(start=64)
+        trace = drive_to_equilibrium(
+            policy, per_item_s=self.PER_ITEM_S, rounds=20
+        )
+        assert trace[-1] in self.BAND
+        assert all(size in self.BAND for size in trace[-5:])
+
+    def test_stable_once_converged(self):
+        policy = self.make_policy(start=6)
+        trace = drive_to_equilibrium(
+            policy, per_item_s=self.PER_ITEM_S, rounds=10
+        )
+        assert all(size in self.BAND for size in trace)
+
+
+class TestServiceIntegration:
+    def test_service_applies_adapted_knobs(self):
+        """Cheap renders against a huge target: the service must grow its
+        batcher's knobs after each full policy window."""
+        rng = np.random.default_rng(41)
+        cloud = make_cloud(20, rng)
+        cameras = [
+            Camera(width=64, height=48, fx=60.0 + i, fy=60.0 + i)
+            for i in range(8)
+        ]
+        renderer = GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE)
+        policy = AdaptiveBatchPolicy(target_p95=10.0, window=4)
+
+        async def main():
+            async with RenderService(
+                renderer, max_batch_size=2, max_wait=0.001, policy=policy
+            ) as service:
+                for camera in cameras:
+                    await service.render_frame(cloud, camera)
+                return service.stats_dict()
+
+        stats = asyncio.run(main())
+        assert stats["adaptations"] == 2  # 8 requests / window of 4
+        assert stats["batch_size"] > 2  # grew toward the huge target
+        assert all(a.action == "grow" for a in policy.adaptations)
+
+    def test_policy_binds_to_service_knobs(self):
+        renderer = GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE)
+        policy = AdaptiveBatchPolicy(batch_size=99, max_wait=0.03)
+        RenderService(
+            renderer, max_batch_size=5, max_wait=0.004, policy=policy
+        )
+        assert policy.batch_size == 5
+        assert policy.max_wait == pytest.approx(0.004)

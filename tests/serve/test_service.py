@@ -239,3 +239,36 @@ class TestBackpressureAndCancellation:
     def test_validation(self, renderer):
         with pytest.raises(ValueError):
             RenderService(renderer, max_pending=0)
+        with pytest.raises(ValueError):
+            RenderService(renderer, batch_workers=0)
+        with pytest.raises(ValueError):
+            RenderService(renderer, batch_executor="carrier-pigeon")
+
+
+class TestBatchWorkerPools:
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_pooled_batches_bit_identical(
+        self, scene, renderer, reference, executor
+    ):
+        """batch_workers > 1 renders each flush across a persistent pool;
+        frames and stats stay bit-identical and the pools close with the
+        service."""
+        cloud, cameras = scene
+
+        async def main():
+            service = RenderService(
+                renderer,
+                max_batch_size=4,
+                max_wait=0.002,
+                batch_workers=2,
+                batch_executor=executor,
+            )
+            async with service:
+                results = await service.render_trajectory(cloud, cameras)
+            return results, service
+
+        results, service = asyncio.run(main())
+        for result, ref in zip(results, reference):
+            assert np.array_equal(result.image, ref.image)
+            assert result.stats == ref.stats
+        assert service._pools == {}  # close() released the lane pools

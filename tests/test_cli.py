@@ -93,6 +93,20 @@ class TestServe:
         assert "verified: all 32 streamed frames bit-identical" in out
         assert "engine renders:" in out
 
+    def test_serve_tcp_verified_smoke(self, capsys):
+        """The gateway smoke: the same load over a real localhost TCP
+        socket, every streamed frame verified bit-identical."""
+        code = main(
+            [
+                "serve", "--scene", "playroom", "--scale", "0.05",
+                "--views", "6", "--clients", "3", "--tcp", "--verify",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TCP gateway listening" in out
+        assert "verified: all 18 streamed frames bit-identical" in out
+
     def test_serve_without_cache(self, capsys):
         code = main(
             [
