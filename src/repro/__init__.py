@@ -19,7 +19,10 @@ Redundant Sorting while Preserving Rasterization Efficiency" (DAC 2025):
   comparator model, DRAM and energy models,
 * ``repro.serve``     -- the serving stack: async streaming render
   service, micro-batching with adaptive sizing, cross-process render
-  cache, and the TCP/HTTP network gateway.
+  cache, the TCP/HTTP network gateway, shared-secret wire auth,
+* ``repro.cluster``   -- the sharded multi-gateway cluster: rendezvous
+  shard router, replication, health-aware routing with failover, and
+  subprocess backend fleets.
 
 ``docs/architecture.md`` maps how the layers fit together.
 """

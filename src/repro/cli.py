@@ -5,6 +5,7 @@ Subcommands::
     python -m repro.cli render     --scene train --out frame.ppm
     python -m repro.cli trajectory --scene train --views 8 --workers 4
     python -m repro.cli serve      --scene train --views 8 --clients 4
+    python -m repro.cli cluster    --backends 3 --replicate 2 --clients 6
     python -m repro.cli profile    --scene truck --method ellipse
     python -m repro.cli simulate   --scene residence
     python -m repro.cli report     --out EXPERIMENTS.md
@@ -24,13 +25,21 @@ localhost socket (``--http`` adds the curl-able HTTP adapter,
 ``--listen`` serves until interrupted instead of generating load,
 ``--adaptive`` retunes the batching knobs against ``--target-ms``, and
 ``--batch-workers N`` renders each flushed batch across a worker pool).
-See ``docs/serving.md``.
+``cluster`` spawns a local fleet of gateway backend subprocesses behind
+a :class:`repro.cluster.ShardRouter` (scene-sharded rendezvous routing,
+replication, health-driven failover) and drives multi-scene client load
+through the router — ``--kill-one`` SIGKILLs a scene's owner mid-stream
+to demonstrate failover, ``--verify`` bit-checks every streamed frame,
+``--listen`` serves until interrupted.  ``--auth-token`` (or
+``REPRO_AUTH_TOKEN``) keys the wire protocol on both subcommands.  See
+``docs/serving.md`` and ``docs/cluster.md``.
 """
 
 from __future__ import annotations
 
 import argparse
 import os
+import signal
 import sys
 import time
 
@@ -292,7 +301,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     async def drive_gateway():
         async with _make_service(args, cache) as service:
-            gateway = RenderGateway(service, max_pending=args.max_pending)
+            gateway = RenderGateway(
+                service,
+                max_pending=args.max_pending,
+                auth_token=args.auth_token,
+            )
             gateway.register_scene(args.scene, scene.cloud, orbit)
             await gateway.start(port=args.port)
             print(f"TCP gateway listening on {gateway.host}:{gateway.tcp_port}")
@@ -310,7 +323,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     return None
                 clients = [
                     await AsyncGatewayClient.connect(
-                        gateway.host, gateway.tcp_port
+                        gateway.host,
+                        gateway.tcp_port,
+                        auth_token=args.auth_token,
                     )
                     for _ in range(args.clients)
                 ]
@@ -355,6 +370,215 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.verify:
         return _verify_serve_report(args, scene, orbit, report)
     return 0
+
+
+def _cluster_scenes(args: argparse.Namespace) -> "list[str]":
+    """The cluster workload's scene names (``--scenes`` over ``--scene``)."""
+    if args.scenes:
+        names = [name.strip() for name in args.scenes.split(",") if name.strip()]
+        unknown = sorted(set(names) - set(SCENES))
+        if unknown:
+            raise SystemExit(f"unknown scenes: {', '.join(unknown)}")
+        return names
+    return [args.scene]
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.cluster import ClusterMap, LocalFleet, ShardRouter
+    from repro.experiments.shm_cache import cloud_fingerprint
+    from repro.scenes.trajectory import orbit_cameras
+    from repro.serve import AsyncGatewayClient, verify_streamed_images
+
+    if args.backends < 1:
+        raise SystemExit("--backends must be positive")
+    if args.replicate < 1:
+        raise SystemExit("--replicate must be positive")
+    if args.clients < 1:
+        raise SystemExit("--clients must be positive")
+    if args.passes < 1:
+        raise SystemExit("--passes must be positive")
+    if args.kill_one and args.replicate < 2:
+        raise SystemExit("--kill-one needs --replicate >= 2 to survive")
+    if args.kill_one and args.backends < 2:
+        raise SystemExit("--kill-one needs at least 2 backends")
+    names = _cluster_scenes(args)
+    replicate = min(args.replicate, args.backends)
+    serve_http = args.http or args.listen
+
+    fleet = LocalFleet(
+        args.backends,
+        # Named scenes are only needed by the HTTP proxy (--listen /
+        # --http); the load generator pushes clouds over the wire.
+        scenes=tuple(names) if serve_http else (),
+        scale=args.scale,
+        seed=args.seed,
+        views=args.views,
+        http=serve_http,
+        auth_token=args.auth_token,
+        cache_frames=args.cache_frames,
+        render_cache=not args.no_render_cache,
+        extra_args=(
+            "--batch-size", str(args.batch_size),
+            "--max-wait-ms", str(args.max_wait_ms),
+            "--max-pending", str(args.max_pending),
+            "--pipeline", args.pipeline,
+            "--method", args.method,
+            "--tile-size", str(args.tile_size),
+            "--group-size", str(args.group_size),
+            "--super-size", str(args.super_size),
+        ),
+    )
+
+    async def drive(router, cluster_map, scenes) -> "tuple":
+        """Concurrent multi-scene client load, with optional mid-run kill."""
+        first_frame = asyncio.Event()
+
+        async def one_client(index: int) -> "list[np.ndarray]":
+            scene = scenes[index % len(scenes)]
+            orbit = list(orbit_cameras(scene, args.views))
+            client = await AsyncGatewayClient.connect(
+                router.host, router.tcp_port, auth_token=args.auth_token
+            )
+            images: "list[np.ndarray]" = []
+            try:
+                for _ in range(args.passes):
+                    async for _, result in client.stream_trajectory(
+                        scene.cloud, orbit
+                    ):
+                        images.append(result.image)
+                        if index == 0:
+                            first_frame.set()
+            finally:
+                await client.close()
+            return images
+
+        async def killer() -> "str | None":
+            if not args.kill_one:
+                return None
+            await first_frame.wait()
+            victim = cluster_map.owner(
+                cloud_fingerprint(scenes[0].cloud)
+            ).backend_id
+            print(f"killing {victim} (owner of {names[0]}) mid-stream ...")
+            await asyncio.get_running_loop().run_in_executor(
+                None, fleet.kill, victim
+            )
+            return victim
+
+        start = time.perf_counter()
+        results = await asyncio.gather(
+            *(one_client(i) for i in range(args.clients)), killer()
+        )
+        wall_s = time.perf_counter() - start
+        return list(results[:-1]), results[-1], wall_s
+
+    async def main() -> int:
+        specs = await asyncio.get_running_loop().run_in_executor(
+            None, fleet.start
+        )
+        cluster_map = ClusterMap(specs, replication=replicate)
+        router = ShardRouter(
+            cluster_map,
+            max_pending=args.max_pending,
+            max_scenes=max(len(names), 8),
+            auth_token=args.auth_token,
+        )
+        await router.start(port=args.port)
+        print(
+            f"shard router on {router.host}:{router.tcp_port} over "
+            f"{len(specs)} backends (replication {replicate})"
+        )
+        if serve_http:
+            await router.start_http(port=args.http_port)
+            print(
+                f"HTTP front end on http://{router.host}:{router.http_port}"
+                f" — try: curl 'http://{router.host}:{router.http_port}"
+                f"/stream?scene={names[0]}&frames=2'"
+            )
+        try:
+            if args.listen:
+                print("serving until interrupted (Ctrl-C to stop)")
+                await asyncio.Event().wait()
+                return 0
+            scenes = [
+                load_scene(name, resolution_scale=args.scale, seed=args.seed)
+                for name in names
+            ]
+            for name, scene in zip(names, scenes):
+                owners = cluster_map.assignment(
+                    [cloud_fingerprint(scene.cloud)]
+                )
+                print(f"scene {name}: replicas {list(owners.values())[0]}")
+            images, victim, wall_s = await drive(router, cluster_map, scenes)
+            frames = sum(len(i) for i in images)
+            stats = await router._stats_payload()
+            print(
+                f"streamed {frames} frames to {args.clients} clients over "
+                f"{len(names)} scene(s) x {args.passes} pass(es) in "
+                f"{wall_s:.2f}s ({frames / max(wall_s, 1e-9):.2f} frames/s)"
+            )
+            print(
+                f"router: {router.stats.failovers} failovers, "
+                f"{router.stats.rejected} rejects, "
+                f"{router.stats.errors} errors; cluster engine renders: "
+                f"{stats['service'].get('engine_renders', 0)} of "
+                f"{stats['service'].get('requests', 0)} requests"
+            )
+            for backend_id, entry in stats["gateway"]["backends"].items():
+                state = "up" if entry["up"] else "DOWN"
+                detail = entry.get("service", {})
+                print(
+                    f"  {backend_id}: {state}, "
+                    f"renders={detail.get('engine_renders', '-')}, "
+                    f"cache_hits={detail.get('cache_hits', '-')}"
+                )
+            if victim is not None and not router.stats.failovers:
+                print("FAIL: victim was killed but no failover happened")
+                return 1
+            if args.verify:
+                failures: "list[str]" = []
+                for index, scene in enumerate(scenes):
+                    orbit = list(orbit_cameras(scene, args.views))
+                    per_client = [
+                        images[c]
+                        for c in range(args.clients)
+                        if c % len(scenes) == index
+                    ]
+                    # Each client streamed `passes` copies of the orbit.
+                    expanded = orbit * args.passes
+                    failures += verify_streamed_images(
+                        _make_renderer(args), scene.cloud, expanded, per_client
+                    )
+                for failure in failures:
+                    print(f"FAIL: {failure}")
+                if failures:
+                    return 1
+                print(
+                    f"verified: all {frames} streamed frames bit-identical "
+                    "to direct engine renders"
+                    + (" (including across the failover)" if victim else "")
+                )
+            return 0
+        finally:
+            await router.close()
+
+    # A SIGTERM (timeout(1), orchestrators) must still run the finally
+    # below, or the fleet's subprocesses outlive their supervisor.
+    def _sigterm(_signum, _frame):
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _sigterm)
+    try:
+        try:
+            return asyncio.run(main())
+        except KeyboardInterrupt:
+            print("interrupted")
+            return 0
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        fleet.close()
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -528,6 +752,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker pool type for --batch-workers > 1",
     )
     serve.add_argument(
+        "--auth-token", default=None,
+        help="shared-secret token for the wire protocol (default: the "
+        "REPRO_AUTH_TOKEN environment variable; unset means no auth)",
+    )
+    serve.add_argument(
         "--naive", action="store_true",
         help="also time naive per-request rendering and print the speedup",
     )
@@ -539,6 +768,81 @@ def build_parser() -> argparse.ArgumentParser:
         "served)",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="run a sharded multi-gateway cluster behind the shard router",
+    )
+    _add_common(cluster)
+    _add_renderer_options(cluster)
+    cluster.add_argument(
+        "--backends", type=int, default=3,
+        help="gateway backend subprocesses to spawn",
+    )
+    cluster.add_argument(
+        "--replicate", type=int, default=2,
+        help="replica-set size per scene (clamped to --backends)",
+    )
+    cluster.add_argument(
+        "--scenes", default="",
+        help="comma-separated scene names for the multi-scene workload "
+        "(default: just --scene)",
+    )
+    cluster.add_argument("--views", type=int, default=8, help="orbit views")
+    cluster.add_argument(
+        "--clients", type=int, default=4,
+        help="concurrent clients, round-robined over the scenes",
+    )
+    cluster.add_argument(
+        "--passes", type=int, default=1,
+        help="times each client streams its orbit (repeat passes hit the "
+        "owner backend's render cache)",
+    )
+    cluster.add_argument("--batch-size", type=int, default=8)
+    cluster.add_argument("--max-wait-ms", type=float, default=2.0)
+    cluster.add_argument("--max-pending", type=int, default=64)
+    cluster.add_argument(
+        "--cache-frames", type=int, default=0,
+        help="per-backend render-cache capacity in frames (0 = unbounded)",
+    )
+    cluster.add_argument(
+        "--no-render-cache", action="store_true",
+        help="disable the backends' shared render caches",
+    )
+    cluster.add_argument(
+        "--auth-token", default=None,
+        help="shared-secret token for clients, router and backends "
+        "(default: the REPRO_AUTH_TOKEN environment variable)",
+    )
+    cluster.add_argument(
+        "--listen", action="store_true",
+        help="serve (TCP router + HTTP front end) until interrupted "
+        "instead of running the built-in load generator",
+    )
+    cluster.add_argument(
+        "--http", action="store_true",
+        help="also start the router's HTTP front end and the backends' "
+        "HTTP adapters",
+    )
+    cluster.add_argument(
+        "--port", type=int, default=0,
+        help="router TCP port (0 picks a free one)",
+    )
+    cluster.add_argument(
+        "--http-port", type=int, default=0,
+        help="router HTTP port (0 picks a free one)",
+    )
+    cluster.add_argument(
+        "--kill-one", action="store_true",
+        help="SIGKILL the first scene's owner backend mid-stream; the "
+        "run must complete via failover (needs --replicate >= 2)",
+    )
+    cluster.add_argument(
+        "--verify", action="store_true",
+        help="check every streamed frame bit-for-bit against a direct "
+        "engine render (exit 1 on any mismatch)",
+    )
+    cluster.set_defaults(func=_cmd_cluster)
 
     profile = sub.add_parser("profile", help="Section III tile-size statistics")
     _add_common(profile)

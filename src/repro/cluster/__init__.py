@@ -1,0 +1,77 @@
+"""``repro.cluster`` — the sharded multi-gateway render cluster.
+
+PR 4's :class:`repro.serve.gateway.RenderGateway` put a socket in front
+of the render service, but one process still owned every scene and all
+traffic.  This package is the layer above: **many gateways, one
+endpoint**, with scene-sharded routing so each backend's caches stay
+hot, replication so a dead backend is survivable, and health-driven
+failover so surviving it is automatic.
+
+::
+
+    clients ──> ShardRouter ──┬── rendezvous-hash the scene id
+       │        (TCP + HTTP)  │     (ClusterMap: owner + replicas,
+       │             │        │      minimal reshuffle on add/remove)
+       │             │        └── skip marked-down backends
+       │             │              (HealthMonitor: probe loop,
+       │             ▼               hysteresis both directions)
+       │        BackendLink ──────> RenderGateway  (backend 0)
+       │        BackendLink ──────> RenderGateway  (backend 1)
+       │             ·                   ·
+       │        frames relayed blob-verbatim; on a backend death the
+       │        stream resumes on a replica from the first unsent
+       └──────  frame — ordered, gapless, duplicate-free
+
+* :class:`ShardRouter` — the asyncio front end: speaks the
+  :mod:`repro.serve.protocol` wire format to clients and backends,
+  routes by content fingerprint, replicates SCENE payloads, fails
+  streams over mid-flight, answers 503 when a scene has no live
+  replica, proxies HTTP ``/render`` and ``/stream``.
+* :class:`ClusterMap` / :class:`BackendSpec` — membership and
+  deterministic rendezvous-hash shard assignment.
+* :class:`HealthMonitor` — STATS/``/healthz`` probes and live-failure
+  reports folded into per-backend up/down with hysteresis.
+* :class:`LocalFleet` / :class:`BackendProcess` — subprocess fleets of
+  :mod:`repro.cluster.backend` for tests, benchmarks, demos and the
+  ``repro cluster`` CLI (including SIGKILL-style failure injection).
+
+Everything relayed is bit-identical to a direct
+``RenderEngine.render`` — the router rewrites request ids and frame
+indices in JSON headers and never touches a binary blob, so the
+serving layer's losslessness guarantee extends through the cluster
+(test-asserted, same invariant as PR 3/4).
+
+See ``docs/cluster.md`` for topology, hashing, failover semantics and
+a demo walkthrough.
+"""
+
+from repro.cluster.health import (
+    BackendHealth,
+    HealthMonitor,
+    probe_backend_http,
+    probe_backend_tcp,
+)
+from repro.cluster.router import (
+    BackendLink,
+    LinkLostError,
+    RouterStats,
+    ShardRouter,
+)
+from repro.cluster.supervisor import BackendProcess, LocalFleet
+from repro.cluster.topology import BackendSpec, ClusterMap, rendezvous_score
+
+__all__ = [
+    "BackendHealth",
+    "BackendLink",
+    "BackendProcess",
+    "BackendSpec",
+    "ClusterMap",
+    "HealthMonitor",
+    "LinkLostError",
+    "LocalFleet",
+    "RouterStats",
+    "ShardRouter",
+    "probe_backend_http",
+    "probe_backend_tcp",
+    "rendezvous_score",
+]

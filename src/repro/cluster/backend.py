@@ -1,0 +1,177 @@
+"""One cluster backend as a standalone process.
+
+``python -m repro.cluster.backend`` starts a full serving stack —
+:class:`repro.serve.service.RenderService` wrapped by a
+:class:`repro.serve.gateway.RenderGateway` — binds its listeners, and
+announces them on stdout with a single machine-parsable line::
+
+    CLUSTER-BACKEND READY id=<backend_id> tcp=<port> http=<port|->
+
+The :class:`repro.cluster.supervisor.LocalFleet` spawns these, parses
+the READY line for the bound ports (``--port 0`` lets the OS pick, so
+fleets never fight over ports), and later kills them — including with
+SIGKILL, which is exactly the mid-stream backend death the router's
+failover tests exercise.
+
+The process serves until SIGTERM/SIGINT, then closes the gateway,
+service and shared render cache in order.  The shared-secret token is
+taken from :data:`repro.serve.auth.AUTH_TOKEN_ENV` (never argv — token
+arguments leak via ``ps``; the supervisor passes it through the child
+environment).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+
+from repro.core.hierarchical import HierarchicalGSTGRenderer
+from repro.core.pipeline import GSTGRenderer
+from repro.raster.renderer import BaselineRenderer
+from repro.scenes.datasets import SCENES
+from repro.scenes.synthetic import load_scene
+from repro.scenes.trajectory import orbit_cameras
+from repro.serve import RenderGateway, RenderService, SharedRenderCache
+from repro.tiles.boundary import BoundaryMethod
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The backend's argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.cluster.backend",
+        description="one render-gateway backend of a repro cluster",
+    )
+    parser.add_argument("--id", default="backend", help="stable backend id")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 picks a free one)"
+    )
+    parser.add_argument(
+        "--http-port", type=int, default=-1,
+        help="HTTP adapter port (0 picks a free one, -1 disables HTTP)",
+    )
+    parser.add_argument(
+        "--scene", action="append", default=[], choices=sorted(SCENES),
+        metavar="NAME", help="pre-register this named scene (repeatable)",
+    )
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--views", type=int, default=8, help="orbit views per named scene"
+    )
+    parser.add_argument(
+        "--pipeline", choices=("baseline", "gstg", "hierarchical"),
+        default="gstg",
+    )
+    parser.add_argument(
+        "--method", choices=[m.value for m in BoundaryMethod], default="ellipse"
+    )
+    parser.add_argument("--tile-size", type=int, default=16)
+    parser.add_argument("--group-size", type=int, default=64)
+    parser.add_argument("--super-size", type=int, default=128)
+    parser.add_argument("--batch-size", type=int, default=8)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--max-pending", type=int, default=64)
+    parser.add_argument(
+        "--cache-frames", type=int, default=0,
+        help="shared render cache capacity in frames (a per-node memory "
+        "bound; 0 means unbounded)",
+    )
+    parser.add_argument(
+        "--no-render-cache", action="store_true",
+        help="disable the shared render cache entirely (micro-batching "
+        "and in-flight dedup only)",
+    )
+    return parser
+
+
+def _make_renderer(args: argparse.Namespace):
+    method = BoundaryMethod(args.method)
+    if args.pipeline == "gstg":
+        return GSTGRenderer(args.tile_size, args.group_size, method)
+    if args.pipeline == "hierarchical":
+        return HierarchicalGSTGRenderer(
+            args.tile_size, args.group_size, args.super_size, method
+        )
+    return BaselineRenderer(args.tile_size, method)
+
+
+async def _serve(args: argparse.Namespace, cache) -> None:
+    """Bind, announce READY, serve until a termination signal."""
+    service = RenderService(
+        _make_renderer(args),
+        cache=cache,
+        max_batch_size=args.batch_size,
+        max_wait=args.max_wait_ms / 1e3,
+        max_pending=args.max_pending,
+    )
+    # auth_token=None: resolve from the environment (the supervisor's
+    # channel) — see the module docstring for why argv is avoided.
+    gateway = RenderGateway(service, host=args.host, max_pending=args.max_pending)
+    for name in args.scene:
+        scene = load_scene(name, resolution_scale=args.scale, seed=args.seed)
+        gateway.register_scene(
+            name, scene.cloud, list(orbit_cameras(scene, args.views))
+        )
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(signum, stop.set)
+    await gateway.start(port=args.port)
+    http = "-"
+    if args.http_port >= 0:
+        await gateway.start_http(port=args.http_port)
+        http = str(gateway.http_port)
+    print(
+        f"CLUSTER-BACKEND READY id={args.id} tcp={gateway.tcp_port} "
+        f"http={http}",
+        flush=True,
+    )
+    try:
+        await stop.wait()
+    finally:
+        await gateway.close()
+        await service.close()
+
+
+def _die_with_parent() -> None:
+    """Arm ``PR_SET_PDEATHSIG`` so this backend dies with its spawner.
+
+    A supervisor killed by ``timeout``/``kill`` never reaches
+    ``fleet.close()``; without this, its backends (and their cache
+    manager processes) would run on as orphans.  Linux-only; elsewhere
+    supervision is the only cleanup path.
+    """
+    try:
+        import ctypes
+
+        libc = ctypes.CDLL("libc.so.6", use_errno=True)
+        libc.prctl(1, signal.SIGTERM)  # PR_SET_PDEATHSIG = 1
+    except Exception:
+        pass
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Entry point; returns the process exit code."""
+    _die_with_parent()
+    args = build_parser().parse_args(argv)
+    cache = None
+    if not args.no_render_cache:
+        cache = SharedRenderCache(
+            max_entries=args.cache_frames if args.cache_frames > 0 else None
+        )
+    try:
+        asyncio.run(_serve(args, cache))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if cache is not None:
+            cache.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,305 @@
+"""Backend health: periodic probes, markdown with hysteresis.
+
+:class:`HealthMonitor` watches every backend in a
+:class:`repro.cluster.topology.ClusterMap` and keeps one bit per
+backend — *up* or *marked down* — that the router's replica selection
+consults.  Two signal sources feed it:
+
+* **Probes** — a background task round-robins the backends, performing
+  a real protocol round trip against each (connect, HELLO, optional
+  AUTH, STATS → STATS_OK, BYE) or, for backends that only expose the
+  HTTP adapter, a ``GET /healthz``.  A probe that times out counts as a
+  failure — a backend too slow to answer STATS is too slow to serve.
+* **Reports** — the router calls :meth:`report_failure` when a live
+  request hits a connect failure or mid-stream disconnect, so markdown
+  does not wait for the next probe tick.
+
+The state machine has **hysteresis** in both directions, the classic
+flap damper: an *up* backend is marked down only after ``down_after``
+*consecutive* failures (one slow probe on a loaded box must not eject
+it — test-asserted), and a *down* backend is marked up only after
+``up_after`` consecutive successes (a backend wedged in a crash loop
+must not bounce in and out of rotation).  This is the slow timescale of
+the serving stack's two-timescale design: routing decisions are instant
+and local, membership health moves deliberately.
+
+The monitor never *removes* a backend from the topology — markdown is
+reversible, membership changes (:meth:`ClusterMap.remove`) are the
+operator's call.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+from repro.serve import protocol
+from repro.serve.auth import resolve_auth_token
+from repro.serve.protocol import MessageType
+
+from repro.cluster.topology import BackendSpec, ClusterMap
+
+
+@dataclass
+class BackendHealth:
+    """One backend's health ledger (all counters monotonic except the
+    consecutive pair, which reset on every opposite observation)."""
+
+    up: bool = True
+    consecutive_failures: int = 0
+    consecutive_successes: int = 0
+    probes: int = 0
+    failures: int = 0
+    markdowns: int = 0
+    last_error: str = ""
+    last_change_monotonic: float = field(default_factory=time.monotonic)
+
+    def snapshot(self) -> "dict":
+        """JSON-safe view for ``/stats`` and STATS_OK payloads."""
+        return {
+            "up": self.up,
+            "consecutive_failures": self.consecutive_failures,
+            "probes": self.probes,
+            "failures": self.failures,
+            "markdowns": self.markdowns,
+            "last_error": self.last_error,
+        }
+
+
+async def probe_backend_tcp(
+    spec: BackendSpec,
+    *,
+    timeout: float = 2.0,
+    auth_token: "str | None" = None,
+) -> bool:
+    """One full protocol round trip: HELLO, AUTH?, STATS, STATS_OK, BYE.
+
+    Deliberately exercises the request path (a listener that accepts but
+    never answers is *down*), bounded by ``timeout`` end to end.
+    """
+
+    async def roundtrip() -> bool:
+        reader, writer = await asyncio.open_connection(spec.host, spec.port)
+        try:
+            await protocol.client_hello(reader, writer, auth_token)
+            writer.write(protocol.encode_frame(MessageType.STATS))
+            await writer.drain()
+            stats = await protocol.read_frame(reader)
+            if stats is None or stats.type is not MessageType.STATS_OK:
+                return False
+            writer.write(protocol.encode_frame(MessageType.BYE))
+            await writer.drain()
+            return True
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    try:
+        return await asyncio.wait_for(roundtrip(), timeout)
+    except (
+        ConnectionError,
+        OSError,
+        asyncio.TimeoutError,
+        protocol.ProtocolError,
+    ):
+        return False
+
+
+async def probe_backend_http(
+    spec: BackendSpec, *, timeout: float = 2.0
+) -> bool:
+    """``GET /healthz`` against the backend's HTTP adapter."""
+    if spec.http_port is None:
+        return False
+
+    async def roundtrip() -> bool:
+        reader, writer = await asyncio.open_connection(
+            spec.host, spec.http_port
+        )
+        try:
+            writer.write(
+                f"GET /healthz HTTP/1.1\r\nHost: {spec.host}\r\n\r\n".encode()
+            )
+            await writer.drain()
+            status_line = await reader.readline()
+            return b" 200 " in status_line
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    try:
+        return await asyncio.wait_for(roundtrip(), timeout)
+    except (ConnectionError, OSError, asyncio.TimeoutError):
+        return False
+
+
+class HealthMonitor:
+    """Mark-down/mark-up state over a cluster's backends.
+
+    Parameters
+    ----------
+    cluster_map:
+        The membership to watch (live adds/removes are picked up on the
+        next probe cycle; unknown backends default to *up* so a fresh
+        cluster routes before the first probe lands).
+    interval:
+        Seconds between probe cycles (each cycle probes every backend).
+    timeout:
+        Per-probe deadline; a timeout is a failure.
+    down_after / up_after:
+        The hysteresis thresholds: consecutive failures before an up
+        backend is marked down, consecutive successes before a down
+        backend is marked up.
+    auth_token:
+        Shared token presented by TCP probes (environment fallback, see
+        :func:`repro.serve.auth.resolve_auth_token`).
+    probe:
+        Override for tests: ``async (BackendSpec) -> bool``.  Defaults
+        to :func:`probe_backend_tcp`, falling back to
+        :func:`probe_backend_http` for specs with no TCP port.
+    """
+
+    def __init__(
+        self,
+        cluster_map: ClusterMap,
+        *,
+        interval: float = 0.5,
+        timeout: float = 2.0,
+        down_after: int = 3,
+        up_after: int = 2,
+        auth_token: "str | None" = None,
+        probe=None,
+    ) -> None:
+        if down_after < 1 or up_after < 1:
+            raise ValueError("down_after and up_after must be positive")
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.cluster_map = cluster_map
+        self.interval = interval
+        self.timeout = timeout
+        self.down_after = down_after
+        self.up_after = up_after
+        self.auth_token = resolve_auth_token(auth_token)
+        self._probe = probe
+        self._health: "dict[str, BackendHealth]" = {}
+        self._task: "asyncio.Task | None" = None
+        self._stopping = False
+
+    # -- state queries ---------------------------------------------------
+    def _entry(self, backend_id: str) -> BackendHealth:
+        entry = self._health.get(backend_id)
+        if entry is None:
+            entry = self._health[backend_id] = BackendHealth()
+        return entry
+
+    def is_up(self, backend_id: str) -> bool:
+        """Routing's question; unknown backends are optimistically up."""
+        entry = self._health.get(backend_id)
+        return True if entry is None else entry.up
+
+    def health(self, backend_id: str) -> BackendHealth:
+        """The full ledger for one backend (created on first ask)."""
+        return self._entry(backend_id)
+
+    def snapshot(self) -> "dict[str, dict]":
+        """Per-backend health as JSON-safe dicts, keyed by backend id."""
+        return {
+            spec.backend_id: self._entry(spec.backend_id).snapshot()
+            for spec in self.cluster_map.backends
+        }
+
+    # -- signal intake ---------------------------------------------------
+    def observe(self, backend_id: str, ok: bool, *, error: str = "") -> bool:
+        """Fold one success/failure into the hysteresis state machine.
+
+        Returns True when the observation *changed* the up/down bit.
+        """
+        entry = self._entry(backend_id)
+        entry.probes += 1
+        if ok:
+            entry.consecutive_failures = 0
+            entry.consecutive_successes += 1
+            if not entry.up and entry.consecutive_successes >= self.up_after:
+                entry.up = True
+                entry.last_change_monotonic = time.monotonic()
+                return True
+            return False
+        entry.consecutive_successes = 0
+        entry.consecutive_failures += 1
+        entry.failures += 1
+        entry.last_error = error
+        if entry.up and entry.consecutive_failures >= self.down_after:
+            entry.up = False
+            entry.markdowns += 1
+            entry.last_change_monotonic = time.monotonic()
+            return True
+        return False
+
+    def report_failure(self, backend_id: str, *, error: str = "") -> bool:
+        """A live-request failure (connect refused, mid-stream EOF).
+
+        Counted exactly like a failed probe so request traffic marks a
+        dead backend down ``down_after`` failures sooner than the probe
+        cycle would.  Returns True if this report flipped it down.
+        """
+        return self.observe(backend_id, False, error=error)
+
+    # -- the probe loop --------------------------------------------------
+    async def probe_once(self, spec: BackendSpec) -> bool:
+        """Probe one backend and fold the result in."""
+        if self._probe is not None:
+            ok = await self._probe(spec)
+        elif spec.port:
+            ok = await probe_backend_tcp(
+                spec, timeout=self.timeout, auth_token=self.auth_token
+            )
+        else:
+            ok = await probe_backend_http(spec, timeout=self.timeout)
+        self.observe(spec.backend_id, bool(ok), error="" if ok else "probe failed")
+        return bool(ok)
+
+    async def probe_all(self) -> None:
+        """One probe cycle over the current membership.
+
+        Probes run concurrently: a cycle is bounded by the *slowest
+        single* probe, so one wedged backend sitting on its timeout
+        cannot delay the detection of every other backend's death.
+        """
+        await asyncio.gather(
+            *(self.probe_once(spec) for spec in self.cluster_map.backends)
+        )
+
+    async def _run(self) -> None:
+        while not self._stopping:
+            await self.probe_all()
+            await asyncio.sleep(self.interval)
+
+    def start(self) -> None:
+        """Start the background probe loop (idempotent)."""
+        if self._task is None or self._task.done():
+            self._stopping = False
+            self._task = asyncio.ensure_future(self._run())
+
+    async def close(self) -> None:
+        """Stop the probe loop.
+
+        Cancels until the task actually finishes: a single ``cancel()``
+        can be swallowed by the ``wait_for`` inside a probe when the
+        round trip completes in the same event-loop step (the known
+        ``asyncio.wait_for`` cancellation race), which against
+        sub-millisecond localhost probes is common, not exotic.
+        """
+        self._stopping = True
+        task, self._task = self._task, None
+        if task is None:
+            return
+        while not task.done():
+            task.cancel()
+            await asyncio.wait([task], timeout=0.5)

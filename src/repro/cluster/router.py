@@ -1,0 +1,1234 @@
+"""The shard router: one endpoint, N gateway backends, zero hot state.
+
+:class:`ShardRouter` is an ``asyncio`` TCP server that speaks the
+existing :mod:`repro.serve.protocol` wire format on *both* sides — to
+clients it looks exactly like a :class:`repro.serve.gateway.RenderGateway`
+(HELLO, SCENE, RENDER, STREAM, CANCEL, STATS, BYE, the optional AUTH
+handshake), and to each backend it is just another protocol client.
+Between the two sits the routing decision:
+
+* **Sharding** — every request carries a scene id (a content
+  fingerprint or a registered name); the router ranks the backends with
+  rendezvous hashing (:class:`repro.cluster.topology.ClusterMap`) and
+  sends the request to the scene's *owner*.  All of one scene's traffic
+  lands on one backend, so that backend's projection cache, render
+  cache and per-scene worker pools stay hot — the cluster-level version
+  of the paper's "group work to keep it local" argument.
+* **Replication** — SCENE payloads are forwarded to the whole replica
+  set (``replication`` backends), so a failover target already holds
+  the scene when it is suddenly asked to serve it.
+* **Health-aware selection** — replica choice consults the
+  :class:`repro.cluster.health.HealthMonitor`; marked-down backends are
+  skipped, live connect failures and mid-stream disconnects are
+  reported back into the monitor, and when *no* replica is up the
+  router answers a 503 ERROR immediately (never hangs).
+* **Failover** — the in-flight-safe requests resume on the next
+  replica: a one-shot RENDER is simply retried, and an interrupted
+  STREAM is re-issued for the *remaining* cameras only, with frame
+  indices rebased, so the client sees one ordered stream with no
+  duplicates and no gaps (test-asserted; the CI smoke job kills a
+  backend mid-stream and bit-verifies the result).
+
+Relayed frames are **bit-identical end to end**: the router decodes
+only JSON headers (to rewrite ``request_id``/``index``) and passes
+every binary blob — scene arrays, rendered images — through untouched,
+reusing the protocol codecs unchanged.  What the client receives is
+byte-for-byte what a single gateway would have sent.
+
+The router holds no render state: no engine, no caches, no scene
+clouds (just the raw SCENE frames it may need to re-push).  Losing a
+router loses connections, never work — clients reconnect (see
+:class:`repro.serve.client.GatewayClientPool`) and the backends still
+hold everything warm.
+
+An optional HTTP front end (:meth:`ShardRouter.start_http`) proxies
+``/render`` and ``/stream`` to the owner backend's HTTP adapter —
+chunked multi-frame responses stream straight through — and serves
+cluster-level ``/healthz`` and ``/stats``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from dataclasses import asdict, dataclass
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.experiments.shm_cache import cloud_fingerprint
+from repro.serve import protocol
+from repro.serve.auth import resolve_auth_token
+from repro.serve.gateway import authenticate_reader, http_reply, read_http_get
+from repro.serve.protocol import ErrorCode, Frame, MessageType, ProtocolError
+
+from repro.cluster.health import HealthMonitor
+from repro.cluster.topology import BackendSpec, ClusterMap
+
+
+class LinkLostError(ConnectionError):
+    """A backend connection died under an in-flight request."""
+
+
+@dataclass
+class RouterStats:
+    """Router-level counters (backend counters live on the backends).
+
+    Attributes
+    ----------
+    connections:
+        Client protocol connections accepted.
+    requests:
+        RENDER + STREAM requests admitted.
+    streams:
+        STREAM requests admitted (subset of ``requests``).
+    frames_relayed:
+        FRAME messages relayed to clients.
+    rejected:
+        Requests refused with a 429 ERROR (admission control).
+    errors:
+        ERROR frames sent to clients (429s accounted separately).
+    cancelled_requests:
+        Admitted requests abandoned before completion.
+    failovers:
+        Requests (re)routed to another replica after a backend failure.
+    no_replica:
+        Requests answered 503 because no replica was up.
+    scenes_cached:
+        SCENE payloads held for re-push to failover targets.
+    http_requests:
+        HTTP front-end requests handled (any status).
+    auth_failures:
+        Client connections refused by the AUTH handshake.
+    """
+
+    connections: int = 0
+    requests: int = 0
+    streams: int = 0
+    frames_relayed: int = 0
+    rejected: int = 0
+    errors: int = 0
+    cancelled_requests: int = 0
+    failovers: int = 0
+    no_replica: int = 0
+    scenes_cached: int = 0
+    http_requests: int = 0
+    auth_failures: int = 0
+
+
+class BackendLink:
+    """The router's multiplexed protocol connection to one backend.
+
+    Frame-level, deliberately blind to payloads: incoming frames are
+    routed to per-request queues by ``request_id`` (blobs untouched),
+    control replies (SCENE_OK / STATS_OK / id-less ERRORs) go to a
+    serialised control queue.  Reconnects lazily; a connection loss
+    wakes every waiter with ``None``, clears ``pushed_scenes`` (the
+    peer may be a *restarted* process with an empty scene registry, so
+    everything must be re-pushable), and the next :meth:`connect`
+    starts from a fresh control queue (stale wake-up sentinels from
+    the dead connection must not poison the new one).
+    """
+
+    def __init__(
+        self,
+        spec: BackendSpec,
+        *,
+        auth_token: "str | None" = None,
+        connect_timeout: float = 5.0,
+        control_timeout: float = 30.0,
+    ) -> None:
+        self.spec = spec
+        self.auth_token = auth_token
+        self.connect_timeout = connect_timeout
+        self.control_timeout = control_timeout
+        self.pushed_scenes: "set[str]" = set()
+        self._reader: "asyncio.StreamReader | None" = None
+        self._writer: "asyncio.StreamWriter | None" = None
+        self._read_task: "asyncio.Task | None" = None
+        self._wlock = asyncio.Lock()
+        self._connect_lock = asyncio.Lock()
+        self._control_lock = asyncio.Lock()
+        self._control: "asyncio.Queue" = asyncio.Queue()
+        self._queues: "dict[int, asyncio.Queue]" = {}
+        self._ids = itertools.count(1)
+        self._closed = False
+
+    @property
+    def connected(self) -> bool:
+        """True while the connection is usable.
+
+        Requires a live read loop *and* a writable transport: after
+        :meth:`abort` the writer is closing immediately but the
+        cancelled read task only finishes on a later loop step, and a
+        link in that window must not be handed out.
+        """
+        return (
+            self._read_task is not None
+            and not self._read_task.done()
+            and self._writer is not None
+            and not self._writer.is_closing()
+        )
+
+    async def connect(self) -> None:
+        """Ensure a live connection (HELLO consumed, AUTH sent).
+
+        Raises :class:`LinkLostError` when the backend is unreachable
+        or fails the handshake within ``connect_timeout``.
+        """
+        if self._closed:
+            raise LinkLostError(f"link to {self.spec.backend_id} is closed")
+        async with self._connect_lock:
+            if self.connected:
+                return
+            # Let the previous connection's read loop finish first: its
+            # finally block wakes stale waiters and clears
+            # pushed_scenes, and none of that may interleave with (or
+            # run after) the new connection's first pushes.
+            old_task = self._read_task
+            if old_task is not None and not old_task.done():
+                old_task.cancel()
+                await asyncio.gather(old_task, return_exceptions=True)
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(self.spec.host, self.spec.port),
+                    self.connect_timeout,
+                )
+            except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+                raise LinkLostError(
+                    f"cannot connect to backend {self.spec.backend_id} at "
+                    f"{self.spec.host}:{self.spec.port}: {exc}"
+                ) from exc
+            try:
+                await asyncio.wait_for(
+                    protocol.client_hello(reader, writer, self.auth_token),
+                    self.connect_timeout,
+                )
+            except (
+                ConnectionError,
+                OSError,
+                asyncio.TimeoutError,
+                ProtocolError,
+            ) as exc:
+                writer.close()
+                raise LinkLostError(
+                    f"handshake with backend {self.spec.backend_id} failed: "
+                    f"{exc}"
+                ) from exc
+            self._reader, self._writer = reader, writer
+            # A fresh connection gets a fresh control queue: the old
+            # one may hold the previous read loop's None sentinel (or
+            # stale late replies), which would make the first control
+            # round trip here fail spuriously and desynchronise every
+            # one after it.
+            self._control = asyncio.Queue()
+            self._read_task = asyncio.ensure_future(
+                self._read_loop(self._reader, self._control)
+            )
+
+    async def _read_loop(self, reader, control: asyncio.Queue) -> None:
+        """Route backend frames to their waiters until EOF/corruption.
+
+        ``reader``/``control`` are bound per connection: a loop only
+        ever feeds the control queue of the connection it belongs to.
+        """
+        try:
+            while True:
+                frame = await protocol.read_frame(reader)
+                if frame is None:
+                    break
+                request_id = frame.header.get("request_id")
+                queue = self._queues.get(request_id)
+                if queue is not None:
+                    queue.put_nowait(frame)
+                elif request_id is None and frame.type in (
+                    MessageType.SCENE_OK,
+                    MessageType.STATS_OK,
+                    MessageType.ERROR,
+                ):
+                    control.put_nowait(frame)
+                # Frames for abandoned requests: drop.
+        except (ProtocolError, ConnectionError, OSError):
+            pass
+        finally:
+            for queue in self._queues.values():
+                queue.put_nowait(None)
+            control.put_nowait(None)
+            # The next connection may reach a *restarted* process whose
+            # scene registry is empty: everything must be re-pushable.
+            self.pushed_scenes.clear()
+
+    async def send(self, payload: bytes) -> None:
+        """Write one frame; a dead socket raises :class:`LinkLostError`."""
+        if self._writer is None or not self.connected:
+            raise LinkLostError(f"link to {self.spec.backend_id} is down")
+        try:
+            async with self._wlock:
+                self._writer.write(payload)
+                await self._writer.drain()
+        except (ConnectionError, OSError) as exc:
+            raise LinkLostError(
+                f"write to backend {self.spec.backend_id} failed: {exc}"
+            ) from exc
+
+    def open_channel(self) -> "tuple[int, asyncio.Queue]":
+        """A fresh backend request id + its incoming-frame queue."""
+        request_id = next(self._ids)
+        queue: "asyncio.Queue" = asyncio.Queue()
+        self._queues[request_id] = queue
+        return request_id, queue
+
+    def close_channel(self, request_id: int) -> None:
+        """Drop a request's queue (late frames are discarded)."""
+        self._queues.pop(request_id, None)
+
+    def abort(self) -> None:
+        """Sever the current connection (every waiter wakes with None).
+
+        Used when the backend is *unresponsive* rather than gone — a
+        wedged process keeps its socket open forever, so the router
+        must be the one to cut it (and with it, the stale state a
+        half-dead connection would leave behind).
+        """
+        if self._read_task is not None and not self._read_task.done():
+            self._read_task.cancel()
+        if self._writer is not None:
+            self._writer.close()
+
+    async def control(
+        self,
+        payload: bytes,
+        expected: MessageType,
+        *,
+        timeout: "float | None" = None,
+    ) -> Frame:
+        """One serialised control round trip (SCENE, STATS).
+
+        Raises :class:`LinkLostError` when the connection dies under it
+        — or answers nothing within ``timeout`` (default
+        ``control_timeout``), in which case the connection is severed
+        (a reply arriving *after* an abandoned wait would
+        desynchronise every later round trip) — and
+        :class:`ProtocolError` when the backend answers an ERROR or
+        the wrong frame type.  The deadline covers only the reply
+        wait, never the queueing for the control lock: waiting behind
+        another round trip is congestion, not backend failure.
+        """
+        deadline = self.control_timeout if timeout is None else timeout
+        async with self._control_lock:
+            await self.send(payload)
+            try:
+                frame = await asyncio.wait_for(self._control.get(), deadline)
+            except asyncio.TimeoutError:
+                self.abort()
+                raise LinkLostError(
+                    f"backend {self.spec.backend_id} did not answer a "
+                    f"control round trip within {deadline}s"
+                ) from None
+        if frame is None:
+            raise LinkLostError(
+                f"backend {self.spec.backend_id} dropped the connection"
+            )
+        if frame.type is MessageType.ERROR:
+            raise ProtocolError(
+                str(frame.header.get("message", "backend error")),
+                code=ErrorCode(
+                    int(frame.header.get("code", ErrorCode.INTERNAL))
+                ),
+            )
+        if frame.type is not expected:
+            raise ProtocolError(
+                f"backend {self.spec.backend_id} answered "
+                f"{frame.type.name}, expected {expected.name}"
+            )
+        return frame
+
+    async def push_scene(self, scene_id: str, payload: bytes) -> None:
+        """Idempotently register a cached SCENE payload on this backend."""
+        if scene_id in self.pushed_scenes:
+            return
+        await self.connect()
+        frame = await self.control(payload, MessageType.SCENE_OK)
+        confirmed = frame.header.get("scene_id")
+        if confirmed != scene_id:
+            raise ProtocolError(
+                f"backend {self.spec.backend_id} registered scene "
+                f"{confirmed!r}, expected {scene_id!r} — fingerprint "
+                "mismatch across the wire",
+                code=ErrorCode.INTERNAL,
+            )
+        self.pushed_scenes.add(scene_id)
+
+    async def close(self) -> None:
+        """Tear the connection down (BYE best effort)."""
+        self._closed = True
+        if self._writer is not None:
+            try:
+                async with self._wlock:
+                    self._writer.write(protocol.encode_frame(MessageType.BYE))
+                    await self._writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        if self._read_task is not None:
+            self._read_task.cancel()
+            await asyncio.gather(self._read_task, return_exceptions=True)
+
+
+class _ClientConn:
+    """Per-client-connection state (mirrors the gateway's)."""
+
+    __slots__ = ("writer", "wlock", "tasks")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.wlock = asyncio.Lock()
+        self.tasks: "dict[int, asyncio.Task]" = {}
+
+
+class ShardRouter:
+    """Health-aware shard router over N gateway backends.
+
+    Parameters
+    ----------
+    cluster_map:
+        Membership + replication (:class:`ClusterMap`).  Live
+        ``add``/``remove`` take effect on the next routing decision.
+    host:
+        Bind address for both listeners (default loopback).
+    max_pending:
+        Client-facing admission bound; at the bound new requests get a
+        429 ERROR (each backend still applies its own bound below).
+    max_scenes:
+        Bound on cached SCENE payloads (each pins the encoded cloud in
+        router memory for replica re-push).
+    auth_token:
+        Client-facing shared secret (environment fallback); same
+        semantics as the gateway's.
+    backend_auth_token:
+        Token presented *to* the backends; defaults to ``auth_token``
+        (one secret for the whole fleet).
+    monitor:
+        Optional externally managed :class:`HealthMonitor`.  By default
+        the router builds one and runs its probe loop between
+        :meth:`start` and :meth:`close`.
+    request_timeout:
+        Deadline on every in-flight backend wait (seconds between
+        frames of a stream, per one-shot answer, per proxied HTTP
+        read).  A backend that stays *connected* but stops answering —
+        wedged process, stalled host — hits this, is severed and
+        reported to the monitor, and the request fails over like any
+        other backend death, so a half-dead backend can never hang a
+        client while healthy replicas exist.
+    """
+
+    def __init__(
+        self,
+        cluster_map: ClusterMap,
+        *,
+        host: str = "127.0.0.1",
+        max_pending: int = 64,
+        max_scenes: int = 8,
+        auth_token: "str | None" = None,
+        backend_auth_token: "str | None" = None,
+        monitor: "HealthMonitor | None" = None,
+        request_timeout: float = 60.0,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be positive")
+        if max_scenes < 1:
+            raise ValueError("max_scenes must be positive")
+        if request_timeout <= 0:
+            raise ValueError("request_timeout must be positive")
+        self.topology = cluster_map
+        self.host = host
+        self.max_pending = max_pending
+        self.max_scenes = max_scenes
+        self.auth_token = resolve_auth_token(auth_token)
+        self.backend_auth_token = (
+            resolve_auth_token(backend_auth_token) or self.auth_token
+        )
+        self.request_timeout = request_timeout
+        self._own_monitor = monitor is None
+        self.health = monitor or HealthMonitor(
+            cluster_map, auth_token=self.backend_auth_token
+        )
+        self.stats = RouterStats()
+        self._links: "dict[str, BackendLink]" = {}
+        self._scene_frames: "dict[str, bytes]" = {}
+        self._pending = 0
+        self._server: "asyncio.base_events.Server | None" = None
+        self._http_server: "asyncio.base_events.Server | None" = None
+        self._conn_tasks: "set[asyncio.Task]" = set()
+        self._closing = False
+
+    # -- lifecycle -------------------------------------------------------
+    async def start(self, port: int = 0) -> None:
+        """Start the TCP listener; run the owned health monitor."""
+        self._server = await asyncio.start_server(
+            self._handle_conn, host=self.host, port=port
+        )
+        if self._own_monitor:
+            self.health.start()
+
+    async def start_http(self, port: int = 0) -> None:
+        """Start the HTTP front end (health, stats, backend proxy)."""
+        self._http_server = await asyncio.start_server(
+            self._handle_http, host=self.host, port=port
+        )
+
+    @property
+    def tcp_port(self) -> int:
+        """The TCP listener's bound port (after :meth:`start`)."""
+        assert self._server is not None, "router not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def http_port(self) -> int:
+        """The HTTP listener's bound port (after :meth:`start_http`)."""
+        assert self._http_server is not None, "HTTP front end not started"
+        return self._http_server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        """Stop listeners, cancel in-flight work, close backend links."""
+        self._closing = True
+        for server in (self._server, self._http_server):
+            if server is not None:
+                server.close()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if self._own_monitor:
+            await self.health.close()
+        for link in self._links.values():
+            await link.close()
+        self._links.clear()
+        for server in (self._server, self._http_server):
+            if server is not None:
+                await server.wait_closed()
+
+    async def __aenter__(self) -> "ShardRouter":
+        if self._server is None:
+            await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- backend selection ----------------------------------------------
+    def _link(self, spec: BackendSpec) -> BackendLink:
+        link = self._links.get(spec.backend_id)
+        if link is None or link.spec != spec:
+            if link is not None:
+                # The id was re-registered at a new address: sever the
+                # superseded link or its socket + read task leak for
+                # the router's lifetime.
+                link.abort()
+            link = self._links[spec.backend_id] = BackendLink(
+                spec,
+                auth_token=self.backend_auth_token,
+                # One deadline policy: control round trips (scene push,
+                # stats) stall on a wedged backend exactly like frames.
+                control_timeout=self.request_timeout,
+            )
+        return link
+
+    async def _acquire_link(
+        self, scene_id: str, excluded: "set[str]"
+    ) -> "BackendLink | None":
+        """The best live replica's link, or None when none is up.
+
+        Walks the scene's replica set in rendezvous order, skipping
+        backends this request already saw fail and backends the monitor
+        has marked down (a markdown skip is a routing decision, not a
+        failover).  A connect *failure* discovered here is a failover:
+        it is reported into the monitor, counted, and the walk
+        continues.
+        """
+        for spec in self.topology.replicas(scene_id):
+            if spec.backend_id in excluded:
+                continue
+            if not self.health.is_up(spec.backend_id):
+                continue
+            link = self._link(spec)
+            try:
+                await link.connect()
+            except LinkLostError as exc:
+                self._mark_failover(link, excluded, exc)
+                continue
+            return link
+        return None
+
+    async def _ensure_scene_on(self, link: BackendLink, scene_id) -> None:
+        """Make sure a backend can resolve ``scene_id`` before routing.
+
+        Wire-pushed scenes are re-registered from the router's payload
+        cache; anything else is assumed to be a name the backends were
+        provisioned with (a backend that disagrees answers 404, which
+        is relayed).
+        """
+        payload = (
+            self._scene_frames.get(scene_id)
+            if isinstance(scene_id, str)
+            else None
+        )
+        if payload is not None:
+            await link.push_scene(scene_id, payload)
+
+    def _mark_failover(self, link: BackendLink, excluded: "set[str]", error) -> None:
+        """Bookkeeping shared by every failover site."""
+        excluded.add(link.spec.backend_id)
+        self.health.report_failure(link.spec.backend_id, error=str(error))
+        self.stats.failovers += 1
+
+    async def _backend_frame(
+        self, link: BackendLink, queue: asyncio.Queue
+    ) -> Frame:
+        """The next frame for one backend request, deadline-bounded.
+
+        A dead connection (``None`` sentinel) and an unresponsive one
+        (``request_timeout`` without a frame — the connection is then
+        severed so its late output cannot leak) both raise
+        :class:`LinkLostError`, which the serve loops turn into
+        failover.
+        """
+        try:
+            frame = await asyncio.wait_for(queue.get(), self.request_timeout)
+        except asyncio.TimeoutError:
+            link.abort()
+            raise LinkLostError(
+                f"backend {link.spec.backend_id} stalled "
+                f"(> {self.request_timeout}s without a frame)"
+            ) from None
+        if frame is None:
+            raise LinkLostError(
+                f"backend {link.spec.backend_id} dropped the connection"
+            )
+        return frame
+
+    # -- client-facing TCP protocol --------------------------------------
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One client connection: HELLO, AUTH?, dispatch until EOF/BYE."""
+        self.stats.connections += 1
+        conn = _ClientConn(writer)
+        handler = asyncio.current_task()
+        if handler is not None:
+            self._conn_tasks.add(handler)
+        try:
+            await self._send(
+                conn,
+                protocol.encode_frame(
+                    MessageType.HELLO,
+                    {
+                        "version": protocol.PROTOCOL_VERSION,
+                        "max_pending": self.max_pending,
+                        "role": "router",
+                        "backends": len(self.topology),
+                        "replication": self.topology.replication,
+                        "scenes": [],
+                        "auth_required": self.auth_token is not None,
+                    },
+                ),
+            )
+            if not await self._authenticate(conn, reader):
+                return
+            while True:
+                try:
+                    frame = await protocol.read_frame(reader)
+                except ProtocolError as exc:
+                    self.stats.errors += 1
+                    await self._send_error(conn, None, exc.code, str(exc))
+                    if exc.fatal:
+                        break
+                    continue
+                if frame is None or frame.type is MessageType.BYE:
+                    break
+                await self._dispatch(conn, frame)
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass
+        except asyncio.CancelledError:
+            pass  # router shutdown; fall through to cleanup
+        finally:
+            if handler is not None:
+                self._conn_tasks.discard(handler)
+            for task in conn.tasks.values():
+                if not task.done():
+                    task.cancel()
+                    self.stats.cancelled_requests += 1
+            if conn.tasks:
+                await asyncio.gather(
+                    *conn.tasks.values(), return_exceptions=True
+                )
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _authenticate(
+        self, conn: _ClientConn, reader: asyncio.StreamReader
+    ) -> bool:
+        """The gateway's AUTH handshake, applied at the router's edge."""
+        ok, refusal = await authenticate_reader(
+            reader, self.auth_token, "router"
+        )
+        if refusal is not None:
+            code, message = refusal
+            if code is ErrorCode.UNAUTHORIZED:
+                self.stats.auth_failures += 1
+            else:
+                self.stats.errors += 1
+            await self._send_error(conn, None, code, message)
+        return ok
+
+    async def _dispatch(self, conn: _ClientConn, frame: Frame) -> None:
+        """Route one client message; answer errors inline."""
+        try:
+            if frame.type is MessageType.SCENE:
+                await self._on_scene(conn, frame)
+            elif frame.type in (MessageType.RENDER, MessageType.STREAM):
+                self._on_request(conn, frame)
+            elif frame.type is MessageType.CANCEL:
+                task = conn.tasks.get(frame.header.get("request_id"))
+                if task is not None and not task.done():
+                    task.cancel()
+                    self.stats.cancelled_requests += 1
+            elif frame.type is MessageType.AUTH:
+                pass  # unsolicited token on an unkeyed router: ignore
+            elif frame.type is MessageType.STATS:
+                await self._send(
+                    conn,
+                    protocol.encode_frame(
+                        MessageType.STATS_OK, await self._stats_payload()
+                    ),
+                )
+            else:
+                raise ProtocolError(
+                    f"unexpected message type {frame.type.name} from a client"
+                )
+        except ProtocolError as exc:
+            if exc.code is not ErrorCode.REJECTED:
+                self.stats.errors += 1
+            await self._send_error(
+                conn, frame.header.get("request_id"), exc.code, str(exc)
+            )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self.stats.errors += 1
+            await self._send_error(
+                conn,
+                frame.header.get("request_id"),
+                ErrorCode.INTERNAL,
+                f"internal dispatch failure: {exc}",
+            )
+
+    async def _on_scene(self, conn: _ClientConn, frame: Frame) -> None:
+        """SCENE: fingerprint, cache the payload, replicate, SCENE_OK.
+
+        The cloud is decoded only to learn its content fingerprint (the
+        routing key); what the backends receive is the client's exact
+        bytes, re-framed.
+        """
+        cloud = protocol.decode_cloud(frame.header, frame.blob)
+        scene_id = cloud_fingerprint(cloud)
+        del cloud  # routing needs the id, not the arrays
+        if scene_id not in self._scene_frames:
+            if len(self._scene_frames) >= self.max_scenes:
+                raise ProtocolError(
+                    f"scene registry full ({self.max_scenes} cached scenes)"
+                )
+            self._scene_frames[scene_id] = protocol.encode_frame(
+                MessageType.SCENE, frame.header, frame.blob
+            )
+            self.stats.scenes_cached += 1
+        # Eagerly place the scene on every live replica so failover
+        # targets are warm; a backend that cannot be reached now gets
+        # the payload lazily when it is first routed to.
+        placed = 0
+        for spec in self.topology.replicas(scene_id):
+            if not self.health.is_up(spec.backend_id):
+                continue
+            link = self._link(spec)
+            try:
+                await link.push_scene(scene_id, self._scene_frames[scene_id])
+                placed += 1
+            except (LinkLostError, ProtocolError) as exc:
+                self.health.report_failure(spec.backend_id, error=str(exc))
+        if placed == 0:
+            raise ProtocolError(
+                "no replica accepted the scene (all backends down?)",
+                code=ErrorCode.SHUTTING_DOWN,
+            )
+        await self._send(
+            conn,
+            protocol.encode_frame(MessageType.SCENE_OK, {"scene_id": scene_id}),
+        )
+
+    def _on_request(self, conn: _ClientConn, frame: Frame) -> None:
+        """RENDER / STREAM: admit (or 429) and spawn the relay task."""
+        header = frame.header
+        request_id = header.get("request_id")
+        if not isinstance(request_id, int):
+            raise ProtocolError("request_id must be an integer")
+        if request_id in conn.tasks:
+            raise ProtocolError(f"request_id {request_id} is already in flight")
+        if self._closing:
+            raise ProtocolError(
+                "router is shutting down", code=ErrorCode.SHUTTING_DOWN
+            )
+        if self._pending >= self.max_pending:
+            self.stats.rejected += 1
+            raise ProtocolError(
+                f"admission bound reached ({self.max_pending} pending)",
+                code=ErrorCode.REJECTED,
+            )
+        scene_id = header.get("scene_id")
+        if not isinstance(scene_id, str):
+            raise ProtocolError("scene_id must be a string")
+        if frame.type is MessageType.RENDER:
+            camera = header.get("camera")
+            if not isinstance(camera, dict):
+                raise ProtocolError("RENDER needs a camera object")
+            coroutine = self._serve_render(conn, request_id, scene_id, camera)
+        else:
+            cameras = header.get("cameras")
+            if not isinstance(cameras, list) or not cameras:
+                raise ProtocolError("STREAM needs a non-empty camera list")
+            coroutine = self._serve_stream(conn, request_id, scene_id, cameras)
+            self.stats.streams += 1
+        self._pending += 1
+        self.stats.requests += 1
+        task = asyncio.ensure_future(coroutine)
+        conn.tasks[request_id] = task
+        task.add_done_callback(
+            lambda _t, _conn=conn, _rid=request_id: self._request_done(
+                _conn, _rid
+            )
+        )
+
+    def _request_done(self, conn: _ClientConn, request_id: int) -> None:
+        self._pending -= 1
+        conn.tasks.pop(request_id, None)
+
+    async def _no_replica(self, conn: _ClientConn, request_id: int) -> None:
+        """Answer the no-replica-up condition: an immediate 503."""
+        self.stats.no_replica += 1
+        self.stats.errors += 1
+        await self._send_error(
+            conn,
+            request_id,
+            ErrorCode.SHUTTING_DOWN,
+            "no replica is up for this scene",
+        )
+
+    async def _serve_render(
+        self,
+        conn: _ClientConn,
+        request_id: int,
+        scene_id: str,
+        camera: dict,
+    ) -> None:
+        """Relay one RENDER, retrying whole on replica failover."""
+        excluded: "set[str]" = set()
+        while True:
+            link = await self._acquire_link(scene_id, excluded)
+            if link is None:
+                await self._no_replica(conn, request_id)
+                return
+            backend_id, queue = link.open_channel()
+            try:
+                await self._ensure_scene_on(link, scene_id)
+                await link.send(
+                    protocol.encode_frame(
+                        MessageType.RENDER,
+                        {
+                            "request_id": backend_id,
+                            "scene_id": scene_id,
+                            "camera": camera,
+                        },
+                    )
+                )
+                frame = await self._backend_frame(link, queue)
+            except LinkLostError as exc:
+                self._mark_failover(link, excluded, exc)
+                continue
+            except ProtocolError as exc:
+                # _ensure_scene_on refused (e.g. registry full there).
+                self.stats.errors += 1
+                await self._send_error(conn, request_id, exc.code, str(exc))
+                return
+            except asyncio.CancelledError:
+                await self._cancel_backend(link, backend_id)
+                raise
+            except Exception as exc:
+                # Defense in depth (the gateway's rule): an unexpected
+                # relay failure answers *this* request — a silently
+                # dead task would leave the client waiting forever.
+                self.stats.errors += 1
+                await self._send_error(
+                    conn,
+                    request_id,
+                    ErrorCode.INTERNAL,
+                    f"internal relay failure: {exc}",
+                )
+                return
+            finally:
+                link.close_channel(backend_id)
+            if frame.type is MessageType.ERROR and int(
+                frame.header.get("code", 0)
+            ) == int(ErrorCode.SHUTTING_DOWN):
+                self._mark_failover(link, excluded, "backend shutting down")
+                continue
+            try:
+                await self._relay(conn, request_id, frame)
+            except (ConnectionError, OSError):
+                # The client vanished while its answer was in hand.
+                self.stats.cancelled_requests += 1
+            return
+
+    async def _serve_stream(
+        self,
+        conn: _ClientConn,
+        request_id: int,
+        scene_id: str,
+        cameras: "list[dict]",
+    ) -> None:
+        """Relay one STREAM with mid-flight failover.
+
+        The router counts the frames it has actually relayed; when a
+        backend dies it re-issues the stream on the next replica for
+        the *remaining* cameras only and rebases the incoming indices,
+        so the client observes one gapless, duplicate-free, ordered
+        stream regardless of how many backends died along the way.
+        """
+        sent = 0
+        excluded: "set[str]" = set()
+        while True:
+            link = await self._acquire_link(scene_id, excluded)
+            if link is None:
+                await self._no_replica(conn, request_id)
+                return
+            backend_id, queue = link.open_channel()
+            try:
+                await self._ensure_scene_on(link, scene_id)
+                base = sent
+                await link.send(
+                    protocol.encode_frame(
+                        MessageType.STREAM,
+                        {
+                            "request_id": backend_id,
+                            "scene_id": scene_id,
+                            "cameras": cameras[base:],
+                        },
+                    )
+                )
+                while True:
+                    frame = await self._backend_frame(link, queue)
+                    if frame.type is MessageType.FRAME:
+                        header = dict(frame.header)
+                        header["request_id"] = request_id
+                        header["index"] = base + int(frame.header["index"])
+                        await self._send(
+                            conn,
+                            protocol.encode_frame(
+                                MessageType.FRAME, header, frame.blob
+                            ),
+                        )
+                        sent += 1
+                        self.stats.frames_relayed += 1
+                    elif frame.type is MessageType.END:
+                        await self._send(
+                            conn,
+                            protocol.encode_frame(
+                                MessageType.END,
+                                {"request_id": request_id, "frames": sent},
+                            ),
+                        )
+                        return
+                    elif frame.type is MessageType.ERROR and int(
+                        frame.header.get("code", 0)
+                    ) == int(ErrorCode.SHUTTING_DOWN):
+                        raise LinkLostError(link.spec.backend_id)
+                    else:
+                        await self._relay(conn, request_id, frame)
+                        return
+            except LinkLostError as exc:
+                self._mark_failover(link, excluded, exc)
+                continue
+            except ProtocolError as exc:
+                self.stats.errors += 1
+                await self._send_error(conn, request_id, exc.code, str(exc))
+                return
+            except (ConnectionError, OSError):
+                # The *client* went away mid-relay: drop the backend work.
+                await self._cancel_backend(link, backend_id)
+                self.stats.cancelled_requests += 1
+                return
+            except asyncio.CancelledError:
+                await self._cancel_backend(link, backend_id)
+                raise
+            except Exception as exc:
+                # Defense in depth (the gateway's rule): an unexpected
+                # relay failure answers *this* request — a silently
+                # dead task would leave the client waiting forever.
+                self.stats.errors += 1
+                await self._cancel_backend(link, backend_id)
+                await self._send_error(
+                    conn,
+                    request_id,
+                    ErrorCode.INTERNAL,
+                    f"internal relay failure: {exc}",
+                )
+                return
+            finally:
+                link.close_channel(backend_id)
+
+    async def _cancel_backend(self, link: BackendLink, backend_id: int) -> None:
+        """Best-effort CANCEL for an abandoned backend request."""
+        try:
+            await link.send(
+                protocol.encode_frame(
+                    MessageType.CANCEL, {"request_id": backend_id}
+                )
+            )
+        except LinkLostError:
+            pass
+
+    async def _relay(
+        self, conn: _ClientConn, request_id: int, frame: Frame
+    ) -> None:
+        """Forward a backend frame verbatim except for the request id."""
+        header = dict(frame.header)
+        header["request_id"] = request_id
+        if frame.type is MessageType.ERROR:
+            self.stats.errors += 1
+        elif frame.type is MessageType.FRAME:
+            self.stats.frames_relayed += 1
+        await self._send(
+            conn, protocol.encode_frame(frame.type, header, frame.blob)
+        )
+
+    # -- stats aggregation ----------------------------------------------
+    #: Deadline per backend stats round trip — deliberately short (the
+    #: probe timescale, not the render deadline): stats must stay cheap
+    #: even when a backend is wedged, and the fan-out below runs all
+    #: backends concurrently so the slowest one bounds the whole call.
+    STATS_TIMEOUT = 5.0
+
+    async def _backend_stats_entry(self, spec: BackendSpec) -> dict:
+        """One backend's contribution to the cluster STATS payload."""
+        entry: "dict" = {"up": self.health.is_up(spec.backend_id)}
+        if not entry["up"]:
+            return entry
+        link = self._link(spec)
+        try:
+            await link.connect()
+            # The short deadline bounds only the backend's *reply*
+            # (control() severs the link on expiry); time spent queued
+            # behind e.g. a large in-flight scene push does not count
+            # against the backend.
+            frame = await link.control(
+                protocol.encode_frame(MessageType.STATS),
+                MessageType.STATS_OK,
+                timeout=self.STATS_TIMEOUT,
+            )
+        except (LinkLostError, ProtocolError) as exc:
+            self.health.report_failure(spec.backend_id, error=str(exc))
+            entry["error"] = str(exc)
+        else:
+            entry["service"] = frame.header.get("service", {})
+            entry["gateway"] = frame.header.get("gateway", {})
+        return entry
+
+    async def _stats_payload(self) -> dict:
+        """Cluster-wide STATS_OK payload.
+
+        ``service`` sums every numeric service counter across the live
+        backends (so ``engine_renders`` vs ``requests`` tells the same
+        story it does for one gateway); ``gateway`` carries the
+        router's own counters plus per-backend breakdowns and health.
+        """
+        specs = self.topology.backends
+        entries = await asyncio.gather(
+            *(self._backend_stats_entry(spec) for spec in specs)
+        )
+        totals: "dict[str, float]" = {}
+        backends: "dict[str, dict]" = {}
+        for spec, entry in zip(specs, entries):
+            backends[spec.backend_id] = entry
+            for key, value in entry.get("service", {}).items():
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    continue
+                totals[key] = totals.get(key, 0) + value
+        return {
+            "service": totals,
+            "gateway": {
+                **asdict(self.stats),
+                "role": "router",
+                "replication": self.topology.replication,
+                "backends": backends,
+                "health": self.health.snapshot(),
+            },
+        }
+
+    # -- plumbing --------------------------------------------------------
+    async def _send(self, conn: _ClientConn, payload: bytes) -> None:
+        async with conn.wlock:
+            conn.writer.write(payload)
+            await conn.writer.drain()
+
+    async def _send_error(
+        self,
+        conn: _ClientConn,
+        request_id: "int | None",
+        code: ErrorCode,
+        message: str,
+    ) -> None:
+        """Best-effort ERROR frame (the peer may already be gone)."""
+        try:
+            await self._send(
+                conn,
+                protocol.encode_frame(
+                    MessageType.ERROR,
+                    {
+                        "request_id": request_id,
+                        "code": int(code),
+                        "message": message,
+                    },
+                ),
+            )
+        except (ConnectionError, OSError):
+            pass
+
+    # -- HTTP front end --------------------------------------------------
+    async def _handle_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One HTTP exchange: local routes or a backend proxy."""
+        self.stats.http_requests += 1
+        try:
+            target = await read_http_get(reader, writer)
+            if target is not None:
+                await self._http_route(writer, target)
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _http_route(self, writer: asyncio.StreamWriter, target: str) -> None:
+        """Local /healthz and /stats; /render and /stream proxied."""
+        url = urlsplit(target)
+        query = dict(parse_qsl(url.query))
+        if url.path == "/healthz":
+            up = [
+                spec.backend_id
+                for spec in self.topology.backends
+                if self.health.is_up(spec.backend_id)
+            ]
+            status = 200 if up else 503
+            await http_reply(
+                writer,
+                status,
+                {
+                    "status": "ok" if up else "no backend up",
+                    "role": "router",
+                    "backends_up": up,
+                    "backends_total": len(self.topology),
+                },
+            )
+        elif url.path == "/stats":
+            await http_reply(writer, 200, await self._stats_payload())
+        elif url.path in ("/render", "/stream"):
+            await self._http_proxy(writer, target, query)
+        else:
+            await http_reply(writer, 404, {"error": f"no route {url.path}"})
+
+    async def _http_proxy(
+        self,
+        writer: asyncio.StreamWriter,
+        target: str,
+        query: "dict[str, str]",
+    ) -> None:
+        """Proxy a request to the scene's owner backend, byte-for-byte.
+
+        Routes by the ``scene`` query parameter (named scenes hash by
+        name).  A replica that cannot be *connected* falls through to
+        the next; once response bytes have started flowing a backend
+        death simply truncates the chunked body — the client-visible
+        signal HTTP allows — because a 200 header is already gone.
+        """
+        name = query.get("scene")
+        if not name:
+            await http_reply(writer, 400, {"error": "scene parameter required"})
+            return
+        tried = 0
+        for spec in self.topology.replicas(name):
+            if spec.http_port is None or not self.health.is_up(spec.backend_id):
+                continue
+            tried += 1
+            try:
+                b_reader, b_writer = await asyncio.open_connection(
+                    spec.host, spec.http_port
+                )
+            except (ConnectionError, OSError) as exc:
+                self.health.report_failure(spec.backend_id, error=str(exc))
+                continue
+            relayed = False
+            try:
+                b_writer.write(
+                    (
+                        f"GET {target} HTTP/1.1\r\n"
+                        f"Host: {spec.host}\r\n"
+                        "Connection: close\r\n\r\n"
+                    ).encode("latin-1")
+                )
+                await b_writer.drain()
+                while True:
+                    # The deadline is per read, not per response: a
+                    # healthy backend streaming a long trajectory keeps
+                    # producing chunks; a wedged one goes silent.
+                    chunk = await asyncio.wait_for(
+                        b_reader.read(65536), self.request_timeout
+                    )
+                    if not chunk:
+                        break
+                    relayed = True
+                    writer.write(chunk)
+                    await writer.drain()
+                return
+            except asyncio.TimeoutError:
+                self.health.report_failure(
+                    spec.backend_id, error="HTTP proxy read stalled"
+                )
+                if relayed:
+                    return  # mid-body: the truncation is the signal
+                continue
+            except (ConnectionError, OSError) as exc:
+                self.health.report_failure(spec.backend_id, error=str(exc))
+                if relayed:
+                    return  # mid-body: the truncation is the signal
+                continue
+            finally:
+                b_writer.close()
+                try:
+                    await b_writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+        self.stats.no_replica += 1
+        await http_reply(
+            writer,
+            503,
+            {"error": f"no replica up for scene {name!r}", "tried": tried},
+        )

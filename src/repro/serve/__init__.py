@@ -30,7 +30,11 @@ into a *service*: many concurrent clients, few engine renders.
   rejects) plus an HTTP/1.1 adapter for one-shot ``curl`` renders.
 * :class:`AsyncGatewayClient` / :class:`GatewayClient` — asyncio and
   blocking protocol clients with the same request surface as the
-  in-process service (both drop into :func:`run_clients`).
+  in-process service (both drop into :func:`run_clients`), speaking the
+  optional shared-secret AUTH handshake (:mod:`repro.serve.auth`).
+* :class:`GatewayClientPool` — pooled connections with bounded
+  retry-on-markdown and resume-from-first-undelivered streams, the
+  client shape for talking to a :mod:`repro.cluster` router.
 * :class:`SharedRenderCache` — finished frames + stats in shared
   memory, keyed on ``(cloud, camera, renderer)`` content fingerprints;
   also pluggable into ``RenderEngine.render_trajectory`` /
@@ -48,9 +52,11 @@ that crossed the gateway's socket.
 See ``docs/serving.md`` for the wire protocol and operational guide.
 """
 
+from repro.serve.auth import AUTH_TOKEN_ENV, resolve_auth_token, token_matches
 from repro.serve.client import (
     AsyncGatewayClient,
     GatewayClient,
+    GatewayClientPool,
     GatewayError,
     LoadReport,
     naive_render_seconds,
@@ -69,11 +75,13 @@ from repro.serve.service import RenderService, ServiceStats
 from repro.serve.verify import verify_streamed_images
 
 __all__ = [
+    "AUTH_TOKEN_ENV",
     "AdaptiveBatchPolicy",
     "AsyncGatewayClient",
     "BatchStats",
     "ErrorCode",
     "GatewayClient",
+    "GatewayClientPool",
     "GatewayError",
     "GatewayStats",
     "LoadReport",
@@ -87,6 +95,8 @@ __all__ = [
     "naive_render_seconds",
     "render_key",
     "renderer_key",
+    "resolve_auth_token",
     "run_clients",
+    "token_matches",
     "verify_streamed_images",
 ]

@@ -36,6 +36,7 @@ from repro.gaussians.camera import Camera
 from repro.gaussians.cloud import GaussianCloud
 from repro.raster.renderer import RenderResult
 from repro.serve import protocol
+from repro.serve.auth import resolve_auth_token
 from repro.serve.protocol import ErrorCode, Frame, MessageType, ProtocolError
 
 
@@ -76,9 +77,12 @@ class AsyncGatewayClient:
         await client.close()
     """
 
-    def __init__(self, host: str, port: int) -> None:
+    def __init__(
+        self, host: str, port: int, *, auth_token: "str | None" = None
+    ) -> None:
         self.host = host
         self.port = port
+        self.auth_token = resolve_auth_token(auth_token)
         self.hello: "dict" = {}
         self._reader: "asyncio.StreamReader | None" = None
         self._writer: "asyncio.StreamWriter | None" = None
@@ -93,18 +97,28 @@ class AsyncGatewayClient:
         self._closed = False
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "AsyncGatewayClient":
-        """Open a connection, consume HELLO, start the frame router."""
-        client = cls(host, port)
+    async def connect(
+        cls, host: str, port: int, *, auth_token: "str | None" = None
+    ) -> "AsyncGatewayClient":
+        """Open a connection, consume HELLO (+ AUTH), start the router.
+
+        With ``auth_token`` (or the environment knob, see
+        :func:`repro.serve.auth.resolve_auth_token`) the token is sent
+        as the first frame; connecting tokenless to a server whose
+        HELLO demands auth fails fast with a 401 :class:`GatewayError`
+        instead of dying on the first real request.
+        """
+        client = cls(host, port, auth_token=auth_token)
         client._reader, client._writer = await asyncio.open_connection(
             host, port
         )
-        hello = await protocol.read_frame(client._reader)
-        if hello is None or hello.type is not MessageType.HELLO:
-            raise GatewayError(
-                int(ErrorCode.BAD_REQUEST), "gateway did not send HELLO"
+        try:
+            client.hello = await protocol.client_hello(
+                client._reader, client._writer, client.auth_token
             )
-        client.hello = hello.header
+        except ProtocolError as exc:
+            client._writer.close()
+            raise GatewayError(int(exc.code), str(exc)) from exc
         client._read_task = asyncio.ensure_future(client._read_loop())
         return client
 
@@ -318,7 +332,9 @@ class AsyncGatewayClient:
 
     async def __aenter__(self) -> "AsyncGatewayClient":
         if self._reader is None:
-            connected = await type(self).connect(self.host, self.port)
+            connected = await type(self).connect(
+                self.host, self.port, auth_token=self.auth_token
+            )
             self.__dict__.update(connected.__dict__)
         return self
 
@@ -340,18 +356,28 @@ class GatewayClient:
                 ...
     """
 
-    def __init__(self, host: str, port: int, *, timeout: float = 60.0) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 60.0,
+        auth_token: "str | None" = None,
+    ) -> None:
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rb")
         self._ids = itertools.count(1)
         self._scene_ids: "dict[str, str]" = {}
         self._closed = False
-        hello = protocol.read_frame_from(self._file)
-        if hello is None or hello.type is not MessageType.HELLO:
-            raise GatewayError(
-                int(ErrorCode.BAD_REQUEST), "gateway did not send HELLO"
+        auth_token = resolve_auth_token(auth_token)
+        try:
+            self.hello = protocol.client_hello_blocking(
+                self._file, self._sock.sendall, auth_token
             )
-        self.hello = hello.header
+        except ProtocolError as exc:
+            self._file.close()
+            self._sock.close()
+            raise GatewayError(int(exc.code), str(exc)) from exc
 
     def _recv_for(self, request_id: "int | None") -> Frame:
         """Next frame addressed to this request (or to no request).
@@ -495,6 +521,212 @@ class GatewayClient:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+class GatewayClientPool:
+    """Pooled gateway connections with retry-on-markdown.
+
+    A fixed-size pool of :class:`AsyncGatewayClient` connections to one
+    endpoint (a gateway or a cluster router), leased round-robin so
+    concurrent requests spread across sockets, with bounded retries for
+    the transient failures a clustered deployment surfaces:
+
+    * **503** — the peer is shutting down, the connection died, or (from
+      the router) a scene's replicas are all marked down; the pool drops
+      the dead connection, reconnects, and retries.
+    * **429** — admission control said back off; the pool sleeps
+      ``backoff`` (doubling per consecutive attempt) and retries on the
+      same connection.
+
+    :meth:`stream_trajectory` resumes an interrupted stream from the
+    first undelivered frame — frames already yielded are never repeated,
+    and a retry re-requests only the remaining cameras (the same suffix
+    shape the cluster router uses for backend failover).  Any delivered
+    frame resets the retry budget, so a long stream may survive several
+    markdowns while a hard-down endpoint still fails after ``retries``
+    consecutive fruitless attempts.
+
+    The request surface mirrors :class:`AsyncGatewayClient`, so a pool
+    drops into :func:`run_clients` unchanged.
+    """
+
+    #: Error codes worth retrying (everything else is the caller's bug).
+    _RETRYABLE = (int(ErrorCode.SHUTTING_DOWN), int(ErrorCode.REJECTED))
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        size: int = 2,
+        auth_token: "str | None" = None,
+        retries: int = 3,
+        backoff: float = 0.05,
+        connect_timeout: float = 5.0,
+    ) -> None:
+        if size < 1:
+            raise ValueError("size must be positive")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        self.host = host
+        self.port = port
+        self.size = size
+        self.auth_token = resolve_auth_token(auth_token)
+        self.retries = retries
+        self.backoff = backoff
+        self.connect_timeout = connect_timeout
+        self._slots: "list[AsyncGatewayClient | None]" = [None] * size
+        self._next = 0
+        # One lock per slot: reconnecting a dead slot (which can take
+        # up to connect_timeout against a black-holed host) must not
+        # stall requests leasing the other, healthy slots.
+        self._locks = [asyncio.Lock() for _ in range(size)]
+        self._closed = False
+
+    @staticmethod
+    def _dead(client: "AsyncGatewayClient | None") -> bool:
+        """A slot needing (re)connection: never opened, closed, or EOF."""
+        return (
+            client is None
+            or client._closed
+            or (client._read_task is not None and client._read_task.done())
+        )
+
+    async def _lease(self) -> AsyncGatewayClient:
+        """The next connection, round-robin; reconnects dead slots.
+
+        A connection failure surfaces as a 503 :class:`GatewayError` so
+        the per-request retry loops treat "could not connect" exactly
+        like "connection died mid-request".
+        """
+        if self._closed:
+            raise GatewayError(int(ErrorCode.SHUTTING_DOWN), "pool is closed")
+        index = self._next % self.size
+        self._next += 1
+        async with self._locks[index]:
+            client = self._slots[index]
+            if self._dead(client):
+                try:
+                    client = await asyncio.wait_for(
+                        AsyncGatewayClient.connect(
+                            self.host, self.port, auth_token=self.auth_token
+                        ),
+                        self.connect_timeout,
+                    )
+                except (
+                    ConnectionError,
+                    OSError,
+                    asyncio.TimeoutError,
+                ) as exc:
+                    raise GatewayError(
+                        int(ErrorCode.SHUTTING_DOWN),
+                        f"cannot connect to {self.host}:{self.port}: {exc}",
+                    ) from exc
+                self._slots[index] = client
+        return client
+
+    async def _retire(self, client: AsyncGatewayClient) -> None:
+        """Drop a (probably dead) connection; its slot reconnects lazily."""
+        for index, slot in enumerate(self._slots):
+            if slot is client:
+                self._slots[index] = None
+        try:
+            await client.close()
+        except (ConnectionError, OSError):
+            pass
+
+    async def _handle_failure(self, exc, client, attempt: int) -> None:
+        """Shared retry bookkeeping: re-raise or back off and continue.
+
+        Raw transport errors (a write on a connection that died before
+        the read loop noticed) are normalised to 503 and always retire
+        the connection.  A 503 *ERROR frame*, by contrast, arrived
+        over a live socket — e.g. the router saying one scene has no
+        replica — so the shared connection is retired only when it is
+        actually dead; closing a healthy multiplexed connection would
+        torpedo every other request on it.
+        """
+        if self._closed:
+            # Permanent: never burn the retry budget on a closed pool.
+            raise GatewayError(int(ErrorCode.SHUTTING_DOWN), "pool is closed")
+        transport = not isinstance(exc, GatewayError)
+        if transport:
+            exc = GatewayError(
+                int(ErrorCode.SHUTTING_DOWN), f"connection failed: {exc}"
+            )
+        if exc.code not in self._RETRYABLE or attempt >= self.retries:
+            raise exc
+        if client is not None and (transport or self._dead(client)):
+            await self._retire(client)
+        await asyncio.sleep(self.backoff * (2**attempt))
+
+    async def render_frame(
+        self, cloud: GaussianCloud, camera: Camera
+    ) -> RenderResult:
+        """One-shot render with markdown/backpressure retries."""
+        attempt = 0
+        while True:
+            client = None
+            try:
+                client = await self._lease()
+                return await client.render_frame(cloud, camera)
+            except (GatewayError, ConnectionError, OSError) as exc:
+                await self._handle_failure(exc, client, attempt)
+                attempt += 1
+
+    async def stream_trajectory(
+        self,
+        cloud: GaussianCloud,
+        cameras: "list[Camera] | tuple[Camera, ...]",
+        *,
+        prefetch: "int | None" = None,
+    ):
+        """Ordered stream with resume-from-first-undelivered on retry."""
+        cameras = list(cameras)
+        delivered = 0
+        attempt = 0
+        while delivered < len(cameras):
+            client = None
+            base = delivered
+            try:
+                client = await self._lease()
+                async for index, result in client.stream_trajectory(
+                    cloud, cameras[base:], prefetch=prefetch
+                ):
+                    delivered = base + index + 1
+                    yield base + index, result
+                return
+            except (GatewayError, ConnectionError, OSError) as exc:
+                if delivered > base:
+                    attempt = 0  # progress restores the retry budget
+                await self._handle_failure(exc, client, attempt)
+                attempt += 1
+
+    async def stats_dict(self) -> "dict":
+        """The endpoint's counters (one retried control round trip)."""
+        attempt = 0
+        while True:
+            client = None
+            try:
+                client = await self._lease()
+                return await client.stats_dict()
+            except (GatewayError, ConnectionError, OSError) as exc:
+                await self._handle_failure(exc, client, attempt)
+                attempt += 1
+
+    async def close(self) -> None:
+        """Close every pooled connection."""
+        self._closed = True
+        clients = [c for c in self._slots if c is not None]
+        self._slots = [None] * self.size
+        for client in clients:
+            await client.close()
+
+    async def __aenter__(self) -> "GatewayClientPool":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
 
 
 @dataclass

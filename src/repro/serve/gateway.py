@@ -11,11 +11,19 @@ this module puts a socket in front of it:
   the paper's losslessness guarantee survives the network hop
   (test-asserted).
 * a thin **HTTP/1.1 adapter** (:meth:`RenderGateway.start_http`) for
-  one-shot ``render_frame`` requests against named scenes, so ``curl``
-  works without a protocol client: ``GET /render?scene=NAME&view=I``
-  returns the frame as a PPM image (or JSON with a SHA-256 of the raw
-  float image for bit-identity checks), plus ``/healthz`` and
-  ``/stats``.
+  requests against named scenes, so ``curl`` works without a protocol
+  client: ``GET /render?scene=NAME&view=I`` returns one frame as a PPM
+  image (or JSON with a SHA-256 of the raw float image for bit-identity
+  checks), ``GET /stream?scene=NAME&frames=K`` streams a multi-frame
+  chunked response (NDJSON frame records or concatenated PPMs) as the
+  frames complete, plus ``/healthz`` and ``/stats``.
+
+With ``auth_token`` set (or :data:`repro.serve.auth.AUTH_TOKEN_ENV` in
+the environment) the TCP protocol requires every connection's first
+frame after HELLO to be an AUTH message carrying the shared token
+(constant-time compare; wrong or missing token gets a 401 ERROR and the
+connection closes).  The HTTP adapter stays unauthenticated — bind it
+to loopback or keep it behind the cluster router.
 
 Load behaviour (the JPAC-shaped split — fast admission decisions, slow
 feedback):
@@ -59,8 +67,138 @@ from repro.gaussians.camera import Camera
 from repro.gaussians.cloud import GaussianCloud
 from repro.experiments.shm_cache import cloud_fingerprint
 from repro.serve import protocol
+from repro.serve.auth import resolve_auth_token, token_matches
 from repro.serve.protocol import ErrorCode, Frame, MessageType, ProtocolError
 from repro.serve.service import RenderService
+
+#: HTTP reason phrases for every status the serving stack emits.
+HTTP_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    401: "Unauthorized",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+}
+
+
+async def http_reply(
+    writer: asyncio.StreamWriter,
+    status: int,
+    body,
+    *,
+    content_type: str = "application/json",
+) -> None:
+    """Write one full fixed-length HTTP/1.1 response and flush.
+
+    Shared by the gateway's HTTP adapter and the cluster router's HTTP
+    front end, so error shapes stay identical across both.
+    """
+    if isinstance(body, (dict, list)):
+        payload = (json.dumps(body, indent=2) + "\n").encode("utf-8")
+    else:
+        payload = body
+    writer.write(
+        (
+            f"HTTP/1.1 {status} {HTTP_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+    )
+    writer.write(payload)
+    await writer.drain()
+
+
+async def http_stream_head(
+    writer: asyncio.StreamWriter, content_type: str
+) -> None:
+    """Start a 200 chunked response (no Content-Length; chunks follow)."""
+    writer.write(
+        (
+            "HTTP/1.1 200 OK\r\n"
+            f"Content-Type: {content_type}\r\n"
+            "Transfer-Encoding: chunked\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+    )
+    await writer.drain()
+
+
+async def http_stream_chunk(writer: asyncio.StreamWriter, data: bytes) -> None:
+    """Write one HTTP/1.1 chunk and flush (flow control for the stream)."""
+    writer.write(b"%x\r\n" % len(data) + data + b"\r\n")
+    await writer.drain()
+
+
+async def http_stream_end(writer: asyncio.StreamWriter) -> None:
+    """Terminate a chunked response (the zero-length chunk)."""
+    writer.write(b"0\r\n\r\n")
+    await writer.drain()
+
+
+async def read_http_get(
+    reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> "str | None":
+    """Read one HTTP/1.1 request head and return its GET target.
+
+    Anything else — malformed head, timeout, non-GET method — is
+    answered (400/405) here and reported as ``None``.  Shared by the
+    gateway's HTTP adapter and the cluster router's HTTP front end.
+    """
+    try:
+        head = await asyncio.wait_for(
+            reader.readuntil(b"\r\n\r\n"), timeout=10.0
+        )
+    except (
+        asyncio.IncompleteReadError,
+        asyncio.LimitOverrunError,
+        asyncio.TimeoutError,
+    ):
+        await http_reply(writer, 400, {"error": "malformed HTTP request"})
+        return None
+    request_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+    parts = request_line.split()
+    if len(parts) != 3 or parts[0] != "GET":
+        await http_reply(writer, 405, {"error": "only GET is supported"})
+        return None
+    return parts[1]
+
+
+async def authenticate_reader(
+    reader: asyncio.StreamReader, auth_token: "str | None", role: str
+) -> "tuple[bool, tuple | None]":
+    """The server side of the AUTH handshake, transport-agnostic.
+
+    Returns ``(ok, refusal)``: ``(True, None)`` to proceed,
+    ``(False, None)`` for a clean pre-AUTH disconnect (no refusal to
+    send), and ``(False, (code, message))`` when an ERROR should be
+    sent before closing — a 401 for a wrong/missing token, or the
+    underlying :class:`ProtocolError`'s code for a corrupt first
+    frame.  Token comparison is constant-time (:func:`token_matches`).
+    Shared by the gateway and the cluster router so the handshake
+    cannot drift between them.
+    """
+    if auth_token is None:
+        return True, None
+    try:
+        frame = await protocol.read_frame(reader)
+    except ProtocolError as exc:
+        return False, (exc.code, str(exc))
+    if frame is None:
+        return False, None  # clean pre-AUTH disconnect: not a refusal
+    if frame.type is not MessageType.AUTH or not token_matches(
+        auth_token, frame.header.get("token")
+    ):
+        return False, (
+            ErrorCode.UNAUTHORIZED,
+            f"this {role} requires a shared-secret AUTH frame before "
+            "any other message",
+        )
+    return True, None
 
 
 @dataclass
@@ -89,6 +227,8 @@ class GatewayStats:
         Scenes accepted over the wire (named scenes not included).
     http_requests:
         HTTP requests handled (any status).
+    auth_failures:
+        Connections refused for a missing or wrong shared-secret token.
     """
 
     connections: int = 0
@@ -100,6 +240,7 @@ class GatewayStats:
     cancelled_requests: int = 0
     scenes_registered: int = 0
     http_requests: int = 0
+    auth_failures: int = 0
 
 
 class _Connection:
@@ -130,6 +271,11 @@ class RenderGateway:
     max_scenes:
         Bound on scenes registered over the wire (each pins its cloud
         in gateway memory); exceeding it rejects the SCENE message.
+    auth_token:
+        Shared-secret token for the TCP protocol.  ``None`` (default)
+        falls back to :data:`repro.serve.auth.AUTH_TOKEN_ENV`; an empty
+        string disables auth explicitly.  When set, every connection's
+        first frame after HELLO must be a matching AUTH message.
     """
 
     def __init__(
@@ -139,6 +285,7 @@ class RenderGateway:
         host: str = "127.0.0.1",
         max_pending: int = 64,
         max_scenes: int = 8,
+        auth_token: "str | None" = None,
     ) -> None:
         if max_pending < 1:
             raise ValueError("max_pending must be positive")
@@ -148,6 +295,7 @@ class RenderGateway:
         self.host = host
         self.max_pending = max_pending
         self.max_scenes = max_scenes
+        self.auth_token = resolve_auth_token(auth_token)
         self.stats = GatewayStats()
         self._scenes: "dict[str, GaussianCloud]" = {}
         self._orbits: "dict[str, list[Camera]]" = {}
@@ -260,9 +408,12 @@ class RenderGateway:
                         "version": protocol.PROTOCOL_VERSION,
                         "max_pending": self.max_pending,
                         "scenes": sorted(self._orbits),
+                        "auth_required": self.auth_token is not None,
                     },
                 ),
             )
+            if not await self._authenticate(conn, reader):
+                return
             while True:
                 try:
                     frame = await protocol.read_frame(reader)
@@ -299,6 +450,30 @@ class RenderGateway:
             except (ConnectionError, OSError):
                 pass
 
+    async def _authenticate(
+        self, conn: _Connection, reader: asyncio.StreamReader
+    ) -> bool:
+        """Enforce the AUTH handshake; True means proceed to dispatch.
+
+        With no token configured this is a no-op (an unsolicited AUTH
+        frame from a keyed client is accepted and ignored by
+        :meth:`_dispatch`).  With a token, the first frame must be a
+        matching AUTH: anything else — wrong token, a request before
+        AUTH, garbage — answers a 401 ERROR and closes the connection
+        (:func:`authenticate_reader`).
+        """
+        ok, refusal = await authenticate_reader(
+            reader, self.auth_token, "gateway"
+        )
+        if refusal is not None:
+            code, message = refusal
+            if code is ErrorCode.UNAUTHORIZED:
+                self.stats.auth_failures += 1
+            else:
+                self.stats.errors += 1
+            await self._send_error(conn, None, code, message)
+        return ok
+
     async def _dispatch(self, conn: _Connection, frame: Frame) -> None:
         """Route one well-framed message; answer errors inline."""
         try:
@@ -311,6 +486,8 @@ class RenderGateway:
                 if task is not None and not task.done():
                     task.cancel()
                     self.stats.cancelled_requests += 1
+            elif frame.type is MessageType.AUTH:
+                pass  # unsolicited token on an unkeyed gateway: ignore
             elif frame.type is MessageType.STATS:
                 await self._send(
                     conn,
@@ -512,27 +689,9 @@ class RenderGateway:
         """One HTTP/1.1 exchange (``Connection: close`` semantics)."""
         self.stats.http_requests += 1
         try:
-            try:
-                head = await asyncio.wait_for(
-                    reader.readuntil(b"\r\n\r\n"), timeout=10.0
-                )
-            except (
-                asyncio.IncompleteReadError,
-                asyncio.LimitOverrunError,
-                asyncio.TimeoutError,
-            ):
-                await self._http_reply(
-                    writer, 400, {"error": "malformed HTTP request"}
-                )
-                return
-            request_line = head.split(b"\r\n", 1)[0].decode("latin-1")
-            parts = request_line.split()
-            if len(parts) != 3 or parts[0] != "GET":
-                await self._http_reply(
-                    writer, 405, {"error": "only GET is supported"}
-                )
-                return
-            await self._http_route(writer, parts[1])
+            target = await read_http_get(reader, writer)
+            if target is not None:
+                await self._http_route(writer, target)
         except (ConnectionError, OSError):
             pass
         finally:
@@ -547,9 +706,9 @@ class RenderGateway:
         url = urlsplit(target)
         query = dict(parse_qsl(url.query))
         if url.path == "/healthz":
-            await self._http_reply(writer, 200, {"status": "ok"})
+            await http_reply(writer, 200, {"status": "ok"})
         elif url.path == "/stats":
-            await self._http_reply(
+            await http_reply(
                 writer,
                 200,
                 {
@@ -559,8 +718,10 @@ class RenderGateway:
             )
         elif url.path == "/render":
             await self._http_render(writer, query)
+        elif url.path == "/stream":
+            await self._http_stream(writer, query)
         else:
-            await self._http_reply(
+            await http_reply(
                 writer, 404, {"error": f"no route {url.path}"}
             )
 
@@ -571,7 +732,7 @@ class RenderGateway:
         name = query.get("scene")
         cameras = self._orbits.get(name or "")
         if cameras is None:
-            await self._http_reply(
+            await http_reply(
                 writer,
                 404,
                 {
@@ -585,7 +746,7 @@ class RenderGateway:
         except ValueError:
             view = -1
         if not 0 <= view < len(cameras):
-            await self._http_reply(
+            await http_reply(
                 writer,
                 400,
                 {"error": f"view must be an index in [0, {len(cameras)})"},
@@ -593,13 +754,13 @@ class RenderGateway:
             return
         fmt = query.get("format", "ppm")
         if fmt not in ("ppm", "json"):
-            await self._http_reply(
+            await http_reply(
                 writer, 400, {"error": "format must be 'ppm' or 'json'"}
             )
             return
         if self._pending >= self.max_pending:
             self.stats.rejected += 1
-            await self._http_reply(
+            await http_reply(
                 writer,
                 429,
                 {"error": f"admission bound reached ({self.max_pending})"},
@@ -613,70 +774,131 @@ class RenderGateway:
             )
         except Exception as exc:
             self.stats.errors += 1
-            await self._http_reply(writer, 500, {"error": str(exc)})
+            await http_reply(writer, 500, {"error": str(exc)})
             return
         finally:
             self._pending -= 1
         if fmt == "ppm":
-            await self._http_reply(
+            await http_reply(
                 writer,
                 200,
                 _ppm_bytes(result.image),
                 content_type="image/x-portable-pixmap",
             )
         else:
-            image = np.ascontiguousarray(result.image)
-            await self._http_reply(
+            await http_reply(writer, 200, _frame_record(name, view, result))
+
+    async def _http_stream(
+        self, writer: asyncio.StreamWriter, query: "dict[str, str]"
+    ) -> None:
+        """``/stream?scene=NAME[&frames=K][&start=I][&format=json|ppm]``.
+
+        A chunked multi-frame response streamed as the frames complete:
+        ``format=json`` (default) emits one NDJSON record per frame —
+        the same fields as ``/render?format=json``, SHA-256 included,
+        so a shell can bit-verify a whole trajectory from one request —
+        and ``format=ppm`` emits the concatenated binary PPM images.
+        One admission slot covers the whole stream (parity with TCP
+        STREAM requests); ``writer.drain`` per chunk is the flow
+        control.  A failure after the 200 header cannot change the
+        status — the chunked body just ends without its terminating
+        zero chunk, which HTTP clients report as a truncated response.
+        """
+        name = query.get("scene")
+        cameras = self._orbits.get(name or "")
+        if cameras is None:
+            await http_reply(
                 writer,
-                200,
+                404,
                 {
-                    "scene": name,
-                    "view": view,
-                    "width": int(image.shape[1]),
-                    "height": int(image.shape[0]),
-                    "dtype": image.dtype.str,
-                    # Raw float bytes, not the 8-bit PPM: equal to the
-                    # sha256 of a direct RenderEngine.render — the
-                    # bit-identity check from a shell.
-                    "image_sha256": hashlib.sha256(image.tobytes()).hexdigest(),
-                    "num_pairs": int(result.stats.preprocess.num_pairs),
-                    "alpha_ops": int(
-                        result.stats.raster.num_alpha_computations
-                    ),
+                    "error": f"unknown scene {name!r}",
+                    "scenes": sorted(self._orbits),
                 },
             )
+            return
+        try:
+            start = int(query.get("start", "0"))
+            frames = int(query.get("frames", str(len(cameras) - start)))
+        except ValueError:
+            await http_reply(
+                writer, 400, {"error": "start and frames must be integers"}
+            )
+            return
+        if not (0 <= start < len(cameras)) or not (
+            1 <= frames <= len(cameras) - start
+        ):
+            await http_reply(
+                writer,
+                400,
+                {
+                    "error": f"need 0 <= start < {len(cameras)} and "
+                    f"1 <= frames <= {len(cameras)} - start"
+                },
+            )
+            return
+        fmt = query.get("format", "json")
+        if fmt not in ("ppm", "json"):
+            await http_reply(
+                writer, 400, {"error": "format must be 'ppm' or 'json'"}
+            )
+            return
+        if self._pending >= self.max_pending:
+            self.stats.rejected += 1
+            await http_reply(
+                writer,
+                429,
+                {"error": f"admission bound reached ({self.max_pending})"},
+            )
+            return
+        self._pending += 1
+        self.stats.requests += 1
+        self.stats.streams += 1
+        try:
+            stream = self.service.stream_trajectory(
+                self._scenes[name], cameras[start : start + frames]
+            )
+            await http_stream_head(
+                writer,
+                "image/x-portable-pixmap"
+                if fmt == "ppm"
+                else "application/x-ndjson",
+            )
+            async for index, result in stream:
+                if fmt == "ppm":
+                    data = _ppm_bytes(result.image)
+                else:
+                    record = _frame_record(name, start + index, result)
+                    data = (
+                        json.dumps(record, separators=(",", ":")) + "\n"
+                    ).encode("utf-8")
+                await http_stream_chunk(writer, data)
+                self.stats.frames_sent += 1
+            await http_stream_end(writer)
+        except (ConnectionError, OSError):
+            self.stats.cancelled_requests += 1
+        except Exception:
+            # Mid-body failure: the truncated chunk stream is the signal.
+            self.stats.errors += 1
+        finally:
+            self._pending -= 1
 
-    @staticmethod
-    async def _http_reply(
-        writer: asyncio.StreamWriter,
-        status: int,
-        body,
-        *,
-        content_type: str = "application/json",
-    ) -> None:
-        """Write one full HTTP/1.1 response and flush."""
-        reasons = {
-            200: "OK",
-            400: "Bad Request",
-            404: "Not Found",
-            405: "Method Not Allowed",
-            429: "Too Many Requests",
-            500: "Internal Server Error",
-        }
-        if isinstance(body, (dict, list)):
-            payload = (json.dumps(body, indent=2) + "\n").encode("utf-8")
-        else:
-            payload = body
-        writer.write(
-            (
-                f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}\r\n"
-                f"Content-Type: {content_type}\r\n"
-                f"Content-Length: {len(payload)}\r\n"
-                "Connection: close\r\n\r\n"
-            ).encode("latin-1")
-        )
-        writer.write(payload)
-        await writer.drain()
+
+def _frame_record(name: str, view: int, result) -> dict:
+    """The JSON shape of one served frame (``/render`` and ``/stream``)."""
+    image = np.ascontiguousarray(result.image)
+    return {
+        "scene": name,
+        "view": view,
+        "width": int(image.shape[1]),
+        "height": int(image.shape[0]),
+        "dtype": image.dtype.str,
+        # Raw float bytes, not the 8-bit PPM: equal to the sha256 of a
+        # direct RenderEngine.render — the bit-identity check from a
+        # shell.
+        "image_sha256": hashlib.sha256(image.tobytes()).hexdigest(),
+        "num_pairs": int(result.stats.preprocess.num_pairs),
+        "alpha_ops": int(result.stats.raster.num_alpha_computations),
+    }
 
 
 def _ppm_bytes(image: np.ndarray) -> bytes:

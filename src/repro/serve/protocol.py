@@ -22,6 +22,8 @@ Message types (:class:`MessageType`) and who sends them:
 type         direction  meaning
 ===========  =========  ====================================================
 HELLO        S -> C     greeting after connect: protocol version + limits
+AUTH         C -> S     shared-secret token; required first frame when
+                        HELLO carries ``auth_required``
 SCENE        C -> S     register a Gaussian cloud (arrays in the blob)
 SCENE_OK     S -> C     scene accepted; header carries its ``scene_id``
 RENDER       C -> S     one-shot frame request for ``(scene_id, camera)``
@@ -36,9 +38,10 @@ BYE          C -> S     graceful goodbye; the server closes the connection
 ===========  =========  ====================================================
 
 Errors carry HTTP-flavoured codes (:class:`ErrorCode`): ``400`` malformed
-frame or request, ``404`` unknown scene, ``413`` frame too large, ``429``
-admission rejected (the gateway is at ``max_pending`` — back off and
-retry), ``500`` internal render failure, ``503`` shutting down.  A
+frame or request, ``401`` missing or wrong shared-secret token, ``404``
+unknown scene, ``413`` frame too large, ``429`` admission rejected (the
+gateway is at ``max_pending`` — back off and retry), ``500`` internal
+render failure, ``503`` shutting down / no replica up.  A
 malformed-but-framed message (bad JSON, unknown type, missing fields) is
 *recoverable*: the server answers with a ``400`` ERROR frame and keeps
 the connection; only a broken frame boundary (oversized length prefix,
@@ -47,9 +50,10 @@ EOF mid-frame) is fatal, because resynchronisation is impossible.
 The full byte-level specification lives in ``docs/serving.md``.
 
 .. warning::
-    The protocol authenticates nothing and is meant for trusted networks
-    (localhost, a private serving pod) — the same trust model as the
-    shared-memory caches it fronts.
+    The optional shared-secret AUTH handshake (see
+    :mod:`repro.serve.auth`) keys a deployment against accidental
+    cross-talk, but the wire is still plain text — for untrusted
+    networks the protocol still needs TLS in front of it.
 """
 
 from __future__ import annotations
@@ -73,7 +77,9 @@ from repro.raster.stats import (
 )
 
 #: Protocol version announced in HELLO; bumped on incompatible changes.
-PROTOCOL_VERSION = 1
+#: Version 2 added the AUTH handshake (backwards-compatible for
+#: servers that do not require it).
+PROTOCOL_VERSION = 2
 
 #: Hard bound on a single frame's payload (64 MiB covers a 1080p float64
 #: image ~12x over); a larger length prefix is treated as corruption.
@@ -98,12 +104,14 @@ class MessageType(IntEnum):
     STATS = 10
     STATS_OK = 11
     BYE = 12
+    AUTH = 13
 
 
 class ErrorCode(IntEnum):
     """HTTP-flavoured error codes carried by ERROR frames."""
 
     BAD_REQUEST = 400
+    UNAUTHORIZED = 401
     UNKNOWN_SCENE = 404
     FRAME_TOO_LARGE = 413
     REJECTED = 429
@@ -256,6 +264,53 @@ def _read_exact(stream, n: int, *, allow_eof: bool = False) -> "bytes | None":
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)
+
+
+# -- the client side of the connection handshake -------------------------
+def _check_hello(frame: "Frame | None", auth_token: "str | None") -> dict:
+    """Validate a HELLO and decide whether a token must be presented."""
+    if frame is None or frame.type is not MessageType.HELLO:
+        raise ProtocolError("peer did not send HELLO")
+    if auth_token is None and frame.header.get("auth_required"):
+        raise ProtocolError(
+            "peer requires a shared-secret token and none was given",
+            code=ErrorCode.UNAUTHORIZED,
+        )
+    return frame.header
+
+
+async def client_hello(
+    reader, writer: "asyncio.StreamWriter", auth_token: "str | None"
+) -> dict:
+    """Consume HELLO and run the client side of the AUTH handshake.
+
+    Returns the HELLO header.  Raises :class:`ProtocolError` when the
+    peer's first frame is not a HELLO, and with
+    ``code=ErrorCode.UNAUTHORIZED`` when the peer requires auth and no
+    token was given — failing fast client-side instead of dying on the
+    first real request.  Shared by every asyncio protocol client
+    (:class:`~repro.serve.client.AsyncGatewayClient`, the cluster
+    router's backend links, the health prober) so the handshake cannot
+    drift between them; :func:`client_hello_blocking` is the
+    synchronous twin.
+    """
+    header = _check_hello(await read_frame(reader), auth_token)
+    if auth_token is not None:
+        writer.write(encode_frame(MessageType.AUTH, {"token": auth_token}))
+        await writer.drain()
+    return header
+
+
+def client_hello_blocking(stream, send, auth_token: "str | None") -> dict:
+    """Blocking :func:`client_hello` over ``(read stream, send callable)``.
+
+    ``stream`` is a file-like byte reader (see :func:`read_frame_from`);
+    ``send`` takes wire bytes (e.g. ``socket.sendall``).
+    """
+    header = _check_hello(read_frame_from(stream), auth_token)
+    if auth_token is not None:
+        send(encode_frame(MessageType.AUTH, {"token": auth_token}))
+    return header
 
 
 # -- payload codecs ------------------------------------------------------

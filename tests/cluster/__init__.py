@@ -1,0 +1,1 @@
+"""Tests for the sharded multi-gateway cluster layer."""

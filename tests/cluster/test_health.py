@@ -1,0 +1,208 @@
+"""Tests for backend health probing and markdown hysteresis.
+
+The hysteresis contract: one slow or failed probe never flaps an up
+backend down (it takes ``down_after`` *consecutive* failures), and a
+down backend needs ``up_after`` consecutive successes to rejoin.  Probe
+functions are exercised against a real gateway and a dead port.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    BackendSpec,
+    ClusterMap,
+    HealthMonitor,
+    probe_backend_http,
+    probe_backend_tcp,
+)
+from repro.core.pipeline import GSTGRenderer
+from repro.serve import RenderGateway, RenderService
+from repro.tiles.boundary import BoundaryMethod
+
+
+def two_backend_map() -> ClusterMap:
+    return ClusterMap(
+        [BackendSpec("a", port=9001), BackendSpec("b", port=9002)],
+        replication=2,
+    )
+
+
+class TestHysteresis:
+    def test_one_failure_does_not_flap(self):
+        monitor = HealthMonitor(two_backend_map(), down_after=3, up_after=2)
+        assert monitor.is_up("a")
+        assert not monitor.observe("a", False)  # one slow probe
+        assert monitor.is_up("a")
+        assert not monitor.observe("a", True)
+        assert monitor.is_up("a")
+        # The success reset the failure streak: two more failures still
+        # don't reach the threshold.
+        monitor.observe("a", False)
+        monitor.observe("a", False)
+        assert monitor.is_up("a")
+
+    def test_marked_down_after_consecutive_failures(self):
+        monitor = HealthMonitor(two_backend_map(), down_after=3, up_after=2)
+        assert not monitor.observe("a", False)
+        assert not monitor.observe("a", False)
+        assert monitor.observe("a", False)  # the flip
+        assert not monitor.is_up("a")
+        assert monitor.health("a").markdowns == 1
+        # Further failures don't "re-mark" it.
+        assert not monitor.observe("a", False)
+        assert monitor.health("a").markdowns == 1
+
+    def test_up_needs_consecutive_successes(self):
+        monitor = HealthMonitor(two_backend_map(), down_after=1, up_after=2)
+        monitor.observe("a", False)
+        assert not monitor.is_up("a")
+        monitor.observe("a", True)
+        assert not monitor.is_up("a")  # one success is not enough
+        monitor.observe("a", False)  # streak broken
+        monitor.observe("a", True)
+        assert not monitor.is_up("a")
+        assert monitor.observe("a", True)  # second consecutive: up
+        assert monitor.is_up("a")
+
+    def test_report_failure_counts_like_a_probe(self):
+        monitor = HealthMonitor(two_backend_map(), down_after=2, up_after=1)
+        monitor.report_failure("b", error="connect refused")
+        assert monitor.is_up("b")
+        assert monitor.report_failure("b", error="connect refused")
+        assert not monitor.is_up("b")
+        assert monitor.health("b").last_error == "connect refused"
+
+    def test_unknown_backend_is_optimistically_up(self):
+        monitor = HealthMonitor(two_backend_map())
+        assert monitor.is_up("never-seen")
+
+    def test_snapshot_covers_membership(self):
+        monitor = HealthMonitor(two_backend_map())
+        monitor.observe("a", False)
+        snapshot = monitor.snapshot()
+        assert set(snapshot) == {"a", "b"}
+        assert snapshot["a"]["consecutive_failures"] == 1
+        assert snapshot["b"]["up"] is True
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HealthMonitor(two_backend_map(), down_after=0)
+        with pytest.raises(ValueError):
+            HealthMonitor(two_backend_map(), up_after=0)
+        with pytest.raises(ValueError):
+            HealthMonitor(two_backend_map(), interval=0)
+
+
+class TestProbes:
+    @pytest.fixture()
+    def renderer(self):
+        return GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE)
+
+    def test_tcp_probe_against_live_gateway(self, renderer):
+        async def main():
+            async with RenderService(renderer) as service:
+                gateway = RenderGateway(service)
+                await gateway.start()
+                try:
+                    spec = BackendSpec("g", port=gateway.tcp_port)
+                    return await probe_backend_tcp(spec)
+                finally:
+                    await gateway.close()
+
+        assert asyncio.run(main()) is True
+
+    def test_tcp_probe_respects_auth(self, renderer):
+        async def main():
+            async with RenderService(renderer) as service:
+                gateway = RenderGateway(service, auth_token="hunter2")
+                await gateway.start()
+                try:
+                    spec = BackendSpec("g", port=gateway.tcp_port)
+                    good = await probe_backend_tcp(spec, auth_token="hunter2")
+                    bad = await probe_backend_tcp(spec, auth_token="wrong")
+                    missing = await probe_backend_tcp(spec)
+                    return good, bad, missing
+                finally:
+                    await gateway.close()
+
+        good, bad, missing = asyncio.run(main())
+        assert good is True
+        assert bad is False
+        assert missing is False
+
+    def test_tcp_probe_dead_port_fails_fast(self):
+        async def main():
+            # Bind-then-close to get a port nothing listens on.
+            server = await asyncio.start_server(
+                lambda r, w: None, host="127.0.0.1", port=0
+            )
+            port = server.sockets[0].getsockname()[1]
+            server.close()
+            await server.wait_closed()
+            return await probe_backend_tcp(
+                BackendSpec("dead", port=port), timeout=1.0
+            )
+
+        assert asyncio.run(main()) is False
+
+    def test_http_probe(self, renderer):
+        async def main():
+            async with RenderService(renderer) as service:
+                gateway = RenderGateway(service)
+                await gateway.start()
+                await gateway.start_http()
+                try:
+                    ok = await probe_backend_http(
+                        BackendSpec(
+                            "g", port=gateway.tcp_port,
+                            http_port=gateway.http_port,
+                        )
+                    )
+                    none = await probe_backend_http(BackendSpec("g"))
+                    return ok, none
+                finally:
+                    await gateway.close()
+
+        ok, none = asyncio.run(main())
+        assert ok is True
+        assert none is False  # no http_port configured
+
+    def test_probe_loop_marks_dead_backend_down(self, renderer):
+        """The background loop, end to end, against one live and one
+        dead backend — only the dead one is marked down."""
+
+        async def main():
+            async with RenderService(renderer) as service:
+                gateway = RenderGateway(service)
+                await gateway.start()
+                try:
+                    cmap = ClusterMap(
+                        [
+                            BackendSpec("live", port=gateway.tcp_port),
+                            BackendSpec("dead", port=1),  # reserved port
+                        ],
+                        replication=2,
+                    )
+                    monitor = HealthMonitor(
+                        cmap, interval=0.01, timeout=0.5, down_after=2,
+                        up_after=1,
+                    )
+                    monitor.start()
+                    monitor.start()  # idempotent
+                    try:
+                        for _ in range(500):
+                            if not monitor.is_up("dead"):
+                                break
+                            await asyncio.sleep(0.01)
+                        return monitor.is_up("live"), monitor.is_up("dead")
+                    finally:
+                        await monitor.close()
+                finally:
+                    await gateway.close()
+
+        live_up, dead_up = asyncio.run(main())
+        assert live_up is True
+        assert dead_up is False

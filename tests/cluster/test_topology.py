@@ -1,0 +1,145 @@
+"""Tests for cluster membership and rendezvous shard assignment.
+
+The properties that make rendezvous hashing the right tool: assignment
+is a pure function of the ids (same answer in every process), replica
+sets are prefixes of a per-scene permutation, and membership changes
+reshuffle minimally — removing a backend never moves a scene between
+two survivors, adding one only steals scenes for itself.
+"""
+
+import pytest
+
+from repro.cluster import BackendSpec, ClusterMap, rendezvous_score
+
+
+def make_map(n: int, replication: int = 1) -> ClusterMap:
+    return ClusterMap(
+        [BackendSpec(f"backend-{i}", port=9000 + i) for i in range(n)],
+        replication=replication,
+    )
+
+
+SCENES = [f"scene-{i:03d}" for i in range(64)]
+
+
+class TestScores:
+    def test_deterministic_and_distinct(self):
+        assert rendezvous_score("a", "s") == rendezvous_score("a", "s")
+        assert rendezvous_score("a", "s") != rendezvous_score("b", "s")
+        assert rendezvous_score("a", "s") != rendezvous_score("a", "t")
+
+    def test_key_separation_is_unambiguous(self):
+        # ("ab", "c") and ("a", "bc") must not collide: NUL separates.
+        assert rendezvous_score("ab", "c") != rendezvous_score("a", "bc")
+
+
+class TestAssignment:
+    def test_owner_is_rank_zero_and_stable(self):
+        cmap = make_map(4)
+        for scene in SCENES:
+            ranked = cmap.rank(scene)
+            assert len(ranked) == 4
+            assert cmap.owner(scene) == ranked[0]
+            assert cmap.rank(scene) == ranked  # recomputation agrees
+
+    def test_replicas_are_rank_prefix_and_distinct(self):
+        cmap = make_map(5, replication=3)
+        for scene in SCENES:
+            replicas = cmap.replicas(scene)
+            assert replicas == cmap.rank(scene)[:3]
+            assert len({spec.backend_id for spec in replicas}) == 3
+
+    def test_every_backend_owns_something(self):
+        # 64 scenes over 4 backends: an unused backend would mean the
+        # hash is degenerate.
+        cmap = make_map(4)
+        owners = {cmap.owner(scene).backend_id for scene in SCENES}
+        assert owners == {f"backend-{i}" for i in range(4)}
+
+    def test_replication_clamped_to_membership(self):
+        cmap = make_map(2, replication=4)
+        assert len(cmap.replicas("s")) == 2
+
+    def test_assignment_table(self):
+        cmap = make_map(3, replication=2)
+        table = cmap.assignment(["a", "b"])
+        assert set(table) == {"a", "b"}
+        assert all(len(replicas) == 2 for replicas in table.values())
+
+
+class TestMinimalReshuffle:
+    def test_removal_only_moves_the_removed_backends_scenes(self):
+        cmap = make_map(4)
+        before = {scene: cmap.owner(scene).backend_id for scene in SCENES}
+        removed = "backend-2"
+        cmap.remove(removed)
+        for scene in SCENES:
+            after = cmap.owner(scene).backend_id
+            if before[scene] == removed:
+                assert after != removed
+            else:
+                # No scene moves between two surviving backends.
+                assert after == before[scene]
+
+    def test_addition_only_steals_for_the_new_backend(self):
+        cmap = make_map(4)
+        before = {scene: cmap.owner(scene).backend_id for scene in SCENES}
+        cmap.add(BackendSpec("backend-new", port=9999))
+        moved = 0
+        for scene in SCENES:
+            after = cmap.owner(scene).backend_id
+            if after != before[scene]:
+                assert after == "backend-new"
+                moved += 1
+        # ~1/5 of scenes move in expectation; degenerate extremes mean
+        # the hash is broken.
+        assert 0 < moved < len(SCENES) // 2
+
+    def test_replica_sets_shift_minimally_on_removal(self):
+        cmap = make_map(5, replication=2)
+        before = {
+            scene: [s.backend_id for s in cmap.replicas(scene)]
+            for scene in SCENES
+        }
+        cmap.remove("backend-0")
+        for scene in SCENES:
+            after = [s.backend_id for s in cmap.replicas(scene)]
+            surviving = [b for b in before[scene] if b != "backend-0"]
+            # Survivors keep their slots, in order; only vacated slots
+            # are refilled from the next ranks.
+            assert after[: len(surviving)] == surviving
+
+
+class TestValidation:
+    def test_replication_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ClusterMap(replication=0)
+
+    def test_duplicate_and_bad_ids_rejected(self):
+        cmap = make_map(1)
+        with pytest.raises(ValueError):
+            cmap.add(BackendSpec("backend-0"))
+        with pytest.raises(ValueError):
+            cmap.add(BackendSpec(""))
+        with pytest.raises(ValueError):
+            cmap.add(BackendSpec("has\x00nul"))
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(KeyError):
+            make_map(1).remove("ghost")
+
+    def test_owner_of_empty_cluster_raises(self):
+        with pytest.raises(LookupError):
+            ClusterMap().owner("s")
+
+    def test_membership_introspection(self):
+        cmap = make_map(2)
+        assert len(cmap) == 2
+        assert "backend-0" in cmap
+        assert "ghost" not in cmap
+        assert cmap.get("backend-1").port == 9001
+        assert cmap.get("ghost") is None
+        assert [spec.backend_id for spec in cmap.backends] == [
+            "backend-0",
+            "backend-1",
+        ]

@@ -485,6 +485,95 @@ class TestHttpAdapter:
         assert out["negative_view"][0] == 400  # no negative indexing
         assert out["bad_route"][0] == 404
 
+    def test_http_stream_chunked_ndjson(self, scene, renderer, reference):
+        """/stream emits a chunked NDJSON body whose per-frame SHA-256s
+        all match direct engine renders — the whole-trajectory
+        bit-identity check from a shell."""
+        cloud, cameras = scene
+
+        async def http_get_raw(port, path):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(f"GET {path} HTTP/1.1\r\nHost: t\r\n\r\n".encode())
+            await writer.drain()
+            data = await reader.read()
+            writer.close()
+            await writer.wait_closed()
+            head, _, body = data.partition(b"\r\n\r\n")
+            return head, body
+
+        def dechunk(body: bytes) -> bytes:
+            out = bytearray()
+            while body:
+                size_line, _, body = body.partition(b"\r\n")
+                size = int(size_line, 16)
+                if size == 0:
+                    break
+                out += body[:size]
+                body = body[size + 2 :]
+            return bytes(out)
+
+        async def body(service, gateway):
+            gateway.register_scene("test", cloud, cameras)
+            await gateway.start_http()
+            port = gateway.http_port
+            out = {}
+            out["json"] = await http_get_raw(port, "/stream?scene=test")
+            out["window"] = await http_get_raw(
+                port, "/stream?scene=test&start=2&frames=3"
+            )
+            out["ppm"] = await http_get_raw(
+                port, "/stream?scene=test&frames=2&format=ppm"
+            )
+            out["missing"] = await http_get_raw(port, "/stream?scene=ghost")
+            out["bad_window"] = await http_get_raw(
+                port, f"/stream?scene=test&frames={len(cameras) + 1}"
+            )
+            out["bad_int"] = await http_get_raw(
+                port, "/stream?scene=test&frames=soon"
+            )
+            out["bad_format"] = await http_get_raw(
+                port, "/stream?scene=test&format=gif"
+            )
+            return out
+
+        out = run_with_gateway(renderer, body)
+
+        import hashlib
+
+        head, payload = out["json"]
+        assert b" 200 " in head.split(b"\r\n")[0]
+        assert b"Transfer-Encoding: chunked" in head
+        assert payload.endswith(b"0\r\n\r\n")  # complete, not truncated
+        records = [
+            json.loads(line)
+            for line in dechunk(payload).decode().splitlines()
+            if line
+        ]
+        assert [record["view"] for record in records] == list(
+            range(len(cameras))
+        )
+        for record, ref in zip(records, reference):
+            expected = hashlib.sha256(
+                np.ascontiguousarray(ref.image).tobytes()
+            ).hexdigest()
+            assert record["image_sha256"] == expected
+
+        head, payload = out["window"]
+        records = [
+            json.loads(line)
+            for line in dechunk(payload).decode().splitlines()
+            if line
+        ]
+        assert [record["view"] for record in records] == [2, 3, 4]
+
+        head, payload = out["ppm"]
+        images = dechunk(payload)
+        assert images.count(b"P6\n") == 2  # two concatenated PPM frames
+
+        assert out["missing"][0].split(b"\r\n")[0].split(b" ")[1] == b"404"
+        for key in ("bad_window", "bad_int", "bad_format"):
+            assert out[key][0].split(b"\r\n")[0].split(b" ")[1] == b"400"
+
     def test_http_rejects_non_get(self, scene, renderer):
         cloud, cameras = scene
 
