@@ -1,15 +1,17 @@
 """Performance trajectory report: time the sweep-critical paths.
 
-Measures the six hot paths this repo's performance work targets —
+Measures the hot paths this repo's performance work targets —
 the batch-engine trajectory, the vectorized hierarchical render, the
 array-based pipeline-simulation sweep, the async serving layer under
 concurrent overlapping load, the network gateway serving the same
-load over real localhost TCP sockets, and the sharded cluster (one
+load over real localhost TCP sockets, the sharded cluster (one
 router + three backend subprocesses) against a single gateway on a
-multi-scene workload — each against its retained seed (naive /
-pure-Python / single-node) implementation, and records the results in
-``BENCH_core.json`` (every metric is documented in
-``docs/benchmarks.md``)::
+multi-scene workload, and the class-based admission controller's
+latency isolation (interactive p95 held near its unloaded value while
+an unbounded bulk storm is shed) — each against its retained seed
+(naive / pure-Python / single-node / class-blind) implementation, and
+records the results in ``BENCH_core.json`` (every metric is
+documented in ``docs/benchmarks.md``)::
 
     {"meta": {...workload...},
      "entries": [{"name": ..., "wall_s": ..., "speedup_vs_seed": ...}]}
@@ -35,6 +37,8 @@ import asyncio
 import json
 import time
 
+import numpy as np
+
 from repro.cluster import ClusterMap, LocalFleet, ShardRouter
 from repro.core.grouping import GroupGeometry
 from repro.core.hierarchical import HierarchicalGSTGRenderer
@@ -48,13 +52,16 @@ from repro.raster.renderer import BaselineRenderer
 from repro.scenes.synthetic import load_scene
 from repro.scenes.trajectory import orbit_cameras
 from repro.serve import (
+    AdmissionController,
     AsyncGatewayClient,
+    GatewayError,
     RenderGateway,
     RenderService,
     SharedRenderCache,
     naive_render_seconds,
     run_clients,
 )
+from repro.serve.protocol import ErrorCode
 from repro.tiles.boundary import BoundaryMethod
 
 #: Timing rounds per measurement; the minimum wall time is reported
@@ -326,6 +333,177 @@ def measure_cluster_throughput(
     return single_gateway_seconds(), cluster_seconds()
 
 
+def measure_admission_isolation(
+    scene_name: str,
+    scale: float,
+    *,
+    capacity: int = 8,
+    window: int = 16,
+    bulk_workers: int = 12,
+    bulk_views: int = 4,
+    probes_unloaded: int = 32,
+    probes_baseline: int = 24,
+    probes_loaded: int = 48,
+    think_s: float = 0.015,
+    warmup_deadline_s: float = 30.0,
+) -> dict:
+    """Interactive p95 isolation under a 10x-and-more bulk storm.
+
+    One gateway with a class-aware :class:`AdmissionController`, no
+    render cache (every admitted request is a real render), and two
+    content-distinct scenes so interactive probes and bulk load never
+    share a micro-batch.  Three phases on the same live gateway:
+
+    1. **Unloaded** — a lone interactive client measures its baseline
+       p95 (think time between probes; nothing else running).
+    2. **Storm, no SLO** — ``bulk_workers`` impolite clients hammer
+       bulk streams as fast as admission lets them (on a 429 they only
+       honor the ``retry_after_ms`` hint up to 50 ms); the probe's p95
+       under this load is what a class-blind gateway delivers.
+    3. **Storm, SLO set** — the interactive target is set just above
+       the unloaded p95; the slow timescale observes the violation,
+       sheds bulk (and prefetch) outright, and the probe's p95 is
+       measured again.
+
+    The recorded ``isolation_ratio`` (phase 3 / phase 1) is the gated
+    metric: class-based shedding must hold interactive latency within a
+    small factor of its unloaded value *while bulk offered load is
+    unbounded*.  ``speedup_vs_seed`` is phase 2 / phase 3 — what the
+    controller buys over the seed's class-blind admission.  Probe
+    frames are checked bit-identical to direct engine renders.
+    """
+    interactive_scene = load_scene(scene_name, resolution_scale=scale, seed=0)
+    bulk_scene = load_scene(scene_name, resolution_scale=scale, seed=1)
+    interactive_cams = list(orbit_cameras(interactive_scene, 4))
+    bulk_cams = list(orbit_cameras(bulk_scene, bulk_views))
+    renderer = GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE)
+    engine = RenderEngine(renderer)
+    reference = engine.render(interactive_scene.cloud, interactive_cams[0])
+
+    async def drive() -> dict:
+        admission = AdmissionController(capacity, window=window)
+        async with RenderService(
+            renderer, max_batch_size=8, max_wait=0.002
+        ) as service:
+            gateway = RenderGateway(service, admission=admission)
+            await gateway.start()
+            probe = None
+            workers: "list[asyncio.Task]" = []
+            stop = asyncio.Event()
+            offered = {"streams": 0, "rejected": 0}
+            try:
+                probe = await AsyncGatewayClient.connect(
+                    "127.0.0.1", gateway.tcp_port
+                )
+
+                async def probe_once(index: int):
+                    camera = interactive_cams[index % len(interactive_cams)]
+                    start = time.perf_counter()
+                    result = await probe.render_frame(
+                        interactive_scene.cloud,
+                        camera,
+                        request_class="interactive",
+                    )
+                    return time.perf_counter() - start, result
+
+                async def probe_p95(count: int) -> float:
+                    latencies = []
+                    for index in range(count):
+                        latency, _ = await probe_once(index)
+                        latencies.append(latency)
+                        await asyncio.sleep(think_s)
+                    return float(np.percentile(latencies, 95.0))
+
+                async def bulk_worker() -> None:
+                    client = await AsyncGatewayClient.connect(
+                        "127.0.0.1", gateway.tcp_port
+                    )
+                    try:
+                        while not stop.is_set():
+                            offered["streams"] += 1
+                            try:
+                                async for _ in client.stream_trajectory(
+                                    bulk_scene.cloud, bulk_cams
+                                ):
+                                    if stop.is_set():
+                                        break
+                            except GatewayError as exc:
+                                if exc.code != int(ErrorCode.REJECTED):
+                                    raise
+                                offered["rejected"] += 1
+                                hint = (exc.retry_after_ms or 25) / 1000.0
+                                await asyncio.sleep(min(hint, 0.05))
+                    except asyncio.CancelledError:
+                        pass
+                    finally:
+                        await client.close()
+
+                # Phase 0: warm the serving path, and pin bit-identity.
+                # Not asserts: must also hold under python -O.
+                _, first = await probe_once(0)
+                if not np.array_equal(first.image, reference.image):
+                    raise RuntimeError(
+                        "admission benchmark invalid: served frame "
+                        "differs from the direct engine render"
+                    )
+
+                # Phase 1: unloaded baseline.
+                unloaded_p95 = await probe_p95(probes_unloaded)
+
+                # Phase 2: the storm, with class-blind admission (no SLO).
+                workers = [
+                    asyncio.ensure_future(bulk_worker())
+                    for _ in range(bulk_workers)
+                ]
+                baseline_p95 = await probe_p95(probes_baseline)
+
+                # Phase 3: arm the SLO; wait for the slow timescale to
+                # observe the violation and shed, then measure isolation.
+                admission.set_target(
+                    "interactive", max(unloaded_p95 * 1.15, 0.002)
+                )
+                deadline = time.perf_counter() + warmup_deadline_s
+                index = 0
+                while (
+                    admission.shed_level < 2
+                    and time.perf_counter() < deadline
+                ):
+                    await probe_once(index)
+                    index += 1
+                    await asyncio.sleep(think_s)
+                shed_level = admission.shed_level
+                loaded_p95 = await probe_p95(probes_loaded)
+
+                # One more bit-identity check while shedding is active.
+                _, last = await probe_once(0)
+                if not np.array_equal(last.image, reference.image):
+                    raise RuntimeError(
+                        "admission benchmark invalid: served frame "
+                        "differs from the direct engine render"
+                    )
+            finally:
+                stop.set()
+                for worker in workers:
+                    worker.cancel()
+                if workers:
+                    await asyncio.gather(*workers, return_exceptions=True)
+                if probe is not None:
+                    await probe.close()
+                await gateway.close()
+            return {
+                "unloaded_p95_s": unloaded_p95,
+                "baseline_loaded_p95_s": baseline_p95,
+                "isolated_p95_s": loaded_p95,
+                "isolation_ratio": loaded_p95 / unloaded_p95,
+                "shed_level": shed_level,
+                "bulk_streams_offered": offered["streams"],
+                "bulk_rejected": offered["rejected"],
+                "bit_identical": True,  # asserted above, both phases
+            }
+
+    return asyncio.run(drive())
+
+
 def build_report(
     scene_name: str,
     scale: float,
@@ -374,6 +552,27 @@ def build_report(
                 "speedup_vs_seed": round(seed_s / fast_s, 2),
             }
         )
+    isolation = measure_admission_isolation(scene_name, scale)
+    entries.append(
+        {
+            "name": "admission_isolation",
+            # wall_s: interactive p95 under the shed bulk storm;
+            # speedup_vs_seed: vs the class-blind gateway under the
+            # same storm.  The gated metric is isolation_ratio
+            # (loaded p95 / unloaded p95; acceptance <= 1.3).
+            "wall_s": round(isolation["isolated_p95_s"], 4),
+            "speedup_vs_seed": round(
+                isolation["baseline_loaded_p95_s"]
+                / isolation["isolated_p95_s"],
+                2,
+            ),
+            "isolation_ratio": round(isolation["isolation_ratio"], 3),
+            "unloaded_p95_s": round(isolation["unloaded_p95_s"], 4),
+            "shed_level": isolation["shed_level"],
+            "bulk_streams_offered": isolation["bulk_streams_offered"],
+            "bulk_rejected": isolation["bulk_rejected"],
+        }
+    )
     return {
         "meta": {
             "scene": scene_name,

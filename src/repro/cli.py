@@ -100,6 +100,32 @@ def _add_renderer_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_admission_options(parser: argparse.ArgumentParser) -> None:
+    """Class-based admission knobs shared by ``serve`` and ``cluster``."""
+    parser.add_argument(
+        "--class", dest="request_class", default=None,
+        choices=("interactive", "bulk", "prefetch"),
+        help="admission class for the generated client load (omitting "
+        "the flag sends no class field, which servers read as bulk)",
+    )
+    parser.add_argument(
+        "--interactive-slo-ms", type=float, default=None,
+        help="p95 SLO target for the interactive class in milliseconds; "
+        "sustained violation sheds bulk and prefetch traffic (429 + "
+        "retry_after_ms) until latency recovers",
+    )
+    parser.add_argument(
+        "--bulk-slo-ms", type=float, default=None,
+        help="p95 SLO target for the bulk class in milliseconds; "
+        "sustained violation sheds prefetch traffic",
+    )
+    parser.add_argument(
+        "--admission-window", type=int, default=64,
+        help="latency observations per admission adaptation step "
+        "(the slow timescale above the adaptive batch policy)",
+    )
+
+
 def _make_renderer(args: argparse.Namespace):
     method = BoundaryMethod(args.method)
     if args.pipeline == "gstg":
@@ -272,6 +298,24 @@ def _verify_serve_report(args: argparse.Namespace, scene, orbit, report) -> int:
     return 0
 
 
+def _make_admission(args: argparse.Namespace):
+    """Build the gateway/router admission controller from the CLI knobs.
+
+    ``--max-pending`` is the capacity; the per-class SLO flags arm
+    priority shedding (without them the controller runs quotas only).
+    """
+    from repro.serve import AdmissionController
+
+    controller = AdmissionController(
+        args.max_pending, window=args.admission_window
+    )
+    if args.interactive_slo_ms is not None:
+        controller.set_target("interactive", args.interactive_slo_ms / 1e3)
+    if args.bulk_slo_ms is not None:
+        controller.set_target("bulk", args.bulk_slo_ms / 1e3)
+    return controller
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -296,14 +340,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     async def drive_inprocess():
         async with _make_service(args, cache) as service:
             return await run_clients(
-                service, scene.cloud, trajectories, keep_images=args.verify
+                service,
+                scene.cloud,
+                trajectories,
+                keep_images=args.verify,
+                request_class=args.request_class,
             )
 
     async def drive_gateway():
         async with _make_service(args, cache) as service:
             gateway = RenderGateway(
                 service,
-                max_pending=args.max_pending,
+                admission=_make_admission(args),
                 auth_token=args.auth_token,
             )
             gateway.register_scene(args.scene, scene.cloud, orbit)
@@ -335,6 +383,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         scene.cloud,
                         trajectories,
                         keep_images=args.verify,
+                        request_class=args.request_class,
                     )
                 finally:
                     for client in clients:
@@ -423,6 +472,18 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             "--batch-size", str(args.batch_size),
             "--max-wait-ms", str(args.max_wait_ms),
             "--max-pending", str(args.max_pending),
+            "--admission-window", str(args.admission_window),
+            # Shedding happens where latency is observed: the backends.
+            *(
+                ("--interactive-slo-ms", str(args.interactive_slo_ms))
+                if args.interactive_slo_ms is not None
+                else ()
+            ),
+            *(
+                ("--bulk-slo-ms", str(args.bulk_slo_ms))
+                if args.bulk_slo_ms is not None
+                else ()
+            ),
             "--pipeline", args.pipeline,
             "--method", args.method,
             "--tile-size", str(args.tile_size),
@@ -445,7 +506,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             try:
                 for _ in range(args.passes):
                     async for _, result in client.stream_trajectory(
-                        scene.cloud, orbit
+                        scene.cloud,
+                        orbit,
+                        request_class=args.request_class,
                     ):
                         images.append(result.image)
                         if index == 0:
@@ -481,7 +544,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         cluster_map = ClusterMap(specs, replication=replicate)
         router = ShardRouter(
             cluster_map,
-            max_pending=args.max_pending,
+            admission=_make_admission(args),
             max_scenes=max(len(names), 8),
             auth_token=args.auth_token,
         )
@@ -701,8 +764,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--max-pending", type=int, default=64,
-        help="admission bound (bounded-queue backpressure)",
+        help="admission capacity (bounded-queue backpressure; the "
+        "class-based admission controller's total slot count)",
     )
+    _add_admission_options(serve)
     serve.add_argument(
         "--no-render-cache", action="store_true",
         help="disable the shared render cache (micro-batching only)",
@@ -740,7 +805,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--policy-window", type=int, default=32,
-        help="requests per adaptive-policy window (the slow timescale)",
+        help="requests per adaptive-policy window (the fast timescale "
+        "beneath the admission controller)",
     )
     serve.add_argument(
         "--batch-workers", type=int, default=1,
@@ -801,6 +867,7 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--batch-size", type=int, default=8)
     cluster.add_argument("--max-wait-ms", type=float, default=2.0)
     cluster.add_argument("--max-pending", type=int, default=64)
+    _add_admission_options(cluster)
     cluster.add_argument(
         "--cache-frames", type=int, default=0,
         help="per-backend render-cache capacity in frames (0 = unbounded)",

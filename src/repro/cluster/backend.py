@@ -33,7 +33,12 @@ from repro.raster.renderer import BaselineRenderer
 from repro.scenes.datasets import SCENES
 from repro.scenes.synthetic import load_scene
 from repro.scenes.trajectory import orbit_cameras
-from repro.serve import RenderGateway, RenderService, SharedRenderCache
+from repro.serve import (
+    AdmissionController,
+    RenderGateway,
+    RenderService,
+    SharedRenderCache,
+)
 from repro.tiles.boundary import BoundaryMethod
 
 
@@ -84,7 +89,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the shared render cache entirely (micro-batching "
         "and in-flight dedup only)",
     )
+    parser.add_argument(
+        "--admission-window", type=int, default=64,
+        help="latency observations per admission adaptation step",
+    )
+    parser.add_argument(
+        "--interactive-slo-ms", type=float, default=None,
+        help="p95 SLO target for the interactive class in milliseconds",
+    )
+    parser.add_argument(
+        "--bulk-slo-ms", type=float, default=None,
+        help="p95 SLO target for the bulk class in milliseconds",
+    )
     return parser
+
+
+def _make_admission(args: argparse.Namespace) -> AdmissionController:
+    """The backend's class-based admission controller (the supervisor
+    forwards the fleet-wide SLO knobs here: shedding happens where
+    latency is observed)."""
+    controller = AdmissionController(
+        args.max_pending, window=args.admission_window
+    )
+    if args.interactive_slo_ms is not None:
+        controller.set_target("interactive", args.interactive_slo_ms / 1e3)
+    if args.bulk_slo_ms is not None:
+        controller.set_target("bulk", args.bulk_slo_ms / 1e3)
+    return controller
 
 
 def _make_renderer(args: argparse.Namespace):
@@ -109,7 +140,12 @@ async def _serve(args: argparse.Namespace, cache) -> None:
     )
     # auth_token=None: resolve from the environment (the supervisor's
     # channel) — see the module docstring for why argv is avoided.
-    gateway = RenderGateway(service, host=args.host, max_pending=args.max_pending)
+    gateway = RenderGateway(
+        service,
+        host=args.host,
+        max_pending=args.max_pending,
+        admission=_make_admission(args),
+    )
     for name in args.scene:
         scene = load_scene(name, resolution_scale=args.scale, seed=args.seed)
         gateway.register_scene(

@@ -56,6 +56,11 @@ from urllib.parse import parse_qsl, urlsplit
 
 from repro.experiments.shm_cache import cloud_fingerprint
 from repro.serve import protocol
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionRejected,
+    AdmissionTicket,
+)
 from repro.serve.auth import resolve_auth_token
 from repro.serve.gateway import authenticate_reader, http_reply, read_http_get
 from repro.serve.protocol import ErrorCode, Frame, MessageType, ProtocolError
@@ -401,6 +406,16 @@ class ShardRouter:
     max_pending:
         Client-facing admission bound; at the bound new requests get a
         429 ERROR (each backend still applies its own bound below).
+        Ignored when ``admission`` is given.
+    admission:
+        Optional :class:`repro.serve.admission.AdmissionController`
+        governing the client-facing edge: request classes carried on
+        RENDER/STREAM frames are resolved here, counted against
+        per-class quotas, and — under SLO violation — shed lowest
+        priority first with a ``retry_after_ms`` hint on the 429.  The
+        resolved class is forwarded to the owner backend, whose own
+        controller observes the actual render latency.  Defaults to a
+        plain ``AdmissionController(max_pending)``.
     max_scenes:
         Bound on cached SCENE payloads (each pins the encoded cloud in
         router memory for replica re-push).
@@ -430,21 +445,25 @@ class ShardRouter:
         *,
         host: str = "127.0.0.1",
         max_pending: int = 64,
+        admission: "AdmissionController | None" = None,
         max_scenes: int = 8,
         auth_token: "str | None" = None,
         backend_auth_token: "str | None" = None,
         monitor: "HealthMonitor | None" = None,
         request_timeout: float = 60.0,
     ) -> None:
-        if max_pending < 1:
-            raise ValueError("max_pending must be positive")
+        if admission is None:
+            if max_pending < 1:
+                raise ValueError("max_pending must be positive")
+            admission = AdmissionController(max_pending)
         if max_scenes < 1:
             raise ValueError("max_scenes must be positive")
         if request_timeout <= 0:
             raise ValueError("request_timeout must be positive")
         self.topology = cluster_map
         self.host = host
-        self.max_pending = max_pending
+        self.admission = admission
+        self.max_pending = admission.capacity
         self.max_scenes = max_scenes
         self.auth_token = resolve_auth_token(auth_token)
         self.backend_auth_token = (
@@ -458,11 +477,43 @@ class ShardRouter:
         self.stats = RouterStats()
         self._links: "dict[str, BackendLink]" = {}
         self._scene_frames: "dict[str, bytes]" = {}
-        self._pending = 0
         self._server: "asyncio.base_events.Server | None" = None
         self._http_server: "asyncio.base_events.Server | None" = None
         self._conn_tasks: "set[asyncio.Task]" = set()
         self._closing = False
+
+    @property
+    def _pending(self) -> int:
+        """In-flight client requests (the admission controller's count)."""
+        return self.admission.total_pending
+
+    def _admit(self, request_class: "str | None", *, stream: bool) -> AdmissionTicket:
+        """Admit one request at the router's edge or raise.
+
+        Mirrors the gateway's helper: a shutting-down router answers
+        503, an admission refusal is counted in ``stats.rejected`` and
+        re-raised (it reaches the client as a 429 ERROR carrying the
+        controller's ``retry_after_ms`` hint), and an admitted request
+        is counted before any further header decoding.
+        """
+        if self._closing:
+            raise ProtocolError(
+                "router is shutting down", code=ErrorCode.SHUTTING_DOWN
+            )
+        try:
+            ticket = self.admission.admit(request_class)
+        except AdmissionRejected:
+            self.stats.rejected += 1
+            raise
+        self.stats.requests += 1
+        if stream:
+            self.stats.streams += 1
+        return ticket
+
+    def _observe(self, request_class: str, latency_s: float) -> None:
+        """Feed one relay latency to the slow-timescale controller."""
+        if self.admission.observe(request_class, latency_s):
+            self.admission.adapt()
 
     # -- lifecycle -------------------------------------------------------
     async def start(self, port: int = 0) -> None:
@@ -627,6 +678,8 @@ class ShardRouter:
                     {
                         "version": protocol.PROTOCOL_VERSION,
                         "max_pending": self.max_pending,
+                        "classes": list(self.admission.classes()),
+                        "default_class": self.admission.default_class,
                         "role": "router",
                         "backends": len(self.topology),
                         "replication": self.topology.replication,
@@ -715,7 +768,11 @@ class ShardRouter:
             if exc.code is not ErrorCode.REJECTED:
                 self.stats.errors += 1
             await self._send_error(
-                conn, frame.header.get("request_id"), exc.code, str(exc)
+                conn,
+                frame.header.get("request_id"),
+                exc.code,
+                str(exc),
+                retry_after_ms=exc.retry_after_ms,
             )
         except asyncio.CancelledError:
             raise
@@ -778,42 +835,43 @@ class ShardRouter:
             raise ProtocolError("request_id must be an integer")
         if request_id in conn.tasks:
             raise ProtocolError(f"request_id {request_id} is already in flight")
-        if self._closing:
-            raise ProtocolError(
-                "router is shutting down", code=ErrorCode.SHUTTING_DOWN
-            )
-        if self._pending >= self.max_pending:
-            self.stats.rejected += 1
-            raise ProtocolError(
-                f"admission bound reached ({self.max_pending} pending)",
-                code=ErrorCode.REJECTED,
-            )
-        scene_id = header.get("scene_id")
-        if not isinstance(scene_id, str):
-            raise ProtocolError("scene_id must be a string")
-        if frame.type is MessageType.RENDER:
-            camera = header.get("camera")
-            if not isinstance(camera, dict):
-                raise ProtocolError("RENDER needs a camera object")
-            coroutine = self._serve_render(conn, request_id, scene_id, camera)
-        else:
-            cameras = header.get("cameras")
-            if not isinstance(cameras, list) or not cameras:
-                raise ProtocolError("STREAM needs a non-empty camera list")
-            coroutine = self._serve_stream(conn, request_id, scene_id, cameras)
-            self.stats.streams += 1
-        self._pending += 1
-        self.stats.requests += 1
-        task = asyncio.ensure_future(coroutine)
+        request_class = self.admission.resolve(header.get("class"))
+        ticket = self._admit(
+            request_class, stream=frame.type is MessageType.STREAM
+        )
+        try:
+            scene_id = header.get("scene_id")
+            if not isinstance(scene_id, str):
+                raise ProtocolError("scene_id must be a string")
+            if frame.type is MessageType.RENDER:
+                camera = header.get("camera")
+                if not isinstance(camera, dict):
+                    raise ProtocolError("RENDER needs a camera object")
+                coroutine = self._serve_render(
+                    conn, request_id, scene_id, camera, request_class
+                )
+            else:
+                cameras = header.get("cameras")
+                if not isinstance(cameras, list) or not cameras:
+                    raise ProtocolError("STREAM needs a non-empty camera list")
+                coroutine = self._serve_stream(
+                    conn, request_id, scene_id, cameras, request_class
+                )
+            task = asyncio.ensure_future(coroutine)
+        except BaseException:
+            ticket.release()
+            raise
         conn.tasks[request_id] = task
         task.add_done_callback(
-            lambda _t, _conn=conn, _rid=request_id: self._request_done(
-                _conn, _rid
+            lambda _t, _conn=conn, _rid=request_id, _ticket=ticket: (
+                self._request_done(_conn, _rid, _ticket)
             )
         )
 
-    def _request_done(self, conn: _ClientConn, request_id: int) -> None:
-        self._pending -= 1
+    def _request_done(
+        self, conn: _ClientConn, request_id: int, ticket: AdmissionTicket
+    ) -> None:
+        ticket.release()
         conn.tasks.pop(request_id, None)
 
     async def _no_replica(self, conn: _ClientConn, request_id: int) -> None:
@@ -833,9 +891,11 @@ class ShardRouter:
         request_id: int,
         scene_id: str,
         camera: dict,
+        request_class: str,
     ) -> None:
         """Relay one RENDER, retrying whole on replica failover."""
         excluded: "set[str]" = set()
+        started = asyncio.get_running_loop().time()
         while True:
             link = await self._acquire_link(scene_id, excluded)
             if link is None:
@@ -851,6 +911,7 @@ class ShardRouter:
                             "request_id": backend_id,
                             "scene_id": scene_id,
                             "camera": camera,
+                            "class": request_class,
                         },
                     )
                 )
@@ -885,6 +946,11 @@ class ShardRouter:
             ) == int(ErrorCode.SHUTTING_DOWN):
                 self._mark_failover(link, excluded, "backend shutting down")
                 continue
+            if frame.type is MessageType.FRAME:
+                self._observe(
+                    request_class,
+                    asyncio.get_running_loop().time() - started,
+                )
             try:
                 await self._relay(conn, request_id, frame)
             except (ConnectionError, OSError):
@@ -898,6 +964,7 @@ class ShardRouter:
         request_id: int,
         scene_id: str,
         cameras: "list[dict]",
+        request_class: str,
     ) -> None:
         """Relay one STREAM with mid-flight failover.
 
@@ -906,9 +973,15 @@ class ShardRouter:
         the *remaining* cameras only and rebases the incoming indices,
         so the client observes one gapless, duplicate-free, ordered
         stream regardless of how many backends died along the way.
+
+        Like the gateway, the admission controller observes only the
+        time to the *first* relayed frame: later inter-frame gaps
+        include the client's own drain stalls, which are not serving
+        latency.
         """
         sent = 0
         excluded: "set[str]" = set()
+        started = asyncio.get_running_loop().time()
         while True:
             link = await self._acquire_link(scene_id, excluded)
             if link is None:
@@ -925,12 +998,18 @@ class ShardRouter:
                             "request_id": backend_id,
                             "scene_id": scene_id,
                             "cameras": cameras[base:],
+                            "class": request_class,
                         },
                     )
                 )
                 while True:
                     frame = await self._backend_frame(link, queue)
                     if frame.type is MessageType.FRAME:
+                        if sent == 0:
+                            self._observe(
+                                request_class,
+                                asyncio.get_running_loop().time() - started,
+                            )
                         header = dict(frame.header)
                         header["request_id"] = request_id
                         header["index"] = base + int(frame.header["index"])
@@ -1051,14 +1130,19 @@ class ShardRouter:
 
         ``service`` sums every numeric service counter across the live
         backends (so ``engine_renders`` vs ``requests`` tells the same
-        story it does for one gateway); ``gateway`` carries the
-        router's own counters plus per-backend breakdowns and health.
+        story it does for one gateway), plus a class-wise merge of the
+        backends' ``class_requests`` dicts; ``gateway`` carries the
+        router's own counters (including its edge ``admission``
+        snapshot), per-backend breakdowns, a cluster-aggregated
+        per-class admission summary, and health.
         """
         specs = self.topology.backends
         entries = await asyncio.gather(
             *(self._backend_stats_entry(spec) for spec in specs)
         )
         totals: "dict[str, float]" = {}
+        class_requests: "dict[str, int]" = {}
+        class_totals: "dict[str, dict[str, float]]" = {}
         backends: "dict[str, dict]" = {}
         for spec, entry in zip(specs, entries):
             backends[spec.backend_id] = entry
@@ -1068,12 +1152,31 @@ class ShardRouter:
                 ):
                     continue
                 totals[key] = totals.get(key, 0) + value
+            for name, count in entry.get("service", {}).get(
+                "class_requests", {}
+            ).items():
+                class_requests[name] = class_requests.get(name, 0) + int(count)
+            for name, cls_stats in (
+                entry.get("gateway", {}).get("admission", {}).get("classes", {})
+            ).items():
+                bucket = class_totals.setdefault(name, {})
+                for key in ("pending", "admitted", "rejected", "shed"):
+                    value = cls_stats.get(key, 0)
+                    if isinstance(value, bool) or not isinstance(
+                        value, (int, float)
+                    ):
+                        continue
+                    bucket[key] = bucket.get(key, 0) + value
+        if class_requests:
+            totals["class_requests"] = class_requests  # type: ignore[assignment]
         return {
             "service": totals,
             "gateway": {
                 **asdict(self.stats),
                 "role": "router",
                 "replication": self.topology.replication,
+                "admission": self.admission.stats_dict(),
+                "backend_classes": class_totals,
                 "backends": backends,
                 "health": self.health.snapshot(),
             },
@@ -1091,19 +1194,26 @@ class ShardRouter:
         request_id: "int | None",
         code: ErrorCode,
         message: str,
+        *,
+        retry_after_ms: "int | None" = None,
     ) -> None:
-        """Best-effort ERROR frame (the peer may already be gone)."""
+        """Best-effort ERROR frame (the peer may already be gone).
+
+        Only errors the *router* originates pass through here; ERROR
+        frames from a backend are relayed verbatim by :meth:`_relay`,
+        so a backend 429's ``retry_after_ms`` hint survives the hop
+        without translation.
+        """
+        header: dict = {
+            "request_id": request_id,
+            "code": int(code),
+            "message": message,
+        }
+        if retry_after_ms is not None:
+            header["retry_after_ms"] = int(retry_after_ms)
         try:
             await self._send(
-                conn,
-                protocol.encode_frame(
-                    MessageType.ERROR,
-                    {
-                        "request_id": request_id,
-                        "code": int(code),
-                        "message": message,
-                    },
-                ),
+                conn, protocol.encode_frame(MessageType.ERROR, header)
             )
         except (ConnectionError, OSError):
             pass

@@ -22,12 +22,17 @@ into a *service*: many concurrent clients, few engine renders.
   ``batch_workers > 1`` renders each flushed batch across a persistent
   per-scene worker pool.
 * :class:`MicroBatcher` — the micro-batching scheduler.
-* :class:`AdaptiveBatchPolicy` — two-timescale adaptation of the
+* :class:`AdaptiveBatchPolicy` — fast-timescale adaptation of the
   batching knobs against a p95 latency target.
+* :class:`AdmissionController` — slow-timescale class-based admission:
+  ``interactive`` | ``bulk`` | ``prefetch`` request classes with
+  weighted quotas and priority shedding under overload (429s carry a
+  ``retry_after_ms`` hint); see :mod:`repro.serve.admission`.
 * :class:`RenderGateway` — the network front end: a TCP server speaking
   the :mod:`repro.serve.protocol` length-prefixed JSON+binary frame
-  protocol (streamed trajectories, error frames, 429 admission
-  rejects) plus an HTTP/1.1 adapter for one-shot ``curl`` renders.
+  protocol (streamed trajectories, error frames, class-aware 429
+  admission rejects) plus an HTTP/1.1 adapter for one-shot ``curl``
+  renders.
 * :class:`AsyncGatewayClient` / :class:`GatewayClient` — asyncio and
   blocking protocol clients with the same request surface as the
   in-process service (both drop into :func:`run_clients`), speaking the
@@ -52,6 +57,15 @@ that crossed the gateway's socket.
 See ``docs/serving.md`` for the wire protocol and operational guide.
 """
 
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionRejected,
+    AdmissionTicket,
+    ClassSpec,
+    DEFAULT_CLASS,
+    KNOWN_CLASSES,
+    default_classes,
+)
 from repro.serve.auth import AUTH_TOKEN_ENV, resolve_auth_token, token_matches
 from repro.serve.client import (
     AsyncGatewayClient,
@@ -77,13 +91,19 @@ from repro.serve.verify import verify_streamed_images
 __all__ = [
     "AUTH_TOKEN_ENV",
     "AdaptiveBatchPolicy",
+    "AdmissionController",
+    "AdmissionRejected",
+    "AdmissionTicket",
     "AsyncGatewayClient",
     "BatchStats",
+    "ClassSpec",
+    "DEFAULT_CLASS",
     "ErrorCode",
     "GatewayClient",
     "GatewayClientPool",
     "GatewayError",
     "GatewayStats",
+    "KNOWN_CLASSES",
     "LoadReport",
     "MessageType",
     "MicroBatcher",
@@ -92,6 +112,7 @@ __all__ = [
     "RenderService",
     "ServiceStats",
     "SharedRenderCache",
+    "default_classes",
     "naive_render_seconds",
     "render_key",
     "renderer_key",

@@ -1,0 +1,446 @@
+"""Class-based admission control: priority shedding on a slow timescale.
+
+The gateway's original admission rule — one ``max_pending`` counter,
+429 past the bound — treats an interactive viewer's frame request the
+same as a bulk prefetcher's, so under overload it sheds whichever work
+happens to arrive last rather than the work that matters least.  This
+module replaces that scalar with *request classes* and a two-knob
+controller, following the JPAC two-timescale shape (PAPERS.md,
+arXiv:1701.01958: slow-timescale admission decisions from distribution
+information above a fast-timescale resource loop, and the deflation
+line, arXiv:1311.3045: deny the cheapest-to-deny users first):
+
+* **Classes** (:class:`ClassSpec`) — every RENDER/STREAM request names
+  a class; the wire field is optional and absent means ``bulk``, so
+  protocol version 2 clients keep working unchanged.  The stock roster
+  is ``interactive`` > ``bulk`` > ``prefetch`` in priority order.
+* **Weighted quotas** — each class reserves ``floor(weight * capacity)``
+  admission slots.  A lower-priority request is rejected while the
+  *unused* reservations of higher-priority classes would be invaded:
+  bulk load can never occupy the headroom kept for interactive bursts.
+  (At small capacities the floor rounds reservations down to zero, so a
+  ``max_pending=1`` gateway still admits any class — the quotas only
+  bite where there is capacity to partition.)
+* **Priority shedding** (the slow timescale) — the controller keeps a
+  window of observed per-class latencies; when a class with an SLO
+  target sees its p95 above target, every class *below* it is shed
+  outright (429 on arrival) until consecutive calm windows relax the
+  level again.  The highest-priority class is never shed.  Rejects
+  carry a deterministic ``retry_after_ms`` hint that grows with the
+  shed level and with how shed-worthy the class is, so polite clients
+  (:class:`repro.serve.client.GatewayClientPool`) spread their retries
+  instead of re-overloading a shedding gateway.
+
+The controller is deliberately pure state-machine code — no clocks, no
+asyncio — mirroring :class:`repro.serve.policy.AdaptiveBatchPolicy`
+(the fast timescale that stays beneath it): callers feed
+:meth:`AdmissionController.observe` and invoke
+:meth:`AdmissionController.adapt`, which makes every decision exactly
+reproducible in tests.  Admission itself is a context-managed
+:class:`AdmissionTicket`, so TCP done-callbacks and HTTP
+``try``/``finally`` paths release slots through one code path (the
+PR's unification of the gateway's three copy-pasted guards).
+
+Admission reorders and sheds work; it never alters it — every frame a
+class-aware gateway serves remains bit-identical to a direct
+:meth:`repro.raster.engine.RenderEngine.render` (test-asserted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serve.protocol import ErrorCode, ProtocolError
+
+#: The stock request-class names, highest priority first.  The wire
+#: field and the CLI ``--class`` flag accept exactly these.
+KNOWN_CLASSES = ("interactive", "bulk", "prefetch")
+
+#: The class assumed when a request carries no ``class`` field —
+#: protocol v2 clients predate classes and sent bulk-shaped traffic.
+DEFAULT_CLASS = "bulk"
+
+
+@dataclass(frozen=True)
+class ClassSpec:
+    """One request class: identity, priority, quota weight, SLO target.
+
+    Attributes
+    ----------
+    name:
+        Wire name of the class (the optional ``class`` header field).
+    priority:
+        Shedding order: higher survives longer.  Must be unique across
+        a controller's roster; the highest class is never shed.
+    weight:
+        Relative admission-quota weight (normalised across the roster).
+        The class reserves ``floor(weight * capacity)`` slots that
+        lower-priority classes cannot occupy.
+    target_p95:
+        Optional SLO: seconds of p95 latency this class should see.
+        ``None`` means no target — the class never triggers shedding.
+    """
+
+    name: str
+    priority: int
+    weight: float
+    target_p95: "float | None" = None
+
+
+def default_classes() -> "tuple[ClassSpec, ...]":
+    """The stock three-class roster (no SLO targets until configured).
+
+    Weights reserve half the capacity for interactive bursts at
+    deployment-sized capacities while rounding to *zero* reservation at
+    test-sized ones (capacity 1), keeping single-slot admission tests
+    exact.  Targets default to ``None`` so a bare gateway never sheds —
+    shedding is opt-in via :meth:`AdmissionController.set_target` or
+    the CLI's ``--interactive-slo-ms`` / ``--bulk-slo-ms`` knobs.
+    """
+    return (
+        ClassSpec("interactive", priority=2, weight=0.5),
+        ClassSpec("bulk", priority=1, weight=0.4),
+        ClassSpec("prefetch", priority=0, weight=0.1),
+    )
+
+
+class AdmissionRejected(ProtocolError):
+    """A 429: the request was refused admission (quota or shedding).
+
+    Carries the machine-readable back-off hint; ``shed`` distinguishes
+    priority shedding from plain capacity exhaustion (both are 429s on
+    the wire — clients treat them identically).
+    """
+
+    def __init__(
+        self, message: str, *, retry_after_ms: int, shed: bool = False
+    ) -> None:
+        super().__init__(message, code=ErrorCode.REJECTED, fatal=False)
+        self.retry_after_ms = int(retry_after_ms)
+        self.shed = shed
+
+
+class AdmissionTicket:
+    """One admitted request's slot; releasing it is idempotent.
+
+    Works as a context manager (the HTTP handlers) or via an explicit
+    :meth:`release` from a done-callback (the TCP request tasks) — the
+    same object serves both shapes, which is what lets the gateway's
+    previously triplicated guard code collapse into one helper.
+    """
+
+    __slots__ = ("request_class", "_controller", "_released")
+
+    def __init__(
+        self, controller: "AdmissionController", request_class: str
+    ) -> None:
+        self._controller = controller
+        self.request_class = request_class
+        self._released = False
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def release(self) -> None:
+        """Return the slot; safe to call more than once."""
+        if not self._released:
+            self._released = True
+            self._controller._release(self.request_class)
+
+    def __enter__(self) -> "AdmissionTicket":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class AdmissionController:
+    """Slow-timescale class-aware admission: quotas + priority shedding.
+
+    Parameters
+    ----------
+    capacity:
+        Total admission slots (the gateway's ``max_pending``).
+    classes:
+        The class roster; defaults to :func:`default_classes`.  Names
+        and priorities must be unique, weights positive.
+    default_class:
+        Class assumed for requests without a ``class`` field.  Defaults
+        to ``"bulk"`` when present in the roster, else the
+        lowest-priority class.
+    window:
+        Latency observations (across all classes) per adaptation step.
+    relax_after:
+        Consecutive calm windows — every targeted class's p95 under
+        ``low_watermark * target`` — before the shed level steps down.
+    low_watermark:
+        Hysteresis fraction for the calm test; keeps the level from
+        flapping when p95 hovers near the target.
+    retry_after_base_ms / retry_after_cap_ms:
+        The deterministic back-off hint: ``base * 2**shed_level *
+        (priority distance from the top + 1)``, capped.  Lower classes
+        and deeper sheds are told to stay away longer.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        classes: "tuple[ClassSpec, ...] | list[ClassSpec] | None" = None,
+        default_class: "str | None" = None,
+        window: int = 64,
+        relax_after: int = 3,
+        low_watermark: float = 0.5,
+        retry_after_base_ms: float = 25.0,
+        retry_after_cap_ms: float = 5000.0,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        if window < 1:
+            raise ValueError("window must be positive")
+        if relax_after < 1:
+            raise ValueError("relax_after must be positive")
+        if not 0.0 < low_watermark <= 1.0:
+            raise ValueError("low_watermark must be in (0, 1]")
+        roster = tuple(classes) if classes is not None else default_classes()
+        if not roster:
+            raise ValueError("need at least one request class")
+        names = [spec.name for spec in roster]
+        priorities = [spec.priority for spec in roster]
+        if len(set(names)) != len(names):
+            raise ValueError("class names must be unique")
+        if len(set(priorities)) != len(priorities):
+            raise ValueError("class priorities must be unique")
+        if any(spec.weight <= 0.0 for spec in roster):
+            raise ValueError("class weights must be positive")
+        self.capacity = int(capacity)
+        self.window = int(window)
+        self.relax_after = int(relax_after)
+        self.low_watermark = float(low_watermark)
+        self.retry_after_base_ms = float(retry_after_base_ms)
+        self.retry_after_cap_ms = float(retry_after_cap_ms)
+        #: Highest priority first — the shedding order, top protected.
+        self._order = tuple(
+            sorted(roster, key=lambda spec: spec.priority, reverse=True)
+        )
+        self._specs = {spec.name: spec for spec in self._order}
+        self._top_priority = self._order[0].priority
+        if default_class is None:
+            default_class = (
+                DEFAULT_CLASS
+                if DEFAULT_CLASS in self._specs
+                else self._order[-1].name
+            )
+        if default_class not in self._specs:
+            raise ValueError(f"default class {default_class!r} not in roster")
+        self.default_class = default_class
+        total_weight = sum(spec.weight for spec in roster)
+        #: floor-based reserved slots per class: zero at tiny capacities.
+        self._share = {
+            spec.name: int(spec.weight / total_weight * self.capacity)
+            for spec in roster
+        }
+        #: Mutable SLO targets (specs are frozen; knobs arrive late).
+        self._target = {spec.name: spec.target_p95 for spec in roster}
+        self.pending = {spec.name: 0 for spec in roster}
+        self.admitted = {spec.name: 0 for spec in roster}
+        self.rejected = {spec.name: 0 for spec in roster}
+        self.shed = {spec.name: 0 for spec in roster}
+        #: Shed level L rejects every class with ``priority < L`` on
+        #: arrival; 0 sheds nothing.
+        self.shed_level = 0
+        self.adaptations = 0
+        self._latencies: "dict[str, list[float]]" = {
+            spec.name: [] for spec in roster
+        }
+        self._last_p95: "dict[str, float | None]" = {
+            spec.name: None for spec in roster
+        }
+        self._observed = 0
+        self._calm_windows = 0
+
+    # -- class resolution ------------------------------------------------
+    def resolve(self, name: "str | None") -> str:
+        """Map a wire ``class`` field to a roster name (absent ⇒ default).
+
+        Unknown or non-string values are a 400 — the request is
+        malformed, not rejected.
+        """
+        if name is None or name == "":
+            return self.default_class
+        if not isinstance(name, str) or name not in self._specs:
+            raise ProtocolError(
+                f"unknown request class {name!r} "
+                f"(known: {', '.join(s.name for s in self._order)})",
+                code=ErrorCode.BAD_REQUEST,
+            )
+        return name
+
+    def classes(self) -> "tuple[str, ...]":
+        """Roster names, highest priority first (HELLO advertises these)."""
+        return tuple(spec.name for spec in self._order)
+
+    def share(self, name: str) -> int:
+        """Reserved slots for ``name`` (``floor(weight * capacity)``)."""
+        return self._share[name]
+
+    def target(self, name: str) -> "float | None":
+        """Current SLO target for ``name`` in seconds (None: no target)."""
+        return self._target[name]
+
+    def set_target(self, name: str, target_p95: "float | None") -> None:
+        """Set or clear a class's p95 SLO target (seconds)."""
+        if name not in self._specs:
+            raise ValueError(f"unknown request class {name!r}")
+        if target_p95 is not None and target_p95 <= 0.0:
+            raise ValueError("target_p95 must be positive (or None)")
+        self._target[name] = target_p95
+
+    # -- admission (fast path, called per request) -----------------------
+    @property
+    def total_pending(self) -> int:
+        """Admitted-but-unreleased requests across all classes."""
+        return sum(self.pending.values())
+
+    def retry_after_ms(self, name: str) -> int:
+        """The deterministic back-off hint for a rejected request."""
+        spec = self._specs[name]
+        distance = self._top_priority - spec.priority + 1
+        hint = self.retry_after_base_ms * (2**self.shed_level) * distance
+        return int(min(hint, self.retry_after_cap_ms))
+
+    def _reserved_above(self, priority: int) -> int:
+        """Unused reservations of classes strictly above ``priority``."""
+        return sum(
+            max(0, self._share[spec.name] - self.pending[spec.name])
+            for spec in self._order
+            if spec.priority > priority
+        )
+
+    def admit(self, name: "str | None" = None) -> AdmissionTicket:
+        """Admit one request of class ``name`` or raise a 429.
+
+        The decision is synchronous and cheap (no camera decoding has
+        happened yet): shed classes are refused first, then the quota
+        rule — a request may not push the total past ``capacity`` minus
+        the unused reservations of higher-priority classes.
+        """
+        request_class = self.resolve(name)
+        spec = self._specs[request_class]
+        if spec.priority < self.shed_level:
+            self.rejected[request_class] += 1
+            self.shed[request_class] += 1
+            raise AdmissionRejected(
+                f"class {request_class!r} is shed at level "
+                f"{self.shed_level} — retry later",
+                retry_after_ms=self.retry_after_ms(request_class),
+                shed=True,
+            )
+        headroom = self.capacity - self._reserved_above(spec.priority)
+        if self.total_pending >= headroom:
+            self.rejected[request_class] += 1
+            raise AdmissionRejected(
+                f"admission bound reached ({self.capacity} pending)",
+                retry_after_ms=self.retry_after_ms(request_class),
+            )
+        self.pending[request_class] += 1
+        self.admitted[request_class] += 1
+        return AdmissionTicket(self, request_class)
+
+    def _release(self, name: str) -> None:
+        self.pending[name] -= 1
+        assert self.pending[name] >= 0, "admission slot over-released"
+
+    # -- adaptation (slow timescale) -------------------------------------
+    def observe(self, name: str, latency_s: float) -> bool:
+        """Record one served latency; True when a window is complete.
+
+        The caller (gateway) then invokes :meth:`adapt`.  Streams report
+        time-to-first-frame, one-shot renders their full latency.
+        """
+        lats = self._latencies[name]
+        lats.append(float(latency_s))
+        if len(lats) > self.window:
+            del lats[0]
+        self._observed += 1
+        return self._observed >= self.window
+
+    def adapt(self) -> int:
+        """Consume the window: raise/hold/relax the shed level.
+
+        A class *violates* when it has an SLO target, samples this
+        window, and a windowed p95 above target.  The level jumps to
+        the highest violating priority (shedding everything beneath
+        it); with no violations it steps down one only after
+        ``relax_after`` consecutive calm windows, where calm requires
+        every sampled targeted class below ``low_watermark * target``
+        — hysteresis against flapping.  Returns the new level.
+        """
+        violated_priority: "int | None" = None
+        calm = True
+        for spec in self._order:
+            lats = self._latencies[spec.name]
+            p95 = float(np.percentile(lats, 95.0)) if lats else None
+            self._last_p95[spec.name] = p95
+            target = self._target[spec.name]
+            if target is None or p95 is None:
+                continue
+            if p95 > target:
+                if violated_priority is None or spec.priority > violated_priority:
+                    violated_priority = spec.priority
+            if p95 > self.low_watermark * target:
+                calm = False
+        if violated_priority is not None and violated_priority > self.shed_level:
+            self.shed_level = violated_priority
+            self.adaptations += 1
+            self._calm_windows = 0
+        elif violated_priority is not None:
+            self._calm_windows = 0
+        elif calm and self.shed_level > 0:
+            self._calm_windows += 1
+            if self._calm_windows >= self.relax_after:
+                self.shed_level -= 1
+                self.adaptations += 1
+                self._calm_windows = 0
+        else:
+            self._calm_windows = 0
+        for lats in self._latencies.values():
+            lats.clear()
+        self._observed = 0
+        return self.shed_level
+
+    # -- introspection ---------------------------------------------------
+    def stats_dict(self) -> dict:
+        """JSON-ready snapshot (STATS frames, ``/stats``, the CLI)."""
+        return {
+            "capacity": self.capacity,
+            "default_class": self.default_class,
+            "shed_level": self.shed_level,
+            "adaptations": self.adaptations,
+            "pending": self.total_pending,
+            "classes": {
+                spec.name: {
+                    "priority": spec.priority,
+                    "share": self._share[spec.name],
+                    "pending": self.pending[spec.name],
+                    "admitted": self.admitted[spec.name],
+                    "rejected": self.rejected[spec.name],
+                    "shed": self.shed[spec.name],
+                    "target_p95_ms": (
+                        None
+                        if self._target[spec.name] is None
+                        else self._target[spec.name] * 1000.0
+                    ),
+                    "last_p95_ms": (
+                        None
+                        if self._last_p95[spec.name] is None
+                        else self._last_p95[spec.name] * 1000.0
+                    ),
+                    "retry_after_ms": self.retry_after_ms(spec.name),
+                }
+                for spec in self._order
+            },
+        }

@@ -24,6 +24,7 @@ from __future__ import annotations
 import asyncio
 import inspect
 import itertools
+import random
 import socket
 import time
 from dataclasses import dataclass, field
@@ -45,13 +46,32 @@ class GatewayError(RuntimeError):
 
     ``code`` is the :class:`repro.serve.protocol.ErrorCode` value; a 429
     (:attr:`ErrorCode.REJECTED`) means admission control turned the
-    request away — back off and retry.
+    request away — back off and retry, no sooner than the server's
+    ``retry_after_ms`` hint when it sent one.
     """
 
-    def __init__(self, code: int, message: str) -> None:
+    def __init__(
+        self,
+        code: int,
+        message: str,
+        *,
+        retry_after_ms: "int | None" = None,
+    ) -> None:
         super().__init__(f"[{code}] {message}")
         self.code = code
         self.message = message
+        self.retry_after_ms = retry_after_ms
+
+
+def _request_header(header: dict, request_class: "str | None") -> dict:
+    """Attach the optional admission-class field to a request header.
+
+    ``None`` leaves the field off entirely — the v2-compatible shape
+    pre-class clients send, which servers read as ``bulk``.
+    """
+    if request_class is not None:
+        header["class"] = request_class
+    return header
 
 
 class AsyncGatewayClient:
@@ -182,6 +202,7 @@ class AsyncGatewayClient:
             raise GatewayError(
                 int(frame.header.get("code", ErrorCode.INTERNAL)),
                 str(frame.header.get("message", "gateway error")),
+                retry_after_ms=frame.header.get("retry_after_ms"),
             )
         return frame
 
@@ -215,9 +236,18 @@ class AsyncGatewayClient:
         return scene_id
 
     async def render_frame(
-        self, cloud: GaussianCloud, camera: Camera
+        self,
+        cloud: GaussianCloud,
+        camera: Camera,
+        *,
+        request_class: "str | None" = None,
     ) -> RenderResult:
-        """One-shot remote render, bit-identical to a direct render."""
+        """One-shot remote render, bit-identical to a direct render.
+
+        ``request_class`` names the admission class (``interactive`` |
+        ``bulk`` | ``prefetch``); ``None`` omits the wire field, which
+        the gateway treats as ``bulk``.
+        """
         scene_id = await self.ensure_scene(cloud)
         request_id = next(self._ids)
         queue: "asyncio.Queue" = asyncio.Queue()
@@ -226,11 +256,14 @@ class AsyncGatewayClient:
             await self._send(
                 protocol.encode_frame(
                     MessageType.RENDER,
-                    {
-                        "request_id": request_id,
-                        "scene_id": scene_id,
-                        "camera": protocol.encode_camera(camera),
-                    },
+                    _request_header(
+                        {
+                            "request_id": request_id,
+                            "scene_id": scene_id,
+                            "camera": protocol.encode_camera(camera),
+                        },
+                        request_class,
+                    ),
                 )
             )
             frame = self._raise_if_error(await queue.get())
@@ -245,6 +278,7 @@ class AsyncGatewayClient:
         cameras: "list[Camera] | tuple[Camera, ...]",
         *,
         prefetch: "int | None" = None,
+        request_class: "str | None" = None,
     ):
         """Stream a trajectory's frames in order over the socket.
 
@@ -252,7 +286,8 @@ class AsyncGatewayClient:
         shape as :meth:`RenderService.stream_trajectory` (``prefetch``
         is accepted for signature compatibility; the server's stream
         prefetch and the socket's flow control bound what is in
-        flight).  Closing the generator early sends a best-effort
+        flight).  ``request_class`` names the admission class for the
+        whole stream.  Closing the generator early sends a best-effort
         CANCEL so the server drops the remaining frames.
         """
         del prefetch  # server-side knob; kept for API compatibility
@@ -266,13 +301,17 @@ class AsyncGatewayClient:
             await self._send(
                 protocol.encode_frame(
                     MessageType.STREAM,
-                    {
-                        "request_id": request_id,
-                        "scene_id": scene_id,
-                        "cameras": [
-                            protocol.encode_camera(camera) for camera in cameras
-                        ],
-                    },
+                    _request_header(
+                        {
+                            "request_id": request_id,
+                            "scene_id": scene_id,
+                            "cameras": [
+                                protocol.encode_camera(camera)
+                                for camera in cameras
+                            ],
+                        },
+                        request_class,
+                    ),
                 )
             )
             while True:
@@ -399,6 +438,7 @@ class GatewayClient:
                 raise GatewayError(
                     int(frame.header.get("code", ErrorCode.INTERNAL)),
                     str(frame.header.get("message", "gateway error")),
+                    retry_after_ms=frame.header.get("retry_after_ms"),
                 )
             return frame
 
@@ -427,7 +467,11 @@ class GatewayClient:
         return scene_id
 
     def render_frame(
-        self, cloud: GaussianCloud, camera: Camera
+        self,
+        cloud: GaussianCloud,
+        camera: Camera,
+        *,
+        request_class: "str | None" = None,
     ) -> RenderResult:
         """One-shot remote render, bit-identical to a direct render."""
         scene_id = self.ensure_scene(cloud)
@@ -435,11 +479,14 @@ class GatewayClient:
         self._send(
             protocol.encode_frame(
                 MessageType.RENDER,
-                {
-                    "request_id": request_id,
-                    "scene_id": scene_id,
-                    "camera": protocol.encode_camera(camera),
-                },
+                _request_header(
+                    {
+                        "request_id": request_id,
+                        "scene_id": scene_id,
+                        "camera": protocol.encode_camera(camera),
+                    },
+                    request_class,
+                ),
             )
         )
         _, _, result = protocol.decode_result_frame(self._recv_for(request_id))
@@ -449,6 +496,8 @@ class GatewayClient:
         self,
         cloud: GaussianCloud,
         cameras: "list[Camera] | tuple[Camera, ...]",
+        *,
+        request_class: "str | None" = None,
     ):
         """Generator of ``(index, RenderResult)`` streamed in order.
 
@@ -462,13 +511,16 @@ class GatewayClient:
         self._send(
             protocol.encode_frame(
                 MessageType.STREAM,
-                {
-                    "request_id": request_id,
-                    "scene_id": scene_id,
-                    "cameras": [
-                        protocol.encode_camera(camera) for camera in cameras
-                    ],
-                },
+                _request_header(
+                    {
+                        "request_id": request_id,
+                        "scene_id": scene_id,
+                        "cameras": [
+                            protocol.encode_camera(camera) for camera in cameras
+                        ],
+                    },
+                    request_class,
+                ),
             )
         )
         complete = False
@@ -534,9 +586,13 @@ class GatewayClientPool:
     * **503** — the peer is shutting down, the connection died, or (from
       the router) a scene's replicas are all marked down; the pool drops
       the dead connection, reconnects, and retries.
-    * **429** — admission control said back off; the pool sleeps
-      ``backoff`` (doubling per consecutive attempt) and retries on the
-      same connection.
+    * **429** — admission control said back off; the pool sleeps a
+      *jittered* exponential backoff (``backoff`` doubling per
+      consecutive attempt up to ``backoff_cap``, scaled by a random
+      factor in [0.5, 1.5)) and retries on the same connection.  When
+      the 429 carried a ``retry_after_ms`` hint the sleep is floored by
+      it — a fleet of pools rejected together does not come back
+      together and re-overload a shedding gateway.
 
     :meth:`stream_trajectory` resumes an interrupted stream from the
     first undelivered frame — frames already yielded are never repeated,
@@ -562,19 +618,25 @@ class GatewayClientPool:
         auth_token: "str | None" = None,
         retries: int = 3,
         backoff: float = 0.05,
+        backoff_cap: float = 2.0,
         connect_timeout: float = 5.0,
     ) -> None:
         if size < 1:
             raise ValueError("size must be positive")
         if retries < 0:
             raise ValueError("retries must be non-negative")
+        if backoff <= 0 or backoff_cap < backoff:
+            raise ValueError("require 0 < backoff <= backoff_cap")
         self.host = host
         self.port = port
         self.size = size
         self.auth_token = resolve_auth_token(auth_token)
         self.retries = retries
         self.backoff = backoff
+        self.backoff_cap = backoff_cap
         self.connect_timeout = connect_timeout
+        # Seedable in tests; shared across requests (no per-call state).
+        self._rng = random.Random()
         self._slots: "list[AsyncGatewayClient | None]" = [None] * size
         self._next = 0
         # One lock per slot: reconnecting a dead slot (which can take
@@ -658,10 +720,32 @@ class GatewayClientPool:
             raise exc
         if client is not None and (transport or self._dead(client)):
             await self._retire(client)
-        await asyncio.sleep(self.backoff * (2**attempt))
+        await asyncio.sleep(
+            self._retry_delay(attempt, exc.retry_after_ms)
+        )
+
+    def _retry_delay(
+        self, attempt: int, retry_after_ms: "int | None"
+    ) -> float:
+        """Jittered exponential backoff floored by the server's hint.
+
+        The exponential term is capped at ``backoff_cap`` and scaled by
+        a uniform factor in [0.5, 1.5) so simultaneous rejects spread
+        out; a ``retry_after_ms`` hint (a shedding gateway's explicit
+        "stay away this long") only ever *lengthens* the sleep.
+        """
+        delay = min(self.backoff * (2**attempt), self.backoff_cap)
+        delay *= 0.5 + self._rng.random()
+        if retry_after_ms is not None:
+            delay = max(delay, retry_after_ms / 1000.0)
+        return delay
 
     async def render_frame(
-        self, cloud: GaussianCloud, camera: Camera
+        self,
+        cloud: GaussianCloud,
+        camera: Camera,
+        *,
+        request_class: "str | None" = None,
     ) -> RenderResult:
         """One-shot render with markdown/backpressure retries."""
         attempt = 0
@@ -669,7 +753,9 @@ class GatewayClientPool:
             client = None
             try:
                 client = await self._lease()
-                return await client.render_frame(cloud, camera)
+                return await client.render_frame(
+                    cloud, camera, request_class=request_class
+                )
             except (GatewayError, ConnectionError, OSError) as exc:
                 await self._handle_failure(exc, client, attempt)
                 attempt += 1
@@ -680,6 +766,7 @@ class GatewayClientPool:
         cameras: "list[Camera] | tuple[Camera, ...]",
         *,
         prefetch: "int | None" = None,
+        request_class: "str | None" = None,
     ):
         """Ordered stream with resume-from-first-undelivered on retry."""
         cameras = list(cameras)
@@ -691,7 +778,10 @@ class GatewayClientPool:
             try:
                 client = await self._lease()
                 async for index, result in client.stream_trajectory(
-                    cloud, cameras[base:], prefetch=prefetch
+                    cloud,
+                    cameras[base:],
+                    prefetch=prefetch,
+                    request_class=request_class,
                 ):
                     delivered = base + index + 1
                     yield base + index, result
@@ -765,10 +855,14 @@ async def _stream_client(
     cloud: GaussianCloud,
     cameras: "list[Camera]",
     keep_images: bool,
+    request_class: "str | None" = None,
 ) -> "list[np.ndarray]":
     """One viewer session: stream a trajectory, optionally keep frames."""
     images: "list[np.ndarray]" = []
-    async for index, result in service.stream_trajectory(cloud, cameras):
+    kwargs = {} if request_class is None else {"request_class": request_class}
+    async for index, result in service.stream_trajectory(
+        cloud, cameras, **kwargs
+    ):
         assert isinstance(result, RenderResult)
         if keep_images:
             images.append(result.image)
@@ -781,6 +875,7 @@ async def run_clients(
     trajectories: "list[list[Camera]]",
     *,
     keep_images: bool = False,
+    request_class: "str | None" = None,
 ) -> LoadReport:
     """Stream every trajectory concurrently; one client per trajectory.
 
@@ -790,7 +885,9 @@ async def run_clients(
     *list* with one such object per trajectory (e.g. one gateway
     connection per client — the realistic network-load shape).  The
     report's counters come from the first service's ``stats_dict``,
-    awaited when it is a wire round trip.
+    awaited when it is a wire round trip.  ``request_class`` tags every
+    stream with one admission class (``None`` keeps the pre-class
+    request shape for services that predate the knob).
     """
     services = (
         list(service) if isinstance(service, (list, tuple)) else [service]
@@ -805,7 +902,7 @@ async def run_clients(
     start = time.perf_counter()
     images = await asyncio.gather(
         *(
-            _stream_client(svc, cloud, cameras, keep_images)
+            _stream_client(svc, cloud, cameras, keep_images, request_class)
             for svc, cameras in zip(services, trajectories)
         )
     )

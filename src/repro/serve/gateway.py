@@ -28,17 +28,23 @@ to loopback or keep it behind the cluster router.
 Load behaviour (the JPAC-shaped split — fast admission decisions, slow
 feedback):
 
-* **Admission control** — the gateway counts requests it has admitted
-  but not yet answered; once ``max_pending`` is reached, further
-  requests are *rejected immediately* with a 429 ERROR frame (HTTP: a
-  429 response) instead of queueing.  This is the fast timescale:
-  under overload the queue stays bounded and clients get an explicit
-  back-off signal.  (The service's own ``max_pending`` below it still
-  bounds what admitted work may queue.)
+* **Class-based admission control** — every RENDER/STREAM request
+  carries an optional ``class`` field (``interactive`` | ``bulk`` |
+  ``prefetch``; absent means ``bulk``) and passes through one
+  :class:`repro.serve.admission.AdmissionController`: weighted quotas
+  keep bulk load out of the headroom reserved for interactive bursts,
+  and under overload the controller sheds lowest-priority classes
+  first.  Refusals are *immediate* — a 429 ERROR frame (HTTP: a 429
+  response) with a ``retry_after_ms`` hint instead of queueing — so
+  the queue stays bounded and clients get an explicit back-off signal.
+  (The service's own ``max_pending`` below it still bounds what
+  admitted work may queue.)
 * **Adaptive batching** — attach an
   :class:`repro.serve.policy.AdaptiveBatchPolicy` to the *service* and
-  the measured latency of every gateway-admitted request feeds the slow
-  timescale that retunes ``max_batch_size`` / ``max_wait``.
+  the measured latency of every gateway-admitted request feeds the
+  fast timescale that retunes ``max_batch_size`` / ``max_wait``; the
+  admission controller's per-class p95 windows are the slow timescale
+  above it.
 
 Failure semantics (all test-asserted):
 
@@ -67,6 +73,11 @@ from repro.gaussians.camera import Camera
 from repro.gaussians.cloud import GaussianCloud
 from repro.experiments.shm_cache import cloud_fingerprint
 from repro.serve import protocol
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionRejected,
+    AdmissionTicket,
+)
 from repro.serve.auth import resolve_auth_token, token_matches
 from repro.serve.protocol import ErrorCode, Frame, MessageType, ProtocolError
 from repro.serve.service import RenderService
@@ -210,7 +221,9 @@ class GatewayStats:
     connections:
         TCP protocol connections accepted.
     requests:
-        RENDER + STREAM requests admitted.
+        RENDER + STREAM requests admitted (admission happens before
+        request decoding, so this includes admitted requests that later
+        fail validation or rendering).
     streams:
         STREAM requests admitted (subset of ``requests``).
     frames_sent:
@@ -267,7 +280,14 @@ class RenderGateway:
     max_pending:
         Admission bound: requests admitted but unanswered across all
         connections.  At the bound, new requests are rejected with a
-        429 ERROR frame instead of queueing.
+        429 ERROR frame instead of queueing.  Ignored when an explicit
+        ``admission`` controller is passed (its capacity wins).
+    admission:
+        A pre-configured
+        :class:`repro.serve.admission.AdmissionController` (class
+        roster, quota weights, SLO targets).  ``None`` builds a stock
+        controller of capacity ``max_pending`` with no SLO targets —
+        quota behaviour only, no shedding.
     max_scenes:
         Bound on scenes registered over the wire (each pins its cloud
         in gateway memory); exceeding it rejects the SCENE message.
@@ -284,27 +304,71 @@ class RenderGateway:
         *,
         host: str = "127.0.0.1",
         max_pending: int = 64,
+        admission: "AdmissionController | None" = None,
         max_scenes: int = 8,
         auth_token: "str | None" = None,
     ) -> None:
-        if max_pending < 1:
-            raise ValueError("max_pending must be positive")
+        if admission is None:
+            if max_pending < 1:
+                raise ValueError("max_pending must be positive")
+            admission = AdmissionController(max_pending)
         if max_scenes < 1:
             raise ValueError("max_scenes must be positive")
         self.service = service
         self.host = host
-        self.max_pending = max_pending
+        self.admission = admission
+        self.max_pending = admission.capacity
         self.max_scenes = max_scenes
         self.auth_token = resolve_auth_token(auth_token)
         self.stats = GatewayStats()
         self._scenes: "dict[str, GaussianCloud]" = {}
         self._orbits: "dict[str, list[Camera]]" = {}
         self._wire_scenes = 0
-        self._pending = 0
         self._server: "asyncio.base_events.Server | None" = None
         self._http_server: "asyncio.base_events.Server | None" = None
         self._conn_tasks: "set[asyncio.Task]" = set()
         self._closing = False
+
+    @property
+    def _pending(self) -> int:
+        """Admitted-but-unanswered requests (the admission invariant).
+
+        Delegates to the controller so the soak tests' invariant —
+        pending returns to zero after any storm of rejects, cancels and
+        disconnects — checks the same counter every admission path
+        uses.
+        """
+        return self.admission.total_pending
+
+    def _admit(
+        self, request_class: "str | None", *, stream: bool
+    ) -> AdmissionTicket:
+        """The one admission guard for TCP and both HTTP handlers.
+
+        Raises :class:`AdmissionRejected` (counted in
+        ``stats.rejected`` — identically for TCP and HTTP 429s) or a
+        503 :class:`ProtocolError` during shutdown; on success counts
+        the request and returns the ticket whose release returns the
+        slot.
+        """
+        if self._closing:
+            raise ProtocolError(
+                "gateway is shutting down", code=ErrorCode.SHUTTING_DOWN
+            )
+        try:
+            ticket = self.admission.admit(request_class)
+        except AdmissionRejected:
+            self.stats.rejected += 1
+            raise
+        self.stats.requests += 1
+        if stream:
+            self.stats.streams += 1
+        return ticket
+
+    def _observe(self, request_class: str, latency_s: float) -> None:
+        """Feed the slow timescale; adapt when a window completes."""
+        if self.admission.observe(request_class, latency_s):
+            self.admission.adapt()
 
     # -- scene registry --------------------------------------------------
     def register_scene(
@@ -409,6 +473,8 @@ class RenderGateway:
                         "max_pending": self.max_pending,
                         "scenes": sorted(self._orbits),
                         "auth_required": self.auth_token is not None,
+                        "classes": list(self.admission.classes()),
+                        "default_class": self.admission.default_class,
                     },
                 ),
             )
@@ -495,7 +561,10 @@ class RenderGateway:
                         MessageType.STATS_OK,
                         {
                             "service": self.service.stats_dict(),
-                            "gateway": asdict(self.stats),
+                            "gateway": {
+                                **asdict(self.stats),
+                                "admission": self.admission.stats_dict(),
+                            },
                         },
                     ),
                 )
@@ -508,7 +577,11 @@ class RenderGateway:
                 # 429s are accounted in stats.rejected, not as errors.
                 self.stats.errors += 1
             await self._send_error(
-                conn, frame.header.get("request_id"), exc.code, str(exc)
+                conn,
+                frame.header.get("request_id"),
+                exc.code,
+                str(exc),
+                retry_after_ms=exc.retry_after_ms,
             )
         except asyncio.CancelledError:
             raise
@@ -548,43 +621,44 @@ class RenderGateway:
             raise ProtocolError("request_id must be an integer")
         if request_id in conn.tasks:
             raise ProtocolError(f"request_id {request_id} is already in flight")
-        if self._closing:
-            raise ProtocolError(
-                "gateway is shutting down", code=ErrorCode.SHUTTING_DOWN
-            )
-        if self._pending >= self.max_pending:
-            # The fast-timescale decision: explicit reject, no queueing.
-            self.stats.rejected += 1
-            raise ProtocolError(
-                f"admission bound reached ({self.max_pending} pending)",
-                code=ErrorCode.REJECTED,
-            )
-        cloud = self._resolve_scene(header.get("scene_id"))
-        if frame.type is MessageType.RENDER:
-            camera = protocol.decode_camera(header.get("camera") or {})
-            coroutine = self._serve_render(conn, request_id, cloud, camera)
-        else:
-            specs = header.get("cameras")
-            if not isinstance(specs, list) or not specs:
-                raise ProtocolError("STREAM needs a non-empty camera list")
-            cameras = [protocol.decode_camera(spec) for spec in specs]
-            coroutine = self._serve_stream(conn, request_id, cloud, cameras)
-            self.stats.streams += 1
-        # Admit *synchronously* with the dispatch so the very next frame
-        # on any connection sees the updated pending count.
-        self._pending += 1
-        self.stats.requests += 1
+        # Admit *synchronously* with the dispatch — the very next frame
+        # on any connection sees the updated pending count — and before
+        # any decoding, so the reject path stays cheap under overload.
+        ticket = self._admit(
+            header.get("class"),
+            stream=frame.type is MessageType.STREAM,
+        )
+        try:
+            cloud = self._resolve_scene(header.get("scene_id"))
+            if frame.type is MessageType.RENDER:
+                camera = protocol.decode_camera(header.get("camera") or {})
+                coroutine = self._serve_render(
+                    conn, request_id, cloud, camera, ticket.request_class
+                )
+            else:
+                specs = header.get("cameras")
+                if not isinstance(specs, list) or not specs:
+                    raise ProtocolError("STREAM needs a non-empty camera list")
+                cameras = [protocol.decode_camera(spec) for spec in specs]
+                coroutine = self._serve_stream(
+                    conn, request_id, cloud, cameras, ticket.request_class
+                )
+        except BaseException:
+            ticket.release()
+            raise
         task = asyncio.ensure_future(coroutine)
         conn.tasks[request_id] = task
         task.add_done_callback(
-            lambda _t, _conn=conn, _rid=request_id: self._request_done(
-                _conn, _rid
+            lambda _t, _conn=conn, _rid=request_id, _ticket=ticket: (
+                self._request_done(_conn, _rid, _ticket)
             )
         )
 
-    def _request_done(self, conn: _Connection, request_id: int) -> None:
+    def _request_done(
+        self, conn: _Connection, request_id: int, ticket: AdmissionTicket
+    ) -> None:
         """Release one admission slot and drop the task bookkeeping."""
-        self._pending -= 1
+        ticket.release()
         conn.tasks.pop(request_id, None)
 
     async def _serve_render(
@@ -593,10 +667,16 @@ class RenderGateway:
         request_id: int,
         cloud: GaussianCloud,
         camera: Camera,
+        request_class: str,
     ) -> None:
         """Serve one RENDER: a single FRAME answer (or a 500 ERROR)."""
         try:
-            result = await self.service.render_frame(cloud, camera)
+            loop = asyncio.get_running_loop()
+            started = loop.time()
+            result = await self.service.render_frame(
+                cloud, camera, request_class=request_class
+            )
+            self._observe(request_class, loop.time() - started)
             await self._send(
                 conn, protocol.encode_result_frame(request_id, 0, result)
             )
@@ -617,6 +697,7 @@ class RenderGateway:
         request_id: int,
         cloud: GaussianCloud,
         cameras: "list[Camera]",
+        request_class: str,
     ) -> None:
         """Serve one STREAM: ordered FRAMEs, then END.
 
@@ -625,13 +706,19 @@ class RenderGateway:
         a socket-level write failure counts as a client cancellation.
         ``writer.drain()`` is the flow control: a slow reader stalls the
         stream, and the service's ``prefetch`` bound caps what can pile
-        up behind it.
+        up behind it.  The admission controller observes
+        time-to-first-frame only — later inter-frame gaps include the
+        client's own drain stalls, which are not service latency.
         """
         sent = 0
         try:
+            loop = asyncio.get_running_loop()
+            started = loop.time()
             async for index, result in self.service.stream_trajectory(
-                cloud, cameras
+                cloud, cameras, request_class=request_class
             ):
+                if sent == 0:
+                    self._observe(request_class, loop.time() - started)
                 await self._send(
                     conn, protocol.encode_result_frame(request_id, index, result)
                 )
@@ -665,19 +752,20 @@ class RenderGateway:
         request_id: "int | None",
         code: ErrorCode,
         message: str,
+        *,
+        retry_after_ms: "int | None" = None,
     ) -> None:
         """Best-effort ERROR frame (the peer may already be gone)."""
+        header = {
+            "request_id": request_id,
+            "code": int(code),
+            "message": message,
+        }
+        if retry_after_ms is not None:
+            header["retry_after_ms"] = int(retry_after_ms)
         try:
             await self._send(
-                conn,
-                protocol.encode_frame(
-                    MessageType.ERROR,
-                    {
-                        "request_id": request_id,
-                        "code": int(code),
-                        "message": message,
-                    },
-                ),
+                conn, protocol.encode_frame(MessageType.ERROR, header)
             )
         except (ConnectionError, OSError):
             pass
@@ -686,15 +774,30 @@ class RenderGateway:
     async def _handle_http(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        """One HTTP/1.1 exchange (``Connection: close`` semantics)."""
+        """One HTTP/1.1 exchange (``Connection: close`` semantics).
+
+        The handler registers itself with the gateway's task set so
+        :meth:`close` cancels in-flight HTTP work too — otherwise a
+        shutdown would leave detached renders running and their
+        admission slots held until they happened to finish.
+        """
         self.stats.http_requests += 1
+        handler = asyncio.current_task()
+        if handler is not None:
+            self._conn_tasks.add(handler)
         try:
             target = await read_http_get(reader, writer)
             if target is not None:
                 await self._http_route(writer, target)
         except (ConnectionError, OSError):
             pass
+        except asyncio.CancelledError:
+            # Gateway shutdown; admission tickets are context-managed
+            # and already released by the time this propagates here.
+            pass
         finally:
+            if handler is not None:
+                self._conn_tasks.discard(handler)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -713,7 +816,10 @@ class RenderGateway:
                 200,
                 {
                     "service": self.service.stats_dict(),
-                    "gateway": asdict(self.stats),
+                    "gateway": {
+                        **asdict(self.stats),
+                        "admission": self.admission.stats_dict(),
+                    },
                 },
             )
         elif url.path == "/render":
@@ -758,26 +864,33 @@ class RenderGateway:
                 writer, 400, {"error": "format must be 'ppm' or 'json'"}
             )
             return
-        if self._pending >= self.max_pending:
-            self.stats.rejected += 1
+        try:
+            ticket = self._admit(query.get("class"), stream=False)
+        except AdmissionRejected as exc:
             await http_reply(
                 writer,
                 429,
-                {"error": f"admission bound reached ({self.max_pending})"},
+                {"error": str(exc), "retry_after_ms": exc.retry_after_ms},
             )
             return
-        self._pending += 1
-        self.stats.requests += 1
-        try:
-            result = await self.service.render_frame(
-                self._scenes[name], cameras[view]
-            )
-        except Exception as exc:
-            self.stats.errors += 1
-            await http_reply(writer, 500, {"error": str(exc)})
+        except ProtocolError as exc:
+            # Unknown request class (400) or shutting down (503).
+            await http_reply(writer, int(exc.code), {"error": str(exc)})
             return
-        finally:
-            self._pending -= 1
+        with ticket:
+            try:
+                loop = asyncio.get_running_loop()
+                started = loop.time()
+                result = await self.service.render_frame(
+                    self._scenes[name],
+                    cameras[view],
+                    request_class=ticket.request_class,
+                )
+                self._observe(ticket.request_class, loop.time() - started)
+            except Exception as exc:
+                self.stats.errors += 1
+                await http_reply(writer, 500, {"error": str(exc)})
+                return
         if fmt == "ppm":
             await http_reply(
                 writer,
@@ -842,45 +955,57 @@ class RenderGateway:
                 writer, 400, {"error": "format must be 'ppm' or 'json'"}
             )
             return
-        if self._pending >= self.max_pending:
-            self.stats.rejected += 1
+        try:
+            ticket = self._admit(query.get("class"), stream=True)
+        except AdmissionRejected as exc:
             await http_reply(
                 writer,
                 429,
-                {"error": f"admission bound reached ({self.max_pending})"},
+                {"error": str(exc), "retry_after_ms": exc.retry_after_ms},
             )
             return
-        self._pending += 1
-        self.stats.requests += 1
-        self.stats.streams += 1
-        try:
-            stream = self.service.stream_trajectory(
-                self._scenes[name], cameras[start : start + frames]
-            )
-            await http_stream_head(
-                writer,
-                "image/x-portable-pixmap"
-                if fmt == "ppm"
-                else "application/x-ndjson",
-            )
-            async for index, result in stream:
-                if fmt == "ppm":
-                    data = _ppm_bytes(result.image)
-                else:
-                    record = _frame_record(name, start + index, result)
-                    data = (
-                        json.dumps(record, separators=(",", ":")) + "\n"
-                    ).encode("utf-8")
-                await http_stream_chunk(writer, data)
-                self.stats.frames_sent += 1
-            await http_stream_end(writer)
-        except (ConnectionError, OSError):
-            self.stats.cancelled_requests += 1
-        except Exception:
-            # Mid-body failure: the truncated chunk stream is the signal.
-            self.stats.errors += 1
-        finally:
-            self._pending -= 1
+        except ProtocolError as exc:
+            # Unknown request class (400) or shutting down (503).
+            await http_reply(writer, int(exc.code), {"error": str(exc)})
+            return
+        with ticket:
+            try:
+                loop = asyncio.get_running_loop()
+                started = loop.time()
+                sent = 0
+                stream = self.service.stream_trajectory(
+                    self._scenes[name],
+                    cameras[start : start + frames],
+                    request_class=ticket.request_class,
+                )
+                await http_stream_head(
+                    writer,
+                    "image/x-portable-pixmap"
+                    if fmt == "ppm"
+                    else "application/x-ndjson",
+                )
+                async for index, result in stream:
+                    if sent == 0:
+                        self._observe(
+                            ticket.request_class, loop.time() - started
+                        )
+                    if fmt == "ppm":
+                        data = _ppm_bytes(result.image)
+                    else:
+                        record = _frame_record(name, start + index, result)
+                        data = (
+                            json.dumps(record, separators=(",", ":")) + "\n"
+                        ).encode("utf-8")
+                    await http_stream_chunk(writer, data)
+                    sent += 1
+                    self.stats.frames_sent += 1
+                await http_stream_end(writer)
+            except (ConnectionError, OSError):
+                self.stats.cancelled_requests += 1
+            except Exception:
+                # Mid-body failure: the truncated chunk stream is the
+                # signal.
+                self.stats.errors += 1
 
 
 def _frame_record(name: str, view: int, result) -> dict:

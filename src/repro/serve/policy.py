@@ -125,9 +125,16 @@ class AdaptiveBatchPolicy:
         self.adaptations: "list[Adaptation]" = []
 
     def bind(self, batch_size: int, max_wait: float) -> None:
-        """Adopt a service's configured knobs as the starting point."""
+        """Adopt a service's configured knobs as the starting point.
+
+        Rebinding also discards the partial latency window: those
+        samples were measured under the *previous* knobs (or a previous
+        service), and letting the first post-rebind ``adapt()`` act on
+        that stale regime steered the fresh knobs with old evidence.
+        """
         self.batch_size = int(np.clip(batch_size, self.min_batch, self.max_batch))
         self.max_wait = float(np.clip(max_wait, self.min_wait, self.max_wait_cap))
+        self._latencies.clear()
 
     def observe(self, latency_s: float) -> bool:
         """Record one request latency; True when a window just filled.

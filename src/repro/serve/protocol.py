@@ -37,11 +37,18 @@ STATS_OK     S -> C     the counters, as a JSON object
 BYE          C -> S     graceful goodbye; the server closes the connection
 ===========  =========  ====================================================
 
+``RENDER`` and ``STREAM`` headers may carry an optional ``class`` field
+naming the request's admission class (``interactive`` | ``bulk`` |
+``prefetch`` — see :mod:`repro.serve.admission`); absent means
+``bulk``, so the field is backwards-compatible within protocol
+version 2 and pre-class clients keep working unchanged.
+
 Errors carry HTTP-flavoured codes (:class:`ErrorCode`): ``400`` malformed
 frame or request, ``401`` missing or wrong shared-secret token, ``404``
 unknown scene, ``413`` frame too large, ``429`` admission rejected (the
-gateway is at ``max_pending`` — back off and retry), ``500`` internal
-render failure, ``503`` shutting down / no replica up.  A
+gateway is out of admission headroom for this class, or the class is
+shed — the ERROR header carries a ``retry_after_ms`` back-off hint),
+``500`` internal render failure, ``503`` shutting down / no replica up.  A
 malformed-but-framed message (bad JSON, unknown type, missing fields) is
 *recoverable*: the server answers with a ``400`` ERROR frame and keeps
 the connection; only a broken frame boundary (oversized length prefix,
@@ -134,10 +141,14 @@ class ProtocolError(Exception):
         *,
         code: ErrorCode = ErrorCode.BAD_REQUEST,
         fatal: bool = False,
+        retry_after_ms: "int | None" = None,
     ) -> None:
         super().__init__(message)
         self.code = code
         self.fatal = fatal
+        #: Optional machine-readable back-off hint; carried on 429
+        #: ERROR frames so rejected clients spread their retries.
+        self.retry_after_ms = retry_after_ms
 
 
 @dataclass

@@ -45,7 +45,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.engine import RenderEngine
 from repro.experiments.shm_cache import cloud_fingerprint
@@ -73,6 +73,10 @@ class ServiceStats:
     engine_renders:
         Frames actually rendered by the engine on behalf of this
         service — the number the batching/caching machinery minimises.
+    class_requests:
+        Requests by admission class (one count per ``render_frame``
+        call or ``stream_trajectory`` open that named a class; requests
+        without a class are not counted here).
     """
 
     requests: int = 0
@@ -80,6 +84,14 @@ class ServiceStats:
     cache_hits: int = 0
     coalesced: int = 0
     engine_renders: int = 0
+    class_requests: "dict[str, int]" = field(default_factory=dict)
+
+    def count_class(self, request_class: "str | None") -> None:
+        """Bump the per-class request counter (no-op without a class)."""
+        if request_class is not None:
+            self.class_requests[request_class] = (
+                self.class_requests.get(request_class, 0) + 1
+            )
 
 
 class _Inflight:
@@ -203,6 +215,9 @@ class RenderService:
             "cancelled": batch.cancelled,
             "batch_size": self._batcher.max_batch_size,
             "max_wait": self._batcher.max_wait,
+            # A nested dict: the cluster router's numeric-sum
+            # aggregation skips it and merges it class-wise instead.
+            "class_requests": dict(self.stats.class_requests),
         }
         if self.policy is not None:
             counters["adaptations"] = len(self.policy.adaptations)
@@ -287,14 +302,21 @@ class RenderService:
 
     # -- the request API ------------------------------------------------
     async def render_frame(
-        self, cloud: GaussianCloud, camera: Camera
+        self,
+        cloud: GaussianCloud,
+        camera: Camera,
+        *,
+        request_class: "str | None" = None,
     ) -> RenderResult:
         """Resolve one view, bit-identical to ``RenderEngine.render``.
 
         With an attached policy the request's end-to-end latency
         (admission wait included — that is what a client experiences) is
-        recorded as one slow-timescale observation.
+        recorded as one fast-timescale observation.  ``request_class``
+        is accounting only — the render path is identical for every
+        class (admission decisions happen in the gateway, above).
         """
+        self.stats.count_class(request_class)
         if self.policy is None:
             return await self._render_frame(cloud, camera)
         loop = asyncio.get_running_loop()
@@ -362,6 +384,7 @@ class RenderService:
         cameras: "list[Camera] | tuple[Camera, ...]",
         *,
         prefetch: "int | None" = None,
+        request_class: "str | None" = None,
     ):
         """Stream a trajectory's frames in order, as they complete.
 
@@ -370,6 +393,8 @@ class RenderService:
         batch size) — the consumer's pace is the stream's pace, which is
         what bounds the service's queue under slow clients.  Closing the
         generator early cancels every outstanding frame request.
+        ``request_class`` counts the stream once (not per frame) in the
+        per-class request stats.
         """
         cameras = list(cameras)
         if prefetch is None:
@@ -377,6 +402,7 @@ class RenderService:
         if prefetch < 1:
             raise ValueError("prefetch must be positive")
         self.stats.streams += 1
+        self.stats.count_class(request_class)
 
         tasks: "dict[int, asyncio.Task]" = {}
         next_submit = 0

@@ -29,7 +29,12 @@ def test_fleet_sigkill_mid_stream_fails_over():
     rng = np.random.default_rng(61)
     cloud = make_cloud(25, rng)
     base = [Camera(width=72, height=56, fx=66.0 + i, fy=66.0 + i) for i in range(8)]
-    cameras = base * 6  # long enough that the kill lands mid-flight
+    # Long enough that the whole stream (~12 MB of frame bytes) cannot
+    # hide in the loopback socket buffers: the backend must still be
+    # mid-send when the SIGKILL lands, or no failover happens and the
+    # test flakes (all 8 distinct views render once; the rest relay
+    # from the in-flight dedup/cache, so length is cheap).
+    cameras = base * 48
     renderer = GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE)
     engine = RenderEngine(renderer)
     reference = [engine.render(cloud, camera) for camera in base]
@@ -81,6 +86,30 @@ def test_fleet_sigkill_mid_stream_fails_over():
         assert np.array_equal(result.image, ref.image)
         assert result.stats == ref.stats
     assert failovers >= 1
+
+
+def test_backend_parser_accepts_cli_forwarded_admission_flags():
+    """The ``cluster`` CLI forwards admission/SLO knobs to every spawned
+    backend — the backend parser must accept exactly those flags, and
+    they must arm the gateway-side controller (regression: the flags
+    were once forwarded but unknown to ``repro.cluster.backend``)."""
+    from repro.cluster.backend import _make_admission, build_parser
+
+    args = build_parser().parse_args(
+        [
+            "--admission-window", "16",
+            "--interactive-slo-ms", "80",
+            "--bulk-slo-ms", "800",
+        ]
+    )
+    controller = _make_admission(args)
+    assert controller.window == 16
+    assert controller.target("interactive") == pytest.approx(0.08)
+    assert controller.target("bulk") == pytest.approx(0.8)
+    # Omitted SLO flags leave the classes unarmed (quota-only admission).
+    unarmed = _make_admission(build_parser().parse_args([]))
+    assert unarmed.target("interactive") is None
+    assert unarmed.target("bulk") is None
 
 
 def test_fleet_validation_and_failed_spawn():

@@ -490,6 +490,116 @@ class TestAdmissionAndErrors:
         assert code == int(ErrorCode.REJECTED)
         assert rejected == 1
 
+    def test_class_passthrough_and_cluster_class_stats(
+        self, scene, renderer, reference
+    ):
+        """The optional ``class`` field crosses the router: backends see
+        the resolved class on re-encoded RENDER/STREAM frames, and the
+        cluster STATS merge per-class counters across the fleet."""
+        cloud, cameras = scene
+
+        async def body(router, cluster_map, gateways, services):
+            client = await AsyncGatewayClient.connect(
+                "127.0.0.1", router.tcp_port
+            )
+            try:
+                hello = dict(client.hello)
+                result = await client.render_frame(
+                    cloud, cameras[0], request_class="interactive"
+                )
+                await client.render_frame(cloud, cameras[1])  # → bulk
+                async for _ in client.stream_trajectory(
+                    cloud, cameras[:2], request_class="prefetch"
+                ):
+                    pass
+                stats = await client.stats_dict()
+            finally:
+                await client.close()
+            merged: "dict[str, int]" = {}
+            for service in services:
+                for name, count in service.stats.class_requests.items():
+                    merged[name] = merged.get(name, 0) + count
+            return hello, result, stats, merged
+
+        hello, result, stats, backend_classes = run_cluster(renderer, body)
+        assert hello["classes"] == ["interactive", "bulk", "prefetch"]
+        assert hello["default_class"] == "bulk"
+        # The backends' services saw the classes the client sent.
+        assert backend_classes == {"interactive": 1, "bulk": 1, "prefetch": 1}
+        # ...and the router's aggregation reports the same, cluster-wide.
+        assert stats["class_requests"] == {
+            "interactive": 1,
+            "bulk": 1,
+            "prefetch": 1,
+        }
+        gateway = stats["gateway"]
+        admission = gateway["admission"]
+        assert admission["classes"]["interactive"]["admitted"] == 1
+        assert admission["classes"]["bulk"]["admitted"] == 1
+        assert admission["classes"]["prefetch"]["admitted"] == 1
+        assert admission["pending"] == 0
+        for name in ("interactive", "bulk", "prefetch"):
+            assert gateway["backend_classes"][name]["admitted"] == 1
+            assert gateway["backend_classes"][name]["pending"] == 0
+        assert np.array_equal(result.image, reference[0].image)
+
+    def test_unknown_class_is_400_at_the_router_edge(self, scene, renderer):
+        cloud, cameras = scene
+
+        async def body(router, cluster_map, gateways, services):
+            client = await AsyncGatewayClient.connect(
+                "127.0.0.1", router.tcp_port
+            )
+            try:
+                with pytest.raises(GatewayError) as excinfo:
+                    await client.render_frame(
+                        cloud, cameras[0], request_class="warp"
+                    )
+                code = excinfo.value.code
+                # Rejected before admission and before any backend saw it.
+                result = await client.render_frame(cloud, cameras[0])
+                return code, router._pending, router.stats.rejected, result
+            finally:
+                await client.close()
+
+        code, pending, rejected, result = run_cluster(renderer, body)
+        assert code == int(ErrorCode.BAD_REQUEST)
+        assert pending == 0
+        assert rejected == 0
+        engine = RenderEngine(renderer)
+        assert np.array_equal(
+            result.image, engine.render(cloud, cameras[0]).image
+        )
+
+    def test_router_shed_429_carries_retry_after_hint(self, scene, renderer):
+        cloud, cameras = scene
+
+        async def body(router, cluster_map, gateways, services):
+            client = await AsyncGatewayClient.connect(
+                "127.0.0.1", router.tcp_port
+            )
+            try:
+                router.admission.shed_level = 2
+                with pytest.raises(GatewayError) as excinfo:
+                    await client.render_frame(cloud, cameras[0])  # bulk
+                router.admission.shed_level = 0
+                # The protected class passed through the whole time.
+                result = await client.render_frame(
+                    cloud, cameras[0], request_class="interactive"
+                )
+                return excinfo.value, router.stats.rejected, result
+            finally:
+                await client.close()
+
+        error, rejected, result = run_cluster(renderer, body)
+        assert error.code == int(ErrorCode.REJECTED)
+        assert error.retry_after_ms == 200  # 25 ms * 2**2 * distance 2
+        assert rejected == 1
+        engine = RenderEngine(renderer)
+        assert np.array_equal(
+            result.image, engine.render(cloud, cameras[0]).image
+        )
+
     def test_unknown_scene_404_relayed(self, scene, renderer):
         cloud, cameras = scene
 

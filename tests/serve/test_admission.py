@@ -1,0 +1,433 @@
+"""Tests for class-based admission control (``repro.serve.admission``).
+
+The controller is pure state-machine code, so most of this file is
+synchronous: quotas, shedding, hysteresis and the retry hint are all
+checked decision by decision.  The integration half then proves the
+wire story — the optional ``class`` field on RENDER/STREAM, per-class
+STATS, the 429's ``retry_after_ms`` hint over TCP and HTTP — and that
+class-aware serving never changes a single served byte.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import GSTGRenderer
+from repro.engine import RenderEngine
+from repro.gaussians.camera import Camera
+from repro.serve import (
+    AdmissionController,
+    AdmissionRejected,
+    AsyncGatewayClient,
+    ClassSpec,
+    GatewayError,
+    ProtocolError,
+    RenderGateway,
+    RenderService,
+)
+from repro.serve.protocol import ErrorCode
+from repro.tiles.boundary import BoundaryMethod
+from tests.conftest import make_cloud
+
+
+class TestResolution:
+    def test_absent_and_empty_map_to_default(self):
+        ctl = AdmissionController(4)
+        assert ctl.resolve(None) == "bulk"
+        assert ctl.resolve("") == "bulk"
+        assert ctl.resolve("interactive") == "interactive"
+
+    def test_unknown_class_is_bad_request_not_reject(self):
+        ctl = AdmissionController(4)
+        with pytest.raises(ProtocolError) as excinfo:
+            ctl.resolve("warp")
+        assert excinfo.value.code is ErrorCode.BAD_REQUEST
+        assert not isinstance(excinfo.value, AdmissionRejected)
+
+    def test_roster_order_and_default(self):
+        ctl = AdmissionController(4)
+        assert ctl.classes() == ("interactive", "bulk", "prefetch")
+        assert ctl.default_class == "bulk"
+        custom = AdmissionController(
+            4,
+            classes=(ClassSpec("a", priority=1, weight=1.0),),
+        )
+        # No "bulk" in the roster: default falls to the lowest priority.
+        assert custom.default_class == "a"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0)
+        with pytest.raises(ValueError):
+            AdmissionController(4, window=0)
+        with pytest.raises(ValueError):
+            AdmissionController(4, relax_after=0)
+        with pytest.raises(ValueError):
+            AdmissionController(4, low_watermark=0.0)
+        with pytest.raises(ValueError):
+            AdmissionController(4, classes=())
+        dup_name = (
+            ClassSpec("a", priority=1, weight=1.0),
+            ClassSpec("a", priority=0, weight=1.0),
+        )
+        with pytest.raises(ValueError):
+            AdmissionController(4, classes=dup_name)
+        dup_priority = (
+            ClassSpec("a", priority=1, weight=1.0),
+            ClassSpec("b", priority=1, weight=1.0),
+        )
+        with pytest.raises(ValueError):
+            AdmissionController(4, classes=dup_priority)
+        with pytest.raises(ValueError):
+            AdmissionController(
+                4, classes=(ClassSpec("a", priority=1, weight=0.0),)
+            )
+        with pytest.raises(ValueError):
+            AdmissionController(4, default_class="warp")
+        with pytest.raises(ValueError):
+            AdmissionController(4).set_target("warp", 0.1)
+        with pytest.raises(ValueError):
+            AdmissionController(4).set_target("bulk", 0.0)
+
+
+class TestQuotas:
+    def test_single_slot_admits_any_class(self):
+        """Floor-based shares: a max_pending=1 edge keeps the old
+        single-counter behaviour — any class takes the one slot."""
+        ctl = AdmissionController(1)
+        assert all(ctl.share(name) == 0 for name in ctl.classes())
+        for name in ("bulk", "prefetch", "interactive"):
+            with ctl.admit(name):
+                # The slot is genuinely exclusive while held.
+                with pytest.raises(AdmissionRejected):
+                    ctl.admit("interactive")
+            assert ctl.total_pending == 0
+
+    def test_lower_class_cannot_invade_reserved_headroom(self):
+        # capacity 4, weights 0.5/0.4/0.1: shares 2/1/0.
+        ctl = AdmissionController(4)
+        assert ctl.share("interactive") == 2
+        assert ctl.share("bulk") == 1
+        assert ctl.share("prefetch") == 0
+        # bulk may use capacity minus interactive's unused reservation.
+        bulk = [ctl.admit("bulk"), ctl.admit("bulk")]
+        with pytest.raises(AdmissionRejected) as excinfo:
+            ctl.admit("bulk")
+        assert not excinfo.value.shed  # quota, not shedding
+        # prefetch additionally leaves bulk's reservation alone.
+        with pytest.raises(AdmissionRejected):
+            ctl.admit("prefetch")
+        # The headroom the quota preserved is really there.
+        interactive = [ctl.admit("interactive"), ctl.admit("interactive")]
+        with pytest.raises(AdmissionRejected):
+            ctl.admit("interactive")  # capacity itself is the last wall
+        for ticket in bulk + interactive:
+            ticket.release()
+        assert ctl.total_pending == 0
+        assert ctl.rejected["bulk"] == 1
+        assert ctl.rejected["prefetch"] == 1
+        assert ctl.rejected["interactive"] == 1
+        assert ctl.shed["bulk"] == 0
+
+    def test_ticket_release_is_idempotent(self):
+        ctl = AdmissionController(2)
+        ticket = ctl.admit("bulk")
+        assert not ticket.released
+        ticket.release()
+        ticket.release()  # done-callback + belt-and-braces finally
+        assert ticket.released
+        assert ctl.pending["bulk"] == 0
+        with ctl.admit("bulk") as managed:
+            assert ctl.pending["bulk"] == 1
+        assert managed.released
+        assert ctl.total_pending == 0
+
+
+class TestShedding:
+    def make(self, **kwargs):
+        kwargs.setdefault("window", 4)
+        kwargs.setdefault("relax_after", 2)
+        return AdmissionController(8, **kwargs)
+
+    def fill_window(self, ctl, name, latency_s):
+        full = False
+        for _ in range(ctl.window):
+            full = ctl.observe(name, latency_s)
+        assert full
+        return ctl.adapt()
+
+    def test_no_target_never_sheds(self):
+        ctl = self.make()
+        assert self.fill_window(ctl, "interactive", 10.0) == 0
+        assert ctl.adaptations == 0
+
+    def test_interactive_violation_sheds_bulk_and_prefetch(self):
+        ctl = self.make()
+        ctl.set_target("interactive", 0.05)
+        assert self.fill_window(ctl, "interactive", 0.2) == 2
+        for name in ("bulk", "prefetch"):
+            with pytest.raises(AdmissionRejected) as excinfo:
+                ctl.admit(name)
+            assert excinfo.value.shed
+            assert ctl.shed[name] == 1
+        # The top class is never shed.
+        ctl.admit("interactive").release()
+
+    def test_bulk_violation_sheds_prefetch_only(self):
+        ctl = self.make()
+        ctl.set_target("bulk", 0.05)
+        assert self.fill_window(ctl, "bulk", 0.2) == 1
+        with pytest.raises(AdmissionRejected):
+            ctl.admit("prefetch")
+        ctl.admit("bulk").release()
+        ctl.admit("interactive").release()
+
+    def test_retry_after_scales_with_level_and_distance(self):
+        ctl = self.make()  # base 25 ms, top priority 2
+        assert ctl.retry_after_ms("interactive") == 25
+        assert ctl.retry_after_ms("bulk") == 50
+        assert ctl.retry_after_ms("prefetch") == 75
+        ctl.set_target("interactive", 0.05)
+        self.fill_window(ctl, "interactive", 0.2)  # level 2: x4
+        assert ctl.retry_after_ms("bulk") == 200
+        assert ctl.retry_after_ms("prefetch") == 300
+        with pytest.raises(AdmissionRejected) as excinfo:
+            ctl.admit("bulk")
+        assert excinfo.value.retry_after_ms == 200
+        capped = AdmissionController(8, retry_after_cap_ms=60.0)
+        assert capped.retry_after_ms("prefetch") == 60
+
+    def test_relax_needs_consecutive_calm_windows(self):
+        ctl = self.make()  # relax_after=2, low_watermark=0.5
+        ctl.set_target("interactive", 0.05)
+        self.fill_window(ctl, "interactive", 0.2)
+        assert ctl.shed_level == 2
+        # One calm window is not enough...
+        assert self.fill_window(ctl, "interactive", 0.01) == 2
+        # ...a violation in between resets the streak...
+        assert self.fill_window(ctl, "interactive", 0.2) == 2
+        assert self.fill_window(ctl, "interactive", 0.01) == 2
+        # ...and the level steps down one per completed streak.
+        assert self.fill_window(ctl, "interactive", 0.01) == 1
+        for _ in range(2):
+            self.fill_window(ctl, "interactive", 0.01)
+        assert ctl.shed_level == 0
+
+    def test_near_target_window_holds_the_level(self):
+        """p95 between low_watermark*target and target is the
+        hysteresis band: no escalation, no relax progress."""
+        ctl = self.make()
+        ctl.set_target("interactive", 0.05)
+        self.fill_window(ctl, "interactive", 0.2)
+        for _ in range(4):
+            assert self.fill_window(ctl, "interactive", 0.04) == 2
+
+    def test_window_counts_across_classes_and_clears(self):
+        ctl = self.make()
+        for _ in range(ctl.window - 1):
+            assert not ctl.observe("bulk", 0.01)
+        assert ctl.observe("interactive", 0.01)  # mixed classes fill it
+        ctl.adapt()
+        assert not ctl.observe("bulk", 0.01)  # the count restarted
+
+    def test_stats_dict_shape(self):
+        ctl = self.make()
+        ctl.set_target("interactive", 0.05)
+        ctl.admit("bulk")
+        stats = ctl.stats_dict()
+        assert stats["capacity"] == 8
+        assert stats["default_class"] == "bulk"
+        assert stats["pending"] == 1
+        assert set(stats["classes"]) == {"interactive", "bulk", "prefetch"}
+        interactive = stats["classes"]["interactive"]
+        assert interactive["target_p95_ms"] == pytest.approx(50.0)
+        assert stats["classes"]["bulk"]["pending"] == 1
+        json.dumps(stats)  # JSON-ready, as STATS/HTTP require
+
+
+@pytest.fixture(scope="module")
+def scene():
+    rng = np.random.default_rng(47)
+    cloud = make_cloud(30, rng)
+    cameras = [
+        Camera(width=80, height=56, fx=70.0 + i, fy=70.0 + i)
+        for i in range(4)
+    ]
+    return cloud, cameras
+
+
+@pytest.fixture(scope="module")
+def renderer():
+    return GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE)
+
+
+def run_with_gateway(renderer, body, **gateway_kwargs):
+    async def main():
+        async with RenderService(
+            renderer, max_batch_size=4, max_wait=0.002
+        ) as service:
+            gateway = RenderGateway(service, **gateway_kwargs)
+            await gateway.start()
+            try:
+                return await body(service, gateway)
+            finally:
+                await gateway.close()
+
+    return asyncio.run(main())
+
+
+class TestGatewayIntegration:
+    def test_class_on_the_wire_and_per_class_stats(self, scene, renderer):
+        """RENDER/STREAM carry the optional class field end to end:
+        HELLO advertises the roster, the service counts per class, the
+        gateway's STATS expose the admission snapshot — and the frames
+        stay bit-identical to direct engine renders."""
+        cloud, cameras = scene
+
+        async def body(service, gateway):
+            client = await AsyncGatewayClient.connect(
+                "127.0.0.1", gateway.tcp_port
+            )
+            try:
+                hello = dict(client.hello)
+                results = [
+                    await client.render_frame(
+                        cloud, cameras[0], request_class="interactive"
+                    ),
+                    # No class field: a v2-style request, counted bulk.
+                    await client.render_frame(cloud, cameras[1]),
+                ]
+                async for _, result in client.stream_trajectory(
+                    cloud, cameras[2:], request_class="prefetch"
+                ):
+                    results.append(result)
+                stats = await client.stats_dict()
+                return hello, results, stats, dict(
+                    service.stats.class_requests
+                )
+            finally:
+                await client.close()
+
+        hello, results, stats, class_requests = run_with_gateway(
+            renderer, body
+        )
+        assert hello["classes"] == ["interactive", "bulk", "prefetch"]
+        assert hello["default_class"] == "bulk"
+        assert class_requests == {
+            "interactive": 1,
+            "bulk": 1,
+            "prefetch": 1,  # one stream, counted once
+        }
+        admission = stats["gateway"]["admission"]
+        assert admission["classes"]["interactive"]["admitted"] == 1
+        assert admission["classes"]["bulk"]["admitted"] == 1
+        assert admission["classes"]["prefetch"]["admitted"] == 1
+        assert admission["pending"] == 0
+        engine = RenderEngine(renderer)
+        for result, camera in zip(results, cameras):
+            assert np.array_equal(
+                result.image, engine.render(cloud, camera).image
+            )
+
+    def test_unknown_class_is_400_and_connection_survives(
+        self, scene, renderer
+    ):
+        cloud, cameras = scene
+
+        async def body(service, gateway):
+            client = await AsyncGatewayClient.connect(
+                "127.0.0.1", gateway.tcp_port
+            )
+            try:
+                with pytest.raises(GatewayError) as excinfo:
+                    await client.render_frame(
+                        cloud, cameras[0], request_class="warp"
+                    )
+                assert excinfo.value.code == int(ErrorCode.BAD_REQUEST)
+                # Nothing was admitted, nothing leaked, connection fine.
+                assert gateway._pending == 0
+                assert gateway.stats.rejected == 0
+                return await client.render_frame(cloud, cameras[0])
+            finally:
+                await client.close()
+
+        result = run_with_gateway(renderer, body)
+        engine = RenderEngine(renderer)
+        assert np.array_equal(
+            result.image, engine.render(cloud, cameras[0]).image
+        )
+
+    def test_shed_429_carries_retry_after_hint(self, scene, renderer):
+        """A shedding gateway answers 429 with the controller's
+        deterministic hint; the protected class still gets through."""
+        cloud, cameras = scene
+
+        async def body(service, gateway):
+            client = await AsyncGatewayClient.connect(
+                "127.0.0.1", gateway.tcp_port
+            )
+            try:
+                gateway.admission.shed_level = 2  # as if interactive violated
+                with pytest.raises(GatewayError) as excinfo:
+                    await client.render_frame(cloud, cameras[0])  # bulk
+                assert excinfo.value.code == int(ErrorCode.REJECTED)
+                assert excinfo.value.retry_after_ms == 200  # 25 * 2**2 * 2
+                assert gateway.stats.rejected == 1
+                assert gateway.stats.errors == 0
+                return await client.render_frame(
+                    cloud, cameras[0], request_class="interactive"
+                )
+            finally:
+                await client.close()
+
+        result = run_with_gateway(renderer, body)
+        engine = RenderEngine(renderer)
+        assert np.array_equal(
+            result.image, engine.render(cloud, cameras[0]).image
+        )
+
+    def test_http_class_param_and_429(self, scene, renderer):
+        cloud, cameras = scene
+
+        async def http_get(port, path):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(f"GET {path} HTTP/1.1\r\nHost: t\r\n\r\n".encode())
+            await writer.drain()
+            data = await reader.read()
+            writer.close()
+            await writer.wait_closed()
+            head, _, body = data.partition(b"\r\n\r\n")
+            return int(head.split(b" ", 2)[1]), body
+
+        async def body(service, gateway):
+            gateway.register_scene("test", cloud, cameras)
+            await gateway.start_http()
+            port = gateway.http_port
+            out = {}
+            out["interactive"] = await http_get(
+                port, "/render?scene=test&view=0&class=interactive"
+            )
+            out["unknown"] = await http_get(
+                port, "/render?scene=test&view=0&class=warp"
+            )
+            gateway.admission.shed_level = 2
+            out["shed"] = await http_get(port, "/render?scene=test&view=1")
+            gateway.admission.shed_level = 0
+            return out, dict(service.stats.class_requests), (
+                gateway.stats.rejected,
+                gateway._pending,
+            )
+
+        out, class_requests, (rejected, pending) = run_with_gateway(
+            renderer, body
+        )
+        assert out["interactive"][0] == 200
+        assert class_requests == {"interactive": 1}
+        assert out["unknown"][0] == 400
+        status, payload = out["shed"]
+        assert status == 429
+        assert json.loads(payload)["retry_after_ms"] == 200
+        assert rejected == 1  # HTTP 429s count like TCP ones
+        assert pending == 0

@@ -1,0 +1,287 @@
+"""Overload soak: the admission-slot invariant under a mixed storm.
+
+The bugfix sweep's acceptance test: after a storm of concurrent
+requests in which some are 429-rejected, some are client-cancelled,
+some disconnect mid-stream and some are malformed, the gateway's
+pending-request count returns to exactly zero — no slot leaks on any
+exit path, TCP or HTTP.  Alongside it, the client pool's jittered
+backoff and its ``retry_after_ms`` floor are pinned down numerically.
+"""
+
+import asyncio
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import GSTGRenderer
+from repro.engine import RenderEngine
+from repro.gaussians.camera import Camera
+from repro.serve import (
+    AsyncGatewayClient,
+    GatewayClientPool,
+    GatewayError,
+    RenderGateway,
+    RenderService,
+)
+from repro.serve import protocol
+from repro.serve.protocol import ErrorCode, MessageType
+from repro.tiles.boundary import BoundaryMethod
+from tests.conftest import make_cloud
+
+
+@pytest.fixture(scope="module")
+def scene():
+    rng = np.random.default_rng(53)
+    cloud = make_cloud(25, rng)
+    cameras = [
+        Camera(width=72, height=48, fx=64.0 + i, fy=64.0 + i)
+        for i in range(3)
+    ]
+    return cloud, cameras
+
+
+@pytest.fixture(scope="module")
+def renderer():
+    return GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE)
+
+
+async def wait_for_drain(gateway, timeout: float = 5.0) -> None:
+    """Poll until every admission slot is back (cancellations settle
+    asynchronously), failing loudly rather than hanging."""
+    deadline = asyncio.get_running_loop().time() + timeout
+    while gateway._pending > 0:
+        if asyncio.get_running_loop().time() > deadline:
+            break
+        await asyncio.sleep(0.01)
+
+
+class TestTcpOverloadSoak:
+    def test_pending_returns_to_zero_after_mixed_storm(
+        self, scene, renderer
+    ):
+        cloud, cameras = scene
+        rejected_seen = 0
+
+        async def polite_render(port):
+            """A bulk one-shot that may be 429'd; both outcomes legal."""
+            nonlocal rejected_seen
+            client = await AsyncGatewayClient.connect("127.0.0.1", port)
+            try:
+                try:
+                    await client.render_frame(cloud, cameras[0])
+                except GatewayError as exc:
+                    assert exc.code == int(ErrorCode.REJECTED)
+                    assert exc.retry_after_ms is not None
+                    rejected_seen += 1
+            finally:
+                await client.close()
+
+        async def abandoned_stream(port):
+            """Start an interactive stream, take one frame, cancel."""
+            nonlocal rejected_seen
+            client = await AsyncGatewayClient.connect("127.0.0.1", port)
+            try:
+                agen = client.stream_trajectory(
+                    cloud, cameras, request_class="interactive"
+                )
+                try:
+                    await agen.__anext__()
+                except GatewayError as exc:
+                    assert exc.code == int(ErrorCode.REJECTED)
+                    rejected_seen += 1
+                finally:
+                    await agen.aclose()
+            finally:
+                await client.close()
+
+        async def rude_stream(port, scene_id):
+            """Start a stream at the protocol level and yank the socket
+            after the first reply frame — the mid-stream disconnect."""
+            nonlocal rejected_seen
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            await protocol.client_hello(reader, writer, None)
+            writer.write(
+                protocol.encode_frame(
+                    MessageType.STREAM,
+                    {
+                        "request_id": 1,
+                        "scene_id": scene_id,
+                        "cameras": [
+                            protocol.encode_camera(camera)
+                            for camera in cameras
+                        ],
+                        "class": "interactive",
+                    },
+                )
+            )
+            await writer.drain()
+            frame = await protocol.read_frame(reader)
+            if frame is not None and frame.type is MessageType.ERROR:
+                assert int(frame.header["code"]) == int(ErrorCode.REJECTED)
+                rejected_seen += 1
+            writer.transport.abort()
+
+        async def malformed(port):
+            """Unknown class: a 400, and nothing may leak from the
+            admit-then-decode-fails path."""
+            client = await AsyncGatewayClient.connect("127.0.0.1", port)
+            try:
+                with pytest.raises(GatewayError) as excinfo:
+                    await client.render_frame(
+                        cloud, cameras[0], request_class="warp"
+                    )
+                assert excinfo.value.code == int(ErrorCode.BAD_REQUEST)
+            finally:
+                await client.close()
+
+        async def main():
+            async with RenderService(
+                renderer, max_batch_size=4, max_wait=0.05
+            ) as service:
+                gateway = RenderGateway(service, max_pending=2)
+                await gateway.start()
+                try:
+                    seed_client = await AsyncGatewayClient.connect(
+                        "127.0.0.1", gateway.tcp_port
+                    )
+                    scene_id = await seed_client.ensure_scene(cloud)
+                    port = gateway.tcp_port
+                    await asyncio.gather(
+                        *[polite_render(port) for _ in range(6)],
+                        *[abandoned_stream(port) for _ in range(3)],
+                        *[rude_stream(port, scene_id) for _ in range(2)],
+                        *[malformed(port) for _ in range(2)],
+                    )
+                    await wait_for_drain(gateway)
+                    invariants = (
+                        gateway._pending,
+                        dict(gateway.admission.pending),
+                        gateway.stats.rejected,
+                    )
+                    # The freed capacity is immediately usable again.
+                    result = await seed_client.render_frame(
+                        cloud, cameras[0]
+                    )
+                    await seed_client.close()
+                    return invariants, result
+                finally:
+                    await gateway.close()
+
+        (pending, per_class, rejected), result = asyncio.run(main())
+        assert pending == 0
+        assert all(count == 0 for count in per_class.values()), per_class
+        assert rejected == rejected_seen  # every 429 was counted, once
+        engine = RenderEngine(renderer)
+        assert np.array_equal(
+            result.image, engine.render(cloud, cameras[0]).image
+        )
+
+
+class TestHttpOverloadSoak:
+    def test_pending_returns_to_zero_after_mixed_storm(
+        self, scene, renderer
+    ):
+        cloud, cameras = scene
+
+        async def http_status(port, path, *, abort_after_status=False):
+            """GET ``path``; optionally vanish right after the status
+            line (the HTTP mid-body disconnect)."""
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(f"GET {path} HTTP/1.1\r\nHost: t\r\n\r\n".encode())
+            await writer.drain()
+            status_line = await reader.readline()
+            status = int(status_line.split(b" ", 2)[1])
+            if abort_after_status:
+                writer.transport.abort()
+                return status
+            await reader.read()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            return status
+
+        async def main():
+            async with RenderService(
+                renderer, max_batch_size=4, max_wait=0.05
+            ) as service:
+                gateway = RenderGateway(service, max_pending=1)
+                gateway.register_scene("test", cloud, cameras)
+                await gateway.start()
+                await gateway.start_http()
+                try:
+                    port = gateway.http_port
+                    statuses = await asyncio.gather(
+                        *[
+                            http_status(port, "/render?scene=test&view=0")
+                            for _ in range(5)
+                        ],
+                        *[
+                            http_status(
+                                port,
+                                "/stream?scene=test",
+                                abort_after_status=True,
+                            )
+                            for _ in range(3)
+                        ],
+                        http_status(
+                            port, "/render?scene=test&view=0&class=warp"
+                        ),
+                    )
+                    await wait_for_drain(gateway)
+                    invariants = (
+                        gateway._pending,
+                        dict(gateway.admission.pending),
+                        gateway.stats.rejected,
+                    )
+                    final = await http_status(
+                        port, "/render?scene=test&view=0"
+                    )
+                    return statuses, invariants, final
+                finally:
+                    await gateway.close()
+
+        statuses, (pending, per_class, rejected), final = asyncio.run(main())
+        assert pending == 0
+        assert all(count == 0 for count in per_class.values()), per_class
+        assert statuses[-1] == 400  # the unknown class
+        # HTTP 429s land in stats.rejected exactly like TCP ones.
+        assert rejected == sum(1 for s in statuses if s == 429)
+        assert all(s in (200, 429, 400) for s in statuses)
+        assert final == 200  # all capacity recovered
+
+
+class TestPoolBackoff:
+    def make_pool(self, **kwargs):
+        kwargs.setdefault("backoff", 0.1)
+        kwargs.setdefault("backoff_cap", 0.4)
+        pool = GatewayClientPool("127.0.0.1", 1, **kwargs)
+        pool._rng = random.Random(1234)  # deterministic jitter in tests
+        return pool
+
+    def test_delay_is_jittered_exponential_with_cap(self):
+        pool = self.make_pool()
+        seen = set()
+        for attempt in range(5):
+            base = min(0.1 * 2**attempt, 0.4)
+            for _ in range(50):
+                delay = pool._retry_delay(attempt, None)
+                assert 0.5 * base <= delay <= 1.5 * base
+                seen.add(round(delay, 6))
+        # Jitter means the delays actually spread (no thundering herd).
+        assert len(seen) > 10
+
+    def test_server_hint_floors_the_delay(self):
+        pool = self.make_pool()
+        for _ in range(50):
+            assert pool._retry_delay(0, 500) >= 0.5
+        # A tiny hint never *shortens* the computed backoff.
+        base = min(0.1 * 2**3, 0.4)
+        for _ in range(50):
+            assert pool._retry_delay(3, 1) >= 0.5 * base
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GatewayClientPool("127.0.0.1", 1, backoff=0.5, backoff_cap=0.1)

@@ -94,6 +94,24 @@ class TestMechanics:
         assert policy.batch_size == 32
         assert policy.max_wait == policy.max_wait_cap
 
+    def test_bind_clears_partial_latency_window(self):
+        """Rebinding discards samples measured under the previous knobs.
+
+        Regression: bind() used to keep the partial window, so the
+        first post-rebind adapt() acted on the old regime's latencies —
+        here three 1 s outliers that would force a shrink despite every
+        post-rebind request being fast."""
+        policy = AdaptiveBatchPolicy(target_p95=0.05, window=4, batch_size=8)
+        for _ in range(3):
+            policy.observe(1.0)  # stale: pre-rebind regime
+        policy.bind(8, 0.002)
+        for _ in range(3):
+            assert not policy.observe(0.001)  # window restarted from zero
+        assert policy.observe(0.001)
+        policy.adapt()
+        assert policy.last.action == "grow"  # not shrink: outliers gone
+        assert policy.last.p95 == pytest.approx(0.001)
+
     def test_validation(self):
         with pytest.raises(ValueError):
             AdaptiveBatchPolicy(target_p95=0.0)
