@@ -149,7 +149,9 @@ async def main() -> None:
             for line in dechunk(body).decode().splitlines()
             if line
         ]
+        eos = records.pop()  # terminal end-of-stream record
         assert status.endswith("200 OK") and len(records) == 3
+        assert eos == {"type": "eos", "frames": 3}, eos
         direct = RenderEngine(renderer).render(scenes[1].cloud, orbits[1][0])
         import hashlib
 

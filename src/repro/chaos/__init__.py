@@ -1,0 +1,29 @@
+"""repro.chaos — deterministic fault injection for the serving stack.
+
+A :class:`ChaosProxy` is a localhost TCP proxy that sits between any
+two layers of the stack (client ↔ router, router ↔ backend, client ↔
+gateway) and injects faults — added latency, read/write stalls,
+partial writes, byte corruption, and mid-stream connection resets — on
+a *reproducible* schedule.  All randomness happens at schedule
+construction time (:meth:`ChaosSchedule.random` is a pure function of
+its seed); the proxy itself is driven purely by byte offsets in the
+relayed stream, so a given schedule injects the same faults at the
+same stream positions on every run.
+
+This is the falsifier for the robustness claims the serving stack
+makes: deadlines fire instead of hanging, corrupt frames become
+failovers instead of served bytes, stalled backends are abandoned in
+seconds.  ``docs/robustness.md`` describes the failure model; the
+chaos soak in ``tests/chaos/test_soak.py`` is the executable version.
+"""
+
+from repro.chaos.faults import ChaosSchedule, ChaosStats, Fault, FaultKind
+from repro.chaos.proxy import ChaosProxy
+
+__all__ = [
+    "ChaosProxy",
+    "ChaosSchedule",
+    "ChaosStats",
+    "Fault",
+    "FaultKind",
+]

@@ -1,0 +1,199 @@
+"""Fault schedules: what the chaos proxy injects, where, and when.
+
+A :class:`Fault` is one injected event, anchored to a byte offset in
+one direction of one proxied connection — *stream positions, not wall
+clock*, which is what makes schedules reproducible: the relayed byte
+stream of a deterministic workload is identical run to run, so the
+same schedule corrupts the same byte, stalls at the same frame
+boundary, and resets mid-way through the same blob every time.
+
+Schedules come from two places:
+
+* hand-written — tests that need a *specific* failure ("corrupt one
+  FRAME blob on backend b1's link") list explicit faults per
+  connection index;
+* :meth:`ChaosSchedule.random` — a seeded generator for soak-style
+  coverage.  It consumes its :class:`random.Random` entirely at
+  construction time and returns plain data, so the same seed always
+  yields the same schedule (and the schedule can be printed, logged,
+  and replayed).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["Fault", "FaultKind", "ChaosSchedule", "ChaosStats"]
+
+
+class FaultKind(str, Enum):
+    """The five injectable fault families."""
+
+    #: One-shot extra latency: the proxy holds the stream for
+    #: ``duration`` seconds when the trigger offset is reached, then
+    #: resumes relaying.  Models a routing hiccup / GC pause.
+    DELAY = "delay"
+    #: A stall: bytes before the trigger offset are flushed, then the
+    #: direction goes silent for ``duration`` seconds (``inf`` = until
+    #: the connection dies).  The peer is alive at the TCP level — the
+    #: connection stays open — which is exactly the failure health
+    #: probes cannot see and inter-frame gap watching must.
+    STALL = "stall"
+    #: Flip the byte at the trigger offset (XOR ``xor_mask``).  Framing
+    #: survives; payload bytes lie.  This is what per-frame checksums
+    #: exist to catch.
+    CORRUPT = "corrupt"
+    #: Abort both sides of the connection once the trigger offset has
+    #: been relayed: a mid-stream TCP reset.
+    RESET = "reset"
+    #: From the trigger offset on, writes are chopped into
+    #: ``chop_bytes``-sized pieces with a drain between each: maximally
+    #: adversarial packetisation for ``readexactly``-style parsers.
+    CHOP = "chop"
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault, anchored to a relayed-byte offset.
+
+    ``direction`` is from the proxy's point of view: ``"downstream"``
+    faults the server→client byte stream (rendered frames), and
+    ``"upstream"`` the client→server stream (requests, scene pushes).
+    """
+
+    kind: FaultKind
+    after_bytes: int = 0
+    direction: str = "downstream"
+    duration: float = 0.0
+    xor_mask: int = 0x01
+    chop_bytes: int = 7
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("downstream", "upstream"):
+            raise ValueError(f"bad fault direction {self.direction!r}")
+        if self.after_bytes < 0:
+            raise ValueError("after_bytes must be >= 0")
+        if self.kind is FaultKind.CORRUPT and not 1 <= self.xor_mask <= 255:
+            raise ValueError("xor_mask must flip at least one bit (1..255)")
+        if self.kind is FaultKind.CHOP and self.chop_bytes < 1:
+            raise ValueError("chop_bytes must be >= 1")
+        if self.duration < 0:
+            raise ValueError("duration must be >= 0 (inf allowed)")
+
+
+@dataclass
+class ChaosSchedule:
+    """Faults per proxied connection, keyed by accept order.
+
+    Connection ``0`` is the first connection the proxy accepts,
+    ``1`` the second, and so on; connections with no entry relay
+    cleanly.  ``default`` (if given) applies to every connection
+    without an explicit entry — useful for "every reconnect stalls"
+    scenarios.
+    """
+
+    per_connection: "dict[int, list[Fault]]" = field(default_factory=dict)
+    default: "list[Fault]" = field(default_factory=list)
+
+    def for_connection(self, index: int) -> "list[Fault]":
+        faults = self.per_connection.get(index, self.default)
+        return sorted(faults, key=lambda f: f.after_bytes)
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        *,
+        connections: int = 4,
+        faults_per_connection: int = 2,
+        max_offset: int = 1 << 20,
+        kinds: "tuple[FaultKind, ...]" = (
+            FaultKind.DELAY,
+            FaultKind.STALL,
+            FaultKind.CORRUPT,
+            FaultKind.RESET,
+            FaultKind.CHOP,
+        ),
+        max_delay: float = 0.05,
+        stall: float = math.inf,
+    ) -> "ChaosSchedule":
+        """A reproducible schedule: a pure function of ``seed``.
+
+        All randomness is consumed here; the returned schedule is plain
+        data.  At most one connection-killing fault (RESET, or an
+        infinite STALL) is drawn per connection, and it is ordered
+        last, so the preceding faults on that connection still fire.
+        """
+        rng = random.Random(seed)
+        per_connection: "dict[int, list[Fault]]" = {}
+        for conn in range(connections):
+            faults: "list[Fault]" = []
+            terminal: "Fault | None" = None
+            for _ in range(faults_per_connection):
+                kind = kinds[rng.randrange(len(kinds))]
+                offset = rng.randrange(max_offset)
+                direction = "downstream" if rng.random() < 0.8 else "upstream"
+                if kind is FaultKind.DELAY:
+                    faults.append(Fault(
+                        kind, offset, direction,
+                        duration=rng.uniform(0.0, max_delay),
+                    ))
+                elif kind is FaultKind.STALL:
+                    if terminal is None and math.isinf(stall):
+                        terminal = Fault(kind, offset, direction, duration=stall)
+                    else:
+                        faults.append(Fault(
+                            kind, offset, direction,
+                            duration=min(stall, rng.uniform(0.0, max_delay)),
+                        ))
+                elif kind is FaultKind.CORRUPT:
+                    faults.append(Fault(
+                        kind, offset, direction,
+                        xor_mask=rng.randrange(1, 256),
+                    ))
+                elif kind is FaultKind.RESET:
+                    if terminal is None:
+                        terminal = Fault(kind, offset, direction)
+                elif kind is FaultKind.CHOP:
+                    faults.append(Fault(
+                        kind, offset, direction,
+                        chop_bytes=rng.randrange(1, 16),
+                    ))
+            if terminal is not None:
+                # Anchor the killer past every survivable fault so none
+                # of them is made unreachable by the connection dying.
+                anchor = max(
+                    [f.after_bytes for f in faults] + [terminal.after_bytes]
+                )
+                terminal = Fault(
+                    terminal.kind, anchor, terminal.direction,
+                    duration=terminal.duration,
+                )
+                faults.append(terminal)
+            if faults:
+                per_connection[conn] = faults
+        return cls(per_connection)
+
+
+@dataclass
+class ChaosStats:
+    """What a proxy actually injected — the test's assertion surface.
+
+    ``events`` records ``(connection, direction, kind, after_bytes)``
+    tuples in injection order; the counters summarise them.
+    """
+
+    connections: int = 0
+    events: "list[tuple[int, str, str, int]]" = field(default_factory=list)
+
+    def record(self, conn: int, direction: str, fault: Fault) -> None:
+        self.events.append(
+            (conn, direction, fault.kind.value, fault.after_bytes)
+        )
+
+    def count(self, kind: "FaultKind | str") -> int:
+        wanted = kind.value if isinstance(kind, FaultKind) else kind
+        return sum(1 for _, _, k, _ in self.events if k == wanted)

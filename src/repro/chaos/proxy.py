@@ -1,0 +1,205 @@
+"""The chaos proxy: a TCP relay that injects scheduled faults.
+
+``ChaosProxy`` listens on a localhost port and relays every accepted
+connection to a fixed upstream ``(host, port)``, applying the
+:class:`~repro.chaos.faults.ChaosSchedule` entry for that connection's
+accept index.  Faults trigger on *relayed byte offsets*, never wall
+clock, so a deterministic workload behind a deterministic schedule
+reproduces bit-for-bit (see the module docstring of
+:mod:`repro.chaos.faults`).
+
+Usage::
+
+    proxy = ChaosProxy("127.0.0.1", backend_port, schedule=schedule)
+    await proxy.start()
+    ...  # point the router/client at proxy.port instead of backend_port
+    await proxy.close()
+
+The proxy is transparent when the schedule is empty — tests can assert
+a workload behaves identically through a fault-free proxy before
+turning faults on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+
+from repro.chaos.faults import ChaosSchedule, ChaosStats, Fault, FaultKind
+
+__all__ = ["ChaosProxy"]
+
+_CHUNK = 65536
+
+
+class _ConnState:
+    """Shared per-connection state between the two pump directions."""
+
+    __slots__ = ("client_writer", "upstream_writer", "reset")
+
+    def __init__(self, client_writer, upstream_writer) -> None:
+        self.client_writer = client_writer
+        self.upstream_writer = upstream_writer
+        self.reset = False
+
+    def abort(self) -> None:
+        """Tear both sides down immediately (the RESET fault)."""
+        self.reset = True
+        for writer in (self.client_writer, self.upstream_writer):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+
+
+class ChaosProxy:
+    """A deterministic fault-injecting TCP proxy (see module docstring)."""
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        *,
+        schedule: "ChaosSchedule | None" = None,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.schedule = schedule if schedule is not None else ChaosSchedule()
+        self.host = host
+        self.stats = ChaosStats()
+        self._server: "asyncio.base_events.Server | None" = None
+        self._tasks: "set[asyncio.Task]" = set()
+        self._accepted = 0
+
+    async def start(self, port: int = 0) -> "ChaosProxy":
+        if self._server is not None:
+            raise RuntimeError("proxy already started")
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=port
+        )
+        return self
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("proxy not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._tasks):
+            task.cancel()
+        for task in list(self._tasks):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._tasks.clear()
+
+    # -- per-connection plumbing -----------------------------------------
+    async def _handle(self, reader, writer) -> None:
+        index = self._accepted
+        self._accepted += 1
+        self.stats.connections += 1
+        faults = self.schedule.for_connection(index)
+        try:
+            up_reader, up_writer = await asyncio.open_connection(
+                self.upstream_host, self.upstream_port
+            )
+        except OSError:
+            writer.transport.abort()
+            return
+        conn = _ConnState(writer, up_writer)
+        down = [f for f in faults if f.direction == "downstream"]
+        up = [f for f in faults if f.direction == "upstream"]
+        pumps = [
+            asyncio.ensure_future(
+                self._pump(up_reader, writer, down, index, "downstream", conn)
+            ),
+            asyncio.ensure_future(
+                self._pump(reader, up_writer, up, index, "upstream", conn)
+            ),
+        ]
+        for pump in pumps:
+            self._tasks.add(pump)
+            pump.add_done_callback(self._tasks.discard)
+        try:
+            await asyncio.gather(*pumps, return_exceptions=True)
+        finally:
+            for w in (writer, up_writer):
+                try:
+                    w.close()
+                except Exception:
+                    pass
+
+    async def _pump(
+        self,
+        reader,
+        writer,
+        faults: "list[Fault]",
+        index: int,
+        direction: str,
+        conn: _ConnState,
+    ) -> None:
+        """Relay one direction, firing ``faults`` at their byte offsets."""
+        relayed = 0
+        pending = list(faults)  # already offset-sorted by the schedule
+        chop: "Fault | None" = None
+        try:
+            while not conn.reset:
+                chunk = await reader.read(_CHUNK)
+                if not chunk:
+                    break
+                start = relayed
+                relayed += len(chunk)
+                # Fire every fault whose trigger lands inside this chunk.
+                while pending and pending[0].after_bytes < relayed:
+                    fault = pending.pop(0)
+                    cut = max(0, fault.after_bytes - start)
+                    self.stats.record(index, direction, fault)
+                    if fault.kind is FaultKind.CORRUPT:
+                        chunk = (
+                            chunk[:cut]
+                            + bytes([chunk[cut] ^ fault.xor_mask])
+                            + chunk[cut + 1:]
+                        )
+                    elif fault.kind is FaultKind.DELAY:
+                        await self._write(writer, chunk[:cut], chop)
+                        chunk, start = chunk[cut:], start + cut
+                        await asyncio.sleep(fault.duration)
+                    elif fault.kind is FaultKind.STALL:
+                        await self._write(writer, chunk[:cut], chop)
+                        chunk, start = chunk[cut:], start + cut
+                        if math.isinf(fault.duration):
+                            await asyncio.Event().wait()  # until cancelled
+                        await asyncio.sleep(fault.duration)
+                    elif fault.kind is FaultKind.RESET:
+                        await self._write(writer, chunk[:cut], chop)
+                        conn.abort()
+                        return
+                    elif fault.kind is FaultKind.CHOP:
+                        chop = fault
+                await self._write(writer, chunk, chop)
+            if not conn.reset:
+                try:
+                    writer.write_eof()  # half-close: preserve FIN semantics
+                except (OSError, RuntimeError):
+                    pass
+        except (ConnectionError, OSError):
+            pass
+
+    @staticmethod
+    async def _write(writer, data: bytes, chop: "Fault | None") -> None:
+        if not data:
+            return
+        if chop is None:
+            writer.write(data)
+            await writer.drain()
+            return
+        for i in range(0, len(data), chop.chop_bytes):
+            writer.write(data[i : i + chop.chop_bytes])
+            await writer.drain()
+            await asyncio.sleep(0)  # force separate transport writes

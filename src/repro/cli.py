@@ -367,7 +367,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             try:
                 if args.listen:
                     print("serving until interrupted (Ctrl-C to stop)")
-                    await asyncio.Event().wait()
+                    stop = asyncio.Event()
+                    loop = asyncio.get_running_loop()
+                    for signum in (signal.SIGTERM, signal.SIGINT):
+                        try:
+                            loop.add_signal_handler(signum, stop.set)
+                        except (NotImplementedError, RuntimeError):
+                            break  # non-Unix loop: Ctrl-C still works
+                    await stop.wait()
+                    if args.drain_grace > 0:
+                        clean = await gateway.drain(args.drain_grace)
+                        print(
+                            "drained cleanly"
+                            if clean
+                            else "drain grace expired with requests in flight"
+                        )
                     return None
                 clients = [
                     await AsyncGatewayClient.connect(
@@ -563,7 +577,21 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         try:
             if args.listen:
                 print("serving until interrupted (Ctrl-C to stop)")
-                await asyncio.Event().wait()
+                stop = asyncio.Event()
+                loop = asyncio.get_running_loop()
+                for signum in (signal.SIGTERM, signal.SIGINT):
+                    try:
+                        loop.add_signal_handler(signum, stop.set)
+                    except (NotImplementedError, RuntimeError):
+                        break  # non-Unix loop: Ctrl-C still works
+                await stop.wait()
+                if args.drain_grace > 0:
+                    clean = await router.drain(args.drain_grace)
+                    print(
+                        "drained cleanly"
+                        if clean
+                        else "drain grace expired with requests in flight"
+                    )
                 return 0
             scenes = [
                 load_scene(name, resolution_scale=args.scale, seed=args.seed)
@@ -787,6 +815,12 @@ def build_parser() -> argparse.ArgumentParser:
         "interrupted instead of running the built-in load generator",
     )
     serve.add_argument(
+        "--drain-grace", type=float, default=5.0,
+        help="with --listen: seconds to let in-flight requests finish "
+        "after SIGTERM/SIGINT (new requests get a 503 with a "
+        "retry_after_ms hint meanwhile; 0 closes abruptly)",
+    )
+    serve.add_argument(
         "--port", type=int, default=0,
         help="TCP gateway port (0 picks a free one)",
     )
@@ -885,6 +919,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--listen", action="store_true",
         help="serve (TCP router + HTTP front end) until interrupted "
         "instead of running the built-in load generator",
+    )
+    cluster.add_argument(
+        "--drain-grace", type=float, default=5.0,
+        help="with --listen: seconds to let in-flight relays finish "
+        "after SIGTERM/SIGINT (new requests get a 503 with a "
+        "retry_after_ms hint meanwhile; 0 closes abruptly)",
     )
     cluster.add_argument(
         "--http", action="store_true",

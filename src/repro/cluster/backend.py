@@ -13,8 +13,11 @@ fleets never fight over ports), and later kills them — including with
 SIGKILL, which is exactly the mid-stream backend death the router's
 failover tests exercise.
 
-The process serves until SIGTERM/SIGINT, then closes the gateway,
-service and shared render cache in order.  The shared-secret token is
+The process serves until SIGTERM/SIGINT, then *drains*: listeners
+close, new requests get a 503 with a ``retry_after_ms`` hint, and
+in-flight streams get ``--drain-grace`` seconds to finish before the
+gateway, service and shared render cache close in order (exit code 0
+when everything in flight completed).  The shared-secret token is
 taken from :data:`repro.serve.auth.AUTH_TOKEN_ENV` (never argv — token
 arguments leak via ``ps``; the supervisor passes it through the child
 environment).
@@ -101,6 +104,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--bulk-slo-ms", type=float, default=None,
         help="p95 SLO target for the bulk class in milliseconds",
     )
+    parser.add_argument(
+        "--drain-grace", type=float, default=5.0,
+        help="seconds to let in-flight requests finish after SIGTERM/"
+        "SIGINT before the hard close (0 disables graceful drain)",
+    )
     return parser
 
 
@@ -129,8 +137,14 @@ def _make_renderer(args: argparse.Namespace):
     return BaselineRenderer(args.tile_size, method)
 
 
-async def _serve(args: argparse.Namespace, cache) -> None:
-    """Bind, announce READY, serve until a termination signal."""
+async def _serve(args: argparse.Namespace, cache) -> bool:
+    """Bind, announce READY, serve until a termination signal.
+
+    Returns True for a clean exit: either nothing was in flight, or
+    graceful drain finished every in-flight request within
+    ``--drain-grace`` (new requests are refused with a 503 carrying a
+    ``retry_after_ms`` hint while the drain runs).
+    """
     service = RenderService(
         _make_renderer(args),
         cache=cache,
@@ -166,11 +180,16 @@ async def _serve(args: argparse.Namespace, cache) -> None:
         f"http={http}",
         flush=True,
     )
+    drained = True
     try:
         await stop.wait()
     finally:
-        await gateway.close()
+        if args.drain_grace > 0:
+            drained = await gateway.drain(args.drain_grace)
+        else:
+            await gateway.close()
         await service.close()
+    return drained
 
 
 def _die_with_parent() -> None:
@@ -199,14 +218,15 @@ def main(argv: "list[str] | None" = None) -> int:
         cache = SharedRenderCache(
             max_entries=args.cache_frames if args.cache_frames > 0 else None
         )
+    clean = True
     try:
-        asyncio.run(_serve(args, cache))
+        clean = asyncio.run(_serve(args, cache))
     except KeyboardInterrupt:
         pass
     finally:
         if cache is not None:
             cache.close()
-    return 0
+    return 0 if clean else 1
 
 
 if __name__ == "__main__":

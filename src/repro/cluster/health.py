@@ -13,6 +13,10 @@ consults.  Two signal sources feed it:
 * **Reports** — the router calls :meth:`report_failure` when a live
   request hits a connect failure or mid-stream disconnect, so markdown
   does not wait for the next probe tick.
+* **Drain announcements** — a backend that answers a request with a
+  503 carrying ``draining: true`` is leaving *on purpose*; the router
+  calls :meth:`set_draining` and the backend is gated off for new
+  placements immediately, with no hysteresis (see the method docs).
 
 The state machine has **hysteresis** in both directions, the classic
 flap damper: an *up* backend is marked down only after ``down_after``
@@ -47,6 +51,7 @@ class BackendHealth:
     consecutive pair, which reset on every opposite observation)."""
 
     up: bool = True
+    draining: bool = False
     consecutive_failures: int = 0
     consecutive_successes: int = 0
     probes: int = 0
@@ -59,6 +64,7 @@ class BackendHealth:
         """JSON-safe view for ``/stats`` and STATS_OK payloads."""
         return {
             "up": self.up,
+            "draining": self.draining,
             "consecutive_failures": self.consecutive_failures,
             "probes": self.probes,
             "failures": self.failures,
@@ -200,9 +206,16 @@ class HealthMonitor:
         return entry
 
     def is_up(self, backend_id: str) -> bool:
-        """Routing's question; unknown backends are optimistically up."""
+        """Routing's question; unknown backends are optimistically up.
+
+        A *draining* backend answers False here immediately — no
+        hysteresis.  Drain is an announced, deliberate departure (the
+        backend said so on a live connection), not a noisy signal to be
+        damped, and every request placed on it during the damping
+        window would burn a client retry for nothing.
+        """
         entry = self._health.get(backend_id)
-        return True if entry is None else entry.up
+        return True if entry is None else (entry.up and not entry.draining)
 
     def health(self, backend_id: str) -> BackendHealth:
         """The full ledger for one backend (created on first ask)."""
@@ -224,6 +237,10 @@ class HealthMonitor:
         entry = self._entry(backend_id)
         entry.probes += 1
         if ok:
+            # A probe success means a *new* connection round-tripped —
+            # a draining process has its listeners closed, so this is
+            # a restarted (or un-drained) backend rejoining.
+            entry.draining = False
             entry.consecutive_failures = 0
             entry.consecutive_successes += 1
             if not entry.up and entry.consecutive_successes >= self.up_after:
@@ -250,6 +267,21 @@ class HealthMonitor:
         cycle would.  Returns True if this report flipped it down.
         """
         return self.observe(backend_id, False, error=error)
+
+    def set_draining(self, backend_id: str, *, error: str = "draining") -> None:
+        """A backend announced drain: gate it off *now* for new work.
+
+        Unlike :meth:`report_failure` this skips the ``down_after``
+        hysteresis — the signal is the backend's own 503 with
+        ``draining: true`` on a live connection, which cannot be a
+        flap.  The flag clears on the next successful probe (only a
+        restarted backend accepts new connections again).
+        """
+        entry = self._entry(backend_id)
+        if not entry.draining:
+            entry.draining = True
+            entry.last_error = error
+            entry.last_change_monotonic = time.monotonic()
 
     # -- the probe loop --------------------------------------------------
     async def probe_once(self, spec: BackendSpec) -> bool:

@@ -33,7 +33,29 @@ Relayed frames are **bit-identical end to end**: the router decodes
 only JSON headers (to rewrite ``request_id``/``index``) and passes
 every binary blob — scene arrays, rendered images — through untouched,
 reusing the protocol codecs unchanged.  What the client receives is
-byte-for-byte what a single gateway would have sent.
+byte-for-byte what a single gateway would have sent.  The invariant is
+*checked*, not assumed: FRAMEs carry a ``sha256`` of their blob and
+the router verifies it before relaying — a backend (or the path to
+it) corrupting bytes is severed and failed over exactly like one that
+died, so a corrupt frame is never served (see
+:func:`repro.serve.protocol.verify_frame_checksum`).
+
+Three more robustness behaviours ride the same relay machinery:
+
+* **End-to-end deadlines** — a ``deadline_ms`` on RENDER/STREAM is
+  pinned on arrival and the *remaining* budget is forwarded to each
+  backend attempt; every backend wait and failover retry is bounded by
+  it, and expiry answers a 504 ``DEADLINE_EXCEEDED`` rather than a
+  late success.  Requests without the field behave exactly as before.
+* **Write deadlines** — no client or backend write may block the
+  router forever: drains are bounded by ``write_timeout`` (and the
+  request deadline when one is set); a stalled peer is aborted.
+* **Graceful drain** — :meth:`ShardRouter.drain` stops accepting,
+  answers new requests 503 + ``retry_after_ms`` + ``draining: true``,
+  finishes in-flight relays within the grace period, and says BYE.
+  Symmetrically, a *backend's* draining 503 routes around it at once:
+  :meth:`HealthMonitor.set_draining` gates it for new placements with
+  no hysteresis while in-flight streams keep relaying.
 
 The router holds no render state: no engine, no caches, no scene
 clouds (just the raw SCENE frames it may need to re-push).  Losing a
@@ -51,6 +73,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import time
 from dataclasses import asdict, dataclass
 from urllib.parse import parse_qsl, urlsplit
 
@@ -140,11 +163,13 @@ class BackendLink:
         auth_token: "str | None" = None,
         connect_timeout: float = 5.0,
         control_timeout: float = 30.0,
+        write_timeout: "float | None" = 30.0,
     ) -> None:
         self.spec = spec
         self.auth_token = auth_token
         self.connect_timeout = connect_timeout
         self.control_timeout = control_timeout
+        self.write_timeout = write_timeout
         self.pushed_scenes: "set[str]" = set()
         self._reader: "asyncio.StreamReader | None" = None
         self._writer: "asyncio.StreamWriter | None" = None
@@ -262,13 +287,23 @@ class BackendLink:
             self.pushed_scenes.clear()
 
     async def send(self, payload: bytes) -> None:
-        """Write one frame; a dead socket raises :class:`LinkLostError`."""
+        """Write one frame; a dead socket raises :class:`LinkLostError`.
+
+        The drain is bounded by ``write_timeout``: a backend that stops
+        reading (wedged process, full socket buffers behind a stalled
+        host) is indistinguishable from a dead one to the router, so
+        the transport is aborted and the caller fails over.
+        """
         if self._writer is None or not self.connected:
             raise LinkLostError(f"link to {self.spec.backend_id} is down")
         try:
             async with self._wlock:
                 self._writer.write(payload)
-                await self._writer.drain()
+                await protocol.drain_within(
+                    self._writer,
+                    self.write_timeout,
+                    f"write to backend {self.spec.backend_id}",
+                )
         except (ConnectionError, OSError) as exc:
             raise LinkLostError(
                 f"write to backend {self.spec.backend_id} failed: {exc}"
@@ -437,6 +472,12 @@ class ShardRouter:
         reported to the monitor, and the request fails over like any
         other backend death, so a half-dead backend can never hang a
         client while healthy replicas exist.
+    write_timeout:
+        Stall bound on every outbound drain (client relays, backend
+        sends, proxied HTTP chunks).  A peer that stops *reading* is
+        aborted after this many seconds instead of parking the relay
+        task forever on a full socket buffer.  ``None`` disables the
+        bound (the pre-deadline behaviour).
     """
 
     def __init__(
@@ -451,6 +492,7 @@ class ShardRouter:
         backend_auth_token: "str | None" = None,
         monitor: "HealthMonitor | None" = None,
         request_timeout: float = 60.0,
+        write_timeout: "float | None" = 30.0,
     ) -> None:
         if admission is None:
             if max_pending < 1:
@@ -460,6 +502,8 @@ class ShardRouter:
             raise ValueError("max_scenes must be positive")
         if request_timeout <= 0:
             raise ValueError("request_timeout must be positive")
+        if write_timeout is not None and write_timeout <= 0:
+            raise ValueError("write_timeout must be positive (or None)")
         self.topology = cluster_map
         self.host = host
         self.admission = admission
@@ -470,6 +514,7 @@ class ShardRouter:
             resolve_auth_token(backend_auth_token) or self.auth_token
         )
         self.request_timeout = request_timeout
+        self.write_timeout = write_timeout
         self._own_monitor = monitor is None
         self.health = monitor or HealthMonitor(
             cluster_map, auth_token=self.backend_auth_token
@@ -480,7 +525,10 @@ class ShardRouter:
         self._server: "asyncio.base_events.Server | None" = None
         self._http_server: "asyncio.base_events.Server | None" = None
         self._conn_tasks: "set[asyncio.Task]" = set()
+        self._conns: "set[_ClientConn]" = set()
         self._closing = False
+        self._draining = False
+        self._drain_hint_ms: "int | None" = None
 
     @property
     def _pending(self) -> int:
@@ -499,6 +547,13 @@ class ShardRouter:
         if self._closing:
             raise ProtocolError(
                 "router is shutting down", code=ErrorCode.SHUTTING_DOWN
+            )
+        if self._draining:
+            raise ProtocolError(
+                "router is draining",
+                code=ErrorCode.SHUTTING_DOWN,
+                retry_after_ms=self._drain_hint_ms,
+                draining=True,
             )
         try:
             ticket = self.admission.admit(request_class)
@@ -542,6 +597,49 @@ class ShardRouter:
         assert self._http_server is not None, "HTTP front end not started"
         return self._http_server.sockets[0].getsockname()[1]
 
+    async def drain(
+        self, grace: float = 30.0, *, retry_after_ms: "int | None" = None
+    ) -> bool:
+        """Graceful shutdown: finish in-flight relays, refuse new work.
+
+        Mirrors :meth:`repro.serve.gateway.RenderGateway.drain`: the
+        listeners close, new RENDER/STREAM requests are answered 503
+        with ``retry_after_ms`` (default the grace period) and
+        ``draining: true``, and in-flight relays — including their
+        failover retries — get up to ``grace`` seconds to finish.
+        Clients still connected then receive a best-effort BYE before
+        the hard :meth:`close`.  Returns True when everything in
+        flight completed inside the grace period.
+        """
+        if grace <= 0:
+            raise ValueError("grace must be positive")
+        self._draining = True
+        self._drain_hint_ms = (
+            max(1, int(grace * 1e3)) if retry_after_ms is None
+            else int(retry_after_ms)
+        )
+        for server in (self._server, self._http_server):
+            if server is not None:
+                server.close()
+        deadline = time.monotonic() + grace
+        while (
+            not self._closing
+            and self.admission.total_pending > 0
+            and time.monotonic() < deadline
+        ):
+            await asyncio.sleep(0.02)
+        drained = self.admission.total_pending == 0
+        for conn in list(self._conns):
+            try:
+                await self._send(
+                    conn,
+                    protocol.encode_frame(MessageType.BYE, {"draining": True}),
+                )
+            except (ConnectionError, OSError):
+                pass
+        await self.close()
+        return drained
+
     async def close(self) -> None:
         """Stop listeners, cancel in-flight work, close backend links."""
         self._closing = True
@@ -584,6 +682,7 @@ class ShardRouter:
                 # One deadline policy: control round trips (scene push,
                 # stats) stall on a wedged backend exactly like frames.
                 control_timeout=self.request_timeout,
+                write_timeout=self.write_timeout,
             )
         return link
 
@@ -636,7 +735,10 @@ class ShardRouter:
         self.stats.failovers += 1
 
     async def _backend_frame(
-        self, link: BackendLink, queue: asyncio.Queue
+        self,
+        link: BackendLink,
+        queue: asyncio.Queue,
+        deadline: "float | None" = None,
     ) -> Frame:
         """The next frame for one backend request, deadline-bounded.
 
@@ -644,11 +746,27 @@ class ShardRouter:
         (``request_timeout`` without a frame — the connection is then
         severed so its late output cannot leak) both raise
         :class:`LinkLostError`, which the serve loops turn into
-        failover.
+        failover.  A *request deadline* expiring first is different in
+        kind: the backend is presumed healthy (it was just asked for
+        more than the budget allowed), so the link survives and the
+        caller answers 504 instead of failing over.
         """
+        timeout = self.request_timeout
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise protocol.deadline_expired(
+                    "request deadline exceeded while relaying"
+                )
+            timeout = min(timeout, remaining)
         try:
-            frame = await asyncio.wait_for(queue.get(), self.request_timeout)
+            frame = await asyncio.wait_for(queue.get(), timeout)
         except asyncio.TimeoutError:
+            if deadline is not None and time.monotonic() >= deadline:
+                raise protocol.deadline_expired(
+                    "request deadline exceeded while waiting on "
+                    f"backend {link.spec.backend_id}"
+                ) from None
             link.abort()
             raise LinkLostError(
                 f"backend {link.spec.backend_id} stalled "
@@ -660,6 +778,26 @@ class ShardRouter:
             )
         return frame
 
+    def _checked(self, link: BackendLink, frame: Frame) -> Frame:
+        """Verify a FRAME's blob checksum before it may be relayed.
+
+        A mismatch means the bytes in hand are not the bytes the
+        backend's engine produced — corruption on the backend, in the
+        path, or in the backend's own send pipeline.  Serving them
+        would silently break the bit-identical invariant, so the link
+        is severed and the failure surfaces as :class:`LinkLostError`:
+        the frame is *re-rendered on another replica*, never delivered.
+        """
+        try:
+            protocol.verify_frame_checksum(frame)
+        except ProtocolError as exc:
+            link.abort()
+            raise LinkLostError(
+                f"backend {link.spec.backend_id} relayed a corrupt "
+                f"frame: {exc}"
+            ) from None
+        return frame
+
     # -- client-facing TCP protocol --------------------------------------
     async def _handle_conn(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -667,6 +805,7 @@ class ShardRouter:
         """One client connection: HELLO, AUTH?, dispatch until EOF/BYE."""
         self.stats.connections += 1
         conn = _ClientConn(writer)
+        self._conns.add(conn)
         handler = asyncio.current_task()
         if handler is not None:
             self._conn_tasks.add(handler)
@@ -707,6 +846,7 @@ class ShardRouter:
         except asyncio.CancelledError:
             pass  # router shutdown; fall through to cleanup
         finally:
+            self._conns.discard(conn)
             if handler is not None:
                 self._conn_tasks.discard(handler)
             for task in conn.tasks.values():
@@ -773,6 +913,7 @@ class ShardRouter:
                 exc.code,
                 str(exc),
                 retry_after_ms=exc.retry_after_ms,
+                draining=exc.draining,
             )
         except asyncio.CancelledError:
             raise
@@ -843,19 +984,25 @@ class ShardRouter:
             scene_id = header.get("scene_id")
             if not isinstance(scene_id, str):
                 raise ProtocolError("scene_id must be a string")
+            # Pin the deadline the moment the request is admitted: the
+            # budget on the wire is relative to *arrival here*, and
+            # every backend attempt below is handed only what is left.
+            deadline = protocol.deadline_from_header(header)
             if frame.type is MessageType.RENDER:
                 camera = header.get("camera")
                 if not isinstance(camera, dict):
                     raise ProtocolError("RENDER needs a camera object")
                 coroutine = self._serve_render(
-                    conn, request_id, scene_id, camera, request_class
+                    conn, request_id, scene_id, camera, request_class,
+                    deadline,
                 )
             else:
                 cameras = header.get("cameras")
                 if not isinstance(cameras, list) or not cameras:
                     raise ProtocolError("STREAM needs a non-empty camera list")
                 coroutine = self._serve_stream(
-                    conn, request_id, scene_id, cameras, request_class
+                    conn, request_id, scene_id, cameras, request_class,
+                    deadline,
                 )
             task = asyncio.ensure_future(coroutine)
         except BaseException:
@@ -892,11 +1039,27 @@ class ShardRouter:
         scene_id: str,
         camera: dict,
         request_class: str,
+        deadline: "float | None" = None,
     ) -> None:
-        """Relay one RENDER, retrying whole on replica failover."""
+        """Relay one RENDER, retrying whole on replica failover.
+
+        With a ``deadline``, each backend attempt carries only the
+        *remaining* budget and the failover loop itself is bounded by
+        it — a request that cannot finish in time answers 504, never
+        a late success.
+        """
         excluded: "set[str]" = set()
         started = asyncio.get_running_loop().time()
         while True:
+            if deadline is not None and time.monotonic() >= deadline:
+                self.stats.errors += 1
+                await self._send_error(
+                    conn,
+                    request_id,
+                    ErrorCode.DEADLINE_EXCEEDED,
+                    "request deadline exceeded during failover",
+                )
+                return
             link = await self._acquire_link(scene_id, excluded)
             if link is None:
                 await self._no_replica(conn, request_id)
@@ -904,23 +1067,31 @@ class ShardRouter:
             backend_id, queue = link.open_channel()
             try:
                 await self._ensure_scene_on(link, scene_id)
+                header = {
+                    "request_id": backend_id,
+                    "scene_id": scene_id,
+                    "camera": camera,
+                    "class": request_class,
+                }
+                remaining_ms = protocol.deadline_remaining_ms(deadline)
+                if remaining_ms is not None:
+                    header["deadline_ms"] = remaining_ms
                 await link.send(
-                    protocol.encode_frame(
-                        MessageType.RENDER,
-                        {
-                            "request_id": backend_id,
-                            "scene_id": scene_id,
-                            "camera": camera,
-                            "class": request_class,
-                        },
-                    )
+                    protocol.encode_frame(MessageType.RENDER, header)
                 )
-                frame = await self._backend_frame(link, queue)
+                frame = await self._backend_frame(link, queue, deadline)
+                if frame.type is MessageType.FRAME:
+                    self._checked(link, frame)
             except LinkLostError as exc:
                 self._mark_failover(link, excluded, exc)
                 continue
             except ProtocolError as exc:
-                # _ensure_scene_on refused (e.g. registry full there).
+                # _ensure_scene_on refused (e.g. registry full there),
+                # or the request deadline expired (504) — in which
+                # case the backend may still be rendering: tell it to
+                # stop, the answer can no longer be used.
+                if exc.code is ErrorCode.DEADLINE_EXCEEDED:
+                    await self._cancel_backend(link, backend_id)
                 self.stats.errors += 1
                 await self._send_error(conn, request_id, exc.code, str(exc))
                 return
@@ -944,6 +1115,11 @@ class ShardRouter:
             if frame.type is MessageType.ERROR and int(
                 frame.header.get("code", 0)
             ) == int(ErrorCode.SHUTTING_DOWN):
+                if frame.header.get("draining"):
+                    # An announced departure: gate the backend off for
+                    # new placements immediately (no hysteresis) on
+                    # top of the ordinary failover bookkeeping.
+                    self.health.set_draining(link.spec.backend_id)
                 self._mark_failover(link, excluded, "backend shutting down")
                 continue
             if frame.type is MessageType.FRAME:
@@ -952,7 +1128,7 @@ class ShardRouter:
                     asyncio.get_running_loop().time() - started,
                 )
             try:
-                await self._relay(conn, request_id, frame)
+                await self._relay(conn, request_id, frame, deadline=deadline)
             except (ConnectionError, OSError):
                 # The client vanished while its answer was in hand.
                 self.stats.cancelled_requests += 1
@@ -965,6 +1141,7 @@ class ShardRouter:
         scene_id: str,
         cameras: "list[dict]",
         request_class: str,
+        deadline: "float | None" = None,
     ) -> None:
         """Relay one STREAM with mid-flight failover.
 
@@ -972,7 +1149,10 @@ class ShardRouter:
         backend dies it re-issues the stream on the next replica for
         the *remaining* cameras only and rebases the incoming indices,
         so the client observes one gapless, duplicate-free, ordered
-        stream regardless of how many backends died along the way.
+        stream regardless of how many backends died along the way.  A
+        frame failing its ``sha256`` check is treated as a backend
+        death at that exact point: it is never relayed and never
+        counted, so the resumed suffix re-renders it elsewhere.
 
         Like the gateway, the admission controller observes only the
         time to the *first* relayed frame: later inter-frame gaps
@@ -983,6 +1163,15 @@ class ShardRouter:
         excluded: "set[str]" = set()
         started = asyncio.get_running_loop().time()
         while True:
+            if deadline is not None and time.monotonic() >= deadline:
+                self.stats.errors += 1
+                await self._send_error(
+                    conn,
+                    request_id,
+                    ErrorCode.DEADLINE_EXCEEDED,
+                    f"stream deadline exceeded after {sent} frames",
+                )
+                return
             link = await self._acquire_link(scene_id, excluded)
             if link is None:
                 await self._no_replica(conn, request_id)
@@ -991,20 +1180,22 @@ class ShardRouter:
             try:
                 await self._ensure_scene_on(link, scene_id)
                 base = sent
+                header = {
+                    "request_id": backend_id,
+                    "scene_id": scene_id,
+                    "cameras": cameras[base:],
+                    "class": request_class,
+                }
+                remaining_ms = protocol.deadline_remaining_ms(deadline)
+                if remaining_ms is not None:
+                    header["deadline_ms"] = remaining_ms
                 await link.send(
-                    protocol.encode_frame(
-                        MessageType.STREAM,
-                        {
-                            "request_id": backend_id,
-                            "scene_id": scene_id,
-                            "cameras": cameras[base:],
-                            "class": request_class,
-                        },
-                    )
+                    protocol.encode_frame(MessageType.STREAM, header)
                 )
                 while True:
-                    frame = await self._backend_frame(link, queue)
+                    frame = await self._backend_frame(link, queue, deadline)
                     if frame.type is MessageType.FRAME:
+                        self._checked(link, frame)
                         if sent == 0:
                             self._observe(
                                 request_class,
@@ -1018,6 +1209,7 @@ class ShardRouter:
                             protocol.encode_frame(
                                 MessageType.FRAME, header, frame.blob
                             ),
+                            deadline=deadline,
                         )
                         sent += 1
                         self.stats.frames_relayed += 1
@@ -1028,11 +1220,14 @@ class ShardRouter:
                                 MessageType.END,
                                 {"request_id": request_id, "frames": sent},
                             ),
+                            deadline=deadline,
                         )
                         return
                     elif frame.type is MessageType.ERROR and int(
                         frame.header.get("code", 0)
                     ) == int(ErrorCode.SHUTTING_DOWN):
+                        if frame.header.get("draining"):
+                            self.health.set_draining(link.spec.backend_id)
                         raise LinkLostError(link.spec.backend_id)
                     else:
                         await self._relay(conn, request_id, frame)
@@ -1041,6 +1236,10 @@ class ShardRouter:
                 self._mark_failover(link, excluded, exc)
                 continue
             except ProtocolError as exc:
+                # Scene-push refusal or deadline expiry (504); either
+                # way the backend may still be streaming — cancel it.
+                if exc.code is ErrorCode.DEADLINE_EXCEEDED:
+                    await self._cancel_backend(link, backend_id)
                 self.stats.errors += 1
                 await self._send_error(conn, request_id, exc.code, str(exc))
                 return
@@ -1080,7 +1279,12 @@ class ShardRouter:
             pass
 
     async def _relay(
-        self, conn: _ClientConn, request_id: int, frame: Frame
+        self,
+        conn: _ClientConn,
+        request_id: int,
+        frame: Frame,
+        *,
+        deadline: "float | None" = None,
     ) -> None:
         """Forward a backend frame verbatim except for the request id."""
         header = dict(frame.header)
@@ -1090,7 +1294,9 @@ class ShardRouter:
         elif frame.type is MessageType.FRAME:
             self.stats.frames_relayed += 1
         await self._send(
-            conn, protocol.encode_frame(frame.type, header, frame.blob)
+            conn,
+            protocol.encode_frame(frame.type, header, frame.blob),
+            deadline=deadline,
         )
 
     # -- stats aggregation ----------------------------------------------
@@ -1183,10 +1389,26 @@ class ShardRouter:
         }
 
     # -- plumbing --------------------------------------------------------
-    async def _send(self, conn: _ClientConn, payload: bytes) -> None:
+    async def _send(
+        self,
+        conn: _ClientConn,
+        payload: bytes,
+        *,
+        deadline: "float | None" = None,
+    ) -> None:
+        """Write to the client, bounded by ``write_timeout``.
+
+        With a request ``deadline`` the bound tightens to whatever
+        budget is left: a client too slow to take its own frames
+        cannot hold the relay past the deadline it asked for.
+        """
+        timeout = self.write_timeout
+        if deadline is not None:
+            remaining = max(0.001, deadline - time.monotonic())
+            timeout = remaining if timeout is None else min(timeout, remaining)
         async with conn.wlock:
             conn.writer.write(payload)
-            await conn.writer.drain()
+            await protocol.drain_within(conn.writer, timeout, "client write")
 
     async def _send_error(
         self,
@@ -1196,6 +1418,7 @@ class ShardRouter:
         message: str,
         *,
         retry_after_ms: "int | None" = None,
+        draining: bool = False,
     ) -> None:
         """Best-effort ERROR frame (the peer may already be gone).
 
@@ -1211,6 +1434,8 @@ class ShardRouter:
         }
         if retry_after_ms is not None:
             header["retry_after_ms"] = int(retry_after_ms)
+        if draining:
+            header["draining"] = True
         try:
             await self._send(
                 conn, protocol.encode_frame(MessageType.ERROR, header)
@@ -1315,8 +1540,15 @@ class ShardRouter:
                     if not chunk:
                         break
                     relayed = True
-                    writer.write(chunk)
-                    await writer.drain()
+                    try:
+                        writer.write(chunk)
+                        await protocol.drain_within(
+                            writer, self.write_timeout, "HTTP client write"
+                        )
+                    except (ConnectionError, OSError):
+                        # The *client* stalled or vanished — stop
+                        # proxying, but do not blame the backend.
+                        return
                 return
             except asyncio.TimeoutError:
                 self.health.report_failure(

@@ -231,6 +231,21 @@ class LocalFleet:
             record.process.kill()
             record.process.wait()
 
+    def terminate(self, backend_id: str, timeout: float = 30.0) -> "int | None":
+        """SIGTERM one backend — the graceful departure.
+
+        The backend enters drain mode (refuses new work with a 503 +
+        ``retry_after_ms``, finishes in-flight streams within its
+        ``--drain-grace``) and then exits.  Returns the exit code: 0
+        means the drain completed with nothing left in flight.
+        """
+        record = self._procs[backend_id]
+        record.killed = True
+        if record.alive:
+            record.process.terminate()
+            record.process.wait(timeout=timeout)
+        return record.process.returncode
+
     def logs(self, backend_id: str) -> str:
         """A backend's captured stdout/stderr so far."""
         return self._procs[backend_id].log_path.read_text(errors="replace")

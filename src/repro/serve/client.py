@@ -56,22 +56,77 @@ class GatewayError(RuntimeError):
         message: str,
         *,
         retry_after_ms: "int | None" = None,
+        draining: bool = False,
     ) -> None:
         super().__init__(f"[{code}] {message}")
         self.code = code
         self.message = message
         self.retry_after_ms = retry_after_ms
+        #: True when a 503 came from a *draining* server (it is healthy
+        #: and finishing in-flight work; honour ``retry_after_ms`` and
+        #: come back after its restart).
+        self.draining = draining
 
 
-def _request_header(header: dict, request_class: "str | None") -> dict:
-    """Attach the optional admission-class field to a request header.
+def _error_from_frame(frame: Frame) -> GatewayError:
+    """Translate one ERROR frame into the exception the caller sees."""
+    return GatewayError(
+        int(frame.header.get("code", ErrorCode.INTERNAL)),
+        str(frame.header.get("message", "gateway error")),
+        retry_after_ms=frame.header.get("retry_after_ms"),
+        draining=bool(frame.header.get("draining", False)),
+    )
 
-    ``None`` leaves the field off entirely — the v2-compatible shape
-    pre-class clients send, which servers read as ``bulk``.
+
+def _checked_result_frame(frame: Frame) -> "tuple[int, int, RenderResult]":
+    """Decode a FRAME after verifying its optional checksum.
+
+    A mismatch is surfaced as a *retryable* 503: the bytes on this
+    connection lied once, so the frame must be re-fetched — the
+    serving stack never silently yields corrupt pixels.
+    """
+    try:
+        protocol.verify_frame_checksum(frame)
+    except ProtocolError as exc:
+        raise GatewayError(
+            int(ErrorCode.SHUTTING_DOWN), f"corrupt frame received: {exc}"
+        ) from exc
+    return protocol.decode_result_frame(frame)
+
+
+def _request_header(
+    header: dict,
+    request_class: "str | None",
+    deadline_ms: "float | None" = None,
+) -> dict:
+    """Attach the optional admission-class / deadline request fields.
+
+    ``None`` leaves each field off entirely — the v2-compatible shape
+    pre-class, pre-deadline clients send (servers read the absences as
+    ``bulk`` and "no deadline").
     """
     if request_class is not None:
         header["class"] = request_class
+    if deadline_ms is not None:
+        header["deadline_ms"] = max(1, int(deadline_ms))
     return header
+
+
+def _remaining_ms(deadline: "float | None") -> "float | None":
+    """Remaining budget (ms) before an absolute monotonic deadline.
+
+    ``None`` stays ``None`` (no deadline); an already-expired deadline
+    raises 504 so callers never launch an attempt they cannot finish.
+    """
+    if deadline is None:
+        return None
+    remaining = deadline - time.monotonic()
+    if remaining <= 0:
+        raise GatewayError(
+            int(ErrorCode.DEADLINE_EXCEEDED),
+            "deadline exceeded before the request could be (re)issued",
+        )
+    return remaining * 1e3
 
 
 class AsyncGatewayClient:
@@ -150,6 +205,12 @@ class AsyncGatewayClient:
                 frame = await protocol.read_frame(self._reader)
                 if frame is None:
                     break
+                if frame.type is MessageType.BYE:
+                    # A draining server said goodbye after our in-flight
+                    # work finished; treat it as a clean EOF (waiters,
+                    # if any raced in, see "connection lost" and retry
+                    # elsewhere).
+                    break
                 request_id = frame.header.get("request_id")
                 queue = self._queues.get(request_id)
                 if queue is not None:
@@ -199,11 +260,7 @@ class AsyncGatewayClient:
                 int(ErrorCode.SHUTTING_DOWN), "gateway connection lost"
             )
         if frame.type is MessageType.ERROR:
-            raise GatewayError(
-                int(frame.header.get("code", ErrorCode.INTERNAL)),
-                str(frame.header.get("message", "gateway error")),
-                retry_after_ms=frame.header.get("retry_after_ms"),
-            )
+            raise _error_from_frame(frame)
         return frame
 
     async def _control_roundtrip(
@@ -241,13 +298,22 @@ class AsyncGatewayClient:
         camera: Camera,
         *,
         request_class: "str | None" = None,
+        deadline_ms: "float | None" = None,
     ) -> RenderResult:
         """One-shot remote render, bit-identical to a direct render.
 
         ``request_class`` names the admission class (``interactive`` |
         ``bulk`` | ``prefetch``); ``None`` omits the wire field, which
-        the gateway treats as ``bulk``.
+        the gateway treats as ``bulk``.  ``deadline_ms`` ships the
+        remaining wall-clock budget on the wire (the server answers a
+        504 ERROR past it) *and* bounds the local wait — if not even
+        the 504 arrives in time (a stalled link), the call raises a 504
+        :class:`GatewayError` itself after a best-effort CANCEL.
         """
+        deadline = (
+            None if deadline_ms is None
+            else time.monotonic() + deadline_ms / 1e3
+        )
         scene_id = await self.ensure_scene(cloud)
         request_id = next(self._ids)
         queue: "asyncio.Queue" = asyncio.Queue()
@@ -263,14 +329,45 @@ class AsyncGatewayClient:
                             "camera": protocol.encode_camera(camera),
                         },
                         request_class,
+                        deadline_ms,
                     ),
                 )
             )
-            frame = self._raise_if_error(await queue.get())
-            _, _, result = protocol.decode_result_frame(frame)
+            frame = self._raise_if_error(
+                await self._await_frame(queue, deadline, request_id)
+            )
+            _, _, result = _checked_result_frame(frame)
             return result
         finally:
             self._queues.pop(request_id, None)
+
+    async def _await_frame(
+        self,
+        queue: "asyncio.Queue",
+        deadline: "float | None",
+        request_id: int,
+    ) -> "Frame | None":
+        """One queue read, bounded by the request's deadline (if any)."""
+        if deadline is None:
+            return await queue.get()
+        remaining = deadline - time.monotonic()
+        try:
+            if remaining <= 0:
+                raise asyncio.TimeoutError
+            return await asyncio.wait_for(queue.get(), remaining)
+        except asyncio.TimeoutError:
+            try:
+                await self._send(
+                    protocol.encode_frame(
+                        MessageType.CANCEL, {"request_id": request_id}
+                    )
+                )
+            except (GatewayError, ConnectionError, OSError):
+                pass
+            raise GatewayError(
+                int(ErrorCode.DEADLINE_EXCEEDED),
+                "deadline exceeded waiting for the server",
+            ) from None
 
     async def stream_trajectory(
         self,
@@ -279,6 +376,7 @@ class AsyncGatewayClient:
         *,
         prefetch: "int | None" = None,
         request_class: "str | None" = None,
+        deadline_ms: "float | None" = None,
     ):
         """Stream a trajectory's frames in order over the socket.
 
@@ -287,10 +385,17 @@ class AsyncGatewayClient:
         is accepted for signature compatibility; the server's stream
         prefetch and the socket's flow control bound what is in
         flight).  ``request_class`` names the admission class for the
-        whole stream.  Closing the generator early sends a best-effort
-        CANCEL so the server drops the remaining frames.
+        whole stream; ``deadline_ms`` the wall-clock budget for the
+        *whole* stream (see :meth:`render_frame` — enforced server-side
+        and on every local frame wait).  Closing the generator early
+        sends a best-effort CANCEL so the server drops the remaining
+        frames.
         """
         del prefetch  # server-side knob; kept for API compatibility
+        deadline = (
+            None if deadline_ms is None
+            else time.monotonic() + deadline_ms / 1e3
+        )
         cameras = list(cameras)
         scene_id = await self.ensure_scene(cloud)
         request_id = next(self._ids)
@@ -311,15 +416,18 @@ class AsyncGatewayClient:
                             ],
                         },
                         request_class,
+                        deadline_ms,
                     ),
                 )
             )
             while True:
-                frame = self._raise_if_error(await queue.get())
+                frame = self._raise_if_error(
+                    await self._await_frame(queue, deadline, request_id)
+                )
                 if frame.type is MessageType.END:
                     complete = True
                     return
-                _, index, result = protocol.decode_result_frame(frame)
+                _, index, result = _checked_result_frame(frame)
                 yield index, result
         finally:
             self._queues.pop(request_id, None)
@@ -431,15 +539,16 @@ class GatewayClient:
                 raise GatewayError(
                     int(ErrorCode.SHUTTING_DOWN), "gateway connection lost"
                 )
+            if frame.type is MessageType.BYE:
+                raise GatewayError(
+                    int(ErrorCode.SHUTTING_DOWN),
+                    "server closed the connection (drain BYE)",
+                )
             rid = frame.header.get("request_id")
             if rid != request_id:
                 continue  # stale frame for an abandoned request
             if frame.type is MessageType.ERROR:
-                raise GatewayError(
-                    int(frame.header.get("code", ErrorCode.INTERNAL)),
-                    str(frame.header.get("message", "gateway error")),
-                    retry_after_ms=frame.header.get("retry_after_ms"),
-                )
+                raise _error_from_frame(frame)
             return frame
 
     def _send(self, payload: bytes) -> None:
@@ -472,8 +581,14 @@ class GatewayClient:
         camera: Camera,
         *,
         request_class: "str | None" = None,
+        deadline_ms: "float | None" = None,
     ) -> RenderResult:
-        """One-shot remote render, bit-identical to a direct render."""
+        """One-shot remote render, bit-identical to a direct render.
+
+        ``deadline_ms`` ships the budget on the wire (server-enforced:
+        a 504 ERROR past it); the socket's own ``timeout`` bounds the
+        local wait.
+        """
         scene_id = self.ensure_scene(cloud)
         request_id = next(self._ids)
         self._send(
@@ -486,10 +601,11 @@ class GatewayClient:
                         "camera": protocol.encode_camera(camera),
                     },
                     request_class,
+                    deadline_ms,
                 ),
             )
         )
-        _, _, result = protocol.decode_result_frame(self._recv_for(request_id))
+        _, _, result = _checked_result_frame(self._recv_for(request_id))
         return result
 
     def stream_trajectory(
@@ -498,6 +614,7 @@ class GatewayClient:
         cameras: "list[Camera] | tuple[Camera, ...]",
         *,
         request_class: "str | None" = None,
+        deadline_ms: "float | None" = None,
     ):
         """Generator of ``(index, RenderResult)`` streamed in order.
 
@@ -520,6 +637,7 @@ class GatewayClient:
                         ],
                     },
                     request_class,
+                    deadline_ms,
                 ),
             )
         )
@@ -530,7 +648,7 @@ class GatewayClient:
                 if frame.type is MessageType.END:
                     complete = True
                     return
-                _, index, result = protocol.decode_result_frame(frame)
+                _, index, result = _checked_result_frame(frame)
                 yield index, result
         finally:
             if not complete and not self._closed:
@@ -697,7 +815,9 @@ class GatewayClientPool:
         except (ConnectionError, OSError):
             pass
 
-    async def _handle_failure(self, exc, client, attempt: int) -> None:
+    async def _handle_failure(
+        self, exc, client, attempt: int, deadline: "float | None" = None
+    ) -> None:
         """Shared retry bookkeeping: re-raise or back off and continue.
 
         Raw transport errors (a write on a connection that died before
@@ -707,6 +827,14 @@ class GatewayClientPool:
         replica — so the shared connection is retired only when it is
         actually dead; closing a healthy multiplexed connection would
         torpedo every other request on it.
+
+        When the request carries a ``deadline`` (absolute monotonic
+        instant), the *total* retry budget is capped by it: a backoff
+        sleep that would land past the deadline is never taken — the
+        pool raises 504 ``DEADLINE_EXCEEDED`` instead of delivering a
+        late success.  The server's ``retry_after_ms`` floor still
+        applies below the cap, so a drain hint and a deadline compose:
+        whichever bites first wins.
         """
         if self._closed:
             # Permanent: never burn the retry budget on a closed pool.
@@ -720,9 +848,14 @@ class GatewayClientPool:
             raise exc
         if client is not None and (transport or self._dead(client)):
             await self._retire(client)
-        await asyncio.sleep(
-            self._retry_delay(attempt, exc.retry_after_ms)
-        )
+        delay = self._retry_delay(attempt, exc.retry_after_ms)
+        if deadline is not None and time.monotonic() + delay >= deadline:
+            raise GatewayError(
+                int(ErrorCode.DEADLINE_EXCEEDED),
+                "deadline exceeded: retry backoff "
+                f"({delay * 1e3:.0f}ms) would outlive the request deadline",
+            ) from exc
+        await asyncio.sleep(delay)
 
     def _retry_delay(
         self, attempt: int, retry_after_ms: "int | None"
@@ -746,18 +879,30 @@ class GatewayClientPool:
         camera: Camera,
         *,
         request_class: "str | None" = None,
+        deadline_ms: "float | None" = None,
     ) -> RenderResult:
-        """One-shot render with markdown/backpressure retries."""
+        """One-shot render with markdown/backpressure retries.
+
+        ``deadline_ms`` caps the *total* wall clock across every attempt
+        and backoff sleep; each attempt ships only the remaining budget.
+        """
+        deadline = (
+            None if deadline_ms is None
+            else time.monotonic() + deadline_ms / 1e3
+        )
         attempt = 0
         while True:
             client = None
             try:
                 client = await self._lease()
                 return await client.render_frame(
-                    cloud, camera, request_class=request_class
+                    cloud,
+                    camera,
+                    request_class=request_class,
+                    deadline_ms=_remaining_ms(deadline),
                 )
             except (GatewayError, ConnectionError, OSError) as exc:
-                await self._handle_failure(exc, client, attempt)
+                await self._handle_failure(exc, client, attempt, deadline)
                 attempt += 1
 
     async def stream_trajectory(
@@ -767,8 +912,17 @@ class GatewayClientPool:
         *,
         prefetch: "int | None" = None,
         request_class: "str | None" = None,
+        deadline_ms: "float | None" = None,
     ):
-        """Ordered stream with resume-from-first-undelivered on retry."""
+        """Ordered stream with resume-from-first-undelivered on retry.
+
+        ``deadline_ms`` spans the whole stream — retries and resumed
+        suffixes share one budget, pinned when the call starts.
+        """
+        deadline = (
+            None if deadline_ms is None
+            else time.monotonic() + deadline_ms / 1e3
+        )
         cameras = list(cameras)
         delivered = 0
         attempt = 0
@@ -782,6 +936,7 @@ class GatewayClientPool:
                     cameras[base:],
                     prefetch=prefetch,
                     request_class=request_class,
+                    deadline_ms=_remaining_ms(deadline),
                 ):
                     delivered = base + index + 1
                     yield base + index, result
@@ -789,7 +944,7 @@ class GatewayClientPool:
             except (GatewayError, ConnectionError, OSError) as exc:
                 if delivered > base:
                     attempt = 0  # progress restores the retry budget
-                await self._handle_failure(exc, client, attempt)
+                await self._handle_failure(exc, client, attempt, deadline)
                 attempt += 1
 
     async def stats_dict(self) -> "dict":

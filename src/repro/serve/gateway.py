@@ -54,9 +54,18 @@ Failure semantics (all test-asserted):
 * a malformed-but-framed message gets a 400 ERROR frame and the
   connection lives on; only a corrupt frame *boundary* closes it;
 * a render failure answers that request with a 500 ERROR frame and
-  leaves every other request untouched.
+  leaves every other request untouched;
+* a request carrying ``deadline_ms`` is answered within its budget or
+  gets a 504 ERROR — the deadline bounds the service wait and the
+  socket write both;
+* a peer that stops reading trips the per-connection write deadline
+  (``write_timeout``) instead of wedging a serving task forever;
+* :meth:`RenderGateway.drain` (the SIGTERM path) finishes in-flight
+  work within a grace period while refusing new requests with
+  503 + ``retry_after_ms``.
 
-See ``docs/serving.md`` for the wire-protocol spec and worked examples.
+See ``docs/serving.md`` for the wire-protocol spec and worked
+examples, and ``docs/robustness.md`` for the failure model.
 """
 
 from __future__ import annotations
@@ -64,6 +73,7 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import json
+import time
 from dataclasses import asdict, dataclass
 from urllib.parse import parse_qsl, urlsplit
 
@@ -79,7 +89,13 @@ from repro.serve.admission import (
     AdmissionTicket,
 )
 from repro.serve.auth import resolve_auth_token, token_matches
-from repro.serve.protocol import ErrorCode, Frame, MessageType, ProtocolError
+from repro.serve.protocol import (
+    ErrorCode,
+    Frame,
+    MessageType,
+    ProtocolError,
+    drain_within,
+)
 from repro.serve.service import RenderService
 
 #: HTTP reason phrases for every status the serving stack emits.
@@ -93,6 +109,7 @@ HTTP_REASONS = {
     500: "Internal Server Error",
     502: "Bad Gateway",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -102,11 +119,14 @@ async def http_reply(
     body,
     *,
     content_type: str = "application/json",
+    timeout: "float | None" = None,
 ) -> None:
     """Write one full fixed-length HTTP/1.1 response and flush.
 
     Shared by the gateway's HTTP adapter and the cluster router's HTTP
-    front end, so error shapes stay identical across both.
+    front end, so error shapes stay identical across both.  ``timeout``
+    bounds the flush against a peer that stopped reading
+    (:func:`~repro.serve.protocol.drain_within`).
     """
     if isinstance(body, (dict, list)):
         payload = (json.dumps(body, indent=2) + "\n").encode("utf-8")
@@ -121,11 +141,14 @@ async def http_reply(
         ).encode("latin-1")
     )
     writer.write(payload)
-    await writer.drain()
+    await drain_within(writer, timeout, "HTTP reply")
 
 
 async def http_stream_head(
-    writer: asyncio.StreamWriter, content_type: str
+    writer: asyncio.StreamWriter,
+    content_type: str,
+    *,
+    timeout: "float | None" = None,
 ) -> None:
     """Start a 200 chunked response (no Content-Length; chunks follow)."""
     writer.write(
@@ -136,19 +159,26 @@ async def http_stream_head(
             "Connection: close\r\n\r\n"
         ).encode("latin-1")
     )
-    await writer.drain()
+    await drain_within(writer, timeout, "HTTP stream head")
 
 
-async def http_stream_chunk(writer: asyncio.StreamWriter, data: bytes) -> None:
+async def http_stream_chunk(
+    writer: asyncio.StreamWriter,
+    data: bytes,
+    *,
+    timeout: "float | None" = None,
+) -> None:
     """Write one HTTP/1.1 chunk and flush (flow control for the stream)."""
     writer.write(b"%x\r\n" % len(data) + data + b"\r\n")
-    await writer.drain()
+    await drain_within(writer, timeout, "HTTP stream chunk")
 
 
-async def http_stream_end(writer: asyncio.StreamWriter) -> None:
+async def http_stream_end(
+    writer: asyncio.StreamWriter, *, timeout: "float | None" = None
+) -> None:
     """Terminate a chunked response (the zero-length chunk)."""
     writer.write(b"0\r\n\r\n")
-    await writer.drain()
+    await drain_within(writer, timeout, "HTTP stream end")
 
 
 async def read_http_get(
@@ -296,6 +326,11 @@ class RenderGateway:
         falls back to :data:`repro.serve.auth.AUTH_TOKEN_ENV`; an empty
         string disables auth explicitly.  When set, every connection's
         first frame after HELLO must be a matching AUTH message.
+    write_timeout:
+        Per-connection write deadline (seconds): any frame or HTTP
+        chunk whose socket flush stalls longer than this — a peer that
+        stopped reading — aborts that connection instead of wedging the
+        serving task forever.  ``None`` disables the bound.
     """
 
     def __init__(
@@ -307,6 +342,7 @@ class RenderGateway:
         admission: "AdmissionController | None" = None,
         max_scenes: int = 8,
         auth_token: "str | None" = None,
+        write_timeout: "float | None" = 30.0,
     ) -> None:
         if admission is None:
             if max_pending < 1:
@@ -319,7 +355,10 @@ class RenderGateway:
         self.admission = admission
         self.max_pending = admission.capacity
         self.max_scenes = max_scenes
+        if write_timeout is not None and write_timeout <= 0:
+            raise ValueError("write_timeout must be positive or None")
         self.auth_token = resolve_auth_token(auth_token)
+        self.write_timeout = write_timeout
         self.stats = GatewayStats()
         self._scenes: "dict[str, GaussianCloud]" = {}
         self._orbits: "dict[str, list[Camera]]" = {}
@@ -327,7 +366,10 @@ class RenderGateway:
         self._server: "asyncio.base_events.Server | None" = None
         self._http_server: "asyncio.base_events.Server | None" = None
         self._conn_tasks: "set[asyncio.Task]" = set()
+        self._conns: "set[_Connection]" = set()
         self._closing = False
+        self._draining = False
+        self._drain_hint_ms: "int | None" = None
 
     @property
     def _pending(self) -> int:
@@ -349,8 +391,18 @@ class RenderGateway:
         ``stats.rejected`` — identically for TCP and HTTP 429s) or a
         503 :class:`ProtocolError` during shutdown; on success counts
         the request and returns the ticket whose release returns the
-        slot.
+        slot.  While *draining*, the 503 carries a ``retry_after_ms``
+        hint (roughly the drain grace — the process restarts within
+        it) and ``draining: true``, so client pools back off and
+        routers re-place the work instead of treating it as dead.
         """
+        if self._draining and not self._closing:
+            raise ProtocolError(
+                "gateway is draining",
+                code=ErrorCode.SHUTTING_DOWN,
+                retry_after_ms=self._drain_hint_ms,
+                draining=True,
+            )
         if self._closing:
             raise ProtocolError(
                 "gateway is shutting down", code=ErrorCode.SHUTTING_DOWN
@@ -425,13 +477,70 @@ class RenderGateway:
         assert self._http_server is not None, "HTTP adapter not started"
         return self._http_server.sockets[0].getsockname()[1]
 
+    async def drain(
+        self, grace: float = 30.0, *, retry_after_ms: "int | None" = None
+    ) -> bool:
+        """Graceful shutdown: finish in-flight work, then close.
+
+        Drain mode (the SIGTERM path — see
+        :mod:`repro.cluster.backend` and ``docs/robustness.md``):
+
+        1. stop accepting — both listeners close, so restarts/load
+           balancers route new connections elsewhere;
+        2. refuse new requests on live connections with a 503 carrying
+           ``retry_after_ms`` (default: the grace, rounded up — the
+           replacement process is up within it) and ``draining: true``;
+        3. wait up to ``grace`` seconds for every admitted request —
+           TCP and HTTP, renders and streams — to finish at its own
+           pace;
+        4. send a best-effort BYE to surviving connections and
+           :meth:`close`.
+
+        Returns ``True`` when all in-flight work finished within the
+        grace (the clean-exit signal for process wrappers), ``False``
+        when the grace expired and the remainder was cancelled.
+        Idempotent with :meth:`close`: draining an already-closing
+        gateway just closes it.
+        """
+        if grace < 0:
+            raise ValueError("grace must be non-negative")
+        self._draining = True
+        if self._drain_hint_ms is None:
+            self._drain_hint_ms = (
+                int(retry_after_ms)
+                if retry_after_ms is not None
+                else max(1, int(grace * 1e3))
+            )
+        for server in (self._server, self._http_server):
+            if server is not None:
+                server.close()
+        deadline = time.monotonic() + grace
+        while (
+            not self._closing
+            and self.admission.total_pending > 0
+            and time.monotonic() < deadline
+        ):
+            await asyncio.sleep(0.02)
+        drained = self.admission.total_pending == 0
+        for conn in list(self._conns):
+            try:
+                await self._send(
+                    conn,
+                    protocol.encode_frame(MessageType.BYE, {"draining": True}),
+                )
+            except (ConnectionError, OSError):
+                pass
+        await self.close()
+        return drained
+
     async def close(self) -> None:
         """Stop accepting, cancel in-flight connections, release ports.
 
         Abrupt by design: outstanding requests are cancelled (counted in
         ``stats.cancelled_requests``).  Clients wanting a clean shutdown
-        finish their streams and send BYE first.  The wrapped service is
-        left running — close it separately.
+        finish their streams and send BYE first (or call :meth:`drain`
+        server-side).  The wrapped service is left running — close it
+        separately.
         """
         self._closing = True
         for server in (self._server, self._http_server):
@@ -460,6 +569,7 @@ class RenderGateway:
         """One protocol connection: dispatch frames until EOF or BYE."""
         self.stats.connections += 1
         conn = _Connection(writer)
+        self._conns.add(conn)
         handler = asyncio.current_task()
         if handler is not None:
             self._conn_tasks.add(handler)
@@ -500,6 +610,7 @@ class RenderGateway:
             # connection callback (asyncio would log it as unhandled).
             pass
         finally:
+            self._conns.discard(conn)
             if handler is not None:
                 self._conn_tasks.discard(handler)
             for task in conn.tasks.values():
@@ -582,6 +693,7 @@ class RenderGateway:
                 exc.code,
                 str(exc),
                 retry_after_ms=exc.retry_after_ms,
+                draining=exc.draining,
             )
         except asyncio.CancelledError:
             raise
@@ -629,11 +741,15 @@ class RenderGateway:
             stream=frame.type is MessageType.STREAM,
         )
         try:
+            # Pin the deadline before any decoding: the budget is
+            # relative to the request's *arrival*.
+            deadline = protocol.deadline_from_header(header)
             cloud = self._resolve_scene(header.get("scene_id"))
             if frame.type is MessageType.RENDER:
                 camera = protocol.decode_camera(header.get("camera") or {})
                 coroutine = self._serve_render(
-                    conn, request_id, cloud, camera, ticket.request_class
+                    conn, request_id, cloud, camera, ticket.request_class,
+                    deadline,
                 )
             else:
                 specs = header.get("cameras")
@@ -641,7 +757,8 @@ class RenderGateway:
                     raise ProtocolError("STREAM needs a non-empty camera list")
                 cameras = [protocol.decode_camera(spec) for spec in specs]
                 coroutine = self._serve_stream(
-                    conn, request_id, cloud, cameras, ticket.request_class
+                    conn, request_id, cloud, cameras, ticket.request_class,
+                    deadline,
                 )
         except BaseException:
             ticket.release()
@@ -668,21 +785,37 @@ class RenderGateway:
         cloud: GaussianCloud,
         camera: Camera,
         request_class: str,
+        deadline: "float | None" = None,
     ) -> None:
-        """Serve one RENDER: a single FRAME answer (or a 500 ERROR)."""
+        """Serve one RENDER: a single FRAME answer (or a 500/504 ERROR).
+
+        ``deadline`` (absolute monotonic) bounds the service wait *and*
+        the answer write; past it the client gets a 504 ERROR — an
+        answer it can still act on, unlike a late frame.
+        """
         try:
             loop = asyncio.get_running_loop()
             started = loop.time()
             result = await self.service.render_frame(
-                cloud, camera, request_class=request_class
+                cloud, camera, request_class=request_class, deadline=deadline
             )
             self._observe(request_class, loop.time() - started)
             await self._send(
-                conn, protocol.encode_result_frame(request_id, 0, result)
+                conn,
+                protocol.encode_result_frame(request_id, 0, result),
+                deadline=deadline,
             )
             self.stats.frames_sent += 1
         except asyncio.CancelledError:
             raise
+        except asyncio.TimeoutError:
+            self.stats.errors += 1
+            await self._send_error(
+                conn,
+                request_id,
+                ErrorCode.DEADLINE_EXCEEDED,
+                "deadline exceeded before the frame was ready",
+            )
         except (ConnectionError, OSError):
             self.stats.cancelled_requests += 1
         except Exception as exc:
@@ -698,6 +831,7 @@ class RenderGateway:
         cloud: GaussianCloud,
         cameras: "list[Camera]",
         request_class: str,
+        deadline: "float | None" = None,
     ) -> None:
         """Serve one STREAM: ordered FRAMEs, then END.
 
@@ -709,18 +843,22 @@ class RenderGateway:
         up behind it.  The admission controller observes
         time-to-first-frame only — later inter-frame gaps include the
         client's own drain stalls, which are not service latency.
+        ``deadline`` covers the whole stream: when it passes, frames
+        stop and the client gets a 504 ERROR instead of END.
         """
         sent = 0
         try:
             loop = asyncio.get_running_loop()
             started = loop.time()
             async for index, result in self.service.stream_trajectory(
-                cloud, cameras, request_class=request_class
+                cloud, cameras, request_class=request_class, deadline=deadline
             ):
                 if sent == 0:
                     self._observe(request_class, loop.time() - started)
                 await self._send(
-                    conn, protocol.encode_result_frame(request_id, index, result)
+                    conn,
+                    protocol.encode_result_frame(request_id, index, result),
+                    deadline=deadline,
                 )
                 sent += 1
                 self.stats.frames_sent += 1
@@ -732,6 +870,14 @@ class RenderGateway:
             )
         except asyncio.CancelledError:
             raise
+        except asyncio.TimeoutError:
+            self.stats.errors += 1
+            await self._send_error(
+                conn,
+                request_id,
+                ErrorCode.DEADLINE_EXCEEDED,
+                f"stream deadline exceeded after {sent} frames",
+            )
         except (ConnectionError, OSError):
             self.stats.cancelled_requests += 1
         except Exception as exc:
@@ -740,11 +886,28 @@ class RenderGateway:
                 conn, request_id, ErrorCode.INTERNAL, f"stream failed: {exc}"
             )
 
-    async def _send(self, conn: _Connection, payload: bytes) -> None:
-        """Write one frame atomically (streams interleave on one socket)."""
+    async def _send(
+        self,
+        conn: _Connection,
+        payload: bytes,
+        *,
+        deadline: "float | None" = None,
+    ) -> None:
+        """Write one frame atomically (streams interleave on one socket).
+
+        The flush is bounded by ``write_timeout`` (and, tighter, by the
+        request's remaining ``deadline`` budget when given): a stalled
+        reader becomes a :class:`ConnectionError` on *this* connection
+        instead of a task wedged holding the write lock — and with it
+        an admission slot — forever.
+        """
+        timeout = self.write_timeout
+        if deadline is not None:
+            remaining = max(0.001, deadline - time.monotonic())
+            timeout = remaining if timeout is None else min(timeout, remaining)
         async with conn.wlock:
             conn.writer.write(payload)
-            await conn.writer.drain()
+            await drain_within(conn.writer, timeout, "frame write")
 
     async def _send_error(
         self,
@@ -754,6 +917,7 @@ class RenderGateway:
         message: str,
         *,
         retry_after_ms: "int | None" = None,
+        draining: bool = False,
     ) -> None:
         """Best-effort ERROR frame (the peer may already be gone)."""
         header = {
@@ -763,6 +927,8 @@ class RenderGateway:
         }
         if retry_after_ms is not None:
             header["retry_after_ms"] = int(retry_after_ms)
+        if draining:
+            header["draining"] = True
         try:
             await self._send(
                 conn, protocol.encode_frame(MessageType.ERROR, header)
@@ -897,9 +1063,15 @@ class RenderGateway:
                 200,
                 _ppm_bytes(result.image),
                 content_type="image/x-portable-pixmap",
+                timeout=self.write_timeout,
             )
         else:
-            await http_reply(writer, 200, _frame_record(name, view, result))
+            await http_reply(
+                writer,
+                200,
+                _frame_record(name, view, result),
+                timeout=self.write_timeout,
+            )
 
     async def _http_stream(
         self, writer: asyncio.StreamWriter, query: "dict[str, str]"
@@ -910,12 +1082,15 @@ class RenderGateway:
         ``format=json`` (default) emits one NDJSON record per frame —
         the same fields as ``/render?format=json``, SHA-256 included,
         so a shell can bit-verify a whole trajectory from one request —
+        followed by a terminal ``{"type": "eos", "frames": N}`` record,
         and ``format=ppm`` emits the concatenated binary PPM images.
         One admission slot covers the whole stream (parity with TCP
         STREAM requests); ``writer.drain`` per chunk is the flow
         control.  A failure after the 200 header cannot change the
-        status — the chunked body just ends without its terminating
-        zero chunk, which HTTP clients report as a truncated response.
+        status — the chunked body just ends without the ``eos`` record
+        and its terminating zero chunk, so NDJSON consumers distinguish
+        a complete stream (``eos`` present, ``frames`` matching) from a
+        mid-body truncation without trusting chunk framing alone.
         """
         name = query.get("scene")
         cameras = self._orbits.get(name or "")
@@ -983,6 +1158,7 @@ class RenderGateway:
                     "image/x-portable-pixmap"
                     if fmt == "ppm"
                     else "application/x-ndjson",
+                    timeout=self.write_timeout,
                 )
                 async for index, result in stream:
                     if sent == 0:
@@ -996,10 +1172,22 @@ class RenderGateway:
                         data = (
                             json.dumps(record, separators=(",", ":")) + "\n"
                         ).encode("utf-8")
-                    await http_stream_chunk(writer, data)
+                    await http_stream_chunk(
+                        writer, data, timeout=self.write_timeout
+                    )
                     sent += 1
                     self.stats.frames_sent += 1
-                await http_stream_end(writer)
+                if fmt == "json":
+                    await http_stream_chunk(
+                        writer,
+                        json.dumps(
+                            {"type": "eos", "frames": sent},
+                            separators=(",", ":"),
+                        ).encode("utf-8")
+                        + b"\n",
+                        timeout=self.write_timeout,
+                    )
+                await http_stream_end(writer, timeout=self.write_timeout)
             except (ConnectionError, OSError):
                 self.stats.cancelled_requests += 1
             except Exception:

@@ -41,14 +41,29 @@ BYE          C -> S     graceful goodbye; the server closes the connection
 naming the request's admission class (``interactive`` | ``bulk`` |
 ``prefetch`` — see :mod:`repro.serve.admission`); absent means
 ``bulk``, so the field is backwards-compatible within protocol
-version 2 and pre-class clients keep working unchanged.
+version 2 and pre-class clients keep working unchanged.  They may also
+carry an optional ``deadline_ms`` field: the remaining wall-clock
+budget (milliseconds, relative to the message's arrival) after which
+the sender no longer wants the answer.  Servers enforce it at every
+await point and answer ``504 DEADLINE_EXCEEDED``; relays forward the
+*remaining* budget downstream.  Absent means no deadline — exactly the
+pre-deadline behaviour, so the field is also v2-compatible.
+
+``FRAME`` headers may carry an optional ``sha256`` field — the hex
+digest of the frame's blob, stamped at the rendering gateway.  Relays
+(the shard router) verify it before forwarding: a mismatch means the
+backend or its link corrupted the image, and becomes a failover rather
+than silently served bytes.  Clients verify it again on receipt.
 
 Errors carry HTTP-flavoured codes (:class:`ErrorCode`): ``400`` malformed
 frame or request, ``401`` missing or wrong shared-secret token, ``404``
 unknown scene, ``413`` frame too large, ``429`` admission rejected (the
 gateway is out of admission headroom for this class, or the class is
 shed — the ERROR header carries a ``retry_after_ms`` back-off hint),
-``500`` internal render failure, ``503`` shutting down / no replica up.  A
+``500`` internal render failure, ``503`` shutting down / no replica up
+(a draining server's 503 carries ``retry_after_ms`` and
+``draining: true`` so clients and routers re-place work instead of
+treating the backend as dead), ``504`` deadline exceeded.  A
 malformed-but-framed message (bad JSON, unknown type, missing fields) is
 *recoverable*: the server answers with a ``400`` ERROR frame and keeps
 the connection; only a broken frame boundary (oversized length prefix,
@@ -66,8 +81,10 @@ The full byte-level specification lives in ``docs/serving.md``.
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import json
 import struct
+import time
 from dataclasses import dataclass
 from enum import IntEnum
 
@@ -124,6 +141,7 @@ class ErrorCode(IntEnum):
     REJECTED = 429
     INTERNAL = 500
     SHUTTING_DOWN = 503
+    DEADLINE_EXCEEDED = 504
 
 
 class ProtocolError(Exception):
@@ -142,13 +160,19 @@ class ProtocolError(Exception):
         code: ErrorCode = ErrorCode.BAD_REQUEST,
         fatal: bool = False,
         retry_after_ms: "int | None" = None,
+        draining: bool = False,
     ) -> None:
         super().__init__(message)
         self.code = code
         self.fatal = fatal
         #: Optional machine-readable back-off hint; carried on 429
-        #: ERROR frames so rejected clients spread their retries.
+        #: ERROR frames so rejected clients spread their retries, and on
+        #: a draining server's 503s so they come back after the restart.
         self.retry_after_ms = retry_after_ms
+        #: True on a 503 from a *draining* server: the process is
+        #: healthy and finishing in-flight work, so a router should
+        #: re-place new requests elsewhere rather than probe it dead.
+        self.draining = draining
 
 
 @dataclass
@@ -275,6 +299,83 @@ def _read_exact(stream, n: int, *, allow_eof: bool = False) -> "bytes | None":
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)
+
+
+# -- deadlines -----------------------------------------------------------
+def deadline_from_header(header: dict) -> "float | None":
+    """Parse a request header's optional ``deadline_ms`` field.
+
+    Returns an **absolute** :func:`time.monotonic` instant (the budget
+    is relative to arrival, so it must be pinned the moment the frame
+    is decoded), or ``None`` when the field is absent.  A malformed or
+    non-positive value is a recoverable ``400``: the sender asked for
+    something impossible, not a corrupt stream.
+    """
+    raw = header.get("deadline_ms")
+    if raw is None:
+        return None
+    try:
+        budget_ms = float(raw)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"invalid deadline_ms: {raw!r}") from exc
+    if not (0 < budget_ms < float("inf")):  # also rejects NaN and inf
+        raise ProtocolError(f"deadline_ms must be positive, got {raw!r}")
+    return time.monotonic() + budget_ms / 1e3
+
+
+def deadline_remaining_ms(deadline: "float | None") -> "int | None":
+    """Remaining budget in whole milliseconds for forwarding downstream.
+
+    Returns ``None`` for no deadline; clamps to ``>= 1`` so a nearly
+    expired deadline still crosses the wire as a valid (positive)
+    field — the receiver will expire it almost immediately, which is
+    the honest outcome.
+    """
+    if deadline is None:
+        return None
+    return max(1, int((deadline - time.monotonic()) * 1e3))
+
+
+def deadline_expired(message: str = "deadline exceeded") -> ProtocolError:
+    """The canonical 504: recoverable (the connection stays usable)."""
+    return ProtocolError(message, code=ErrorCode.DEADLINE_EXCEEDED)
+
+
+async def drain_within(
+    writer: "asyncio.StreamWriter",
+    timeout: "float | None",
+    what: str = "write",
+) -> None:
+    """``writer.drain()`` with a stall bound.
+
+    A peer that stops reading makes a bare ``drain()`` hang forever
+    once the socket buffer fills — the write-stall failure mode the
+    chaos proxy injects.  Bounding it turns a wedged peer into an
+    explicit :class:`ConnectionError` after ``timeout`` seconds (the
+    transport is aborted: the stream is unfinishable, so there is
+    nothing gentler to do).  ``timeout=None`` keeps the unbounded
+    behaviour.
+    """
+    transport = writer.transport
+    if timeout is None or (
+        transport is not None and transport.get_write_buffer_size() == 0
+    ):
+        # Fast path: with an empty write buffer, drain() cannot block
+        # (flow control only pauses above the high-water mark), so the
+        # wait_for scaffolding — an extra future, a timer and at least
+        # one event-loop cycle per frame — would be pure overhead on
+        # the hot send path.
+        await writer.drain()
+        return
+    try:
+        await asyncio.wait_for(writer.drain(), timeout)
+    except asyncio.TimeoutError:
+        transport = writer.transport
+        if transport is not None:
+            transport.abort()
+        raise ConnectionError(
+            f"{what} stalled for {timeout:.1f}s; peer aborted"
+        ) from None
 
 
 # -- the client side of the connection handshake -------------------------
@@ -485,24 +586,55 @@ def decode_stats(header: dict) -> RenderStats:
         raise ProtocolError(f"invalid stats payload: {exc}") from exc
 
 
+def blob_digest(blob: bytes) -> str:
+    """The checksum stamped on FRAME headers: sha256 hex of the blob."""
+    return hashlib.sha256(blob).hexdigest()
+
+
+def verify_frame_checksum(frame: Frame) -> None:
+    """Verify a FRAME's optional ``sha256`` header against its blob.
+
+    A missing checksum passes (pre-checksum peers stay compatible); a
+    present-but-wrong one raises a *recoverable* :class:`ProtocolError`
+    — the frame boundary is intact, only the image bytes are damaged,
+    so the caller (router relay, client read loop) can treat it as a
+    backend failure and re-fetch instead of serving corrupt pixels.
+    """
+    expected = frame.header.get("sha256")
+    if expected is None:
+        return
+    actual = blob_digest(frame.blob)
+    if actual != expected:
+        raise ProtocolError(
+            f"FRAME blob checksum mismatch (header {expected[:12]}…, "
+            f"blob {actual[:12]}…)",
+            code=ErrorCode.INTERNAL,
+        )
+
+
 def encode_result_frame(
-    request_id: int, index: int, result: RenderResult
+    request_id: int, index: int, result: RenderResult, *, checksum: bool = True
 ) -> bytes:
     """Encode one rendered frame as a FRAME wire message.
 
     The image travels as raw bytes (bit-exact); the stats ride in the
-    header.  ``projected``/``assignment`` are not shipped — the same
-    contract as frames returned from ``render_trajectory`` worker
+    header, along with a ``sha256`` digest of the blob (unless
+    ``checksum=False``) so relays and clients can detect in-flight
+    corruption.  ``projected``/``assignment`` are not shipped — the
+    same contract as frames returned from ``render_trajectory`` worker
     processes (per-frame O(cloud) arrays no serving consumer reads).
     """
     image = np.ascontiguousarray(result.image)
+    blob = image.tobytes()
     header = {
         "request_id": request_id,
         "index": index,
         "image": {"dtype": image.dtype.str, "shape": list(image.shape)},
         "stats": encode_stats(result.stats),
     }
-    return encode_frame(MessageType.FRAME, header, image.tobytes())
+    if checksum:
+        header["sha256"] = blob_digest(blob)
+    return encode_frame(MessageType.FRAME, header, blob)
 
 
 def decode_result_frame(frame: Frame) -> "tuple[int, int, RenderResult]":

@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from dataclasses import dataclass, field
 
 from repro.engine import RenderEngine
@@ -307,6 +308,7 @@ class RenderService:
         camera: Camera,
         *,
         request_class: "str | None" = None,
+        deadline: "float | None" = None,
     ) -> RenderResult:
         """Resolve one view, bit-identical to ``RenderEngine.render``.
 
@@ -315,13 +317,29 @@ class RenderService:
         recorded as one fast-timescale observation.  ``request_class``
         is accounting only — the render path is identical for every
         class (admission decisions happen in the gateway, above).
+
+        ``deadline`` is an absolute :func:`time.monotonic` instant;
+        when it passes while this request is still waiting (admission
+        queue, micro-batch flush, engine render), the wait is abandoned
+        with :class:`asyncio.TimeoutError` — the caller no longer wants
+        the frame, so the last-waiter cancellation machinery reclaims
+        any work nobody else shares.  ``None`` is exactly the
+        pre-deadline behaviour.
         """
         self.stats.count_class(request_class)
-        if self.policy is None:
+        if self.policy is None and deadline is None:
             return await self._render_frame(cloud, camera)
         loop = asyncio.get_running_loop()
         start = loop.time()
-        result = await self._render_frame(cloud, camera)
+        if deadline is None:
+            result = await self._render_frame(cloud, camera)
+        else:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise asyncio.TimeoutError("deadline exceeded on arrival")
+            result = await asyncio.wait_for(
+                self._render_frame(cloud, camera), remaining
+            )
         self._observe_latency(loop.time() - start)
         return result
 
@@ -385,6 +403,7 @@ class RenderService:
         *,
         prefetch: "int | None" = None,
         request_class: "str | None" = None,
+        deadline: "float | None" = None,
     ):
         """Stream a trajectory's frames in order, as they complete.
 
@@ -394,7 +413,11 @@ class RenderService:
         what bounds the service's queue under slow clients.  Closing the
         generator early cancels every outstanding frame request.
         ``request_class`` counts the stream once (not per frame) in the
-        per-class request stats.
+        per-class request stats.  ``deadline`` (absolute
+        :func:`time.monotonic`, covering the *whole* stream) bounds
+        every frame wait: when it passes, the generator raises
+        :class:`asyncio.TimeoutError` and its ``finally`` drops all
+        outstanding work, as for an early close.
         """
         cameras = list(cameras)
         if prefetch is None:
@@ -413,7 +436,17 @@ class RenderService:
                         self.render_frame(cloud, cameras[next_submit])
                     )
                     next_submit += 1
-                yield index, await tasks.pop(index)
+                if deadline is None:
+                    result = await tasks.pop(index)
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise asyncio.TimeoutError("stream deadline exceeded")
+                    # On timeout wait_for cancels the frame task; it is
+                    # still in ``tasks``, so the finally below settles it.
+                    result = await asyncio.wait_for(tasks[index], remaining)
+                    tasks.pop(index)
+                yield index, result
         finally:
             for task in tasks.values():
                 task.cancel()

@@ -1,0 +1,316 @@
+"""Unit tests for the chaos proxy against a plain echo server.
+
+Each test stands up an asyncio echo server, puts a :class:`ChaosProxy`
+in front of it with a hand-written schedule, and asserts the injected
+fault from the client's point of view: bytes corrupted at the exact
+offset, stalls of the scheduled duration, resets after the scheduled
+prefix.  Plain ``asyncio.run`` drivers — no async test plugin required.
+"""
+
+import asyncio
+import math
+import time
+
+import pytest
+
+from repro.chaos import ChaosProxy, ChaosSchedule, Fault, FaultKind
+
+
+async def _echo_server():
+    """An echo server; returns (server, port)."""
+
+    async def handle(reader, writer):
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    break
+                writer.write(chunk)
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+
+    server = await asyncio.start_server(handle, host="127.0.0.1", port=0)
+    return server, server.sockets[0].getsockname()[1]
+
+
+def _run_through_proxy(schedule, payload, *, connections=1, read_timeout=5.0):
+    """Send ``payload`` through proxy→echo on N connections; return the
+    echoed bytes per connection (None where the read died) + proxy."""
+
+    async def main():
+        server, port = await _echo_server()
+        proxy = ChaosProxy("127.0.0.1", port, schedule=schedule)
+        await proxy.start()
+        results = []
+        try:
+            for _ in range(connections):
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", proxy.port
+                )
+                try:
+                    writer.write(payload)
+                    await writer.drain()
+                    writer.write_eof()
+                    echoed = await asyncio.wait_for(
+                        reader.read(-1), read_timeout
+                    )
+                    results.append(echoed)
+                except (ConnectionError, OSError, asyncio.TimeoutError):
+                    results.append(None)
+                finally:
+                    writer.close()
+        finally:
+            await proxy.close()
+            server.close()
+            await server.wait_closed()
+        return results, proxy
+
+    return asyncio.run(main())
+
+
+class TestTransparency:
+    def test_empty_schedule_relays_bit_identical(self):
+        payload = bytes(range(256)) * 64
+        results, proxy = _run_through_proxy(ChaosSchedule(), payload)
+        assert results == [payload]
+        assert proxy.stats.connections == 1
+        assert proxy.stats.events == []
+
+    def test_unscheduled_connection_is_clean(self):
+        """Connection 1 has no schedule entry: only connection 0 faults."""
+        payload = b"x" * 4096
+        schedule = ChaosSchedule(per_connection={
+            0: [Fault(FaultKind.CORRUPT, after_bytes=10)],
+        })
+        results, proxy = _run_through_proxy(schedule, payload, connections=2)
+        assert results[0] != payload and results[1] == payload
+        assert proxy.stats.count(FaultKind.CORRUPT) == 1
+
+    def test_default_faults_apply_to_every_connection(self):
+        payload = b"y" * 1024
+        schedule = ChaosSchedule(
+            default=[Fault(FaultKind.CORRUPT, after_bytes=0)],
+        )
+        results, proxy = _run_through_proxy(schedule, payload, connections=3)
+        assert all(r != payload for r in results)
+        assert proxy.stats.count(FaultKind.CORRUPT) == 3
+
+
+class TestFaults:
+    def test_corrupt_flips_exactly_the_scheduled_byte(self):
+        payload = bytes(range(256)) * 16
+        offset, mask = 777, 0x40
+        schedule = ChaosSchedule(per_connection={
+            0: [Fault(FaultKind.CORRUPT, after_bytes=offset, xor_mask=mask)],
+        })
+        (echoed,), proxy = _run_through_proxy(schedule, payload)
+        assert echoed is not None and len(echoed) == len(payload)
+        diffs = [i for i, (a, b) in enumerate(zip(payload, echoed)) if a != b]
+        assert diffs == [offset]
+        assert echoed[offset] == payload[offset] ^ mask
+        assert proxy.stats.events == [(0, "downstream", "corrupt", offset)]
+
+    def test_upstream_corruption_round_trips_through_the_echo(self):
+        """An upstream fault mangles what the *server* sees — the echo
+        sends the corrupted byte back."""
+        payload = b"\x00" * 512
+        schedule = ChaosSchedule(per_connection={
+            0: [Fault(FaultKind.CORRUPT, after_bytes=100,
+                      direction="upstream", xor_mask=0xFF)],
+        })
+        (echoed,), proxy = _run_through_proxy(schedule, payload)
+        assert echoed[100] == 0xFF
+        assert proxy.stats.events == [(0, "upstream", "corrupt", 100)]
+
+    def test_delay_holds_the_stream_then_delivers_intact(self):
+        payload = b"z" * 2048
+        schedule = ChaosSchedule(per_connection={
+            0: [Fault(FaultKind.DELAY, after_bytes=1000, duration=0.2)],
+        })
+        start = time.monotonic()
+        (echoed,), proxy = _run_through_proxy(schedule, payload)
+        elapsed = time.monotonic() - start
+        assert echoed == payload  # intact, just late
+        assert elapsed >= 0.2
+        assert proxy.stats.count(FaultKind.DELAY) == 1
+
+    def test_finite_stall_flushes_the_prefix_first(self):
+        """Bytes before the trigger arrive promptly; the rest only after
+        the stall — the 'wedged but alive' shape health probes miss."""
+        payload = b"a" * 100 + b"b" * 100
+        schedule = ChaosSchedule(per_connection={
+            0: [Fault(FaultKind.STALL, after_bytes=100, duration=0.3)],
+        })
+
+        async def main():
+            server, port = await _echo_server()
+            proxy = ChaosProxy("127.0.0.1", port, schedule=schedule)
+            await proxy.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", proxy.port
+                )
+                writer.write(payload)
+                await writer.drain()
+                writer.write_eof()
+                start = time.monotonic()
+                prefix = await asyncio.wait_for(reader.readexactly(100), 1.0)
+                prefix_at = time.monotonic() - start
+                rest = await asyncio.wait_for(reader.read(-1), 2.0)
+                rest_at = time.monotonic() - start
+                writer.close()
+                return prefix, prefix_at, rest, rest_at
+            finally:
+                await proxy.close()
+                server.close()
+                await server.wait_closed()
+
+        prefix, prefix_at, rest, rest_at = asyncio.run(main())
+        assert prefix == b"a" * 100 and rest == b"b" * 100
+        assert prefix_at < 0.25  # prefix not held hostage by the stall
+        assert rest_at >= 0.3
+
+    def test_infinite_stall_never_delivers_past_the_trigger(self):
+        payload = b"c" * 4096
+        schedule = ChaosSchedule(per_connection={
+            0: [Fault(FaultKind.STALL, after_bytes=1024,
+                      duration=math.inf)],
+        })
+
+        async def main():
+            server, port = await _echo_server()
+            proxy = ChaosProxy("127.0.0.1", port, schedule=schedule)
+            await proxy.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", proxy.port
+                )
+                writer.write(payload)
+                await writer.drain()
+                prefix = await asyncio.wait_for(reader.readexactly(1024), 1.0)
+                with pytest.raises(asyncio.TimeoutError):
+                    await asyncio.wait_for(reader.readexactly(1), 0.3)
+                writer.close()
+                return prefix
+            finally:
+                await proxy.close()
+                server.close()
+                await server.wait_closed()
+
+        assert asyncio.run(main()) == b"c" * 1024
+
+    def test_reset_aborts_after_the_scheduled_prefix(self):
+        payload = b"d" * 4096
+        schedule = ChaosSchedule(per_connection={
+            0: [Fault(FaultKind.RESET, after_bytes=2000)],
+        })
+
+        async def main():
+            server, port = await _echo_server()
+            proxy = ChaosProxy("127.0.0.1", port, schedule=schedule)
+            await proxy.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", proxy.port
+                )
+                writer.write(payload)
+                await writer.drain()
+                try:
+                    data = await asyncio.wait_for(reader.read(-1), 2.0)
+                    error = None
+                except (ConnectionError, OSError) as exc:
+                    data, error = b"", exc
+                writer.close()
+                return data, error
+            finally:
+                await proxy.close()
+                server.close()
+                await server.wait_closed()
+
+        data, error = asyncio.run(main())
+        # The prefix may or may not land before the RST sweeps the
+        # socket buffer; what must never happen is a clean full echo.
+        assert error is not None or len(data) < len(payload)
+
+    def test_chop_preserves_bytes_despite_adversarial_packetisation(self):
+        payload = bytes(range(256)) * 32
+        schedule = ChaosSchedule(per_connection={
+            0: [Fault(FaultKind.CHOP, after_bytes=0, chop_bytes=3)],
+        })
+        (echoed,), proxy = _run_through_proxy(schedule, payload)
+        assert echoed == payload
+        assert proxy.stats.count(FaultKind.CHOP) == 1
+
+    def test_multiple_faults_fire_in_offset_order(self):
+        payload = bytes(512)
+        schedule = ChaosSchedule(per_connection={
+            0: [
+                # Deliberately listed out of order: the schedule sorts.
+                Fault(FaultKind.CORRUPT, after_bytes=300, xor_mask=0x02),
+                Fault(FaultKind.CORRUPT, after_bytes=10, xor_mask=0x01),
+            ],
+        })
+        (echoed,), proxy = _run_through_proxy(schedule, payload)
+        assert [e[3] for e in proxy.stats.events] == [10, 300]
+        assert echoed[10] == 0x01 and echoed[300] == 0x02
+
+
+class TestSchedule:
+    def test_random_is_a_pure_function_of_seed(self):
+        one = ChaosSchedule.random(1234)
+        two = ChaosSchedule.random(1234)
+        assert one.per_connection == two.per_connection
+        assert one.per_connection  # non-trivial
+        other = ChaosSchedule.random(1235)
+        assert one.per_connection != other.per_connection
+
+    def test_random_orders_connection_killers_last(self):
+        """RESET / infinite STALL must not shadow survivable faults."""
+        for seed in range(40):
+            schedule = ChaosSchedule.random(seed, faults_per_connection=4)
+            for faults in schedule.per_connection.values():
+                killers = [
+                    f for f in faults
+                    if f.kind is FaultKind.RESET
+                    or (f.kind is FaultKind.STALL and math.isinf(f.duration))
+                ]
+                assert len(killers) <= 1
+                if killers:
+                    killer = killers[0]
+                    assert killer.after_bytes >= max(
+                        f.after_bytes for f in faults
+                    )
+
+    def test_fault_validation(self):
+        with pytest.raises(ValueError):
+            Fault(FaultKind.CORRUPT, direction="sideways")
+        with pytest.raises(ValueError):
+            Fault(FaultKind.CORRUPT, after_bytes=-1)
+        with pytest.raises(ValueError):
+            Fault(FaultKind.CORRUPT, xor_mask=0)
+        with pytest.raises(ValueError):
+            Fault(FaultKind.CHOP, chop_bytes=0)
+        with pytest.raises(ValueError):
+            Fault(FaultKind.DELAY, duration=-0.1)
+
+    def test_dead_upstream_aborts_the_client(self):
+        async def main():
+            proxy = ChaosProxy("127.0.0.1", 1)  # nothing listens on port 1
+            await proxy.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", proxy.port
+                )
+                try:
+                    data = await asyncio.wait_for(reader.read(-1), 2.0)
+                except (ConnectionError, OSError):
+                    data = b""
+                writer.close()
+                return data
+            finally:
+                await proxy.close()
+
+        assert asyncio.run(main()) == b""

@@ -843,6 +843,8 @@ class TestHttpFrontEnd:
             for line in dechunk(body_bytes).decode().splitlines()
             if line
         ]
+        # The backend's terminal eos record crosses the proxy verbatim.
+        assert records.pop() == {"type": "eos", "frames": 2}
         assert [record["view"] for record in records] == [0, 1]
 
         assert out["no_scene"][0] == 400

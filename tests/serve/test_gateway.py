@@ -549,6 +549,10 @@ class TestHttpAdapter:
             for line in dechunk(payload).decode().splitlines()
             if line
         ]
+        # The body terminates with an explicit eos record: a consumer
+        # can tell "stream complete" from "connection died mid-body".
+        eos = records.pop()
+        assert eos == {"type": "eos", "frames": len(cameras)}
         assert [record["view"] for record in records] == list(
             range(len(cameras))
         )
@@ -564,6 +568,7 @@ class TestHttpAdapter:
             for line in dechunk(payload).decode().splitlines()
             if line
         ]
+        assert records.pop() == {"type": "eos", "frames": 3}
         assert [record["view"] for record in records] == [2, 3, 4]
 
         head, payload = out["ppm"]
