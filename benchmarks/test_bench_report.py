@@ -21,6 +21,7 @@ from benchmarks.bench_report import (
     measure_hierarchical_render,
     measure_pipeline_sim_sweep,
     measure_serve_throughput,
+    measure_trace_overhead,
 )
 from repro.scenes.synthetic import load_scene
 from repro.scenes.trajectory import orbit_cameras
@@ -38,6 +39,9 @@ CLUSTER_MIN_SPEEDUP = float(os.environ.get("CLUSTER_MIN_SPEEDUP", "1.5"))
 #: at most this multiple of its unloaded p95 (acceptance: 1.3; CI
 #: softens via the environment on loaded shared runners).
 ADMISSION_MAX_P95_RATIO = float(os.environ.get("ADMISSION_MAX_P95_RATIO", "1.3"))
+#: Tracing-enabled serving may cost at most this multiple of untraced
+#: (acceptance: 1.05 — within 5%; CI softens on loaded shared runners).
+TRACE_MAX_OVERHEAD = float(os.environ.get("TRACE_MAX_OVERHEAD", "1.05"))
 
 #: Concurrent clients / orbit views for the serving measurement.
 SERVE_CLIENTS = 4
@@ -174,4 +178,28 @@ def test_cluster_throughput_speedup(emit):
     assert speedup >= CLUSTER_MIN_SPEEDUP, (
         f"cluster throughput speedup {speedup:.2f}x below the "
         f"{CLUSTER_MIN_SPEEDUP}x floor"
+    )
+
+
+def test_trace_overhead(emit, render_scene):
+    """The observability acceptance gate: serving the same workload
+    with a live span-recording tracer costs at most
+    ``TRACE_MAX_OVERHEAD``x the untraced wall time (acceptance: 1.05,
+    i.e. within 5%; CI softens via the environment on loaded shared
+    runners).  Correctness — identical served bytes either way — is
+    asserted separately in ``tests/trace/``; this pins the *cost*."""
+    cameras = orbit_cameras(render_scene, SERVE_VIEWS)
+    untraced_s, traced_s = measure_trace_overhead(
+        render_scene, cameras, SERVE_CLIENTS
+    )
+    ratio = traced_s / untraced_s
+    emit(
+        f"trace overhead — {SERVE_CLIENTS} clients x {SERVE_VIEWS} "
+        "overlapping views, tracer on vs off",
+        f"  untraced: {untraced_s:.3f}s   traced: {traced_s:.3f}s   "
+        f"overhead: {ratio:.3f}x",
+    )
+    assert ratio <= TRACE_MAX_OVERHEAD, (
+        f"tracing overhead {ratio:.3f}x above the "
+        f"{TRACE_MAX_OVERHEAD}x ceiling"
     )

@@ -733,6 +733,243 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    """Run a traced cluster workload and capture spans to ``--dir``.
+
+    Every backend appends to ``<dir>/<backend_id>.jsonl`` (via the
+    supervisor's ``trace_dir``), the router to ``<dir>/router.jsonl``,
+    and every client request carries a client-minted trace id — the
+    one id that may appear in served bytes — so the spans each node
+    emits for a frame stitch into one end-to-end trace.
+    """
+    import asyncio
+    import itertools
+    from pathlib import Path
+
+    from repro.cluster import ClusterMap, LocalFleet, ShardRouter
+    from repro.experiments.shm_cache import cloud_fingerprint
+    from repro.scenes.trajectory import orbit_cameras
+    from repro.serve import AsyncGatewayClient
+    from repro.trace import Tracer, load_spans, stitch
+
+    if args.backends < 1:
+        raise SystemExit("--backends must be positive")
+    if args.clients < 1:
+        raise SystemExit("--clients must be positive")
+    if args.passes < 1:
+        raise SystemExit("--passes must be positive")
+    if args.kill_one and (args.backends < 2 or args.replicate < 2):
+        raise SystemExit("--kill-one needs >= 2 backends and --replicate >= 2")
+    trace_dir = Path(args.dir)
+    trace_dir.mkdir(parents=True, exist_ok=True)
+    stale = sorted(trace_dir.glob("*.jsonl"))
+    if stale and not args.append:
+        raise SystemExit(
+            f"{trace_dir} already holds {len(stale)} capture file(s); "
+            "pass --append to add to them or point --dir elsewhere"
+        )
+    names = _cluster_scenes(args)
+    replicate = min(args.replicate, args.backends)
+    fleet = LocalFleet(
+        args.backends,
+        scale=args.scale,
+        seed=args.seed,
+        views=args.views,
+        auth_token=args.auth_token,
+        trace_dir=trace_dir,
+    )
+    trace_ids = (f"cli-{n:08x}" for n in itertools.count(1))
+
+    async def main() -> int:
+        specs = await asyncio.get_running_loop().run_in_executor(
+            None, fleet.start
+        )
+        cluster_map = ClusterMap(specs, replication=replicate)
+        router_tracer = Tracer(node="router", sink=trace_dir / "router.jsonl")
+        router = ShardRouter(
+            cluster_map,
+            admission=_make_admission(args),
+            max_scenes=max(len(names), 8),
+            auth_token=args.auth_token,
+            tracer=router_tracer,
+        )
+        await router.start(port=0)
+        scenes = [
+            load_scene(name, resolution_scale=args.scale, seed=args.seed)
+            for name in names
+        ]
+        first_frame = asyncio.Event()
+
+        async def one_client(index: int) -> int:
+            scene = scenes[index % len(scenes)]
+            orbit = list(orbit_cameras(scene, args.views))
+            client = await AsyncGatewayClient.connect(
+                router.host, router.tcp_port, auth_token=args.auth_token
+            )
+            frames = 0
+            try:
+                for _ in range(args.passes):
+                    async for _, _result in client.stream_trajectory(
+                        scene.cloud,
+                        orbit,
+                        request_class=args.request_class,
+                        trace=next(trace_ids),
+                    ):
+                        frames += 1
+                        if index == 0:
+                            first_frame.set()
+            finally:
+                await client.close()
+            return frames
+
+        async def killer() -> "str | None":
+            if not args.kill_one:
+                return None
+            await first_frame.wait()
+            victim = cluster_map.owner(
+                cloud_fingerprint(scenes[0].cloud)
+            ).backend_id
+            print(f"killing {victim} (owner of {names[0]}) mid-stream ...")
+            await asyncio.get_running_loop().run_in_executor(
+                None, fleet.kill, victim
+            )
+            return victim
+
+        try:
+            results = await asyncio.gather(
+                *(one_client(i) for i in range(args.clients)), killer()
+            )
+        finally:
+            await router.close()
+            router_tracer.close()
+        frames = sum(results[:-1])
+        victim = results[-1]
+        if victim is not None and not router.stats.failovers:
+            print("FAIL: victim was killed but no failover happened")
+            return 1
+        print(
+            f"recorded {frames} streamed frames across {args.clients} "
+            f"client(s), {len(names)} scene(s), {args.backends} backend(s)"
+            + (f"; failed over from {victim}" if victim else "")
+        )
+        return 0
+
+    try:
+        code = asyncio.run(main())
+    finally:
+        # SIGTERMed backends flush + close their sinks on drain.
+        fleet.close()
+    if code != 0:
+        return code
+    spans = load_spans(trace_dir)
+    traces = stitch(spans)
+    stitched = {
+        trace: {span["node"] for span in grouped}
+        for trace, grouped in traces.items()
+        if trace.startswith("cli-")
+    }
+    multi_node = sum(1 for nodes in stitched.values() if len(nodes) > 1)
+    print(
+        f"captured {len(spans)} spans in {len(traces)} traces to "
+        f"{trace_dir} ({multi_node} of {len(stitched)} client traces "
+        "span multiple nodes)"
+    )
+    if not multi_node:
+        print("FAIL: no client trace stitched across router and backend")
+        return 1
+    return 0
+
+
+def _cmd_trace_replay(args: argparse.Namespace) -> int:
+    """Re-run a capture's render workload on a simulated accelerator."""
+    from repro.experiments.shm_cache import cloud_fingerprint
+    from repro.trace import build_config, load_spans, replay
+
+    try:
+        config = build_config(
+            args.config,
+            num_cores=args.num_cores,
+            frequency_ghz=args.frequency_ghz,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    spans = load_spans(args.dir)
+    if not spans:
+        raise SystemExit(f"no spans found under {args.dir}")
+    clouds = {}
+    for name in _cluster_scenes(args):
+        scene = load_scene(name, resolution_scale=args.scale, seed=args.seed)
+        clouds[cloud_fingerprint(scene.cloud)] = scene.cloud
+    report = replay(
+        spans,
+        clouds,
+        config=config,
+        tile_size=args.tile_size,
+        group_size=args.group_size,
+        method=BoundaryMethod(args.method),
+    )
+    print(
+        f"replayed {report.requests} rendered frames "
+        f"({report.distinct_renders} distinct views, {report.skipped} "
+        f"skipped) on {report.config_name} "
+        f"({report.num_cores} cores @ {report.frequency_hz / 1e9:.2f} GHz)"
+    )
+    print(
+        f"{'class':<12}{'requests':>10}{'cycles':>16}{'mean cyc':>12}"
+        f"{'sim ms':>10}{'energy uJ':>12}"
+    )
+    for cost in report.classes:
+        print(
+            f"{cost.request_class:<12}{cost.requests:>10}"
+            f"{cost.cycles:>16,.0f}{cost.mean_cycles:>12,.0f}"
+            f"{cost.time_ms(report.frequency_hz):>10.3f}"
+            f"{cost.energy_j * 1e6:>12.2f}"
+        )
+    print(
+        f"{'total':<12}{report.requests:>10}{report.total_cycles:>16,.0f}"
+        f"{'':>12}{report.total_cycles / report.frequency_hz * 1e3:>10.3f}"
+        f"{report.total_energy_j * 1e6:>12.2f}"
+    )
+    return 0
+
+
+def _cmd_trace_top(args: argparse.Namespace) -> int:
+    """Per-stage latency aggregates and the slowest traces of a capture."""
+    from repro.trace import load_spans, stitch
+
+    spans = load_spans(args.dir)
+    if not spans:
+        raise SystemExit(f"no spans found under {args.dir}")
+    by_stage: "dict[str, list[float]]" = {}
+    for span in spans:
+        by_stage.setdefault(span["name"], []).append(span["dur_ms"])
+    print(f"{'stage':<12}{'count':>8}{'mean ms':>10}{'p95 ms':>10}{'max ms':>10}")
+    for name in sorted(by_stage, key=lambda n: -sum(by_stage[n])):
+        durs = np.asarray(by_stage[name])
+        print(
+            f"{name:<12}{durs.size:>8}{durs.mean():>10.3f}"
+            f"{float(np.percentile(durs, 95.0)):>10.3f}{durs.max():>10.3f}"
+        )
+    totals = [
+        (sum(span["dur_ms"] for span in grouped), trace, grouped)
+        for trace, grouped in stitch(spans).items()
+    ]
+    totals.sort(key=lambda item: -item[0])
+    print(f"\nslowest {min(args.limit, len(totals))} of {len(totals)} traces:")
+    for total, trace, grouped in totals[: args.limit]:
+        nodes = sorted({span["node"] for span in grouped})
+        # A long stream emits hundreds of spans; show the slowest few.
+        slowest = sorted(grouped, key=lambda span: -span["dur_ms"])[:8]
+        stages = ", ".join(
+            f"{span['name']}={span['dur_ms']:.1f}" for span in slowest
+        )
+        elided = len(grouped) - len(slowest)
+        if elided > 0:
+            stages += f", +{elided} more"
+        print(f"  {trace}: {total:.1f} ms over {'+'.join(nodes)} ({stages})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -969,6 +1206,105 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--seed", type=int, default=0)
     report.add_argument("--out", default="EXPERIMENTS.md")
     report.set_defaults(func=_cmd_report)
+
+    trace = sub.add_parser(
+        "trace",
+        help="record, replay and inspect end-to-end request traces",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    record = trace_sub.add_parser(
+        "record",
+        help="run a traced cluster workload, capturing spans as JSONL",
+    )
+    _add_common(record)
+    record.add_argument(
+        "--dir", required=True,
+        help="capture directory: each node appends <node>.jsonl here",
+    )
+    record.add_argument(
+        "--append", action="store_true",
+        help="add to an existing capture instead of refusing it",
+    )
+    record.add_argument(
+        "--scenes", default="",
+        help="comma-separated scene names (default: just --scene)",
+    )
+    record.add_argument("--views", type=int, default=4, help="orbit views")
+    record.add_argument(
+        "--backends", type=int, default=2,
+        help="gateway backend subprocesses to spawn",
+    )
+    record.add_argument(
+        "--replicate", type=int, default=2,
+        help="replica-set size per scene (clamped to --backends)",
+    )
+    record.add_argument(
+        "--clients", type=int, default=2,
+        help="concurrent streaming clients, round-robined over the scenes",
+    )
+    record.add_argument(
+        "--passes", type=int, default=1,
+        help="times each client streams its orbit",
+    )
+    record.add_argument("--max-pending", type=int, default=64)
+    _add_admission_options(record)
+    record.add_argument(
+        "--kill-one", action="store_true",
+        help="SIGKILL the first scene's owner backend mid-stream so the "
+        "capture includes a failover (needs --replicate >= 2)",
+    )
+    record.add_argument(
+        "--auth-token", default=None,
+        help="shared-secret token for clients, router and backends "
+        "(default: the REPRO_AUTH_TOKEN environment variable)",
+    )
+    record.set_defaults(func=_cmd_trace_record)
+
+    replay = trace_sub.add_parser(
+        "replay",
+        help="re-run a capture's render workload on a simulated accelerator",
+    )
+    _add_common(replay)
+    replay.add_argument(
+        "--dir", required=True, help="capture directory (or one .jsonl file)"
+    )
+    replay.add_argument(
+        "--scenes", default="",
+        help="comma-separated scene names the capture used (fingerprints "
+        "must match the capture's --scale/--seed; default: just --scene)",
+    )
+    replay.add_argument(
+        "--config", default="gstg", choices=("gstg", "gscore"),
+        help="base accelerator configuration to replay against",
+    )
+    replay.add_argument(
+        "--num-cores", type=int, default=None,
+        help="override the configuration's core count",
+    )
+    replay.add_argument(
+        "--frequency-ghz", type=float, default=None,
+        help="override the configuration's clock in GHz",
+    )
+    replay.add_argument(
+        "--method", choices=[m.value for m in BoundaryMethod],
+        default="ellipse",
+    )
+    replay.add_argument("--tile-size", type=int, default=16)
+    replay.add_argument("--group-size", type=int, default=64)
+    replay.set_defaults(func=_cmd_trace_replay)
+
+    top = trace_sub.add_parser(
+        "top",
+        help="per-stage latency aggregates and the slowest traces",
+    )
+    top.add_argument(
+        "--dir", required=True, help="capture directory (or one .jsonl file)"
+    )
+    top.add_argument(
+        "--limit", type=int, default=5, help="slowest traces to show"
+    )
+    top.set_defaults(func=_cmd_trace_top)
     return parser
 
 

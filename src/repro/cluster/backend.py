@@ -109,6 +109,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds to let in-flight requests finish after SIGTERM/"
         "SIGINT before the hard close (0 disables graceful drain)",
     )
+    parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="enable tracing and append this backend's spans to "
+        "DIR/<id>.jsonl (the capture 'repro trace replay|top' reads); "
+        "also lights up the /metrics and /traces endpoints",
+    )
     return parser
 
 
@@ -145,12 +151,22 @@ async def _serve(args: argparse.Namespace, cache) -> bool:
     ``--drain-grace`` (new requests are refused with a 503 carrying a
     ``retry_after_ms`` hint while the drain runs).
     """
+    tracer = None
+    if args.trace_dir is not None:
+        from pathlib import Path
+
+        from repro.trace.tracer import Tracer
+
+        trace_dir = Path(args.trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        tracer = Tracer(node=args.id, sink=trace_dir / f"{args.id}.jsonl")
     service = RenderService(
         _make_renderer(args),
         cache=cache,
         max_batch_size=args.batch_size,
         max_wait=args.max_wait_ms / 1e3,
         max_pending=args.max_pending,
+        tracer=tracer,
     )
     # auth_token=None: resolve from the environment (the supervisor's
     # channel) — see the module docstring for why argv is avoided.
@@ -159,6 +175,8 @@ async def _serve(args: argparse.Namespace, cache) -> bool:
         host=args.host,
         max_pending=args.max_pending,
         admission=_make_admission(args),
+        tracer=tracer,
+        node_id=args.id,
     )
     for name in args.scene:
         scene = load_scene(name, resolution_scale=args.scale, seed=args.seed)
@@ -189,6 +207,8 @@ async def _serve(args: argparse.Namespace, cache) -> bool:
         else:
             await gateway.close()
         await service.close()
+        if tracer is not None:
+            tracer.close()
     return drained
 
 

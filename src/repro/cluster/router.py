@@ -87,6 +87,7 @@ from repro.serve.admission import (
 from repro.serve.auth import resolve_auth_token
 from repro.serve.gateway import authenticate_reader, http_reply, read_http_get
 from repro.serve.protocol import ErrorCode, Frame, MessageType, ProtocolError
+from repro.trace.tracer import NULL_TRACER
 
 from repro.cluster.health import HealthMonitor
 from repro.cluster.topology import BackendSpec, ClusterMap
@@ -478,6 +479,17 @@ class ShardRouter:
         aborted after this many seconds instead of parking the relay
         task forever on a full socket buffer.  ``None`` disables the
         bound (the pre-deadline behaviour).
+    tracer:
+        Optional :class:`repro.trace.Tracer` for the router's own
+        ``admission`` and ``route`` spans and its ``/metrics`` +
+        ``/traces`` endpoints.  A *client-sent* trace id is forwarded
+        on every backend (re)issue — including failover re-issues — so
+        the backends' spans stitch with the router's; a router-minted
+        id never reaches a backend (relayed FRAME headers pass through
+        verbatim, so a forwarded server-side id would leak into the
+        client's bytes and break the traced-vs-untraced identity).
+    node_id:
+        Stable id stamped on the router's spans and ``/metrics``.
     """
 
     def __init__(
@@ -493,6 +505,8 @@ class ShardRouter:
         monitor: "HealthMonitor | None" = None,
         request_timeout: float = 60.0,
         write_timeout: "float | None" = 30.0,
+        tracer=None,
+        node_id: str = "router",
     ) -> None:
         if admission is None:
             if max_pending < 1:
@@ -515,6 +529,8 @@ class ShardRouter:
         )
         self.request_timeout = request_timeout
         self.write_timeout = write_timeout
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.node_id = node_id
         self._own_monitor = monitor is None
         self.health = monitor or HealthMonitor(
             cluster_map, auth_token=self.backend_auth_token
@@ -569,6 +585,34 @@ class ShardRouter:
         """Feed one relay latency to the slow-timescale controller."""
         if self.admission.observe(request_class, latency_s):
             self.admission.adapt()
+
+    def metrics_dict(self) -> dict:
+        """The METRICS / ``/metrics`` snapshot for the router node.
+
+        Router-local only (no backend fan-out — backends serve their
+        own ``/metrics``): edge admission counters, pending gauge,
+        health view, and the tracer registry's per-stage latency
+        histograms (``stage_ms.route`` is the relay latency including
+        failover retries).
+        """
+        return {
+            "node": self.node_id,
+            "role": "router",
+            "pending": self.admission.total_pending,
+            "admission": self.admission.stats_dict(),
+            "health": self.health.snapshot(),
+            **self.tracer.metrics.snapshot(),
+        }
+
+    def traces_dict(
+        self, *, trace: "str | None" = None, limit: "int | None" = None
+    ) -> dict:
+        """The ``/traces`` snapshot: the collector ring grouped by id."""
+        spans = self.tracer.spans(trace=trace, limit=limit)
+        grouped: "dict[str, list[dict]]" = {}
+        for span in spans:
+            grouped.setdefault(span["trace"], []).append(span)
+        return {"node": self.node_id, "traces": grouped}
 
     # -- lifecycle -------------------------------------------------------
     async def start(self, port: int = 0) -> None:
@@ -900,6 +944,13 @@ class ShardRouter:
                         MessageType.STATS_OK, await self._stats_payload()
                     ),
                 )
+            elif frame.type is MessageType.METRICS:
+                await self._send(
+                    conn,
+                    protocol.encode_frame(
+                        MessageType.METRICS_OK, self.metrics_dict()
+                    ),
+                )
             else:
                 raise ProtocolError(
                     f"unexpected message type {frame.type.name} from a client"
@@ -977,9 +1028,37 @@ class ShardRouter:
         if request_id in conn.tasks:
             raise ProtocolError(f"request_id {request_id} is already in flight")
         request_class = self.admission.resolve(header.get("class"))
-        ticket = self._admit(
-            request_class, stream=frame.type is MessageType.STREAM
-        )
+        # The requester's trace id (validated; None when absent).  Only
+        # this id is ever forwarded to a backend or echoed to the
+        # client; router-minted ids stay router-local.
+        client_trace = protocol.trace_from_header(header)
+        tracer = self.tracer
+        trace = client_trace
+        if tracer.enabled and trace is None:
+            trace = tracer.new_trace_id()
+        admit_start = tracer.now() if tracer.enabled else 0.0
+        try:
+            ticket = self._admit(
+                request_class, stream=frame.type is MessageType.STREAM
+            )
+        except BaseException:
+            if tracer.enabled:
+                tracer.record(
+                    "admission",
+                    trace=trace,
+                    start=admit_start,
+                    end=tracer.now(),
+                    attrs={"admitted": False, "class": request_class},
+                )
+            raise
+        if tracer.enabled:
+            tracer.record(
+                "admission",
+                trace=trace,
+                start=admit_start,
+                end=tracer.now(),
+                attrs={"admitted": True, "class": request_class},
+            )
         try:
             scene_id = header.get("scene_id")
             if not isinstance(scene_id, str):
@@ -994,7 +1073,7 @@ class ShardRouter:
                     raise ProtocolError("RENDER needs a camera object")
                 coroutine = self._serve_render(
                     conn, request_id, scene_id, camera, request_class,
-                    deadline,
+                    deadline, trace=trace, client_trace=client_trace,
                 )
             else:
                 cameras = header.get("cameras")
@@ -1002,7 +1081,7 @@ class ShardRouter:
                     raise ProtocolError("STREAM needs a non-empty camera list")
                 coroutine = self._serve_stream(
                     conn, request_id, scene_id, cameras, request_class,
-                    deadline,
+                    deadline, trace=trace, client_trace=client_trace,
                 )
             task = asyncio.ensure_future(coroutine)
         except BaseException:
@@ -1040,6 +1119,8 @@ class ShardRouter:
         camera: dict,
         request_class: str,
         deadline: "float | None" = None,
+        trace: "str | None" = None,
+        client_trace: "str | None" = None,
     ) -> None:
         """Relay one RENDER, retrying whole on replica failover.
 
@@ -1050,6 +1131,42 @@ class ShardRouter:
         """
         excluded: "set[str]" = set()
         started = asyncio.get_running_loop().time()
+        tried: "list[str]" = []
+        route_start = self.tracer.now() if self.tracer.enabled else 0.0
+        try:
+            await self._route_render(
+                conn, request_id, scene_id, camera, request_class,
+                deadline, client_trace, excluded, tried, started,
+            )
+        finally:
+            if self.tracer.enabled:
+                self.tracer.record(
+                    "route",
+                    trace=trace,
+                    start=route_start,
+                    end=self.tracer.now(),
+                    attrs={
+                        "scene": scene_id,
+                        "class": request_class,
+                        "backends": tried,
+                        "failovers": len(excluded),
+                    },
+                )
+
+    async def _route_render(
+        self,
+        conn: _ClientConn,
+        request_id: int,
+        scene_id: str,
+        camera: dict,
+        request_class: str,
+        deadline: "float | None",
+        client_trace: "str | None",
+        excluded: "set[str]",
+        tried: "list[str]",
+        started: float,
+    ) -> None:
+        """The RENDER failover loop (:meth:`_serve_render`'s body)."""
         while True:
             if deadline is not None and time.monotonic() >= deadline:
                 self.stats.errors += 1
@@ -1065,6 +1182,7 @@ class ShardRouter:
                 await self._no_replica(conn, request_id)
                 return
             backend_id, queue = link.open_channel()
+            tried.append(link.spec.backend_id)
             try:
                 await self._ensure_scene_on(link, scene_id)
                 header = {
@@ -1073,6 +1191,8 @@ class ShardRouter:
                     "camera": camera,
                     "class": request_class,
                 }
+                if client_trace is not None:
+                    header["trace"] = client_trace
                 remaining_ms = protocol.deadline_remaining_ms(deadline)
                 if remaining_ms is not None:
                     header["deadline_ms"] = remaining_ms
@@ -1142,6 +1262,8 @@ class ShardRouter:
         cameras: "list[dict]",
         request_class: str,
         deadline: "float | None" = None,
+        trace: "str | None" = None,
+        client_trace: "str | None" = None,
     ) -> None:
         """Relay one STREAM with mid-flight failover.
 
@@ -1159,8 +1281,44 @@ class ShardRouter:
         include the client's own drain stalls, which are not serving
         latency.
         """
-        sent = 0
         excluded: "set[str]" = set()
+        tried: "list[str]" = []
+        route_start = self.tracer.now() if self.tracer.enabled else 0.0
+        try:
+            await self._route_stream(
+                conn, request_id, scene_id, cameras, request_class,
+                deadline, client_trace, excluded, tried,
+            )
+        finally:
+            if self.tracer.enabled:
+                self.tracer.record(
+                    "route",
+                    trace=trace,
+                    start=route_start,
+                    end=self.tracer.now(),
+                    attrs={
+                        "scene": scene_id,
+                        "class": request_class,
+                        "backends": tried,
+                        "failovers": len(excluded),
+                        "stream": True,
+                    },
+                )
+
+    async def _route_stream(
+        self,
+        conn: _ClientConn,
+        request_id: int,
+        scene_id: str,
+        cameras: "list[dict]",
+        request_class: str,
+        deadline: "float | None",
+        client_trace: "str | None",
+        excluded: "set[str]",
+        tried: "list[str]",
+    ) -> None:
+        """The STREAM failover loop (:meth:`_serve_stream`'s body)."""
+        sent = 0
         started = asyncio.get_running_loop().time()
         while True:
             if deadline is not None and time.monotonic() >= deadline:
@@ -1177,6 +1335,7 @@ class ShardRouter:
                 await self._no_replica(conn, request_id)
                 return
             backend_id, queue = link.open_channel()
+            tried.append(link.spec.backend_id)
             try:
                 await self._ensure_scene_on(link, scene_id)
                 base = sent
@@ -1186,6 +1345,8 @@ class ShardRouter:
                     "cameras": cameras[base:],
                     "class": request_class,
                 }
+                if client_trace is not None:
+                    header["trace"] = client_trace
                 remaining_ms = protocol.deadline_remaining_ms(deadline)
                 if remaining_ms is not None:
                     header["deadline_ms"] = remaining_ms
@@ -1463,7 +1624,8 @@ class ShardRouter:
                 pass
 
     async def _http_route(self, writer: asyncio.StreamWriter, target: str) -> None:
-        """Local /healthz and /stats; /render and /stream proxied."""
+        """Local /healthz, /stats, /metrics, /traces; /render and
+        /stream proxied."""
         url = urlsplit(target)
         query = dict(parse_qsl(url.query))
         if url.path == "/healthz":
@@ -1485,6 +1647,21 @@ class ShardRouter:
             )
         elif url.path == "/stats":
             await http_reply(writer, 200, await self._stats_payload())
+        elif url.path == "/metrics":
+            await http_reply(writer, 200, self.metrics_dict())
+        elif url.path == "/traces":
+            try:
+                limit = int(query["limit"]) if "limit" in query else None
+            except ValueError:
+                await http_reply(
+                    writer, 400, {"error": "limit must be an integer"}
+                )
+                return
+            await http_reply(
+                writer,
+                200,
+                self.traces_dict(trace=query.get("trace"), limit=limit),
+            )
         elif url.path in ("/render", "/stream"):
             await self._http_proxy(writer, target, query)
         else:

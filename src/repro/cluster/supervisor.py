@@ -79,6 +79,10 @@ class LocalFleet:
         ``False`` disables the shared render cache entirely.
     extra_args:
         Additional argv passed verbatim to every backend.
+    trace_dir:
+        When set, every backend runs with ``--trace-dir`` pointed here:
+        each appends its spans to ``<trace_dir>/<backend_id>.jsonl``,
+        the capture layout ``repro trace replay|top`` read.
     startup_timeout:
         Seconds to wait for each READY line.
     """
@@ -96,6 +100,7 @@ class LocalFleet:
         cache_frames: int = 0,
         render_cache: bool = True,
         extra_args: "tuple[str, ...] | list[str]" = (),
+        trace_dir: "str | os.PathLike | None" = None,
         startup_timeout: float = 60.0,
     ) -> None:
         if size < 1:
@@ -110,6 +115,7 @@ class LocalFleet:
         self.cache_frames = cache_frames
         self.render_cache = render_cache
         self.extra_args = tuple(extra_args)
+        self.trace_dir = None if trace_dir is None else str(trace_dir)
         self.startup_timeout = startup_timeout
         self._procs: "dict[str, BackendProcess]" = {}
         self._tmpdir: "tempfile.TemporaryDirectory | None" = None
@@ -146,6 +152,8 @@ class LocalFleet:
             argv.append("--no-render-cache")
         elif self.cache_frames > 0:
             argv += ["--cache-frames", str(self.cache_frames)]
+        if self.trace_dir is not None:
+            argv += ["--trace-dir", self.trace_dir]
         argv += list(self.extra_args)
         return argv
 

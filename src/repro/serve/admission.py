@@ -249,6 +249,10 @@ class AdmissionController:
         self.admitted = {spec.name: 0 for spec in roster}
         self.rejected = {spec.name: 0 for spec in roster}
         self.shed = {spec.name: 0 for spec in roster}
+        #: 429s that carried a ``retry_after_ms`` hint, per class (every
+        #: reject does today, but the counter tracks hints *issued* so
+        #: the metric stays honest if a hintless reject path appears).
+        self.retry_after_issued = {spec.name: 0 for spec in roster}
         #: Shed level L rejects every class with ``priority < L`` on
         #: arrival; 0 sheds nothing.
         self.shed_level = 0
@@ -333,6 +337,7 @@ class AdmissionController:
         if spec.priority < self.shed_level:
             self.rejected[request_class] += 1
             self.shed[request_class] += 1
+            self.retry_after_issued[request_class] += 1
             raise AdmissionRejected(
                 f"class {request_class!r} is shed at level "
                 f"{self.shed_level} — retry later",
@@ -342,6 +347,7 @@ class AdmissionController:
         headroom = self.capacity - self._reserved_above(spec.priority)
         if self.total_pending >= headroom:
             self.rejected[request_class] += 1
+            self.retry_after_issued[request_class] += 1
             raise AdmissionRejected(
                 f"admission bound reached ({self.capacity} pending)",
                 retry_after_ms=self.retry_after_ms(request_class),
@@ -429,6 +435,7 @@ class AdmissionController:
                     "admitted": self.admitted[spec.name],
                     "rejected": self.rejected[spec.name],
                     "shed": self.shed[spec.name],
+                    "retry_after_issued": self.retry_after_issued[spec.name],
                     "target_p95_ms": (
                         None
                         if self._target[spec.name] is None

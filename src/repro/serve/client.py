@@ -98,18 +98,39 @@ def _request_header(
     header: dict,
     request_class: "str | None",
     deadline_ms: "float | None" = None,
+    trace: "str | None" = None,
 ) -> dict:
-    """Attach the optional admission-class / deadline request fields.
+    """Attach the optional admission-class / deadline / trace fields.
 
     ``None`` leaves each field off entirely — the v2-compatible shape
     pre-class, pre-deadline clients send (servers read the absences as
-    ``bulk`` and "no deadline").
+    ``bulk`` and "no deadline").  ``trace`` is the *client-minted*
+    trace id that stitches this request's spans across every traced
+    node it touches; servers echo it on the answering FRAMEs.
     """
     if request_class is not None:
         header["class"] = request_class
     if deadline_ms is not None:
         header["deadline_ms"] = max(1, int(deadline_ms))
+    if trace is not None:
+        header["trace"] = trace
     return header
+
+
+def _frame_meta(frame: Frame) -> dict:
+    """Serving metadata riding a FRAME header (absent fields omitted).
+
+    ``backend`` is the id of the node whose engine rendered the frame —
+    across a router, the *actual* server after any failover, not the
+    one first routed to; ``trace`` is the echoed request trace id;
+    ``sha256`` the blob digest.
+    """
+    meta = {}
+    for key in ("backend", "trace", "sha256"):
+        value = frame.header.get(key)
+        if value is not None:
+            meta[key] = value
+    return meta
 
 
 def _remaining_ms(deadline: "float | None") -> "float | None":
@@ -218,6 +239,7 @@ class AsyncGatewayClient:
                 elif request_id is None and frame.type in (
                     MessageType.SCENE_OK,
                     MessageType.STATS_OK,
+                    MessageType.METRICS_OK,
                     MessageType.ERROR,
                 ):
                     # Control replies carry no request id (a null-id
@@ -299,7 +321,9 @@ class AsyncGatewayClient:
         *,
         request_class: "str | None" = None,
         deadline_ms: "float | None" = None,
-    ) -> RenderResult:
+        trace: "str | None" = None,
+        with_meta: bool = False,
+    ):
         """One-shot remote render, bit-identical to a direct render.
 
         ``request_class`` names the admission class (``interactive`` |
@@ -309,6 +333,10 @@ class AsyncGatewayClient:
         504 ERROR past it) *and* bounds the local wait — if not even
         the 504 arrives in time (a stalled link), the call raises a 504
         :class:`GatewayError` itself after a best-effort CANCEL.
+        ``trace`` rides the request so traced servers stitch their
+        spans under it; ``with_meta=True`` returns ``(result, meta)``
+        where ``meta`` carries the serving ``backend`` id (and the
+        echoed ``trace``/``sha256``) from the FRAME header.
         """
         deadline = (
             None if deadline_ms is None
@@ -330,6 +358,7 @@ class AsyncGatewayClient:
                         },
                         request_class,
                         deadline_ms,
+                        trace,
                     ),
                 )
             )
@@ -337,6 +366,8 @@ class AsyncGatewayClient:
                 await self._await_frame(queue, deadline, request_id)
             )
             _, _, result = _checked_result_frame(frame)
+            if with_meta:
+                return result, _frame_meta(frame)
             return result
         finally:
             self._queues.pop(request_id, None)
@@ -377,6 +408,8 @@ class AsyncGatewayClient:
         prefetch: "int | None" = None,
         request_class: "str | None" = None,
         deadline_ms: "float | None" = None,
+        trace: "str | None" = None,
+        with_meta: bool = False,
     ):
         """Stream a trajectory's frames in order over the socket.
 
@@ -387,9 +420,12 @@ class AsyncGatewayClient:
         flight).  ``request_class`` names the admission class for the
         whole stream; ``deadline_ms`` the wall-clock budget for the
         *whole* stream (see :meth:`render_frame` — enforced server-side
-        and on every local frame wait).  Closing the generator early
-        sends a best-effort CANCEL so the server drops the remaining
-        frames.
+        and on every local frame wait).  ``trace`` rides the whole
+        stream; ``with_meta=True`` yields ``(index, result, meta)``
+        with each frame's serving ``backend`` id — across a router, a
+        mid-stream failover shows up as the ``backend`` value changing
+        between consecutive frames.  Closing the generator early sends
+        a best-effort CANCEL so the server drops the remaining frames.
         """
         del prefetch  # server-side knob; kept for API compatibility
         deadline = (
@@ -417,6 +453,7 @@ class AsyncGatewayClient:
                         },
                         request_class,
                         deadline_ms,
+                        trace,
                     ),
                 )
             )
@@ -428,7 +465,10 @@ class AsyncGatewayClient:
                     complete = True
                     return
                 _, index, result = _checked_result_frame(frame)
-                yield index, result
+                if with_meta:
+                    yield index, result, _frame_meta(frame)
+                else:
+                    yield index, result
         finally:
             self._queues.pop(request_id, None)
             if not complete and not self._closed:
@@ -453,6 +493,15 @@ class AsyncGatewayClient:
         stats = dict(frame.header.get("service", {}))
         stats["gateway"] = frame.header.get("gateway", {})
         return stats
+
+    async def metrics_dict(self) -> "dict":
+        """The server's ``/metrics`` document over the wire (METRICS →
+        METRICS_OK): live gauges plus the tracer registry snapshot."""
+        frame = await self._control_roundtrip(
+            protocol.encode_frame(MessageType.METRICS),
+            MessageType.METRICS_OK,
+        )
+        return dict(frame.header)
 
     async def close(self) -> None:
         """Send BYE (best effort) and tear the connection down."""
@@ -582,12 +631,15 @@ class GatewayClient:
         *,
         request_class: "str | None" = None,
         deadline_ms: "float | None" = None,
-    ) -> RenderResult:
+        trace: "str | None" = None,
+        with_meta: bool = False,
+    ):
         """One-shot remote render, bit-identical to a direct render.
 
         ``deadline_ms`` ships the budget on the wire (server-enforced:
         a 504 ERROR past it); the socket's own ``timeout`` bounds the
-        local wait.
+        local wait.  ``trace``/``with_meta`` as on
+        :meth:`AsyncGatewayClient.render_frame`.
         """
         scene_id = self.ensure_scene(cloud)
         request_id = next(self._ids)
@@ -602,10 +654,14 @@ class GatewayClient:
                     },
                     request_class,
                     deadline_ms,
+                    trace,
                 ),
             )
         )
-        _, _, result = _checked_result_frame(self._recv_for(request_id))
+        frame = self._recv_for(request_id)
+        _, _, result = _checked_result_frame(frame)
+        if with_meta:
+            return result, _frame_meta(frame)
         return result
 
     def stream_trajectory(
@@ -615,12 +671,15 @@ class GatewayClient:
         *,
         request_class: "str | None" = None,
         deadline_ms: "float | None" = None,
+        trace: "str | None" = None,
+        with_meta: bool = False,
     ):
         """Generator of ``(index, RenderResult)`` streamed in order.
 
         Abandoning the generator sends a best-effort CANCEL; frames the
         server already put on the wire are skipped transparently on the
-        next request.
+        next request.  ``trace``/``with_meta`` as on
+        :meth:`AsyncGatewayClient.stream_trajectory`.
         """
         cameras = list(cameras)
         scene_id = self.ensure_scene(cloud)
@@ -638,6 +697,7 @@ class GatewayClient:
                     },
                     request_class,
                     deadline_ms,
+                    trace,
                 ),
             )
         )
@@ -649,7 +709,10 @@ class GatewayClient:
                     complete = True
                     return
                 _, index, result = _checked_result_frame(frame)
-                yield index, result
+                if with_meta:
+                    yield index, result, _frame_meta(frame)
+                else:
+                    yield index, result
         finally:
             if not complete and not self._closed:
                 try:
@@ -880,11 +943,16 @@ class GatewayClientPool:
         *,
         request_class: "str | None" = None,
         deadline_ms: "float | None" = None,
-    ) -> RenderResult:
+        trace: "str | None" = None,
+        with_meta: bool = False,
+    ):
         """One-shot render with markdown/backpressure retries.
 
         ``deadline_ms`` caps the *total* wall clock across every attempt
         and backoff sleep; each attempt ships only the remaining budget.
+        ``with_meta=True`` returns ``(result, meta)`` where ``meta``
+        names the backend that actually served the frame — after a
+        retry that may differ from the first backend tried.
         """
         deadline = (
             None if deadline_ms is None
@@ -900,6 +968,8 @@ class GatewayClientPool:
                     camera,
                     request_class=request_class,
                     deadline_ms=_remaining_ms(deadline),
+                    trace=trace,
+                    with_meta=with_meta,
                 )
             except (GatewayError, ConnectionError, OSError) as exc:
                 await self._handle_failure(exc, client, attempt, deadline)
@@ -913,11 +983,17 @@ class GatewayClientPool:
         prefetch: "int | None" = None,
         request_class: "str | None" = None,
         deadline_ms: "float | None" = None,
+        trace: "str | None" = None,
+        with_meta: bool = False,
     ):
         """Ordered stream with resume-from-first-undelivered on retry.
 
         ``deadline_ms`` spans the whole stream — retries and resumed
         suffixes share one budget, pinned when the call starts.
+        ``with_meta=True`` yields ``(index, result, meta)``; across a
+        mid-stream failover the ``backend`` meta value changes between
+        consecutive frames, which is how callers observe who served
+        what.
         """
         deadline = (
             None if deadline_ms is None
@@ -931,15 +1007,21 @@ class GatewayClientPool:
             base = delivered
             try:
                 client = await self._lease()
-                async for index, result in client.stream_trajectory(
+                async for item in client.stream_trajectory(
                     cloud,
                     cameras[base:],
                     prefetch=prefetch,
                     request_class=request_class,
                     deadline_ms=_remaining_ms(deadline),
+                    trace=trace,
+                    with_meta=with_meta,
                 ):
+                    index = item[0]
                     delivered = base + index + 1
-                    yield base + index, result
+                    if with_meta:
+                        yield base + index, item[1], item[2]
+                    else:
+                        yield base + index, item[1]
                 return
             except (GatewayError, ConnectionError, OSError) as exc:
                 if delivered > base:

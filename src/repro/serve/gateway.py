@@ -97,6 +97,7 @@ from repro.serve.protocol import (
     drain_within,
 )
 from repro.serve.service import RenderService
+from repro.trace.tracer import NULL_TRACER
 
 #: HTTP reason phrases for every status the serving stack emits.
 HTTP_REASONS = {
@@ -331,6 +332,18 @@ class RenderGateway:
         chunk whose socket flush stalls longer than this — a peer that
         stopped reading — aborts that connection instead of wedging the
         serving task forever.  ``None`` disables the bound.
+    tracer:
+        Optional :class:`repro.trace.Tracer`.  When given (and enabled)
+        the gateway emits ``admission`` and ``wire`` spans per request
+        and serves ``/metrics`` + ``/traces`` from the tracer's
+        registry and ring; the default :data:`NULL_TRACER` keeps the
+        hot path at one branch per would-be span.  Tracing never
+        changes served bytes (test-asserted): a trace id appears on a
+        response only when the *requester* sent one.
+    node_id:
+        Stable id stamped as ``backend`` on every FRAME this gateway
+        serves (cluster backends pass their backend id), and reported
+        by ``/metrics``.  Stamped whether or not tracing is on.
     """
 
     def __init__(
@@ -343,6 +356,8 @@ class RenderGateway:
         max_scenes: int = 8,
         auth_token: "str | None" = None,
         write_timeout: "float | None" = 30.0,
+        tracer=None,
+        node_id: str = "gateway",
     ) -> None:
         if admission is None:
             if max_pending < 1:
@@ -359,6 +374,8 @@ class RenderGateway:
             raise ValueError("write_timeout must be positive or None")
         self.auth_token = resolve_auth_token(auth_token)
         self.write_timeout = write_timeout
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.node_id = node_id
         self.stats = GatewayStats()
         self._scenes: "dict[str, GaussianCloud]" = {}
         self._orbits: "dict[str, list[Camera]]" = {}
@@ -421,6 +438,33 @@ class RenderGateway:
         """Feed the slow timescale; adapt when a window completes."""
         if self.admission.observe(request_class, latency_s):
             self.admission.adapt()
+
+    def metrics_dict(self) -> dict:
+        """The METRICS / ``/metrics`` snapshot: one flat JSON document.
+
+        Combines the live queue/admission gauges (sampled now — they
+        exist whether or not tracing is on) with the tracer registry's
+        counters and per-stage latency histograms (empty until spans
+        flow).  The same document answers the METRICS wire message, so
+        a protocol client and a curl see identical numbers.
+        """
+        return {
+            "node": self.node_id,
+            "queue_depth": self.service.queue_depth,
+            "pending": self.admission.total_pending,
+            "admission": self.admission.stats_dict(),
+            **self.tracer.metrics.snapshot(),
+        }
+
+    def traces_dict(
+        self, *, trace: "str | None" = None, limit: "int | None" = None
+    ) -> dict:
+        """The ``/traces`` snapshot: the collector ring grouped by id."""
+        spans = self.tracer.spans(trace=trace, limit=limit)
+        grouped: "dict[str, list[dict]]" = {}
+        for span in spans:
+            grouped.setdefault(span["trace"], []).append(span)
+        return {"node": self.node_id, "traces": grouped}
 
     # -- scene registry --------------------------------------------------
     def register_scene(
@@ -679,6 +723,13 @@ class RenderGateway:
                         },
                     ),
                 )
+            elif frame.type is MessageType.METRICS:
+                await self._send(
+                    conn,
+                    protocol.encode_frame(
+                        MessageType.METRICS_OK, self.metrics_dict()
+                    ),
+                )
             else:
                 raise ProtocolError(
                     f"unexpected message type {frame.type.name} from a client"
@@ -733,13 +784,41 @@ class RenderGateway:
             raise ProtocolError("request_id must be an integer")
         if request_id in conn.tasks:
             raise ProtocolError(f"request_id {request_id} is already in flight")
+        # The requester's trace id (validated; None when absent).  Only
+        # this id is ever echoed on the wire — locally-minted ids stay
+        # local, so tracing cannot change served bytes.
+        client_trace = protocol.trace_from_header(header)
+        tracer = self.tracer
+        trace = client_trace
+        if tracer.enabled and trace is None:
+            trace = tracer.new_trace_id()
+        admit_start = tracer.now() if tracer.enabled else 0.0
         # Admit *synchronously* with the dispatch — the very next frame
         # on any connection sees the updated pending count — and before
         # any decoding, so the reject path stays cheap under overload.
-        ticket = self._admit(
-            header.get("class"),
-            stream=frame.type is MessageType.STREAM,
-        )
+        try:
+            ticket = self._admit(
+                header.get("class"),
+                stream=frame.type is MessageType.STREAM,
+            )
+        except BaseException:
+            if tracer.enabled:
+                tracer.record(
+                    "admission",
+                    trace=trace,
+                    start=admit_start,
+                    end=tracer.now(),
+                    attrs={"admitted": False, "class": header.get("class")},
+                )
+            raise
+        if tracer.enabled:
+            tracer.record(
+                "admission",
+                trace=trace,
+                start=admit_start,
+                end=tracer.now(),
+                attrs={"admitted": True, "class": ticket.request_class},
+            )
         try:
             # Pin the deadline before any decoding: the budget is
             # relative to the request's *arrival*.
@@ -749,7 +828,7 @@ class RenderGateway:
                 camera = protocol.decode_camera(header.get("camera") or {})
                 coroutine = self._serve_render(
                     conn, request_id, cloud, camera, ticket.request_class,
-                    deadline,
+                    deadline, trace=trace, client_trace=client_trace,
                 )
             else:
                 specs = header.get("cameras")
@@ -758,7 +837,7 @@ class RenderGateway:
                 cameras = [protocol.decode_camera(spec) for spec in specs]
                 coroutine = self._serve_stream(
                     conn, request_id, cloud, cameras, ticket.request_class,
-                    deadline,
+                    deadline, trace=trace, client_trace=client_trace,
                 )
         except BaseException:
             ticket.release()
@@ -786,6 +865,8 @@ class RenderGateway:
         camera: Camera,
         request_class: str,
         deadline: "float | None" = None,
+        trace: "str | None" = None,
+        client_trace: "str | None" = None,
     ) -> None:
         """Serve one RENDER: a single FRAME answer (or a 500/504 ERROR).
 
@@ -797,14 +878,24 @@ class RenderGateway:
             loop = asyncio.get_running_loop()
             started = loop.time()
             result = await self.service.render_frame(
-                cloud, camera, request_class=request_class, deadline=deadline
+                cloud, camera, request_class=request_class, deadline=deadline,
+                trace=trace,
             )
             self._observe(request_class, loop.time() - started)
-            await self._send(
-                conn,
-                protocol.encode_result_frame(request_id, 0, result),
-                deadline=deadline,
+            payload = protocol.encode_result_frame(
+                request_id, 0, result,
+                backend=self.node_id, trace=client_trace,
             )
+            wire_start = self.tracer.now() if self.tracer.enabled else 0.0
+            await self._send(conn, payload, deadline=deadline)
+            if self.tracer.enabled:
+                self.tracer.record(
+                    "wire",
+                    trace=trace,
+                    start=wire_start,
+                    end=self.tracer.now(),
+                    attrs={"bytes": len(payload), "index": 0},
+                )
             self.stats.frames_sent += 1
         except asyncio.CancelledError:
             raise
@@ -832,6 +923,8 @@ class RenderGateway:
         cameras: "list[Camera]",
         request_class: str,
         deadline: "float | None" = None,
+        trace: "str | None" = None,
+        client_trace: "str | None" = None,
     ) -> None:
         """Serve one STREAM: ordered FRAMEs, then END.
 
@@ -851,15 +944,25 @@ class RenderGateway:
             loop = asyncio.get_running_loop()
             started = loop.time()
             async for index, result in self.service.stream_trajectory(
-                cloud, cameras, request_class=request_class, deadline=deadline
+                cloud, cameras, request_class=request_class, deadline=deadline,
+                trace=trace,
             ):
                 if sent == 0:
                     self._observe(request_class, loop.time() - started)
-                await self._send(
-                    conn,
-                    protocol.encode_result_frame(request_id, index, result),
-                    deadline=deadline,
+                payload = protocol.encode_result_frame(
+                    request_id, index, result,
+                    backend=self.node_id, trace=client_trace,
                 )
+                wire_start = self.tracer.now() if self.tracer.enabled else 0.0
+                await self._send(conn, payload, deadline=deadline)
+                if self.tracer.enabled:
+                    self.tracer.record(
+                        "wire",
+                        trace=trace,
+                        start=wire_start,
+                        end=self.tracer.now(),
+                        attrs={"bytes": len(payload), "index": index},
+                    )
                 sent += 1
                 self.stats.frames_sent += 1
             await self._send(
@@ -971,7 +1074,8 @@ class RenderGateway:
                 pass
 
     async def _http_route(self, writer: asyncio.StreamWriter, target: str) -> None:
-        """Dispatch one GET target to /healthz, /stats or /render."""
+        """Dispatch one GET target to /healthz, /stats, /metrics,
+        /traces, /render or /stream."""
         url = urlsplit(target)
         query = dict(parse_qsl(url.query))
         if url.path == "/healthz":
@@ -987,6 +1091,23 @@ class RenderGateway:
                         "admission": self.admission.stats_dict(),
                     },
                 },
+            )
+        elif url.path == "/metrics":
+            await http_reply(writer, 200, self.metrics_dict())
+        elif url.path == "/traces":
+            try:
+                limit = (
+                    int(query["limit"]) if "limit" in query else None
+                )
+            except ValueError:
+                await http_reply(
+                    writer, 400, {"error": "limit must be an integer"}
+                )
+                return
+            await http_reply(
+                writer,
+                200,
+                self.traces_dict(trace=query.get("trace"), limit=limit),
             )
         elif url.path == "/render":
             await self._http_render(writer, query)

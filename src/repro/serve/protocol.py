@@ -35,6 +35,9 @@ CANCEL       C -> S     abandon a previously submitted request id
 STATS        C -> S     ask for the service/gateway counters
 STATS_OK     S -> C     the counters, as a JSON object
 BYE          C -> S     graceful goodbye; the server closes the connection
+METRICS      C -> S     ask for the observability export (counters,
+                        gauges, per-stage latency histograms)
+METRICS_OK   S -> C     the metrics snapshot, as a JSON object
 ===========  =========  ====================================================
 
 ``RENDER`` and ``STREAM`` headers may carry an optional ``class`` field
@@ -49,11 +52,27 @@ await point and answer ``504 DEADLINE_EXCEEDED``; relays forward the
 *remaining* budget downstream.  Absent means no deadline — exactly the
 pre-deadline behaviour, so the field is also v2-compatible.
 
+``RENDER`` and ``STREAM`` headers may also carry an optional ``trace``
+field: an opaque printable trace id (≤ 120 chars) minted by the
+requester.  Servers that trace stamp it on every span the request
+produces and relays forward it downstream — including on failover
+re-issues — so one request's spans stitch into one trace across
+router, backend and replacement backend (see :mod:`repro.trace`).
+Absent means untraced; servers never invent a wire-visible trace id,
+so a client that sends none sees byte-identical responses whether or
+not the server is tracing.  The field is v2-compatible like ``class``
+and ``deadline_ms``.
+
 ``FRAME`` headers may carry an optional ``sha256`` field — the hex
 digest of the frame's blob, stamped at the rendering gateway.  Relays
 (the shard router) verify it before forwarding: a mismatch means the
 backend or its link corrupted the image, and becomes a failover rather
-than silently served bytes.  Clients verify it again on receipt.
+than silently served bytes.  Clients verify it again on receipt.  They
+may also carry ``backend`` — the id of the gateway that actually
+rendered the frame, stamped at the backend and relayed verbatim, so a
+pooled client (and a trace) can see exactly which replica served each
+frame even across a mid-stream failover — and ``trace``, echoing the
+request's trace id when one was given.
 
 Errors carry HTTP-flavoured codes (:class:`ErrorCode`): ``400`` malformed
 frame or request, ``401`` missing or wrong shared-secret token, ``404``
@@ -129,6 +148,8 @@ class MessageType(IntEnum):
     STATS_OK = 11
     BYE = 12
     AUTH = 13
+    METRICS = 14
+    METRICS_OK = 15
 
 
 class ErrorCode(IntEnum):
@@ -339,6 +360,24 @@ def deadline_remaining_ms(deadline: "float | None") -> "int | None":
 def deadline_expired(message: str = "deadline exceeded") -> ProtocolError:
     """The canonical 504: recoverable (the connection stays usable)."""
     return ProtocolError(message, code=ErrorCode.DEADLINE_EXCEEDED)
+
+
+def trace_from_header(header: dict) -> "str | None":
+    """Parse a request header's optional ``trace`` field.
+
+    Returns the validated trace id, or ``None`` when absent.  A
+    non-string, empty, oversized or unprintable value is a recoverable
+    ``400`` — the frame boundary is intact, the requester just sent a
+    nonsense id.
+    """
+    raw = header.get("trace")
+    if raw is None:
+        return None
+    from repro.trace.tracer import valid_trace_id
+
+    if not valid_trace_id(raw):
+        raise ProtocolError(f"invalid trace id: {raw!r}")
+    return raw
 
 
 async def drain_within(
@@ -613,7 +652,13 @@ def verify_frame_checksum(frame: Frame) -> None:
 
 
 def encode_result_frame(
-    request_id: int, index: int, result: RenderResult, *, checksum: bool = True
+    request_id: int,
+    index: int,
+    result: RenderResult,
+    *,
+    checksum: bool = True,
+    backend: "str | None" = None,
+    trace: "str | None" = None,
 ) -> bytes:
     """Encode one rendered frame as a FRAME wire message.
 
@@ -623,6 +668,12 @@ def encode_result_frame(
     corruption.  ``projected``/``assignment`` are not shipped — the
     same contract as frames returned from ``render_trajectory`` worker
     processes (per-frame O(cloud) arrays no serving consumer reads).
+
+    ``backend`` stamps the serving node's id on the frame (stamped
+    whether or not tracing is on, so traced and untraced responses stay
+    byte-identical); ``trace`` echoes the *requester's* trace id back —
+    pass it only when the request carried one, never a server-minted
+    id.
     """
     image = np.ascontiguousarray(result.image)
     blob = image.tobytes()
@@ -632,6 +683,10 @@ def encode_result_frame(
         "image": {"dtype": image.dtype.str, "shape": list(image.shape)},
         "stats": encode_stats(result.stats),
     }
+    if backend is not None:
+        header["backend"] = backend
+    if trace is not None:
+        header["trace"] = trace
     if checksum:
         header["sha256"] = blob_digest(blob)
     return encode_frame(MessageType.FRAME, header, blob)

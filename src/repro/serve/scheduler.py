@@ -146,6 +146,15 @@ class MicroBatcher:
             if not future.done():
                 future.set_result(result)
 
+    @property
+    def depth(self) -> int:
+        """Requests currently pending across all lanes (not yet flushed).
+
+        The queue-depth observable the ``/metrics`` export samples; a
+        point-in-time reading, cheap enough to take per request.
+        """
+        return sum(len(lane.items) for lane in self._lanes.values())
+
     def flush_all(self) -> None:
         """Flush every pending lane immediately (shutdown/drain path)."""
         for key in list(self._lanes):

@@ -48,6 +48,8 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+import hashlib
+
 from repro.engine import RenderEngine
 from repro.experiments.shm_cache import cloud_fingerprint
 from repro.gaussians.camera import Camera
@@ -55,6 +57,7 @@ from repro.gaussians.cloud import GaussianCloud
 from repro.raster.renderer import RenderResult
 from repro.serve.render_cache import SharedRenderCache, render_key
 from repro.serve.scheduler import MicroBatcher
+from repro.trace.tracer import NULL_TRACER
 
 
 @dataclass
@@ -143,6 +146,14 @@ class RenderService:
         feeds the policy's observation window, and applies the knobs
         each :meth:`~AdaptiveBatchPolicy.adapt` step returns to its
         micro-batcher — the slow timescale of the two-timescale loop.
+    tracer:
+        Optional :class:`repro.trace.Tracer`.  When enabled, every
+        request emits structured spans (``queue``/``cache``/``batch``/
+        ``render``) carrying the request's trace id, scene fingerprint,
+        request class, batch id and frame sha prefix.  Defaults to the
+        shared :data:`~repro.trace.NULL_TRACER` — one branch per
+        would-be span and no other cost.  Tracing never changes served
+        bytes (test-asserted).
     """
 
     def __init__(
@@ -157,6 +168,7 @@ class RenderService:
         batch_workers: int = 1,
         batch_executor: str = "process",
         policy=None,
+        tracer=None,
     ) -> None:
         if max_pending < 1:
             raise ValueError("max_pending must be positive")
@@ -174,6 +186,7 @@ class RenderService:
         self.batch_workers = batch_workers
         self.batch_executor = batch_executor
         self.policy = policy
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.stats = ServiceStats()
         self._batcher = MicroBatcher(
             self._render_batch, max_batch_size=max_batch_size, max_wait=max_wait
@@ -195,6 +208,11 @@ class RenderService:
     def batch_stats(self):
         """The scheduler's :class:`repro.serve.scheduler.BatchStats`."""
         return self._batcher.stats
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests pending in micro-batch lanes right now."""
+        return self._batcher.depth
 
     def stats_dict(self) -> "dict[str, float]":
         """Service + scheduler counters flattened for reporting.
@@ -245,10 +263,15 @@ class RenderService:
         through a single ``render_trajectory`` call — across the lane's
         persistent worker pool when ``batch_workers > 1`` — and each
         finished frame is published to the shared cache before the
-        results fan back out to the waiters.
+        results fan back out to the waiters.  With tracing on, each
+        item's lane wait becomes a ``batch`` span and its engine work a
+        ``render`` span (batch id, occupancy, frame sha prefix);
+        neither touches the rendered bytes.
         """
         cloud = items[0][0]
-        cameras = [camera for _, camera in items]
+        cameras = [item[1] for item in items]
+        tracer = self.tracer
+        batch_start = tracer.now() if tracer.enabled else 0.0
         pool = (
             self._lane_pool(key, cloud) if self.batch_workers > 1 else None
         )
@@ -258,7 +281,52 @@ class RenderService:
         if self.cache is not None:
             for camera, result in zip(cameras, trajectory.results):
                 self.cache.put(cloud, camera, self.renderer, result)
+        if tracer.enabled:
+            self._trace_batch(key, items, trajectory.results, batch_start)
         return trajectory.results
+
+    def _trace_batch(self, key, items, results, batch_start: float) -> None:
+        """Emit per-item ``batch``/``render`` spans for one flushed batch."""
+        from repro.serve.protocol import encode_camera
+
+        tracer = self.tracer
+        batch_end = tracer.now()
+        batch_id = tracer.new_batch_id()
+        occupancy = len(items)
+        tracer.metrics.observe("batch_occupancy", occupancy)
+        for item, result in zip(items, results):
+            ctx = item[2] if len(item) > 2 else None
+            if ctx is None:
+                continue
+            trace_id, request_class, submitted = ctx
+            camera = item[1]
+            sha = hashlib.sha256(
+                result.image.tobytes()
+            ).hexdigest()[:12]
+            common = {
+                "batch": batch_id,
+                "occupancy": occupancy,
+                "scene": key,
+            }
+            tracer.record(
+                "batch",
+                trace=trace_id,
+                start=submitted,
+                end=batch_start,
+                attrs=common,
+            )
+            tracer.record(
+                "render",
+                trace=trace_id,
+                start=batch_start,
+                end=batch_end,
+                attrs={
+                    **common,
+                    "class": request_class,
+                    "sha": sha,
+                    "camera": encode_camera(camera),
+                },
+            )
 
     def _admission(self) -> asyncio.Semaphore:
         """The ``max_pending`` semaphore, rebound to the current loop.
@@ -273,11 +341,17 @@ class RenderService:
         return self._sem
 
     async def _render_uncached(
-        self, cloud: GaussianCloud, camera: Camera
+        self, cloud: GaussianCloud, camera: Camera, ctx=None
     ) -> RenderResult:
-        """Submit a cache-missed view to its scene's batching lane."""
+        """Submit a cache-missed view to its scene's batching lane.
+
+        ``ctx`` is the item's trace context — ``(trace_id, class,
+        submit_timestamp)`` or ``None`` when untraced — carried through
+        the batcher so :meth:`_trace_batch` can attribute the lane wait
+        and the engine render to the right trace.
+        """
         lane = cloud_fingerprint(cloud)
-        return await self._batcher.submit(lane, (cloud, camera))
+        return await self._batcher.submit(lane, (cloud, camera, ctx))
 
     def apply_batch_knobs(self, max_batch_size: int, max_wait: float) -> None:
         """Retune the micro-batcher live (the adaptive policy's lever).
@@ -309,6 +383,7 @@ class RenderService:
         *,
         request_class: "str | None" = None,
         deadline: "float | None" = None,
+        trace: "str | None" = None,
     ) -> RenderResult:
         """Resolve one view, bit-identical to ``RenderEngine.render``.
 
@@ -325,30 +400,59 @@ class RenderService:
         the frame, so the last-waiter cancellation machinery reclaims
         any work nobody else shares.  ``None`` is exactly the
         pre-deadline behaviour.
+
+        ``trace`` names the trace this request's spans belong to; with
+        an enabled tracer and no id given, the service starts a fresh
+        trace.  Tracing observes only — the returned bytes are
+        identical either way.
         """
         self.stats.count_class(request_class)
         if self.policy is None and deadline is None:
-            return await self._render_frame(cloud, camera)
+            return await self._render_frame(
+                cloud, camera, request_class=request_class, trace=trace
+            )
         loop = asyncio.get_running_loop()
         start = loop.time()
         if deadline is None:
-            result = await self._render_frame(cloud, camera)
+            result = await self._render_frame(
+                cloud, camera, request_class=request_class, trace=trace
+            )
         else:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 raise asyncio.TimeoutError("deadline exceeded on arrival")
             result = await asyncio.wait_for(
-                self._render_frame(cloud, camera), remaining
+                self._render_frame(
+                    cloud, camera, request_class=request_class, trace=trace
+                ),
+                remaining,
             )
         self._observe_latency(loop.time() - start)
         return result
 
     async def _render_frame(
-        self, cloud: GaussianCloud, camera: Camera
+        self,
+        cloud: GaussianCloud,
+        camera: Camera,
+        *,
+        request_class: "str | None" = None,
+        trace: "str | None" = None,
     ) -> RenderResult:
         """The unmeasured request path (dedup, cache, batcher)."""
         self.stats.requests += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            trace = trace or tracer.new_trace_id()
+            queue_span = tracer.span(
+                "queue", trace=trace, attrs={"class": request_class}
+            )
+        else:
+            queue_span = None
         async with self._admission():
+            if queue_span is not None:
+                # The queue stage is the admission-slot wait: time spent
+                # behind max_pending before any per-view work starts.
+                queue_span.finish()
             loop = asyncio.get_running_loop()
             key = render_key(cloud, camera, self.renderer)
             # In-flight dedup is checked before the cache: joining a
@@ -357,18 +461,28 @@ class RenderService:
             # the hot coalescing path free of cross-process cache IPC.
             entry = self._inflight.get(key)
             if entry is None and self.cache is not None:
+                cache_span = tracer.span("cache", trace=trace)
                 hit = await loop.run_in_executor(
                     None, self.cache.get, cloud, camera, self.renderer
                 )
                 if hit is not None:
                     self.stats.cache_hits += 1
+                    cache_span.set("hit", True)
+                    cache_span.finish()
                     return hit
+                cache_span.set("hit", False)
+                cache_span.finish()
                 # Another request may have started this view's render
                 # while we were on the executor hop.
                 entry = self._inflight.get(key)
             if entry is None:
+                ctx = (
+                    (trace, request_class, tracer.now())
+                    if tracer.enabled
+                    else None
+                )
                 task = asyncio.ensure_future(
-                    self._render_uncached(cloud, camera)
+                    self._render_uncached(cloud, camera, ctx)
                 )
                 entry = self._inflight[key] = _Inflight(task)
                 task.add_done_callback(
@@ -376,6 +490,10 @@ class RenderService:
                 )
             else:
                 self.stats.coalesced += 1
+                if tracer.enabled:
+                    tracer.event(
+                        "cache", trace=trace, attrs={"coalesced": True}
+                    )
 
             entry.waiters += 1
             try:
@@ -404,6 +522,7 @@ class RenderService:
         prefetch: "int | None" = None,
         request_class: "str | None" = None,
         deadline: "float | None" = None,
+        trace: "str | None" = None,
     ):
         """Stream a trajectory's frames in order, as they complete.
 
@@ -417,7 +536,10 @@ class RenderService:
         :func:`time.monotonic`, covering the *whole* stream) bounds
         every frame wait: when it passes, the generator raises
         :class:`asyncio.TimeoutError` and its ``finally`` drops all
-        outstanding work, as for an early close.
+        outstanding work, as for an early close.  ``trace`` stamps every
+        frame's spans with one shared trace id (a stream is one
+        journey); with an enabled tracer and no id given, the stream
+        starts a fresh trace.
         """
         cameras = list(cameras)
         if prefetch is None:
@@ -426,6 +548,17 @@ class RenderService:
             raise ValueError("prefetch must be positive")
         self.stats.streams += 1
         self.stats.count_class(request_class)
+        if self.tracer.enabled:
+            trace = trace or self.tracer.new_trace_id()
+            # The stream-open event carries the class once; per-frame
+            # calls stay class-less so the per-class request counters
+            # keep counting streams once, not per frame.  Trace readers
+            # resolve a render span's class from its trace.
+            self.tracer.event(
+                "stream",
+                trace=trace,
+                attrs={"class": request_class, "frames": len(cameras)},
+            )
 
         tasks: "dict[int, asyncio.Task]" = {}
         next_submit = 0
@@ -433,7 +566,9 @@ class RenderService:
             for index in range(len(cameras)):
                 while next_submit < len(cameras) and next_submit - index < prefetch:
                     tasks[next_submit] = asyncio.ensure_future(
-                        self.render_frame(cloud, cameras[next_submit])
+                        self.render_frame(
+                            cloud, cameras[next_submit], trace=trace
+                        )
                     )
                     next_submit += 1
                 if deadline is None:

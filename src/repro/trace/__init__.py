@@ -1,0 +1,65 @@
+"""``repro.trace`` — end-to-end request tracing and trace-driven co-sim.
+
+The observability layer over the serving stack (PRs 3–7) and the
+bridge back to the paper's hardware model:
+
+* :class:`Tracer` / :class:`Span` — zero-overhead-when-off structured
+  spans (``queue → admission → batch → render → cache → wire`` plus
+  the router's ``route``), deterministic ids, a ring-buffered
+  in-process collector and an append-only JSONL sink.  A trace id
+  propagates on the wire (the optional ``trace`` request-header field)
+  so one request's spans stitch across router, backend and failover
+  replacement.
+* :class:`MetricsRegistry` / :class:`Histogram` — the counters, gauges
+  and windowed latency histograms behind the ``METRICS`` wire message
+  and the gateway/router HTTP ``/metrics`` endpoints.
+* :mod:`repro.trace.replay` — load a captured JSONL trace, re-render
+  its workload, and simulate it on configurable
+  :mod:`repro.hardware.pipeline_sim` configurations: deterministic
+  cycles/energy per request class for captured production traffic.
+
+Everything here observes; nothing here decides.  Serving behaviour —
+and served bytes — are identical with tracing on or off
+(test-asserted), and :data:`NULL_TRACER` keeps the off path to one
+branch per would-be span.
+
+See ``docs/observability.md`` for the trace schema, the metrics
+reference and a replay walkthrough.
+"""
+
+from repro.trace.metrics import Histogram, MetricsRegistry
+from repro.trace.replay import (
+    BASE_CONFIGS,
+    ClassCost,
+    ReplayReport,
+    build_config,
+    load_spans,
+    replay,
+    stitch,
+)
+from repro.trace.tracer import (
+    MAX_TRACE_ID_LEN,
+    NULL_TRACER,
+    STAGES,
+    Span,
+    Tracer,
+    valid_trace_id,
+)
+
+__all__ = [
+    "BASE_CONFIGS",
+    "ClassCost",
+    "Histogram",
+    "MAX_TRACE_ID_LEN",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "ReplayReport",
+    "STAGES",
+    "Span",
+    "Tracer",
+    "build_config",
+    "load_spans",
+    "replay",
+    "stitch",
+    "valid_trace_id",
+]

@@ -1,0 +1,121 @@
+"""Counters, gauges and windowed histograms for the ``/metrics`` layer.
+
+A deliberately small registry — three primitive kinds, one lock, one
+JSON-safe snapshot — sized for the gateway/router export surface
+(queue depth, batch occupancy, per-class admission counters, per-stage
+latency percentiles) rather than for a general metrics system.
+
+Histograms keep a bounded window of recent observations (plus exact
+``count``/``sum`` over all time) and compute percentiles from the
+window at snapshot time: percentiles over *recent* behaviour are what
+an operator watching ``/metrics`` wants, and a bounded window keeps a
+long-lived server's memory flat.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+
+class Histogram:
+    """Windowed observations with exact lifetime count/sum.
+
+    Parameters
+    ----------
+    window:
+        Observations retained for percentile estimation; older ones
+        still count toward ``count``/``sum``.
+    """
+
+    __slots__ = ("count", "total", "_window")
+
+    def __init__(self, window: int = 1024) -> None:
+        if window < 1:
+            raise ValueError("window must be positive")
+        self.count = 0
+        self.total = 0.0
+        self._window: "deque[float]" = deque(maxlen=window)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self._window.append(value)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (0..1) of the retained window (0.0 empty)."""
+        if not self._window:
+            return 0.0
+        ordered = sorted(self._window)
+        index = min(int(q * len(ordered)), len(ordered) - 1)
+        return ordered[index]
+
+    def snapshot(self) -> "dict[str, float]":
+        """JSON-safe summary: count, mean, window percentiles, max."""
+        ordered = sorted(self._window)
+        if not ordered:
+            return {"count": self.count, "mean": 0.0, "p50": 0.0,
+                    "p95": 0.0, "p99": 0.0, "max": 0.0}
+
+        def pick(q: float) -> float:
+            return ordered[min(int(q * len(ordered)), len(ordered) - 1)]
+
+        return {
+            "count": self.count,
+            "mean": round(self.total / self.count, 4),
+            "p50": round(pick(0.50), 4),
+            "p95": round(pick(0.95), 4),
+            "p99": round(pick(0.99), 4),
+            "max": round(ordered[-1], 4),
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe named counters, gauges and histograms.
+
+    Names are dotted strings (``admission.interactive.shed``,
+    ``stage_ms.render``); kinds live in separate namespaces, so a
+    counter and a histogram may share a name without colliding.
+    """
+
+    def __init__(self, *, histogram_window: int = 1024) -> None:
+        self._lock = threading.Lock()
+        self._window = histogram_window
+        self._counters: "dict[str, float]" = {}
+        self._gauges: "dict[str, float]" = {}
+        self._histograms: "dict[str, Histogram]" = {}
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        """Add ``amount`` to a monotonically increasing counter."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a point-in-time gauge (last write wins)."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Feed one observation to a histogram (created on first use)."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram(self._window)
+            histogram.observe(value)
+
+    def snapshot(self) -> "dict[str, dict]":
+        """One JSON-safe view of everything, keys sorted for stability."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: self._counters[name]
+                    for name in sorted(self._counters)
+                },
+                "gauges": {
+                    name: self._gauges[name] for name in sorted(self._gauges)
+                },
+                "histograms": {
+                    name: self._histograms[name].snapshot()
+                    for name in sorted(self._histograms)
+                },
+            }

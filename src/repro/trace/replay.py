@@ -1,0 +1,291 @@
+"""Trace-driven hardware co-simulation: replay captured traffic.
+
+The serving stack records *what* was rendered (scene fingerprint,
+exact camera, request class) in its ``render`` spans; the hardware
+model knows *what it costs* (:mod:`repro.hardware.pipeline_sim`).  This
+module joins them: load a captured JSONL trace, re-render its engine
+workload locally, and push every frame through a configurable
+accelerator configuration — answering "what would this captured
+traffic have cost on hardware X?" per request class.
+
+Determinism is the contract: the pipelined simulator's dispatch
+recurrence is a pure function of the render, renders are bit-identical
+given ``(cloud, camera, renderer)``, and cameras round-trip exactly
+through the trace (:func:`repro.serve.protocol.encode_camera` floats
+survive JSON via shortest-repr).  Replaying the same trace against the
+same configuration therefore yields *identical* cycle counts —
+test-asserted, and the property that makes replay results comparable
+across configurations.
+
+Served frames never carry projection/assignment arrays (the wire
+contract strips them), so replay re-renders each distinct view once
+through the sequential renderer — the slow oracle path, chosen because
+it always produces the full result the simulators need.  Identical
+views are rendered once and their per-request costs reused, mirroring
+how the render cache collapsed them in production.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from repro.core.grouping import GroupGeometry
+from repro.core.pipeline import GSTGRenderer
+from repro.hardware.config import GSCORE_CONFIG, GSTG_CONFIG, HardwareConfig
+from repro.hardware.pipeline_sim import simulate_gstg_pipelined
+from repro.hardware.simulator import simulate_gstg
+from repro.serve.protocol import decode_camera
+from repro.tiles.boundary import BoundaryMethod
+
+#: Request class recorded when a request named none (the admission
+#: layer's default class).
+UNCLASSED = "bulk"
+
+#: The named base configurations ``--config`` selects from.
+BASE_CONFIGS: "dict[str, HardwareConfig]" = {
+    "gstg": GSTG_CONFIG,
+    "gscore": GSCORE_CONFIG,
+}
+
+
+def load_spans(path) -> "list[dict]":
+    """Load spans from one JSONL file or every ``*.jsonl`` in a directory.
+
+    Files are read in sorted name order and lines in file order, so the
+    result is deterministic for a given capture directory.  Blank lines
+    are skipped; a malformed line raises ``ValueError`` naming the file
+    (a truncated capture should fail loudly, not silently drop spans).
+    """
+    path = Path(path)
+    files = sorted(path.glob("*.jsonl")) if path.is_dir() else [path]
+    spans: "list[dict]" = []
+    for file in files:
+        with open(file, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    span = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ValueError(
+                        f"{file}:{lineno}: malformed span line: {exc}"
+                    ) from exc
+                if isinstance(span, dict) and "trace" in span:
+                    spans.append(span)
+    return spans
+
+
+def stitch(spans: "list[dict]") -> "dict[str, list[dict]]":
+    """Group spans by trace id, preserving capture order within each.
+
+    A trace whose spans came from several nodes (router + backend +
+    failover replacement) stitches here purely by id — the wire
+    propagation of the ``trace`` header is what makes the ids agree.
+    """
+    traces: "dict[str, list[dict]]" = {}
+    for span in spans:
+        traces.setdefault(span["trace"], []).append(span)
+    return traces
+
+
+def build_config(
+    base: str = "gstg",
+    *,
+    num_cores: "int | None" = None,
+    frequency_ghz: "float | None" = None,
+) -> HardwareConfig:
+    """One replay target configuration from the CLI-shaped knobs."""
+    try:
+        config = BASE_CONFIGS[base]
+    except KeyError:
+        raise ValueError(
+            f"unknown config {base!r} (choose from {sorted(BASE_CONFIGS)})"
+        ) from None
+    updates: dict = {}
+    if num_cores is not None:
+        if num_cores < 1:
+            raise ValueError("num_cores must be positive")
+        updates["num_cores"] = num_cores
+        updates["name"] = f"{config.name}-{num_cores}core"
+    if frequency_ghz is not None:
+        if frequency_ghz <= 0:
+            raise ValueError("frequency_ghz must be positive")
+        updates["frequency_hz"] = frequency_ghz * 1e9
+    return replace(config, **updates) if updates else config
+
+
+@dataclass(frozen=True)
+class ClassCost:
+    """Simulated cost of one request class over a replayed trace."""
+
+    request_class: str
+    requests: int
+    cycles: float
+    energy_j: float
+
+    @property
+    def mean_cycles(self) -> float:
+        return self.cycles / self.requests if self.requests else 0.0
+
+    def time_ms(self, frequency_hz: float) -> float:
+        """Total simulated busy time at the target clock."""
+        return self.cycles / frequency_hz * 1e3
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """Outcome of one trace replay against one configuration."""
+
+    config_name: str
+    frequency_hz: float
+    num_cores: int
+    classes: "tuple[ClassCost, ...]"
+    distinct_renders: int
+    skipped: int
+
+    @property
+    def requests(self) -> int:
+        return sum(c.requests for c in self.classes)
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(c.cycles for c in self.classes)
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(c.energy_j for c in self.classes)
+
+    def by_class(self) -> "dict[str, ClassCost]":
+        return {c.request_class: c for c in self.classes}
+
+
+def _frame_cost(
+    cloud, camera, renderer, geometry, config: HardwareConfig
+) -> "tuple[float, float]":
+    """``(cycles, energy_j)`` for one view on ``config``.
+
+    Cycles come from the pipelined per-group model (the paper's
+    higher-fidelity simulator); energy combines the configuration's
+    module powers over that pipelined frame time with the DRAM traffic
+    of the throughput model — the same per-byte accounting as
+    :func:`repro.hardware.energy.energy_report`.
+    """
+    result = renderer.render(cloud, camera)
+    pipelined = simulate_gstg_pipelined(result, geometry, config)
+    time_s = pipelined.cycles / config.frequency_hz
+    compute_j = sum(module.power_w for module in config.modules) * time_s
+    traffic = simulate_gstg(
+        result.stats, camera.width, camera.height, config
+    ).traffic
+    dram_j = traffic.total_bytes * config.dram_energy_per_byte_j
+    return pipelined.cycles, compute_j + dram_j
+
+
+def replay(
+    spans: "list[dict]",
+    clouds: "dict[str, object]",
+    *,
+    config: "HardwareConfig | None" = None,
+    tile_size: int = 16,
+    group_size: int = 64,
+    method: BoundaryMethod = BoundaryMethod.ELLIPSE,
+) -> ReplayReport:
+    """Re-run a captured trace's render workload on ``config``.
+
+    Parameters
+    ----------
+    spans:
+        Loaded spans (:func:`load_spans`); only ``render`` spans that
+        carry a ``camera`` and a ``scene`` fingerprint participate.
+    clouds:
+        Scene-fingerprint -> :class:`GaussianCloud` map; spans whose
+        fingerprint is absent are counted in ``skipped`` rather than
+        failing the replay (a capture may span more scenes than the
+        replayer loaded).
+    config:
+        Target accelerator configuration (default :data:`GSTG_CONFIG`).
+    tile_size, group_size, method:
+        The GS-TG renderer configuration to re-render with — replay
+        always simulates the GS-TG pipeline, whatever renderer served
+        the capture (the point is comparing *hardware* configurations
+        over fixed traffic).
+    """
+    if config is None:
+        config = GSTG_CONFIG
+    renderer = GSTGRenderer(tile_size, group_size, method)
+    per_class: "dict[str, list[float]]" = {}
+    cost_cache: "dict[tuple, tuple[float, float]]" = {}
+    geometry_cache: "dict[tuple[int, int], GroupGeometry]" = {}
+    skipped = 0
+    # A streamed frame's render span is class-less (per-class counters
+    # count streams once, not per frame); its class lives on the
+    # stream-open event sharing the trace id.  Resolve trace -> class
+    # first so every render span can be attributed.
+    trace_class: "dict[str, str]" = {}
+    for span in spans:
+        named = (span.get("attrs") or {}).get("class")
+        if named and span["trace"] not in trace_class:
+            trace_class[span["trace"]] = named
+    for span in spans:
+        if span.get("name") != "render":
+            continue
+        attrs = span.get("attrs") or {}
+        camera_spec = attrs.get("camera")
+        fingerprint = attrs.get("scene")
+        if camera_spec is None or fingerprint is None:
+            skipped += 1
+            continue
+        cloud = clouds.get(fingerprint)
+        if cloud is None:
+            skipped += 1
+            continue
+        camera = decode_camera(camera_spec)
+        key = (
+            fingerprint,
+            tuple(camera_spec["rotation"]),
+            tuple(camera_spec["translation"]),
+            camera.width,
+            camera.height,
+            camera.fx,
+            camera.fy,
+        )
+        cost = cost_cache.get(key)
+        if cost is None:
+            size = (camera.width, camera.height)
+            geometry = geometry_cache.get(size)
+            if geometry is None:
+                geometry = geometry_cache[size] = GroupGeometry(
+                    camera.width, camera.height, tile_size, group_size
+                )
+            cost = cost_cache[key] = _frame_cost(
+                cloud, camera, renderer, geometry, config
+            )
+        request_class = (
+            attrs.get("class")
+            or trace_class.get(span["trace"])
+            or UNCLASSED
+        )
+        bucket = per_class.setdefault(request_class, [0, 0.0, 0.0])
+        bucket[0] += 1
+        bucket[1] += cost[0]
+        bucket[2] += cost[1]
+    classes = tuple(
+        ClassCost(
+            request_class=name,
+            requests=int(bucket[0]),
+            cycles=bucket[1],
+            energy_j=bucket[2],
+        )
+        for name, bucket in sorted(per_class.items())
+    )
+    return ReplayReport(
+        config_name=config.name,
+        frequency_hz=config.frequency_hz,
+        num_cores=config.num_cores,
+        classes=classes,
+        distinct_renders=len(cost_cache),
+        skipped=skipped,
+    )

@@ -1,0 +1,317 @@
+"""The tracing core: spans, the ring-buffered collector, JSONL sinks.
+
+A *span* is one named stage of one request's journey through the stack
+(``queue`` | ``admission`` | ``batch`` | ``render`` | ``cache`` |
+``wire`` | ``route``), with monotonic start/end timestamps and a flat
+``attrs`` dict of structured fields (scene fingerprint, request class,
+batch id, frame sha prefix, backend id …).  Spans sharing a *trace id*
+describe one request; a trace id crosses process boundaries as the
+optional ``trace`` header field of the wire protocol, so the spans a
+router, a backend and its failover replacement emit for the same frame
+*stitch* into one trace (see :func:`repro.trace.replay.load_spans`).
+
+Design constraints, in order:
+
+* **Zero overhead when off.**  Every component holds a
+  :data:`NULL_TRACER` by default; its methods are constant-time
+  early-returns that allocate nothing, so the hot render path pays one
+  attribute load and one predictable branch per would-be span.  The
+  ``trace-overhead`` benchmark gates the *enabled* cost too.
+* **Deterministic structure.**  Ids are drawn from a per-tracer
+  counter, never a clock or RNG: the Nth trace started on node ``gw0``
+  is always ``gw0-0000000n``, so recorded traces diff cleanly between
+  runs and replay is reproducible.  (Timestamps are monotonic
+  wall-clock readings and naturally vary; everything else is a pure
+  function of the workload.)
+* **Thread safety.**  Micro-batches execute on worker threads, so the
+  collector, the id counters and the JSONL sink are all lock-guarded —
+  the same discipline as ``RenderService._stats_lock``.
+
+The collector is a bounded ring (:class:`collections.deque`): a
+long-running server keeps the most recent ``capacity`` spans for its
+``/traces`` endpoint and forgets the rest, while an attached JSONL sink
+(one span per line, append-only) captures everything for offline
+replay.  ``repro trace record`` points every node's sink at one
+directory; ``repro trace replay|top`` read the directory back.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+
+from repro.trace.metrics import MetricsRegistry
+
+#: The span names the serving stack emits, in pipeline order.  Not
+#: enforced — components may add stages — but exported so tests and
+#: tools agree on the canonical vocabulary.
+STAGES = ("wire", "route", "admission", "queue", "cache", "batch", "render")
+
+#: Longest trace id accepted off the wire (defensive bound: ids are
+#: ~16 chars; anything huge is garbage or abuse, not a trace id).
+MAX_TRACE_ID_LEN = 120
+
+
+def valid_trace_id(value) -> bool:
+    """True when ``value`` is usable as a wire-carried trace id."""
+    return (
+        isinstance(value, str)
+        and 0 < len(value) <= MAX_TRACE_ID_LEN
+        and value.isprintable()
+    )
+
+
+class _NullSpan:
+    """The shared no-op span the disabled tracer hands out."""
+
+    __slots__ = ()
+
+    trace_id = None
+
+    def set(self, _name, _value) -> None:
+        pass
+
+    def finish(self) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One live span; finished via ``with`` or an explicit :meth:`finish`.
+
+    Attribute writes (:meth:`set`) go to the span's ``attrs`` dict; the
+    record only becomes visible in the collector/sink when the span
+    finishes.  Finishing twice is a no-op, so ``finish()`` inside a
+    ``with`` block is safe.
+    """
+
+    __slots__ = ("_tracer", "name", "trace_id", "attrs", "_start", "_done")
+
+    def __init__(self, tracer: "Tracer", name: str, trace_id: str, attrs):
+        self._tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.attrs = attrs or {}
+        self._start = time.perf_counter()
+        self._done = False
+
+    def set(self, name: str, value) -> None:
+        """Attach one structured attribute to the span."""
+        self.attrs[name] = value
+
+    def finish(self) -> None:
+        """Close the span and publish its record (idempotent)."""
+        if self._done:
+            return
+        self._done = True
+        self._tracer.record(
+            self.name,
+            trace=self.trace_id,
+            start=self._start,
+            end=time.perf_counter(),
+            attrs=self.attrs,
+        )
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.finish()
+
+
+class Tracer:
+    """Span recorder for one node (a gateway, a router, a service).
+
+    Parameters
+    ----------
+    node:
+        This node's stable id; stamped on every span and used as the
+        prefix of generated trace ids, so merged multi-node trace files
+        attribute every span without ambiguity.
+    capacity:
+        Ring-buffer size of the in-process collector (the ``/traces``
+        window).  The JSONL sink is unbounded.
+    sink:
+        Optional path; every finished span is appended as one JSON
+        line.  The file is created lazily on the first span.
+    metrics:
+        Optional :class:`MetricsRegistry`; every finished span feeds a
+        ``stage_ms.<name>`` latency histogram, which is where the
+        ``/metrics`` per-stage percentiles come from.
+    enabled:
+        ``False`` builds a permanently-off tracer (:data:`NULL_TRACER`
+        is the shared instance): every method early-returns.
+    """
+
+    __slots__ = (
+        "enabled",
+        "node",
+        "metrics",
+        "_capacity",
+        "_spans",
+        "_sink_path",
+        "_sink",
+        "_lock",
+        "_seq",
+        "_epoch",
+    )
+
+    def __init__(
+        self,
+        node: str = "node",
+        *,
+        capacity: int = 4096,
+        sink=None,
+        metrics: "MetricsRegistry | None" = None,
+        enabled: bool = True,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.enabled = enabled
+        self.node = node
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._capacity = capacity
+        self._spans: "deque[dict]" = deque(maxlen=capacity)
+        self._sink_path = sink
+        self._sink = None
+        self._lock = threading.Lock()
+        self._seq = 0
+        # Span timestamps are reported relative to the tracer's epoch:
+        # small, positive, and directly comparable within one node.
+        self._epoch = time.perf_counter()
+
+    # -- ids -------------------------------------------------------------
+    def _next_seq(self) -> int:
+        with self._lock:
+            self._seq += 1
+            return self._seq
+
+    def new_trace_id(self) -> "str | None":
+        """A fresh deterministic trace id, or ``None`` when disabled."""
+        if not self.enabled:
+            return None
+        return f"{self.node}-{self._next_seq():08x}"
+
+    def new_batch_id(self) -> "str | None":
+        """A fresh deterministic batch id (same counter, ``b`` prefix)."""
+        if not self.enabled:
+            return None
+        return f"{self.node}-b{self._next_seq():06x}"
+
+    def now(self) -> float:
+        """The tracer's clock (:func:`time.perf_counter`)."""
+        return time.perf_counter()
+
+    # -- span API --------------------------------------------------------
+    def span(self, name: str, *, trace: "str | None" = None, attrs=None):
+        """Open a span; use as a context manager or ``finish()`` it.
+
+        ``trace=None`` starts a fresh trace.  Disabled tracers return
+        the shared no-op span without allocating.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        return Span(self, name, trace or self.new_trace_id(), attrs)
+
+    def event(self, name: str, *, trace: "str | None" = None, attrs=None) -> None:
+        """Record a zero-duration span (a point event)."""
+        if not self.enabled:
+            return
+        now = time.perf_counter()
+        self.record(name, trace=trace, start=now, end=now, attrs=attrs)
+
+    def record(
+        self,
+        name: str,
+        *,
+        trace: "str | None",
+        start: float,
+        end: float,
+        attrs=None,
+    ) -> None:
+        """Publish one finished span from explicit timestamps.
+
+        The escape hatch for after-the-fact spans measured on worker
+        threads (batch queue waits, engine renders): the caller captured
+        ``start``/``end`` itself and records the span once the work is
+        done.  Thread-safe.
+        """
+        if not self.enabled:
+            return
+        duration_ms = (end - start) * 1e3
+        span = {
+            "trace": trace if trace is not None else self.new_trace_id(),
+            "name": name,
+            "node": self.node,
+            "t_ms": round((start - self._epoch) * 1e3, 3),
+            "dur_ms": round(duration_ms, 3),
+        }
+        if attrs:
+            span["attrs"] = dict(attrs)
+        self.metrics.observe(f"stage_ms.{name}", duration_ms)
+        with self._lock:
+            self._spans.append(span)
+            if self._sink_path is not None:
+                if self._sink is None:
+                    # Line-buffered: a span is on disk the moment it is
+                    # recorded, so a SIGKILLed backend's capture still
+                    # holds everything it served (the chaos failover
+                    # tests stitch spans from the dead process).
+                    self._sink = open(
+                        self._sink_path, "a", buffering=1, encoding="utf-8"
+                    )
+                self._sink.write(
+                    json.dumps(span, separators=(",", ":")) + "\n"
+                )
+
+    # -- reading back ----------------------------------------------------
+    def spans(self, *, trace: "str | None" = None, limit: "int | None" = None):
+        """A snapshot of collected spans, oldest first.
+
+        ``trace`` filters to one trace id; ``limit`` keeps only the
+        most recent N after filtering.
+        """
+        with self._lock:
+            snapshot = list(self._spans)
+        if trace is not None:
+            snapshot = [s for s in snapshot if s["trace"] == trace]
+        if limit is not None and limit >= 0:
+            snapshot = snapshot[-limit:]
+        return snapshot
+
+    def traces(self) -> "dict[str, list[dict]]":
+        """Collected spans grouped by trace id (insertion-ordered)."""
+        grouped: "dict[str, list[dict]]" = {}
+        for span in self.spans():
+            grouped.setdefault(span["trace"], []).append(span)
+        return grouped
+
+    # -- lifecycle -------------------------------------------------------
+    def flush(self) -> None:
+        """Flush the JSONL sink (spans already written are durable)."""
+        with self._lock:
+            if self._sink is not None:
+                self._sink.flush()
+
+    def close(self) -> None:
+        """Flush and close the sink; the tracer stays usable (re-opens)."""
+        with self._lock:
+            if self._sink is not None:
+                self._sink.flush()
+                self._sink.close()
+                self._sink = None
+
+
+#: The shared always-off tracer every component defaults to.  Do not
+#: mutate; build a real :class:`Tracer` to turn tracing on.
+NULL_TRACER = Tracer(node="off", enabled=False)

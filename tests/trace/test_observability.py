@@ -1,0 +1,343 @@
+"""Integration tests for tracing through the serving stack.
+
+The two contracts under test:
+
+* **Observation only** — tracing never changes served bytes.  The same
+  request against a traced and an untraced gateway yields identical
+  images, stats and frame metadata, and no server-minted trace id ever
+  appears in client-visible headers.
+* **Export** — spans and counters actually surface: the named stages
+  show up per trace, the METRICS wire message and the ``/metrics`` /
+  ``/traces`` HTTP endpoints return them, and per-class admission
+  counters (admitted / shed / retry_after_issued) ride along.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import GSTGRenderer
+from repro.engine import RenderEngine
+from repro.gaussians.camera import Camera
+from repro.serve import (
+    AdmissionController,
+    AsyncGatewayClient,
+    GatewayClientPool,
+    RenderGateway,
+    RenderService,
+)
+from repro.serve.admission import AdmissionRejected
+from repro.tiles.boundary import BoundaryMethod
+from repro.trace import Tracer
+from tests.conftest import make_cloud
+
+
+@pytest.fixture(scope="module")
+def scene():
+    rng = np.random.default_rng(91)
+    cloud = make_cloud(35, rng)
+    cameras = [
+        Camera(width=64, height=48, fx=60.0 + i, fy=60.0 + i)
+        for i in range(3)
+    ]
+    return cloud, cameras
+
+
+@pytest.fixture(scope="module")
+def renderer():
+    return GSTGRenderer(16, 64, BoundaryMethod.ELLIPSE)
+
+
+def run_gateway(renderer, body, *, tracer=None, node_id="gw0", **kwargs):
+    """Start service + gateway (both sharing ``tracer``), run ``body``."""
+
+    async def main():
+        async with RenderService(
+            renderer, max_batch_size=4, max_wait=0.002, tracer=tracer
+        ) as service:
+            gateway = RenderGateway(
+                service, tracer=tracer, node_id=node_id, **kwargs
+            )
+            await gateway.start()
+            try:
+                return await body(service, gateway)
+            finally:
+                await gateway.close()
+
+    return asyncio.run(main())
+
+
+async def http_get(port, path):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(f"GET {path} HTTP/1.1\r\nHost: t\r\n\r\n".encode())
+    await writer.drain()
+    data = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, body = data.partition(b"\r\n\r\n")
+    return int(head.split(b" ", 2)[1]), body
+
+
+class TestServiceSpans:
+    def test_render_emits_the_pipeline_stages(self, scene, renderer):
+        from repro.serve import SharedRenderCache
+
+        cloud, cameras = scene
+        tracer = Tracer(node="svc")
+
+        async def main():
+            async with RenderService(
+                renderer, cache=cache, max_batch_size=2, max_wait=0.001,
+                tracer=tracer,
+            ) as service:
+                await service.render_frame(
+                    cloud, cameras[0], request_class="interactive",
+                    trace="cli-00000001",
+                )
+
+        with SharedRenderCache() as cache:
+            asyncio.run(main())
+        spans = tracer.spans(trace="cli-00000001")
+        names = [span["name"] for span in spans]
+        for stage in ("queue", "cache", "batch", "render"):
+            assert stage in names, names
+        cache_span = next(s for s in spans if s["name"] == "cache")
+        assert cache_span["attrs"] == {"hit": False}
+        render = next(s for s in spans if s["name"] == "render")
+        assert render["attrs"]["class"] == "interactive"
+        assert "scene" in render["attrs"]
+        assert "camera" in render["attrs"]
+        batch = next(s for s in spans if s["name"] == "batch")
+        assert batch["attrs"]["batch"].startswith("svc-b")
+
+    def test_tracing_off_renders_identically(self, scene, renderer):
+        cloud, cameras = scene
+
+        async def once(tracer):
+            async with RenderService(
+                renderer, max_batch_size=2, max_wait=0.001, tracer=tracer
+            ) as service:
+                result = await service.render_frame(cloud, cameras[0])
+                return result.image.tobytes(), result.stats
+
+        traced = asyncio.run(once(Tracer(node="svc")))
+        untraced = asyncio.run(once(None))
+        assert traced == untraced
+
+
+class TestByteIdentity:
+    def test_gateway_frames_identical_traced_vs_untraced(
+        self, scene, renderer
+    ):
+        """The tentpole invariant: tracing on or off, a gateway serves
+        the same bytes — image, stats, checksum and header metadata."""
+        cloud, cameras = scene
+
+        def serve(tracer):
+            async def body(service, gateway):
+                client = await AsyncGatewayClient.connect(
+                    "127.0.0.1", gateway.tcp_port
+                )
+                try:
+                    out = []
+                    for camera in cameras:
+                        result, meta = await client.render_frame(
+                            cloud, camera, with_meta=True
+                        )
+                        out.append(
+                            (result.image.tobytes(), result.stats, meta)
+                        )
+                    return out
+                finally:
+                    await client.close()
+
+            return run_gateway(renderer, body, tracer=tracer)
+
+        traced = serve(Tracer(node="gw0"))
+        untraced = serve(None)
+        assert traced == untraced
+        engine = RenderEngine(renderer)
+        for (image, stats, meta), camera in zip(traced, cameras):
+            reference = engine.render(cloud, camera)
+            assert image == reference.image.tobytes()
+            assert stats == reference.stats
+            # The backend id is stamped regardless of tracing; a
+            # server-minted trace id never reaches the client.
+            assert meta["backend"] == "gw0"
+            assert "trace" not in meta
+
+    def test_client_minted_trace_id_is_echoed_and_spans_recorded(
+        self, scene, renderer
+    ):
+        cloud, cameras = scene
+        tracer = Tracer(node="gw0")
+
+        async def body(service, gateway):
+            client = await AsyncGatewayClient.connect(
+                "127.0.0.1", gateway.tcp_port
+            )
+            try:
+                return await client.render_frame(
+                    cloud, cameras[0], trace="cli-deadbeef", with_meta=True
+                )
+            finally:
+                await client.close()
+
+        _, meta = run_gateway(renderer, body, tracer=tracer)
+        assert meta["trace"] == "cli-deadbeef"
+        names = {s["name"] for s in tracer.spans(trace="cli-deadbeef")}
+        assert {"admission", "queue", "render", "wire"} <= names
+
+    def test_stream_meta_rides_every_frame(self, scene, renderer):
+        cloud, cameras = scene
+        tracer = Tracer(node="gw0")
+
+        async def body(service, gateway):
+            client = await AsyncGatewayClient.connect(
+                "127.0.0.1", gateway.tcp_port
+            )
+            try:
+                out = []
+                async for index, result, meta in client.stream_trajectory(
+                    cloud, cameras, trace="cli-s1", with_meta=True
+                ):
+                    out.append((index, meta))
+                return out
+            finally:
+                await client.close()
+
+        out = run_gateway(renderer, body, tracer=tracer)
+        assert [index for index, _ in out] == list(range(len(cameras)))
+        for _, meta in out:
+            assert meta["backend"] == "gw0"
+            assert meta["trace"] == "cli-s1"
+
+
+class TestExport:
+    def test_metrics_wire_message_and_http_endpoints(self, scene, renderer):
+        cloud, cameras = scene
+        tracer = Tracer(node="gw0")
+
+        async def body(service, gateway):
+            await gateway.start_http()
+            client = await AsyncGatewayClient.connect(
+                "127.0.0.1", gateway.tcp_port
+            )
+            try:
+                await client.render_frame(
+                    cloud, cameras[0], request_class="interactive",
+                    trace="cli-m1",
+                )
+                out = {"wire": await client.metrics_dict()}
+            finally:
+                await client.close()
+            port = gateway.http_port
+            out["http"] = await http_get(port, "/metrics")
+            out["traces"] = await http_get(port, "/traces?trace=cli-m1")
+            out["bad_limit"] = await http_get(port, "/traces?limit=nope")
+            out["limited"] = await http_get(port, "/traces?limit=1")
+            return out
+
+        out = run_gateway(renderer, body, tracer=tracer)
+
+        wire = out["wire"]
+        assert wire["node"] == "gw0"
+        assert wire["queue_depth"] == 0
+        assert wire["pending"] == 0
+        classes = wire["admission"]["classes"]
+        assert classes["interactive"]["admitted"] == 1
+        assert classes["interactive"]["retry_after_issued"] == 0
+        assert "stage_ms.render" in wire["histograms"]
+        assert wire["histograms"]["stage_ms.render"]["count"] >= 1
+
+        status, body_bytes = out["http"]
+        assert status == 200
+        assert json.loads(body_bytes) == wire
+
+        status, body_bytes = out["traces"]
+        assert status == 200
+        traces = json.loads(body_bytes)
+        assert traces["node"] == "gw0"
+        names = [s["name"] for s in traces["traces"]["cli-m1"]]
+        assert "render" in names and "wire" in names
+
+        assert out["bad_limit"][0] == 400
+        status, body_bytes = out["limited"]
+        assert status == 200
+        limited = json.loads(body_bytes)
+        assert sum(len(v) for v in limited["traces"].values()) == 1
+
+    def test_metrics_without_tracer_still_serves_gauges(
+        self, scene, renderer
+    ):
+        cloud, cameras = scene
+
+        async def body(service, gateway):
+            client = await AsyncGatewayClient.connect(
+                "127.0.0.1", gateway.tcp_port
+            )
+            try:
+                await client.render_frame(cloud, cameras[0])
+                return await client.metrics_dict()
+            finally:
+                await client.close()
+
+        wire = run_gateway(renderer, body, tracer=None)
+        assert wire["queue_depth"] == 0
+        assert wire["admission"]["classes"]["bulk"]["admitted"] == 1
+        assert wire["histograms"] == {}  # no tracer, no stage latencies
+
+
+class TestAdmissionCounters:
+    def test_retry_after_issued_counts_hinted_rejects(self):
+        controller = AdmissionController(1)
+        ticket = controller.admit("interactive")
+        with pytest.raises(AdmissionRejected) as excinfo:
+            controller.admit("bulk")
+        assert excinfo.value.retry_after_ms > 0
+        assert controller.retry_after_issued["bulk"] == 1
+        assert controller.retry_after_issued["interactive"] == 0
+        ticket.release()
+        stats = controller.stats_dict()
+        assert stats["classes"]["bulk"]["retry_after_issued"] == 1
+        assert stats["classes"]["bulk"]["rejected"] == 1
+        assert stats["classes"]["interactive"]["admitted"] == 1
+
+    def test_shed_rejects_also_issue_hints(self):
+        controller = AdmissionController(8)
+        controller.shed_level = 1  # sheds prefetch (priority 0)
+        with pytest.raises(AdmissionRejected):
+            controller.admit("prefetch")
+        assert controller.retry_after_issued["prefetch"] == 1
+        assert controller.shed["prefetch"] == 1
+
+
+class TestPoolMeta:
+    def test_pool_surfaces_the_serving_backend(self, scene, renderer):
+        cloud, cameras = scene
+
+        async def body(service, gateway):
+            pool = GatewayClientPool("127.0.0.1", gateway.tcp_port, size=2)
+            try:
+                result, meta = await pool.render_frame(
+                    cloud, cameras[0], with_meta=True
+                )
+                streamed = []
+                async for index, _result, frame_meta in pool.stream_trajectory(
+                    cloud, cameras, with_meta=True
+                ):
+                    streamed.append((index, frame_meta["backend"]))
+                return (result.image.tobytes(), meta), streamed
+            finally:
+                await pool.close()
+
+        (image, meta), streamed = run_gateway(
+            renderer, body, node_id="backend-7"
+        )
+        reference = RenderEngine(renderer).render(cloud, cameras[0])
+        assert image == reference.image.tobytes()
+        assert meta["backend"] == "backend-7"
+        assert [index for index, _ in streamed] == list(range(len(cameras)))
+        assert all(backend == "backend-7" for _, backend in streamed)

@@ -1,0 +1,209 @@
+"""Tests for the tracing core: spans, ids, the ring, sinks, metrics.
+
+The properties the serving stack depends on: deterministic ids (the
+Nth trace on a node always gets the same id), a bounded collector that
+never grows past capacity, a JSONL sink durable line-by-line (a
+SIGKILLed process loses nothing already recorded), and a disabled
+tracer that records nothing and allocates nothing observable.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.trace import (
+    MAX_TRACE_ID_LEN,
+    NULL_TRACER,
+    STAGES,
+    Histogram,
+    MetricsRegistry,
+    Tracer,
+    valid_trace_id,
+)
+
+
+class TestIds:
+    def test_trace_ids_are_deterministic_and_node_prefixed(self):
+        tracer = Tracer(node="gw0")
+        assert tracer.new_trace_id() == "gw0-00000001"
+        assert tracer.new_trace_id() == "gw0-00000002"
+        # A fresh tracer restarts the sequence: ids are a pure function
+        # of (node, start order), never a clock or RNG.
+        assert Tracer(node="gw0").new_trace_id() == "gw0-00000001"
+
+    def test_batch_ids_share_the_counter_with_a_b_prefix(self):
+        tracer = Tracer(node="n")
+        assert tracer.new_trace_id() == "n-00000001"
+        assert tracer.new_batch_id() == "n-b000002"
+
+    def test_valid_trace_id(self):
+        assert valid_trace_id("cli-00000001")
+        assert valid_trace_id("x")
+        assert not valid_trace_id("")
+        assert not valid_trace_id(None)
+        assert not valid_trace_id(123)
+        assert not valid_trace_id("a" * (MAX_TRACE_ID_LEN + 1))
+        assert not valid_trace_id("evil\nid")
+
+    def test_stage_vocabulary_is_exported(self):
+        assert set(STAGES) == {
+            "wire", "route", "admission", "queue", "cache", "batch", "render"
+        }
+
+
+class TestSpans:
+    def test_span_context_manager_records_on_exit(self):
+        tracer = Tracer(node="n")
+        with tracer.span("render", attrs={"scene": "abc"}) as span:
+            span.set("class", "bulk")
+        (record,) = tracer.spans()
+        assert record["name"] == "render"
+        assert record["node"] == "n"
+        assert record["trace"] == "n-00000001"
+        assert record["attrs"] == {"scene": "abc", "class": "bulk"}
+        assert record["dur_ms"] >= 0.0
+
+    def test_finish_is_idempotent(self):
+        tracer = Tracer(node="n")
+        span = tracer.span("queue")
+        span.finish()
+        span.finish()
+        assert len(tracer.spans()) == 1
+
+    def test_event_is_a_zero_duration_span(self):
+        tracer = Tracer(node="n")
+        tracer.event("stream", trace="t-1", attrs={"class": "bulk"})
+        (record,) = tracer.spans()
+        assert record["dur_ms"] == 0.0
+        assert record["trace"] == "t-1"
+
+    def test_record_with_explicit_timestamps(self):
+        tracer = Tracer(node="n")
+        start = tracer.now()
+        tracer.record("batch", trace="t-9", start=start, end=start + 0.010)
+        (record,) = tracer.spans()
+        assert record["dur_ms"] == pytest.approx(10.0, abs=0.01)
+
+    def test_ring_keeps_only_the_most_recent_capacity_spans(self):
+        tracer = Tracer(node="n", capacity=3)
+        for index in range(7):
+            tracer.event("queue", trace=f"t-{index}")
+        spans = tracer.spans()
+        assert [s["trace"] for s in spans] == ["t-4", "t-5", "t-6"]
+
+    def test_spans_filter_and_limit(self):
+        tracer = Tracer(node="n")
+        for index in range(4):
+            tracer.event("queue", trace=f"t-{index % 2}")
+        assert len(tracer.spans(trace="t-0")) == 2
+        assert len(tracer.spans(limit=3)) == 3
+        grouped = tracer.traces()
+        assert set(grouped) == {"t-0", "t-1"}
+        assert all(len(v) == 2 for v in grouped.values())
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(node="n", capacity=0)
+
+    def test_thread_safety_under_concurrent_recording(self):
+        tracer = Tracer(node="n", capacity=10_000)
+
+        def worker():
+            for _ in range(200):
+                tracer.event("queue", trace=tracer.new_trace_id())
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        spans = tracer.spans()
+        assert len(spans) == 800
+        # Every id was handed out exactly once despite the contention.
+        assert len({s["trace"] for s in spans}) == 800
+
+
+class TestSink:
+    def test_sink_is_line_durable_without_close(self, tmp_path):
+        """Each span hits disk as it is recorded — a SIGKILL later must
+        not lose spans already served (the failover stitching tests
+        read a dead backend's capture)."""
+        path = tmp_path / "node.jsonl"
+        tracer = Tracer(node="n", sink=path)
+        tracer.event("render", trace="t-1", attrs={"scene": "s"})
+        tracer.event("wire", trace="t-1")
+        # No flush, no close: the lines must already be on disk.
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["name"] == "render"
+        tracer.close()
+        # The tracer stays usable after close (the sink re-opens).
+        tracer.event("queue", trace="t-2")
+        assert len(path.read_text().splitlines()) == 3
+        tracer.close()
+
+    def test_sink_is_lazy(self, tmp_path):
+        path = tmp_path / "never.jsonl"
+        tracer = Tracer(node="n", sink=path)
+        tracer.flush()
+        tracer.close()
+        assert not path.exists()
+
+
+class TestDisabled:
+    def test_null_tracer_records_nothing(self):
+        NULL_TRACER.event("render", trace="t")
+        with NULL_TRACER.span("queue") as span:
+            span.set("k", "v")
+        NULL_TRACER.record("batch", trace="t", start=0.0, end=1.0)
+        assert NULL_TRACER.spans() == []
+        assert NULL_TRACER.traces() == {}
+        assert NULL_TRACER.metrics.snapshot()["histograms"] == {}
+
+    def test_disabled_ids_are_none(self):
+        assert NULL_TRACER.new_trace_id() is None
+        assert NULL_TRACER.new_batch_id() is None
+
+    def test_disabled_span_is_the_shared_singleton(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+
+
+class TestMetrics:
+    def test_spans_feed_stage_histograms(self):
+        tracer = Tracer(node="n")
+        start = tracer.now()
+        for _ in range(3):
+            tracer.record("render", trace="t", start=start, end=start + 0.005)
+        snapshot = tracer.metrics.snapshot()
+        hist = snapshot["histograms"]["stage_ms.render"]
+        assert hist["count"] == 3
+        assert hist["mean"] == pytest.approx(5.0, abs=0.01)
+
+    def test_registry_counters_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.inc("requests")
+        registry.inc("requests", 2)
+        registry.gauge("depth", 7)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["requests"] == 3
+        assert snapshot["gauges"]["depth"] == 7
+
+    def test_histogram_percentiles(self):
+        hist = Histogram()
+        for value in range(1, 101):
+            hist.observe(float(value))
+        snapshot = hist.snapshot()
+        assert snapshot["count"] == 100
+        assert snapshot["max"] == 100.0
+        assert snapshot["p50"] == pytest.approx(50.5, abs=1.0)
+        assert snapshot["p95"] == pytest.approx(95.0, abs=1.5)
+
+    def test_histogram_window_bounds_memory(self):
+        hist = Histogram(window=8)
+        for value in range(100):
+            hist.observe(float(value))
+        snapshot = hist.snapshot()
+        # Count is cumulative; the percentile window is bounded.
+        assert snapshot["count"] == 100
+        assert snapshot["p50"] >= 91.0
